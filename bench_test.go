@@ -1,0 +1,104 @@
+// Package repro's root benchmark suite: one testing.B benchmark per table
+// and figure of the paper's evaluation (§8), backed by the harness in
+// internal/bench. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/pcbench prints the same experiments as formatted tables next to the
+// paper's reported numbers.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func runTable(b *testing.B, fn func() (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty result table")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the lilLinAlg linear-algebra comparison
+// (Gram matrix, least squares, nearest neighbour; PC vs baseline).
+func BenchmarkTable2LinearAlgebra(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunTable2(bench.Table2Config{N: 1200, Dims: []int{10, 25}, Seed: 1})
+	})
+}
+
+// BenchmarkTable3 regenerates the TPC-H object-oriented workload comparison.
+func BenchmarkTable3TPCH(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunTable3(bench.Table3Config{CustomerCounts: []int{300}, K: 8})
+	})
+}
+
+// BenchmarkTable4 regenerates the LDA tuning-ladder comparison.
+func BenchmarkTable4LDA(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunTable4(bench.Table4Config{Docs: 120, Vocab: 120, Topics: 5, WordsPerDoc: 40, Iters: 1})
+	})
+}
+
+// BenchmarkTable5 regenerates the GMM comparison.
+func BenchmarkTable5GMM(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunTable5(bench.Table5Config{Shapes: [][2]int{{800, 8}}, K: 4, Iters: 1})
+	})
+}
+
+// BenchmarkTable6 regenerates the k-means comparison.
+func BenchmarkTable6KMeans(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunTable6(bench.Table6Config{Shapes: [][2]int{{4000, 10}}, K: 6, Iters: 1})
+	})
+}
+
+// BenchmarkTable7 regenerates the SLOC comparison.
+func BenchmarkTable7SLOC(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.RunTable7(".") })
+}
+
+// BenchmarkTable8 regenerates the matmul kernel comparison.
+func BenchmarkTable8Matmul(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunTable8(bench.Table8Config{Sizes: []int{96, 160}})
+	})
+}
+
+// BenchmarkObjectModelVsGob is the primitive ablation: page ship vs gob
+// round trip (DESIGN.md §5).
+func BenchmarkObjectModelVsGob(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.RunObjectModelVsGob(20000) })
+}
+
+// BenchmarkAllocatorPolicies is the Appendix B ablation.
+func BenchmarkAllocatorPolicies(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.RunAllocatorPolicies(50000) })
+}
+
+// BenchmarkBroadcastVsPartition is the join-strategy ablation (§8.3 /
+// Appendix D.3).
+func BenchmarkBroadcastVsPartition(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.RunBroadcastVsPartition(3000, 300) })
+}
+
+// BenchmarkOptimizerPushdown is the declarative-in-the-large ablation (§7).
+func BenchmarkOptimizerPushdown(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.RunOptimizerAblation(3000) })
+}
+
+// BenchmarkCoPartitionedJoin is the §8.3.3 extension ablation:
+// pre-partitioned sets joined without any shuffle.
+func BenchmarkCoPartitionedJoin(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) { return bench.RunCoPartitionedJoin(3000, 600) })
+}

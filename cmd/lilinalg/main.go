@@ -1,0 +1,134 @@
+// lilinalg runs a lilLinAlg DSL script (paper §8.3.1) against an in-process
+// PC cluster. Matrices referenced by load(...) are bound to random data of
+// a configurable shape, so scripts like the paper's least-squares example
+// run out of the box.
+//
+//	go run ./cmd/lilinalg -script "beta = (X '* X)^-1 %*% (X '* y)" -n 1000 -d 5
+//	go run ./cmd/lilinalg -file myscript.lla
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"regexp"
+
+	"repro/internal/matrix"
+	"repro/linalg"
+	"repro/pc"
+)
+
+func main() {
+	script := flag.String("script", "beta = (X '* X)^-1 %*% (X '* y)", "DSL script text")
+	file := flag.String("file", "", "read the script from a file instead")
+	n := flag.Int("n", 500, "rows of generated matrices")
+	d := flag.Int("d", 4, "columns of generated matrices")
+	workers := flag.Int("workers", 4, "simulated worker nodes")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	src := *script
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(b)
+	}
+
+	client, err := pc.Connect(pc.Config{Workers: *workers, PageSize: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := linalg.NewEngine(client, "la", 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := linalg.NewInterp(eng)
+
+	// Bind every identifier the script references but does not define:
+	// uppercase single letters and load() targets get random matrices
+	// (y gets a column vector).
+	rng := rand.New(rand.NewSource(*seed))
+	for _, name := range referencedNames(src) {
+		cols := *d
+		if name == "y" || name == "Y" {
+			cols = 1
+		}
+		m := matrix.New(*n, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		if err := in.BindDense(name, m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bound %s: %dx%d random matrix\n", name, *n, cols)
+	}
+
+	out, err := in.Run(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out.IsMat() {
+		dm, err := eng.Fetch(out.Mat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("result: %dx%d matrix\n", dm.Rows, dm.Cols)
+		maxR, maxC := dm.Rows, dm.Cols
+		if maxR > 6 {
+			maxR = 6
+		}
+		if maxC > 8 {
+			maxC = 8
+		}
+		for i := 0; i < maxR; i++ {
+			for j := 0; j < maxC; j++ {
+				fmt.Printf("%10.4f", dm.At(i, j))
+			}
+			fmt.Println()
+		}
+		if maxR < dm.Rows || maxC < dm.Cols {
+			fmt.Println("  ... (truncated)")
+		}
+	} else {
+		fmt.Printf("result: scalar %g\n", out.Scalar)
+	}
+}
+
+var identRe = regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_.]*`)
+
+// referencedNames extracts free variables: identifiers used before being
+// assigned, excluding DSL function names.
+func referencedNames(src string) []string {
+	builtins := map[string]bool{
+		"load": true, "t": true, "inv": true, "rowSum": true, "colSum": true,
+		"minElement": true, "maxElement": true, "duplicateRow": true, "duplicateCol": true,
+	}
+	assigned := map[string]bool{}
+	seen := map[string]bool{}
+	var out []string
+	for _, line := range regexp.MustCompile(`[;\n]`).Split(src, -1) {
+		ids := identRe.FindAllString(line, -1)
+		isAssign := regexp.MustCompile(`^\s*[A-Za-z_][A-Za-z0-9_.]*\s*=`).MatchString(line)
+		for i, id := range ids {
+			if builtins[id] {
+				continue
+			}
+			if isAssign && i == 0 {
+				continue // assignment target, marked below
+			}
+			if !assigned[id] && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		// Mark the assignment target after processing the line.
+		if isAssign && len(ids) > 0 && !builtins[ids[0]] {
+			assigned[ids[0]] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// sloc counts source lines of code per package directory — the tooling
+// behind Table 7's programmability comparison.
+//
+//	go run ./cmd/sloc [root]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	perDir := map[string]int{}
+	perDirTests := map[string]int{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		n, err := bench.CountSLOC(path)
+		if err != nil {
+			return err
+		}
+		dir, _ := filepath.Rel(root, filepath.Dir(path))
+		if strings.HasSuffix(path, "_test.go") {
+			perDirTests[dir] += n
+		} else {
+			perDir[dir] += n
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dirs := map[string]bool{}
+	for d := range perDir {
+		dirs[d] = true
+	}
+	for d := range perDirTests {
+		dirs[d] = true
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	totalCode, totalTest := 0, 0
+	fmt.Printf("%-28s %8s %8s\n", "package", "code", "tests")
+	for _, d := range sorted {
+		fmt.Printf("%-28s %8d %8d\n", d, perDir[d], perDirTests[d])
+		totalCode += perDir[d]
+		totalTest += perDirTests[d]
+	}
+	fmt.Printf("%-28s %8d %8d   (total %d)\n", "TOTAL", totalCode, totalTest, totalCode+totalTest)
+}

@@ -1,0 +1,77 @@
+// Crash recovery example (paper §2): worker nodes run user code in a
+// separate backend process; when a buggy native lambda crashes a backend,
+// the front end re-forks it and the scheduler retries the stage.
+//
+//	go run ./examples/crashrecovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"repro/internal/object"
+	"repro/pc"
+)
+
+func main() {
+	client, err := pc.Connect(pc.Config{Workers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := pc.NewStruct("Rec").
+		AddField("x", pc.KInt64).
+		MustBuild(client.Registry())
+	if err := client.CreateDatabase("db"); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.CreateSet("db", "in", "Rec"); err != nil {
+		log.Fatal(err)
+	}
+	pages, err := client.BuildPages(500, func(a *pc.Allocator, i int) (pc.Ref, error) {
+		r, err := a.MakeObject(rec)
+		if err != nil {
+			return pc.Ref{}, err
+		}
+		object.SetI64(r, rec.Field("x"), int64(i))
+		return r, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.SendData("db", "in", pages); err != nil {
+		log.Fatal(err)
+	}
+
+	// The projection panics exactly once — simulating a rare user bug
+	// that takes down one worker backend mid-job.
+	var crashes int32
+	sel := &pc.Selection{
+		In:      pc.NewScan("db", "in", "Rec"),
+		ArgType: "Rec",
+		Projection: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("crashOnce", pc.KHandle,
+				func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+					if atomic.CompareAndSwapInt32(&crashes, 0, 1) {
+						panic("segfault in user code (simulated)")
+					}
+					return args[0], nil
+				}, pc.FromSelf(arg))
+		},
+	}
+	if err := client.CreateSet("db", "out", "Rec"); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := client.ExecuteComputations(pc.NewWrite("db", "out", sel))
+	if err != nil {
+		log.Fatalf("job failed despite re-fork: %v", err)
+	}
+	reforks := 0
+	for _, w := range client.Cluster.Workers {
+		reforks += w.Front.ReForks
+	}
+	n, _ := client.CountSet("db", "out")
+	fmt.Printf("user code crashed a backend once; front end re-forked %d backend(s), "+
+		"scheduler retried %d stage share(s), and the job still produced all %d rows\n",
+		reforks, stats.Retries, n)
+}

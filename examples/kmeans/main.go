@@ -1,0 +1,86 @@
+// k-means example (paper Appendix A): an AggregateComp keyed by the closest
+// centroid, iterated to convergence on a simulated PC cluster.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/ml"
+	"repro/pc"
+)
+
+func main() {
+	const (
+		n, d, k = 3000, 4, 5
+		iters   = 10
+	)
+	rng := rand.New(rand.NewSource(7))
+	points, labels := ml.GeneratePoints(rng, n, d, k)
+
+	client, err := pc.Connect(pc.Config{Workers: 4, PageSize: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	km, err := ml.NewKMeansPC(client, "kmdb", k, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := km.Init(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initialized k-means: %d points, %d dims, k=%d\n", n, d, k)
+
+	for i := 0; i < iters; i++ {
+		model, err = km.Iterate(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after %d iterations, centroids:\n", iters)
+	for c, m := range model {
+		fmt.Printf("  c%d = [", c)
+		for j, v := range m {
+			if j > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%+.2f", v)
+		}
+		fmt.Println("]")
+	}
+
+	// How well did clustering recover the generating labels?
+	agree := quality(model, points, labels)
+	fmt.Printf("pair-agreement with true clusters: %.3f\n", agree)
+}
+
+func quality(model [][]float64, points [][]float64, labels []int) float64 {
+	assign := make([]int, len(points))
+	for i, x := range points {
+		best, bestD := 0, -1.0
+		for c, m := range model {
+			dd := 0.0
+			for j := range m {
+				dd += (x[j] - m[j]) * (x[j] - m[j])
+			}
+			if bestD < 0 || dd < bestD {
+				best, bestD = c, dd
+			}
+		}
+		assign[i] = best
+	}
+	agreeN, total := 0, 0
+	for i := 0; i < len(points); i += 11 {
+		for j := i + 1; j < len(points); j += 17 {
+			total++
+			if (labels[i] == labels[j]) == (assign[i] == assign[j]) {
+				agreeN++
+			}
+		}
+	}
+	return float64(agreeN) / float64(total)
+}

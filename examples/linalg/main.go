@@ -1,0 +1,72 @@
+// lilLinAlg example: distributed least-squares regression through the
+// Matlab-like DSL (paper §8.3.1):
+//
+//	beta = (X '* X)^-1 %*% (X '* y)
+//
+//	go run ./examples/linalg
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/matrix"
+	"repro/linalg"
+	"repro/pc"
+)
+
+func main() {
+	client, err := pc.Connect(pc.Config{Workers: 4, PageSize: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := linalg.NewEngine(client, "la", 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthesize y = X·beta with known coefficients.
+	const n, d = 2000, 6
+	rng := rand.New(rand.NewSource(42))
+	X := matrix.New(n, d)
+	for i := range X.Data {
+		X.Data[i] = rng.NormFloat64()
+	}
+	trueBeta := []float64{3, -1, 0.5, 2, -2, 1}
+	y := matrix.New(n, 1)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += X.At(i, j) * trueBeta[j]
+		}
+		y.Set(i, 0, s+0.01*rng.NormFloat64())
+	}
+
+	in := linalg.NewInterp(eng)
+	if err := in.BindDense("myMatrix.data", X); err != nil {
+		log.Fatal(err)
+	}
+	if err := in.BindDense("myResponses.data", y); err != nil {
+		log.Fatal(err)
+	}
+
+	script := `
+X = load(myMatrix.data)
+y = load(myResponses.data)
+beta = (X '* X)^-1 %*% (X '* y)
+`
+	fmt.Print("running lilLinAlg script:", script)
+	out, err := in.Run(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	beta, err := eng.Fetch(out.Mat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovered coefficients (true values in parentheses):")
+	for j := 0; j < d; j++ {
+		fmt.Printf("  beta[%d] = %+.4f  (%+.1f)\n", j, beta.At(j, 0), trueBeta[j])
+	}
+}

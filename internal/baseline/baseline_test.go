@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"testing"
+)
+
+// Point is a sample record type.
+type Point struct {
+	ID   int
+	Dept string
+	Sal  float64
+}
+
+// Pair carries key/value for reduce results.
+type Pair struct {
+	K string
+	V float64
+}
+
+func init() {
+	Register(Point{})
+	Register(Pair{})
+}
+
+func sampleData(n int) []Record {
+	out := make([]Record, n)
+	for i := 0; i < n; i++ {
+		out[i] = Point{ID: i, Dept: string(rune('a' + i%4)), Sal: float64(i)}
+	}
+	return out
+}
+
+func TestStoreReadChargesSerialization(t *testing.T) {
+	ctx := NewContext(3)
+	ds := ctx.Parallelize(sampleData(100))
+	if err := ctx.Store("pts", ds); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.SerializeOps != 100 {
+		t.Errorf("SerializeOps = %d, want 100", ctx.Stats.SerializeOps)
+	}
+	got, err := ctx.Read("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 100 {
+		t.Errorf("count = %d", got.Count())
+	}
+	if ctx.Stats.DeserializeOps != 100 {
+		t.Errorf("DeserializeOps = %d, want 100 (hot-storage reads must decode)", ctx.Stats.DeserializeOps)
+	}
+	if _, err := ctx.Read("missing"); err == nil {
+		t.Error("reading unknown dataset should fail")
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := NewContext(4)
+	ds := ctx.Parallelize(sampleData(50))
+	doubled := ds.Map(func(r Record) Record {
+		p := r.(Point)
+		p.Sal *= 2
+		return p
+	})
+	high := doubled.Filter(func(r Record) bool { return r.(Point).Sal >= 50 })
+	if got := high.Count(); got != 25 {
+		t.Errorf("filtered count = %d, want 25", got)
+	}
+	fm := ds.FlatMap(func(r Record) []Record {
+		if r.(Point).ID%10 == 0 {
+			return []Record{r, r}
+		}
+		return nil
+	})
+	if got := fm.Count(); got != 10 {
+		t.Errorf("flatmap count = %d, want 10", got)
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := NewContext(4)
+	ds := ctx.Parallelize(sampleData(100))
+	asPairs := ds.Map(func(r Record) Record {
+		p := r.(Point)
+		return Pair{K: p.Dept, V: p.Sal}
+	})
+	red, err := asPairs.ReduceByKey(
+		func(r Record) interface{} { return r.(Pair).K },
+		func(a, b Record) Record {
+			return Pair{K: a.(Pair).K, V: a.(Pair).V + b.(Pair).V}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Count() != 4 {
+		t.Fatalf("groups = %d, want 4", red.Count())
+	}
+	total := 0.0
+	for _, r := range red.Collect() {
+		total += r.(Pair).V
+	}
+	if total != 99*100/2 {
+		t.Errorf("total = %g, want %g", total, float64(99*100/2))
+	}
+	if ctx.Stats.ShuffledRecords == 0 {
+		t.Error("reduce must shuffle")
+	}
+	if ctx.Stats.SerializeOps == 0 {
+		t.Error("shuffle must pay serialization")
+	}
+}
+
+func TestShuffleJoinVsBroadcastJoin(t *testing.T) {
+	run := func(broadcast bool) (*Stats, int) {
+		ctx := NewContext(4)
+		left := ctx.Parallelize(sampleData(200))
+		var reps []Record
+		for i := 0; i < 4; i++ {
+			reps = append(reps, Point{ID: 1000 + i, Dept: string(rune('a' + i))})
+		}
+		right := ctx.Parallelize(reps)
+		out, err := left.Join(right,
+			func(r Record) interface{} { return r.(Point).Dept },
+			func(r Record) interface{} { return r.(Point).Dept },
+			func(l, r Record) Record { return l },
+			JoinOpts{Broadcast: broadcast})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &ctx.Stats, out.Count()
+	}
+	shufStats, shufCount := run(false)
+	bcStats, bcCount := run(true)
+	if shufCount != 200 || bcCount != 200 {
+		t.Fatalf("join counts = %d/%d, want 200", shufCount, bcCount)
+	}
+	// The broadcast hint must reduce serialization traffic: only the tiny
+	// build side is encoded instead of shuffling the big probe side.
+	if bcStats.SerializedBytes >= shufStats.SerializedBytes {
+		t.Errorf("broadcast serialized %d bytes, shuffle %d; hint should reduce traffic",
+			bcStats.SerializedBytes, shufStats.SerializedBytes)
+	}
+}
+
+func TestPersistAvoidsReuseCost(t *testing.T) {
+	ctx := NewContext(2)
+	ds := ctx.Parallelize(sampleData(100))
+
+	// Non-persisted reuse pays a round trip.
+	before := ctx.Stats.SerializeOps
+	if _, err := ds.Reuse(); err != nil {
+		t.Fatal(err)
+	}
+	costNoPersist := ctx.Stats.SerializeOps - before
+
+	ds.Persist()
+	before = ctx.Stats.SerializeOps
+	if _, err := ds.Reuse(); err != nil {
+		t.Fatal(err)
+	}
+	costPersist := ctx.Stats.SerializeOps - before
+
+	if costNoPersist == 0 {
+		t.Error("unpersisted reuse should pay serialization")
+	}
+	if costPersist != 0 {
+		t.Errorf("persisted reuse paid %d serializations", costPersist)
+	}
+}
+
+func TestCollectPreservesData(t *testing.T) {
+	ctx := NewContext(3)
+	ds := ctx.Parallelize(sampleData(30))
+	seen := map[int]bool{}
+	for _, r := range ds.Collect() {
+		seen[r.(Point).ID] = true
+	}
+	if len(seen) != 30 {
+		t.Errorf("collected %d distinct ids, want 30", len(seen))
+	}
+}

@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/lambda"
+	"repro/internal/object"
+	"repro/pc"
+)
+
+// Ablation benches for the design choices DESIGN.md §5 calls out.
+
+// RunAllocatorPolicies measures allocate/free throughput under the three
+// block policies (paper Appendix B): lightweight reuse (default), no reuse
+// (pure region), and recycling.
+func RunAllocatorPolicies(nObjects int) (*Table, error) {
+	t := &Table{
+		Title:   "Appendix B: allocator policies (alloc+free of fixed-size objects)",
+		Columns: []string{"time"},
+		Notes:   []string{"no-reuse is fastest but wastes space; recycling wins for churn of one type"},
+	}
+	reg := object.NewRegistry()
+	ti := object.NewStruct("Churn").
+		AddField("a", object.KInt64).
+		AddField("b", object.KFloat64).
+		MustBuild(reg)
+
+	for _, policy := range []object.Policy{object.PolicyLightweightReuse, object.PolicyNoReuse, object.PolicyRecycling} {
+		policy := policy
+		d, err := Timed(func() error {
+			p := object.NewPage(1<<22, reg)
+			a := object.NewAllocator(p, policy)
+			for i := 0; i < nObjects; i++ {
+				r, err := a.MakeObject(ti)
+				if err != nil {
+					// Region policy fills the page; restart block.
+					p = object.NewPage(1<<22, reg)
+					a = object.NewAllocator(p, policy)
+					r, err = a.MakeObject(ti)
+					if err != nil {
+						return err
+					}
+				}
+				r.Retain()
+				r.Release()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{Name: policy.String(), Cells: []string{ms(d)}})
+	}
+
+	// Per-object no-refcount (pure region semantics inside the default
+	// policy).
+	d, err := Timed(func() error {
+		p := object.NewPage(1<<22, reg)
+		a := object.NewAllocator(p, object.PolicyNoReuse)
+		for i := 0; i < nObjects; i++ {
+			if _, err := a.MakeObjectPolicy(ti, object.NoRefCount); err != nil {
+				p = object.NewPage(1<<22, reg)
+				a = object.NewAllocator(p, object.PolicyNoReuse)
+				if _, err := a.MakeObjectPolicy(ti, object.NoRefCount); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, Row{Name: "no-refcount objects", Cells: []string{ms(d)}})
+	return t, nil
+}
+
+// RunBroadcastVsPartition compares the scheduler's broadcast join against
+// the 2n-stage hash-partition join on the same data — the decision PC's
+// optimizer makes from set statistics (paper §8.3: <2 GB ⇒ broadcast).
+func RunBroadcastVsPartition(nLeft, nRight int) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: broadcast join vs hash-partition join",
+		Columns: []string{"time", "bytes shipped"},
+		Notes:   []string{"broadcast wins for small build sides; partitioning wins as both sides grow"},
+	}
+	build := func() (*cluster.Cluster, *object.TypeInfo, error) {
+		c, err := cluster.New(cluster.Config{Workers: 4, PageSize: 1 << 18})
+		if err != nil {
+			return nil, nil, err
+		}
+		reg := c.Catalog.Registry()
+		ti := object.NewStruct("JoinRec").
+			AddField("key", object.KInt64).
+			AddField("payload", object.KInt64).
+			MustBuild(reg)
+		if err := c.CreateDatabase("db"); err != nil {
+			return nil, nil, err
+		}
+		load := func(set string, n int) error {
+			if err := c.CreateSet("db", set, "JoinRec"); err != nil {
+				return err
+			}
+			pages, err := object.BuildPages(reg, 1<<18, n, func(a *object.Allocator, i int) (object.Ref, error) {
+				r, err := a.MakeObject(ti)
+				if err != nil {
+					return object.NilRef, err
+				}
+				object.SetI64(r, ti.Field("key"), int64(i%97))
+				object.SetI64(r, ti.Field("payload"), int64(i))
+				return r, nil
+			})
+			if err != nil {
+				return err
+			}
+			return c.SendData("db", set, pages)
+		}
+		if err := load("left", nLeft); err != nil {
+			return nil, nil, err
+		}
+		if err := load("right", nRight); err != nil {
+			return nil, nil, err
+		}
+		return c, ti, nil
+	}
+
+	// Broadcast path: the declarative join through the scheduler.
+	c, ti, err := build()
+	if err != nil {
+		return nil, err
+	}
+	join := &core.Join{
+		In:       []core.Computation{core.NewScan("db", "left", "JoinRec"), core.NewScan("db", "right", "JoinRec")},
+		ArgTypes: []string{"JoinRec", "JoinRec"},
+		Predicate: func(args []*lambda.Arg) lambda.Term {
+			return lambda.Eq(lambda.FromMember(args[0], "key"), lambda.FromMember(args[1], "key"))
+		},
+		Projection: func(args []*lambda.Arg) lambda.Term { return lambda.FromSelf(args[0]) },
+	}
+	if err := c.CreateSet("db", "out", "JoinRec"); err != nil {
+		return nil, err
+	}
+	before := c.Transport.BytesShipped
+	bcast, err := Timed(func() error {
+		_, err := c.Execute(core.NewWrite("db", "out", join))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, Row{Name: "broadcast", Cells: []string{
+		ms(bcast), fmt.Sprintf("%d", c.Transport.BytesShipped-before)}})
+
+	// Hash-partition path: the 2n-stage driver.
+	c2, ti2, err := build()
+	if err != nil {
+		return nil, err
+	}
+	keyField := ti2.Field("key")
+	_ = ti
+	keyFn := func(r object.Ref) uint64 {
+		return object.HashValue(object.Int64Value(object.GetI64(r, keyField)))
+	}
+	eq := func(l, r object.Ref) bool {
+		return object.GetI64(l, keyField) == object.GetI64(r, keyField)
+	}
+	before = c2.Transport.BytesShipped
+	part, err := Timed(func() error {
+		return c2.HashPartitionJoin("db", "left", "db", "right", keyFn, keyFn, eq,
+			func(workerID int, l, r object.Ref) error { return nil })
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, Row{Name: "hash-partition", Cells: []string{
+		ms(part), fmt.Sprintf("%d", c2.Transport.BytesShipped-before)}})
+	return t, nil
+}
+
+// RunOptimizerAblation measures a filter-heavy join with and without the
+// TCAP optimizer's pushdown rule (the "declarative in the large" payoff:
+// users never hand-tune this).
+func RunOptimizerAblation(nEmp int) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: TCAP optimizer filter pushdown (join probe rows)",
+		Columns: []string{"probe rows"},
+	}
+	client, err := pc.Connect(pc.Config{Workers: 2, PageSize: 1 << 18})
+	if err != nil {
+		return nil, err
+	}
+	reg := client.Registry()
+	emp := object.NewStruct("AblEmp").
+		AddField("salary", object.KFloat64).
+		AddField("sup", object.KInt64).
+		MustBuild(reg)
+	sup := object.NewStruct("AblSup").
+		AddField("id", object.KInt64).
+		MustBuild(reg)
+	_ = client.CreateDatabase("db")
+	_ = client.CreateSet("db", "emps", "AblEmp")
+	_ = client.CreateSet("db", "sups", "AblSup")
+	empPages, err := client.BuildPages(nEmp, func(a *object.Allocator, i int) (object.Ref, error) {
+		r, err := a.MakeObject(emp)
+		if err != nil {
+			return object.NilRef, err
+		}
+		object.SetF64(r, emp.Field("salary"), float64(i))
+		object.SetI64(r, emp.Field("sup"), int64(i%10))
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := client.SendData("db", "emps", empPages); err != nil {
+		return nil, err
+	}
+	supPages, err := client.BuildPages(10, func(a *object.Allocator, i int) (object.Ref, error) {
+		r, err := a.MakeObject(sup)
+		if err != nil {
+			return object.NilRef, err
+		}
+		object.SetI64(r, sup.Field("id"), int64(i))
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := client.SendData("db", "sups", supPages); err != nil {
+		return nil, err
+	}
+
+	mkJoin := func() *core.Join {
+		return &core.Join{
+			In:       []core.Computation{core.NewScan("db", "emps", "AblEmp"), core.NewScan("db", "sups", "AblSup")},
+			ArgTypes: []string{"AblEmp", "AblSup"},
+			Predicate: func(args []*lambda.Arg) lambda.Term {
+				return lambda.And(
+					lambda.Gt(lambda.FromMember(args[0], "salary"), lambda.ConstF64(float64(nEmp)*0.9)),
+					lambda.Eq(lambda.FromMember(args[0], "sup"), lambda.FromMember(args[1], "id")),
+				)
+			},
+			Projection: func(args []*lambda.Arg) lambda.Term { return lambda.FromSelf(args[0]) },
+		}
+	}
+	// The cluster Execute always optimizes; for the ablation run the
+	// compiled program through the local executor with and without
+	// optimization and compare probe rows.
+	probeRows, err := probeRowsFor(client, mkJoin(), false)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, Row{Name: "unoptimized", Cells: []string{fmt.Sprintf("%d", probeRows)}})
+	probeRows, err = probeRowsFor(client, mkJoin(), true)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, Row{Name: "optimized (pushdown)", Cells: []string{fmt.Sprintf("%d", probeRows)}})
+	return t, nil
+}
+
+// RunCoPartitionedJoin quantifies the paper's §8.3.3 future-work item,
+// implemented in this repo: pre-partitioning sets on the join key at load
+// time lets the join skip the runtime shuffle entirely.
+func RunCoPartitionedJoin(nLeft, nRight int) (*Table, error) {
+	t := &Table{
+		Title:   "Extension (§8.3.3): co-partitioned join vs shuffled join",
+		Columns: []string{"time", "bytes shuffled"},
+		Notes:   []string{"paper: \"the expensive join could completely avoid a runtime partitioning\""},
+	}
+	c, err := cluster.New(cluster.Config{Workers: 4, PageSize: 1 << 18})
+	if err != nil {
+		return nil, err
+	}
+	reg := c.Catalog.Registry()
+	ti := object.NewStruct("PartRec").
+		AddField("key", object.KInt64).
+		MustBuild(reg)
+	if err := c.CreateDatabase("db"); err != nil {
+		return nil, err
+	}
+	keyField := ti.Field("key")
+	keyFn := func(r object.Ref) uint64 {
+		return object.HashValue(object.Int64Value(object.GetI64(r, keyField)))
+	}
+	eq := func(l, r object.Ref) bool {
+		return object.GetI64(l, keyField) == object.GetI64(r, keyField)
+	}
+	build := func(n int) ([]*object.Page, error) {
+		return object.BuildPages(reg, 1<<18, n, func(a *object.Allocator, i int) (object.Ref, error) {
+			r, err := a.MakeObject(ti)
+			if err != nil {
+				return object.NilRef, err
+			}
+			object.SetI64(r, keyField, int64(i%101))
+			return r, nil
+		})
+	}
+	for _, set := range []struct {
+		name string
+		n    int
+	}{{"left", nLeft}, {"right", nRight}} {
+		if err := c.CreateSet("db", set.name, "PartRec"); err != nil {
+			return nil, err
+		}
+		pages, err := build(set.n)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.SendDataPartitioned("db", set.name, pages, "key", keyFn); err != nil {
+			return nil, err
+		}
+	}
+
+	before := c.Transport.BytesShipped
+	coTime, err := Timed(func() error {
+		return c.CoPartitionedJoin("db", "left", "db", "right", keyFn, keyFn, eq,
+			func(int, object.Ref, object.Ref) error { return nil })
+	})
+	if err != nil {
+		return nil, err
+	}
+	coBytes := c.Transport.BytesShipped - before
+
+	before = c.Transport.BytesShipped
+	shufTime, err := Timed(func() error {
+		return c.HashPartitionJoin("db", "left", "db", "right", keyFn, keyFn, eq,
+			func(int, object.Ref, object.Ref) error { return nil })
+	})
+	if err != nil {
+		return nil, err
+	}
+	shufBytes := c.Transport.BytesShipped - before
+
+	t.Rows = append(t.Rows,
+		Row{Name: "co-partitioned", Cells: []string{ms(coTime), fmt.Sprintf("%d", coBytes)}},
+		Row{Name: "shuffled (2n stages)", Cells: []string{ms(shufTime), fmt.Sprintf("%d", shufBytes)}},
+	)
+	return t, nil
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/pc"
+)
+
+// probeRowsFor compiles a join, optionally optimizes it, executes it on a
+// single-process executor over the cluster's gathered pages, and reports
+// the rows that reached the JOIN probe.
+func probeRowsFor(client *pc.Client, join *core.Join, optimize bool) (int, error) {
+	res, err := core.Compile(core.NewWrite("db", "abl_out", join))
+	if err != nil {
+		return 0, err
+	}
+	if optimize {
+		opt, _, err := optimizer.Optimize(res.Prog)
+		if err != nil {
+			return 0, err
+		}
+		res.Prog = opt
+	}
+	plan, err := physical.Build(res.Prog)
+	if err != nil {
+		return 0, err
+	}
+	// Gather each scanned set's pages from the cluster workers into a
+	// local store.
+	store := core.NewMemStore()
+	for _, sb := range res.Scans {
+		for _, w := range client.Cluster.Workers {
+			pages, err := w.Front.Store.Pages(sb.Db, sb.Set)
+			if err != nil {
+				continue
+			}
+			if err := store.Append(sb.Db, sb.Set, pages); err != nil {
+				return 0, err
+			}
+		}
+	}
+	ex := core.NewExecutor(store, client.Registry(), 1<<18, 4)
+	if err := ex.Run(res, plan); err != nil {
+		return 0, err
+	}
+	return ex.Stats.JoinProbeRows, nil
+}

@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobPt mirrors the PC Pt type for the gob side of the ablation.
+type gobPt struct {
+	ID   int64
+	X, Y float64
+}
+
+// gobRoundTrip encodes and decodes n records, the cost the baseline pays at
+// every storage/network boundary.
+func gobRoundTrip(n int) error {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(gobPt{ID: int64(i), X: float64(i), Y: float64(i) * 2}); err != nil {
+			return err
+		}
+	}
+	dec := gob.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for i := 0; i < n; i++ {
+		var p gobPt
+		if err := dec.Decode(&p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/tpch"
+	"repro/pc"
+)
+
+// Table 3: the denormalized TPC-H object workloads — customers-per-supplier
+// and top-k Jaccard — PC hot storage vs the baseline in its two modes (hot
+// storage with full deserialization, and in-RAM deserialized).
+
+// Table3Config sizes the experiment.
+type Table3Config struct {
+	CustomerCounts []int // paper: 2.4M .. 24M
+	K              int
+}
+
+// DefaultTable3 is the laptop-scale default.
+func DefaultTable3() Table3Config {
+	return Table3Config{CustomerCounts: []int{500, 1000}, K: 16}
+}
+
+// RunTable3 executes both queries across engines and sizes.
+func RunTable3(cfg Table3Config) (*Table, error) {
+	t := &Table{
+		Title:   "Table 3: TPC-H object-oriented computations",
+		Columns: []string{"PC hot storage", "BL hot storage", "BL in-RAM", "PC vs BL-hot"},
+		Notes: []string{
+			"paper: PC 6x-66x faster than Spark hot-HDFS, 1.5x-26x faster than in-RAM RDDs",
+		},
+	}
+	query := []int64{1, 5, 9, 13, 17, 21, 25, 29, 33, 37, 41, 45}
+	for _, n := range cfg.CustomerCounts {
+		data := tpch.Generate(tpch.Params{Customers: n, Seed: 7})
+
+		client, err := pc.Connect(pc.Config{Workers: 4, PageSize: 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		schema := tpch.RegisterSchema(client.Registry())
+		if err := client.CreateDatabase("TPCH_db"); err != nil {
+			return nil, err
+		}
+		if err := schema.LoadPC(client, "TPCH_db", "set1", data); err != nil {
+			return nil, err
+		}
+
+		blHot, err := tpch.LoadBaseline(4, tpch.ModeHotStorage, data)
+		if err != nil {
+			return nil, err
+		}
+		blRAM, err := tpch.LoadBaseline(4, tpch.ModeInRAM, data)
+		if err != nil {
+			return nil, err
+		}
+
+		// Query 1: customers per supplier.
+		pcQ1, err := Timed(func() error {
+			if err := tpch.CustomersPerSupplierPC(client, schema, "TPCH_db", "set1", fmt.Sprintf("q1_%d", n)); err != nil {
+				return err
+			}
+			_, err := tpch.CountCustomersPerSupplierPC(client, schema, "TPCH_db", fmt.Sprintf("q1_%d", n))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		blHotQ1, err := Timed(func() error { _, err := blHot.CustomersPerSupplierBaseline(); return err })
+		if err != nil {
+			return nil, err
+		}
+		blRAMQ1, err := Timed(func() error { _, err := blRAM.CustomersPerSupplierBaseline(); return err })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Name:  fmt.Sprintf("cust-per-sup n=%d", n),
+			Cells: []string{ms(pcQ1), ms(blHotQ1), ms(blRAMQ1), ratio(blHotQ1, pcQ1)},
+		})
+
+		// Query 2: top-k Jaccard.
+		pcQ2, err := Timed(func() error {
+			_, err := tpch.TopKJaccardPC(client, schema, "TPCH_db", "set1", fmt.Sprintf("q2_%d", n), cfg.K, query)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		blHotQ2, err := Timed(func() error { _, err := blHot.TopKJaccardBaseline(cfg.K, query); return err })
+		if err != nil {
+			return nil, err
+		}
+		blRAMQ2, err := Timed(func() error { _, err := blRAM.TopKJaccardBaseline(cfg.K, query); return err })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Name:  fmt.Sprintf("top-k jaccard n=%d", n),
+			Cells: []string{ms(pcQ2), ms(blHotQ2), ms(blRAMQ2), ratio(blHotQ2, pcQ2)},
+		})
+	}
+	return t, nil
+}

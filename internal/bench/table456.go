@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ml"
+	"repro/pc"
+)
+
+// Table 4: LDA per-iteration latency — PC vs the baseline's tuning ladder
+// (vanilla → join hint → forced persist → hand-coded multinomial).
+
+// Table4Config sizes the experiment.
+type Table4Config struct {
+	Docs, Vocab, Topics, WordsPerDoc int
+	Iters                            int
+}
+
+// DefaultTable4 is the laptop-scale default (paper: 2.5M docs, 20k words,
+// 100 topics).
+func DefaultTable4() Table4Config {
+	return Table4Config{Docs: 300, Vocab: 300, Topics: 10, WordsPerDoc: 80, Iters: 2}
+}
+
+// RunTable4 measures the average per-iteration time of each variant.
+func RunTable4(cfg Table4Config) (*Table, error) {
+	t := &Table{
+		Title:   "Table 4: LDA per-iteration (PC vs baseline tuning ladder)",
+		Columns: []string{"avg iter"},
+		Notes: []string{
+			"paper: PC 02:05 vs Spark vanilla 50:20, +join hint 17:30, +persist 09:26, +hand multinomial 05:26",
+		},
+	}
+	rng := rand.New(rand.NewSource(5))
+	triples, _ := ml.GenerateCorpus(rng, cfg.Docs, cfg.Vocab, 4, cfg.WordsPerDoc)
+
+	// PC.
+	client, err := pc.Connect(pc.Config{Workers: 4, PageSize: 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	model := ml.NewLDAModel(rng, cfg.Topics, cfg.Vocab, 0.1, 0.1)
+	lda, err := ml.NewLDAPC(client, "ldadb", model, 31)
+	if err != nil {
+		return nil, err
+	}
+	if err := lda.Load(triples, cfg.Docs); err != nil {
+		return nil, err
+	}
+	pcTime, err := Timed(func() error {
+		for i := 0; i < cfg.Iters; i++ {
+			if _, err := lda.Iterate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, Row{Name: "PlinyCompute", Cells: []string{ms(pcTime / time.Duration(max(1, cfg.Iters)))}})
+
+	variants := []struct {
+		name string
+		opts ml.LDABaselineOpts
+	}{
+		{"BL 1: vanilla", ml.LDABaselineOpts{}},
+		{"BL 2: +join hint", ml.LDABaselineOpts{BroadcastJoin: true}},
+		{"BL 3: +forced persist", ml.LDABaselineOpts{BroadcastJoin: true, Persist: true}},
+		{"BL 4: +hand multinomial", ml.LDABaselineOpts{BroadcastJoin: true, Persist: true, FastMultinomial: true}},
+	}
+	for _, v := range variants {
+		m := ml.NewLDAModel(rand.New(rand.NewSource(9)), cfg.Topics, cfg.Vocab, 0.1, 0.1)
+		bl, err := ml.NewLDABaseline(4, m, v.opts, triples, cfg.Docs, 31)
+		if err != nil {
+			return nil, err
+		}
+		d, err := Timed(func() error {
+			for i := 0; i < cfg.Iters; i++ {
+				if _, err := bl.Iterate(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{Name: v.name, Cells: []string{ms(d / time.Duration(max(1, cfg.Iters)))}})
+	}
+	return t, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table 5: GMM per-iteration latency at three shapes.
+
+// Table5Config sizes the experiment.
+type Table5Config struct {
+	Shapes [][2]int // (n, d); paper: (1e7,100), (1e6,300), (1e6,500)
+	K      int
+	Iters  int
+}
+
+// DefaultTable5 is the laptop-scale default.
+func DefaultTable5() Table5Config {
+	return Table5Config{Shapes: [][2]int{{10000, 8}, {4000, 16}}, K: 5, Iters: 3}
+}
+
+// RunTable5 measures per-iteration EM time on both engines.
+func RunTable5(cfg Table5Config) (*Table, error) {
+	t := &Table{
+		Title:   "Table 5: GMM per-iteration (PC vs baseline)",
+		Columns: []string{"PC", "baseline", "speedup"},
+		Notes:   []string{"paper: PC ~3x faster than Spark mllib at every shape"},
+	}
+	for _, shape := range cfg.Shapes {
+		n, d := shape[0], shape[1]
+		rng := rand.New(rand.NewSource(3))
+		points, _ := ml.GeneratePoints(rng, n, d, cfg.K)
+
+		client, err := pc.Connect(pc.Config{Workers: 4, PageSize: 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		gPC, err := ml.NewGMMPC(client, "gmmdb", cfg.K, d)
+		if err != nil {
+			return nil, err
+		}
+		if err := gPC.Load(points); err != nil {
+			return nil, err
+		}
+		mPC := ml.InitMixture(points, cfg.K)
+		pcTime, err := Timed(func() error {
+			for i := 0; i < cfg.Iters; i++ {
+				if mPC, err = gPC.Iterate(mPC); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		gBL := ml.NewGMMBaseline(4, cfg.K, d)
+		if err := gBL.Load(points); err != nil {
+			return nil, err
+		}
+		mBL := ml.InitMixture(points, cfg.K)
+		blTime, err := Timed(func() error {
+			for i := 0; i < cfg.Iters; i++ {
+				if mBL, err = gBL.Iterate(mBL); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Name:  fmt.Sprintf("n=%d d=%d", n, d),
+			Cells: []string{ms(pcTime / time.Duration(max(1, cfg.Iters))), ms(blTime / time.Duration(max(1, cfg.Iters))), ratio(blTime, pcTime)},
+		})
+	}
+	return t, nil
+}
+
+// Table 6: k-means initialization and per-iteration latency.
+
+// Table6Config sizes the experiment.
+type Table6Config struct {
+	Shapes [][2]int // (n, d); paper: (1e9,10), (1e8,100), (1e7,1000)
+	K      int
+	Iters  int
+}
+
+// DefaultTable6 is the laptop-scale default.
+func DefaultTable6() Table6Config {
+	return Table6Config{Shapes: [][2]int{{30000, 10}, {15000, 50}}, K: 10, Iters: 3}
+}
+
+// RunTable6 measures both engines' init and iteration latency.
+func RunTable6(cfg Table6Config) (*Table, error) {
+	t := &Table{
+		Title:   "Table 6: k-means init + per-iteration (PC vs baseline)",
+		Columns: []string{"PC init", "BL init", "PC iter", "BL iter", "iter speedup"},
+		Notes:   []string{"paper: PC 2x-4x faster per iteration; ~2x-3x faster init"},
+	}
+	for _, shape := range cfg.Shapes {
+		n, d := shape[0], shape[1]
+		rng := rand.New(rand.NewSource(11))
+		points, _ := ml.GeneratePoints(rng, n, d, cfg.K)
+
+		client, err := pc.Connect(pc.Config{Workers: 4, PageSize: 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		kmPC, err := ml.NewKMeansPC(client, "kmdb", cfg.K, d)
+		if err != nil {
+			return nil, err
+		}
+		var modelPC [][]float64
+		pcInit, err := Timed(func() error {
+			modelPC, err = kmPC.Init(points)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		pcIter, err := Timed(func() error {
+			for i := 0; i < cfg.Iters; i++ {
+				if modelPC, err = kmPC.Iterate(modelPC); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		kmBL := ml.NewKMeansBaseline(4, cfg.K, d)
+		var modelBL [][]float64
+		blInit, err := Timed(func() error {
+			modelBL, err = kmBL.Init(points)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		blIter, err := Timed(func() error {
+			for i := 0; i < cfg.Iters; i++ {
+				if modelBL, err = kmBL.Iterate(modelBL); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Name: fmt.Sprintf("n=%d d=%d", n, d),
+			Cells: []string{
+				ms(pcInit), ms(blInit),
+				ms(pcIter / time.Duration(max(1, cfg.Iters))), ms(blIter / time.Duration(max(1, cfg.Iters))),
+				ratio(blIter, pcIter),
+			},
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,177 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/object"
+)
+
+// memBacking is an in-memory Backing for tests.
+type memBacking struct {
+	mu    sync.Mutex
+	pages map[uint64][]byte
+}
+
+func newMemBacking() *memBacking { return &memBacking{pages: map[uint64][]byte{}} }
+
+func (m *memBacking) WritePage(id uint64, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.pages[id] = cp
+	return nil
+}
+
+func (m *memBacking) ReadPage(id uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("no page %d", id)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, nil
+}
+
+func TestPoolNewPageAndPin(t *testing.T) {
+	reg := object.NewRegistry()
+	pool := NewPool(4, 4096, reg, newMemBacking())
+	p, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID == 0 {
+		t.Error("page should receive an ID")
+	}
+	if err := pool.Unpin(p.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	q, err := pool.Pin(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Error("resident pin should return the same page")
+	}
+	if pool.Stats.Hits != 1 {
+		t.Errorf("hits = %d, want 1", pool.Stats.Hits)
+	}
+}
+
+func TestPoolEvictsAndReloads(t *testing.T) {
+	reg := object.NewRegistry()
+	back := newMemBacking()
+	pool := NewPool(2, 4096, reg, back)
+
+	// Fill a page with a recognizable object and release it dirty.
+	p1, _ := pool.NewPage()
+	a := object.NewAllocator(p1, object.PolicyLightweightReuse)
+	s, err := object.MakeString(a, "survives eviction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.SetRoot(s.Off)
+	id1 := p1.ID
+	_ = pool.Unpin(id1, true)
+
+	// Two more pages force the first out.
+	p2, _ := pool.NewPage()
+	_ = pool.Unpin(p2.ID, false)
+	p3, _ := pool.NewPage()
+	_ = pool.Unpin(p3.ID, false)
+
+	if pool.Stats.Evictions == 0 {
+		t.Fatal("expected an eviction")
+	}
+	// Reload: the page must come back from backing bytes, intact, with
+	// zero deserialization (FromBytes adoption only).
+	q, err := pool.Pin(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := object.StringContents(object.Ref{Page: q, Off: q.Root()})
+	if got != "survives eviction" {
+		t.Errorf("reloaded content = %q", got)
+	}
+	if pool.Stats.Misses == 0 {
+		t.Error("reload should count a miss")
+	}
+}
+
+func TestPoolRefusesEvictingPinned(t *testing.T) {
+	reg := object.NewRegistry()
+	pool := NewPool(2, 4096, reg, newMemBacking())
+	p1, _ := pool.NewPage()
+	p2, _ := pool.NewPage()
+	_ = p1
+	_ = p2
+	// All pages pinned: a third must fail.
+	if _, err := pool.NewPage(); err == nil {
+		t.Fatal("pool should refuse when every frame is pinned")
+	}
+}
+
+func TestPoolUnpinErrors(t *testing.T) {
+	reg := object.NewRegistry()
+	pool := NewPool(2, 4096, reg, newMemBacking())
+	if err := pool.Unpin(999, false); err == nil {
+		t.Error("unpin of unknown page should fail")
+	}
+	p, _ := pool.NewPage()
+	_ = pool.Unpin(p.ID, false)
+	if err := pool.Unpin(p.ID, false); err == nil {
+		t.Error("double unpin should fail")
+	}
+}
+
+func TestPoolAdopt(t *testing.T) {
+	reg := object.NewRegistry()
+	pool := NewPool(4, 4096, reg, newMemBacking())
+	pg := object.NewPage(4096, reg)
+	if err := pool.Adopt(pg); err != nil {
+		t.Fatal(err)
+	}
+	if pg.ID == 0 {
+		t.Error("adopted page should get an ID")
+	}
+	if pool.Resident() != 1 {
+		t.Errorf("resident = %d, want 1", pool.Resident())
+	}
+}
+
+func TestPoolConcurrentPinUnpin(t *testing.T) {
+	reg := object.NewRegistry()
+	pool := NewPool(8, 4096, reg, newMemBacking())
+	var ids []uint64
+	for i := 0; i < 8; i++ {
+		p, err := pool.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+		_ = pool.Unpin(p.ID, false)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(g+i)%len(ids)]
+				if _, err := pool.Pin(id); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := pool.Unpin(id, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,226 @@
+// Package catalog implements PC's catalog service (paper §2, §6.3, Appendix
+// D.1): the master catalog serving system metadata — databases, sets, and
+// the mapping between type codes and registered PC object types — and the
+// per-worker local catalog that caches that metadata and faults in unknown
+// type registrations on demand.
+//
+// In the C++ system a worker that dereferences a handle with an unseen type
+// code fetches a shared library (.so) from the master, dynamically loads it,
+// and patches the object's vTable pointer. Go cannot load native code at
+// runtime in an offline build, so the "library" shipped here is the
+// TypeInfo record (layout + method table); the fetch protocol, caching, and
+// unknown-type fault path are the same. See DESIGN.md §2 for the
+// substitution note.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/object"
+)
+
+// SetMeta describes a stored set: its database, name, element type, and
+// placement statistics used by the optimizer (the paper's broadcast-join
+// size threshold).
+type SetMeta struct {
+	Db       string
+	Set      string
+	TypeName string
+	TypeCode uint32
+
+	// PageCount and ByteCount are updated by the storage layer as data
+	// arrive; the optimizer consults ByteCount when choosing between
+	// broadcast and hash-partition joins.
+	PageCount int
+	ByteCount int64
+
+	// PartitionKey labels the key the set was pre-partitioned on at load
+	// time ("" = unpartitioned). Two sets sharing a label can be joined
+	// with zero shuffle (the paper's §8.3.3 future-work item).
+	PartitionKey string
+}
+
+// Key returns the fully qualified set name.
+func (s *SetMeta) Key() string { return s.Db + "." + s.Set }
+
+// Master is the master node's catalog manager: the source of truth for type
+// registrations and set metadata.
+type Master struct {
+	mu    sync.RWMutex
+	reg   *object.Registry
+	dbs   map[string]bool
+	sets  map[string]*SetMeta
+	stats MasterStats
+}
+
+// MasterStats counts catalog traffic (tests assert the fetch protocol runs).
+type MasterStats struct {
+	TypeFetches int // "ship the .so" requests served
+	SetLookups  int
+}
+
+// NewMaster creates an empty master catalog with its own authoritative type
+// registry.
+func NewMaster() *Master {
+	return &Master{
+		reg:  object.NewRegistry(),
+		dbs:  map[string]bool{},
+		sets: map[string]*SetMeta{},
+	}
+}
+
+// Registry exposes the authoritative registry (the master's own processes —
+// optimizer, scheduler — resolve types directly).
+func (m *Master) Registry() *object.Registry { return m.reg }
+
+// RegisterType registers a user type with the master before any data of
+// that type may be stored in the cluster (the paper's registration
+// requirement). Idempotent by name.
+func (m *Master) RegisterType(ti *object.TypeInfo) (*object.TypeInfo, error) {
+	return m.reg.Register(ti)
+}
+
+// FetchType serves a type registration to a worker that has faulted on an
+// unknown type code — the .so-shipping analogue.
+func (m *Master) FetchType(code uint32) *object.TypeInfo {
+	m.mu.Lock()
+	m.stats.TypeFetches++
+	m.mu.Unlock()
+	return m.reg.Lookup(code)
+}
+
+// Stats returns a copy of traffic counters.
+func (m *Master) Stats() MasterStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// CreateDatabase registers a database name.
+func (m *Master) CreateDatabase(db string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dbs[db] {
+		return fmt.Errorf("catalog: database %q already exists", db)
+	}
+	m.dbs[db] = true
+	return nil
+}
+
+// CreateSet registers a set of the given registered element type.
+func (m *Master) CreateSet(db, set, typeName string) (*SetMeta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dbs[db] {
+		return nil, fmt.Errorf("catalog: unknown database %q", db)
+	}
+	key := db + "." + set
+	if _, dup := m.sets[key]; dup {
+		return nil, fmt.Errorf("catalog: set %q already exists", key)
+	}
+	ti := m.reg.LookupName(typeName)
+	if ti == nil {
+		return nil, fmt.Errorf("catalog: set %q uses unregistered type %q", key, typeName)
+	}
+	sm := &SetMeta{Db: db, Set: set, TypeName: typeName, TypeCode: ti.Code}
+	m.sets[key] = sm
+	return sm, nil
+}
+
+// LookupSet resolves set metadata.
+func (m *Master) LookupSet(db, set string) (*SetMeta, error) {
+	m.mu.Lock()
+	m.stats.SetLookups++
+	sm := m.sets[db+"."+set]
+	m.mu.Unlock()
+	if sm == nil {
+		return nil, fmt.Errorf("catalog: unknown set %s.%s", db, set)
+	}
+	return sm, nil
+}
+
+// DropSet removes a set's metadata.
+func (m *Master) DropSet(db, set string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := db + "." + set
+	if _, ok := m.sets[key]; !ok {
+		return fmt.Errorf("catalog: unknown set %q", key)
+	}
+	delete(m.sets, key)
+	return nil
+}
+
+// SetPartitionKey records that a set was pre-partitioned on the labeled
+// key at load time.
+func (m *Master) SetPartitionKey(db, set, key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sm := m.sets[db+"."+set]; sm != nil {
+		sm.PartitionKey = key
+	}
+}
+
+// UpdateSetStats records storage growth for a set (called by the storage
+// manager as pages are written).
+func (m *Master) UpdateSetStats(db, set string, pages int, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sm := m.sets[db+"."+set]; sm != nil {
+		sm.PageCount += pages
+		sm.ByteCount += bytes
+	}
+}
+
+// Sets lists all set metadata sorted by key (for tooling).
+func (m *Master) Sets() []*SetMeta {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*SetMeta, 0, len(m.sets))
+	for _, sm := range m.sets {
+		out = append(out, sm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Local is a worker front-end's local catalog manager: it owns the worker's
+// registry and faults unknown type codes through to the master, caching the
+// result — the dynamic class-loading path of paper §6.3.
+type Local struct {
+	master *Master
+	reg    *object.Registry
+
+	mu      sync.Mutex
+	fetches int
+}
+
+// NewLocal creates a worker-local catalog bound to a master.
+func NewLocal(master *Master) *Local {
+	l := &Local{master: master, reg: object.NewRegistry()}
+	l.reg.Miss = func(code uint32) *object.TypeInfo {
+		l.mu.Lock()
+		l.fetches++
+		l.mu.Unlock()
+		return master.FetchType(code)
+	}
+	return l
+}
+
+// Registry returns the worker's registry (with the miss hook installed).
+func (l *Local) Registry() *object.Registry { return l.reg }
+
+// Fetches reports how many unknown-type faults this worker resolved against
+// the master.
+func (l *Local) Fetches() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fetches
+}
+
+// LookupSet proxies set resolution to the master.
+func (l *Local) LookupSet(db, set string) (*SetMeta, error) {
+	return l.master.LookupSet(db, set)
+}

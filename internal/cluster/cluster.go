@@ -1,0 +1,260 @@
+// Package cluster implements PC's distributed runtime (paper §2, Appendix
+// D) as an in-process simulation: a master node (catalog manager,
+// distributed storage manager, TCAP optimizer, distributed query scheduler)
+// plus worker nodes, each split into a front-end process (local catalog,
+// storage server, message proxy) and a backend process that runs potentially
+// unsafe user code and is re-forked by the front end when it crashes.
+//
+// Substitution note (DESIGN.md §2): "processes" are goroutine-owned memory
+// spaces; the transport copies page bytes between them and counts traffic,
+// so every algorithm (shuffle, broadcast join, two-stage aggregation, crash
+// re-fork) executes the real code path with only the wire simulated.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/object"
+	"repro/internal/storage"
+)
+
+// Config sizes a simulated cluster.
+type Config struct {
+	// Workers is the number of worker nodes (the paper uses 10).
+	Workers int
+	// PageSize is the storage/output page size (paper default 256 MB;
+	// scaled down here).
+	PageSize int
+	// DataDir, when non-empty, persists worker sets under
+	// DataDir/worker-N; empty keeps all pages in memory.
+	DataDir string
+	// BroadcastThreshold is the build-side byte size under which the
+	// scheduler chooses a broadcast join (paper: 2 GB).
+	BroadcastThreshold int64
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 1 << 18
+	}
+	if c.BroadcastThreshold <= 0 {
+		c.BroadcastThreshold = 64 << 20
+	}
+}
+
+// Transport simulates the cluster network: shipping a page is one byte copy
+// of its occupied prefix (the zero-cost movement principle — no encode or
+// decode step exists to charge for).
+type Transport struct {
+	mu           sync.Mutex
+	BytesShipped int64
+	PagesShipped int
+}
+
+// Ship moves a page to a destination registry's memory space.
+func (t *Transport) Ship(p *object.Page, dst *object.Registry) (*object.Page, error) {
+	b := make([]byte, len(p.Bytes()))
+	copy(b, p.Bytes())
+	t.mu.Lock()
+	t.BytesShipped += int64(len(b))
+	t.PagesShipped++
+	t.mu.Unlock()
+	return object.FromBytes(b, dst)
+}
+
+// ShipAll ships a batch of pages.
+func (t *Transport) ShipAll(pages []*object.Page, dst *object.Registry) ([]*object.Page, error) {
+	out := make([]*object.Page, 0, len(pages))
+	for _, p := range pages {
+		q, err := t.Ship(p, dst)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// Backend is the worker's backend process: the only place user code runs.
+// A panic in user code "crashes" it; the front end re-forks a fresh one.
+type Backend struct {
+	ID      int
+	Crashed bool
+	Stats   engine.Stats
+}
+
+// Run executes fn, converting panics into a crash error (the process dying).
+func (b *Backend) Run(fn func() error) (err error) {
+	if b.Crashed {
+		return fmt.Errorf("cluster: backend %d is dead", b.ID)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			b.Crashed = true
+			err = fmt.Errorf("cluster: backend %d crashed: %v", b.ID, r)
+		}
+	}()
+	return fn()
+}
+
+// FrontEnd is the worker's crash-proof front-end process: local catalog,
+// storage server, and the proxy that forwards work to the backend.
+type FrontEnd struct {
+	Local   *catalog.Local
+	Store   *storage.Server
+	backend *Backend
+	ReForks int
+}
+
+// Backend returns the live backend, re-forking a crashed one (paper §2).
+func (f *FrontEnd) Backend() *Backend {
+	if f.backend.Crashed {
+		f.ReForks++
+		f.backend = &Backend{ID: f.backend.ID}
+	}
+	return f.backend
+}
+
+// Worker is one node: front end + backend plus per-job artifact state.
+type Worker struct {
+	ID    int
+	Front *FrontEnd
+
+	// Per-execution artifacts (reset per job): materialized pages and
+	// join tables, keyed like the physical plan's artifact names.
+	artPages  map[string][]*object.Page
+	artTables map[string]*engine.JoinTable
+}
+
+// Reg returns the worker's type registry (through its local catalog).
+func (w *Worker) Reg() *object.Registry { return w.Front.Local.Registry() }
+
+// Cluster is the whole simulated deployment.
+type Cluster struct {
+	Cfg       Config
+	Catalog   *catalog.Master
+	Workers   []*Worker
+	Transport *Transport
+
+	// pool recycles transient pages (output, pre-aggregation, merge)
+	// across job stages and jobs.
+	pool *object.PagePool
+}
+
+// New builds a cluster: one master and cfg.Workers workers.
+func New(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	c := &Cluster{Cfg: cfg, Catalog: catalog.NewMaster(), Transport: &Transport{}, pool: object.NewPagePool(cfg.PageSize)}
+	for i := 0; i < cfg.Workers; i++ {
+		local := catalog.NewLocal(c.Catalog)
+		dir := ""
+		if cfg.DataDir != "" {
+			dir = fmt.Sprintf("%s/worker-%d", cfg.DataDir, i)
+		}
+		store, err := storage.NewServer(dir, local.Registry())
+		if err != nil {
+			return nil, err
+		}
+		c.Workers = append(c.Workers, &Worker{
+			ID:    i,
+			Front: &FrontEnd{Local: local, Store: store, backend: &Backend{ID: i}},
+		})
+	}
+	return c, nil
+}
+
+// RegisterType registers a user type with the master catalog; workers fault
+// it in on first use.
+func (c *Cluster) RegisterType(ti *object.TypeInfo) (*object.TypeInfo, error) {
+	return c.Catalog.RegisterType(ti)
+}
+
+// CreateDatabase creates a database.
+func (c *Cluster) CreateDatabase(db string) error { return c.Catalog.CreateDatabase(db) }
+
+// CreateSet creates a set of a registered type.
+func (c *Cluster) CreateSet(db, set, typeName string) error {
+	_, err := c.Catalog.CreateSet(db, set, typeName)
+	return err
+}
+
+// SendData ships client-built pages into the cluster, round-robin across
+// workers — the zero-cost dispatch of paper §3: the occupied portion of each
+// allocation block is transferred in its entirety with no pre-processing.
+func (c *Cluster) SendData(db, set string, pages []*object.Page) error {
+	if _, err := c.Catalog.LookupSet(db, set); err != nil {
+		return err
+	}
+	for i, p := range pages {
+		w := c.Workers[i%len(c.Workers)]
+		q, err := c.Transport.Ship(p, w.Reg())
+		if err != nil {
+			return err
+		}
+		if err := w.Front.Store.Append(db, set, []*object.Page{q}); err != nil {
+			return err
+		}
+		c.Catalog.UpdateSetStats(db, set, 1, int64(p.Used()))
+	}
+	return nil
+}
+
+// SetBytes totals a set's stored bytes across workers (join strategy input).
+func (c *Cluster) SetBytes(db, set string) int64 {
+	var total int64
+	for _, w := range c.Workers {
+		total += w.Front.Store.SetBytes(db, set)
+	}
+	return total
+}
+
+// ScanSet iterates every object of a set across all workers (gathering to
+// the "client": each worker's pages are read in place — no shipping needed
+// inside the simulation, matching a client-side cursor).
+func (c *Cluster) ScanSet(db, set string, fn func(r object.Ref) bool) error {
+	if _, err := c.Catalog.LookupSet(db, set); err != nil {
+		return err
+	}
+	for _, w := range c.Workers {
+		pages, err := w.Front.Store.Pages(db, set)
+		if err != nil {
+			continue // set may have no data on this worker
+		}
+		for _, p := range pages {
+			if p.Root() == 0 {
+				continue
+			}
+			root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+			for i := 0; i < root.Len(); i++ {
+				if !fn(root.HandleAt(i)) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CountSet counts a set's objects cluster-wide.
+func (c *Cluster) CountSet(db, set string) (int, error) {
+	n := 0
+	err := c.ScanSet(db, set, func(object.Ref) bool { n++; return true })
+	return n, err
+}
+
+// DropSet removes a set cluster-wide.
+func (c *Cluster) DropSet(db, set string) error {
+	if err := c.Catalog.DropSet(db, set); err != nil {
+		return err
+	}
+	for _, w := range c.Workers {
+		_ = w.Front.Store.Drop(db, set) // workers without data are fine
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/object"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/tcap"
+)
+
+// ExecStats reports one distributed execution.
+type ExecStats struct {
+	Optimizer optimizer.Stats
+	Stages    int
+	Retries   int // backend crash retries
+}
+
+// Execute is the distributed query path: the client compiles the
+// computation graph to TCAP, the master's optimizer improves it, the
+// distributed query scheduler breaks it into job stages and runs each stage
+// across all worker backends (paper §2, Appendix D.1).
+func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
+	res, err := core.Compile(writes...)
+	if err != nil {
+		return nil, err
+	}
+	opt, ostats, err := optimizer.Optimize(res.Prog)
+	if err != nil {
+		return nil, err
+	}
+	res.Prog = opt
+	plan, err := physical.Build(opt)
+	if err != nil {
+		return nil, err
+	}
+	stats := &ExecStats{Optimizer: *ostats, Stages: len(plan.Stages)}
+
+	// Reset per-job worker artifacts, recycling the previous job's
+	// transient pages through the page pool (buffer-pool reuse, §3).
+	for _, w := range c.Workers {
+		for _, pages := range w.artPages {
+			for _, p := range pages {
+				c.pool.Put(p)
+			}
+		}
+		w.artPages = map[string][]*object.Page{}
+		w.artTables = map[string]*engine.JoinTable{}
+	}
+	for _, stage := range plan.Stages {
+		if err := c.runStage(res, stage, stats); err != nil {
+			return stats, fmt.Errorf("cluster: stage %d (%s): %w", stage.ID, stage.Produces, err)
+		}
+	}
+	return stats, nil
+}
+
+// workerArtifacts is one worker's stage result, committed to the worker's
+// artifact maps only after every worker finishes (so concurrent goroutines
+// never write a map a peer is reading for its shuffle).
+type workerArtifacts struct {
+	pages     []*object.Page
+	pagesKey  string
+	table     *engine.JoinTable
+	tableKey  string
+	outputDb  string
+	outputSet string
+}
+
+// runStage executes one job stage on every worker in parallel, retrying a
+// worker's share once if its backend crashes (the front end re-forks it).
+func (c *Cluster) runStage(res *core.CompileResult, stage *physical.JobStage, stats *ExecStats) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.Workers))
+	arts := make([]*workerArtifacts, len(c.Workers))
+	var mu sync.Mutex
+
+	for i, w := range c.Workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			run := func() (*workerArtifacts, error) {
+				var out *workerArtifacts
+				err := w.Front.Backend().Run(func() error {
+					var err error
+					out, err = c.runStageOnWorker(res, stage, w)
+					return err
+				})
+				return out, err
+			}
+			out, err := run()
+			if err != nil && w.Front.backend.Crashed {
+				// Re-fork and retry once (paper §2's crash-proof
+				// front end).
+				mu.Lock()
+				stats.Retries++
+				mu.Unlock()
+				out, err = run()
+			}
+			arts[i], errs[i] = out, err
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Commit artifacts after the barrier.
+	for i, w := range c.Workers {
+		a := arts[i]
+		if a == nil {
+			continue
+		}
+		if a.pagesKey != "" {
+			w.artPages[a.pagesKey] = a.pages
+		}
+		if a.tableKey != "" {
+			w.artTables[a.tableKey] = a.table
+		}
+		if a.outputSet != "" {
+			if err := w.Front.Store.Append(a.outputDb, a.outputSet, a.pages); err != nil {
+				return err
+			}
+			for _, p := range a.pages {
+				c.Catalog.UpdateSetStats(a.outputDb, a.outputSet, 1, int64(p.Used()))
+			}
+		}
+	}
+	return nil
+}
+
+// sourcePagesFor resolves a stage's input pages on one worker.
+func (c *Cluster) sourcePagesFor(stage *physical.JobStage, w *Worker) ([]*object.Page, error) {
+	if stage.Scan != nil {
+		pages, err := w.Front.Store.Pages(stage.Scan.Db, stage.Scan.Set)
+		if err != nil {
+			// A worker may simply hold no pages of this set.
+			return nil, nil
+		}
+		return pages, nil
+	}
+	return w.artPages["mat:"+stage.SourceList], nil
+}
+
+func (c *Cluster) runStageOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker) (*workerArtifacts, error) {
+	switch stage.Kind {
+	case physical.StageAggregation:
+		return c.runAggregationOnWorker(res, stage, w)
+	case physical.StagePipeline:
+		return c.runPipelineOnWorker(res, stage, w)
+	default:
+		return nil, fmt.Errorf("unknown stage kind %d", stage.Kind)
+	}
+}
+
+func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker) (*workerArtifacts, error) {
+	pages, err := c.sourcePagesFor(stage, w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Broadcast join build: every worker needs the complete build input,
+	// so pages from the other workers are shipped over (the scheduler
+	// chose broadcast because the build side is small; see
+	// HashPartitionJoin for the large-side strategy).
+	if stage.Sink == physical.SinkJoinBuild {
+		for _, other := range c.Workers {
+			if other == w {
+				continue
+			}
+			otherPages, err := c.sourcePagesFor(stage, other)
+			if err != nil {
+				return nil, err
+			}
+			shipped, err := c.Transport.ShipAll(otherPages, w.Reg())
+			if err != nil {
+				return nil, err
+			}
+			pages = append(pages, shipped...)
+		}
+	}
+
+	backend := w.Front.backend
+	var sink engine.Sink
+	switch stage.Sink {
+	case physical.SinkOutput, physical.SinkMaterialize:
+		s, err := engine.NewOutputSink(w.Reg(), c.Cfg.PageSize, c.pool, &backend.Stats)
+		if err != nil {
+			return nil, err
+		}
+		sink = s
+	case physical.SinkPreAgg:
+		spec := res.AggSpecs[stage.SinkStmt.Out.Name]
+		if spec == nil {
+			return nil, fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
+		}
+		s, err := engine.NewAggSink(w.Reg(), c.Cfg.PageSize, len(c.Workers),
+			spec.KeyKind, spec.ValKind, spec.Combine,
+			stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], c.pool, &backend.Stats)
+		if err != nil {
+			return nil, err
+		}
+		sink = s
+	case physical.SinkJoinBuild:
+		sink = engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0])
+	default:
+		return nil, fmt.Errorf("unknown sink %v", stage.Sink)
+	}
+
+	ctx := &engine.Ctx{Reg: w.Reg(), Tables: w.artTables, Stats: &backend.Stats}
+	switch s := sink.(type) {
+	case *engine.OutputSink:
+		ctx.Out = s.Out
+	case *engine.AggSink:
+		ctx.Out = s.Out
+	default:
+		ops, err := engine.NewOutputPageSet(w.Reg(), c.Cfg.PageSize, object.PolicyLightweightReuse, nil, c.pool, &backend.Stats)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Out = ops
+	}
+
+	sinkStmt := stage.SinkStmt
+	if stage.Sink == physical.SinkMaterialize {
+		last := stage.Stmts[len(stage.Stmts)-1]
+		col := last.Out.Cols[0]
+		if len(last.Out.Cols) > 1 {
+			if nc := last.NewColumns(); len(nc) == 1 {
+				col = nc[0]
+			}
+		}
+		sinkStmt = &tcap.Stmt{
+			Op:      tcap.OpOutput,
+			Applied: tcap.ColumnsRef{Name: last.Out.Name, Cols: []string{col}},
+		}
+	}
+
+	pipe := &engine.Pipeline{Stmts: stage.Stmts, Reg: res.Stages, Sink: sink, SinkStmt: sinkStmt}
+	err = engine.ScanPages(pages, stage.SourceCol, engine.BatchSize, func(vl *engine.VectorList) error {
+		return pipe.RunBatch(ctx, vl)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	switch stage.Sink {
+	case physical.SinkOutput:
+		return &workerArtifacts{pages: sink.Pages(), outputDb: stage.SinkStmt.Db, outputSet: stage.SinkStmt.Set}, nil
+	case physical.SinkMaterialize, physical.SinkPreAgg:
+		return &workerArtifacts{pages: sink.Pages(), pagesKey: stage.Produces}, nil
+	case physical.SinkJoinBuild:
+		return &workerArtifacts{table: sink.(*engine.JoinBuildSink).Table, tableKey: stage.SinkStmt.Applied2.Name}, nil
+	}
+	return nil, nil
+}
+
+// runAggregationOnWorker is the consuming stage of distributed aggregation
+// (paper Appendix D.2, Figure 5): worker w is responsible for hash
+// partition w. Pre-aggregated map pages are shuffled from every producer;
+// the shuffle ships raw pages — maps, keys and values included — with zero
+// serialization. The merged partition is finalized into output objects
+// stored as this worker's share of the result.
+func (c *Cluster) runAggregationOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker) (*workerArtifacts, error) {
+	spec := res.AggSpecs[stage.AggList]
+	if spec == nil {
+		return nil, fmt.Errorf("no aggregation spec for %q", stage.AggList)
+	}
+	var pages []*object.Page
+	for _, v := range c.Workers {
+		src := v.artPages["aggmaps:"+stage.AggList]
+		if v == w {
+			pages = append(pages, src...)
+			continue
+		}
+		shipped, err := c.Transport.ShipAll(src, w.Reg())
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, shipped...)
+	}
+	final, mergePage, err := engine.MergeAggMaps(w.Reg(), pages, w.ID, len(c.Workers), spec, c.Cfg.PageSize, c.pool)
+	if err != nil {
+		return nil, err
+	}
+	out, err := engine.FinalizeAgg(w.Reg(), final, spec, c.Cfg.PageSize, c.pool, &w.Front.backend.Stats)
+	if err != nil {
+		return nil, err
+	}
+	// The merge page's contents were finalized into out; recycle it.
+	c.pool.Put(mergePage)
+	return &workerArtifacts{pages: out, pagesKey: stage.Produces}, nil
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/object"
+)
+
+// HashPartitionJoin implements the paper's 2n-job-stage distributed
+// equi-join (Appendix D.3) for two sets, used by the scheduler's
+// large-build-side strategy and benchmarked against broadcast joins:
+//
+//  1. n data-repartition stages: each worker hashes its local objects' join
+//     keys and materializes them into per-partition pages, which are
+//     shuffled so equal keys co-locate.
+//  2. n−1 hash-table-building stages over the shuffled build side.
+//  3. one probe stage streaming the shuffled probe side through the tables.
+//
+// keyL/keyR extract the join key hash from an object (the compiled key
+// lambdas); emit is invoked on each matching pair, running on the owning
+// worker. Matches are verified with eq (hash collisions are not matches).
+func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
+	keyL, keyR func(object.Ref) uint64,
+	eq func(l, r object.Ref) bool,
+	emit func(workerID int, l, r object.Ref) error) error {
+
+	nw := len(c.Workers)
+
+	// Stages 1..n: repartition each input on every worker and shuffle.
+	repart := func(db, set string, key func(object.Ref) uint64) ([][]*object.Page, error) {
+		// received[w] = pages whose keys hash to partition w.
+		received := make([][]*object.Page, nw)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, nw)
+		for i, w := range c.Workers {
+			wg.Add(1)
+			go func(i int, w *Worker) {
+				defer wg.Done()
+				errs[i] = w.Front.Backend().Run(func() error {
+					pages, err := w.Front.Store.Pages(db, set)
+					if err != nil {
+						return nil // no local pages
+					}
+					sink, err := engine.NewRepartitionSink(w.Reg(), c.Cfg.PageSize, nw, "h", "obj", c.pool, &w.Front.backend.Stats)
+					if err != nil {
+						return err
+					}
+					err = engine.ScanPages(pages, "obj", engine.BatchSize, func(vl *engine.VectorList) error {
+						rc := vl.Col("obj").(engine.RefCol)
+						hashes := make(engine.U64Col, len(rc))
+						for j, r := range rc {
+							hashes[j] = key(r)
+						}
+						vl.Append("h", hashes)
+						return sink.Consume(nil, vl, nil)
+					})
+					if err != nil {
+						return err
+					}
+					// Shuffle each partition to its destination worker.
+					for p := 0; p < nw; p++ {
+						dst := c.Workers[p]
+						var shipped []*object.Page
+						if dst == w {
+							shipped = sink.PartitionPages(p)
+						} else {
+							shipped, err = c.Transport.ShipAll(sink.PartitionPages(p), dst.Reg())
+							if err != nil {
+								return err
+							}
+						}
+						mu.Lock()
+						received[p] = append(received[p], shipped...)
+						mu.Unlock()
+					}
+					return nil
+				})
+			}(i, w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return received, nil
+	}
+
+	leftParts, err := repart(dbL, setL, keyL)
+	if err != nil {
+		return fmt.Errorf("cluster: repartition %s.%s: %w", dbL, setL, err)
+	}
+	rightParts, err := repart(dbR, setR, keyR)
+	if err != nil {
+		return fmt.Errorf("cluster: repartition %s.%s: %w", dbR, setR, err)
+	}
+
+	// Stage n+1..2n-1: build per-worker hash tables over the shuffled
+	// build (right) side; stage 2n: probe with the shuffled left side.
+	var wg sync.WaitGroup
+	errs := make([]error, nw)
+	for i, w := range c.Workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = w.Front.Backend().Run(func() error {
+				table := engine.NewJoinTable()
+				for _, p := range rightParts[i] {
+					if p.Root() == 0 {
+						continue
+					}
+					root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+					for j := 0; j < root.Len(); j++ {
+						r := root.HandleAt(j)
+						table.Add(keyR(r), r)
+					}
+				}
+				for _, p := range leftParts[i] {
+					if p.Root() == 0 {
+						continue
+					}
+					root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+					for j := 0; j < root.Len(); j++ {
+						l := root.HandleAt(j)
+						for _, r := range table.M[keyL(l)] {
+							if eq(l, r) {
+								if err := emit(i, l, r); err != nil {
+									return err
+								}
+							}
+						}
+					}
+				}
+				return nil
+			})
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/object"
+)
+
+// Pre-partitioned sets: the paper's §8.3.3 future-work item, implemented.
+//
+// "PC cannot make use of pre-partitioning of the data stored in a set. If
+// the MatrixBlock objects making up a distributed matrix could be
+// pre-partitioned based upon the row/column at load time, it would mean
+// that the expensive join ... could completely avoid a runtime partitioning
+// of the data, which requires shuffling each input matrix."
+//
+// SendDataPartitioned routes each object to the worker owning its key's
+// hash partition at load time and records the partition key label in the
+// catalog; CoPartitionedJoin then joins two sets sharing a label with zero
+// shuffle: every worker builds and probes purely locally.
+// BenchCoPartitionedJoin (cmd/pcbench -ablations) quantifies the saving.
+
+// SendDataPartitioned loads pages into a set, placing each object on the
+// worker that owns hash(key(obj)) % workers, and records keyLabel as the
+// set's partition key. Objects are deep-copied onto per-worker pages at
+// load time (a one-time cost the paper's remark anticipates).
+func (c *Cluster) SendDataPartitioned(db, set string, pages []*object.Page,
+	keyLabel string, key func(object.Ref) uint64) error {
+	if _, err := c.Catalog.LookupSet(db, set); err != nil {
+		return err
+	}
+	nw := len(c.Workers)
+
+	// Per-worker page builders on the client side.
+	type builder struct {
+		pages []*object.Page
+		p     *object.Page
+		a     *object.Allocator
+		root  object.Vector
+	}
+	builders := make([]*builder, nw)
+	clientReg := c.Catalog.Registry()
+	fresh := func(b *builder) error {
+		b.p = object.NewPage(c.Cfg.PageSize, clientReg)
+		b.a = object.NewAllocator(b.p, object.PolicyLightweightReuse)
+		root, err := object.MakeVector(b.a, object.KHandle, 0)
+		if err != nil {
+			return err
+		}
+		root.Retain()
+		b.p.SetRoot(root.Off)
+		b.root = root
+		return nil
+	}
+	for i := range builders {
+		builders[i] = &builder{}
+		if err := fresh(builders[i]); err != nil {
+			return err
+		}
+	}
+	for _, page := range pages {
+		if page.Root() == 0 {
+			continue
+		}
+		root := object.AsVector(object.Ref{Page: page, Off: page.Root()})
+		for i := 0; i < root.Len(); i++ {
+			obj := root.HandleAt(i)
+			b := builders[int(key(obj)%uint64(nw))]
+			err := b.root.PushBackHandle(b.a, obj) // deep copies cross-page
+			if errors.Is(err, object.ErrPageFull) {
+				b.pages = append(b.pages, b.p)
+				if err := fresh(b); err != nil {
+					return err
+				}
+				err = b.root.PushBackHandle(b.a, obj)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for w, b := range builders {
+		b.pages = append(b.pages, b.p)
+		for _, p := range b.pages {
+			if p.ActiveObjects() <= 1 { // only the root vector: empty
+				continue
+			}
+			q, err := c.Transport.Ship(p, c.Workers[w].Reg())
+			if err != nil {
+				return err
+			}
+			if err := c.Workers[w].Front.Store.Append(db, set, []*object.Page{q}); err != nil {
+				return err
+			}
+			c.Catalog.UpdateSetStats(db, set, 1, int64(p.Used()))
+		}
+	}
+	c.Catalog.SetPartitionKey(db, set, keyLabel)
+	return nil
+}
+
+// CoPartitionedJoin joins two sets that were loaded with
+// SendDataPartitioned under the same key label: no repartition stages, no
+// shuffle — each worker builds a table from its local right-side objects
+// and probes with its local left-side objects.
+func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
+	keyL, keyR func(object.Ref) uint64,
+	eq func(l, r object.Ref) bool,
+	emit func(workerID int, l, r object.Ref) error) error {
+
+	ml, err := c.Catalog.LookupSet(dbL, setL)
+	if err != nil {
+		return err
+	}
+	mr, err := c.Catalog.LookupSet(dbR, setR)
+	if err != nil {
+		return err
+	}
+	if ml.PartitionKey == "" || ml.PartitionKey != mr.PartitionKey {
+		return fmt.Errorf("cluster: sets %s.%s and %s.%s are not co-partitioned (%q vs %q)",
+			dbL, setL, dbR, setR, ml.PartitionKey, mr.PartitionKey)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.Workers))
+	for i, w := range c.Workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = w.Front.Backend().Run(func() error {
+				table := engine.NewJoinTable()
+				if pages, err := w.Front.Store.Pages(dbR, setR); err == nil {
+					for _, p := range pages {
+						if p.Root() == 0 {
+							continue
+						}
+						root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+						for j := 0; j < root.Len(); j++ {
+							r := root.HandleAt(j)
+							table.Add(keyR(r), r)
+						}
+					}
+				}
+				pages, err := w.Front.Store.Pages(dbL, setL)
+				if err != nil {
+					return nil
+				}
+				for _, p := range pages {
+					if p.Root() == 0 {
+						continue
+					}
+					root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+					for j := 0; j < root.Len(); j++ {
+						l := root.HandleAt(j)
+						for _, r := range table.M[keyL(l)] {
+							if eq(l, r) {
+								if err := emit(i, l, r); err != nil {
+									return err
+								}
+							}
+						}
+					}
+				}
+				return nil
+			})
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

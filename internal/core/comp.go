@@ -1,0 +1,153 @@
+// Package core implements PlinyCompute's primary contribution glue: the
+// Computation toolkit (SelectionComp, JoinComp, AggregateComp,
+// MultiSelectionComp — paper §4), the TCAP compiler that lowers user-written
+// lambda term construction functions into optimizable TCAP programs (paper
+// §5), and the executor that runs physical plans over the vectorized engine.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/lambda"
+	"repro/internal/object"
+)
+
+// Computation is a node in a user's query graph. Users build graphs from
+// the concrete types below and hand the sinks (Write computations) to
+// Compile; the system decides join orders, join algorithms, and
+// materialization — "declarative in the large".
+type Computation interface {
+	// Inputs returns upstream computations.
+	Inputs() []Computation
+	// label is the computation-kind prefix used to name the compiled
+	// Computation ("Sel", "Join", ...).
+	label() string
+}
+
+// Scan reads a stored set of registered objects.
+type Scan struct {
+	Db, Set  string
+	TypeName string
+}
+
+// Inputs returns no inputs (Scan is a source).
+func (s *Scan) Inputs() []Computation { return nil }
+func (s *Scan) label() string         { return "Scan" }
+
+// NewScan creates a set reader (the paper's ObjectReader).
+func NewScan(db, set, typeName string) *Scan { return &Scan{Db: db, Set: set, TypeName: typeName} }
+
+// Write stores its input computation's output into a set (the paper's
+// Writer).
+type Write struct {
+	Db, Set string
+	In      Computation
+}
+
+// Inputs returns the written computation.
+func (w *Write) Inputs() []Computation { return []Computation{w.In} }
+func (w *Write) label() string         { return "Out" }
+
+// NewWrite creates a set writer.
+func NewWrite(db, set string, in Computation) *Write { return &Write{Db: db, Set: set, In: in} }
+
+// Selection is SelectionComp: relational selection plus projection over one
+// input. Predicate and Projection are lambda term construction functions
+// (paper §4); a nil Predicate accepts everything, a nil Projection is the
+// identity.
+type Selection struct {
+	In         Computation
+	ArgType    string
+	Predicate  func(arg *lambda.Arg) lambda.Term
+	Projection func(arg *lambda.Arg) lambda.Term
+}
+
+// Inputs returns the single input.
+func (s *Selection) Inputs() []Computation { return []Computation{s.In} }
+func (s *Selection) label() string         { return "Sel" }
+
+// MultiSelection is MultiSelectionComp: selection with a set-valued
+// projection. Projection must produce a handle to a PC Vector; each element
+// becomes one output object (lowered to FLATTEN).
+type MultiSelection struct {
+	In         Computation
+	ArgType    string
+	Predicate  func(arg *lambda.Arg) lambda.Term
+	Projection func(arg *lambda.Arg) lambda.Term
+}
+
+// Inputs returns the single input.
+func (m *MultiSelection) Inputs() []Computation { return []Computation{m.In} }
+func (m *MultiSelection) label() string         { return "MSel" }
+
+// Join is JoinComp: a join of arbitrary arity and arbitrary predicate. The
+// compiler analyzes the predicate's lambda term, extracts equi-join
+// conjuncts to drive hash joins, re-verifies them after probing, and pushes
+// the rest into post-join filters (which the optimizer may then push below
+// the join). The user never specifies join order or algorithm.
+type Join struct {
+	In         []Computation
+	ArgTypes   []string
+	Predicate  func(args []*lambda.Arg) lambda.Term
+	Projection func(args []*lambda.Arg) lambda.Term
+}
+
+// Inputs returns all join inputs.
+func (j *Join) Inputs() []Computation { return j.In }
+func (j *Join) label() string         { return "Join" }
+
+// Aggregate is AggregateComp: for each input object it extracts a key and a
+// value (lambda terms), combines values per key with an associative Combine,
+// and finalizes each (key, aggregate) pair into an output object.
+type Aggregate struct {
+	In      Computation
+	ArgType string
+
+	Key func(arg *lambda.Arg) lambda.Term
+	Val func(arg *lambda.Arg) lambda.Term
+
+	KeyKind object.Kind
+	ValKind object.Kind
+
+	Combine  engine.CombineFn
+	Finalize func(a *object.Allocator, key, val object.Value) (object.Ref, error)
+}
+
+// Inputs returns the single input.
+func (a *Aggregate) Inputs() []Computation { return []Computation{a.In} }
+func (a *Aggregate) label() string         { return "Agg" }
+
+// topoOrder returns every computation reachable from the sinks in
+// dependency order (inputs before consumers).
+func topoOrder(sinks []Computation) ([]Computation, error) {
+	var order []Computation
+	state := map[Computation]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(c Computation) error
+	visit = func(c Computation) error {
+		switch state[c] {
+		case 1:
+			return fmt.Errorf("core: computation graph has a cycle")
+		case 2:
+			return nil
+		}
+		state[c] = 1
+		for _, in := range c.Inputs() {
+			if in == nil {
+				return fmt.Errorf("core: %T has a nil input", c)
+			}
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		state[c] = 2
+		order = append(order, c)
+		return nil
+	}
+	for _, s := range sinks {
+		if err := visit(s); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/object"
+	"repro/internal/physical"
+	"repro/internal/tcap"
+)
+
+// SetStore abstracts the storage layer the executor reads input sets from
+// and writes result sets to. The in-process storage server and the
+// distributed storage manager both implement it.
+type SetStore interface {
+	// Pages returns the pages of a stored set (each holding a root
+	// Vector<Handle>).
+	Pages(db, set string) ([]*object.Page, error)
+	// Append adds result pages to a set.
+	Append(db, set string, pages []*object.Page) error
+}
+
+// Executor runs a compiled query graph's physical plan on a single process
+// — the building block the distributed scheduler replicates per worker.
+type Executor struct {
+	Store      SetStore
+	Reg        *object.Registry
+	PageSize   int
+	Partitions int
+	Stats      engine.Stats
+}
+
+// NewExecutor creates an executor with the given storage and type registry.
+func NewExecutor(store SetStore, reg *object.Registry, pageSize, partitions int) *Executor {
+	if pageSize <= 0 {
+		pageSize = 1 << 18
+	}
+	if partitions <= 0 {
+		partitions = 4
+	}
+	return &Executor{Store: store, Reg: reg, PageSize: pageSize, Partitions: partitions}
+}
+
+// Run compiles nothing — it executes an already compiled and planned query.
+// Artifacts (materialized intermediates, join tables, pre-aggregated maps)
+// flow between stages through an in-memory artifact table.
+func (e *Executor) Run(res *CompileResult, plan *physical.Plan) error {
+	arts := &artifacts{pages: map[string][]*object.Page{}, tables: map[string]*engine.JoinTable{}}
+	for _, stage := range plan.Stages {
+		var err error
+		switch stage.Kind {
+		case physical.StagePipeline:
+			err = e.runPipelineStage(res, stage, arts)
+		case physical.StageAggregation:
+			err = e.runAggregationStage(res, stage, arts)
+		default:
+			err = fmt.Errorf("core: unknown stage kind %d", stage.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("core: stage %d (%s): %w", stage.ID, stage.Produces, err)
+		}
+	}
+	return nil
+}
+
+type artifacts struct {
+	pages  map[string][]*object.Page // "mat:X" and "aggmaps:X"
+	tables map[string]*engine.JoinTable
+}
+
+func (e *Executor) sourcePages(stage *physical.JobStage, arts *artifacts) ([]*object.Page, error) {
+	if stage.Scan != nil {
+		return e.Store.Pages(stage.Scan.Db, stage.Scan.Set)
+	}
+	pages, ok := arts.pages["mat:"+stage.SourceList]
+	if !ok {
+		return nil, fmt.Errorf("missing materialized source %q", stage.SourceList)
+	}
+	return pages, nil
+}
+
+func (e *Executor) runPipelineStage(res *CompileResult, stage *physical.JobStage, arts *artifacts) error {
+	pages, err := e.sourcePages(stage, arts)
+	if err != nil {
+		return err
+	}
+
+	var sink engine.Sink
+	switch stage.Sink {
+	case physical.SinkOutput, physical.SinkMaterialize:
+		s, err := engine.NewOutputSink(e.Reg, e.PageSize, nil, &e.Stats)
+		if err != nil {
+			return err
+		}
+		sink = s
+	case physical.SinkPreAgg:
+		spec := res.AggSpecs[stage.SinkStmt.Out.Name]
+		if spec == nil {
+			return fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
+		}
+		s, err := engine.NewAggSink(e.Reg, e.PageSize, e.Partitions, spec.KeyKind, spec.ValKind,
+			spec.Combine, stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], nil, &e.Stats)
+		if err != nil {
+			return err
+		}
+		sink = s
+	case physical.SinkJoinBuild:
+		sink = engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0])
+	default:
+		return fmt.Errorf("unknown sink kind %v", stage.Sink)
+	}
+
+	ctx := &engine.Ctx{Reg: e.Reg, Tables: arts.tables, Stats: &e.Stats}
+	switch s := sink.(type) {
+	case *engine.OutputSink:
+		ctx.Out = s.Out
+	case *engine.AggSink:
+		ctx.Out = s.Out
+	default:
+		// Join-build pipelines still need an output page for any
+		// intermediate allocations made by native kernels.
+		ops, err := engine.NewOutputPageSet(e.Reg, e.PageSize, object.PolicyLightweightReuse, nil, nil, &e.Stats)
+		if err != nil {
+			return err
+		}
+		ctx.Out = ops
+	}
+
+	// The sink-side stmt for OUTPUT consumes Applied columns; synthesize
+	// one for materialization sinks (write the final object column).
+	sinkStmt := stage.SinkStmt
+	if stage.Sink == physical.SinkMaterialize {
+		last := stage.Stmts[len(stage.Stmts)-1]
+		col, err := materializeColumn(res, stage, last)
+		if err != nil {
+			return err
+		}
+		sinkStmt = &tcap.Stmt{
+			Op:      tcap.OpOutput,
+			Applied: tcap.ColumnsRef{Name: last.Out.Name, Cols: []string{col}},
+		}
+	}
+
+	pipe := &engine.Pipeline{Stmts: stage.Stmts, Reg: res.Stages, Sink: sink, SinkStmt: sinkStmt}
+	err = engine.ScanPages(pages, stage.SourceCol, engine.BatchSize, func(vl *engine.VectorList) error {
+		return pipe.RunBatch(ctx, vl)
+	})
+	if err != nil {
+		return err
+	}
+
+	switch stage.Sink {
+	case physical.SinkOutput:
+		outPages := sink.Pages()
+		for _, p := range outPages {
+			p.SetManaged(false)
+		}
+		return e.Store.Append(stage.SinkStmt.Db, stage.SinkStmt.Set, outPages)
+	case physical.SinkMaterialize:
+		arts.pages[stage.Produces] = sink.Pages()
+	case physical.SinkPreAgg:
+		arts.pages[stage.Produces] = sink.Pages()
+	case physical.SinkJoinBuild:
+		arts.tables[stage.SinkStmt.Applied2.Name] = sink.(*engine.JoinBuildSink).Table
+	}
+	return nil
+}
+
+// materializeColumn decides which column a materialization sink writes: the
+// single column downstream consumers reference, falling back to the list's
+// only column.
+func materializeColumn(res *CompileResult, stage *physical.JobStage, last *tcap.Stmt) (string, error) {
+	if len(last.Out.Cols) == 1 {
+		return last.Out.Cols[0], nil
+	}
+	name := stage.Produces[len("mat:"):]
+	_ = name
+	// The planner guarantees single-column boundaries; multiple columns
+	// mean the final object column is the newest one.
+	newCols := last.NewColumns()
+	if len(newCols) == 1 {
+		return newCols[0], nil
+	}
+	return "", fmt.Errorf("cannot determine materialization column of %s", last.Out)
+}
+
+func (e *Executor) runAggregationStage(res *CompileResult, stage *physical.JobStage, arts *artifacts) error {
+	spec := res.AggSpecs[stage.AggList]
+	if spec == nil {
+		return fmt.Errorf("no aggregation spec for %q", stage.AggList)
+	}
+	mapPages, ok := arts.pages["aggmaps:"+stage.AggList]
+	if !ok {
+		return fmt.Errorf("missing pre-aggregated maps for %q", stage.AggList)
+	}
+	var outPages []*object.Page
+	for part := 0; part < e.Partitions; part++ {
+		final, _, err := engine.MergeAggMaps(e.Reg, mapPages, part, e.Partitions, spec, e.PageSize, nil)
+		if err != nil {
+			return err
+		}
+		pages, err := engine.FinalizeAgg(e.Reg, final, spec, e.PageSize, nil, &e.Stats)
+		if err != nil {
+			return err
+		}
+		outPages = append(outPages, pages...)
+	}
+	arts.pages[stage.Produces] = outPages
+	return nil
+}
+
+// MemStore is a simple in-memory SetStore for tests and examples.
+type MemStore struct {
+	Sets map[string][]*object.Page
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{Sets: map[string][]*object.Page{}} }
+
+// Pages returns the pages of a set.
+func (m *MemStore) Pages(db, set string) ([]*object.Page, error) {
+	pages, ok := m.Sets[db+"."+set]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown set %s.%s", db, set)
+	}
+	return pages, nil
+}
+
+// Append adds pages to a set (creating it on first write).
+func (m *MemStore) Append(db, set string, pages []*object.Page) error {
+	key := db + "." + set
+	m.Sets[key] = append(m.Sets[key], pages...)
+	return nil
+}

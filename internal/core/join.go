@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lambda"
+	"repro/internal/tcap"
+)
+
+// compileJoin lowers an n-ary JoinComp. The compiler — not the user —
+// decides the join strategy (paper §4): it splits the predicate into
+// conjuncts, extracts equi-join conjuncts whose two sides each touch a
+// single distinct input, orders the joins left-deep along key connectivity,
+// emits HASH + JOIN statements per step, re-verifies the full predicate
+// after probing (hash collisions are not matches), and finally applies the
+// projection. Inputs with no connecting key fall back to a constant-key
+// (cross) join, still filtered by the full predicate.
+func (c *compiler) compileJoin(j *Join) (listState, error) {
+	n := len(j.In)
+	if n < 2 {
+		return listState{}, fmt.Errorf("core: join needs at least two inputs, got %d", n)
+	}
+	if len(j.ArgTypes) != n {
+		return listState{}, fmt.Errorf("core: join has %d inputs but %d arg types", n, len(j.ArgTypes))
+	}
+	if j.Predicate == nil || j.Projection == nil {
+		return listState{}, fmt.Errorf("core: join requires Predicate and Projection")
+	}
+	comp := c.compName("Join")
+
+	ins := make([]listState, n)
+	args := make([]*lambda.Arg, n)
+	seen := map[string]bool{}
+	for i, in := range j.In {
+		st := c.outs[in]
+		if seen[st.objCol] {
+			return listState{}, fmt.Errorf("core: join input %d reuses the same computation instance; wrap one side in its own Scan/Selection", i)
+		}
+		seen[st.objCol] = true
+		ins[i] = listState{name: st.name, cols: []string{st.objCol}, objCol: st.objCol}
+		args[i] = lambda.NewArg(i, j.ArgTypes[i])
+	}
+
+	pred := j.Predicate(args)
+	conjuncts := lambda.SplitConjuncts(pred)
+	type equi struct {
+		l, r   lambda.Term
+		li, ri int
+	}
+	var equis []equi
+	for _, cj := range conjuncts {
+		if l, r, li, ri, ok := lambda.IsEquiJoinConjunct(cj); ok {
+			equis = append(equis, equi{l, r, li, ri})
+		}
+	}
+
+	joined := map[int]bool{0: true}
+	acc := ins[0]
+	accBinding := map[int]string{0: ins[0].objCol}
+	accObjCols := []string{ins[0].objCol}
+
+	for len(joined) < n {
+		var keyAcc, keyBuild lambda.Term
+		buildArg := -1
+		for _, e := range equis {
+			if joined[e.li] && !joined[e.ri] {
+				keyAcc, keyBuild, buildArg = e.l, e.r, e.ri
+				break
+			}
+			if joined[e.ri] && !joined[e.li] {
+				keyAcc, keyBuild, buildArg = e.r, e.l, e.li
+				break
+			}
+		}
+		if buildArg == -1 {
+			// No key connects the joined set to any remaining input:
+			// constant-key cross join with the lowest-index leftover.
+			for idx := 0; idx < n; idx++ {
+				if !joined[idx] {
+					buildArg = idx
+					break
+				}
+			}
+			keyAcc, keyBuild = lambda.ConstI64(0), lambda.ConstI64(0)
+		}
+
+		// Build side: key extraction + HASH on the input's own pipeline.
+		bs := ins[buildArg]
+		bsState, bsKeyCol, err := c.compileTerm(bs, keyBuild, map[int]string{buildArg: bs.objCol}, comp)
+		if err != nil {
+			return listState{}, err
+		}
+		bsState, bsHashCol := c.emitHash(bsState, bsKeyCol, []string{bs.objCol}, comp)
+
+		// Probe side: key extraction + HASH on the accumulated pipeline.
+		accState, accKeyCol, err := c.compileTerm(acc, keyAcc, accBinding, comp)
+		if err != nil {
+			return listState{}, err
+		}
+		accState, accHashCol := c.emitHash(accState, accKeyCol, accObjCols, comp)
+
+		outCols := append(append([]string{}, accObjCols...), bs.objCol)
+		out := listState{name: c.freshList(), cols: outCols}
+		c.res.Prog.Stmts = append(c.res.Prog.Stmts, &tcap.Stmt{
+			Out:      tcap.ColumnsRef{Name: out.name, Cols: outCols},
+			Op:       tcap.OpJoin,
+			Applied:  tcap.ColumnsRef{Name: accState.name, Cols: []string{accHashCol}},
+			Copied:   tcap.ColumnsRef{Name: accState.name, Cols: accObjCols},
+			Applied2: tcap.ColumnsRef{Name: bsState.name, Cols: []string{bsHashCol}},
+			Copied2:  tcap.ColumnsRef{Name: bsState.name, Cols: []string{bs.objCol}},
+			Comp:     comp,
+			Info:     map[string]string{"type": "join"},
+		})
+		joined[buildArg] = true
+		accBinding[buildArg] = bs.objCol
+		accObjCols = outCols
+		acc = out
+	}
+
+	// Re-verify the complete predicate post-join.
+	st, boolCol, err := c.compileTerm(acc, pred, accBinding, comp)
+	if err != nil {
+		return listState{}, err
+	}
+	acc = c.emitFilter(st, boolCol, accObjCols, comp)
+
+	// Projection to the output object.
+	st, projCol, err := c.compileTerm(acc, j.Projection(args), accBinding, comp)
+	if err != nil {
+		return listState{}, err
+	}
+	st.objCol = projCol
+	return st, nil
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/lambda"
+	"repro/internal/object"
+)
+
+// Kernel constructors: each lambda term node lowers to one TCAP APPLY whose
+// executable is a closure built here. The closures are monomorphic over
+// column types where it matters — the Go analogue of the C++ binding's
+// template-instantiated pipeline stages (paper §5.3).
+
+// memberKernel reads a member variable from each object of a handle column.
+// Dispatch is through the type code in each handle with a one-entry cache,
+// mirroring vTable lookup amortized over a vector.
+func memberKernel(field string) engine.ApplyKernel {
+	return func(ctx *engine.Ctx, in []engine.Column) (engine.Column, error) {
+		rc, ok := in[0].(engine.RefCol)
+		if !ok {
+			return nil, fmt.Errorf("core: member access %q over non-handle column", field)
+		}
+		var cachedCode uint32
+		var cachedField *object.Field
+		out := make([]object.Value, len(rc))
+		for i, r := range rc {
+			if r.IsNil() {
+				return nil, fmt.Errorf("core: member access %q on nil handle", field)
+			}
+			tc := r.TypeCode()
+			if tc != cachedCode || cachedField == nil {
+				ti := ctx.Reg.Lookup(tc)
+				if ti == nil {
+					return nil, fmt.Errorf("core: unregistered type code %d", tc)
+				}
+				f := ti.Field(field)
+				if f == nil {
+					return nil, fmt.Errorf("core: type %s has no member %q", ti.Name, field)
+				}
+				cachedCode, cachedField = tc, f
+			}
+			out[i] = object.GetField(r, cachedField)
+		}
+		return engine.ColumnOf(out), nil
+	}
+}
+
+// methodKernel invokes a registered virtual method on each object of a
+// handle column (dynamic dispatch through the handle's type code).
+func methodKernel(method string) engine.ApplyKernel {
+	return func(ctx *engine.Ctx, in []engine.Column) (engine.Column, error) {
+		rc, ok := in[0].(engine.RefCol)
+		if !ok {
+			return nil, fmt.Errorf("core: method call %q over non-handle column", method)
+		}
+		var cachedCode uint32
+		var cachedFn func(object.Ref) object.Value
+		out := make([]object.Value, len(rc))
+		for i, r := range rc {
+			if r.IsNil() {
+				return nil, fmt.Errorf("core: method call %q on nil handle", method)
+			}
+			tc := r.TypeCode()
+			if tc != cachedCode || cachedFn == nil {
+				ti := ctx.Reg.Lookup(tc)
+				if ti == nil {
+					return nil, fmt.Errorf("core: unregistered type code %d", tc)
+				}
+				m, ok := ti.Method(method)
+				if !ok {
+					return nil, fmt.Errorf("core: type %s has no method %q", ti.Name, method)
+				}
+				cachedCode, cachedFn = tc, m.Fn
+			}
+			out[i] = cachedFn(r)
+		}
+		return engine.ColumnOf(out), nil
+	}
+}
+
+// constKernel produces a constant column sized to the batch (the first
+// input column supplies the length).
+func constKernel(v object.Value) engine.ApplyKernel {
+	return func(ctx *engine.Ctx, in []engine.Column) (engine.Column, error) {
+		n := in[0].Len()
+		switch v.K {
+		case object.KFloat64:
+			out := make(engine.F64Col, n)
+			for i := range out {
+				out[i] = v.F
+			}
+			return out, nil
+		case object.KInt32, object.KInt64:
+			out := make(engine.I64Col, n)
+			for i := range out {
+				out[i] = v.I
+			}
+			return out, nil
+		case object.KBool:
+			out := make(engine.BoolCol, n)
+			for i := range out {
+				out[i] = v.B
+			}
+			return out, nil
+		case object.KString:
+			out := make(engine.StrCol, n)
+			for i := range out {
+				out[i] = v.S
+			}
+			return out, nil
+		default:
+			out := make(engine.ValCol, n)
+			for i := range out {
+				out[i] = v
+			}
+			return out, nil
+		}
+	}
+}
+
+// nativeKernel applies an opaque native lambda row-wise. The native context
+// exposes the live output allocator so makeObject-style calls allocate in
+// place on the output page.
+func nativeKernel(fn lambda.NativeFn, nargs int) engine.ApplyKernel {
+	return func(ctx *engine.Ctx, in []engine.Column) (engine.Column, error) {
+		if len(in) != nargs {
+			return nil, fmt.Errorf("core: native lambda expects %d inputs, got %d", nargs, len(in))
+		}
+		n := in[0].Len()
+		nctx := &lambda.NativeCtx{Alloc: ctx.Alloc(), Reg: ctx.Reg}
+		args := make([]object.Value, len(in))
+		out := make([]object.Value, n)
+		for i := 0; i < n; i++ {
+			for j, c := range in {
+				args[j] = c.Value(i)
+			}
+			v, err := fn(nctx, args)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return engine.ColumnOf(out), nil
+	}
+}
+
+// binaryKernel composes two columns with a higher-order operator. Monomorphic
+// fast paths cover the common float64/int64/string/bool pairings; a boxed
+// fallback handles mixed kinds.
+func binaryKernel(op lambda.Op) engine.ApplyKernel {
+	return func(ctx *engine.Ctx, in []engine.Column) (engine.Column, error) {
+		if len(in) != 2 {
+			return nil, fmt.Errorf("core: binary %s expects 2 inputs", op)
+		}
+		l, r := in[0], in[1]
+		if l.Len() != r.Len() {
+			return nil, fmt.Errorf("core: binary %s over mismatched lengths %d/%d", op, l.Len(), r.Len())
+		}
+		switch op {
+		case lambda.OpAnd, lambda.OpOr:
+			lb, lok := l.(engine.BoolCol)
+			rb, rok := r.(engine.BoolCol)
+			if !lok || !rok {
+				return nil, fmt.Errorf("core: %s over non-boolean columns", op)
+			}
+			out := make(engine.BoolCol, len(lb))
+			if op == lambda.OpAnd {
+				for i := range lb {
+					out[i] = lb[i] && rb[i]
+				}
+			} else {
+				for i := range lb {
+					out[i] = lb[i] || rb[i]
+				}
+			}
+			return out, nil
+		}
+
+		if lf, ok := l.(engine.F64Col); ok {
+			if rf, ok := r.(engine.F64Col); ok {
+				return f64Binary(op, lf, rf)
+			}
+		}
+		if li, ok := l.(engine.I64Col); ok {
+			if ri, ok := r.(engine.I64Col); ok {
+				return i64Binary(op, li, ri)
+			}
+		}
+		if ls, ok := l.(engine.StrCol); ok {
+			if rs, ok := r.(engine.StrCol); ok {
+				return strBinary(op, ls, rs)
+			}
+		}
+		return boxedBinary(op, l, r)
+	}
+}
+
+func f64Binary(op lambda.Op, l, r engine.F64Col) (engine.Column, error) {
+	n := len(l)
+	switch op {
+	case lambda.OpEq, lambda.OpNe, lambda.OpGt, lambda.OpGe, lambda.OpLt, lambda.OpLe:
+		out := make(engine.BoolCol, n)
+		for i := 0; i < n; i++ {
+			out[i] = cmpBool(op, l[i] == r[i], l[i] < r[i])
+		}
+		return out, nil
+	case lambda.OpAdd:
+		out := make(engine.F64Col, n)
+		for i := range out {
+			out[i] = l[i] + r[i]
+		}
+		return out, nil
+	case lambda.OpSub:
+		out := make(engine.F64Col, n)
+		for i := range out {
+			out[i] = l[i] - r[i]
+		}
+		return out, nil
+	case lambda.OpMul:
+		out := make(engine.F64Col, n)
+		for i := range out {
+			out[i] = l[i] * r[i]
+		}
+		return out, nil
+	case lambda.OpDiv:
+		out := make(engine.F64Col, n)
+		for i := range out {
+			out[i] = l[i] / r[i]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unsupported float op %s", op)
+}
+
+func i64Binary(op lambda.Op, l, r engine.I64Col) (engine.Column, error) {
+	n := len(l)
+	switch op {
+	case lambda.OpEq, lambda.OpNe, lambda.OpGt, lambda.OpGe, lambda.OpLt, lambda.OpLe:
+		out := make(engine.BoolCol, n)
+		for i := 0; i < n; i++ {
+			out[i] = cmpBool(op, l[i] == r[i], l[i] < r[i])
+		}
+		return out, nil
+	case lambda.OpAdd:
+		out := make(engine.I64Col, n)
+		for i := range out {
+			out[i] = l[i] + r[i]
+		}
+		return out, nil
+	case lambda.OpSub:
+		out := make(engine.I64Col, n)
+		for i := range out {
+			out[i] = l[i] - r[i]
+		}
+		return out, nil
+	case lambda.OpMul:
+		out := make(engine.I64Col, n)
+		for i := range out {
+			out[i] = l[i] * r[i]
+		}
+		return out, nil
+	case lambda.OpDiv:
+		out := make(engine.I64Col, n)
+		for i := range out {
+			if r[i] == 0 {
+				return nil, fmt.Errorf("core: integer division by zero")
+			}
+			out[i] = l[i] / r[i]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unsupported int op %s", op)
+}
+
+func strBinary(op lambda.Op, l, r engine.StrCol) (engine.Column, error) {
+	n := len(l)
+	switch op {
+	case lambda.OpEq, lambda.OpNe, lambda.OpGt, lambda.OpGe, lambda.OpLt, lambda.OpLe:
+		out := make(engine.BoolCol, n)
+		for i := 0; i < n; i++ {
+			out[i] = cmpBool(op, l[i] == r[i], l[i] < r[i])
+		}
+		return out, nil
+	case lambda.OpAdd:
+		out := make(engine.StrCol, n)
+		for i := range out {
+			out[i] = l[i] + r[i]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unsupported string op %s", op)
+}
+
+func boxedBinary(op lambda.Op, l, r engine.Column) (engine.Column, error) {
+	n := l.Len()
+	switch op {
+	case lambda.OpEq, lambda.OpNe, lambda.OpGt, lambda.OpGe, lambda.OpLt, lambda.OpLe:
+		out := make(engine.BoolCol, n)
+		for i := 0; i < n; i++ {
+			lv, rv := l.Value(i), r.Value(i)
+			out[i] = cmpBool(op, lv.Equal(rv), lv.Less(rv))
+		}
+		return out, nil
+	case lambda.OpAdd, lambda.OpSub, lambda.OpMul, lambda.OpDiv:
+		out := make(engine.F64Col, n)
+		for i := 0; i < n; i++ {
+			a, b := l.Value(i).AsFloat64(), r.Value(i).AsFloat64()
+			switch op {
+			case lambda.OpAdd:
+				out[i] = a + b
+			case lambda.OpSub:
+				out[i] = a - b
+			case lambda.OpMul:
+				out[i] = a * b
+			default:
+				out[i] = a / b
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unsupported boxed op %s", op)
+}
+
+func cmpBool(op lambda.Op, eq, lt bool) bool {
+	switch op {
+	case lambda.OpEq:
+		return eq
+	case lambda.OpNe:
+		return !eq
+	case lambda.OpLt:
+		return lt
+	case lambda.OpLe:
+		return lt || eq
+	case lambda.OpGt:
+		return !lt && !eq
+	case lambda.OpGe:
+		return !lt
+	}
+	return false
+}
+
+// notKernel negates a boolean column.
+func notKernel() engine.ApplyKernel {
+	return func(ctx *engine.Ctx, in []engine.Column) (engine.Column, error) {
+		bc, ok := in[0].(engine.BoolCol)
+		if !ok {
+			return nil, fmt.Errorf("core: ! over non-boolean column")
+		}
+		out := make(engine.BoolCol, len(bc))
+		for i, b := range bc {
+			out[i] = !b
+		}
+		return out, nil
+	}
+}

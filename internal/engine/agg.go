@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/object"
+)
+
+// AggSpec describes an aggregation's types and behaviour — the compiled
+// form of an AggregateComp (paper §3's Map-based aggregation and Appendix
+// D.2's two-stage execution).
+type AggSpec struct {
+	KeyKind object.Kind
+	ValKind object.Kind
+
+	// Combine folds a new value into the running value for a key. It is
+	// used both map-side (pre-aggregation) and at the merge of shuffled
+	// partial aggregates, so it must be associative and closed over the
+	// value type: the Val projection should already produce the
+	// accumulator type, exactly like the paper's Avg DataPoint::fromMe()
+	// pattern (§Appendix A). Scalar sums satisfy this trivially.
+	Combine CombineFn
+
+	// Finalize converts a merged (key, value) entry into an output
+	// object on the result set's page (e.g. the k-means Centroid).
+	Finalize func(a *object.Allocator, key, val object.Value) (object.Ref, error)
+}
+
+// MergeAggMaps implements the consuming stage of distributed aggregation:
+// it folds every pre-aggregated map page assigned to partition part into a
+// single final map. Pages arrive from the shuffle as raw bytes; their maps
+// are read with zero deserialization. The final map is built on a dedicated
+// page whose size doubles on overflow (a partition's final aggregate must be
+// map-addressable in one piece).
+func MergeAggMaps(reg *object.Registry, pages []*object.Page, part, partitions int,
+	spec *AggSpec, pageSize int, pool *object.PagePool) (object.OMap, *object.Page, error) {
+	for {
+		m, pg, err := tryMerge(reg, pages, part, partitions, spec, pageSize, pool)
+		if err == nil {
+			return m, pg, nil
+		}
+		if !errors.Is(err, object.ErrPageFull) {
+			return object.OMap{}, nil, err
+		}
+		pageSize *= 2
+		if pageSize > 1<<30 {
+			return object.OMap{}, nil, fmt.Errorf("engine: aggregation partition exceeds 1GiB: %w", err)
+		}
+	}
+}
+
+func tryMerge(reg *object.Registry, pages []*object.Page, part, partitions int,
+	spec *AggSpec, pageSize int, pool *object.PagePool) (object.OMap, *object.Page, error) {
+	var pg *object.Page
+	if pool != nil && pool.Size == pageSize {
+		pg = pool.Get(reg)
+	} else {
+		pg = object.NewPage(pageSize, reg)
+	}
+	a := object.NewAllocator(pg, object.PolicyLightweightReuse)
+	final, err := object.MakeMap(a, spec.KeyKind, spec.ValKind, 64)
+	if err != nil {
+		return object.OMap{}, nil, err
+	}
+	final.Retain()
+	pg.SetRoot(final.Off)
+
+	for _, src := range pages {
+		if src.Root() == 0 {
+			continue
+		}
+		root := object.AsVector(object.Ref{Page: src, Off: src.Root()})
+		if part >= root.Len() {
+			return object.OMap{}, nil, fmt.Errorf("engine: page has %d partitions, need %d", root.Len(), part+1)
+		}
+		m := object.AsMap(root.HandleAt(part))
+		var mergeErr error
+		m.Iterate(func(key, val object.Value) bool {
+			cur, ok := final.Get(key)
+			if ok && cur.K == object.KInvalid {
+				ok = false
+			}
+			nv, err := spec.Combine(a, cur, ok, val)
+			if err != nil {
+				mergeErr = err
+				return false
+			}
+			if err := final.Put(a, key, nv); err != nil {
+				mergeErr = err
+				return false
+			}
+			return true
+		})
+		if mergeErr != nil {
+			return object.OMap{}, nil, mergeErr
+		}
+	}
+	return final, pg, nil
+}
+
+// FinalizeAgg materializes a merged aggregation map into output objects via
+// the spec's Finalize, writing them through an OutputSink.
+func FinalizeAgg(reg *object.Registry, final object.OMap, spec *AggSpec, pageSize int, pool *object.PagePool, stats *Stats) ([]*object.Page, error) {
+	sink, err := NewOutputSink(reg, pageSize, pool, stats)
+	if err != nil {
+		return nil, err
+	}
+	var ferr error
+	final.Iterate(func(key, val object.Value) bool {
+		obj, err := spec.Finalize(sink.Out.Alloc, key, val)
+		if errors.Is(err, object.ErrPageFull) {
+			if err = sink.Out.Rotate(); err == nil {
+				obj, err = spec.Finalize(sink.Out.Alloc, key, val)
+			}
+		}
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if err := sink.appendWithRotate(obj); err != nil {
+			ferr = err
+			return false
+		}
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return sink.Pages(), nil
+}

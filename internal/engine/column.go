@@ -1,0 +1,239 @@
+// Package engine implements PC's vectorized execution engine (paper §5,
+// Appendix C). TCAP statements are executed as pipelines of fully-compiled
+// stages; each stage consumes a *vector list* (named columns) and produces a
+// new vector list, amortizing any dispatch over a whole vector of objects.
+// Pipelines end in sinks — output sets, pre-aggregation maps, or join hash
+// tables — whose data structures are PC objects allocated in place on output
+// pages, so they ship with zero serialization cost.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+)
+
+// BatchSize is the default number of objects per vector pushed through a
+// pipeline; the paper tunes this to L1/L2 cache size.
+const BatchSize = 256
+
+// Column is one vector of a vector list. Concrete types are monomorphic
+// slices so inner loops over a column are tight typed loops — the engine's
+// substitute for the C++ binding's template-instantiated pipeline stages.
+type Column interface {
+	Len() int
+	// Value returns element i boxed (slow path; used by generic kernels
+	// and natives).
+	Value(i int) object.Value
+	// Gather builds a new column from the selected indices.
+	Gather(idx []int) Column
+}
+
+// BoolCol is a vector of booleans (e.g. filter inputs).
+type BoolCol []bool
+
+func (c BoolCol) Len() int                 { return len(c) }
+func (c BoolCol) Value(i int) object.Value { return object.BoolValue(c[i]) }
+func (c BoolCol) Gather(idx []int) Column {
+	out := make(BoolCol, len(idx))
+	for j, i := range idx {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// I64Col is a vector of int64 values.
+type I64Col []int64
+
+func (c I64Col) Len() int                 { return len(c) }
+func (c I64Col) Value(i int) object.Value { return object.Int64Value(c[i]) }
+func (c I64Col) Gather(idx []int) Column {
+	out := make(I64Col, len(idx))
+	for j, i := range idx {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// F64Col is a vector of float64 values.
+type F64Col []float64
+
+func (c F64Col) Len() int                 { return len(c) }
+func (c F64Col) Value(i int) object.Value { return object.Float64Value(c[i]) }
+func (c F64Col) Gather(idx []int) Column {
+	out := make(F64Col, len(idx))
+	for j, i := range idx {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// U64Col is a vector of hash values (the HASH operation's output).
+type U64Col []uint64
+
+func (c U64Col) Len() int                 { return len(c) }
+func (c U64Col) Value(i int) object.Value { return object.Int64Value(int64(c[i])) }
+func (c U64Col) Gather(idx []int) Column {
+	out := make(U64Col, len(idx))
+	for j, i := range idx {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// StrCol is a vector of strings.
+type StrCol []string
+
+func (c StrCol) Len() int                 { return len(c) }
+func (c StrCol) Value(i int) object.Value { return object.StringValue(c[i]) }
+func (c StrCol) Gather(idx []int) Column {
+	out := make(StrCol, len(idx))
+	for j, i := range idx {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// RefCol is a vector of handles to PC objects.
+type RefCol []object.Ref
+
+func (c RefCol) Len() int                 { return len(c) }
+func (c RefCol) Value(i int) object.Value { return object.HandleValue(c[i]) }
+func (c RefCol) Gather(idx []int) Column {
+	out := make(RefCol, len(idx))
+	for j, i := range idx {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// ValCol is the generic fallback column of boxed values.
+type ValCol []object.Value
+
+func (c ValCol) Len() int                 { return len(c) }
+func (c ValCol) Value(i int) object.Value { return c[i] }
+func (c ValCol) Gather(idx []int) Column {
+	out := make(ValCol, len(idx))
+	for j, i := range idx {
+		out[j] = c[i]
+	}
+	return out
+}
+
+// ColumnOf builds the tightest column type for a slice of boxed values.
+func ColumnOf(vals []object.Value) Column {
+	if len(vals) == 0 {
+		return ValCol(nil)
+	}
+	k := vals[0].K
+	for _, v := range vals[1:] {
+		if v.K != k {
+			return ValCol(vals)
+		}
+	}
+	switch k {
+	case object.KBool:
+		out := make(BoolCol, len(vals))
+		for i, v := range vals {
+			out[i] = v.B
+		}
+		return out
+	case object.KInt32, object.KInt64:
+		out := make(I64Col, len(vals))
+		for i, v := range vals {
+			out[i] = v.I
+		}
+		return out
+	case object.KFloat64:
+		out := make(F64Col, len(vals))
+		for i, v := range vals {
+			out[i] = v.F
+		}
+		return out
+	case object.KString:
+		out := make(StrCol, len(vals))
+		for i, v := range vals {
+			out[i] = v.S
+		}
+		return out
+	case object.KHandle:
+		out := make(RefCol, len(vals))
+		for i, v := range vals {
+			out[i] = v.H
+		}
+		return out
+	default:
+		return ValCol(vals)
+	}
+}
+
+// VectorList is the unit of data flowing through a pipeline: an ordered set
+// of equal-length named columns (paper §5.2).
+type VectorList struct {
+	Names []string
+	Cols  []Column
+}
+
+// NewVectorList builds a vector list from parallel name/column slices.
+func NewVectorList(names []string, cols []Column) (*VectorList, error) {
+	if len(names) != len(cols) {
+		return nil, fmt.Errorf("engine: %d names for %d columns", len(names), len(cols))
+	}
+	n := -1
+	for i, c := range cols {
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return nil, fmt.Errorf("engine: column %q length %d != %d", names[i], c.Len(), n)
+		}
+	}
+	return &VectorList{Names: names, Cols: cols}, nil
+}
+
+// Rows returns the number of rows (0 for an empty list).
+func (vl *VectorList) Rows() int {
+	if len(vl.Cols) == 0 {
+		return 0
+	}
+	return vl.Cols[0].Len()
+}
+
+// Col returns the named column, or nil.
+func (vl *VectorList) Col(name string) Column {
+	for i, n := range vl.Names {
+		if n == name {
+			return vl.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Project returns a new vector list with the named columns (shallow copy of
+// column references — the paper's zero-copy column passing).
+func (vl *VectorList) Project(names []string) (*VectorList, error) {
+	out := &VectorList{}
+	for _, n := range names {
+		c := vl.Col(n)
+		if c == nil {
+			return nil, fmt.Errorf("engine: missing column %q", n)
+		}
+		out.Names = append(out.Names, n)
+		out.Cols = append(out.Cols, c)
+	}
+	return out, nil
+}
+
+// Append adds a new named column.
+func (vl *VectorList) Append(name string, c Column) {
+	vl.Names = append(vl.Names, name)
+	vl.Cols = append(vl.Cols, c)
+}
+
+// GatherAll filters every column to the selected row indices.
+func (vl *VectorList) GatherAll(idx []int) *VectorList {
+	out := &VectorList{Names: append([]string(nil), vl.Names...), Cols: make([]Column, len(vl.Cols))}
+	for i, c := range vl.Cols {
+		out.Cols[i] = c.Gather(idx)
+	}
+	return out
+}

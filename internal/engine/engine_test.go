@@ -1,0 +1,385 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+func TestColumnOfPicksTightTypes(t *testing.T) {
+	cases := []struct {
+		vals []object.Value
+		want string
+	}{
+		{[]object.Value{object.Float64Value(1), object.Float64Value(2)}, "engine.F64Col"},
+		{[]object.Value{object.Int64Value(1)}, "engine.I64Col"},
+		{[]object.Value{object.BoolValue(true)}, "engine.BoolCol"},
+		{[]object.Value{object.StringValue("x")}, "engine.StrCol"},
+		{[]object.Value{object.Float64Value(1), object.StringValue("x")}, "engine.ValCol"},
+	}
+	for _, c := range cases {
+		got := fmt.Sprintf("%T", ColumnOf(c.vals))
+		if got != c.want {
+			t.Errorf("ColumnOf(%v) = %s, want %s", c.vals, got, c.want)
+		}
+	}
+}
+
+func TestVectorListProjectAndGather(t *testing.T) {
+	vl, err := NewVectorList(
+		[]string{"a", "b"},
+		[]Column{F64Col{1, 2, 3}, StrCol{"x", "y", "z"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := vl.Project([]string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Cols) != 1 || proj.Col("b") == nil {
+		t.Error("Project lost column")
+	}
+	g := vl.GatherAll([]int{2, 0})
+	if g.Col("a").(F64Col)[0] != 3 || g.Col("b").(StrCol)[1] != "x" {
+		t.Errorf("GatherAll wrong: %+v", g)
+	}
+	if _, err := NewVectorList([]string{"a"}, []Column{F64Col{1}, F64Col{2}}); err == nil {
+		t.Error("mismatched names/cols should fail")
+	}
+	if _, err := NewVectorList([]string{"a", "b"}, []Column{F64Col{1}, F64Col{2, 3}}); err == nil {
+		t.Error("uneven column lengths should fail")
+	}
+}
+
+func TestExecFilterStmt(t *testing.T) {
+	s := &tcap.Stmt{
+		Op:      tcap.OpFilter,
+		Applied: tcap.ColumnsRef{Name: "in", Cols: []string{"keep"}},
+		Copied:  tcap.ColumnsRef{Name: "in", Cols: []string{"v"}},
+		Out:     tcap.ColumnsRef{Name: "out", Cols: []string{"v"}},
+	}
+	vl := &VectorList{
+		Names: []string{"v", "keep"},
+		Cols:  []Column{F64Col{10, 20, 30, 40}, BoolCol{true, false, true, false}},
+	}
+	out, err := execFilter(s, vl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Col("v").(F64Col)
+	if len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Errorf("filtered = %v", got)
+	}
+}
+
+func TestExecHashStmt(t *testing.T) {
+	s := &tcap.Stmt{
+		Op:      tcap.OpHash,
+		Applied: tcap.ColumnsRef{Name: "in", Cols: []string{"k"}},
+		Copied:  tcap.ColumnsRef{Name: "in", Cols: []string{"k"}},
+		Out:     tcap.ColumnsRef{Name: "out", Cols: []string{"k", "h"}},
+	}
+	vl := &VectorList{Names: []string{"k"}, Cols: []Column{I64Col{5, 5, 7}}}
+	out, err := execHash(s, vl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Col("h").(U64Col)
+	if h[0] != h[1] {
+		t.Error("equal keys must hash equally")
+	}
+	if h[0] == h[2] {
+		t.Error("different keys should (here) hash differently")
+	}
+	// String and float hash paths.
+	for _, col := range []Column{StrCol{"a", "a", "b"}, F64Col{1, 1, 2}} {
+		vl := &VectorList{Names: []string{"k"}, Cols: []Column{col}}
+		out, err := execHash(s, vl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := out.Col("h").(U64Col)
+		if h[0] != h[1] || h[0] == h[2] {
+			t.Errorf("hash of %T inconsistent", col)
+		}
+	}
+}
+
+func TestExecJoinProbeStmt(t *testing.T) {
+	reg := object.NewRegistry()
+	p := object.NewPage(4096, reg)
+	a := object.NewAllocator(p, object.PolicyLightweightReuse)
+	s1, _ := object.MakeString(a, "x")
+	s2, _ := object.MakeString(a, "y")
+
+	table := NewJoinTable()
+	table.Add(100, s1)
+	table.Add(100, s2)
+	table.Add(200, s1)
+
+	stmt := &tcap.Stmt{
+		Op:       tcap.OpJoin,
+		Applied:  tcap.ColumnsRef{Name: "L", Cols: []string{"h"}},
+		Copied:   tcap.ColumnsRef{Name: "L", Cols: []string{"v"}},
+		Applied2: tcap.ColumnsRef{Name: "B", Cols: []string{"h2"}},
+		Copied2:  tcap.ColumnsRef{Name: "B", Cols: []string{"obj"}},
+		Out:      tcap.ColumnsRef{Name: "out", Cols: []string{"v", "obj"}},
+	}
+	ctx := &Ctx{Reg: reg, Tables: map[string]*JoinTable{"B": table}, Stats: &Stats{}}
+	vl := &VectorList{
+		Names: []string{"v", "h"},
+		Cols:  []Column{I64Col{1, 2, 3}, U64Col{100, 999, 200}},
+	}
+	out, err := execJoinProbe(ctx, stmt, vl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 matches twice, row 2 never, row 3 once => 3 output rows.
+	if out.Rows() != 3 {
+		t.Fatalf("probe output rows = %d, want 3", out.Rows())
+	}
+	v := out.Col("v").(I64Col)
+	if v[0] != 1 || v[1] != 1 || v[2] != 3 {
+		t.Errorf("gathered probe column wrong: %v", v)
+	}
+	if ctx.Stats.JoinProbeRows != 3 {
+		t.Errorf("JoinProbeRows = %d, want 3", ctx.Stats.JoinProbeRows)
+	}
+}
+
+func TestExecFlattenStmt(t *testing.T) {
+	reg := object.NewRegistry()
+	p := object.NewPage(1<<16, reg)
+	a := object.NewAllocator(p, object.PolicyLightweightReuse)
+	mkVec := func(vals ...int64) object.Ref {
+		v, _ := object.MakeVector(a, object.KInt64, len(vals))
+		for _, x := range vals {
+			_ = v.PushBackI64(a, x)
+		}
+		return v.Ref
+	}
+	stmt := &tcap.Stmt{
+		Op:      tcap.OpFlatten,
+		Applied: tcap.ColumnsRef{Name: "in", Cols: []string{"vec"}},
+		Copied:  tcap.ColumnsRef{Name: "in", Cols: []string{"id"}},
+		Out:     tcap.ColumnsRef{Name: "out", Cols: []string{"id", "elem"}},
+	}
+	vl := &VectorList{
+		Names: []string{"id", "vec"},
+		Cols:  []Column{I64Col{1, 2, 3}, RefCol{mkVec(10, 11), mkVec(), mkVec(30)}},
+	}
+	out, err := execFlatten(stmt, vl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 3 {
+		t.Fatalf("flattened rows = %d, want 3", out.Rows())
+	}
+	ids := out.Col("id").(I64Col)
+	elems := out.Col("elem").(I64Col)
+	if ids[0] != 1 || ids[1] != 1 || ids[2] != 3 {
+		t.Errorf("replicated ids = %v", ids)
+	}
+	if elems[0] != 10 || elems[1] != 11 || elems[2] != 30 {
+		t.Errorf("elements = %v", elems)
+	}
+}
+
+func TestOutputSinkRotationProducesZombiePages(t *testing.T) {
+	// Force tiny pages so the sink must seal several (the live/zombie
+	// output page discipline of Appendix C).
+	reg := object.NewRegistry()
+	ti := object.NewStruct("Blob").AddField("x", object.KFloat64).MustBuild(reg)
+	stats := &Stats{}
+	sink, err := NewOutputSink(reg, 1024, nil, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Ctx{Reg: reg, Out: sink.Out, Stats: stats}
+	_ = ctx
+	var refs RefCol
+	for i := 0; i < 100; i++ {
+		// Allocate each object on the sink's live page (as projection
+		// kernels would).
+		r, err := sink.Out.Alloc.MakeObject(ti)
+		if err == object.ErrPageFull {
+			if err := sink.Out.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+			r, err = sink.Out.Alloc.MakeObject(ti)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		object.SetF64(r, ti.Field("x"), float64(i))
+		refs = append(refs, r)
+		if err := sink.appendWithRotate(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pages := sink.Pages()
+	if len(pages) < 2 {
+		t.Fatalf("expected multiple sealed pages, got %d", len(pages))
+	}
+	if stats.PagesSealed == 0 {
+		t.Error("PagesSealed not counted")
+	}
+	if got := CountObjects(pages); got != 100 {
+		t.Errorf("objects across pages = %d, want 100", got)
+	}
+	// Every object must be readable from its final page.
+	sum := 0.0
+	for _, p := range pages {
+		root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+		for i := 0; i < root.Len(); i++ {
+			sum += object.GetF64(root.HandleAt(i), ti.Field("x"))
+		}
+	}
+	if sum != 99*100/2 {
+		t.Errorf("sum = %g, want %g", sum, float64(99*100/2))
+	}
+}
+
+func sumCombine(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
+	if !exists {
+		return object.Float64Value(next.AsFloat64()), nil
+	}
+	return object.Float64Value(cur.F + next.AsFloat64()), nil
+}
+
+func TestAggSinkAndMerge(t *testing.T) {
+	reg := object.NewRegistry()
+	const parts = 4
+	stats := &Stats{}
+	sink, err := NewAggSink(reg, 1<<14, parts, object.KInt64, object.KFloat64,
+		sumCombine, "key", "val", nil, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Ctx{Reg: reg, Out: sink.Out, Stats: stats}
+	stmt := &tcap.Stmt{Op: tcap.OpAggregate,
+		Applied: tcap.ColumnsRef{Name: "in", Cols: []string{"key", "val"}}}
+
+	// 1000 rows across 10 keys; per-key sum should be exact.
+	for batch := 0; batch < 10; batch++ {
+		keys := make(I64Col, 100)
+		vals := make(F64Col, 100)
+		for i := range keys {
+			keys[i] = int64(i % 10)
+			vals[i] = 1
+		}
+		vl := &VectorList{Names: []string{"key", "val"}, Cols: []Column{keys, vals}}
+		if err := sink.Consume(ctx, vl, stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := &AggSpec{KeyKind: object.KInt64, ValKind: object.KFloat64, Combine: sumCombine}
+	totalKeys := 0
+	totalSum := 0.0
+	for part := 0; part < parts; part++ {
+		final, _, err := MergeAggMaps(reg, sink.Pages(), part, parts, spec, 1<<14, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final.Iterate(func(k, v object.Value) bool {
+			totalKeys++
+			totalSum += v.F
+			if v.F != 100 {
+				t.Errorf("key %d sum = %g, want 100", k.I, v.F)
+			}
+			return true
+		})
+	}
+	if totalKeys != 10 {
+		t.Errorf("merged keys = %d, want 10", totalKeys)
+	}
+	if totalSum != 1000 {
+		t.Errorf("total = %g, want 1000", totalSum)
+	}
+}
+
+func TestAggSinkRotatesOnTinyPages(t *testing.T) {
+	reg := object.NewRegistry()
+	stats := &Stats{}
+	sink, err := NewAggSink(reg, 4096, 2, object.KString, object.KFloat64,
+		sumCombine, "key", "val", nil, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Ctx{Reg: reg, Out: sink.Out, Stats: stats}
+	stmt := &tcap.Stmt{Op: tcap.OpAggregate,
+		Applied: tcap.ColumnsRef{Name: "in", Cols: []string{"key", "val"}}}
+	keys := make(StrCol, 500)
+	vals := make(F64Col, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i%50)
+		vals[i] = 2
+	}
+	vl := &VectorList{Names: []string{"key", "val"}, Cols: []Column{keys, vals}}
+	if err := sink.Consume(ctx, vl, stmt); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Pages()) < 2 {
+		t.Fatalf("tiny pages should force rotation; got %d pages", len(sink.Pages()))
+	}
+	// Partial aggregates must still merge exactly.
+	spec := &AggSpec{KeyKind: object.KString, ValKind: object.KFloat64, Combine: sumCombine}
+	total := 0.0
+	for part := 0; part < 2; part++ {
+		final, _, err := MergeAggMaps(reg, sink.Pages(), part, 2, spec, 1<<14, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final.Iterate(func(k, v object.Value) bool {
+			total += v.F
+			return true
+		})
+	}
+	if total != 1000 {
+		t.Errorf("merged total = %g, want 1000", total)
+	}
+}
+
+func TestScanPagesBatches(t *testing.T) {
+	reg := object.NewRegistry()
+	ti := object.NewStruct("T").AddField("x", object.KInt64).MustBuild(reg)
+	p := object.NewPage(1<<18, reg)
+	a := object.NewAllocator(p, object.PolicyLightweightReuse)
+	root, _ := object.MakeVector(a, object.KHandle, 0)
+	root.Retain()
+	p.SetRoot(root.Off)
+	for i := 0; i < 700; i++ {
+		r, err := a.MakeObject(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		object.SetI64(r, ti.Field("x"), int64(i))
+		_ = root.PushBackHandle(a, r)
+	}
+	var batches, rows int
+	err := ScanPages([]*object.Page{p}, "obj", 256, func(vl *VectorList) error {
+		batches++
+		rows += vl.Rows()
+		if vl.Col("obj") == nil {
+			t.Fatal("scan column missing")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 700 {
+		t.Errorf("scanned rows = %d, want 700", rows)
+	}
+	if batches != 3 { // 256+256+188
+		t.Errorf("batches = %d, want 3", batches)
+	}
+	if CountObjects([]*object.Page{p}) != 700 {
+		t.Errorf("CountObjects wrong")
+	}
+}

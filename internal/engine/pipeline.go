@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+// Pipeline is an executable sequence of non-breaking TCAP statements plus a
+// terminal sink (the paper's pipeline of pipeline stages, Appendix C). The
+// first statement consumes the source vector list; each subsequent statement
+// consumes its predecessor's output.
+type Pipeline struct {
+	Stmts []*tcap.Stmt
+	Reg   *StageRegistry
+	Sink  Sink
+	// SinkStmt is the breaker statement the sink implements (OUTPUT,
+	// AGGREGATE, or the JOIN whose build side this pipeline feeds).
+	SinkStmt *tcap.Stmt
+}
+
+// RunBatch pushes one source vector list through every stage and into the
+// sink. A page-full fault from a kernel rotates the output page and retries;
+// batches that cannot fit even on a fresh page are split recursively (down
+// to single rows).
+func (p *Pipeline) RunBatch(ctx *Ctx, vl *VectorList) error {
+	return p.runBatch(ctx, vl, 0)
+}
+
+func (p *Pipeline) runBatch(ctx *Ctx, vl *VectorList, depth int) error {
+	if ctx.Stats != nil {
+		ctx.Stats.Batches++
+		ctx.Stats.Rows += vl.Rows()
+	}
+	out, err := p.applyStmts(ctx, vl)
+	if errors.Is(err, object.ErrPageFull) {
+		if ctx.Stats != nil {
+			ctx.Stats.PageRetries++
+		}
+		if rerr := ctx.Out.Rotate(); rerr != nil {
+			return rerr
+		}
+		out, err = p.applyStmts(ctx, vl)
+		if errors.Is(err, object.ErrPageFull) {
+			// Even a fresh page cannot hold the batch's output;
+			// split the batch.
+			n := vl.Rows()
+			if n <= 1 || depth > 24 {
+				return fmt.Errorf("engine: single row overflows an empty output page: %w", err)
+			}
+			half := n / 2
+			lo := make([]int, half)
+			hi := make([]int, n-half)
+			for i := 0; i < half; i++ {
+				lo[i] = i
+			}
+			for i := half; i < n; i++ {
+				hi[i-half] = i
+			}
+			if err := p.runBatch(ctx, vl.GatherAll(lo), depth+1); err != nil {
+				return err
+			}
+			return p.runBatch(ctx, vl.GatherAll(hi), depth+1)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if out.Rows() == 0 {
+		return nil
+	}
+	return p.Sink.Consume(ctx, out, p.SinkStmt)
+}
+
+func (p *Pipeline) applyStmts(ctx *Ctx, vl *VectorList) (*VectorList, error) {
+	cur := vl
+	for _, s := range p.Stmts {
+		next, err := executeStmt(ctx, p.Reg, s, cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ScanPages streams the objects stored on a slice of pages (each holding a
+// root Vector<Handle>) as vector lists with a single handle column named
+// colName, in batches of batch objects, invoking fn per batch.
+func ScanPages(pages []*object.Page, colName string, batch int, fn func(*VectorList) error) error {
+	if batch <= 0 {
+		batch = BatchSize
+	}
+	for _, pg := range pages {
+		if pg.Root() == 0 {
+			continue
+		}
+		root := object.AsVector(object.Ref{Page: pg, Off: pg.Root()})
+		n := root.Len()
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			col := make(RefCol, 0, end-start)
+			for i := start; i < end; i++ {
+				col = append(col, root.HandleAt(i))
+			}
+			vl := &VectorList{Names: []string{colName}, Cols: []Column{col}}
+			if err := fn(vl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CountObjects counts the objects stored across a slice of root-vector
+// pages.
+func CountObjects(pages []*object.Page) int {
+	total := 0
+	for _, pg := range pages {
+		if pg.Root() == 0 {
+			continue
+		}
+		total += object.AsVector(object.Ref{Page: pg, Off: pg.Root()}).Len()
+	}
+	return total
+}

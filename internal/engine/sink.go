@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+// Sink terminates a pipeline (the paper's pipe sink): it consumes the final
+// vector list of each batch and materializes it into PC objects on output
+// pages — an output set's root vector, pre-aggregation maps, or a join hash
+// table. Sinks own their page-rotation policy.
+type Sink interface {
+	Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error
+	// Pages returns the sealed+live output pages the sink produced.
+	Pages() []*object.Page
+}
+
+// CombineFn merges an incoming aggregation value into the current value for
+// a key (the paper's "the existing value is added to the new value").
+// Handle-valued aggregates allocate their state with a.
+type CombineFn func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error)
+
+// OutputSink writes result objects into output pages, each holding a root
+// Vector<Handle>. Objects already allocated on the live output page are
+// appended with a same-page handle write; objects on other pages (identity
+// projections of input data, or stragglers on a just-sealed zombie page) are
+// deep-copied by the handle-assignment rule.
+type OutputSink struct {
+	Out *OutputPageSet
+}
+
+// NewOutputSink creates an output sink writing pages of the given size.
+func NewOutputSink(reg *object.Registry, pageSize int, pool *object.PagePool, stats *Stats) (*OutputSink, error) {
+	ops, err := NewOutputPageSet(reg, pageSize, object.PolicyLightweightReuse, initRootVector, pool, stats)
+	if err != nil {
+		return nil, err
+	}
+	return &OutputSink{Out: ops}, nil
+}
+
+func initRootVector(a *object.Allocator, p *object.Page) error {
+	v, err := object.MakeVector(a, object.KHandle, 0)
+	if err != nil {
+		return err
+	}
+	v.Retain()
+	p.SetRoot(v.Off)
+	return nil
+}
+
+// Consume appends the statement's applied column (result objects) to the
+// live page's root vector, rotating on page-full.
+func (s *OutputSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error {
+	if len(stmt.Applied.Cols) != 1 {
+		return fmt.Errorf("engine: OUTPUT consumes one column, got %v", stmt.Applied.Cols)
+	}
+	col := vl.Col(stmt.Applied.Cols[0])
+	rc, ok := col.(RefCol)
+	if !ok {
+		return fmt.Errorf("engine: OUTPUT column %q must hold objects", stmt.Applied.Cols[0])
+	}
+	for _, r := range rc {
+		if err := s.appendWithRotate(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *OutputSink) appendWithRotate(r object.Ref) error {
+	root := object.AsVector(object.Ref{Page: s.Out.Live, Off: s.Out.Live.Root()})
+	err := root.PushBackHandle(s.Out.Alloc, r)
+	if !errors.Is(err, object.ErrPageFull) {
+		return err
+	}
+	if err := s.Out.Rotate(); err != nil {
+		return err
+	}
+	root = object.AsVector(object.Ref{Page: s.Out.Live, Off: s.Out.Live.Root()})
+	if err := root.PushBackHandle(s.Out.Alloc, r); err != nil {
+		return fmt.Errorf("engine: object does not fit on an empty output page: %w", err)
+	}
+	return nil
+}
+
+// Pages returns the output pages.
+func (s *OutputSink) Pages() []*object.Page { return s.Out.Pages() }
+
+// AggSink pre-aggregates (key, value) pairs into per-hash-partition PC Map
+// objects held on output pages — the producing stage of distributed
+// aggregation (paper Appendix D.2, Figure 5). Each live page's root is a
+// Vector<Handle<Map>> with one map per partition, so a filled page ships to
+// the shuffle as raw bytes.
+type AggSink struct {
+	Out        *OutputPageSet
+	Partitions int
+	KeyKind    object.Kind
+	ValKind    object.Kind
+	Combine    CombineFn
+
+	// PreAggregate can be disabled for the ablation benchmark: values
+	// are then appended un-combined (every pair occupies a fresh key
+	// slot via unique suffixing is not possible in a map, so instead
+	// combining still occurs but only at the consuming stage; disabling
+	// simply routes rows round-robin to per-partition vectors).
+	KeyCol, ValCol string
+
+	// partCache holds resolved per-partition map handles so the hot
+	// per-row path skips root-vector resolution; rebuilt after each page
+	// rotation (the maps move to a fresh page).
+	partCache []object.OMap
+	cachePage *object.Page
+}
+
+// NewAggSink creates a pre-aggregation sink.
+func NewAggSink(reg *object.Registry, pageSize, partitions int, keyKind, valKind object.Kind,
+	combine CombineFn, keyCol, valCol string, pool *object.PagePool, stats *Stats) (*AggSink, error) {
+	s := &AggSink{Partitions: partitions, KeyKind: keyKind, ValKind: valKind,
+		Combine: combine, KeyCol: keyCol, ValCol: valCol}
+	ops, err := NewOutputPageSet(reg, pageSize, object.PolicyLightweightReuse,
+		func(a *object.Allocator, p *object.Page) error { return s.initMaps(a, p) }, pool, stats)
+	if err != nil {
+		return nil, err
+	}
+	s.Out = ops
+	return s, nil
+}
+
+func (s *AggSink) initMaps(a *object.Allocator, p *object.Page) error {
+	root, err := object.MakeVector(a, object.KHandle, s.Partitions)
+	if err != nil {
+		return err
+	}
+	root.Retain()
+	for i := 0; i < s.Partitions; i++ {
+		m, err := object.MakeMap(a, s.KeyKind, s.ValKind, 8)
+		if err != nil {
+			return err
+		}
+		if err := root.PushBackHandle(a, m.Ref); err != nil {
+			return err
+		}
+	}
+	p.SetRoot(root.Off)
+	return nil
+}
+
+func (s *AggSink) partitionMap(i int) object.OMap {
+	if s.cachePage != s.Out.Live {
+		root := object.AsVector(object.Ref{Page: s.Out.Live, Off: s.Out.Live.Root()})
+		s.partCache = s.partCache[:0]
+		for p := 0; p < s.Partitions; p++ {
+			s.partCache = append(s.partCache, object.AsMap(root.HandleAt(p)))
+		}
+		s.cachePage = s.Out.Live
+	}
+	return s.partCache[i]
+}
+
+// Consume folds each (key, value) row into its partition's map.
+func (s *AggSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error {
+	keyCol := vl.Col(s.KeyCol)
+	valCol := vl.Col(s.ValCol)
+	if keyCol == nil || valCol == nil {
+		return fmt.Errorf("engine: AGGREGATE needs columns %q and %q", s.KeyCol, s.ValCol)
+	}
+	n := keyCol.Len()
+	for i := 0; i < n; i++ {
+		key := keyCol.Value(i)
+		val := valCol.Value(i)
+		if err := s.updateWithRotate(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateThreshold keeps headroom on the live page so a single map update
+// (rehash, key allocation, combined-state allocation) rarely faults
+// mid-write; when it does fault anyway, the row is redone from scratch on a
+// fresh page. Partial aggregates split across pages are merged downstream,
+// which is sound because Combine is associative.
+func (s *AggSink) rotateThreshold() uint32 {
+	t := uint32(s.Out.PageSize / 8)
+	if t > 4096 {
+		t = 4096
+	}
+	return t
+}
+
+func (s *AggSink) updateWithRotate(key, val object.Value) error {
+	if s.Out.Live.Remaining() < s.rotateThreshold() {
+		if err := s.Out.Rotate(); err != nil {
+			return err
+		}
+	}
+	part := int(object.HashValue(key) % uint64(s.Partitions))
+
+	try := func() error {
+		m := s.partitionMap(part)
+		cur, ok := m.Get(key)
+		if ok && cur.K == object.KInvalid {
+			ok = false // a faulted earlier write left a zero entry
+		}
+		nv, err := s.Combine(s.Out.Alloc, cur, ok, val)
+		if err != nil {
+			return err
+		}
+		return m.Put(s.Out.Alloc, key, nv)
+	}
+	err := try()
+	if !errors.Is(err, object.ErrPageFull) {
+		return err
+	}
+	if err := s.Out.Rotate(); err != nil {
+		return err
+	}
+	if err := try(); err != nil {
+		return fmt.Errorf("engine: aggregation entry does not fit on an empty page: %w", err)
+	}
+	return nil
+}
+
+// Pages returns the pre-aggregated map pages.
+func (s *AggSink) Pages() []*object.Page { return s.Out.Pages() }
+
+// JoinBuildSink builds the probe hash table for one join input (the
+// BuildHashTableJobStage's terminal). The table references objects on their
+// input pages, which the engine keeps pinned for the duration of the join —
+// mirroring the paper's careful page usage (§6.5).
+type JoinBuildSink struct {
+	Table   *JoinTable
+	HashCol string
+	ObjCol  string
+}
+
+// NewJoinBuildSink creates a build sink reading the given hash and object
+// columns.
+func NewJoinBuildSink(hashCol, objCol string) *JoinBuildSink {
+	return &JoinBuildSink{Table: NewJoinTable(), HashCol: hashCol, ObjCol: objCol}
+}
+
+// Consume inserts every (hash, object) row into the table.
+func (s *JoinBuildSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error {
+	hc, ok := vl.Col(s.HashCol).(U64Col)
+	if !ok {
+		return fmt.Errorf("engine: join build hash column %q missing or mistyped", s.HashCol)
+	}
+	oc, ok := vl.Col(s.ObjCol).(RefCol)
+	if !ok {
+		return fmt.Errorf("engine: join build object column %q missing or mistyped", s.ObjCol)
+	}
+	for i, h := range hc {
+		s.Table.Add(h, oc[i])
+	}
+	return nil
+}
+
+// Pages is empty: the build table is worker-transient state.
+func (s *JoinBuildSink) Pages() []*object.Page { return nil }
+
+// RepartitionSink materializes (hash, object) rows into per-partition output
+// pages for shuffling: partition p's pages hold root vectors of the objects
+// whose join-key hash lands in p. This is the data-repartition job stage of
+// the paper's 2n-stage distributed join (Appendix D.3).
+type RepartitionSink struct {
+	Parts   []*OutputPageSet
+	HashCol string
+	ObjCol  string
+}
+
+// NewRepartitionSink creates one output page set per partition.
+func NewRepartitionSink(reg *object.Registry, pageSize, partitions int, hashCol, objCol string, pool *object.PagePool, stats *Stats) (*RepartitionSink, error) {
+	s := &RepartitionSink{HashCol: hashCol, ObjCol: objCol}
+	for i := 0; i < partitions; i++ {
+		ops, err := NewOutputPageSet(reg, pageSize, object.PolicyLightweightReuse, initRootVector, pool, stats)
+		if err != nil {
+			return nil, err
+		}
+		s.Parts = append(s.Parts, ops)
+	}
+	return s, nil
+}
+
+// Consume routes each object to its hash partition's pages.
+func (s *RepartitionSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error {
+	hc, ok := vl.Col(s.HashCol).(U64Col)
+	if !ok {
+		return fmt.Errorf("engine: repartition hash column %q missing or mistyped", s.HashCol)
+	}
+	oc, ok := vl.Col(s.ObjCol).(RefCol)
+	if !ok {
+		return fmt.Errorf("engine: repartition object column %q missing or mistyped", s.ObjCol)
+	}
+	for i, h := range hc {
+		part := s.Parts[int(h%uint64(len(s.Parts)))]
+		if err := appendToRoot(part, oc[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendToRoot(out *OutputPageSet, r object.Ref) error {
+	root := object.AsVector(object.Ref{Page: out.Live, Off: out.Live.Root()})
+	err := root.PushBackHandle(out.Alloc, r)
+	if !errors.Is(err, object.ErrPageFull) {
+		return err
+	}
+	if err := out.Rotate(); err != nil {
+		return err
+	}
+	root = object.AsVector(object.Ref{Page: out.Live, Off: out.Live.Root()})
+	if err := root.PushBackHandle(out.Alloc, r); err != nil {
+		return fmt.Errorf("engine: object does not fit on an empty repartition page: %w", err)
+	}
+	return nil
+}
+
+// PartitionPages returns partition p's pages.
+func (s *RepartitionSink) PartitionPages(p int) []*object.Page { return s.Parts[p].Pages() }
+
+// Pages returns all partitions' pages.
+func (s *RepartitionSink) Pages() []*object.Page {
+	var out []*object.Page
+	for _, p := range s.Parts {
+		out = append(out, p.Pages()...)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+// executeStmt runs one non-breaking TCAP statement over a vector list,
+// producing the statement's output vector list. Pipeline breakers
+// (AGGREGATE, OUTPUT, and JOIN build sides) are handled by sinks, not here;
+// a JOIN statement encountered mid-pipeline is a probe against a prebuilt
+// table.
+func executeStmt(ctx *Ctx, reg *StageRegistry, s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+	switch s.Op {
+	case tcap.OpApply:
+		return execApply(ctx, reg, s, in)
+	case tcap.OpHash:
+		return execHash(s, in)
+	case tcap.OpFilter:
+		return execFilter(s, in)
+	case tcap.OpFlatten:
+		return execFlatten(s, in)
+	case tcap.OpJoin:
+		return execJoinProbe(ctx, s, in)
+	default:
+		return nil, fmt.Errorf("engine: op %v cannot run mid-pipeline", s.Op)
+	}
+}
+
+// execApply runs the statement's registered kernel over the applied columns
+// and appends the result column.
+func execApply(ctx *Ctx, reg *StageRegistry, s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+	kernel, err := reg.Lookup(s.Comp, s.Stage)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([]Column, len(s.Applied.Cols))
+	for i, name := range s.Applied.Cols {
+		c := in.Col(name)
+		if c == nil {
+			return nil, fmt.Errorf("engine: APPLY %s.%s: missing column %q", s.Comp, s.Stage, name)
+		}
+		inputs[i] = c
+	}
+	newCol, err := kernel(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := in.Project(s.Copied.Cols)
+	if err != nil {
+		return nil, err
+	}
+	newNames := s.NewColumns()
+	if len(newNames) != 1 {
+		return nil, fmt.Errorf("engine: APPLY %s.%s must create exactly one column, got %v", s.Comp, s.Stage, newNames)
+	}
+	out.Append(newNames[0], newCol)
+	return out, nil
+}
+
+// execHash hashes the applied column into a new U64 column (the TCAP HASH
+// operation feeding joins and aggregations).
+func execHash(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+	if len(s.Applied.Cols) != 1 {
+		return nil, fmt.Errorf("engine: HASH takes one input column")
+	}
+	c := in.Col(s.Applied.Cols[0])
+	if c == nil {
+		return nil, fmt.Errorf("engine: HASH: missing column %q", s.Applied.Cols[0])
+	}
+	n := c.Len()
+	hashes := make(U64Col, n)
+	switch col := c.(type) {
+	case I64Col:
+		for i, v := range col {
+			hashes[i] = object.HashValue(object.Int64Value(v))
+		}
+	case F64Col:
+		for i, v := range col {
+			hashes[i] = object.HashValue(object.Float64Value(v))
+		}
+	case StrCol:
+		for i, v := range col {
+			hashes[i] = object.HashValue(object.StringValue(v))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			hashes[i] = object.HashValue(c.Value(i))
+		}
+	}
+	out, err := in.Project(s.Copied.Cols)
+	if err != nil {
+		return nil, err
+	}
+	newNames := s.NewColumns()
+	if len(newNames) != 1 {
+		return nil, fmt.Errorf("engine: HASH must create exactly one column")
+	}
+	out.Append(newNames[0], hashes)
+	return out, nil
+}
+
+// execFilter keeps the rows whose applied boolean column is true, gathering
+// every copied column.
+func execFilter(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+	if len(s.Applied.Cols) != 1 {
+		return nil, fmt.Errorf("engine: FILTER takes one input column")
+	}
+	c := in.Col(s.Applied.Cols[0])
+	bc, ok := c.(BoolCol)
+	if !ok {
+		return nil, fmt.Errorf("engine: FILTER input %q is not boolean", s.Applied.Cols[0])
+	}
+	var idx []int
+	for i, b := range bc {
+		if b {
+			idx = append(idx, i)
+		}
+	}
+	proj, err := in.Project(s.Copied.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return proj.GatherAll(idx), nil
+}
+
+// execFlatten explodes a column of PC Vector handles: each input row
+// produces one output row per vector element, with copied columns
+// replicated (MultiSelectionComp's set-valued projection).
+func execFlatten(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+	if len(s.Applied.Cols) != 1 {
+		return nil, fmt.Errorf("engine: FLATTEN takes one input column")
+	}
+	c := in.Col(s.Applied.Cols[0])
+	rc, ok := c.(RefCol)
+	if !ok {
+		return nil, fmt.Errorf("engine: FLATTEN input %q must be a handle column", s.Applied.Cols[0])
+	}
+	var idx []int
+	var elems []object.Value
+	for i, r := range rc {
+		if r.IsNil() {
+			continue
+		}
+		v := object.AsVector(r)
+		for j, n := 0, v.Len(); j < n; j++ {
+			idx = append(idx, i)
+			elems = append(elems, v.At(j))
+		}
+	}
+	proj, err := in.Project(s.Copied.Cols)
+	if err != nil {
+		return nil, err
+	}
+	out := proj.GatherAll(idx)
+	newNames := s.NewColumns()
+	if len(newNames) != 1 {
+		return nil, fmt.Errorf("engine: FLATTEN must create exactly one column")
+	}
+	out.Append(newNames[0], ColumnOf(elems))
+	return out, nil
+}
+
+// execJoinProbe probes the prebuilt hash table for the statement's right
+// input (the build side, keyed by the right input's vector list name): for
+// each left row, one output row per matching build object. The build
+// object is appended as the right copied column; equality is re-verified by
+// the post-join filter the compiler always emits.
+func execJoinProbe(ctx *Ctx, s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+	table := ctx.Tables[s.Applied2.Name]
+	if table == nil {
+		return nil, fmt.Errorf("engine: no join table for %q", s.Applied2.Name)
+	}
+	if len(s.Applied.Cols) != 1 {
+		return nil, fmt.Errorf("engine: JOIN probes one hash column")
+	}
+	hc, ok := in.Col(s.Applied.Cols[0]).(U64Col)
+	if !ok {
+		return nil, fmt.Errorf("engine: JOIN probe column %q must be hashes", s.Applied.Cols[0])
+	}
+	if len(s.Copied2.Cols) != 1 {
+		return nil, fmt.Errorf("engine: JOIN build side carries one object column")
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.JoinProbeRows += len(hc)
+	}
+	var idx []int
+	var matches RefCol
+	for i, h := range hc {
+		for _, r := range table.M[h] {
+			idx = append(idx, i)
+			matches = append(matches, r)
+		}
+	}
+	proj, err := in.Project(s.Copied.Cols)
+	if err != nil {
+		return nil, err
+	}
+	out := proj.GatherAll(idx)
+	out.Append(s.Copied2.Cols[0], matches)
+	return out, nil
+}
+
+// ExecuteStmtForTest exposes single-statement execution to tests in other
+// packages (e.g. the Figure 1 stage-by-stage pipeline walkthrough).
+func ExecuteStmtForTest(ctx *Ctx, reg *StageRegistry, s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+	return executeStmt(ctx, reg, s, in)
+}

@@ -1,0 +1,118 @@
+package lambda
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/object"
+)
+
+// The paper's §4 three-way join predicate:
+//
+//	makeLambdaFromMember(arg1, deptName) == makeLambdaFromMethod(arg2, getDeptName) &&
+//	makeLambdaFromMember(arg1, deptName) == makeLambdaFromMethod(arg3, getDept)
+func paperJoinPredicate() Term {
+	dep := NewArg(0, "Dep")
+	emp := NewArg(1, "Emp")
+	sup := NewArg(2, "Sup")
+	return And(
+		Eq(FromMember(dep, "deptName"), FromMethod(emp, "getDeptName")),
+		Eq(FromMember(dep, "deptName"), FromMethod(sup, "getDept")),
+	)
+}
+
+func TestArgsPropagation(t *testing.T) {
+	pred := paperJoinPredicate()
+	got := ArgList(pred)
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("ArgList = %v, want [0 1 2]", got)
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	pred := paperJoinPredicate()
+	conj := SplitConjuncts(pred)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d, want 2", len(conj))
+	}
+	// A nested and-tree flattens fully.
+	three := And(And(ConstF64(1), ConstF64(2)), ConstF64(3))
+	if got := len(SplitConjuncts(three)); got != 3 {
+		t.Errorf("nested conjuncts = %d, want 3", got)
+	}
+	// OR does not split.
+	if got := len(SplitConjuncts(Or(ConstF64(1), ConstF64(2)))); got != 1 {
+		t.Errorf("or conjuncts = %d, want 1", got)
+	}
+}
+
+func TestIsEquiJoinConjunct(t *testing.T) {
+	dep := NewArg(0, "Dep")
+	emp := NewArg(1, "Emp")
+
+	l, r, li, ri, ok := IsEquiJoinConjunct(Eq(FromMember(dep, "deptName"), FromMethod(emp, "getDeptName")))
+	if !ok || li != 0 || ri != 1 {
+		t.Fatalf("equi-join detection failed: ok=%v li=%d ri=%d", ok, li, ri)
+	}
+	if _, isM := l.(*Member); !isM {
+		t.Error("left side should be the member access")
+	}
+	if _, isMC := r.(*MethodCall); !isMC {
+		t.Error("right side should be the method call")
+	}
+
+	// Single-input equality is a filter, not a join key.
+	if _, _, _, _, ok := IsEquiJoinConjunct(Eq(FromMethod(emp, "getSalary"), ConstF64(5))); ok {
+		t.Error("comparison against a constant is not an equi-join conjunct")
+	}
+	// Same input on both sides is not a join key.
+	if _, _, _, _, ok := IsEquiJoinConjunct(Eq(FromMember(emp, "a"), FromMember(emp, "b"))); ok {
+		t.Error("same-input equality is not an equi-join conjunct")
+	}
+	// Non-equality operators are not join keys.
+	if _, _, _, _, ok := IsEquiJoinConjunct(Gt(FromMember(dep, "x"), FromMember(emp, "y"))); ok {
+		t.Error("inequality is not an equi-join conjunct")
+	}
+}
+
+func TestWalkPostOrder(t *testing.T) {
+	emp := NewArg(0, "Emp")
+	pred := Gt(FromMethod(emp, "getSalary"), ConstF64(50000))
+	var order []string
+	Walk(pred, func(tm Term) { order = append(order, tm.String()) })
+	want := []string{"arg0:Emp", "arg0:Emp.getSalary()", "50000", "(arg0:Emp.getSalary() > 50000)"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("Walk order = %v, want %v", order, want)
+	}
+}
+
+func TestNativeTermDependencies(t *testing.T) {
+	a := NewArg(0, "DataPoint")
+	n := FromNative("getClose", object.KInt64,
+		func(ctx *NativeCtx, args []object.Value) (object.Value, error) {
+			return object.Int64Value(0), nil
+		},
+		FromSelf(a))
+	if got := ArgList(n); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("native Args = %v, want [0]", got)
+	}
+}
+
+func TestTermStrings(t *testing.T) {
+	emp := NewArg(1, "Emp")
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{FromMember(emp, "name"), "arg1:Emp.name"},
+		{FromMethod(emp, "getName"), "arg1:Emp.getName()"},
+		{FromSelf(emp), "self(arg1:Emp)"},
+		{Not(ConstOf(object.BoolValue(true))), "!true"},
+		{Add(ConstI64(1), ConstI64(2)), "(1 + 2)"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

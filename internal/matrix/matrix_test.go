@@ -1,0 +1,198 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *Dense {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.Transpose()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("shape %dx%d", mt.Rows, mt.Cols)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Error("transpose values wrong")
+	}
+	if !m.Transpose().Transpose().Equal(m, 0) {
+		t.Error("double transpose should be identity")
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 23}, {64, 64, 64}, {65, 130, 67}} {
+		a := randMat(rng, dims[0], dims[1])
+		b := randMat(rng, dims[1], dims[2])
+		fast, err := Mul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := MulNaive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fast.Equal(slow, 1e-9) {
+			t.Fatalf("blocked and naive multiply disagree at %v", dims)
+		}
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a, b := New(2, 3), New(2, 3)
+	if _, err := Mul(a, b); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if _, err := MulNaive(a, b); err == nil {
+		t.Error("shape mismatch should fail (naive)")
+	}
+}
+
+func TestIdentityMultiplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randMat(rng, 8, 8)
+	out, err := Mul(m, Identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(m, 1e-12) {
+		t.Error("m · I != m")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 20} {
+		// Diagonally dominant matrices are comfortably invertible.
+		m := randMat(rng, n, n)
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)+float64(n))
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := Mul(m, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prod.Equal(Identity(n), 1e-8) {
+			t.Errorf("m · m⁻¹ != I at n=%d", n)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := m.Inverse(); err == nil {
+		t.Error("singular matrix must fail")
+	}
+	if _, err := New(2, 3).Inverse(); err == nil {
+		t.Error("non-square inverse must fail")
+	}
+}
+
+func TestInverseNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	m := FromRows([][]float64{{0, 1}, {1, 0}})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equal(m, 1e-12) {
+		t.Error("permutation matrix is its own inverse")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 4}})
+	x, err := Solve(a, []float64{6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("solve = %v, want [3 2]", x)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	sum, _ := a.Add(b)
+	if sum.At(0, 0) != 5 || sum.At(1, 1) != 5 {
+		t.Error("add wrong")
+	}
+	diff, _ := a.Sub(b)
+	if diff.At(0, 0) != -3 || diff.At(1, 1) != 3 {
+		t.Error("sub wrong")
+	}
+	if a.Scale(2).At(1, 0) != 6 {
+		t.Error("scale wrong")
+	}
+	if _, err := a.Add(New(3, 3)); err == nil {
+		t.Error("add shape mismatch should fail")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := FromRows([][]float64{{1, -2, 3}, {4, 5, -6}})
+	rs := m.RowSum()
+	if rs[0] != 2 || rs[1] != 3 {
+		t.Errorf("RowSum = %v", rs)
+	}
+	cs := m.ColSum()
+	if cs[0] != 5 || cs[1] != 3 || cs[2] != -3 {
+		t.Errorf("ColSum = %v", cs)
+	}
+	if m.MinElement() != -6 || m.MaxElement() != 5 {
+		t.Error("min/max wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n, m, p := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randMat(rng, n, m)
+		b := randMat(rng, m, p)
+		ab, err := Mul(a, b)
+		if err != nil {
+			return false
+		}
+		lhs := ab.Transpose()
+		rhs, err := Mul(b.Transpose(), a.Transpose())
+		if err != nil {
+			return false
+		}
+		return lhs.Equal(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/pc"
+)
+
+// TestFigure2LDADataflow verifies the structure Figure 2 draws: each LDA
+// iteration is one many-to-one join whose output feeds *two* aggregations
+// (per-document and per-word), all executed as a single job with two
+// writers — which forces the engine's multi-consumer materialization path.
+// The init-only computations (dashed in the figure) run once in Load.
+func TestFigure2LDADataflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	const docs, vocab, topics = 25, 20, 2
+	triples, _ := GenerateCorpus(rng, docs, vocab, topics, 20)
+
+	client, err := pc.Connect(pc.Config{Workers: 3, PageSize: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewLDAModel(rng, topics, vocab, 0.1, 0.1)
+	lda, err := NewLDAPC(client, "ldadb", model, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lda.Load(triples, docs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Init-only state exists: triples and the iteration-0 thetas.
+	nTriples, err := client.CountSet("ldadb", "lda_triples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nTriples != len(triples) {
+		t.Fatalf("triples stored = %d, want %d", nTriples, len(triples))
+	}
+	nThetas, err := client.CountSet("ldadb", "lda_thetas_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nThetas != docs {
+		t.Fatalf("initial thetas = %d, want %d", nThetas, docs)
+	}
+
+	// One iteration produces BOTH consumers' outputs from the single
+	// join: a fresh theta set (doc aggregation) and the word-topic set
+	// (word aggregation).
+	if _, err := lda.Iterate(); err != nil {
+		t.Fatal(err)
+	}
+	nThetas1, err := client.CountSet("ldadb", "lda_thetas_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nThetas1 != docs {
+		t.Fatalf("iteration-1 thetas = %d, want %d (every document resampled)", nThetas1, docs)
+	}
+	nWordCounts, err := client.CountSet("ldadb", "lda_wordtopics_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nWordCounts == 0 || nWordCounts > vocab {
+		t.Fatalf("word-topic rows = %d, want 1..%d", nWordCounts, vocab)
+	}
+	// The join shuffled data (theta build side broadcast + aggregation
+	// map pages).
+	if client.Cluster.Transport.BytesShipped == 0 {
+		t.Error("LDA iteration should move pages across workers")
+	}
+}

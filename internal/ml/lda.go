@@ -1,0 +1,564 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/baseline"
+	"repro/internal/object"
+	"repro/internal/stat"
+	"repro/pc"
+)
+
+// Word-based, non-collapsed Gibbs LDA (paper §8.5.1). The data are
+// (docID, wordID, count) triples; each iteration:
+//
+//  1. a many-to-one JOIN matches every triple with its document's current
+//     topic-probability vector θ_d (the paper's 700 GB join, scaled);
+//  2. the join projection samples, for the triple's count occurrences,
+//     topic assignments z ~ Multinomial(θ_d[z] · φ_z[w]);
+//  3. the assignments feed two aggregations — per-document topic counts,
+//     finalized by sampling θ'_d ~ Dirichlet(α + counts), and per-word
+//     topic counts, from which the driver resamples φ_z ~ Dirichlet(β +
+//     counts) (non-collapsed: neither variable is integrated out).
+//
+// On PC the join output has two consumers, exercising the engine's
+// materialization boundary; the whole iteration is one ExecuteComputations
+// with two Write sinks.
+
+// LDAModel is the driver-side portion of the model: the per-topic word
+// distributions φ (K×V). The per-document θ vectors live in a PC set (or a
+// baseline dataset) — they are data-sized.
+type LDAModel struct {
+	K, V  int
+	Alpha float64
+	Beta  float64
+	Phi   [][]float64 // K rows of V probabilities
+}
+
+// NewLDAModel initializes φ uniformly with Dirichlet noise.
+func NewLDAModel(rng *rand.Rand, k, v int, alpha, beta float64) *LDAModel {
+	m := &LDAModel{K: k, V: v, Alpha: alpha, Beta: beta, Phi: make([][]float64, k)}
+	prior := make([]float64, v)
+	for i := range prior {
+		prior[i] = beta
+	}
+	for z := 0; z < k; z++ {
+		m.Phi[z] = stat.SampleDirichlet(rng, prior)
+	}
+	return m
+}
+
+// resamplePhi draws new word distributions from the accumulated word-topic
+// counts.
+func (m *LDAModel) resamplePhi(rng *rand.Rand, wordTopic [][]int64) {
+	alphas := make([]float64, m.V)
+	for z := 0; z < m.K; z++ {
+		for w := 0; w < m.V; w++ {
+			alphas[w] = m.Beta
+			if wordTopic[w] != nil {
+				alphas[w] += float64(wordTopic[w][z])
+			}
+		}
+		m.Phi[z] = stat.SampleDirichlet(rng, alphas)
+	}
+}
+
+// sampleAssignments draws topic counts for count occurrences of word w in a
+// document with topic probabilities theta. sampler abstracts the multinomial
+// implementation (the Table 4 tuning axis).
+func sampleAssignments(rng *rand.Rand, theta []float64, phiCol []float64, count int64,
+	sampler func(*rand.Rand, []float64) int) []int64 {
+	k := len(theta)
+	weights := make([]float64, k)
+	for z := 0; z < k; z++ {
+		weights[z] = theta[z] * phiCol[z]
+	}
+	counts := make([]int64, k)
+	for i := int64(0); i < count; i++ {
+		counts[sampler(rng, weights)]++
+	}
+	return counts
+}
+
+// slowSampleMultinomial is the "library-style" multinomial the paper's
+// vanilla Spark implementation used (breeze): it normalizes into a fresh
+// slice and walks the CDF in log space — correct but wasteful. The tuned
+// variant uses stat.SampleMultinomial directly.
+func slowSampleMultinomial(rng *rand.Rand, weights []float64) int {
+	logs := make([]float64, len(weights))
+	for i, w := range weights {
+		if w <= 0 {
+			logs[i] = math.Inf(-1)
+		} else {
+			logs[i] = math.Log(w)
+		}
+	}
+	return stat.SampleLogMultinomial(rng, logs)
+}
+
+// rngPool hands each concurrent worker its own deterministic-seeded RNG.
+type rngPool struct {
+	seed int64
+	pool sync.Pool
+}
+
+func newRngPool(seed int64) *rngPool {
+	p := &rngPool{seed: seed}
+	p.pool.New = func() interface{} {
+		s := atomic.AddInt64(&p.seed, 1)
+		return rand.New(rand.NewSource(s))
+	}
+	return p
+}
+
+func (p *rngPool) get() *rand.Rand  { return p.pool.Get().(*rand.Rand) }
+func (p *rngPool) put(r *rand.Rand) { p.pool.Put(r) }
+
+// LDAPC runs the Gibbs sampler on a PC cluster.
+type LDAPC struct {
+	Client *pc.Client
+	Db     string
+	Model  *LDAModel
+
+	triple *pc.TypeInfo // LDATriple{doc, word, count}
+	theta  *pc.TypeInfo // LDATheta{doc, probs}
+	assign *pc.TypeInfo // LDAAssign{doc, word, counts Vector<i64>}
+
+	rngs *rngPool
+	iter int
+}
+
+// NewLDAPC registers the schema.
+func NewLDAPC(client *pc.Client, db string, model *LDAModel, seed int64) (*LDAPC, error) {
+	l := &LDAPC{Client: client, Db: db, Model: model, rngs: newRngPool(seed)}
+	l.triple = pc.NewStruct("LDATriple").
+		AddField("doc", pc.KInt64).
+		AddField("word", pc.KInt64).
+		AddField("count", pc.KInt64).
+		MustBuild(client.Registry())
+	l.theta = pc.NewStruct("LDATheta").
+		AddField("doc", pc.KInt64).
+		AddField("probs", pc.KHandle).
+		MustBuild(client.Registry())
+	l.assign = pc.NewStruct("LDAAssign").
+		AddField("doc", pc.KInt64).
+		AddField("word", pc.KInt64).
+		AddField("counts", pc.KHandle).
+		MustBuild(client.Registry())
+	if err := client.CreateDatabase(db); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Load stores the corpus and the initial θ set (uniform Dirichlet draws) —
+// the dashed init-only computations of Figure 2.
+func (l *LDAPC) Load(triples []Triple, docs int) error {
+	if err := l.Client.CreateSet(l.Db, "lda_triples", "LDATriple"); err != nil {
+		return err
+	}
+	pages, err := l.Client.BuildPages(len(triples), func(a *pc.Allocator, i int) (pc.Ref, error) {
+		t, err := a.MakeObject(l.triple)
+		if err != nil {
+			return pc.Ref{}, err
+		}
+		object.SetI64(t, l.triple.Field("doc"), triples[i].Doc)
+		object.SetI64(t, l.triple.Field("word"), triples[i].Word)
+		object.SetI64(t, l.triple.Field("count"), triples[i].Count)
+		return t, nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := l.Client.SendData(l.Db, "lda_triples", pages); err != nil {
+		return err
+	}
+
+	// Initial thetas.
+	rng := l.rngs.get()
+	defer l.rngs.put(rng)
+	prior := make([]float64, l.Model.K)
+	for i := range prior {
+		prior[i] = l.Model.Alpha
+	}
+	if err := l.Client.CreateSet(l.Db, l.thetaSet(), "LDATheta"); err != nil {
+		return err
+	}
+	thetaPages, err := l.Client.BuildPages(docs, func(a *pc.Allocator, d int) (pc.Ref, error) {
+		return l.writeTheta(a, int64(d), stat.SampleDirichlet(rng, prior))
+	})
+	if err != nil {
+		return err
+	}
+	return l.Client.SendData(l.Db, l.thetaSet(), thetaPages)
+}
+
+func (l *LDAPC) thetaSet() string { return fmt.Sprintf("lda_thetas_%d", l.iter) }
+
+func (l *LDAPC) writeTheta(a *pc.Allocator, doc int64, probs []float64) (pc.Ref, error) {
+	t, err := a.MakeObject(l.theta)
+	if err != nil {
+		return pc.Ref{}, err
+	}
+	object.SetI64(t, l.theta.Field("doc"), doc)
+	v, err := pc.MakeVector(a, pc.KFloat64, len(probs))
+	if err != nil {
+		return pc.Ref{}, err
+	}
+	if err := v.AppendFloat64s(a, probs); err != nil {
+		return pc.Ref{}, err
+	}
+	return t, object.SetHandleField(a, t, l.theta.Field("probs"), v.Ref)
+}
+
+// Iterate runs one Gibbs sweep. Returns the per-word topic counts gathered
+// for the φ update (diagnostics use them too).
+func (l *LDAPC) Iterate() ([][]int64, error) {
+	model := l.Model
+	fDoc, fWord, fCount := l.triple.Field("doc"), l.triple.Field("word"), l.triple.Field("count")
+	fTProbs := l.theta.Field("probs")
+	fADoc, fAWord, fACounts := l.assign.Field("doc"), l.assign.Field("word"), l.assign.Field("counts")
+
+	writeAssign := func(a *pc.Allocator, doc, word int64, counts []int64) (pc.Ref, error) {
+		o, err := a.MakeObject(l.assign)
+		if err != nil {
+			return pc.Ref{}, err
+		}
+		object.SetI64(o, fADoc, doc)
+		object.SetI64(o, fAWord, word)
+		v, err := pc.MakeVector(a, pc.KInt64, len(counts))
+		if err != nil {
+			return pc.Ref{}, err
+		}
+		for _, c := range counts {
+			if err := v.PushBackI64(a, c); err != nil {
+				return pc.Ref{}, err
+			}
+		}
+		return o, object.SetHandleField(a, o, fACounts, v.Ref)
+	}
+
+	// The many-to-one join: triples (probe) against thetas (build).
+	join := &pc.Join{
+		In: []pc.Computation{
+			pc.NewScan(l.Db, "lda_triples", "LDATriple"),
+			pc.NewScan(l.Db, l.thetaSet(), "LDATheta"),
+		},
+		ArgTypes: []string{"LDATriple", "LDATheta"},
+		Predicate: func(args []*pc.Arg) pc.Term {
+			return pc.Eq(pc.FromMember(args[0], "doc"), pc.FromMember(args[1], "doc"))
+		},
+		Projection: func(args []*pc.Arg) pc.Term {
+			return pc.FromNative("gibbsSample", pc.KHandle,
+				func(ctx *pc.NativeCtx, vals []pc.Value) (pc.Value, error) {
+					tr, th := vals[0].H, vals[1].H
+					doc := object.GetI64(tr, fDoc)
+					word := object.GetI64(tr, fWord)
+					count := object.GetI64(tr, fCount)
+					theta := object.AsVector(object.GetHandleField(th, fTProbs)).Float64Slice()
+					phiCol := make([]float64, model.K)
+					for z := 0; z < model.K; z++ {
+						phiCol[z] = model.Phi[z][word]
+					}
+					rng := l.rngs.get()
+					counts := sampleAssignments(rng, theta, phiCol, count, stat.SampleMultinomial)
+					l.rngs.put(rng)
+					r, err := writeAssign(ctx.Alloc, doc, word, counts)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					return pc.HandleValue(r), nil
+				},
+				pc.FromSelf(args[0]), pc.FromSelf(args[1]))
+		},
+	}
+
+	sumCounts := func(a *pc.Allocator, cur, next pc.Value) (pc.Value, error) {
+		dst := object.AsVector(object.GetHandleField(cur.H, fACounts))
+		src := object.AsVector(object.GetHandleField(next.H, fACounts))
+		for i, n := 0, dst.Len(); i < n; i++ {
+			if err := dst.Set(a, i, pc.Int64Value(dst.I64At(i)+src.I64At(i))); err != nil {
+				return pc.Value{}, err
+			}
+		}
+		return cur, nil
+	}
+
+	// Consumer 1: per-document counts → new θ set.
+	nextThetaSet := fmt.Sprintf("lda_thetas_%d", l.iter+1)
+	docAgg := &pc.Aggregate{
+		In:      join,
+		ArgType: "LDAAssign",
+		Key:     func(arg *pc.Arg) pc.Term { return pc.FromMember(arg, "doc") },
+		Val:     func(arg *pc.Arg) pc.Term { return pc.FromSelf(arg) },
+		KeyKind: pc.KInt64,
+		ValKind: pc.KHandle,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists || cur.H.IsNil() {
+				return next, nil
+			}
+			return sumCounts(a, cur, next)
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			counts := object.AsVector(object.GetHandleField(val.H, fACounts))
+			alphas := make([]float64, model.K)
+			for z := 0; z < model.K; z++ {
+				alphas[z] = model.Alpha + float64(counts.I64At(z))
+			}
+			rng := l.rngs.get()
+			probs := stat.SampleDirichlet(rng, alphas)
+			l.rngs.put(rng)
+			return l.writeTheta(a, key.I, probs)
+		},
+	}
+
+	// Consumer 2: per-word counts → driver-side φ resampling.
+	wordCountSet := fmt.Sprintf("lda_wordtopics_%d", l.iter+1)
+	wordAgg := &pc.Aggregate{
+		In:      join,
+		ArgType: "LDAAssign",
+		Key:     func(arg *pc.Arg) pc.Term { return pc.FromMember(arg, "word") },
+		Val:     func(arg *pc.Arg) pc.Term { return pc.FromSelf(arg) },
+		KeyKind: pc.KInt64,
+		ValKind: pc.KHandle,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists || cur.H.IsNil() {
+				return next, nil
+			}
+			return sumCounts(a, cur, next)
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			out, err := object.DeepCopy(a, val.H)
+			if err != nil {
+				return pc.Ref{}, err
+			}
+			object.SetI64(out, fAWord, key.I)
+			return out, nil
+		},
+	}
+
+	if err := l.Client.CreateSet(l.Db, nextThetaSet, "LDATheta"); err != nil {
+		return nil, err
+	}
+	if err := l.Client.CreateSet(l.Db, wordCountSet, "LDAAssign"); err != nil {
+		return nil, err
+	}
+	_, err := l.Client.ExecuteComputations(
+		pc.NewWrite(l.Db, nextThetaSet, docAgg),
+		pc.NewWrite(l.Db, wordCountSet, wordAgg),
+	)
+	if err != nil {
+		return nil, err
+	}
+	l.iter++
+
+	// Gather word-topic counts; resample φ on the driver.
+	wordTopic := make([][]int64, model.V)
+	err = l.Client.ScanSet(l.Db, wordCountSet, func(r pc.Ref) bool {
+		w := object.GetI64(r, fAWord)
+		counts := object.AsVector(object.GetHandleField(r, fACounts))
+		row := make([]int64, model.K)
+		for z := 0; z < model.K; z++ {
+			row[z] = counts.I64At(z)
+		}
+		wordTopic[w] = row
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := l.rngs.get()
+	model.resamplePhi(rng, wordTopic)
+	l.rngs.put(rng)
+	return wordTopic, nil
+}
+
+// Thetas gathers the current per-document topic distributions.
+func (l *LDAPC) Thetas(docs int) ([][]float64, error) {
+	out := make([][]float64, docs)
+	err := l.Client.ScanSet(l.Db, l.thetaSet(), func(r pc.Ref) bool {
+		d := object.GetI64(r, l.theta.Field("doc"))
+		out[d] = object.AsVector(object.GetHandleField(r, l.theta.Field("probs"))).Float64Slice()
+		return true
+	})
+	return out, err
+}
+
+// Baseline LDA with the Table 4 tuning ladder.
+
+// LDATripleRec, LDAThetaRec, LDAAssignRec are the baseline records.
+type LDATripleRec struct{ Doc, Word, Count int64 }
+
+// LDAThetaRec is a document's topic distribution.
+type LDAThetaRec struct {
+	Doc   int64
+	Probs []float64
+}
+
+// LDAAssignRec carries sampled topic counts.
+type LDAAssignRec struct {
+	Doc, Word int64
+	Counts    []int64
+}
+
+func init() {
+	baseline.Register(LDATripleRec{})
+	baseline.Register(LDAThetaRec{})
+	baseline.Register(LDAAssignRec{})
+}
+
+// LDABaselineOpts is the §8.5.2 Spark tuning ladder: vanilla (all false) →
+// join hint → forced persist → hand-coded multinomial.
+type LDABaselineOpts struct {
+	BroadcastJoin   bool
+	Persist         bool
+	FastMultinomial bool
+}
+
+// LDABaseline runs the same Gibbs sampler on the baseline engine.
+type LDABaseline struct {
+	Ctx   *baseline.Context
+	Model *LDAModel
+	Opts  LDABaselineOpts
+
+	triples *baseline.Dataset
+	thetas  *baseline.Dataset
+	rngs    *rngPool
+}
+
+// NewLDABaseline loads the corpus and initial thetas.
+func NewLDABaseline(executors int, model *LDAModel, opts LDABaselineOpts,
+	triples []Triple, docs int, seed int64) (*LDABaseline, error) {
+	l := &LDABaseline{Ctx: baseline.NewContext(executors), Model: model, Opts: opts, rngs: newRngPool(seed)}
+	recs := make([]baseline.Record, len(triples))
+	for i := range triples {
+		recs[i] = LDATripleRec{Doc: triples[i].Doc, Word: triples[i].Word, Count: triples[i].Count}
+	}
+	if err := l.Ctx.Store("triples", l.Ctx.Parallelize(recs)); err != nil {
+		return nil, err
+	}
+	ds, err := l.Ctx.Read("triples")
+	if err != nil {
+		return nil, err
+	}
+	if opts.Persist {
+		ds.Persist()
+	}
+	l.triples = ds
+
+	rng := l.rngs.get()
+	defer l.rngs.put(rng)
+	prior := make([]float64, model.K)
+	for i := range prior {
+		prior[i] = model.Alpha
+	}
+	thetaRecs := make([]baseline.Record, docs)
+	for d := 0; d < docs; d++ {
+		thetaRecs[d] = LDAThetaRec{Doc: int64(d), Probs: stat.SampleDirichlet(rng, prior)}
+	}
+	l.thetas = l.Ctx.Parallelize(thetaRecs)
+	return l, nil
+}
+
+// Iterate runs one Gibbs sweep on the baseline engine.
+func (l *LDABaseline) Iterate() ([][]int64, error) {
+	model := l.Model
+	sampler := slowSampleMultinomial
+	if l.Opts.FastMultinomial {
+		sampler = stat.SampleMultinomial
+	}
+	triples, err := l.triples.Reuse()
+	if err != nil {
+		return nil, err
+	}
+	assigned, err := triples.Join(l.thetas,
+		func(r baseline.Record) interface{} { return r.(LDATripleRec).Doc },
+		func(r baseline.Record) interface{} { return r.(LDAThetaRec).Doc },
+		func(lr, rr baseline.Record) baseline.Record {
+			tr := lr.(LDATripleRec)
+			th := rr.(LDAThetaRec)
+			phiCol := make([]float64, model.K)
+			for z := 0; z < model.K; z++ {
+				phiCol[z] = model.Phi[z][tr.Word]
+			}
+			rng := l.rngs.get()
+			counts := sampleAssignments(rng, th.Probs, phiCol, tr.Count, sampler)
+			l.rngs.put(rng)
+			return LDAAssignRec{Doc: tr.Doc, Word: tr.Word, Counts: counts}
+		},
+		baseline.JoinOpts{Broadcast: l.Opts.BroadcastJoin})
+	if err != nil {
+		return nil, err
+	}
+	if l.Opts.Persist {
+		assigned.Persist() // reused by both aggregations
+	}
+
+	// merge must not mutate its inputs: a persisted dataset is consumed
+	// by both the per-doc and the per-word aggregation.
+	merge := func(a, b baseline.Record) baseline.Record {
+		x, y := a.(LDAAssignRec), b.(LDAAssignRec)
+		sum := make([]int64, len(x.Counts))
+		for i := range sum {
+			sum[i] = x.Counts[i] + y.Counts[i]
+		}
+		return LDAAssignRec{Doc: x.Doc, Word: x.Word, Counts: sum}
+	}
+	reuseAssigned, err := assigned.Reuse()
+	if err != nil {
+		return nil, err
+	}
+	docCounts, err := reuseAssigned.ReduceByKey(
+		func(r baseline.Record) interface{} { return r.(LDAAssignRec).Doc }, merge)
+	if err != nil {
+		return nil, err
+	}
+	reuseAssigned2, err := assigned.Reuse()
+	if err != nil {
+		return nil, err
+	}
+	wordCounts, err := reuseAssigned2.ReduceByKey(
+		func(r baseline.Record) interface{} { return r.(LDAAssignRec).Word }, merge)
+	if err != nil {
+		return nil, err
+	}
+
+	// New thetas.
+	rng := l.rngs.get()
+	var thetaRecs []baseline.Record
+	for _, r := range docCounts.Collect() {
+		a := r.(LDAAssignRec)
+		alphas := make([]float64, model.K)
+		for z := 0; z < model.K; z++ {
+			alphas[z] = model.Alpha + float64(a.Counts[z])
+		}
+		thetaRecs = append(thetaRecs, LDAThetaRec{Doc: a.Doc, Probs: stat.SampleDirichlet(rng, alphas)})
+	}
+	l.thetas = l.Ctx.Parallelize(thetaRecs)
+
+	// φ update on the driver.
+	wordTopic := make([][]int64, model.V)
+	for _, r := range wordCounts.Collect() {
+		a := r.(LDAAssignRec)
+		row := make([]int64, model.K)
+		copy(row, a.Counts)
+		wordTopic[a.Word] = row
+	}
+	model.resamplePhi(rng, wordTopic)
+	l.rngs.put(rng)
+	return wordTopic, nil
+}
+
+// Thetas gathers the current document-topic distributions.
+func (l *LDABaseline) Thetas(docs int) [][]float64 {
+	out := make([][]float64, docs)
+	for _, r := range l.thetas.Collect() {
+		t := r.(LDAThetaRec)
+		out[t.Doc] = t.Probs
+	}
+	return out
+}

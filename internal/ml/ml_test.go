@@ -1,0 +1,375 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/pc"
+)
+
+func TestNormTrickMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centroids := make([][]float64, 8)
+	for i := range centroids {
+		c := make([]float64, 5)
+		for j := range c {
+			c[j] = rng.NormFloat64() * 5
+		}
+		centroids[i] = c
+	}
+	nt := newNormTrick(centroids)
+	for trial := 0; trial < 200; trial++ {
+		x := make([]float64, 5)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 5
+		}
+		got, gotD := nt.closest(x)
+		// Brute force.
+		want, wantD := -1, math.Inf(1)
+		for i, c := range centroids {
+			d := 0.0
+			for j := range c {
+				d += (x[j] - c[j]) * (x[j] - c[j])
+			}
+			if d < wantD {
+				want, wantD = i, d
+			}
+		}
+		if got != want || math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("trick picked %d (%g), brute force %d (%g)", got, gotD, want, wantD)
+		}
+	}
+	if nt.Pruned.Load() == 0 {
+		t.Error("lower bound never pruned; the trick is not firing")
+	}
+}
+
+func clusterQuality(model [][]float64, points [][]float64, labels []int) float64 {
+	// Fraction of point pairs with the same label assigned the same
+	// centroid (sampled) — a cheap purity proxy.
+	nt := newNormTrick(model)
+	assign := make([]int, len(points))
+	for i, x := range points {
+		assign[i], _ = nt.closest(x)
+	}
+	agree, total := 0, 0
+	for i := 0; i < len(points); i += 7 {
+		for j := i + 1; j < len(points); j += 13 {
+			total++
+			if (labels[i] == labels[j]) == (assign[i] == assign[j]) {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+func TestKMeansPCConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	points, labels := GeneratePoints(rng, 600, 6, 4)
+
+	client, err := pc.Connect(pc.Config{Workers: 4, PageSize: 1 << 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := NewKMeansPC(client, "kmdb", 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := km.Init(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		model, err = km.Iterate(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := clusterQuality(model, points, labels); q < 0.95 {
+		t.Errorf("PC k-means pair agreement = %.3f, want >= 0.95", q)
+	}
+}
+
+func TestKMeansBaselineMatchesPC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	points, _ := GeneratePoints(rng, 400, 4, 3)
+
+	client, err := pc.Connect(pc.Config{Workers: 3, PageSize: 1 << 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmPC, err := NewKMeansPC(client, "kmdb", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPC, err := kmPC.Init(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmBL := NewKMeansBaseline(3, 3, 4)
+	modelBL, err := kmBL.Init(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both inits pick the first k points; k-means is then deterministic,
+	// so the two engines must produce identical models.
+	for i := 0; i < 5; i++ {
+		modelPC, err = kmPC.Iterate(modelPC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelBL, err = kmBL.Iterate(modelBL)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := range modelPC {
+		for j := range modelPC[c] {
+			if math.Abs(modelPC[c][j]-modelBL[c][j]) > 1e-9 {
+				t.Fatalf("centroid %d dim %d: PC %g vs baseline %g", c, j, modelPC[c][j], modelBL[c][j])
+			}
+		}
+	}
+}
+
+func TestGMMPCImprovesLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points, _ := GeneratePoints(rng, 300, 3, 3)
+
+	client, err := pc.Connect(pc.Config{Workers: 3, PageSize: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGMMPC(client, "gmmdb", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Load(points); err != nil {
+		t.Fatal(err)
+	}
+	model := InitMixture(points, 3)
+	before := LogLikelihoodGMM(points, model.Weights, model.Gs)
+	for i := 0; i < 6; i++ {
+		model, err = g.Iterate(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := LogLikelihoodGMM(points, model.Weights, model.Gs)
+	if after <= before {
+		t.Errorf("EM did not improve likelihood: %g -> %g", before, after)
+	}
+	// Weights must form a distribution.
+	sum := 0.0
+	for _, w := range model.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("weights sum to %g", sum)
+	}
+}
+
+func TestGMMBaselineTracksPC(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, _ := GeneratePoints(rng, 200, 2, 2)
+
+	client, err := pc.Connect(pc.Config{Workers: 2, PageSize: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gPC, err := NewGMMPC(client, "gmmdb", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gPC.Load(points); err != nil {
+		t.Fatal(err)
+	}
+	gBL := NewGMMBaseline(2, 2, 2)
+	if err := gBL.Load(points); err != nil {
+		t.Fatal(err)
+	}
+	mPC := InitMixture(points, 2)
+	mBL := InitMixture(points, 2)
+	for i := 0; i < 4; i++ {
+		if mPC, err = gPC.Iterate(mPC); err != nil {
+			t.Fatal(err)
+		}
+		if mBL, err = gBL.Iterate(mBL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The engines differ only in responsibility thresholding; models
+	// should agree closely.
+	for j := range mPC.Gs {
+		for i := range mPC.Gs[j].Mean {
+			if math.Abs(mPC.Gs[j].Mean[i]-mBL.Gs[j].Mean[i]) > 1e-6 {
+				t.Fatalf("component %d mean dim %d: %g vs %g", j, i, mPC.Gs[j].Mean[i], mBL.Gs[j].Mean[i])
+			}
+		}
+	}
+}
+
+func ldaPurity(thetas [][]float64, labels []int, k int) float64 {
+	// Assign each doc its argmax topic, then measure pair agreement.
+	assign := make([]int, len(thetas))
+	for d, th := range thetas {
+		best, bestP := 0, -1.0
+		for z, p := range th {
+			if p > bestP {
+				best, bestP = z, p
+			}
+		}
+		assign[d] = best
+	}
+	agree, total := 0, 0
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j += 3 {
+			total++
+			if (labels[i] == labels[j]) == (assign[i] == assign[j]) {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+func TestLDAPCRecoversTopics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const docs, vocab, topics = 60, 40, 2
+	triples, labels := GenerateCorpus(rng, docs, vocab, topics, 50)
+
+	client, err := pc.Connect(pc.Config{Workers: 3, PageSize: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewLDAModel(rng, topics, vocab, 0.1, 0.1)
+	lda, err := NewLDAPC(client, "ldadb", model, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lda.Load(triples, docs); err != nil {
+		t.Fatal(err)
+	}
+
+	var total int64
+	for _, tr := range triples {
+		total += tr.Count
+	}
+	// Gibbs is stochastic (parallel workers draw from independent RNGs),
+	// so iterate until the topics separate, with a generous cap.
+	best := 0.0
+	var wordTopic [][]int64
+	for i := 0; i < 30 && best < 0.9; i++ {
+		wordTopic, err = lda.Iterate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Invariant: topic assignments conserve word occurrences.
+		var got int64
+		for _, row := range wordTopic {
+			for _, c := range row {
+				got += c
+			}
+		}
+		if got != total {
+			t.Fatalf("iteration %d: assigned %d occurrences, corpus has %d", i, got, total)
+		}
+		thetas, err := lda.Thetas(docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, th := range thetas {
+			sum := 0.0
+			for _, p := range th {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("theta[%d] sums to %g", d, sum)
+			}
+		}
+		if q := ldaPurity(thetas, labels, topics); q > best {
+			best = q
+		}
+	}
+	if best < 0.9 {
+		t.Errorf("LDA pair agreement peaked at %.3f, want >= 0.9 (disjoint-vocabulary corpus)", best)
+	}
+}
+
+func TestLDABaselineVariantsAllWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const docs, vocab, topics = 40, 30, 2
+	triples, labels := GenerateCorpus(rng, docs, vocab, topics, 40)
+
+	variants := []LDABaselineOpts{
+		{},                                   // Spark 1: vanilla
+		{BroadcastJoin: true},                // Spark 2: + join hint
+		{BroadcastJoin: true, Persist: true}, // Spark 3: + forced persist
+		{BroadcastJoin: true, Persist: true, FastMultinomial: true}, // Spark 4
+	}
+	for vi, opts := range variants {
+		model := NewLDAModel(rand.New(rand.NewSource(21)), topics, vocab, 0.1, 0.1)
+		lda, err := NewLDABaseline(2, model, opts, triples, docs, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, tr := range triples {
+			total += tr.Count
+		}
+		best := 0.0
+		for i := 0; i < 25 && best < 0.8; i++ {
+			wordTopic, err := lda.Iterate()
+			if err != nil {
+				t.Fatalf("variant %d: %v", vi, err)
+			}
+			var got int64
+			for _, row := range wordTopic {
+				for _, c := range row {
+					got += c
+				}
+			}
+			if got != total {
+				t.Fatalf("variant %d: conservation violated (%d != %d)", vi, got, total)
+			}
+			if q := ldaPurity(lda.Thetas(docs), labels, topics); q > best {
+				best = q
+			}
+		}
+		if best < 0.75 {
+			t.Errorf("variant %d: purity peaked at %.3f, too low", vi, best)
+		}
+	}
+}
+
+func TestLDABaselineTuningReducesSerialization(t *testing.T) {
+	// The Table 4 story at the cost-counter level: each tuning step
+	// should reduce the serialization work per iteration.
+	rng := rand.New(rand.NewSource(17))
+	const docs, vocab, topics = 40, 30, 2
+	triples, _ := GenerateCorpus(rng, docs, vocab, topics, 40)
+
+	cost := func(opts LDABaselineOpts) int64 {
+		model := NewLDAModel(rand.New(rand.NewSource(21)), topics, vocab, 0.1, 0.1)
+		lda, err := NewLDABaseline(2, model, opts, triples, docs, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := lda.Ctx.Stats.SerializedBytes
+		if _, err := lda.Iterate(); err != nil {
+			t.Fatal(err)
+		}
+		return lda.Ctx.Stats.SerializedBytes - before
+	}
+	vanilla := cost(LDABaselineOpts{})
+	hinted := cost(LDABaselineOpts{BroadcastJoin: true})
+	persisted := cost(LDABaselineOpts{BroadcastJoin: true, Persist: true})
+	if hinted >= vanilla {
+		t.Errorf("broadcast hint did not reduce serialization: %d -> %d", vanilla, hinted)
+	}
+	if persisted >= hinted {
+		t.Errorf("forced persist did not reduce serialization: %d -> %d", hinted, persisted)
+	}
+}

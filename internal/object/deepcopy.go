@@ -1,0 +1,224 @@
+package object
+
+import "fmt"
+
+// DeepCopy copies the object graph rooted at src into the allocator's active
+// block, returning the copy's Ref. Sharing within the graph is preserved via
+// memoization (two handles to one object copy to two handles to one copy),
+// which also terminates on cyclic graphs.
+//
+// This is the mechanism behind the paper's automatic cross-block assignment
+// rule (§6.4): PC never allows a handle to point off its page, so assigning
+// a foreign target deep-copies it into the active block. It is also the
+// virtual "deep copy function" every Object descendant carries — here
+// dispatched through the type registry instead of a vTable.
+func DeepCopy(a *Allocator, src Ref) (Ref, error) {
+	if src.IsNil() {
+		return NilRef, nil
+	}
+	a.Stats.DeepCopies++
+	memo := make(map[Ref]Ref)
+	return deepCopy(a, src, memo)
+}
+
+func deepCopy(a *Allocator, src Ref, memo map[Ref]Ref) (Ref, error) {
+	if src.IsNil() {
+		return NilRef, nil
+	}
+	if dst, ok := memo[src]; ok {
+		return dst, nil
+	}
+	tc := src.TypeCode()
+	switch {
+	case IsSimpleCode(tc), tc == TCString, tc == TCRaw:
+		return copyFlat(a, src, memo)
+	case tc == TCArray:
+		// Raw arrays are only meaningful through their containing
+		// Vector/Map, which copy them with element awareness; a bare
+		// array copy is a flat byte copy.
+		return copyFlat(a, src, memo)
+	case tc == TCVector:
+		return copyVector(a, Vector{src}, memo)
+	case tc == TCMap:
+		return copyMap(a, OMap{src}, memo)
+	default:
+		return copyUser(a, src, memo)
+	}
+}
+
+func copyFlat(a *Allocator, src Ref, memo map[Ref]Ref) (Ref, error) {
+	size := src.PayloadSize()
+	off, err := a.Alloc(size, src.TypeCode(), FullRefCount)
+	if err != nil {
+		return NilRef, err
+	}
+	dst := Ref{Page: a.Page, Off: off}
+	copy(dst.Page.Data[off:off+size], src.Page.Data[src.Off:src.Off+size])
+	memo[src] = dst
+	return dst, nil
+}
+
+func copyVector(a *Allocator, src Vector, memo map[Ref]Ref) (Ref, error) {
+	n := src.Len()
+	kind := src.ElemKind()
+	dst, err := MakeVector(a, kind, n)
+	if err != nil {
+		return NilRef, err
+	}
+	memo[src.Ref] = dst.Ref
+	dst.setLen(n)
+	if n == 0 {
+		return dst.Ref, nil
+	}
+	if !kind.IsHandleKind() {
+		es := kind.Size()
+		copy(dst.Page.Data[dst.elemOff(0):dst.elemOff(0)+uint32(n)*es],
+			src.Page.Data[src.elemOff(0):src.elemOff(0)+uint32(n)*es])
+		return dst.Ref, nil
+	}
+	for i := 0; i < n; i++ {
+		child, err := deepCopy(a, src.HandleAt(i), memo)
+		if err != nil {
+			return NilRef, err
+		}
+		rewriteHandleSlotRaw(dst.Page, dst.elemOff(i), child)
+		child.Retain()
+	}
+	return dst.Ref, nil
+}
+
+func copyMap(a *Allocator, src OMap, memo map[Ref]Ref) (Ref, error) {
+	dst, err := MakeMap(a, src.KeyKind(), src.ValKind(), src.Len()*2)
+	if err != nil {
+		return NilRef, err
+	}
+	memo[src.Ref] = dst.Ref
+	var copyErr error
+	src.Iterate(func(key, val Value) bool {
+		if key.K == KHandle && !key.H.IsNil() {
+			child, err := deepCopy(a, key.H, memo)
+			if err != nil {
+				copyErr = err
+				return false
+			}
+			key = HandleValue(child)
+		}
+		if val.K == KHandle && !val.H.IsNil() {
+			child, err := deepCopy(a, val.H, memo)
+			if err != nil {
+				copyErr = err
+				return false
+			}
+			val = HandleValue(child)
+		}
+		if err := dst.Put(a, key, val); err != nil {
+			copyErr = err
+			return false
+		}
+		return true
+	})
+	if copyErr != nil {
+		return NilRef, copyErr
+	}
+	return dst.Ref, nil
+}
+
+func copyUser(a *Allocator, src Ref, memo map[Ref]Ref) (Ref, error) {
+	ti := lookupType(src)
+	if ti == nil {
+		return NilRef, fmt.Errorf("object: deep copy of unregistered type code %d", src.TypeCode())
+	}
+	size := src.PayloadSize()
+	off, err := a.Alloc(size, src.TypeCode(), FullRefCount)
+	if err != nil {
+		return NilRef, err
+	}
+	dst := Ref{Page: a.Page, Off: off}
+	copy(dst.Page.Data[off:off+size], src.Page.Data[src.Off:src.Off+size])
+	memo[src] = dst
+	for _, f := range ti.HandleFields() {
+		child, err := deepCopy(a, GetHandleField(src, f), memo)
+		if err != nil {
+			return NilRef, err
+		}
+		rewriteHandleSlotRaw(dst.Page, dst.Off+f.Off, child)
+		child.Retain()
+	}
+	return dst, nil
+}
+
+// Equal performs a deep structural comparison of two object graphs (test and
+// verification helper; not part of the hot path).
+func Equal(a, b Ref) bool {
+	return deepEqual(a, b, make(map[[2]Ref]bool))
+}
+
+func deepEqual(a, b Ref, seen map[[2]Ref]bool) bool {
+	if a.IsNil() || b.IsNil() {
+		return a.IsNil() == b.IsNil()
+	}
+	key := [2]Ref{a, b}
+	if seen[key] {
+		return true
+	}
+	seen[key] = true
+	ta, tb := a.TypeCode(), b.TypeCode()
+	if ta != tb {
+		return false
+	}
+	switch {
+	case IsSimpleCode(ta), ta == TCString, ta == TCRaw, ta == TCArray:
+		return string(a.Payload()) == string(b.Payload())
+	case ta == TCVector:
+		va, vb := Vector{a}, Vector{b}
+		if va.Len() != vb.Len() || va.ElemKind() != vb.ElemKind() {
+			return false
+		}
+		for i, n := 0, va.Len(); i < n; i++ {
+			if va.ElemKind().IsHandleKind() && va.ElemKind() != KString {
+				if !deepEqual(va.HandleAt(i), vb.HandleAt(i), seen) {
+					return false
+				}
+			} else if !va.At(i).Equal(vb.At(i)) {
+				return false
+			}
+		}
+		return true
+	case ta == TCMap:
+		ma, mb := OMap{a}, OMap{b}
+		if ma.Len() != mb.Len() {
+			return false
+		}
+		eq := true
+		ma.Iterate(func(k, v Value) bool {
+			ov, ok := mb.Get(k)
+			if !ok {
+				eq = false
+				return false
+			}
+			if v.K == KHandle {
+				eq = deepEqual(v.H, ov.H, seen)
+			} else {
+				eq = v.Equal(ov)
+			}
+			return eq
+		})
+		return eq
+	default:
+		tia := lookupType(a)
+		if tia == nil {
+			return string(a.Payload()) == string(b.Payload())
+		}
+		for i := range tia.Fields {
+			f := &tia.Fields[i]
+			if f.Kind == KHandle {
+				if !deepEqual(GetHandleField(a, f), GetHandleField(b, f), seen) {
+					return false
+				}
+			} else if !GetField(a, f).Equal(GetField(b, f)) {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,218 @@
+package object
+
+import "testing"
+
+// buildEmployeeType registers a small nested schema used across deep-copy
+// tests: Emp{name string, salary float64, dept handle->Dep{deptName string}}.
+func buildEmployeeType(reg *Registry) (emp, dep *TypeInfo) {
+	dep = NewStruct("Dep").
+		AddField("deptName", KString).
+		MustBuild(reg)
+	emp = NewStruct("Emp").
+		AddField("name", KString).
+		AddField("salary", KFloat64).
+		AddField("dept", KHandle).
+		MustBuild(reg)
+	return emp, dep
+}
+
+func makeEmp(t testing.TB, a *Allocator, emp, dep *TypeInfo, name string, salary float64, deptName string) Ref {
+	t.Helper()
+	d, err := a.MakeObject(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetStrField(a, d, dep.Field("deptName"), deptName); err != nil {
+		t.Fatal(err)
+	}
+	e, err := a.MakeObject(emp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetStrField(a, e, emp.Field("name"), name); err != nil {
+		t.Fatal(err)
+	}
+	SetF64(e, emp.Field("salary"), salary)
+	if err := SetHandleField(a, e, emp.Field("dept"), d); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDeepCopyNestedObject(t *testing.T) {
+	reg := NewRegistry()
+	emp, dep := buildEmployeeType(reg)
+	p1 := NewPage(1<<16, reg)
+	a1 := NewAllocator(p1, PolicyLightweightReuse)
+	src := makeEmp(t, a1, emp, dep, "alice", 90000, "engineering")
+
+	p2 := NewPage(1<<16, reg)
+	a2 := NewAllocator(p2, PolicyLightweightReuse)
+	dst, err := DeepCopy(a2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Page != p2 {
+		t.Fatal("copy must land on the destination page")
+	}
+	if !Equal(src, dst) {
+		t.Error("deep copy is not structurally equal to source")
+	}
+	if GetStrField(dst, emp.Field("name")) != "alice" {
+		t.Error("string field lost in copy")
+	}
+	dd := GetHandleField(dst, emp.Field("dept"))
+	if dd.Page != p2 {
+		t.Error("nested object must also land on the destination page")
+	}
+	if GetStrField(dd, dep.Field("deptName")) != "engineering" {
+		t.Error("nested string lost in copy")
+	}
+}
+
+func TestDeepCopyPreservesSharing(t *testing.T) {
+	reg := NewRegistry()
+	emp, dep := buildEmployeeType(reg)
+	p1 := NewPage(1<<16, reg)
+	a1 := NewAllocator(p1, PolicyLightweightReuse)
+
+	d, _ := a1.MakeObject(dep)
+	_ = SetStrField(a1, d, dep.Field("deptName"), "shared")
+	e1, _ := a1.MakeObject(emp)
+	e2, _ := a1.MakeObject(emp)
+	_ = SetHandleField(a1, e1, emp.Field("dept"), d)
+	_ = SetHandleField(a1, e2, emp.Field("dept"), d)
+	v, _ := MakeVector(a1, KHandle, 2)
+	_ = v.PushBackHandle(a1, e1)
+	_ = v.PushBackHandle(a1, e2)
+
+	p2 := NewPage(1<<16, reg)
+	a2 := NewAllocator(p2, PolicyLightweightReuse)
+	cv, err := DeepCopy(a2, v.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvec := AsVector(cv)
+	c1 := GetHandleField(cvec.HandleAt(0), emp.Field("dept"))
+	c2 := GetHandleField(cvec.HandleAt(1), emp.Field("dept"))
+	if c1 != c2 {
+		t.Error("shared child must be copied once (memoized), not duplicated")
+	}
+}
+
+func TestCrossBlockAssignmentTriggersDeepCopy(t *testing.T) {
+	// The paper's §6.4 example: data allocated in block 1 assigned into an
+	// object on block 2 must be deep-copied to block 2 automatically.
+	reg := NewRegistry()
+	mb := NewStruct("MatrixBlock").
+		AddField("chunkRow", KInt32).
+		AddField("chunkCol", KInt32).
+		AddField("value", KHandle).
+		MustBuild(reg)
+
+	p1 := NewPage(1<<16, reg)
+	a1 := NewAllocator(p1, PolicyLightweightReuse)
+	data, err := MakeVector(a1, KFloat64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		_ = data.PushBackF64(a1, float64(i))
+	}
+
+	p2 := NewPage(1<<16, reg)
+	a2 := NewAllocator(p2, PolicyLightweightReuse)
+	myMatrix, err := a2.MakeObject(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetHandleField(a2, myMatrix, mb.Field("value"), data.Ref); err != nil {
+		t.Fatal(err)
+	}
+	got := GetHandleField(myMatrix, mb.Field("value"))
+	if got.Page != p2 {
+		t.Fatal("cross-block assignment must deep-copy onto the active block")
+	}
+	gv := AsVector(got)
+	if gv.Len() != 100 || gv.F64At(42) != 42 {
+		t.Error("copied vector contents are wrong")
+	}
+	if a2.Stats.DeepCopies == 0 {
+		t.Error("deep copy stat not recorded")
+	}
+}
+
+func TestCrossPageAssignmentOutsideActiveBlockFails(t *testing.T) {
+	reg := NewRegistry()
+	emp, dep := buildEmployeeType(reg)
+	p1 := NewPage(1<<16, reg)
+	a1 := NewAllocator(p1, PolicyLightweightReuse)
+	e := makeEmp(t, a1, emp, dep, "bob", 1, "x")
+
+	p2 := NewPage(1<<16, reg)
+	a2 := NewAllocator(p2, PolicyLightweightReuse)
+	d2, _ := a2.MakeObject(dep)
+
+	// a1's active block is p1; writing a p2 target into an object on p1
+	// with allocator a2 (whose block is p2, not p1) must fail.
+	if err := SetHandleField(a2, e, emp.Field("dept"), d2); err != ErrCrossPage {
+		t.Errorf("expected ErrCrossPage, got %v", err)
+	}
+}
+
+func TestDeepCopiedGraphShipsIndependently(t *testing.T) {
+	// End-to-end zero-cost movement of a complex graph: build, deep copy
+	// to a fresh page, ship the bytes, verify structure.
+	reg := NewRegistry()
+	emp, dep := buildEmployeeType(reg)
+	p1 := NewPage(1<<18, reg)
+	a1 := NewAllocator(p1, PolicyLightweightReuse)
+	v, _ := MakeVector(a1, KHandle, 0)
+	for i := 0; i < 25; i++ {
+		e := makeEmp(t, a1, emp, dep, "emp", float64(i)*1000, "dept")
+		_ = v.PushBackHandle(a1, e)
+	}
+
+	p2 := NewPage(1<<18, reg)
+	a2 := NewAllocator(p2, PolicyLightweightReuse)
+	cp, err := DeepCopy(a2, v.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.SetRoot(cp.Off)
+	shipped := make([]byte, len(p2.Bytes()))
+	copy(shipped, p2.Bytes())
+	q, err := FromBytes(shipped, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := AsVector(Ref{Page: q, Off: q.Root()})
+	if rv.Len() != 25 {
+		t.Fatalf("shipped vector len = %d", rv.Len())
+	}
+	for i := 0; i < 25; i++ {
+		e := rv.HandleAt(i)
+		if GetF64(e, emp.Field("salary")) != float64(i)*1000 {
+			t.Fatalf("shipped emp %d salary wrong", i)
+		}
+		if GetStrField(GetHandleField(e, emp.Field("dept")), dep.Field("deptName")) != "dept" {
+			t.Fatalf("shipped emp %d dept wrong", i)
+		}
+	}
+}
+
+func TestEqualDetectsDifference(t *testing.T) {
+	reg := NewRegistry()
+	emp, dep := buildEmployeeType(reg)
+	p := NewPage(1<<16, reg)
+	a := NewAllocator(p, PolicyLightweightReuse)
+	e1 := makeEmp(t, a, emp, dep, "a", 1, "d1")
+	e2 := makeEmp(t, a, emp, dep, "a", 1, "d2")
+	e3 := makeEmp(t, a, emp, dep, "a", 2, "d1")
+	if Equal(e1, e2) {
+		t.Error("different nested strings should not be Equal")
+	}
+	if Equal(e1, e3) {
+		t.Error("different scalars should not be Equal")
+	}
+}

@@ -1,0 +1,395 @@
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// OMap is PC's generic in-page hash map (the paper's Map container, used
+// both by applications and internally by the execution engine to implement
+// aggregation and hash joins). It is an open-addressing, linear-probing
+// table whose slot array is a TCArray object on the same page, so the whole
+// map — keys, values, nested objects — ships with the page.
+//
+// Supported key kinds: KInt64, KFloat64, KString, and KHandle (the latter
+// requires the key type to register Hash and Equal functions, mirroring the
+// paper's requirement that aggregation keys be hashable PC objects).
+type OMap struct{ Ref }
+
+const (
+	mapCountOff = 0
+	mapSlotsOff = 4
+	mapKKindOff = 8
+	mapVKindOff = 12
+	mapDataOff  = 16
+	mapHdrSize  = mapDataOff + HandleSize
+
+	slotEmpty uint32 = 0
+	slotFull  uint32 = 1
+)
+
+// MakeMap allocates an empty map with the given key/value kinds.
+func MakeMap(a *Allocator, keyKind, valKind Kind, initSlots int) (OMap, error) {
+	switch keyKind {
+	case KInt64, KFloat64, KString, KHandle:
+	default:
+		return OMap{}, fmt.Errorf("object: unsupported map key kind %v", keyKind)
+	}
+	if valKind.Size() == 0 {
+		return OMap{}, fmt.Errorf("object: unsupported map value kind %v", valKind)
+	}
+	if initSlots < 8 {
+		initSlots = 8
+	}
+	initSlots = nextPow2(initSlots)
+	off, err := a.Alloc(mapHdrSize, TCMap, FullRefCount)
+	if err != nil {
+		return OMap{}, err
+	}
+	m := OMap{Ref{Page: a.Page, Off: off}}
+	d := m.Page.Data
+	binary.LittleEndian.PutUint32(d[off+mapKKindOff:], uint32(keyKind))
+	binary.LittleEndian.PutUint32(d[off+mapVKindOff:], uint32(valKind))
+	if err := m.allocSlots(a, initSlots); err != nil {
+		return OMap{}, err
+	}
+	return m, nil
+}
+
+// AsMap views a Ref known to be a map.
+func AsMap(r Ref) OMap { return OMap{r} }
+
+func nextPow2(n int) int {
+	p := 8
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// Len returns the number of entries.
+func (m OMap) Len() int {
+	return int(binary.LittleEndian.Uint32(m.Page.Data[m.Off+mapCountOff:]))
+}
+
+func (m OMap) setLen(n int) {
+	binary.LittleEndian.PutUint32(m.Page.Data[m.Off+mapCountOff:], uint32(n))
+}
+
+func (m OMap) slots() int {
+	return int(binary.LittleEndian.Uint32(m.Page.Data[m.Off+mapSlotsOff:]))
+}
+
+func (m OMap) setSlots(n int) {
+	binary.LittleEndian.PutUint32(m.Page.Data[m.Off+mapSlotsOff:], uint32(n))
+}
+
+// KeyKind returns the key storage kind.
+func (m OMap) KeyKind() Kind {
+	return Kind(binary.LittleEndian.Uint32(m.Page.Data[m.Off+mapKKindOff:]))
+}
+
+// ValKind returns the value storage kind.
+func (m OMap) ValKind() Kind {
+	return Kind(binary.LittleEndian.Uint32(m.Page.Data[m.Off+mapVKindOff:]))
+}
+
+func (m OMap) slotsRef() Ref { return ReadHandleSlot(m.Page, m.Off+mapDataOff) }
+
+func (m OMap) slotSize() uint32 { return 4 + m.KeyKind().Size() + m.ValKind().Size() }
+
+func (m OMap) slotOff(i int) uint32 { return m.slotsRef().Off + uint32(i)*m.slotSize() }
+
+func (m OMap) slotState(i int) uint32 {
+	return binary.LittleEndian.Uint32(m.Page.Data[m.slotOff(i):])
+}
+
+func (m OMap) setSlotState(i int, s uint32) {
+	binary.LittleEndian.PutUint32(m.Page.Data[m.slotOff(i):], s)
+}
+
+func (m OMap) keyOff(i int) uint32 { return m.slotOff(i) + 4 }
+
+func (m OMap) valOff(i int) uint32 { return m.slotOff(i) + 4 + m.KeyKind().Size() }
+
+func (m OMap) allocSlots(a *Allocator, n int) error {
+	arrOff, err := a.Alloc(uint32(n)*m.slotSize(), TCArray, FullRefCount)
+	if err != nil {
+		return err
+	}
+	arr := Ref{Page: a.Page, Off: arrOff}
+	rewriteHandleSlotRaw(m.Page, m.Off+mapDataOff, arr)
+	arr.Retain()
+	m.setSlots(n)
+	return nil
+}
+
+// hashKey hashes a key value according to the map's key kind. Handle keys
+// dispatch through the registered type's Hash function.
+func (m OMap) hashKey(key Value) uint64 {
+	if m.KeyKind() == KHandle && key.K == KHandle && !key.H.IsNil() {
+		if ti := lookupType(key.H); ti != nil && ti.Hash != nil {
+			return ti.Hash(key.H)
+		}
+	}
+	return HashValue(key)
+}
+
+// readKey reads the key stored in slot i as a Value.
+func (m OMap) readKey(i int) Value {
+	off := m.keyOff(i)
+	d := m.Page.Data
+	switch m.KeyKind() {
+	case KInt64:
+		return Int64Value(int64(binary.LittleEndian.Uint64(d[off:])))
+	case KFloat64:
+		return Float64Value(float64frombits(binary.LittleEndian.Uint64(d[off:])))
+	case KString:
+		return StringValue(StringContents(ReadHandleSlot(m.Page, off)))
+	case KHandle:
+		return HandleValue(ReadHandleSlot(m.Page, off))
+	default:
+		return Value{}
+	}
+}
+
+// keyEquals compares the key in slot i with key.
+func (m OMap) keyEquals(i int, key Value) bool {
+	stored := m.readKey(i)
+	if m.KeyKind() == KHandle && !stored.H.IsNil() && key.K == KHandle && !key.H.IsNil() {
+		if ti := lookupType(stored.H); ti != nil && ti.Equal != nil {
+			return ti.Equal(stored.H, key.H)
+		}
+	}
+	return stored.Equal(key)
+}
+
+// readVal reads the value stored in slot i.
+func (m OMap) readVal(i int) Value {
+	off := m.valOff(i)
+	d := m.Page.Data
+	switch m.ValKind() {
+	case KBool:
+		return BoolValue(d[off] != 0)
+	case KInt32:
+		return Int32Value(int32(binary.LittleEndian.Uint32(d[off:])))
+	case KInt64:
+		return Int64Value(int64(binary.LittleEndian.Uint64(d[off:])))
+	case KFloat64:
+		return Float64Value(float64frombits(binary.LittleEndian.Uint64(d[off:])))
+	case KString:
+		return StringValue(StringContents(ReadHandleSlot(m.Page, off)))
+	case KHandle:
+		return HandleValue(ReadHandleSlot(m.Page, off))
+	default:
+		return Value{}
+	}
+}
+
+// writeKey stores key into slot i (allocating string key objects as needed).
+func (m OMap) writeKey(a *Allocator, i int, key Value) error {
+	off := m.keyOff(i)
+	d := m.Page.Data
+	switch m.KeyKind() {
+	case KInt64:
+		binary.LittleEndian.PutUint64(d[off:], uint64(key.AsInt64()))
+	case KFloat64:
+		binary.LittleEndian.PutUint64(d[off:], float64bits(key.AsFloat64()))
+	case KString:
+		sr, err := MakeString(a, key.S)
+		if err != nil {
+			return err
+		}
+		return WriteHandleSlot(a, m.Page, off, sr)
+	case KHandle:
+		return WriteHandleSlot(a, m.Page, off, key.H)
+	}
+	return nil
+}
+
+// writeVal stores val into slot i.
+func (m OMap) writeVal(a *Allocator, i int, val Value) error {
+	off := m.valOff(i)
+	d := m.Page.Data
+	switch m.ValKind() {
+	case KBool:
+		if val.B {
+			d[off] = 1
+		} else {
+			d[off] = 0
+		}
+	case KInt32:
+		binary.LittleEndian.PutUint32(d[off:], uint32(val.AsInt64()))
+	case KInt64:
+		binary.LittleEndian.PutUint64(d[off:], uint64(val.AsInt64()))
+	case KFloat64:
+		binary.LittleEndian.PutUint64(d[off:], float64bits(val.AsFloat64()))
+	case KString:
+		sr, err := MakeString(a, val.S)
+		if err != nil {
+			return err
+		}
+		return WriteHandleSlot(a, m.Page, off, sr)
+	case KHandle:
+		return WriteHandleSlot(a, m.Page, off, val.H)
+	}
+	return nil
+}
+
+// find locates the slot holding key, or the insertion slot. Returns (slot,
+// found).
+func (m OMap) find(key Value) (int, bool) {
+	n := m.slots()
+	mask := n - 1
+	i := int(m.hashKey(key)) & mask
+	for {
+		switch m.slotState(i) {
+		case slotEmpty:
+			return i, false
+		case slotFull:
+			if m.keyEquals(i, key) {
+				return i, true
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Get returns the value for key.
+func (m OMap) Get(key Value) (Value, bool) {
+	i, ok := m.find(key)
+	if !ok {
+		return Value{}, false
+	}
+	return m.readVal(i), true
+}
+
+// Put inserts or overwrites key's value, growing the table past a 70% load
+// factor. Foreign-page handle keys/values are deep-copied by the slot-write
+// rule.
+func (m OMap) Put(a *Allocator, key, val Value) error {
+	if (m.Len()+1)*10 >= m.slots()*7 {
+		if err := m.rehash(a, m.slots()*2); err != nil {
+			return err
+		}
+	}
+	i, found := m.find(key)
+	if !found {
+		m.setSlotState(i, slotFull)
+		if err := m.writeKey(a, i, key); err != nil {
+			// Roll back the claimed slot so the table stays sound.
+			m.setSlotState(i, slotEmpty)
+			return err
+		}
+		m.setLen(m.Len() + 1)
+	}
+	return m.writeVal(a, i, val)
+}
+
+// Update looks up key and applies fn to its current value (ok=false when
+// absent), storing the result. This is the aggregation primitive: one probe
+// per (key, value) pair.
+func (m OMap) Update(a *Allocator, key Value, fn func(cur Value, ok bool) Value) error {
+	if (m.Len()+1)*10 >= m.slots()*7 {
+		if err := m.rehash(a, m.slots()*2); err != nil {
+			return err
+		}
+	}
+	i, found := m.find(key)
+	if !found {
+		m.setSlotState(i, slotFull)
+		if err := m.writeKey(a, i, key); err != nil {
+			m.setSlotState(i, slotEmpty)
+			return err
+		}
+		m.setLen(m.Len() + 1)
+		return m.writeVal(a, i, fn(Value{}, false))
+	}
+	return m.writeVal(a, i, fn(m.readVal(i), true))
+}
+
+// rehash doubles the slot array. Handle slots are re-anchored with raw
+// rewrites (the logical reference set is unchanged).
+func (m OMap) rehash(a *Allocator, newSlots int) error {
+	oldArr := m.slotsRef()
+	oldN := m.slots()
+	type entry struct {
+		keyOff, valOff uint32
+	}
+	var live []entry
+	for i := 0; i < oldN; i++ {
+		if m.slotState(i) == slotFull {
+			live = append(live, entry{m.keyOff(i), m.valOff(i)})
+		}
+	}
+	if err := m.allocSlots(a, newSlots); err != nil {
+		return err
+	}
+	d := m.Page.Data
+	kk, vk := m.KeyKind(), m.ValKind()
+	mask := newSlots - 1
+	for _, e := range live {
+		// Reconstruct the key value from the old slot location.
+		var key Value
+		switch kk {
+		case KInt64:
+			key = Int64Value(int64(binary.LittleEndian.Uint64(d[e.keyOff:])))
+		case KFloat64:
+			key = Float64Value(float64frombits(binary.LittleEndian.Uint64(d[e.keyOff:])))
+		case KString:
+			key = StringValue(StringContents(ReadHandleSlot(m.Page, e.keyOff)))
+		case KHandle:
+			key = HandleValue(ReadHandleSlot(m.Page, e.keyOff))
+		}
+		i := int(m.hashKey(key)) & mask
+		for m.slotState(i) == slotFull {
+			i = (i + 1) & mask
+		}
+		m.setSlotState(i, slotFull)
+		// Move key and value bytes, re-anchoring handle slots.
+		if kk.IsHandleKind() {
+			rewriteHandleSlotRaw(m.Page, m.keyOff(i), ReadHandleSlot(m.Page, e.keyOff))
+		} else {
+			copy(d[m.keyOff(i):m.keyOff(i)+kk.Size()], d[e.keyOff:e.keyOff+kk.Size()])
+		}
+		if vk.IsHandleKind() {
+			rewriteHandleSlotRaw(m.Page, m.valOff(i), ReadHandleSlot(m.Page, e.valOff))
+		} else {
+			copy(d[m.valOff(i):m.valOff(i)+vk.Size()], d[e.valOff:e.valOff+vk.Size()])
+		}
+	}
+	oldArr.Release() // arrays never traverse children; moved refs stay live
+	return nil
+}
+
+// Iterate calls fn for each entry until fn returns false.
+func (m OMap) Iterate(fn func(key, val Value) bool) {
+	n := m.slots()
+	for i := 0; i < n; i++ {
+		if m.slotState(i) == slotFull {
+			if !fn(m.readKey(i), m.readVal(i)) {
+				return
+			}
+		}
+	}
+}
+
+// releaseEntries releases all handle keys/values (destructor support).
+func (m OMap) releaseEntries() {
+	kk, vk := m.KeyKind(), m.ValKind()
+	if !kk.IsHandleKind() && !vk.IsHandleKind() {
+		return
+	}
+	n := m.slots()
+	for i := 0; i < n; i++ {
+		if m.slotState(i) != slotFull {
+			continue
+		}
+		if kk.IsHandleKind() {
+			ReadHandleSlot(m.Page, m.keyOff(i)).Release()
+		}
+		if vk.IsHandleKind() {
+			ReadHandleSlot(m.Page, m.valOff(i)).Release()
+		}
+	}
+}

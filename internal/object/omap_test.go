@@ -1,0 +1,234 @@
+package object
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapPutGetI64(t *testing.T) {
+	_, a := newTestPage(t, 1<<16)
+	m, err := MakeMap(a, KInt64, KFloat64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := m.Put(a, Int64Value(i), Float64Value(float64(i)*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", m.Len())
+	}
+	for i := int64(0); i < 200; i++ {
+		v, ok := m.Get(Int64Value(i))
+		if !ok || v.F != float64(i)*2 {
+			t.Fatalf("Get(%d) = (%v, %v)", i, v, ok)
+		}
+	}
+	if _, ok := m.Get(Int64Value(999)); ok {
+		t.Error("Get of absent key returned ok")
+	}
+}
+
+func TestMapOverwrite(t *testing.T) {
+	_, a := newTestPage(t, 1<<16)
+	m, _ := MakeMap(a, KInt64, KInt64, 8)
+	_ = m.Put(a, Int64Value(1), Int64Value(10))
+	_ = m.Put(a, Int64Value(1), Int64Value(20))
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1 after overwrite", m.Len())
+	}
+	v, _ := m.Get(Int64Value(1))
+	if v.I != 20 {
+		t.Errorf("value = %d, want 20", v.I)
+	}
+}
+
+func TestMapStringKeys(t *testing.T) {
+	_, a := newTestPage(t, 1<<18)
+	m, err := MakeMap(a, KString, KInt64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("customer-%03d", i)
+		if err := m.Put(a, StringValue(key), Int64Value(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("customer-%03d", i)
+		v, ok := m.Get(StringValue(key))
+		if !ok || v.I != int64(i) {
+			t.Fatalf("Get(%q) = (%v,%v)", key, v, ok)
+		}
+	}
+}
+
+func TestMapHandleValues(t *testing.T) {
+	_, a := newTestPage(t, 1<<18)
+	m, err := MakeMap(a, KString, KHandle, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's customers-per-supplier shape: Map<String, Handle<Vector<int>>>.
+	for i := 0; i < 20; i++ {
+		v, err := MakeVector(a, KInt64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j <= i; j++ {
+			_ = v.PushBackI64(a, int64(j))
+		}
+		if err := m.Put(a, StringValue(fmt.Sprintf("s%d", i)), HandleValue(v.Ref)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		got, ok := m.Get(StringValue(fmt.Sprintf("s%d", i)))
+		if !ok {
+			t.Fatalf("missing key s%d", i)
+		}
+		v := AsVector(got.H)
+		if v.Len() != i+1 {
+			t.Fatalf("s%d vector len = %d, want %d", i, v.Len(), i+1)
+		}
+	}
+}
+
+func TestMapUpdateAggregation(t *testing.T) {
+	_, a := newTestPage(t, 1<<16)
+	m, _ := MakeMap(a, KInt64, KFloat64, 8)
+	// Sum value per key — the aggregation primitive.
+	for i := 0; i < 300; i++ {
+		key := Int64Value(int64(i % 7))
+		err := m.Update(a, key, func(cur Value, ok bool) Value {
+			if !ok {
+				return Float64Value(1)
+			}
+			return Float64Value(cur.F + 1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", m.Len())
+	}
+	total := 0.0
+	m.Iterate(func(k, v Value) bool {
+		total += v.F
+		return true
+	})
+	if total != 300 {
+		t.Errorf("total count = %g, want 300", total)
+	}
+}
+
+func TestMapSurvivesShipping(t *testing.T) {
+	p, a := newTestPage(t, 1<<18)
+	m, _ := MakeMap(a, KString, KFloat64, 8)
+	for i := 0; i < 50; i++ {
+		_ = m.Put(a, StringValue(fmt.Sprintf("k%02d", i)), Float64Value(float64(i)))
+	}
+	p.SetRoot(m.Off)
+
+	shipped := make([]byte, len(p.Bytes()))
+	copy(shipped, p.Bytes())
+	q, err := FromBytes(shipped, p.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := AsMap(Ref{Page: q, Off: q.Root()})
+	if rm.Len() != 50 {
+		t.Fatalf("shipped map Len = %d, want 50", rm.Len())
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := rm.Get(StringValue(fmt.Sprintf("k%02d", i)))
+		if !ok || v.F != float64(i) {
+			t.Fatalf("shipped Get(k%02d) = (%v, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestMapHandleKeysWithRegisteredHash(t *testing.T) {
+	reg := NewRegistry()
+	ti := NewStruct("PairKey").
+		AddField("row", KInt32).
+		AddField("col", KInt32).
+		MustBuild(reg)
+	ti.Hash = func(r Ref) uint64 {
+		return uint64(GetI32(r, ti.Field("row")))*1000003 + uint64(GetI32(r, ti.Field("col")))
+	}
+	ti.Equal = func(a, b Ref) bool {
+		return GetI32(a, ti.Field("row")) == GetI32(b, ti.Field("row")) &&
+			GetI32(a, ti.Field("col")) == GetI32(b, ti.Field("col"))
+	}
+	p := NewPage(1<<18, reg)
+	a := NewAllocator(p, PolicyLightweightReuse)
+
+	// The sparse matrix block shape: Map<pair<int,int>, double>.
+	m, err := MakeMap(a, KHandle, KFloat64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(r, c int32) Ref {
+		o, err := a.MakeObject(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetI32(o, ti.Field("row"), r)
+		SetI32(o, ti.Field("col"), c)
+		return o
+	}
+	for i := int32(0); i < 30; i++ {
+		if err := m.Put(a, HandleValue(mk(i, i*2)), Float64Value(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < 30; i++ {
+		probe := mk(i, i*2)
+		v, ok := m.Get(HandleValue(probe))
+		if !ok || v.F != float64(i) {
+			t.Fatalf("Get(pair %d) = (%v,%v)", i, v, ok)
+		}
+	}
+}
+
+// Property: a PC map matches a Go map under random put/update workloads.
+func TestQuickMapMatchesGoMap(t *testing.T) {
+	f := func(keys []int16, vals []int32) bool {
+		p := NewPage(1<<20, NewRegistry())
+		a := NewAllocator(p, PolicyLightweightReuse)
+		m, err := MakeMap(a, KInt64, KInt64, 8)
+		if err != nil {
+			return false
+		}
+		model := map[int64]int64{}
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			k, v := int64(keys[i]), int64(vals[i])
+			model[k] = v
+			if err := m.Put(a, Int64Value(k), Int64Value(v)); err != nil {
+				return false
+			}
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := m.Get(Int64Value(k))
+			if !ok || got.I != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package object
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Layout constants for the on-page binary format. Everything needed to
+// interpret a page is stored inside the page bytes themselves so that a page
+// remains valid after a byte-wise move between processes, to disk, or over
+// the network.
+const (
+	// PageHeaderSize is the fixed page header:
+	//   [0:4]   magic "PCPG"
+	//   [4:8]   used watermark (next free offset)
+	//   [8:12]  active (live, not-yet-freed) object count
+	//   [12:16] root object payload offset (0 = none)
+	//   [16:20] flags (bit0: managed)
+	//   [20:24] reserved
+	PageHeaderSize = 24
+
+	// ObjHeaderSize is the per-object header preceding each payload:
+	//   [0:4] refcount word (low 30 bits count; bit31 no-refcount;
+	//         bit30 unique-ownership)
+	//   [4:8] type code
+	//   [8:12] payload size
+	ObjHeaderSize = 12
+
+	// HandleSize is the size of an in-page handle slot:
+	//   [0:4] relative offset (int32, target payload offset minus slot
+	//         offset; 0 = nil)
+	//   [4:8] type code of the pointee
+	HandleSize = 8
+)
+
+const (
+	pageMagic = "PCPG"
+
+	flagManaged uint32 = 1 << 0
+
+	rcCountMask   uint32 = 0x3FFFFFFF
+	rcNoRefCount  uint32 = 1 << 31
+	rcUniqueOwner uint32 = 1 << 30
+)
+
+// Common object-model errors.
+var (
+	// ErrPageFull is returned when an allocation does not fit on the
+	// active allocation block. The execution engine reacts by obtaining
+	// a fresh page (paper §6.1: "out-of-memory execution ... means that
+	// the page is full").
+	ErrPageFull = errors.New("object: allocation block full")
+
+	// ErrBadPage is returned when page bytes fail validation.
+	ErrBadPage = errors.New("object: invalid page bytes")
+
+	// ErrCrossPage is returned when a handle located outside the active
+	// allocation block is assigned a target on a different page; the
+	// object model only performs the automatic deep copy for handles on
+	// the active block (paper §6.4).
+	ErrCrossPage = errors.New("object: cross-page handle assignment outside active block")
+
+	// ErrNilObject is returned when dereferencing a nil Ref.
+	ErrNilObject = errors.New("object: nil object reference")
+)
+
+// Page is a block of memory in which PC objects are allocated in place.
+// Only Data is meaningful for persistence; the remaining fields are runtime
+// bookkeeping (buffer pool identity, registry association) and are
+// reconstructed when a page is adopted by a process via FromBytes.
+type Page struct {
+	Data []byte
+
+	// Reg resolves type codes for destructor and deep-copy traversal.
+	// It is process-local state, never persisted.
+	Reg *Registry
+
+	// ID identifies the page within a storage/buffer-pool context.
+	ID uint64
+
+	// Dirty marks the page as modified since load (buffer pool use).
+	Dirty bool
+
+	// alloc points at the allocator currently treating this page as its
+	// active block, if any. Freed space is only recycled while the page
+	// is active; afterwards the page is an inactive managed block whose
+	// objects are still refcounted but whose space is not reused.
+	alloc *Allocator
+}
+
+// NewPage creates an empty managed page of the given total size.
+func NewPage(size int, reg *Registry) *Page {
+	if size < PageHeaderSize+ObjHeaderSize {
+		panic(fmt.Sprintf("object: page size %d too small", size))
+	}
+	p := &Page{Data: make([]byte, size), Reg: reg}
+	copy(p.Data[0:4], pageMagic)
+	p.setUsed(PageHeaderSize)
+	p.setFlags(flagManaged)
+	return p
+}
+
+// FromBytes adopts page bytes received from disk or the network. The page is
+// un-managed: reference counts inside it are frozen (paper §6.4's "inactive,
+// un-managed blocks"), and its space is controlled by the execution engine
+// rather than by the object model.
+func FromBytes(b []byte, reg *Registry) (*Page, error) {
+	if len(b) < PageHeaderSize || string(b[0:4]) != pageMagic {
+		return nil, ErrBadPage
+	}
+	p := &Page{Data: b, Reg: reg}
+	if int(p.Used()) > len(b) {
+		return nil, fmt.Errorf("%w: used %d exceeds page size %d", ErrBadPage, p.Used(), len(b))
+	}
+	p.setFlags(p.flags() &^ flagManaged)
+	return p, nil
+}
+
+// Bytes returns the occupied prefix of the page: the bytes that must be
+// moved to ship every object on the page. Shipping a page is exactly one
+// copy of these bytes — the zero-cost data movement principle.
+func (p *Page) Bytes() []byte { return p.Data[:p.Used()] }
+
+// Used returns the allocation watermark.
+func (p *Page) Used() uint32 { return binary.LittleEndian.Uint32(p.Data[4:8]) }
+
+func (p *Page) setUsed(u uint32) { binary.LittleEndian.PutUint32(p.Data[4:8], u) }
+
+// ActiveObjects returns the count of live (allocated and not freed) objects
+// on the page. A managed page whose count drops to zero can be returned to
+// the buffer pool (paper §6.4).
+func (p *Page) ActiveObjects() uint32 { return binary.LittleEndian.Uint32(p.Data[8:12]) }
+
+func (p *Page) setActiveObjects(n uint32) { binary.LittleEndian.PutUint32(p.Data[8:12], n) }
+
+// Root returns the payload offset of the page's root object (by convention
+// the top-level container, e.g. a Vector of handles), or 0 if unset.
+func (p *Page) Root() uint32 { return binary.LittleEndian.Uint32(p.Data[12:16]) }
+
+// SetRoot records the page's root object.
+func (p *Page) SetRoot(off uint32) {
+	binary.LittleEndian.PutUint32(p.Data[12:16], off)
+	p.Dirty = true
+}
+
+func (p *Page) flags() uint32     { return binary.LittleEndian.Uint32(p.Data[16:20]) }
+func (p *Page) setFlags(f uint32) { binary.LittleEndian.PutUint32(p.Data[16:20], f) }
+
+// Managed reports whether the object model reference-counts objects on this
+// page. Pages loaded from bytes are un-managed; pages created locally are
+// managed until shipped.
+func (p *Page) Managed() bool { return p.flags()&flagManaged != 0 }
+
+// SetManaged toggles management, used by the engine when handing a page
+// between the object model and the storage layer.
+func (p *Page) SetManaged(m bool) {
+	if m {
+		p.setFlags(p.flags() | flagManaged)
+	} else {
+		p.setFlags(p.flags() &^ flagManaged)
+	}
+}
+
+// Remaining returns the free bytes left on the page past the watermark.
+func (p *Page) Remaining() uint32 { return uint32(len(p.Data)) - p.Used() }
+
+// Ref is a process-local reference to an object payload on a page. Unlike
+// in-page handle slots (which hold relative offsets), a Ref carries the page
+// pointer and is only valid within the current process.
+type Ref struct {
+	Page *Page
+	Off  uint32 // payload offset; header lives at Off-ObjHeaderSize
+}
+
+// NilRef is the zero Ref.
+var NilRef = Ref{}
+
+// IsNil reports whether the Ref points at nothing.
+func (r Ref) IsNil() bool { return r.Page == nil || r.Off == 0 }
+
+func (r Ref) header() uint32 { return r.Off - ObjHeaderSize }
+
+// TypeCode returns the object's type code from its header.
+func (r Ref) TypeCode() uint32 {
+	return binary.LittleEndian.Uint32(r.Page.Data[r.header()+4 : r.header()+8])
+}
+
+// PayloadSize returns the object's payload size from its header.
+func (r Ref) PayloadSize() uint32 {
+	return binary.LittleEndian.Uint32(r.Page.Data[r.header()+8 : r.header()+12])
+}
+
+// Payload returns the object's payload bytes.
+func (r Ref) Payload() []byte { return r.Page.Data[r.Off : r.Off+r.PayloadSize()] }
+
+func (r Ref) rcWord() uint32 {
+	return binary.LittleEndian.Uint32(r.Page.Data[r.header() : r.header()+4])
+}
+
+func (r Ref) setRCWord(w uint32) {
+	binary.LittleEndian.PutUint32(r.Page.Data[r.header():r.header()+4], w)
+}
+
+// RefCount returns the object's current reference count (meaningful only on
+// managed pages for objects without the no-refcount policy).
+func (r Ref) RefCount() uint32 { return r.rcWord() & rcCountMask }
+
+// NoRefCount reports whether the object opted out of reference counting
+// (pure region allocation for this object, paper Appendix B).
+func (r Ref) NoRefCount() bool { return r.rcWord()&rcNoRefCount != 0 }
+
+// UniqueOwner reports whether the object uses unique-ownership semantics:
+// not counted, deallocated when its single referencing handle dies.
+func (r Ref) UniqueOwner() bool { return r.rcWord()&rcUniqueOwner != 0 }
+
+// counted reports whether refcount mutations apply to this object: the page
+// must be managed by the local process and the object must not opt out.
+// Un-managed pages freeze their counts — this is what makes cross-thread
+// handle copies lock-free in the paper (§6.5).
+func (r Ref) counted() bool {
+	return r.Page.Managed() && r.rcWord()&(rcNoRefCount|rcUniqueOwner) == 0
+}
+
+// Retain increments the reference count (a Go-side owning reference, the
+// analogue of holding a Handle variable in the C++ binding).
+func (r Ref) Retain() {
+	if r.IsNil() || !r.counted() {
+		return
+	}
+	r.setRCWord(r.rcWord() + 1)
+}
+
+// Release decrements the reference count, destroying and freeing the object
+// when the count reaches zero. Destruction recursively releases every handle
+// the object holds (vector elements, map entries, struct fields).
+func (r Ref) Release() {
+	if r.IsNil() {
+		return
+	}
+	if r.UniqueOwner() && r.Page.Managed() {
+		destroyObject(r)
+		return
+	}
+	if !r.counted() {
+		return
+	}
+	w := r.rcWord()
+	if w&rcCountMask == 0 {
+		// Releasing an object that was never retained: treat as a
+		// destruction request (temporary that never escaped).
+		destroyObject(r)
+		return
+	}
+	w--
+	r.setRCWord(w)
+	if w&rcCountMask == 0 {
+		destroyObject(r)
+	}
+}

@@ -1,0 +1,142 @@
+package object
+
+import (
+	"testing"
+)
+
+func newTestPage(t testing.TB, size int) (*Page, *Allocator) {
+	t.Helper()
+	reg := NewRegistry()
+	p := NewPage(size, reg)
+	return p, NewAllocator(p, PolicyLightweightReuse)
+}
+
+func TestNewPageHeader(t *testing.T) {
+	p := NewPage(4096, NewRegistry())
+	if got := p.Used(); got != PageHeaderSize {
+		t.Errorf("Used() = %d, want %d", got, PageHeaderSize)
+	}
+	if p.ActiveObjects() != 0 {
+		t.Errorf("ActiveObjects() = %d, want 0", p.ActiveObjects())
+	}
+	if !p.Managed() {
+		t.Error("new page should be managed")
+	}
+	if p.Root() != 0 {
+		t.Errorf("Root() = %d, want 0", p.Root())
+	}
+}
+
+func TestPageRootRoundTrip(t *testing.T) {
+	p := NewPage(4096, NewRegistry())
+	p.SetRoot(1234)
+	if p.Root() != 1234 {
+		t.Errorf("Root() = %d, want 1234", p.Root())
+	}
+	if !p.Dirty {
+		t.Error("SetRoot should dirty the page")
+	}
+}
+
+func TestFromBytesValidation(t *testing.T) {
+	if _, err := FromBytes([]byte("nope"), nil); err == nil {
+		t.Error("FromBytes should reject short/bad bytes")
+	}
+	if _, err := FromBytes(make([]byte, 100), nil); err == nil {
+		t.Error("FromBytes should reject missing magic")
+	}
+}
+
+func TestFromBytesUnmanaged(t *testing.T) {
+	p := NewPage(4096, NewRegistry())
+	clone := make([]byte, len(p.Data))
+	copy(clone, p.Data)
+	q, err := FromBytes(clone, NewRegistry())
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if q.Managed() {
+		t.Error("adopted page must be un-managed (frozen refcounts)")
+	}
+}
+
+func TestBytesIsOccupiedPrefix(t *testing.T) {
+	p, a := newTestPage(t, 4096)
+	if _, err := MakeString(a, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	b := p.Bytes()
+	if uint32(len(b)) != p.Used() {
+		t.Errorf("Bytes() length %d != Used() %d", len(b), p.Used())
+	}
+	if len(b) >= len(p.Data) {
+		t.Error("Bytes() should be a strict prefix for a non-full page")
+	}
+}
+
+func TestShipPagePreservesObjects(t *testing.T) {
+	// The zero-cost movement property: copy the occupied bytes, adopt
+	// them elsewhere, and every object is readable without any decode
+	// step.
+	p, a := newTestPage(t, 8192)
+	v, err := MakeVector(a, KFloat64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := v.PushBackF64(a, float64(i)*1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.SetRoot(v.Off)
+
+	shipped := make([]byte, len(p.Bytes()))
+	copy(shipped, p.Bytes())
+
+	q, err := FromBytes(shipped, p.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := AsVector(Ref{Page: q, Off: q.Root()})
+	if rv.Len() != 100 {
+		t.Fatalf("shipped vector Len = %d, want 100", rv.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := rv.F64At(i); got != float64(i)*1.5 {
+			t.Fatalf("shipped elem %d = %g, want %g", i, got, float64(i)*1.5)
+		}
+	}
+}
+
+func TestRetainReleaseLifecycle(t *testing.T) {
+	p, a := newTestPage(t, 4096)
+	s, err := MakeString(a, "ephemeral")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ActiveObjects() != 1 {
+		t.Fatalf("ActiveObjects = %d, want 1", p.ActiveObjects())
+	}
+	s.Retain()
+	if s.RefCount() != 1 {
+		t.Errorf("RefCount = %d, want 1", s.RefCount())
+	}
+	s.Release()
+	if p.ActiveObjects() != 0 {
+		t.Errorf("after release, ActiveObjects = %d, want 0", p.ActiveObjects())
+	}
+}
+
+func TestUnmanagedPageFreezesCounts(t *testing.T) {
+	p, a := newTestPage(t, 4096)
+	s, _ := MakeString(a, "frozen")
+	p.SetManaged(false)
+	s.Retain()
+	if s.RefCount() != 0 {
+		t.Errorf("Retain on unmanaged page changed count to %d", s.RefCount())
+	}
+	s.Release()
+	if p.ActiveObjects() != 1 {
+		t.Errorf("Release on unmanaged page freed object")
+	}
+}

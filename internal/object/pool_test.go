@@ -1,0 +1,202 @@
+package object
+
+import "testing"
+
+func TestPageReset(t *testing.T) {
+	reg := NewRegistry()
+	p := NewPage(4096, reg)
+	a := NewAllocator(p, PolicyLightweightReuse)
+	s, err := MakeString(a, "scrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetRoot(s.Off)
+	p.SetManaged(false)
+
+	p.Reset()
+	if p.Used() != PageHeaderSize {
+		t.Errorf("Used after reset = %d", p.Used())
+	}
+	if p.ActiveObjects() != 0 || p.Root() != 0 || !p.Managed() || p.Dirty {
+		t.Error("reset did not restore a pristine header")
+	}
+	// The page must be immediately reusable as an allocation block.
+	a2 := NewAllocator(p, PolicyLightweightReuse)
+	s2, err := MakeString(a2, "fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StringContents(s2) != "fresh" {
+		t.Error("reset page produced corrupted allocation")
+	}
+}
+
+func TestPagePoolRecyclesWithoutDataBleed(t *testing.T) {
+	reg := NewRegistry()
+	pool := NewPagePool(8192)
+
+	// Fill a page with recognizable content, return it, get it back, and
+	// check that fresh allocations are properly zeroed even though the
+	// body was not cleared.
+	p1 := pool.Get(reg)
+	a := NewAllocator(p1, PolicyLightweightReuse)
+	v, err := MakeVector(a, KFloat64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		_ = v.PushBackF64(a, 12345.678)
+	}
+	pool.Put(p1)
+
+	p2 := pool.Get(reg)
+	if pool.Reuses() != 1 {
+		t.Fatalf("Reuses = %d, want 1", pool.Reuses())
+	}
+	a2 := NewAllocator(p2, PolicyLightweightReuse)
+	v2, err := MakeVector(a2, KFloat64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		_ = v2.PushBackF64(a2, 0)
+	}
+	for i := 0; i < 8; i++ {
+		if v2.F64At(i) != 0 {
+			t.Fatalf("stale data bled into recycled allocation: %g", v2.F64At(i))
+		}
+	}
+	// Shipping a recycled page only moves the occupied prefix, so stale
+	// tail bytes never escape.
+	if int(p2.Used()) >= len(p2.Data) {
+		t.Error("recycled page should not be full")
+	}
+}
+
+func TestPagePoolDropsWrongSizes(t *testing.T) {
+	pool := NewPagePool(4096)
+	pool.Put(NewPage(8192, NewRegistry())) // wrong size: dropped
+	p := pool.Get(NewRegistry())
+	if len(p.Data) != 4096 {
+		t.Errorf("pool returned %d-byte page, want 4096", len(p.Data))
+	}
+	pool.Put(nil) // must not panic
+}
+
+func TestF64Span(t *testing.T) {
+	reg := NewRegistry()
+	p := NewPage(8192, reg)
+	a := NewAllocator(p, PolicyLightweightReuse)
+	v, err := MakeVector(a, KFloat64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		_ = v.PushBackF64(a, float64(i))
+	}
+	sp := v.F64Span()
+	if sp.Len() != 64 {
+		t.Fatalf("span len = %d", sp.Len())
+	}
+	if sp.At(10) != 10 {
+		t.Errorf("At(10) = %g", sp.At(10))
+	}
+	sp.Set(10, 99)
+	sp.Add(10, 1)
+	if v.F64At(10) != 100 {
+		t.Errorf("after Set+Add, elem = %g, want 100", v.F64At(10))
+	}
+	dst := make([]float64, 64)
+	sp.CopyTo(dst)
+	if dst[63] != 63 || dst[10] != 100 {
+		t.Error("CopyTo wrong")
+	}
+	empty, _ := MakeVector(a, KFloat64, 0)
+	if empty.F64Span().Len() != 0 {
+		t.Error("empty vector span should have length 0")
+	}
+}
+
+func TestSimpleTypeCodes(t *testing.T) {
+	tc := SimpleCode(48)
+	if !IsSimpleCode(tc) {
+		t.Error("SimpleCode should set the simple bit")
+	}
+	if SimpleSize(tc) != 48 {
+		t.Errorf("SimpleSize = %d", SimpleSize(tc))
+	}
+	if IsSimpleCode(TCVector) || IsSimpleCode(FirstUserTypeCode) {
+		t.Error("builtin/user codes must not read as simple")
+	}
+	// A simple-typed object deep-copies as a flat byte copy.
+	reg := NewRegistry()
+	p := NewPage(4096, reg)
+	a := NewAllocator(p, PolicyLightweightReuse)
+	off, err := a.Alloc(16, SimpleCode(16), FullRefCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Ref{Page: p, Off: off}
+	copy(r.Payload(), "0123456789abcdef")
+	p2 := NewPage(4096, reg)
+	a2 := NewAllocator(p2, PolicyLightweightReuse)
+	cp, err := DeepCopy(a2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cp.Payload()) != "0123456789abcdef" {
+		t.Error("simple type flat copy lost data")
+	}
+}
+
+func TestHandleSlotTypeCode(t *testing.T) {
+	reg := NewRegistry()
+	ti := NewStruct("T").AddField("child", KHandle).MustBuild(reg)
+	p := NewPage(4096, reg)
+	a := NewAllocator(p, PolicyLightweightReuse)
+	parent, _ := a.MakeObject(ti)
+	child, _ := MakeString(a, "x")
+	if err := SetHandleField(a, parent, ti.Field("child"), child); err != nil {
+		t.Fatal(err)
+	}
+	// The slot carries the pointee's type code without dereferencing —
+	// the dispatch-before-touch capability of §6.3.
+	if got := HandleSlotTypeCode(p, parent.Off+ti.Field("child").Off); got != TCString {
+		t.Errorf("slot type code = %d, want TCString", got)
+	}
+}
+
+func TestBuildPagesRotation(t *testing.T) {
+	reg := NewRegistry()
+	ti := NewStruct("Fat").AddField("pad", KHandle).MustBuild(reg)
+	pages, err := BuildPages(reg, 2048, 200, func(a *Allocator, i int) (Ref, error) {
+		r, err := a.MakeObject(ti)
+		if err != nil {
+			return NilRef, err
+		}
+		v, err := MakeVector(a, KFloat64, 8)
+		if err != nil {
+			return NilRef, err
+		}
+		for j := 0; j < 8; j++ {
+			if err := v.PushBackF64(a, float64(i)); err != nil {
+				return NilRef, err
+			}
+		}
+		return r, SetHandleField(a, r, ti.Field("pad"), v.Ref)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) < 2 {
+		t.Fatalf("expected rotation across pages, got %d", len(pages))
+	}
+	total := 0
+	for _, p := range pages {
+		root := AsVector(Ref{Page: p, Off: p.Root()})
+		total += root.Len()
+	}
+	if total != 200 {
+		t.Errorf("objects across pages = %d, want 200", total)
+	}
+}

@@ -1,0 +1,28 @@
+package object
+
+import "math"
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// MakeString allocates a PC string object holding s on the active block.
+// PC strings are deliberately minimal — the same representation in RAM and
+// on disk, no cached hash values (paper §8.4.3 discusses the consequence).
+func MakeString(a *Allocator, s string) (Ref, error) {
+	off, err := a.Alloc(uint32(len(s)), TCString, FullRefCount)
+	if err != nil {
+		return NilRef, err
+	}
+	r := Ref{Page: a.Page, Off: off}
+	copy(r.Page.Data[off:off+uint32(len(s))], s)
+	return r, nil
+}
+
+// StringContents reads the contents of a string object.
+func StringContents(r Ref) string {
+	if r.IsNil() {
+		return ""
+	}
+	n := r.PayloadSize()
+	return string(r.Page.Data[r.Off : r.Off+n])
+}

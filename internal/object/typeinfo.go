@@ -1,0 +1,248 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Field describes one member of a registered user type: its name, storage
+// kind, and byte offset within the object payload. Fields of handle kinds
+// are traversed by the destructor and deep-copy machinery.
+type Field struct {
+	Name string
+	Kind Kind
+	Off  uint32
+}
+
+// Method is a registered virtual method on a user type. Dispatch happens
+// through the type code stored in each handle — the Go analogue of the
+// paper's vTable-pointer patching (§6.3). Fn receives the receiver object
+// and returns the method result as a Value.
+type Method struct {
+	Name string
+	Ret  Kind
+	Fn   func(Ref) Value
+}
+
+// TypeInfo is the registered description of a PC object type: layout,
+// methods, and optional hash/equality used when objects of this type serve
+// as map or join keys. It plays the role of the vTable plus the reflection
+// metadata a C++ compiler would emit.
+type TypeInfo struct {
+	Code uint32
+	Name string
+	Size uint32 // payload size of the fixed-length portion
+
+	Fields  []Field
+	Methods map[string]Method
+
+	// Hash and Equal are optional; required only when objects of this
+	// type are used as Map keys or join keys directly.
+	Hash  func(Ref) uint64
+	Equal func(a, b Ref) bool
+
+	// fieldByName is built lazily exactly once. A TypeInfo may be shared
+	// by many registries (the master catalog hands the same registration
+	// to every worker), so the index must not be rebuilt per Register.
+	fieldOnce   sync.Once
+	fieldByName map[string]*Field
+}
+
+// Field returns the field descriptor by name, or nil.
+func (t *TypeInfo) Field(name string) *Field {
+	t.fieldOnce.Do(func() {
+		m := make(map[string]*Field, len(t.Fields))
+		for i := range t.Fields {
+			m[t.Fields[i].Name] = &t.Fields[i]
+		}
+		t.fieldByName = m
+	})
+	if f, ok := t.fieldByName[name]; ok {
+		return f
+	}
+	return nil
+}
+
+// Method returns the method descriptor by name, or nil... callers that need
+// a hard failure use MustMethod.
+func (t *TypeInfo) Method(name string) (Method, bool) {
+	m, ok := t.Methods[name]
+	return m, ok
+}
+
+// IsSimple reports whether the type has no handle fields, i.e. a memmove
+// suffices to copy it (the paper's "simple type" criterion).
+func (t *TypeInfo) IsSimple() bool {
+	for i := range t.Fields {
+		if t.Fields[i].Kind.IsHandleKind() {
+			return false
+		}
+	}
+	return true
+}
+
+// HandleFields returns the subset of fields holding handles, in offset
+// order; used by destructors and deep copies.
+func (t *TypeInfo) HandleFields() []*Field {
+	var out []*Field
+	for i := range t.Fields {
+		if t.Fields[i].Kind.IsHandleKind() {
+			out = append(out, &t.Fields[i])
+		}
+	}
+	return out
+}
+
+// Registry maps type codes to TypeInfo. Each process (in the simulated
+// cluster: each worker) owns a Registry; unknown codes fault into the Miss
+// hook, which the catalog layer uses to fetch registrations from the master
+// — the analogue of shipping an .so to a worker that has never seen a type
+// (paper §6.3).
+type Registry struct {
+	mu     sync.RWMutex
+	byCode map[uint32]*TypeInfo
+	byName map[string]*TypeInfo
+	next   uint32
+
+	// Miss, if set, is consulted when a lookup by code fails. It may
+	// return a TypeInfo fetched from elsewhere (which is then cached)
+	// or nil.
+	Miss func(code uint32) *TypeInfo
+}
+
+// NewRegistry creates an empty registry whose user type codes start at
+// FirstUserTypeCode.
+func NewRegistry() *Registry {
+	return &Registry{
+		byCode: make(map[uint32]*TypeInfo),
+		byName: make(map[string]*TypeInfo),
+		next:   FirstUserTypeCode,
+	}
+}
+
+// Register installs a TypeInfo. If ti.Code is zero a fresh code is assigned.
+// Registering a name twice returns the existing registration (idempotent, so
+// every simulated process can register the same shared type set).
+func (r *Registry) Register(ti *TypeInfo) (*TypeInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[ti.Name]; ok {
+		return prev, nil
+	}
+	if ti.Code == 0 {
+		ti.Code = r.next
+		r.next++
+	} else if ti.Code >= r.next {
+		r.next = ti.Code + 1
+	}
+	if _, dup := r.byCode[ti.Code]; dup {
+		return nil, fmt.Errorf("object: duplicate type code %d", ti.Code)
+	}
+	r.byCode[ti.Code] = ti
+	r.byName[ti.Name] = ti
+	return ti, nil
+}
+
+// Lookup resolves a type code, faulting into Miss for unknown codes.
+func (r *Registry) Lookup(code uint32) *TypeInfo {
+	r.mu.RLock()
+	ti := r.byCode[code]
+	r.mu.RUnlock()
+	if ti != nil {
+		return ti
+	}
+	if r.Miss == nil {
+		return nil
+	}
+	fetched := r.Miss(code)
+	if fetched == nil {
+		return nil
+	}
+	cached, err := r.Register(fetched)
+	if err != nil {
+		return nil
+	}
+	return cached
+}
+
+// LookupName resolves a type by its registered name.
+func (r *Registry) LookupName(name string) *TypeInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byName[name]
+}
+
+// Types returns all registered types sorted by code (for catalog listings).
+func (r *Registry) Types() []*TypeInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*TypeInfo, 0, len(r.byCode))
+	for _, ti := range r.byCode {
+		out = append(out, ti)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// StructBuilder assembles a TypeInfo with automatically computed, aligned
+// field offsets — the stand-in for the C++ compiler laying out an Object
+// subclass.
+type StructBuilder struct {
+	name    string
+	fields  []Field
+	methods map[string]Method
+	off     uint32
+}
+
+// NewStruct begins building a user type with the given name.
+func NewStruct(name string) *StructBuilder {
+	return &StructBuilder{name: name, methods: map[string]Method{}}
+}
+
+// AddField appends a field, aligning its offset to the kind's natural size
+// (bools byte-aligned, 4-byte values 4-aligned, 8-byte values 8-aligned).
+func (b *StructBuilder) AddField(name string, k Kind) *StructBuilder {
+	align := k.Size()
+	if align == 0 {
+		panic("object: field with invalid kind " + k.String())
+	}
+	if align > 8 {
+		align = 8
+	}
+	if rem := b.off % align; rem != 0 {
+		b.off += align - rem
+	}
+	b.fields = append(b.fields, Field{Name: name, Kind: k, Off: b.off})
+	b.off += k.Size()
+	return b
+}
+
+// AddMethod registers a virtual method on the type being built.
+func (b *StructBuilder) AddMethod(name string, ret Kind, fn func(Ref) Value) *StructBuilder {
+	b.methods[name] = Method{Name: name, Ret: ret, Fn: fn}
+	return b
+}
+
+// Build finalizes the layout (size rounded up to 8 bytes) and registers the
+// type with the registry.
+func (b *StructBuilder) Build(r *Registry) (*TypeInfo, error) {
+	size := b.off
+	if rem := size % 8; rem != 0 {
+		size += 8 - rem
+	}
+	if size == 0 {
+		size = 8
+	}
+	ti := &TypeInfo{Name: b.name, Size: size, Fields: b.fields, Methods: b.methods}
+	return r.Register(ti)
+}
+
+// MustBuild is Build, panicking on error (registration of a fixed schema).
+func (b *StructBuilder) MustBuild(r *Registry) *TypeInfo {
+	ti, err := b.Build(r)
+	if err != nil {
+		panic(err)
+	}
+	return ti
+}

@@ -1,0 +1,177 @@
+package object
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is the tagged scalar that flows between the object model and the
+// vectorized execution engine: the result of a member access, method call,
+// or lambda evaluation. It is a by-value union; only the field selected by
+// K is meaningful.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	B bool
+	S string
+	H Ref
+}
+
+// Convenience constructors.
+
+func BoolValue(b bool) Value       { return Value{K: KBool, B: b} }
+func Int32Value(i int32) Value     { return Value{K: KInt32, I: int64(i)} }
+func Int64Value(i int64) Value     { return Value{K: KInt64, I: i} }
+func Float64Value(f float64) Value { return Value{K: KFloat64, F: f} }
+func StringValue(s string) Value   { return Value{K: KString, S: s} }
+func HandleValue(r Ref) Value      { return Value{K: KHandle, H: r} }
+
+// AsFloat64 widens numeric values to float64 (used by arithmetic lambdas).
+func (v Value) AsFloat64() float64 {
+	switch v.K {
+	case KFloat64:
+		return v.F
+	case KInt32, KInt64:
+		return float64(v.I)
+	case KBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// AsInt64 narrows numeric values to int64.
+func (v Value) AsInt64() int64 {
+	switch v.K {
+	case KInt32, KInt64:
+		return v.I
+	case KFloat64:
+		return int64(v.F)
+	case KBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Equal compares two values of compatible kinds.
+func (v Value) Equal(o Value) bool {
+	switch v.K {
+	case KBool:
+		return o.K == KBool && v.B == o.B
+	case KInt32, KInt64:
+		switch o.K {
+		case KInt32, KInt64:
+			return v.I == o.I
+		case KFloat64:
+			return float64(v.I) == o.F
+		}
+		return false
+	case KFloat64:
+		switch o.K {
+		case KFloat64:
+			return v.F == o.F
+		case KInt32, KInt64:
+			return v.F == float64(o.I)
+		}
+		return false
+	case KString:
+		return o.K == KString && v.S == o.S
+	case KHandle:
+		return o.K == KHandle && v.H == o.H
+	default:
+		return v.K == o.K
+	}
+}
+
+// Less imposes an ordering on comparable values (numeric and string kinds).
+func (v Value) Less(o Value) bool {
+	switch v.K {
+	case KInt32, KInt64:
+		switch o.K {
+		case KInt32, KInt64:
+			return v.I < o.I
+		case KFloat64:
+			return float64(v.I) < o.F
+		}
+	case KFloat64:
+		switch o.K {
+		case KFloat64:
+			return v.F < o.F
+		case KInt32, KInt64:
+			return v.F < float64(o.I)
+		}
+	case KString:
+		if o.K == KString {
+			return v.S < o.S
+		}
+	}
+	return false
+}
+
+func (v Value) String() string {
+	switch v.K {
+	case KBool:
+		return fmt.Sprintf("%v", v.B)
+	case KInt32, KInt64:
+		return fmt.Sprintf("%d", v.I)
+	case KFloat64:
+		return fmt.Sprintf("%g", v.F)
+	case KString:
+		return fmt.Sprintf("%q", v.S)
+	case KHandle:
+		if v.H.IsNil() {
+			return "nil"
+		}
+		return fmt.Sprintf("handle@%d", v.H.Off)
+	default:
+		return "invalid"
+	}
+}
+
+// HashValue computes a 64-bit hash of a scalar value (FNV-1a), used for map
+// keys and join-key hashing (the TCAP HASH operation).
+func HashValue(v Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mix8 := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	}
+	switch v.K {
+	case KBool:
+		if v.B {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	case KInt32, KInt64:
+		mix8(uint64(v.I))
+	case KFloat64:
+		// Normalize -0.0 to 0.0 so equal floats hash equally.
+		f := v.F
+		if f == 0 {
+			f = 0
+		}
+		mix8(math.Float64bits(f))
+	case KString:
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	case KHandle:
+		mix8(uint64(v.H.Off))
+	}
+	return h
+}

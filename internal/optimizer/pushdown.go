@@ -1,0 +1,288 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/tcap"
+)
+
+// pushFiltersPastJoins fires rule 2 once per call: find a post-join FILTER
+// over an AND tree, pick a conjunct whose computation reads exactly one join
+// input's object column, replicate that computation onto the input's
+// pipeline with an early FILTER, and delete the conjunct from the post-join
+// predicate.
+func pushFiltersPastJoins(p *tcap.Program, st *Stats) bool {
+	for _, f := range p.Stmts {
+		if f.Op != tcap.OpFilter || len(f.Applied.Cols) != 1 {
+			continue
+		}
+		if tryPushConjunct(p, f, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// conjunct is one leaf of a FILTER's AND tree: the boolean column, the AND
+// statement consuming it, and the AND's other operand.
+type conjunct struct {
+	col      string
+	andStmt  *tcap.Stmt
+	otherCol string
+}
+
+// expandConjuncts walks the AND tree rooted at boolCol.
+func expandConjuncts(p *tcap.Program, boolCol string, out *[]conjunct) {
+	idx := producerIdx(p, boolCol)
+	if idx < 0 {
+		return
+	}
+	s := p.Stmts[idx]
+	if s.Op == tcap.OpApply && s.Info["type"] == "bool" && s.Info["op"] == "&&" && len(s.Applied.Cols) == 2 {
+		l, r := s.Applied.Cols[0], s.Applied.Cols[1]
+		*out = append(*out,
+			conjunct{col: l, andStmt: s, otherCol: r},
+			conjunct{col: r, andStmt: s, otherCol: l})
+		expandConjuncts(p, l, out)
+		expandConjuncts(p, r, out)
+	}
+}
+
+// closureOf collects the APPLY statements transitively producing col, plus
+// the leaf columns they read from outside the closure. Returns nil when the
+// closure contains non-APPLY producers or opaque natives (which block
+// optimization, as the paper warns).
+func closureOf(p *tcap.Program, col string) (stmts []*tcap.Stmt, leaves map[string]bool) {
+	leaves = map[string]bool{}
+	inClosure := map[*tcap.Stmt]bool{}
+	var visit func(c string) bool
+	visit = func(c string) bool {
+		idx := producerIdx(p, c)
+		if idx < 0 {
+			return false
+		}
+		s := p.Stmts[idx]
+		if s.Op != tcap.OpApply {
+			// c comes from a SCAN, JOIN, or other non-APPLY producer:
+			// a leaf of the conjunct's computation.
+			leaves[c] = true
+			return true
+		}
+		if s.Info["type"] == "native" {
+			return false
+		}
+		if inClosure[s] {
+			return true
+		}
+		inClosure[s] = true
+		if s.Info["type"] == "const" {
+			// Const applied columns only size the batch; they are
+			// rewritten at the insertion site, not data leaves.
+			return true
+		}
+		for _, in := range s.Applied.Cols {
+			if !visit(in) {
+				return false
+			}
+		}
+		return true
+	}
+	if !visit(col) {
+		return nil, nil
+	}
+	// Preserve program order.
+	for _, s := range p.Stmts {
+		if inClosure[s] {
+			stmts = append(stmts, s)
+		}
+	}
+	return stmts, leaves
+}
+
+// tryPushConjunct attempts rule 2 on one FILTER; true if the program changed.
+func tryPushConjunct(p *tcap.Program, f *tcap.Stmt, st *Stats) bool {
+	var conjs []conjunct
+	expandConjuncts(p, f.Applied.Cols[0], &conjs)
+	for _, cj := range conjs {
+		if pushOne(p, f, cj, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtIndex(p *tcap.Program, s *tcap.Stmt) int {
+	for i, x := range p.Stmts {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func pushOne(p *tcap.Program, f *tcap.Stmt, cj conjunct, st *Stats) bool {
+	closure, leaves := closureOf(p, cj.col)
+	if closure == nil || len(leaves) != 1 {
+		return false
+	}
+	var leaf string
+	for l := range leaves {
+		leaf = l
+	}
+
+	// The conjunct must sit downstream of a JOIN carrying the leaf; find
+	// the earliest such join between program start and the filter.
+	fi := stmtIndex(p, f)
+	var join *tcap.Stmt
+	for i := 0; i < fi; i++ {
+		s := p.Stmts[i]
+		if s.Op != tcap.OpJoin {
+			continue
+		}
+		if s.Copied2.Has(leaf) || s.Copied.Has(leaf) {
+			join = s
+			break
+		}
+	}
+	if join == nil {
+		return false
+	}
+	ji := stmtIndex(p, join)
+
+	// Every closure statement must live after the join (post-join region)
+	// and its internal columns must not feed anything outside the closure
+	// except the AND consuming the conjunct.
+	inClosure := map[*tcap.Stmt]bool{}
+	closureCols := map[string]bool{}
+	for _, s := range closure {
+		inClosure[s] = true
+		if stmtIndex(p, s) <= ji {
+			return false
+		}
+		for _, c := range s.NewColumns() {
+			closureCols[c] = true
+		}
+	}
+	for _, s := range p.Stmts {
+		if inClosure[s] {
+			continue
+		}
+		reads := func(cols []string) bool {
+			for _, c := range cols {
+				if closureCols[c] && !(s == cj.andStmt && c == cj.col) {
+					return true
+				}
+			}
+			return false
+		}
+		if reads(s.Applied.Cols) || reads(s.Applied2.Cols) {
+			return false
+		}
+	}
+
+	// Walk back from the join input that carries the leaf to the first
+	// list where the leaf exists: the insertion base.
+	var startList string
+	if join.Copied2.Has(leaf) {
+		startList = join.Applied2.Name
+	} else {
+		startList = join.Applied.Name
+	}
+	base := p.Producer(startList)
+	if base == nil || !base.Out.Has(leaf) {
+		return false
+	}
+	for {
+		if base.Op == tcap.OpScan {
+			break
+		}
+		prev := p.Producer(base.Applied.Name)
+		if prev == nil || !prev.Out.Has(leaf) {
+			break
+		}
+		base = prev
+	}
+	baseIdx := stmtIndex(p, base)
+
+	// The chain consumer to rewire: the statement between base and the
+	// join that consumes base's list on this path.
+	var chainConsumer *tcap.Stmt
+	for i := baseIdx + 1; i <= ji; i++ {
+		s := p.Stmts[i]
+		if s.Op != tcap.OpScan && (s.Applied.Name == base.Out.Name ||
+			(s.Op == tcap.OpJoin && s.Applied2.Name == base.Out.Name)) {
+			// Must be an ancestor of (or be) the join.
+			if s == join || p.IsAncestor(s, join) {
+				chainConsumer = s
+				break
+			}
+		}
+	}
+	if chainConsumer == nil {
+		return false
+	}
+
+	// Build the clones: the closure recomputed over the base list, ending
+	// in an early FILTER that preserves all of the base list's columns.
+	var clones []*tcap.Stmt
+	curList := base.Out.Name
+	curCols := append([]string(nil), base.Out.Cols...)
+	for _, s := range closure {
+		c := s.Clone()
+		c.Out.Name = fmt.Sprintf("%s_pd%d", s.Out.Name, st.FiltersPushed)
+		c.Applied.Name = curList
+		c.Copied.Name = curList
+		c.Copied.Cols = append([]string(nil), curCols...)
+		if c.Info["type"] == "const" {
+			c.Applied.Cols = []string{leaf}
+		}
+		c.Out.Cols = append(append([]string(nil), curCols...), s.NewColumns()...)
+		curList = c.Out.Name
+		curCols = c.Out.Cols
+		clones = append(clones, c)
+	}
+	early := &tcap.Stmt{
+		Out:     tcap.ColumnsRef{Name: fmt.Sprintf("%s_pdf%d", base.Out.Name, st.FiltersPushed), Cols: append([]string(nil), base.Out.Cols...)},
+		Op:      tcap.OpFilter,
+		Applied: tcap.ColumnsRef{Name: curList, Cols: []string{cj.col}},
+		Copied:  tcap.ColumnsRef{Name: curList, Cols: append([]string(nil), base.Out.Cols...)},
+		Comp:    f.Comp,
+		Info:    map[string]string{"type": "pushed_filter"},
+	}
+	clones = append(clones, early)
+
+	// Delete the originals and collapse the AND.
+	for _, s := range closure {
+		p.Remove(s)
+		rewireListConsumers(p, s.Out.Name, s.Applied.Name)
+		for _, c := range s.NewColumns() {
+			dropColEverywhere(p, 0, c)
+		}
+	}
+	andCol := cj.andStmt.NewColumns()[0]
+	other := cj.otherCol
+	p.Remove(cj.andStmt)
+	rewireListConsumers(p, cj.andStmt.Out.Name, cj.andStmt.Applied.Name)
+	renameColRefs(p, 0, andCol, other)
+	dropColEverywhere(p, 0, andCol)
+
+	// Rewire the chain consumer to read the early filter's output.
+	if chainConsumer.Applied.Name == base.Out.Name {
+		chainConsumer.Applied.Name = early.Out.Name
+	}
+	if chainConsumer.Copied.Name == base.Out.Name {
+		chainConsumer.Copied.Name = early.Out.Name
+	}
+	if chainConsumer.Op == tcap.OpJoin && chainConsumer.Applied2.Name == base.Out.Name {
+		chainConsumer.Applied2.Name = early.Out.Name
+		chainConsumer.Copied2.Name = early.Out.Name
+	}
+
+	// Splice the clones in right after the base producer.
+	baseIdx = stmtIndex(p, base) // indices shifted by removals
+	rest := append([]*tcap.Stmt(nil), p.Stmts[baseIdx+1:]...)
+	p.Stmts = append(p.Stmts[:baseIdx+1], append(clones, rest...)...)
+
+	st.FiltersPushed++
+	return true
+}

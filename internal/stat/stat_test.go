@@ -1,0 +1,178 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("LogSumExp = %g, want log(6)", got)
+	}
+	// Stability with huge magnitudes: naive exp would overflow.
+	got = LogSumExp([]float64{1000, 1000})
+	if math.Abs(got-(1000+math.Log(2))) > 1e-9 {
+		t.Errorf("LogSumExp big = %g", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("empty LogSumExp should be -inf")
+	}
+}
+
+func TestSampleMultinomialDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[SampleMultinomial(rng, weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want) > n*0.02 {
+			t.Errorf("bucket %d count %d, want ~%g", i, counts[i], want)
+		}
+	}
+}
+
+func TestSampleLogMultinomialMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	logw := []float64{math.Log(0.5), math.Log(0.5)}
+	counts := make([]int, 2)
+	for i := 0; i < 20000; i++ {
+		counts[SampleLogMultinomial(rng, logw)]++
+	}
+	if math.Abs(float64(counts[0])-10000) > 500 {
+		t.Errorf("even log-multinomial skewed: %v", counts)
+	}
+}
+
+func TestSampleGammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, shape := range []float64{0.5, 1, 4, 9} {
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = SampleGamma(rng, shape)
+		}
+		m := Mean(xs)
+		if math.Abs(m-shape) > 0.15*shape+0.05 {
+			t.Errorf("Gamma(%g) mean = %g, want %g", shape, m, shape)
+		}
+		v := Variance(xs)
+		if math.Abs(v-shape) > 0.3*shape+0.1 {
+			t.Errorf("Gamma(%g) variance = %g, want %g", shape, v, shape)
+		}
+	}
+}
+
+func TestSampleDirichlet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	alphas := []float64{2, 3, 5}
+	sums := make([]float64, 3)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p := SampleDirichlet(rng, alphas)
+		total := 0.0
+		for j, v := range p {
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+			total += v
+			sums[j] += v
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("Dirichlet sample sums to %g", total)
+		}
+	}
+	// E[p_j] = alpha_j / sum(alpha).
+	for j, a := range alphas {
+		want := a / 10
+		if math.Abs(sums[j]/n-want) > 0.02 {
+			t.Errorf("Dirichlet mean[%d] = %g, want %g", j, sums[j]/n, want)
+		}
+	}
+}
+
+func TestGaussianLogPDF(t *testing.T) {
+	g := &Gaussian{Mean: []float64{0}, Var: []float64{1}}
+	got := g.LogPDF([]float64{0})
+	want := -0.5 * math.Log(2*math.Pi)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("standard normal log pdf at 0 = %g, want %g", got, want)
+	}
+	// Density decreases away from the mean.
+	if g.LogPDF([]float64{2}) >= got {
+		t.Error("log pdf should decrease away from mean")
+	}
+	if !math.IsInf(g.LogPDF([]float64{0, 0}), -1) {
+		t.Error("dimension mismatch should be -inf")
+	}
+}
+
+func TestGaussianSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := &Gaussian{Mean: []float64{3, -2}, Var: []float64{4, 0.25}}
+	var xs0, xs1 []float64
+	for i := 0; i < 20000; i++ {
+		s := g.Sample(rng)
+		xs0 = append(xs0, s[0])
+		xs1 = append(xs1, s[1])
+	}
+	if math.Abs(Mean(xs0)-3) > 0.1 || math.Abs(Mean(xs1)+2) > 0.05 {
+		t.Errorf("sample means off: %g %g", Mean(xs0), Mean(xs1))
+	}
+	if math.Abs(Variance(xs0)-4) > 0.3 || math.Abs(Variance(xs1)-0.25) > 0.05 {
+		t.Errorf("sample variances off: %g %g", Variance(xs0), Variance(xs1))
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []int64
+		want float64
+	}{
+		{[]int64{1, 2, 3}, []int64{1, 2, 3}, 1},
+		{[]int64{1, 2}, []int64{3, 4}, 0},
+		{[]int64{1, 2, 3}, []int64{2, 3, 4}, 0.5},
+		{nil, nil, 1},
+		{[]int64{1}, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	got := Dedup([]int64{5, 1, 5, 3, 1, 1, 9})
+	want := []int64{1, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Dedup = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dedup = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: Dedup output is sorted and unique, Jaccard is symmetric.
+func TestQuickDedupAndJaccard(t *testing.T) {
+	f := func(a, b []int64) bool {
+		da := Dedup(append([]int64(nil), a...))
+		db := Dedup(append([]int64(nil), b...))
+		for i := 1; i < len(da); i++ {
+			if da[i] <= da[i-1] {
+				return false
+			}
+		}
+		return Jaccard(da, db) == Jaccard(db, da)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

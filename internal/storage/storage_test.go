@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/object"
+)
+
+func buildPage(t testing.TB, reg *object.Registry, vals ...float64) *object.Page {
+	t.Helper()
+	p := object.NewPage(1<<14, reg)
+	a := object.NewAllocator(p, object.PolicyLightweightReuse)
+	v, err := object.MakeVector(a, object.KFloat64, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Retain()
+	for _, x := range vals {
+		if err := v.PushBackF64(a, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.SetRoot(v.Off)
+	return p
+}
+
+func TestMemoryModeRoundTrip(t *testing.T) {
+	reg := object.NewRegistry()
+	s, err := NewServer("", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPage(t, reg, 1, 2, 3)
+	if err := s.Append("db", "set", []*object.Page{p}); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := s.Pages("db", "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	v := object.AsVector(object.Ref{Page: pages[0], Off: pages[0].Root()})
+	if v.Len() != 3 || v.F64At(2) != 3 {
+		t.Error("contents lost in memory mode")
+	}
+}
+
+func TestDiskModePersistsAndReloads(t *testing.T) {
+	reg := object.NewRegistry()
+	dir := t.TempDir()
+	s, err := NewServer(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("db", "set", []*object.Page{
+		buildPage(t, reg, 1, 2), buildPage(t, reg, 3, 4, 5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.BytesWritten == 0 {
+		t.Error("disk writes not counted")
+	}
+
+	// A brand-new server over the same directory must see the data
+	// after re-registering the set (simulating a worker restart).
+	s2, err := NewServer(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.CreateSet("db", "set"); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := s2.Pages("db", "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range pages {
+		total += object.AsVector(object.Ref{Page: p, Off: p.Root()}).Len()
+	}
+	if total != 5 {
+		t.Errorf("reloaded element count = %d, want 5", total)
+	}
+	if s2.BytesRead == 0 {
+		t.Error("disk reads not counted")
+	}
+}
+
+func TestDropSet(t *testing.T) {
+	reg := object.NewRegistry()
+	s, _ := NewServer(t.TempDir(), reg)
+	_ = s.Append("db", "set", []*object.Page{buildPage(t, reg, 1)})
+	if err := s.Drop("db", "set"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pages("db", "set"); err == nil {
+		t.Error("dropped set should be gone")
+	}
+	if err := s.Drop("db", "set"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestSetBytesAndSets(t *testing.T) {
+	reg := object.NewRegistry()
+	s, _ := NewServer("", reg)
+	_ = s.Append("db", "a", []*object.Page{buildPage(t, reg, 1, 2, 3)})
+	_ = s.Append("db", "b", []*object.Page{buildPage(t, reg, 1)})
+	if s.SetBytes("db", "a") <= s.SetBytes("db", "b") {
+		t.Error("larger set should report more bytes")
+	}
+	sets := s.Sets()
+	if len(sets) != 2 || !strings.Contains(strings.Join(sets, ","), "db.a") {
+		t.Errorf("Sets() = %v", sets)
+	}
+}
+
+func TestUnknownSetErrors(t *testing.T) {
+	s, _ := NewServer("", object.NewRegistry())
+	if _, err := s.Pages("no", "set"); err == nil {
+		t.Error("unknown set should error")
+	}
+}

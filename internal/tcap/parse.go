@@ -1,0 +1,353 @@
+package tcap
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a TCAP program in the textual syntax emitted by Print (the
+// paper's notation). It accepts the statement forms:
+//
+//	Out(c1,c2) <= SCAN('db', 'set', 'Comp', [..]);
+//	Out(c...)  <= APPLY(In(a), In(b,c), 'Comp', 'stage', [..]);   (also HASH, FLATTEN)
+//	Out(c...)  <= FILTER(In(bl), In(b,c), 'Comp', [..]);
+//	Out(c...)  <= JOIN(L(h), L(a), R(h2), R(b), 'Comp', [..]);
+//	Out(k,v)   <= AGGREGATE(In(k,v), In(), 'Comp', [..]);
+//	Out()      <= OUTPUT(In(a), 'db', 'set', 'Comp', [..]);
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.done() {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type token struct {
+	kind string // ident, str, punct
+	val  string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("tcap: unterminated comment at %d", i)
+			}
+			i += end + 4
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("tcap: unterminated string at %d", i)
+			}
+			toks = append(toks, token{"str", src[i+1 : j], i})
+			i = j + 1
+		case c == '<' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{"punct", "<=", i})
+			i += 2
+		case strings.ContainsRune("(),[];", rune(c)):
+			toks = append(toks, token{"punct", string(c), i})
+			i++
+		case unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' || c == '.':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{"ident", src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("tcap: unexpected character %q at %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) done() bool { return p.i >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.done() {
+		return token{kind: "eof"}
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+func (p *parser) expect(kind, val string) (token, error) {
+	t := p.next()
+	if t.kind != kind || (val != "" && t.val != val) {
+		return t, fmt.Errorf("tcap: at %d expected %s %q, got %s %q", t.pos, kind, val, t.kind, t.val)
+	}
+	return t, nil
+}
+
+// colsRef parses Name(c1,c2,...).
+func (p *parser) colsRef() (ColumnsRef, error) {
+	name, err := p.expect("ident", "")
+	if err != nil {
+		return ColumnsRef{}, err
+	}
+	if _, err := p.expect("punct", "("); err != nil {
+		return ColumnsRef{}, err
+	}
+	ref := ColumnsRef{Name: name.val}
+	for p.peek().val != ")" {
+		c, err := p.expect("ident", "")
+		if err != nil {
+			return ColumnsRef{}, err
+		}
+		ref.Cols = append(ref.Cols, c.val)
+		if p.peek().val == "," {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	return ref, nil
+}
+
+func (p *parser) str() (string, error) {
+	t, err := p.expect("str", "")
+	return t.val, err
+}
+
+func (p *parser) comma() error {
+	_, err := p.expect("punct", ",")
+	return err
+}
+
+// info parses [('k','v'), ...].
+func (p *parser) info() (map[string]string, error) {
+	if _, err := p.expect("punct", "["); err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for p.peek().val != "]" {
+		if _, err := p.expect("punct", "("); err != nil {
+			return nil, err
+		}
+		k, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		v, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("punct", ")"); err != nil {
+			return nil, err
+		}
+		out[k] = v
+		if p.peek().val == "," {
+			p.next()
+		}
+	}
+	p.next() // ']'
+	return out, nil
+}
+
+// optStageThenInfo parses an optional 'stage' string followed by the info
+// list (the paper sometimes omits the stage for FILTER).
+func (p *parser) optStageThenInfo(s *Stmt) error {
+	if p.peek().kind == "str" {
+		stage, _ := p.str()
+		s.Stage = stage
+		if err := p.comma(); err != nil {
+			return err
+		}
+	}
+	info, err := p.info()
+	if err != nil {
+		return err
+	}
+	s.Info = info
+	return nil
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	out, err := p.colsRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("punct", "<="); err != nil {
+		return nil, err
+	}
+	opTok, err := p.expect("ident", "")
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{Out: out, Info: map[string]string{}}
+	switch opTok.val {
+	case "SCAN":
+		s.Op = OpScan
+	case "APPLY":
+		s.Op = OpApply
+	case "FILTER":
+		s.Op = OpFilter
+	case "HASH":
+		s.Op = OpHash
+	case "JOIN":
+		s.Op = OpJoin
+	case "AGGREGATE":
+		s.Op = OpAggregate
+	case "FLATTEN":
+		s.Op = OpFlatten
+	case "OUTPUT":
+		s.Op = OpOutput
+	default:
+		return nil, fmt.Errorf("tcap: unknown op %q at %d", opTok.val, opTok.pos)
+	}
+	if _, err := p.expect("punct", "("); err != nil {
+		return nil, err
+	}
+
+	switch s.Op {
+	case OpScan:
+		if s.Db, err = p.str(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Set, err = p.str(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Comp, err = p.str(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if err := p.optStageThenInfo(s); err != nil {
+			return nil, err
+		}
+	case OpOutput:
+		if s.Applied, err = p.colsRef(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Db, err = p.str(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Set, err = p.str(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Comp, err = p.str(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if err := p.optStageThenInfo(s); err != nil {
+			return nil, err
+		}
+	case OpJoin:
+		if s.Applied, err = p.colsRef(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Copied, err = p.colsRef(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Applied2, err = p.colsRef(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Copied2, err = p.colsRef(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Comp, err = p.str(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if err := p.optStageThenInfo(s); err != nil {
+			return nil, err
+		}
+	default: // APPLY, FILTER, HASH, FLATTEN, AGGREGATE
+		if s.Applied, err = p.colsRef(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Copied, err = p.colsRef(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if s.Comp, err = p.str(); err != nil {
+			return nil, err
+		}
+		if err := p.comma(); err != nil {
+			return nil, err
+		}
+		if err := p.optStageThenInfo(s); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect("punct", ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("punct", ";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,47 @@
+package tcap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program in the paper's textual TCAP syntax:
+//
+//	WDNm_1(dep,emp,sup,nm1) <= APPLY(In(dep), In(dep,emp,sup), 'Join_2212',
+//	    'att_acc_1', [('type', 'attAccess'), ('attName', 'deptName')]);
+func (p *Program) Print() string {
+	var b strings.Builder
+	for _, s := range p.Stmts {
+		b.WriteString(s.Print())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Print renders one statement.
+func (s *Stmt) Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s <= %s(", s.Out, s.Op)
+	switch s.Op {
+	case OpScan:
+		fmt.Fprintf(&b, "'%s', '%s', '%s'", s.Db, s.Set, s.Comp)
+	case OpOutput:
+		fmt.Fprintf(&b, "%s, '%s', '%s', '%s'", s.Applied, s.Db, s.Set, s.Comp)
+	case OpJoin:
+		fmt.Fprintf(&b, "%s, %s, %s, %s, '%s'", s.Applied, s.Copied, s.Applied2, s.Copied2, s.Comp)
+	default:
+		fmt.Fprintf(&b, "%s, %s, '%s'", s.Applied, s.Copied, s.Comp)
+	}
+	if s.Stage != "" {
+		fmt.Fprintf(&b, ", '%s'", s.Stage)
+	}
+	b.WriteString(", [")
+	for i, k := range s.InfoKeysSorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "('%s', '%s')", k, s.Info[k])
+	}
+	b.WriteString("]);")
+	return b.String()
+}

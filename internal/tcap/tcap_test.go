@@ -1,0 +1,168 @@
+package tcap
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperSection52 is the four-statement TCAP program from paper §5.2
+// (Figure 1's pipeline), transcribed in our accepted syntax.
+const paperSection52 = `
+In(dep,emp,sup) <= SCAN('db', 'threeway', 'Join_2212', []);
+WDNm_1(dep,emp,sup,nm1) <= APPLY(In(dep), In(dep,emp,sup), 'Join_2212', 'att_acc_1', [('attName', 'deptName'), ('type', 'attAccess')]);
+WDNm_2(dep,emp,sup,nm1,nm2) <= APPLY(WDNm_1(emp), WDNm_1(dep,emp,sup,nm1), 'Join_2212', 'method_call_2', [('methodName', 'getDeptName'), ('type', 'methodCall')]);
+WBl_1(dep,emp,sup,bl) <= APPLY(WDNm_2(nm1,nm2), WDNm_2(dep,emp,sup), 'Join_2212', '==_3', [('type', 'equalityCheck')]);
+Flt_1(dep,emp,sup) <= FILTER(WBl_1(bl), WBl_1(dep,emp,sup), 'Join_2212', []);
+`
+
+func TestParsePaperExample(t *testing.T) {
+	prog, err := Parse(paperSection52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 5 {
+		t.Fatalf("stmt count = %d, want 5", len(prog.Stmts))
+	}
+	apply := prog.Stmts[1]
+	if apply.Op != OpApply || apply.Comp != "Join_2212" || apply.Stage != "att_acc_1" {
+		t.Errorf("apply parsed wrong: %+v", apply)
+	}
+	if apply.Info["type"] != "attAccess" || apply.Info["attName"] != "deptName" {
+		t.Errorf("apply info = %v", apply.Info)
+	}
+	if got := apply.NewColumns(); len(got) != 1 || got[0] != "nm1" {
+		t.Errorf("NewColumns = %v, want [nm1]", got)
+	}
+	flt := prog.Stmts[4]
+	if flt.Op != OpFilter || len(flt.NewColumns()) != 0 {
+		t.Errorf("filter parsed wrong: %+v", flt)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	prog, err := Parse(paperSection52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.Print()
+	prog2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of printed program failed: %v\n%s", err, text)
+	}
+	if prog2.Print() != text {
+		t.Errorf("print/parse/print not a fixpoint:\n--- first\n%s\n--- second\n%s", text, prog2.Print())
+	}
+}
+
+func TestParseJoinStatement(t *testing.T) {
+	src := `
+L(sup) <= SCAN('db', 'sups', 'Join_42', []);
+R(emp) <= SCAN('db', 'emps', 'Join_42', []);
+JK2_1(sup,mt1) <= APPLY(L(sup), L(sup), 'Join_42', 'att_access_1', [('attName', 'name'), ('type', 'attAccess')]);
+JK2_2(sup,hash1) <= HASH(JK2_1(mt1), JK2_1(sup), 'Join_42', 'hash_l', []);
+JK2_3(emp,mt2) <= APPLY(R(emp), R(emp), 'Join_42', 'method_call_1', [('methodName', 'getSupervisor'), ('type', 'methodCall')]);
+JK2_4(emp,hash2) <= HASH(JK2_3(mt2), JK2_3(emp), 'Join_42', 'hash_r', []);
+JK2_5(sup,emp) <= JOIN(JK2_2(hash1), JK2_2(sup), JK2_4(hash2), JK2_4(emp), 'Join_42', []);
+OUT() <= OUTPUT(JK2_5(sup,emp), 'db', 'result', 'Join_42', []);
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := prog.Producer("JK2_5")
+	if join == nil || join.Op != OpJoin {
+		t.Fatal("JOIN statement missing")
+	}
+	if join.Applied.Name != "JK2_2" || join.Applied2.Name != "JK2_4" {
+		t.Errorf("join inputs: %s / %s", join.Applied.Name, join.Applied2.Name)
+	}
+	if len(join.Out.Cols) != 2 {
+		t.Errorf("join output cols = %v", join.Out.Cols)
+	}
+	// Round trip.
+	if _, err := Parse(prog.Print()); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestValidateCatchesUndefinedInput(t *testing.T) {
+	_, err := Parse(`X(a) <= APPLY(Ghost(a), Ghost(a), 'C', 's', []);`)
+	if err == nil || !strings.Contains(err.Error(), "not yet produced") {
+		t.Errorf("expected undefined-input error, got %v", err)
+	}
+}
+
+func TestValidateCatchesUnknownColumn(t *testing.T) {
+	_, err := Parse(`
+In(a) <= SCAN('db', 's', 'C', []);
+X(a,b) <= APPLY(In(zzz), In(a), 'C', 's', []);
+`)
+	if err == nil || !strings.Contains(err.Error(), "column") {
+		t.Errorf("expected unknown-column error, got %v", err)
+	}
+}
+
+func TestValidateCatchesDuplicateOutput(t *testing.T) {
+	_, err := Parse(`
+In(a) <= SCAN('db', 's', 'C', []);
+In(b) <= SCAN('db', 's2', 'C', []);
+`)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("expected duplicate error, got %v", err)
+	}
+}
+
+func TestConsumersAndAncestors(t *testing.T) {
+	prog, err := Parse(paperSection52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := prog.Consumers("WDNm_1")
+	if len(cons) != 1 || cons[0].Out.Name != "WDNm_2" {
+		t.Errorf("Consumers(WDNm_1) = %v", cons)
+	}
+	scan := prog.Producer("In")
+	flt := prog.Producer("Flt_1")
+	if !prog.IsAncestor(scan, flt) {
+		t.Error("SCAN should be an ancestor of the FILTER")
+	}
+	if prog.IsAncestor(flt, scan) {
+		t.Error("FILTER is not an ancestor of SCAN")
+	}
+	if prog.IsAncestor(flt, flt) {
+		t.Error("a statement is not its own ancestor")
+	}
+}
+
+func TestSinks(t *testing.T) {
+	prog, _ := Parse(paperSection52)
+	sinks := prog.Sinks()
+	if len(sinks) != 1 || sinks[0].Out.Name != "Flt_1" {
+		t.Errorf("Sinks = %v", sinks)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+/* additional code here to check whether getSupervisor == name */
+In(a) <= SCAN('db', 's', 'C', []);
+`
+	prog, err := Parse(src)
+	if err != nil || len(prog.Stmts) != 1 {
+		t.Errorf("comment handling: %v (%d stmts)", err, len(prog.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`X(a) <= BOGUS(In(a), In(a), 'C', []);`,
+		`X(a) <= APPLY(In(a)`,
+		`X(a) := APPLY(In(a), In(a), 'C', []);`,
+		`X(a) <= APPLY(In(a), In(a), 'C', [('k','v']);`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

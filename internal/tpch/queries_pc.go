@@ -1,0 +1,238 @@
+package tpch
+
+import (
+	"sort"
+
+	"repro/internal/object"
+	"repro/internal/stat"
+	"repro/pc"
+)
+
+// The two §8.4.2 computations on PC.
+
+// CustomersPerSupplierPC computes, for each supplier, the map from customer
+// name to the list of partIDs that supplier sold them. Structure follows
+// the paper exactly: a CustomerMultiSelection transforms each Customer into
+// one SupplierInfo per supplier, and a CustomerSupplierPartGroupBy
+// aggregates them by supplier name, merging the per-customer maps.
+func CustomersPerSupplierPC(client *pc.Client, s *Schema, db, inSet, outSet string) error {
+	msel := &pc.MultiSelection{
+		In:      pc.NewScan(db, inSet, "Customer"),
+		ArgType: "Customer",
+		Projection: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("toSupplierInfos", pc.KHandle,
+				func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+					custName, bySup, _ := s.CustomerParts(args[0].H)
+					out, err := pc.MakeVector(ctx.Alloc, pc.KHandle, len(bySup))
+					if err != nil {
+						return pc.Value{}, err
+					}
+					// Deterministic order for reproducibility.
+					sups := make([]string, 0, len(bySup))
+					for k := range bySup {
+						sups = append(sups, k)
+					}
+					sort.Strings(sups)
+					for _, supName := range sups {
+						info, err := ctx.Alloc.MakeObject(s.SupplierInfo)
+						if err != nil {
+							return pc.Value{}, err
+						}
+						if err := object.SetStrField(ctx.Alloc, info, s.SupplierInfo.Field("supName"), supName); err != nil {
+							return pc.Value{}, err
+						}
+						m, err := pc.MakeMap(ctx.Alloc, pc.KString, pc.KHandle, 4)
+						if err != nil {
+							return pc.Value{}, err
+						}
+						parts, err := pc.MakeVector(ctx.Alloc, pc.KInt64, len(bySup[supName]))
+						if err != nil {
+							return pc.Value{}, err
+						}
+						for _, pid := range bySup[supName] {
+							if err := parts.PushBackI64(ctx.Alloc, pid); err != nil {
+								return pc.Value{}, err
+							}
+						}
+						if err := m.Put(ctx.Alloc, pc.StringValue(custName), pc.HandleValue(parts.Ref)); err != nil {
+							return pc.Value{}, err
+						}
+						if err := object.SetHandleField(ctx.Alloc, info, s.SupplierInfo.Field("custParts"), m.Ref); err != nil {
+							return pc.Value{}, err
+						}
+						if err := out.PushBackHandle(ctx.Alloc, info); err != nil {
+							return pc.Value{}, err
+						}
+					}
+					return pc.HandleValue(out.Ref), nil
+				}, pc.FromSelf(arg))
+		},
+	}
+
+	groupBy := &pc.Aggregate{
+		In:      msel,
+		ArgType: "SupplierInfo",
+		Key:     func(arg *pc.Arg) pc.Term { return pc.FromMember(arg, "supName") },
+		Val:     func(arg *pc.Arg) pc.Term { return pc.FromSelf(arg) },
+		KeyKind: pc.KString,
+		ValKind: pc.KHandle,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists || cur.H.IsNil() {
+				return next, nil
+			}
+			dst := object.AsMap(object.GetHandleField(cur.H, s.SupplierInfo.Field("custParts")))
+			src := object.AsMap(object.GetHandleField(next.H, s.SupplierInfo.Field("custParts")))
+			var mergeErr error
+			src.Iterate(func(k, v pc.Value) bool {
+				if prev, ok := dst.Get(k); ok && !prev.H.IsNil() {
+					// Same customer from two partial aggregates:
+					// append the part lists.
+					pv := object.AsVector(prev.H)
+					sv := object.AsVector(v.H)
+					for i := 0; i < sv.Len(); i++ {
+						if err := pv.PushBackI64(a, sv.I64At(i)); err != nil {
+							mergeErr = err
+							return false
+						}
+					}
+					return true
+				}
+				if err := dst.Put(a, k, v); err != nil {
+					mergeErr = err
+					return false
+				}
+				return true
+			})
+			if mergeErr != nil {
+				return pc.Value{}, mergeErr
+			}
+			return cur, nil
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			return object.DeepCopy(a, val.H)
+		},
+	}
+	if err := client.CreateSet(db, outSet, "SupplierInfo"); err != nil {
+		return err
+	}
+	_, err := client.ExecuteComputations(pc.NewWrite(db, outSet, groupBy))
+	return err
+}
+
+// CountCustomersPerSupplierPC is the paper's "final count of the number of
+// customers in each Map" forcing evaluation; returns supplier→customer
+// count.
+func CountCustomersPerSupplierPC(client *pc.Client, s *Schema, db, outSet string) (map[string]int, error) {
+	out := map[string]int{}
+	err := client.ScanSet(db, outSet, func(r pc.Ref) bool {
+		name := object.GetStrField(r, s.SupplierInfo.Field("supName"))
+		m := object.AsMap(object.GetHandleField(r, s.SupplierInfo.Field("custParts")))
+		out[name] = m.Len()
+		return true
+	})
+	return out, err
+}
+
+// TopJaccardEntry is one result row of the top-k query.
+type TopJaccardEntry struct {
+	Similarity float64
+	CustKey    int64
+}
+
+// TopKJaccardPC runs the paper's top-k closest customer part sets
+// computation: per customer, dedup the purchased partIDs, compute Jaccard
+// similarity against the query list, and keep the k best via a TopJaccard
+// aggregation.
+func TopKJaccardPC(client *pc.Client, s *Schema, db, inSet, outSet string, k int, query []int64) ([]TopJaccardEntry, error) {
+	queryList := stat.Dedup(append([]int64(nil), query...))
+
+	writeTopK := func(a *pc.Allocator, entries []TopJaccardEntry) (pc.Ref, error) {
+		obj, err := a.MakeObject(s.TopK)
+		if err != nil {
+			return pc.Ref{}, err
+		}
+		object.SetI64(obj, s.TopK.Field("k"), int64(k))
+		v, err := pc.MakeVector(a, pc.KFloat64, len(entries)*2)
+		if err != nil {
+			return pc.Ref{}, err
+		}
+		for _, e := range entries {
+			if err := v.PushBackF64(a, e.Similarity); err != nil {
+				return pc.Ref{}, err
+			}
+			if err := v.PushBackF64(a, float64(e.CustKey)); err != nil {
+				return pc.Ref{}, err
+			}
+		}
+		return obj, object.SetHandleField(a, obj, s.TopK.Field("entries"), v.Ref)
+	}
+	readTopK := func(r pc.Ref) []TopJaccardEntry {
+		v := object.AsVector(object.GetHandleField(r, s.TopK.Field("entries")))
+		out := make([]TopJaccardEntry, 0, v.Len()/2)
+		for i := 0; i+1 < v.Len(); i += 2 {
+			out = append(out, TopJaccardEntry{Similarity: v.F64At(i), CustKey: int64(v.F64At(i + 1))})
+		}
+		return out
+	}
+	mergeTopK := func(a, b []TopJaccardEntry) []TopJaccardEntry {
+		all := append(append([]TopJaccardEntry(nil), a...), b...)
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Similarity != all[j].Similarity {
+				return all[i].Similarity > all[j].Similarity
+			}
+			return all[i].CustKey < all[j].CustKey
+		})
+		if len(all) > k {
+			all = all[:k]
+		}
+		return all
+	}
+
+	topK := &pc.Aggregate{
+		In:      pc.NewScan(db, inSet, "Customer"),
+		ArgType: "Customer",
+		Key:     func(arg *pc.Arg) pc.Term { return pc.ConstI64(0) },
+		Val: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("jaccard", pc.KHandle,
+				func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+					cust := args[0].H
+					_, _, parts := s.CustomerParts(cust)
+					sim := stat.Jaccard(stat.Dedup(parts), queryList)
+					key := object.GetI64(cust, s.Customer.Field("custkey"))
+					r, err := writeTopK(ctx.Alloc, []TopJaccardEntry{{Similarity: sim, CustKey: key}})
+					if err != nil {
+						return pc.Value{}, err
+					}
+					return pc.HandleValue(r), nil
+				}, pc.FromSelf(arg))
+		},
+		KeyKind: pc.KInt64,
+		ValKind: pc.KHandle,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists || cur.H.IsNil() {
+				return next, nil
+			}
+			merged := mergeTopK(readTopK(cur.H), readTopK(next.H))
+			r, err := writeTopK(a, merged)
+			if err != nil {
+				return pc.Value{}, err
+			}
+			return pc.HandleValue(r), nil
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			return object.DeepCopy(a, val.H)
+		},
+	}
+	if err := client.CreateSet(db, outSet, "TopKQueue"); err != nil {
+		return nil, err
+	}
+	if _, err := client.ExecuteComputations(pc.NewWrite(db, outSet, topK)); err != nil {
+		return nil, err
+	}
+	var result []TopJaccardEntry
+	err := client.ScanSet(db, outSet, func(r pc.Ref) bool {
+		result = mergeTopK(result, readTopK(r))
+		return true
+	})
+	return result, err
+}

@@ -1,0 +1,126 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/object"
+	"repro/pc"
+)
+
+// The three §8.3.2 benchmark computations, expressed over the engine's
+// distributed primitives.
+
+// Gram computes XᵀX.
+func (e *Engine) Gram(X *DistMatrix) (*DistMatrix, error) {
+	return e.TransposeMultiply(X, X)
+}
+
+// LeastSquares computes βˆ = (XᵀX)⁻¹ Xᵀy. The d×d normal matrix is
+// gathered and inverted on the driver (d ≪ n).
+func (e *Engine) LeastSquares(X, y *DistMatrix) ([]float64, error) {
+	if y.Cols != 1 || y.Rows != X.Rows {
+		return nil, fmt.Errorf("linalg: least squares needs y as %dx1", X.Rows)
+	}
+	gram, err := e.Gram(X)
+	if err != nil {
+		return nil, err
+	}
+	xty, err := e.TransposeMultiply(X, y)
+	if err != nil {
+		return nil, err
+	}
+	g, err := e.Fetch(gram)
+	if err != nil {
+		return nil, err
+	}
+	b, err := e.Fetch(xty)
+	if err != nil {
+		return nil, err
+	}
+	return matrix.Solve(g, b.Data)
+}
+
+// NearestNeighbor finds the row of X minimizing the Riemannian distance
+// d²_A(x_i, q) = (x_i − q)ᵀ A (x_i − q) (§8.3.2). The metric A (d×d) and
+// the query q are driver-side model state broadcast into the computation —
+// the same pattern as k-means centroids. X must currently have a single
+// column block (d ≤ block size), which covers the paper's dimensionalities.
+func (e *Engine) NearestNeighbor(X *DistMatrix, A *matrix.Dense, q []float64) (row int, dist float64, err error) {
+	if A.Rows != X.Cols || A.Cols != X.Cols || len(q) != X.Cols {
+		return 0, 0, fmt.Errorf("linalg: metric/query shape mismatch")
+	}
+	if X.Cols > e.BlockSize {
+		return 0, 0, fmt.Errorf("linalg: nearest neighbour requires d <= block size (%d > %d)", X.Cols, e.BlockSize)
+	}
+	f := e.fields()
+	blockSize := e.BlockSize
+
+	// Aggregate with a constant key: each block contributes its best
+	// (row, distance); Combine keeps the global minimum. The accumulator
+	// is a 1×2 MatrixBlock [rowIndex, distance].
+	agg := &pc.Aggregate{
+		In:      e.scanBlocks(X),
+		ArgType: "MatrixBlock",
+		Key:     func(arg *pc.Arg) pc.Term { return pc.ConstI64(0) },
+		Val: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("blockNN", pc.KHandle,
+				func(ctx *pc.NativeCtx, vals []pc.Value) (pc.Value, error) {
+					cr, _, m := e.readBlock(vals[0].H)
+					bestRow, bestD := -1, math.Inf(1)
+					diff := make([]float64, m.Cols)
+					for i := 0; i < m.Rows; i++ {
+						xr := m.Row(i)
+						for j := range diff {
+							diff[j] = xr[j] - q[j]
+						}
+						// (x−q)ᵀ A (x−q)
+						d := 0.0
+						for a := 0; a < len(diff); a++ {
+							row := A.Row(a)
+							s := 0.0
+							for b := 0; b < len(diff); b++ {
+								s += row[b] * diff[b]
+							}
+							d += diff[a] * s
+						}
+						if d < bestD {
+							bestD = d
+							bestRow = cr*blockSize + i
+						}
+					}
+					out, err := e.writeBlock(ctx.Alloc, 0, 0, 1, 2, []float64{float64(bestRow), bestD})
+					if err != nil {
+						return pc.Value{}, err
+					}
+					return pc.HandleValue(out), nil
+				}, pc.FromSelf(arg))
+		},
+		KeyKind: pc.KInt64,
+		ValKind: pc.KHandle,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists || cur.H.IsNil() {
+				return next, nil
+			}
+			cv := object.AsVector(object.GetHandleField(cur.H, f.values))
+			nv := object.AsVector(object.GetHandleField(next.H, f.values))
+			if nv.F64At(1) < cv.F64At(1) {
+				return next, nil
+			}
+			return cur, nil
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			return object.DeepCopy(a, val.H)
+		},
+	}
+	out, err := e.run(agg, "nn", 1, 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := e.Fetch(out)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(d.At(0, 0)), d.At(0, 1), nil
+}

@@ -1,0 +1,272 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// DSLValue is a DSL runtime value: a distributed matrix or a scalar.
+type DSLValue struct {
+	Mat    *DistMatrix
+	Scalar float64
+}
+
+// IsMat reports whether the value is a matrix.
+func (v DSLValue) IsMat() bool { return v.Mat != nil }
+
+// Interp evaluates DSL programs against an Engine. Names bound by load()
+// must be pre-registered with Bind (this reproduction has no external file
+// loader; the paper likewise excludes load time from its measurements).
+type Interp struct {
+	Engine *Engine
+	Env    map[string]DSLValue
+}
+
+// NewInterp creates an interpreter.
+func NewInterp(e *Engine) *Interp {
+	return &Interp{Engine: e, Env: map[string]DSLValue{}}
+}
+
+// Bind registers a distributed matrix under a DSL name.
+func (in *Interp) Bind(name string, m *DistMatrix) { in.Env[name] = DSLValue{Mat: m} }
+
+// BindDense loads a dense matrix into the cluster and binds it.
+func (in *Interp) BindDense(name string, d *matrix.Dense) error {
+	m, err := in.Engine.Load(name, d)
+	if err != nil {
+		return err
+	}
+	in.Bind(name, m)
+	return nil
+}
+
+// Run parses and evaluates a script, returning the last statement's value.
+func (in *Interp) Run(src string) (DSLValue, error) {
+	prog, err := ParseScript(src)
+	if err != nil {
+		return DSLValue{}, err
+	}
+	var last DSLValue
+	for _, stmt := range prog.Stmts {
+		last, err = in.eval(stmt)
+		if err != nil {
+			return DSLValue{}, err
+		}
+	}
+	return last, nil
+}
+
+func (in *Interp) eval(n Node) (DSLValue, error) {
+	switch node := n.(type) {
+	case NumNode:
+		return DSLValue{Scalar: float64(node)}, nil
+	case VarNode:
+		v, ok := in.Env[string(node)]
+		if !ok {
+			return DSLValue{}, fmt.Errorf("linalg: unbound name %q", string(node))
+		}
+		return v, nil
+	case *AssignNode:
+		v, err := in.eval(node.Expr)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		in.Env[node.Name] = v
+		return v, nil
+	case *UnaryNode:
+		return in.evalUnary(node)
+	case *BinNode:
+		return in.evalBin(node)
+	case *CallNode:
+		return in.evalCall(node)
+	default:
+		return DSLValue{}, fmt.Errorf("linalg: unknown AST node %T", n)
+	}
+}
+
+func (in *Interp) evalUnary(node *UnaryNode) (DSLValue, error) {
+	x, err := in.eval(node.X)
+	if err != nil {
+		return DSLValue{}, err
+	}
+	if !x.IsMat() {
+		return DSLValue{}, fmt.Errorf("linalg: %s of a scalar", node.Op)
+	}
+	switch node.Op {
+	case "'":
+		m, err := in.Engine.Transpose(x.Mat)
+		return DSLValue{Mat: m}, err
+	case "^-1":
+		m, err := in.Engine.Inverse(x.Mat)
+		return DSLValue{Mat: m}, err
+	default:
+		return DSLValue{}, fmt.Errorf("linalg: unknown unary %q", node.Op)
+	}
+}
+
+func (in *Interp) evalBin(node *BinNode) (DSLValue, error) {
+	// The '* fusion: (X') * Y or (X') %*% Y executes transposeMultiply
+	// without materializing the transpose — lilLinAlg's dedicated
+	// operator (paper §8.3.1).
+	if (node.Op == "*" || node.Op == "%*%") && isTranspose(node.L) {
+		inner, err := in.eval(node.L.(*UnaryNode).X)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		r, err := in.eval(node.R)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		if inner.IsMat() && r.IsMat() {
+			m, err := in.Engine.TransposeMultiply(inner.Mat, r.Mat)
+			return DSLValue{Mat: m}, err
+		}
+	}
+	l, err := in.eval(node.L)
+	if err != nil {
+		return DSLValue{}, err
+	}
+	r, err := in.eval(node.R)
+	if err != nil {
+		return DSLValue{}, err
+	}
+	switch node.Op {
+	case "+", "-":
+		if l.IsMat() && r.IsMat() {
+			var m *DistMatrix
+			var err error
+			if node.Op == "+" {
+				m, err = in.Engine.Add(l.Mat, r.Mat)
+			} else {
+				m, err = in.Engine.Sub(l.Mat, r.Mat)
+			}
+			return DSLValue{Mat: m}, err
+		}
+		if !l.IsMat() && !r.IsMat() {
+			if node.Op == "+" {
+				return DSLValue{Scalar: l.Scalar + r.Scalar}, nil
+			}
+			return DSLValue{Scalar: l.Scalar - r.Scalar}, nil
+		}
+		return DSLValue{}, fmt.Errorf("linalg: %s of matrix and scalar", node.Op)
+	case "*", "%*%":
+		switch {
+		case l.IsMat() && r.IsMat():
+			m, err := in.Engine.Multiply(l.Mat, r.Mat)
+			return DSLValue{Mat: m}, err
+		case l.IsMat():
+			m, err := in.Engine.Scale(l.Mat, r.Scalar)
+			return DSLValue{Mat: m}, err
+		case r.IsMat():
+			m, err := in.Engine.Scale(r.Mat, l.Scalar)
+			return DSLValue{Mat: m}, err
+		default:
+			return DSLValue{Scalar: l.Scalar * r.Scalar}, nil
+		}
+	default:
+		return DSLValue{}, fmt.Errorf("linalg: unknown operator %q", node.Op)
+	}
+}
+
+func isTranspose(n Node) bool {
+	u, ok := n.(*UnaryNode)
+	return ok && u.Op == "'"
+}
+
+func (in *Interp) evalCall(node *CallNode) (DSLValue, error) {
+	argVals := make([]DSLValue, len(node.Args))
+	for i, a := range node.Args {
+		v, err := in.eval(a)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		argVals[i] = v
+	}
+	matArg := func(i int) (*DistMatrix, error) {
+		if i >= len(argVals) || !argVals[i].IsMat() {
+			return nil, fmt.Errorf("linalg: %s expects a matrix argument %d", node.Fn, i)
+		}
+		return argVals[i].Mat, nil
+	}
+	switch node.Fn {
+	case "load":
+		// load(name): the name must have been bound by the host.
+		if len(node.Args) != 1 {
+			return DSLValue{}, fmt.Errorf("linalg: load takes one name")
+		}
+		name, ok := node.Args[0].(VarNode)
+		if !ok {
+			return DSLValue{}, fmt.Errorf("linalg: load takes an identifier")
+		}
+		v, bound := in.Env[string(name)]
+		if !bound {
+			return DSLValue{}, fmt.Errorf("linalg: load(%s): no bound dataset", name)
+		}
+		return v, nil
+	case "t":
+		m, err := matArg(0)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		out, err := in.Engine.Transpose(m)
+		return DSLValue{Mat: out}, err
+	case "inv":
+		m, err := matArg(0)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		out, err := in.Engine.Inverse(m)
+		return DSLValue{Mat: out}, err
+	case "rowSum":
+		m, err := matArg(0)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		out, err := in.Engine.RowSum(m)
+		return DSLValue{Mat: out}, err
+	case "colSum":
+		m, err := matArg(0)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		out, err := in.Engine.ColSum(m)
+		return DSLValue{Mat: out}, err
+	case "minElement":
+		m, err := matArg(0)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		s, err := in.Engine.MinElement(m)
+		return DSLValue{Scalar: s}, err
+	case "maxElement":
+		m, err := matArg(0)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		s, err := in.Engine.MaxElement(m)
+		return DSLValue{Scalar: s}, err
+	case "duplicateRow":
+		m, err := matArg(0)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		if len(argVals) != 2 || argVals[1].IsMat() {
+			return DSLValue{}, fmt.Errorf("linalg: duplicateRow(m, n)")
+		}
+		out, err := in.Engine.DuplicateRow(m, int(argVals[1].Scalar))
+		return DSLValue{Mat: out}, err
+	case "duplicateCol":
+		m, err := matArg(0)
+		if err != nil {
+			return DSLValue{}, err
+		}
+		if len(argVals) != 2 || argVals[1].IsMat() {
+			return DSLValue{}, fmt.Errorf("linalg: duplicateCol(m, n)")
+		}
+		out, err := in.Engine.DuplicateCol(m, int(argVals[1].Scalar))
+		return DSLValue{Mat: out}, err
+	default:
+		return DSLValue{}, fmt.Errorf("linalg: unknown function %q", node.Fn)
+	}
+}

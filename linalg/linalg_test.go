@@ -1,0 +1,457 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/pc"
+)
+
+func testEngine(t testing.TB, blockSize int) *Engine {
+	t.Helper()
+	client, err := pc.Connect(pc.Config{Workers: 3, PageSize: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(client, "la", blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func randDense(rng *rand.Rand, rows, cols int) *matrix.Dense {
+	m := matrix.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestLoadFetchRoundTrip(t *testing.T) {
+	e := testEngine(t, 8)
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range [][2]int{{5, 5}, {8, 8}, {17, 9}, {30, 3}} {
+		d := randDense(rng, shape[0], shape[1])
+		dm, err := e.Load("X", d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Fetch(dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(d, 0) {
+			t.Fatalf("round trip lost data at shape %v", shape)
+		}
+	}
+}
+
+func TestDistributedMultiply(t *testing.T) {
+	e := testEngine(t, 8)
+	rng := rand.New(rand.NewSource(2))
+	a := randDense(rng, 20, 13)
+	b := randDense(rng, 13, 17)
+	da, _ := e.Load("A", a)
+	db, _ := e.Load("B", b)
+	dc, err := e.Multiply(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Fetch(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := matrix.Mul(a, b)
+	if !got.Equal(want, 1e-9) {
+		t.Error("distributed multiply disagrees with dense multiply")
+	}
+}
+
+func TestDistributedTransposeMultiply(t *testing.T) {
+	e := testEngine(t, 8)
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 25, 10)
+	b := randDense(rng, 25, 6)
+	da, _ := e.Load("A", a)
+	db, _ := e.Load("B", b)
+	dc, err := e.TransposeMultiply(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Fetch(dc)
+	want, _ := matrix.Mul(a.Transpose(), b)
+	if !got.Equal(want, 1e-9) {
+		t.Error("distributed transpose-multiply wrong")
+	}
+}
+
+func TestDistributedAddSubTransposeScale(t *testing.T) {
+	e := testEngine(t, 8)
+	rng := rand.New(rand.NewSource(4))
+	a := randDense(rng, 11, 14)
+	b := randDense(rng, 11, 14)
+	da, _ := e.Load("A", a)
+	db, _ := e.Load("B", b)
+
+	sum, err := e.Add(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSum, _ := e.Fetch(sum)
+	wantSum, _ := a.Add(b)
+	if !gotSum.Equal(wantSum, 1e-12) {
+		t.Error("distributed add wrong")
+	}
+
+	diff, err := e.Sub(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDiff, _ := e.Fetch(diff)
+	wantDiff, _ := a.Sub(b)
+	if !gotDiff.Equal(wantDiff, 1e-12) {
+		t.Error("distributed sub wrong")
+	}
+
+	tr, err := e.Transpose(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTr, _ := e.Fetch(tr)
+	if !gotTr.Equal(a.Transpose(), 0) {
+		t.Error("distributed transpose wrong")
+	}
+
+	sc, err := e.Scale(da, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSc, _ := e.Fetch(sc)
+	if !gotSc.Equal(a.Scale(2.5), 1e-12) {
+		t.Error("distributed scale wrong")
+	}
+}
+
+func TestDistributedReductions(t *testing.T) {
+	e := testEngine(t, 4)
+	a := matrix.FromRows([][]float64{
+		{1, 2, 3, 4, 5},
+		{-1, 0, 1, 0, -1},
+		{10, 20, 30, 40, 50},
+	})
+	da, _ := e.Load("A", a)
+
+	rs, err := e.RowSum(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRS, _ := e.Fetch(rs)
+	for i, want := range a.RowSum() {
+		if math.Abs(gotRS.At(i, 0)-want) > 1e-12 {
+			t.Errorf("rowSum[%d] = %g, want %g", i, gotRS.At(i, 0), want)
+		}
+	}
+	cs, err := e.ColSum(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCS, _ := e.Fetch(cs)
+	for j, want := range a.ColSum() {
+		if math.Abs(gotCS.At(0, j)-want) > 1e-12 {
+			t.Errorf("colSum[%d] = %g, want %g", j, gotCS.At(0, j), want)
+		}
+	}
+	if mn, _ := e.MinElement(da); mn != -1 {
+		t.Errorf("min = %g", mn)
+	}
+	if mx, _ := e.MaxElement(da); mx != 50 {
+		t.Errorf("max = %g", mx)
+	}
+}
+
+func TestGramAndLeastSquares(t *testing.T) {
+	e := testEngine(t, 16)
+	rng := rand.New(rand.NewSource(5))
+	const n, d = 120, 5
+	X := randDense(rng, n, d)
+	beta := []float64{2, -1, 0.5, 3, -2}
+	y := matrix.New(n, 1)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += X.At(i, j) * beta[j]
+		}
+		y.Set(i, 0, s) // noiseless: recovery should be exact
+	}
+	dX, _ := e.Load("X", X)
+	dy, _ := e.Load("y", y)
+
+	gram, err := e.Gram(dX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := e.Fetch(gram)
+	want, _ := matrix.Mul(X.Transpose(), X)
+	if !g.Equal(want, 1e-8) {
+		t.Error("Gram matrix wrong")
+	}
+
+	got, err := e.LeastSquares(dX, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range beta {
+		if math.Abs(got[j]-beta[j]) > 1e-6 {
+			t.Errorf("beta[%d] = %g, want %g", j, got[j], beta[j])
+		}
+	}
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	e := testEngine(t, 32)
+	rng := rand.New(rand.NewSource(6))
+	const n, d = 100, 8
+	X := randDense(rng, n, d)
+	target := 37
+	q := make([]float64, d)
+	copy(q, X.Row(target))
+	q[0] += 0.01 // almost exactly row 37
+
+	row, dist, err := e.NearestNeighbor(&DistMatrix{Set: mustLoad(t, e, X).Set, Rows: n, Cols: d},
+		matrix.Identity(d), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != target {
+		t.Errorf("nearest row = %d, want %d (dist %g)", row, target, dist)
+	}
+	if dist > 0.001 {
+		t.Errorf("distance = %g, want ~1e-4", dist)
+	}
+}
+
+func mustLoad(t testing.TB, e *Engine, d *matrix.Dense) *DistMatrix {
+	t.Helper()
+	m, err := e.Load("X", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNearestNeighborRiemannianMetric(t *testing.T) {
+	// A metric that weights dimension 1 heavily changes the winner.
+	e := testEngine(t, 8)
+	X := matrix.FromRows([][]float64{
+		{0, 1}, // far in dim 1
+		{3, 0}, // far in dim 0
+	})
+	dm := mustLoad(t, e, X)
+	A := matrix.FromRows([][]float64{{1, 0}, {0, 100}})
+	row, _, err := e.NearestNeighbor(dm, A, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Euclidean would pick row 0 (dist 1 vs 9); the weighted metric
+	// makes row 0 cost 100 and row 1 cost 9.
+	if row != 1 {
+		t.Errorf("metric NN picked %d, want 1", row)
+	}
+}
+
+func TestDSLParsing(t *testing.T) {
+	prog, err := ParseScript(`beta = (X '* X)^-1 %*% (X '* y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+	got := prog.Stmts[0].String()
+	want := "beta = ((X' * X)^-1 %*% (X' * y))"
+	if got != want {
+		t.Errorf("AST = %q, want %q", got, want)
+	}
+	// Error cases.
+	for _, bad := range []string{"", "x = ", "f(1,", ")", "x = 3 $ 4"} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Errorf("ParseScript(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDSLLeastSquaresScript(t *testing.T) {
+	// The paper's §8.3.1 script, end to end.
+	e := testEngine(t, 16)
+	rng := rand.New(rand.NewSource(7))
+	const n, d = 80, 4
+	X := randDense(rng, n, d)
+	beta := []float64{1, -2, 3, 0.5}
+	y := matrix.New(n, 1)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += X.At(i, j) * beta[j]
+		}
+		y.Set(i, 0, s)
+	}
+	in := NewInterp(e)
+	if err := in.BindDense("myMatrix.data", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.BindDense("myResponses.data", y); err != nil {
+		t.Fatal(err)
+	}
+	out, err := in.Run(`
+X = load(myMatrix.data)
+y = load(myResponses.data)
+beta = (X '* X)^-1 %*% (X '* y)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsMat() || out.Mat.Rows != d || out.Mat.Cols != 1 {
+		t.Fatalf("beta shape wrong: %+v", out)
+	}
+	got, err := e.Fetch(out.Mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range beta {
+		if math.Abs(got.At(j, 0)-beta[j]) > 1e-6 {
+			t.Errorf("beta[%d] = %g, want %g", j, got.At(j, 0), beta[j])
+		}
+	}
+}
+
+func TestDSLArithmeticAndFunctions(t *testing.T) {
+	e := testEngine(t, 8)
+	in := NewInterp(e)
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	if err := in.BindDense("A", a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := in.Run(`
+B = A + A
+C = 2 * A
+D = B - C        # should be all zeros
+maxElement(D)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IsMat() || out.Scalar != 0 {
+		t.Errorf("max of zero matrix = %+v, want scalar 0", out)
+	}
+	s, err := in.Run(`minElement(A' %*% A)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := matrix.Mul(a.Transpose(), a)
+	if s.Scalar != want.MinElement() {
+		t.Errorf("minElement = %g, want %g", s.Scalar, want.MinElement())
+	}
+}
+
+func TestDSLRowColSums(t *testing.T) {
+	e := testEngine(t, 8)
+	in := NewInterp(e)
+	a := matrix.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err := in.BindDense("A", a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := in.Run(`rowSum(A)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := e.Fetch(out.Mat)
+	if g.At(0, 0) != 6 || g.At(1, 0) != 15 {
+		t.Errorf("rowSum = %v", g.Data)
+	}
+	out, err = in.Run(`colSum(A)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = e.Fetch(out.Mat)
+	if g.At(0, 0) != 5 || g.At(0, 2) != 9 {
+		t.Errorf("colSum = %v", g.Data)
+	}
+}
+
+func TestDSLDuplicateRowCol(t *testing.T) {
+	e := testEngine(t, 8)
+	in := NewInterp(e)
+	row := matrix.FromRows([][]float64{{1, 2, 3}})
+	if err := in.BindDense("r", row); err != nil {
+		t.Fatal(err)
+	}
+	out, err := in.Run(`duplicateRow(r, 4)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := e.Fetch(out.Mat)
+	if d.Rows != 4 || d.At(3, 2) != 3 {
+		t.Errorf("duplicateRow result wrong: %dx%d", d.Rows, d.Cols)
+	}
+	col := matrix.FromRows([][]float64{{5}, {6}})
+	if err := in.BindDense("c", col); err != nil {
+		t.Fatal(err)
+	}
+	out, err = in.Run(`duplicateCol(c, 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ = e.Fetch(out.Mat)
+	if d.Cols != 3 || d.At(1, 2) != 6 {
+		t.Errorf("duplicateCol result wrong: %dx%d", d.Rows, d.Cols)
+	}
+}
+
+func TestDSLRuntimeErrors(t *testing.T) {
+	e := testEngine(t, 8)
+	in := NewInterp(e)
+	a := matrix.FromRows([][]float64{{1, 2}})
+	if err := in.BindDense("A", a); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		`B + 1`,              // unbound name
+		`A + 3`,              // matrix + scalar
+		`A %*% A`,            // shape mismatch (1x2 · 1x2)
+		`A^-1`,               // inverse of non-square
+		`load(unboundThing)`, // load of unbound dataset
+		`frobnicate(A)`,      // unknown function
+		`rowSum(3)`,          // function on scalar
+		`3'`,                 // transpose of scalar
+	} {
+		if _, err := in.Run(bad); err == nil {
+			t.Errorf("Run(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEngineDrop(t *testing.T) {
+	e := testEngine(t, 8)
+	m, err := e.Load("X", matrix.FromRows([][]float64{{1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drop(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Fetch(m); err == nil {
+		t.Error("fetch after drop should fail")
+	}
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	for _, c := range [][2]int32{{0, 0}, {1, 2}, {1023, 4095}, {524287, 1048575 & 0xFFFFF}} {
+		r, col := unpairKey(pairKey(c[0], c[1]))
+		if r != c[0] || col != c[1] {
+			t.Errorf("pairKey round trip (%d,%d) -> (%d,%d)", c[0], c[1], r, col)
+		}
+	}
+}

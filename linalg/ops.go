@@ -1,0 +1,396 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/object"
+	"repro/pc"
+)
+
+// Distributed matrix operations. Each compiles to a PC computation graph —
+// multiplication is "basically a join followed by an aggregation" (paper
+// §8.3.1: LAMultiplyJoin + LAMultiplyAggregate) — and the system, not
+// lilLinAlg, decides join strategy and staging.
+
+// scanBlocks reads a distributed matrix's set.
+func (e *Engine) scanBlocks(m *DistMatrix) *pc.Scan {
+	return pc.NewScan(e.Db, m.Set, "MatrixBlock")
+}
+
+// run executes a computation graph into a fresh set and wraps it.
+func (e *Engine) run(top pc.Computation, prefix string, rows, cols int) (*DistMatrix, error) {
+	set := e.tempSet(prefix)
+	if err := e.Client.CreateSet(e.Db, set, "MatrixBlock"); err != nil {
+		return nil, err
+	}
+	if _, err := e.Client.ExecuteComputations(pc.NewWrite(e.Db, set, top)); err != nil {
+		return nil, err
+	}
+	return &DistMatrix{Set: set, Rows: rows, Cols: cols}, nil
+}
+
+// sumBlocksAggregate builds the LAMultiplyAggregate-style computation: sum
+// partial MatrixBlocks sharing a grid coordinate.
+func (e *Engine) sumBlocksAggregate(in pc.Computation) *pc.Aggregate {
+	f := e.fields()
+	return &pc.Aggregate{
+		In:      in,
+		ArgType: "MatrixBlock",
+		Key: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("blockKey", pc.KInt64,
+				func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+					b := args[0].H
+					return pc.Int64Value(pairKey(object.GetI32(b, f.chunkRow), object.GetI32(b, f.chunkCol))), nil
+				}, pc.FromSelf(arg))
+		},
+		Val:     func(arg *pc.Arg) pc.Term { return pc.FromSelf(arg) },
+		KeyKind: pc.KInt64,
+		ValKind: pc.KHandle,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists || cur.H.IsNil() {
+				return next, nil
+			}
+			acc := object.AsVector(object.GetHandleField(cur.H, f.values))
+			add := object.AsVector(object.GetHandleField(next.H, f.values))
+			if acc.Len() != add.Len() {
+				return pc.Value{}, fmt.Errorf("linalg: partial block shape mismatch %d vs %d", acc.Len(), add.Len())
+			}
+			for i, n := 0, acc.Len(); i < n; i++ {
+				acc.SetF64(i, acc.F64At(i)+add.F64At(i))
+			}
+			return cur, nil
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			return object.DeepCopy(a, val.H)
+		},
+	}
+}
+
+// Multiply computes A·B (block join on inner index, block-products summed).
+func (e *Engine) Multiply(A, B *DistMatrix) (*DistMatrix, error) {
+	if A.Cols != B.Rows {
+		return nil, fmt.Errorf("linalg: multiply shape mismatch %dx%d · %dx%d", A.Rows, A.Cols, B.Rows, B.Cols)
+	}
+	f := e.fields()
+	join := &pc.Join{
+		In:       []pc.Computation{e.scanBlocks(A), e.scanBlocks(B)},
+		ArgTypes: []string{"MatrixBlock", "MatrixBlock"},
+		Predicate: func(args []*pc.Arg) pc.Term {
+			return pc.Eq(pc.FromMember(args[0], "chunkCol"), pc.FromMember(args[1], "chunkRow"))
+		},
+		Projection: func(args []*pc.Arg) pc.Term {
+			return pc.FromNative("blockMul", pc.KHandle,
+				func(ctx *pc.NativeCtx, vals []pc.Value) (pc.Value, error) {
+					_, ar, am := e.readBlock(vals[0].H)
+					_, bc, bm := e.readBlock(vals[1].H)
+					_ = bc
+					prod, err := matrix.Mul(am, bm)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					cr := object.GetI32(vals[0].H, f.chunkRow)
+					cc := object.GetI32(vals[1].H, f.chunkCol)
+					_ = ar
+					out, err := e.writeBlock(ctx.Alloc, int(cr), int(cc), prod.Rows, prod.Cols, prod.Data)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					return pc.HandleValue(out), nil
+				},
+				pc.FromSelf(args[0]), pc.FromSelf(args[1]))
+		},
+	}
+	return e.run(e.sumBlocksAggregate(join), "mul", A.Rows, B.Cols)
+}
+
+// TransposeMultiply computes Aᵀ·B without materializing Aᵀ (the DSL's '*
+// operator; the Gram matrix is TransposeMultiply(X, X)).
+func (e *Engine) TransposeMultiply(A, B *DistMatrix) (*DistMatrix, error) {
+	if A.Rows != B.Rows {
+		return nil, fmt.Errorf("linalg: '* shape mismatch %dx%d, %dx%d", A.Rows, A.Cols, B.Rows, B.Cols)
+	}
+	f := e.fields()
+	join := &pc.Join{
+		In:       []pc.Computation{e.scanBlocks(A), e.scanBlocks(B)},
+		ArgTypes: []string{"MatrixBlock", "MatrixBlock"},
+		Predicate: func(args []*pc.Arg) pc.Term {
+			return pc.Eq(pc.FromMember(args[0], "chunkRow"), pc.FromMember(args[1], "chunkRow"))
+		},
+		Projection: func(args []*pc.Arg) pc.Term {
+			return pc.FromNative("blockTMul", pc.KHandle,
+				func(ctx *pc.NativeCtx, vals []pc.Value) (pc.Value, error) {
+					_, _, am := e.readBlock(vals[0].H)
+					_, _, bm := e.readBlock(vals[1].H)
+					prod, err := matrix.Mul(am.Transpose(), bm)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					cr := object.GetI32(vals[0].H, f.chunkCol)
+					cc := object.GetI32(vals[1].H, f.chunkCol)
+					out, err := e.writeBlock(ctx.Alloc, int(cr), int(cc), prod.Rows, prod.Cols, prod.Data)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					return pc.HandleValue(out), nil
+				},
+				pc.FromSelf(args[0]), pc.FromSelf(args[1]))
+		},
+	}
+	return e.run(e.sumBlocksAggregate(join), "tmul", A.Cols, B.Cols)
+}
+
+// ewise joins blocks on both grid coordinates and combines them.
+func (e *Engine) ewise(A, B *DistMatrix, name string, op func(a, b *matrix.Dense) (*matrix.Dense, error)) (*DistMatrix, error) {
+	if A.Rows != B.Rows || A.Cols != B.Cols {
+		return nil, fmt.Errorf("linalg: %s shape mismatch %dx%d, %dx%d", name, A.Rows, A.Cols, B.Rows, B.Cols)
+	}
+	f := e.fields()
+	keyTerm := func(arg *pc.Arg) pc.Term {
+		return pc.FromNative("coordKey", pc.KInt64,
+			func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+				b := args[0].H
+				return pc.Int64Value(pairKey(object.GetI32(b, f.chunkRow), object.GetI32(b, f.chunkCol))), nil
+			}, pc.FromSelf(arg))
+	}
+	join := &pc.Join{
+		In:       []pc.Computation{e.scanBlocks(A), e.scanBlocks(B)},
+		ArgTypes: []string{"MatrixBlock", "MatrixBlock"},
+		Predicate: func(args []*pc.Arg) pc.Term {
+			return pc.Eq(keyTerm(args[0]), keyTerm(args[1]))
+		},
+		Projection: func(args []*pc.Arg) pc.Term {
+			return pc.FromNative("block"+name, pc.KHandle,
+				func(ctx *pc.NativeCtx, vals []pc.Value) (pc.Value, error) {
+					cr, cc, am := e.readBlock(vals[0].H)
+					_, _, bm := e.readBlock(vals[1].H)
+					res, err := op(am, bm)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					out, err := e.writeBlock(ctx.Alloc, cr, cc, res.Rows, res.Cols, res.Data)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					return pc.HandleValue(out), nil
+				},
+				pc.FromSelf(args[0]), pc.FromSelf(args[1]))
+		},
+	}
+	return e.run(join, name, A.Rows, A.Cols)
+}
+
+// Add computes A + B.
+func (e *Engine) Add(A, B *DistMatrix) (*DistMatrix, error) {
+	return e.ewise(A, B, "add", func(a, b *matrix.Dense) (*matrix.Dense, error) { return a.Add(b) })
+}
+
+// Sub computes A − B.
+func (e *Engine) Sub(A, B *DistMatrix) (*DistMatrix, error) {
+	return e.ewise(A, B, "sub", func(a, b *matrix.Dense) (*matrix.Dense, error) { return a.Sub(b) })
+}
+
+// mapBlocks applies a per-block transformation as a SelectionComp.
+func (e *Engine) mapBlocks(A *DistMatrix, name string, rows, cols int,
+	fn func(cr, cc int, m *matrix.Dense) (int, int, *matrix.Dense)) (*DistMatrix, error) {
+	sel := &pc.Selection{
+		In:      e.scanBlocks(A),
+		ArgType: "MatrixBlock",
+		Projection: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("block"+name, pc.KHandle,
+				func(ctx *pc.NativeCtx, vals []pc.Value) (pc.Value, error) {
+					cr, cc, m := e.readBlock(vals[0].H)
+					nr, nc, res := fn(cr, cc, m)
+					out, err := e.writeBlock(ctx.Alloc, nr, nc, res.Rows, res.Cols, res.Data)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					return pc.HandleValue(out), nil
+				}, pc.FromSelf(arg))
+		},
+	}
+	return e.run(sel, name, rows, cols)
+}
+
+// Transpose computes Aᵀ.
+func (e *Engine) Transpose(A *DistMatrix) (*DistMatrix, error) {
+	return e.mapBlocks(A, "transpose", A.Cols, A.Rows,
+		func(cr, cc int, m *matrix.Dense) (int, int, *matrix.Dense) {
+			return cc, cr, m.Transpose()
+		})
+}
+
+// Scale computes s·A (the DSL's scaleMultiply).
+func (e *Engine) Scale(A *DistMatrix, s float64) (*DistMatrix, error) {
+	return e.mapBlocks(A, "scale", A.Rows, A.Cols,
+		func(cr, cc int, m *matrix.Dense) (int, int, *matrix.Dense) {
+			return cr, cc, m.Scale(s)
+		})
+}
+
+// rowColSum shares the rowSum/columnSum aggregation structure.
+func (e *Engine) rowColSum(A *DistMatrix, byRow bool) (*DistMatrix, error) {
+	f := e.fields()
+	name, rows, cols := "rowsum", A.Rows, 1
+	if !byRow {
+		name, rows, cols = "colsum", 1, A.Cols
+	}
+	agg := &pc.Aggregate{
+		In:      e.scanBlocks(A),
+		ArgType: "MatrixBlock",
+		Key: func(arg *pc.Arg) pc.Term {
+			field := "chunkRow"
+			if !byRow {
+				field = "chunkCol"
+			}
+			return pc.FromMember(arg, field)
+		},
+		Val: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative(name+"Partial", pc.KHandle,
+				func(ctx *pc.NativeCtx, vals []pc.Value) (pc.Value, error) {
+					cr, cc, m := e.readBlock(vals[0].H)
+					var res *matrix.Dense
+					var nr, nc int
+					if byRow {
+						res = &matrix.Dense{Rows: m.Rows, Cols: 1, Data: m.RowSum()}
+						nr, nc = cr, 0
+					} else {
+						res = &matrix.Dense{Rows: 1, Cols: m.Cols, Data: m.ColSum()}
+						nr, nc = 0, cc
+					}
+					out, err := e.writeBlock(ctx.Alloc, nr, nc, res.Rows, res.Cols, res.Data)
+					if err != nil {
+						return pc.Value{}, err
+					}
+					return pc.HandleValue(out), nil
+				}, pc.FromSelf(arg))
+		},
+		KeyKind: pc.KInt64,
+		ValKind: pc.KHandle,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists || cur.H.IsNil() {
+				return next, nil
+			}
+			acc := object.AsVector(object.GetHandleField(cur.H, f.values))
+			add := object.AsVector(object.GetHandleField(next.H, f.values))
+			for i, n := 0, acc.Len(); i < n; i++ {
+				acc.SetF64(i, acc.F64At(i)+add.F64At(i))
+			}
+			return cur, nil
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			return object.DeepCopy(a, val.H)
+		},
+	}
+	return e.run(agg, name, rows, cols)
+}
+
+// RowSum computes the column vector of per-row sums.
+func (e *Engine) RowSum(A *DistMatrix) (*DistMatrix, error) { return e.rowColSum(A, true) }
+
+// ColSum computes the row vector of per-column sums.
+func (e *Engine) ColSum(A *DistMatrix) (*DistMatrix, error) { return e.rowColSum(A, false) }
+
+// extremeElement shares min/max aggregation.
+func (e *Engine) extremeElement(A *DistMatrix, wantMin bool) (float64, error) {
+	name := "maxel"
+	if wantMin {
+		name = "minel"
+	}
+	agg := &pc.Aggregate{
+		In:      e.scanBlocks(A),
+		ArgType: "MatrixBlock",
+		Key:     func(arg *pc.Arg) pc.Term { return pc.ConstI64(0) },
+		Val: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative(name+"Partial", pc.KFloat64,
+				func(ctx *pc.NativeCtx, vals []pc.Value) (pc.Value, error) {
+					_, _, m := e.readBlock(vals[0].H)
+					if wantMin {
+						return pc.Float64Value(m.MinElement()), nil
+					}
+					return pc.Float64Value(m.MaxElement()), nil
+				}, pc.FromSelf(arg))
+		},
+		KeyKind: pc.KInt64,
+		ValKind: pc.KFloat64,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists {
+				return next, nil
+			}
+			if wantMin == (next.F < cur.F) {
+				return next, nil
+			}
+			return cur, nil
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			return e.writeBlock(a, 0, 0, 1, 1, []float64{val.F})
+		},
+	}
+	out, err := e.run(agg, name, 1, 1)
+	if err != nil {
+		return 0, err
+	}
+	d, err := e.Fetch(out)
+	if err != nil {
+		return 0, err
+	}
+	return d.At(0, 0), nil
+}
+
+// MinElement returns the smallest element of A.
+func (e *Engine) MinElement(A *DistMatrix) (float64, error) { return e.extremeElement(A, true) }
+
+// MaxElement returns the largest element of A.
+func (e *Engine) MaxElement(A *DistMatrix) (float64, error) { return e.extremeElement(A, false) }
+
+// Inverse gathers the (small) matrix to the driver, inverts it with
+// Gauss–Jordan, and redistributes — the d×d matrices the DSL inverts (e.g.
+// XᵀX in least squares) are tiny next to the data.
+func (e *Engine) Inverse(A *DistMatrix) (*DistMatrix, error) {
+	if A.Rows != A.Cols {
+		return nil, fmt.Errorf("linalg: inverse of non-square %dx%d", A.Rows, A.Cols)
+	}
+	d, err := e.Fetch(A)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := d.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	return e.Load("inv", inv)
+}
+
+// DuplicateRow builds an n×cols matrix repeating A's single row n times.
+func (e *Engine) DuplicateRow(A *DistMatrix, n int) (*DistMatrix, error) {
+	if A.Rows != 1 {
+		return nil, fmt.Errorf("linalg: duplicateRow needs a row vector")
+	}
+	d, err := e.Fetch(A)
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.New(n, A.Cols)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), d.Row(0))
+	}
+	return e.Load("duprow", out)
+}
+
+// DuplicateCol builds a rows×n matrix repeating A's single column n times.
+func (e *Engine) DuplicateCol(A *DistMatrix, n int) (*DistMatrix, error) {
+	if A.Cols != 1 {
+		return nil, fmt.Errorf("linalg: duplicateCol needs a column vector")
+	}
+	d, err := e.Fetch(A)
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.New(A.Rows, n)
+	for i := 0; i < A.Rows; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, d.At(i, 0))
+		}
+	}
+	return e.Load("dupcol", out)
+}

@@ -1,0 +1,83 @@
+package pc
+
+import (
+	"repro/internal/lambda"
+	"repro/internal/object"
+)
+
+// Lambda calculus re-exports (paper §4): abstraction families and
+// higher-order composition functions used inside computation definitions.
+
+// Term is a lambda expression node.
+type Term = lambda.Term
+
+// Arg is a computation input argument.
+type Arg = lambda.Arg
+
+// NativeCtx gives native lambdas access to the live output allocator.
+type NativeCtx = lambda.NativeCtx
+
+// NativeFn is the opaque native function signature.
+type NativeFn = lambda.NativeFn
+
+// Abstraction families.
+
+// FromMember is makeLambdaFromMember.
+func FromMember(recv Term, field string) Term { return lambda.FromMember(recv, field) }
+
+// FromMethod is makeLambdaFromMethod.
+func FromMethod(recv Term, method string) Term { return lambda.FromMethod(recv, method) }
+
+// FromSelf is makeLambdaFromSelf.
+func FromSelf(recv Term) Term { return lambda.FromSelf(recv) }
+
+// FromNative is makeLambda: wraps an opaque native function. Logic hidden
+// here is invisible to the optimizer — expose intent through the calculus
+// where possible.
+func FromNative(name string, ret Kind, fn NativeFn, deps ...Term) Term {
+	return lambda.FromNative(name, ret, fn, deps...)
+}
+
+// Literal constants.
+
+// ConstF64 lifts a float64 literal.
+func ConstF64(f float64) Term { return lambda.ConstF64(f) }
+
+// ConstI64 lifts an int64 literal.
+func ConstI64(i int64) Term { return lambda.ConstI64(i) }
+
+// ConstStr lifts a string literal.
+func ConstStr(s string) Term { return lambda.ConstStr(s) }
+
+// Higher-order composition functions.
+
+func Eq(l, r Term) Term  { return lambda.Eq(l, r) }
+func Ne(l, r Term) Term  { return lambda.Ne(l, r) }
+func Gt(l, r Term) Term  { return lambda.Gt(l, r) }
+func Ge(l, r Term) Term  { return lambda.Ge(l, r) }
+func Lt(l, r Term) Term  { return lambda.Lt(l, r) }
+func Le(l, r Term) Term  { return lambda.Le(l, r) }
+func And(l, r Term) Term { return lambda.And(l, r) }
+func Or(l, r Term) Term  { return lambda.Or(l, r) }
+func Not(x Term) Term    { return lambda.Not(x) }
+func Add(l, r Term) Term { return lambda.Add(l, r) }
+func Sub(l, r Term) Term { return lambda.Sub(l, r) }
+func Mul(l, r Term) Term { return lambda.Mul(l, r) }
+func Div(l, r Term) Term { return lambda.Div(l, r) }
+
+// Value constructors (object model scalars).
+
+// BoolValue boxes a bool.
+func BoolValue(b bool) Value { return object.BoolValue(b) }
+
+// Int64Value boxes an int64.
+func Int64Value(i int64) Value { return object.Int64Value(i) }
+
+// Float64Value boxes a float64.
+func Float64Value(f float64) Value { return object.Float64Value(f) }
+
+// StringValue boxes a string.
+func StringValue(s string) Value { return object.StringValue(s) }
+
+// HandleValue boxes an object reference.
+func HandleValue(r Ref) Value { return object.HandleValue(r) }

@@ -1,0 +1,197 @@
+// Package pc is the public PlinyCompute API: a high-performance platform
+// for developing distributed, data-intensive tools and libraries.
+//
+// The programming model is the paper's "declarative in the large,
+// high-performance in the small":
+//
+//   - In the large, users describe computations as a graph of Selection,
+//     MultiSelection, Join, and Aggregate computations whose behaviour is
+//     specified with lambda *term construction functions* (FromMember,
+//     FromMethod, FromNative, composed with Eq/And/Gt/...). The system —
+//     not the user — picks join orders, join algorithms, filter placement,
+//     and materialization by compiling to TCAP and optimizing it.
+//
+//   - In the small, all data live in the PC object model: objects are
+//     allocated in place on pages, referenced by offset handles, and move
+//     between memory, disk, and the (simulated) network as raw bytes with
+//     zero serialization cost.
+//
+// A minimal session mirrors the paper's §3 example:
+//
+//	client, _ := pc.Connect(pc.Config{Workers: 4})
+//	dp := pc.NewStruct("DataPoint").AddField("data", pc.KHandle).MustBuild(client.Registry())
+//	client.CreateDatabase("Mydb")
+//	client.CreateSet("Mydb", "Myset", "DataPoint")
+//	pages, _ := client.BuildPages(100, func(a *pc.Allocator, i int) (pc.Ref, error) { ... })
+//	client.SendData("Mydb", "Myset", pages)
+package pc
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/object"
+)
+
+// Config sizes the cluster a client connects to (re-exported).
+type Config = cluster.Config
+
+// Client is a connection to a PC cluster (in this reproduction, an owned
+// in-process simulated cluster; see DESIGN.md §2).
+type Client struct {
+	Cluster *cluster.Cluster
+}
+
+// Connect starts a cluster with the given configuration and returns a
+// client bound to it.
+func Connect(cfg Config) (*Client, error) {
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{Cluster: c}, nil
+}
+
+// Registry returns the master type registry; clients build objects against
+// it and register types through it before loading data.
+func (c *Client) Registry() *object.Registry { return c.Cluster.Catalog.Registry() }
+
+// RegisterType registers a user object type cluster-wide.
+func (c *Client) RegisterType(ti *TypeInfo) (*TypeInfo, error) {
+	return c.Cluster.RegisterType(ti)
+}
+
+// CreateDatabase creates a database.
+func (c *Client) CreateDatabase(db string) error { return c.Cluster.CreateDatabase(db) }
+
+// CreateSet creates a set of a registered type.
+func (c *Client) CreateSet(db, set, typeName string) error {
+	return c.Cluster.CreateSet(db, set, typeName)
+}
+
+// BuildPages fills client-side pages with n objects built by fill — the
+// makeObjectAllocatorBlock / makeObject pattern of the paper's §3.
+func (c *Client) BuildPages(n int, fill func(a *Allocator, i int) (Ref, error)) ([]*Page, error) {
+	return object.BuildPages(c.Registry(), c.Cluster.Cfg.PageSize, n, fill)
+}
+
+// SendData ships pages into a stored set with zero serialization cost.
+func (c *Client) SendData(db, set string, pages []*Page) error {
+	return c.Cluster.SendData(db, set, pages)
+}
+
+// ExecuteComputations compiles, optimizes, plans, and runs a computation
+// graph identified by its Write sinks (the paper's executeComputations).
+func (c *Client) ExecuteComputations(writes ...*Write) (*cluster.ExecStats, error) {
+	return c.Cluster.Execute(writes...)
+}
+
+// ScanSet iterates a stored set's objects.
+func (c *Client) ScanSet(db, set string, fn func(r Ref) bool) error {
+	return c.Cluster.ScanSet(db, set, fn)
+}
+
+// CountSet counts a stored set's objects.
+func (c *Client) CountSet(db, set string) (int, error) { return c.Cluster.CountSet(db, set) }
+
+// DropSet removes a stored set.
+func (c *Client) DropSet(db, set string) error { return c.Cluster.DropSet(db, set) }
+
+// Object model re-exports: the "in the small" API surface.
+
+// Ref is a reference to a PC object on a page.
+type Ref = object.Ref
+
+// Page is a self-contained block of PC objects.
+type Page = object.Page
+
+// Allocator manages the active allocation block.
+type Allocator = object.Allocator
+
+// TypeInfo describes a registered PC object type.
+type TypeInfo = object.TypeInfo
+
+// Method is a virtual method on a registered type.
+type Method = object.Method
+
+// Field describes a member of a registered type.
+type Field = object.Field
+
+// Value is a boxed scalar flowing through computations.
+type Value = object.Value
+
+// Vector is the PC growable container.
+type Vector = object.Vector
+
+// OMap is the PC hash map container.
+type OMap = object.OMap
+
+// Kind identifies a storage kind.
+type Kind = object.Kind
+
+// Storage kinds.
+const (
+	KBool    = object.KBool
+	KInt32   = object.KInt32
+	KInt64   = object.KInt64
+	KFloat64 = object.KFloat64
+	KHandle  = object.KHandle
+	KString  = object.KString
+)
+
+// NewStruct begins building a user type layout.
+func NewStruct(name string) *object.StructBuilder { return object.NewStruct(name) }
+
+// MakeVector allocates a PC vector.
+func MakeVector(a *Allocator, elem Kind, initCap int) (Vector, error) {
+	return object.MakeVector(a, elem, initCap)
+}
+
+// MakeMap allocates a PC map.
+func MakeMap(a *Allocator, keyKind, valKind Kind, initSlots int) (OMap, error) {
+	return object.MakeMap(a, keyKind, valKind, initSlots)
+}
+
+// Computation graph re-exports: the "in the large" API surface.
+
+// Computation is a node in a query graph.
+type Computation = core.Computation
+
+// Scan reads a stored set (the paper's ObjectReader).
+type Scan = core.Scan
+
+// Write stores a computation's output (the paper's Writer).
+type Write = core.Write
+
+// Selection is SelectionComp.
+type Selection = core.Selection
+
+// MultiSelection is MultiSelectionComp.
+type MultiSelection = core.MultiSelection
+
+// Join is JoinComp.
+type Join = core.Join
+
+// Aggregate is AggregateComp.
+type Aggregate = core.Aggregate
+
+// NewScan creates a set reader.
+func NewScan(db, set, typeName string) *Scan { return core.NewScan(db, set, typeName) }
+
+// NewWrite creates a set writer.
+func NewWrite(db, set string, in Computation) *Write { return core.NewWrite(db, set, in) }
+
+// SendDataPartitioned loads pages into a set pre-partitioned on key: each
+// object is placed on the worker owning hash(key(obj)), and the catalog
+// records keyLabel. Sets sharing a label join with zero shuffle via
+// CoPartitionedJoin — the paper's §8.3.3 future-work item, implemented.
+func (c *Client) SendDataPartitioned(db, set string, pages []*Page, keyLabel string, key func(Ref) uint64) error {
+	return c.Cluster.SendDataPartitioned(db, set, pages, keyLabel, key)
+}
+
+// CoPartitionedJoin joins two co-partitioned sets locally on every worker,
+// with no repartition stages and no shuffle.
+func (c *Client) CoPartitionedJoin(dbL, setL, dbR, setR string,
+	keyL, keyR func(Ref) uint64, eq func(l, r Ref) bool,
+	emit func(workerID int, l, r Ref) error) error {
+	return c.Cluster.CoPartitionedJoin(dbL, setL, dbR, setR, keyL, keyR, eq, emit)
+}
