@@ -102,3 +102,14 @@ func BenchmarkOptimizerPushdown(b *testing.B) {
 func BenchmarkCoPartitionedJoin(b *testing.B) {
 	runTable(b, func() (*bench.Table, error) { return bench.RunCoPartitionedJoin(3000, 600) })
 }
+
+// BenchmarkIntraWorkerScaling is the intra-worker parallelism ablation:
+// per-iteration k-means latency vs Config.Threads, with a bit-for-bit
+// model-identity check across thread counts.
+func BenchmarkIntraWorkerScaling(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunIntraWorkerScaling(bench.ScalingConfig{
+			N: 6000, D: 10, K: 6, Iters: 1, Workers: 2, Threads: []int{1, 4},
+		})
+	})
+}

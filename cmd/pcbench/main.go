@@ -18,7 +18,17 @@ import (
 func main() {
 	table := flag.Int("table", 0, "run only this table (2-8); 0 = all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	scaling := flag.Bool("scaling", false, "run only the intra-worker thread-scaling ablation")
 	flag.Parse()
+
+	if *scaling {
+		t, err := bench.RunIntraWorkerScaling(bench.DefaultScaling())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+		return
+	}
 
 	type exp struct {
 		id  int
@@ -50,6 +60,7 @@ func main() {
 			func() (*bench.Table, error) { return bench.RunBroadcastVsPartition(5000, 500) },
 			func() (*bench.Table, error) { return bench.RunOptimizerAblation(5000) },
 			func() (*bench.Table, error) { return bench.RunCoPartitionedJoin(5000, 1000) },
+			func() (*bench.Table, error) { return bench.RunIntraWorkerScaling(bench.DefaultScaling()) },
 		} {
 			t, err := run()
 			if err != nil {

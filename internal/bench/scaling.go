@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/ml"
+	"repro/pc"
+)
+
+// Intra-worker scaling ablation: the Table-6 k-means workload re-run at a
+// ladder of Config.Threads values. The paper's claim under test is
+// "high-performance in the small" — one worker should saturate its share of
+// the machine, so per-iteration latency should drop as executor threads are
+// added (until threads × workers exceeds the physical core count).
+
+// ScalingConfig sizes the intra-worker scaling experiment.
+type ScalingConfig struct {
+	N, D, K int
+	Iters   int
+	Workers int
+	// Threads is the ladder of per-worker executor thread counts; the
+	// first entry is the baseline the speedup column is relative to.
+	Threads []int
+}
+
+// DefaultScaling is the laptop-scale default (Table 6's first shape).
+func DefaultScaling() ScalingConfig {
+	return ScalingConfig{N: 30000, D: 10, K: 10, Iters: 3, Workers: 2, Threads: []int{1, 2, 4, 8}}
+}
+
+// quantizedPoints generates Table-6-style k-means points snapped to a
+// 1/256 lattice: every per-cluster partial sum is then exact in float64, so
+// floating-point accumulation is associative and the converged model must
+// be byte-identical at every thread count — turning the ablation into a
+// correctness check as well as a scaling measurement.
+func quantizedPoints(n, d, k int) [][]float64 {
+	rng := rand.New(rand.NewSource(11))
+	points, _ := ml.GeneratePoints(rng, n, d, k)
+	for _, p := range points {
+		for j := range p {
+			p[j] = math.Round(p[j]*256) / 256
+		}
+	}
+	return points
+}
+
+// RunIntraWorkerScaling measures per-iteration k-means latency across the
+// thread ladder and reports each rung's speedup over the first.
+func RunIntraWorkerScaling(cfg ScalingConfig) (*Table, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{1, 2, 4, 8}
+	}
+	t := &Table{
+		Title:   "Ablation: intra-worker parallel pipelines (k-means, Table 6 workload)",
+		Columns: []string{"per-iter", "speedup vs 1 thread", "model identical"},
+		Notes: []string{
+			fmt.Sprintf("workers=%d, n=%d d=%d k=%d; machine has %d CPUs", cfg.Workers, cfg.N, cfg.D, cfg.K, runtime.NumCPU()),
+			"points are lattice-quantized so float sums are exact: models must match bit-for-bit across thread counts",
+		},
+	}
+	points := quantizedPoints(cfg.N, cfg.D, cfg.K)
+
+	var base time.Duration
+	var refModel [][]float64
+	for i, th := range cfg.Threads {
+		client, err := pc.Connect(pc.Config{Workers: cfg.Workers, Threads: th, PageSize: 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		km, err := ml.NewKMeansPC(client, "scaledb", cfg.K, cfg.D)
+		if err != nil {
+			return nil, err
+		}
+		model, err := km.Init(points)
+		if err != nil {
+			return nil, err
+		}
+		iterTime, err := Timed(func() error {
+			for it := 0; it < cfg.Iters; it++ {
+				if model, err = km.Iterate(model); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		perIter := iterTime / time.Duration(max(1, cfg.Iters))
+		identical := "-"
+		if i == 0 {
+			base = perIter
+			refModel = model
+		} else {
+			if reflect.DeepEqual(model, refModel) {
+				identical = "yes"
+			} else {
+				identical = "NO"
+			}
+		}
+		t.Rows = append(t.Rows, Row{
+			Name:  fmt.Sprintf("threads=%d", th),
+			Cells: []string{ms(perIter), ratio(base, perIter), identical},
+		})
+	}
+	return t, nil
+}

@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/catalog"
@@ -25,6 +26,12 @@ import (
 type Config struct {
 	// Workers is the number of worker nodes (the paper uses 10).
 	Workers int
+	// Threads is the number of executor threads each worker backend runs
+	// per job stage (intra-worker parallelism). Zero picks
+	// runtime.NumCPU()/Workers (min 1), so a default cluster saturates
+	// the machine; 1 reproduces strictly sequential per-worker
+	// execution.
+	Threads int
 	// PageSize is the storage/output page size (paper default 256 MB;
 	// scaled down here).
 	PageSize int
@@ -39,6 +46,12 @@ type Config struct {
 func (c *Config) fill() {
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.NumCPU() / c.Workers
+		if c.Threads < 1 {
+			c.Threads = 1
+		}
 	}
 	if c.PageSize <= 0 {
 		c.PageSize = 1 << 18

@@ -17,6 +17,9 @@ type ExecStats struct {
 	Optimizer optimizer.Stats
 	Stages    int
 	Retries   int // backend crash retries
+	// Threads is the per-worker executor-thread budget pipeline stages
+	// ran with (Config.Threads after defaulting).
+	Threads int
 }
 
 // Execute is the distributed query path: the client compiles the
@@ -37,7 +40,7 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats := &ExecStats{Optimizer: *ostats, Stages: len(plan.Stages)}
+	stats := &ExecStats{Optimizer: *ostats, Stages: len(plan.Stages), Threads: c.Cfg.Threads}
 
 	// Reset per-job worker artifacts, recycling the previous job's
 	// transient pages through the page pool (buffer-pool reuse, §3).
@@ -157,6 +160,40 @@ func (c *Cluster) runStageOnWorker(res *core.CompileResult, stage *physical.JobS
 	}
 }
 
+// newStageSink builds one executor thread's private sink for a pipeline
+// stage, charging page counters to the thread's stats.
+func (c *Cluster) newStageSink(res *core.CompileResult, stage *physical.JobStage, w *Worker, stats *engine.Stats) (engine.Sink, error) {
+	switch stage.Sink {
+	case physical.SinkOutput, physical.SinkMaterialize:
+		return engine.NewOutputSink(w.Reg(), c.Cfg.PageSize, c.pool, stats)
+	case physical.SinkPreAgg:
+		spec := res.AggSpecs[stage.SinkStmt.Out.Name]
+		if spec == nil {
+			return nil, fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
+		}
+		return engine.NewAggSink(w.Reg(), c.Cfg.PageSize, len(c.Workers),
+			spec.KeyKind, spec.ValKind, spec.Combine,
+			stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], c.pool, stats)
+	case physical.SinkJoinBuild:
+		return engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0]), nil
+	default:
+		return nil, fmt.Errorf("unknown sink %v", stage.Sink)
+	}
+}
+
+// runPipelineOnWorker executes a pipeline stage on one worker across
+// Config.Threads executor threads: the worker's source batches are split
+// into contiguous chunks, each driven through a private Pipeline/Ctx/sink
+// (per-thread output pages, per-thread stats — nothing shared on the hot
+// path), and the per-thread results are combined after the barrier:
+//
+//   - OUTPUT / materialize sinks: per-thread pages are concatenated in
+//     thread order, which is source order because chunks are contiguous.
+//   - Pre-aggregation sinks: threads 1..n-1's map pages are folded into
+//     thread 0's sink with the stage's combine function, and the absorbed
+//     pages are recycled.
+//   - Join-build sinks: per-thread hash tables are merged bucket-wise in
+//     thread order.
 func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker) (*workerArtifacts, error) {
 	pages, err := c.sourcePagesFor(stage, w)
 	if err != nil {
@@ -185,45 +222,14 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 	}
 
 	backend := w.Front.backend
-	var sink engine.Sink
-	switch stage.Sink {
-	case physical.SinkOutput, physical.SinkMaterialize:
-		s, err := engine.NewOutputSink(w.Reg(), c.Cfg.PageSize, c.pool, &backend.Stats)
-		if err != nil {
-			return nil, err
-		}
-		sink = s
-	case physical.SinkPreAgg:
-		spec := res.AggSpecs[stage.SinkStmt.Out.Name]
-		if spec == nil {
-			return nil, fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
-		}
-		s, err := engine.NewAggSink(w.Reg(), c.Cfg.PageSize, len(c.Workers),
-			spec.KeyKind, spec.ValKind, spec.Combine,
-			stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], c.pool, &backend.Stats)
-		if err != nil {
-			return nil, err
-		}
-		sink = s
-	case physical.SinkJoinBuild:
-		sink = engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0])
-	default:
-		return nil, fmt.Errorf("unknown sink %v", stage.Sink)
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), c.Cfg.Threads)
+	if len(chunks) == 0 {
+		// No input on this worker: a single empty chunk still builds
+		// the sink, so the stage's artifact contract (possibly empty
+		// pages, an empty join table) is honored.
+		chunks = [][]engine.PageRange{nil}
 	}
-
-	ctx := &engine.Ctx{Reg: w.Reg(), Tables: w.artTables, Stats: &backend.Stats}
-	switch s := sink.(type) {
-	case *engine.OutputSink:
-		ctx.Out = s.Out
-	case *engine.AggSink:
-		ctx.Out = s.Out
-	default:
-		ops, err := engine.NewOutputPageSet(w.Reg(), c.Cfg.PageSize, object.PolicyLightweightReuse, nil, c.pool, &backend.Stats)
-		if err != nil {
-			return nil, err
-		}
-		ctx.Out = ops
-	}
+	nt := len(chunks)
 
 	sinkStmt := stage.SinkStmt
 	if stage.Sink == physical.SinkMaterialize {
@@ -240,21 +246,87 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 		}
 	}
 
-	pipe := &engine.Pipeline{Stmts: stage.Stmts, Reg: res.Stages, Sink: sink, SinkStmt: sinkStmt}
-	err = engine.ScanPages(pages, stage.SourceCol, engine.BatchSize, func(vl *engine.VectorList) error {
-		return pipe.RunBatch(ctx, vl)
+	sinks := make([]engine.Sink, nt)
+	ctxs := make([]*engine.Ctx, nt)
+	pipes := make([]*engine.Pipeline, nt)
+	tstats := make([]engine.Stats, nt)
+	for t := 0; t < nt; t++ {
+		sink, err := c.newStageSink(res, stage, w, &tstats[t])
+		if err != nil {
+			return nil, err
+		}
+		ctx := &engine.Ctx{Reg: w.Reg(), Tables: w.artTables, Stats: &tstats[t]}
+		switch s := sink.(type) {
+		case *engine.OutputSink:
+			ctx.Out = s.Out
+		case *engine.AggSink:
+			ctx.Out = s.Out
+		default:
+			// Join-build pipelines still need per-thread output
+			// pages for intermediate allocations by native kernels.
+			ops, err := engine.NewOutputPageSet(w.Reg(), c.Cfg.PageSize, object.PolicyLightweightReuse, nil, c.pool, &tstats[t])
+			if err != nil {
+				return nil, err
+			}
+			ctx.Out = ops
+		}
+		sinks[t] = sink
+		ctxs[t] = ctx
+		pipes[t] = &engine.Pipeline{Stmts: stage.Stmts, Reg: res.Stages, Sink: sink, SinkStmt: sinkStmt}
+	}
+
+	err = engine.ParallelScanRanges(chunks, stage.SourceCol, func(t int, vl *engine.VectorList) error {
+		return pipes[t].RunBatch(ctxs[t], vl)
 	})
+	// Fold per-thread counters into the backend even on error, matching
+	// the sequential path's incremental accounting.
+	for t := range tstats {
+		backend.Stats.Merge(&tstats[t])
+	}
 	if err != nil {
 		return nil, err
 	}
 
 	switch stage.Sink {
-	case physical.SinkOutput:
-		return &workerArtifacts{pages: sink.Pages(), outputDb: stage.SinkStmt.Db, outputSet: stage.SinkStmt.Set}, nil
-	case physical.SinkMaterialize, physical.SinkPreAgg:
-		return &workerArtifacts{pages: sink.Pages(), pagesKey: stage.Produces}, nil
+	case physical.SinkOutput, physical.SinkMaterialize:
+		var out []*object.Page
+		for _, s := range sinks {
+			out = append(out, s.Pages()...)
+		}
+		if stage.Sink == physical.SinkOutput {
+			return &workerArtifacts{pages: out, outputDb: stage.SinkStmt.Db, outputSet: stage.SinkStmt.Set}, nil
+		}
+		return &workerArtifacts{pages: out, pagesKey: stage.Produces}, nil
+	case physical.SinkPreAgg:
+		primary := sinks[0].(*engine.AggSink)
+		for t := 1; t < nt; t++ {
+			absorbed := sinks[t].Pages()
+			if err := primary.AbsorbPages(absorbed); err != nil {
+				return nil, err
+			}
+			for _, p := range absorbed {
+				c.pool.Put(p)
+			}
+		}
+		return &workerArtifacts{pages: primary.Pages(), pagesKey: stage.Produces}, nil
 	case physical.SinkJoinBuild:
-		return &workerArtifacts{table: sink.(*engine.JoinBuildSink).Table, tableKey: stage.SinkStmt.Applied2.Name}, nil
+		table := sinks[0].(*engine.JoinBuildSink).Table
+		for t := 1; t < nt; t++ {
+			table.Merge(sinks[t].(*engine.JoinBuildSink).Table)
+		}
+		// Recycle each thread's scratch output pages unless the table
+		// references them (a fused upstream projection may have
+		// allocated the build objects there); unreferenced scratch
+		// holds only dead kernel intermediates.
+		for t := 0; t < nt; t++ {
+			js := sinks[t].(*engine.JoinBuildSink)
+			for _, p := range append(append([]*object.Page(nil), ctxs[t].Out.Sealed...), ctxs[t].Out.Live) {
+				if p != nil && !js.References(p) {
+					c.pool.Put(p)
+				}
+			}
+		}
+		return &workerArtifacts{table: table, tableKey: stage.SinkStmt.Applied2.Name}, nil
 	}
 	return nil, nil
 }

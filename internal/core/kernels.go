@@ -13,70 +13,316 @@ import (
 // column types where it matters — the Go analogue of the C++ binding's
 // template-instantiated pipeline stages (paper §5.3).
 
+// resolveField looks a member up through the handle's type code (the vTable
+// fetch of the member kernel's one-entry cache).
+func resolveField(ctx *engine.Ctx, tc uint32, field string) (*object.Field, error) {
+	ti := ctx.Reg.Lookup(tc)
+	if ti == nil {
+		return nil, fmt.Errorf("core: unregistered type code %d", tc)
+	}
+	f := ti.Field(field)
+	if f == nil {
+		return nil, fmt.Errorf("core: type %s has no member %q", ti.Name, field)
+	}
+	return f, nil
+}
+
 // memberKernel reads a member variable from each object of a handle column.
 // Dispatch is through the type code in each handle with a one-entry cache,
-// mirroring vTable lookup amortized over a vector.
+// mirroring vTable lookup amortized over a vector. The output path is
+// monomorphic on the cached field's kind: scalar members fill a typed
+// column directly (I64Col/F64Col/StrCol/...) with no per-row Value boxing;
+// only columns that mix member kinds across type codes fall back to the
+// boxed path.
 func memberKernel(field string) engine.ApplyKernel {
 	return func(ctx *engine.Ctx, in []engine.Column) (engine.Column, error) {
 		rc, ok := in[0].(engine.RefCol)
 		if !ok {
 			return nil, fmt.Errorf("core: member access %q over non-handle column", field)
 		}
-		var cachedCode uint32
-		var cachedField *object.Field
-		out := make([]object.Value, len(rc))
-		for i, r := range rc {
-			if r.IsNil() {
-				return nil, fmt.Errorf("core: member access %q on nil handle", field)
-			}
-			tc := r.TypeCode()
-			if tc != cachedCode || cachedField == nil {
-				ti := ctx.Reg.Lookup(tc)
-				if ti == nil {
-					return nil, fmt.Errorf("core: unregistered type code %d", tc)
-				}
-				f := ti.Field(field)
-				if f == nil {
-					return nil, fmt.Errorf("core: type %s has no member %q", ti.Name, field)
-				}
-				cachedCode, cachedField = tc, f
-			}
-			out[i] = object.GetField(r, cachedField)
+		if len(rc) == 0 {
+			return engine.ValCol(nil), nil
 		}
-		return engine.ColumnOf(out), nil
+		if rc[0].IsNil() {
+			return nil, fmt.Errorf("core: member access %q on nil handle", field)
+		}
+		code := rc[0].TypeCode()
+		f, err := resolveField(ctx, code, field)
+		if err != nil {
+			return nil, err
+		}
+		// next advances the cache for row i, reporting whether the
+		// monomorphic loop can continue (same member kind).
+		next := func(i int) (bool, error) {
+			r := rc[i]
+			if r.IsNil() {
+				return false, fmt.Errorf("core: member access %q on nil handle", field)
+			}
+			if tc := r.TypeCode(); tc != code {
+				nf, err := resolveField(ctx, tc, field)
+				if err != nil {
+					return false, err
+				}
+				same := nf.Kind == f.Kind
+				code, f = tc, nf
+				return same, nil
+			}
+			return true, nil
+		}
+		switch f.Kind {
+		case object.KInt64:
+			out := make(engine.I64Col, len(rc))
+			for i := range rc {
+				ok, err := next(i)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return memberBoxed(ctx, rc, field)
+				}
+				out[i] = object.GetI64(rc[i], f)
+			}
+			return out, nil
+		case object.KInt32:
+			out := make(engine.I64Col, len(rc))
+			for i := range rc {
+				ok, err := next(i)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return memberBoxed(ctx, rc, field)
+				}
+				out[i] = int64(object.GetI32(rc[i], f))
+			}
+			return out, nil
+		case object.KFloat64:
+			out := make(engine.F64Col, len(rc))
+			for i := range rc {
+				ok, err := next(i)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return memberBoxed(ctx, rc, field)
+				}
+				out[i] = object.GetF64(rc[i], f)
+			}
+			return out, nil
+		case object.KBool:
+			out := make(engine.BoolCol, len(rc))
+			for i := range rc {
+				ok, err := next(i)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return memberBoxed(ctx, rc, field)
+				}
+				out[i] = object.GetBool(rc[i], f)
+			}
+			return out, nil
+		case object.KString:
+			out := make(engine.StrCol, len(rc))
+			for i := range rc {
+				ok, err := next(i)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return memberBoxed(ctx, rc, field)
+				}
+				out[i] = object.GetStrField(rc[i], f)
+			}
+			return out, nil
+		case object.KHandle:
+			out := make(engine.RefCol, len(rc))
+			for i := range rc {
+				ok, err := next(i)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return memberBoxed(ctx, rc, field)
+				}
+				out[i] = object.GetHandleField(rc[i], f)
+			}
+			return out, nil
+		default:
+			return memberBoxed(ctx, rc, field)
+		}
 	}
 }
 
+// memberBoxed is the generic fallback for member columns whose kind changes
+// mid-vector (heterogeneous type codes with differently-typed members).
+func memberBoxed(ctx *engine.Ctx, rc engine.RefCol, field string) (engine.Column, error) {
+	var cachedCode uint32
+	var cachedField *object.Field
+	out := make([]object.Value, len(rc))
+	for i, r := range rc {
+		if r.IsNil() {
+			return nil, fmt.Errorf("core: member access %q on nil handle", field)
+		}
+		tc := r.TypeCode()
+		if tc != cachedCode || cachedField == nil {
+			f, err := resolveField(ctx, tc, field)
+			if err != nil {
+				return nil, err
+			}
+			cachedCode, cachedField = tc, f
+		}
+		out[i] = object.GetField(r, cachedField)
+	}
+	return engine.ColumnOf(out), nil
+}
+
 // methodKernel invokes a registered virtual method on each object of a
-// handle column (dynamic dispatch through the handle's type code).
+// handle column (dynamic dispatch through the handle's type code). Like the
+// member kernel, the output path is monomorphic on the method's declared
+// return kind: results are written straight into a typed column, and only
+// methods whose returned kind disagrees with the declaration (or changes
+// across type codes) fall back to boxing.
 func methodKernel(method string) engine.ApplyKernel {
 	return func(ctx *engine.Ctx, in []engine.Column) (engine.Column, error) {
 		rc, ok := in[0].(engine.RefCol)
 		if !ok {
 			return nil, fmt.Errorf("core: method call %q over non-handle column", method)
 		}
+		if len(rc) == 0 {
+			return engine.ValCol(nil), nil
+		}
 		var cachedCode uint32
-		var cachedFn func(object.Ref) object.Value
-		out := make([]object.Value, len(rc))
-		for i, r := range rc {
+		var cached object.Method
+		resolve := func(r object.Ref) error {
 			if r.IsNil() {
-				return nil, fmt.Errorf("core: method call %q on nil handle", method)
+				return fmt.Errorf("core: method call %q on nil handle", method)
 			}
 			tc := r.TypeCode()
-			if tc != cachedCode || cachedFn == nil {
-				ti := ctx.Reg.Lookup(tc)
-				if ti == nil {
-					return nil, fmt.Errorf("core: unregistered type code %d", tc)
-				}
-				m, ok := ti.Method(method)
-				if !ok {
-					return nil, fmt.Errorf("core: type %s has no method %q", ti.Name, method)
-				}
-				cachedCode, cachedFn = tc, m.Fn
+			if tc == cachedCode && cached.Fn != nil {
+				return nil
 			}
-			out[i] = cachedFn(r)
+			ti := ctx.Reg.Lookup(tc)
+			if ti == nil {
+				return fmt.Errorf("core: unregistered type code %d", tc)
+			}
+			m, ok := ti.Method(method)
+			if !ok {
+				return fmt.Errorf("core: type %s has no method %q", ti.Name, method)
+			}
+			cachedCode, cached = tc, m
+			return nil
 		}
-		return engine.ColumnOf(out), nil
+		if err := resolve(rc[0]); err != nil {
+			return nil, err
+		}
+		// boxedFrom finishes a column whose rows [0, from) are already in
+		// vals: methods are user code and may be expensive or
+		// non-idempotent, so the typed prefix is re-boxed, never
+		// re-invoked.
+		boxedFrom := func(vals []object.Value, from int) (engine.Column, error) {
+			for i := from; i < len(rc); i++ {
+				if err := resolve(rc[i]); err != nil {
+					return nil, err
+				}
+				vals[i] = cached.Fn(rc[i])
+			}
+			return engine.ColumnOf(vals), nil
+		}
+		switch cached.Ret {
+		case object.KInt32, object.KInt64:
+			out := make(engine.I64Col, len(rc))
+			for i, r := range rc {
+				if err := resolve(r); err != nil {
+					return nil, err
+				}
+				v := cached.Fn(r)
+				if v.K != object.KInt32 && v.K != object.KInt64 {
+					vals := make([]object.Value, len(rc))
+					for j := 0; j < i; j++ {
+						vals[j] = object.Int64Value(out[j])
+					}
+					vals[i] = v
+					return boxedFrom(vals, i+1)
+				}
+				out[i] = v.I
+			}
+			return out, nil
+		case object.KFloat64:
+			out := make(engine.F64Col, len(rc))
+			for i, r := range rc {
+				if err := resolve(r); err != nil {
+					return nil, err
+				}
+				v := cached.Fn(r)
+				if v.K != object.KFloat64 {
+					vals := make([]object.Value, len(rc))
+					for j := 0; j < i; j++ {
+						vals[j] = object.Float64Value(out[j])
+					}
+					vals[i] = v
+					return boxedFrom(vals, i+1)
+				}
+				out[i] = v.F
+			}
+			return out, nil
+		case object.KBool:
+			out := make(engine.BoolCol, len(rc))
+			for i, r := range rc {
+				if err := resolve(r); err != nil {
+					return nil, err
+				}
+				v := cached.Fn(r)
+				if v.K != object.KBool {
+					vals := make([]object.Value, len(rc))
+					for j := 0; j < i; j++ {
+						vals[j] = object.BoolValue(out[j])
+					}
+					vals[i] = v
+					return boxedFrom(vals, i+1)
+				}
+				out[i] = v.B
+			}
+			return out, nil
+		case object.KString:
+			out := make(engine.StrCol, len(rc))
+			for i, r := range rc {
+				if err := resolve(r); err != nil {
+					return nil, err
+				}
+				v := cached.Fn(r)
+				if v.K != object.KString {
+					vals := make([]object.Value, len(rc))
+					for j := 0; j < i; j++ {
+						vals[j] = object.StringValue(out[j])
+					}
+					vals[i] = v
+					return boxedFrom(vals, i+1)
+				}
+				out[i] = v.S
+			}
+			return out, nil
+		case object.KHandle:
+			out := make(engine.RefCol, len(rc))
+			for i, r := range rc {
+				if err := resolve(r); err != nil {
+					return nil, err
+				}
+				v := cached.Fn(r)
+				if v.K != object.KHandle {
+					vals := make([]object.Value, len(rc))
+					for j := 0; j < i; j++ {
+						vals[j] = object.HandleValue(out[j])
+					}
+					vals[i] = v
+					return boxedFrom(vals, i+1)
+				}
+				out[i] = v.H
+			}
+			return out, nil
+		default:
+			return boxedFrom(make([]object.Value, len(rc)), 0)
+		}
 	}
 }
 

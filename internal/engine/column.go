@@ -209,9 +209,12 @@ func (vl *VectorList) Col(name string) Column {
 }
 
 // Project returns a new vector list with the named columns (shallow copy of
-// column references — the paper's zero-copy column passing).
+// column references — the paper's zero-copy column passing). Both slices
+// are presized with one spare slot — nearly every caller Appends the
+// statement's new column next — so the per-statement-per-batch path does
+// one allocation instead of a growth chain.
 func (vl *VectorList) Project(names []string) (*VectorList, error) {
-	out := &VectorList{}
+	out := &VectorList{Names: make([]string, 0, len(names)+1), Cols: make([]Column, 0, len(names)+1)}
 	for _, n := range names {
 		c := vl.Col(n)
 		if c == nil {

@@ -83,7 +83,7 @@ func TestExecHashStmt(t *testing.T) {
 		Out:     tcap.ColumnsRef{Name: "out", Cols: []string{"k", "h"}},
 	}
 	vl := &VectorList{Names: []string{"k"}, Cols: []Column{I64Col{5, 5, 7}}}
-	out, err := execHash(s, vl)
+	out, err := execHash(nil, s, vl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestExecHashStmt(t *testing.T) {
 	// String and float hash paths.
 	for _, col := range []Column{StrCol{"a", "a", "b"}, F64Col{1, 1, 2}} {
 		vl := &VectorList{Names: []string{"k"}, Cols: []Column{col}}
-		out, err := execHash(s, vl)
+		out, err := execHash(nil, s, vl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,6 +105,71 @@ func TestExecHashStmt(t *testing.T) {
 		if h[0] != h[1] || h[0] == h[2] {
 			t.Errorf("hash of %T inconsistent", col)
 		}
+	}
+}
+
+// TestExecHashRefColumn covers the typed handle-column fallback: objects
+// whose type registers a Hash are hashed through it (the referenced
+// object's key value), and string objects hash by contents — so equal keys
+// on different pages collide as join partners.
+func TestExecHashRefColumn(t *testing.T) {
+	reg := object.NewRegistry()
+	ti := object.NewStruct("HashRec").AddField("key", object.KInt64).MustBuild(reg)
+	ti.Hash = func(r object.Ref) uint64 {
+		return object.HashValue(object.Int64Value(object.GetI64(r, ti.Field("key"))))
+	}
+	mk := func(p *object.Page, a *object.Allocator, key int64) object.Ref {
+		r, err := a.MakeObject(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		object.SetI64(r, ti.Field("key"), key)
+		return r
+	}
+	p1 := object.NewPage(4096, reg)
+	a1 := object.NewAllocator(p1, object.PolicyLightweightReuse)
+	p2 := object.NewPage(4096, reg)
+	a2 := object.NewAllocator(p2, object.PolicyLightweightReuse)
+
+	s := &tcap.Stmt{
+		Op:      tcap.OpHash,
+		Applied: tcap.ColumnsRef{Name: "in", Cols: []string{"k"}},
+		Copied:  tcap.ColumnsRef{Name: "in", Cols: []string{"k"}},
+		Out:     tcap.ColumnsRef{Name: "out", Cols: []string{"k", "h"}},
+	}
+	ctx := &Ctx{Reg: reg}
+	// Equal keys on different pages must hash equally (offset hashing
+	// could not provide this); different keys must not.
+	vl := &VectorList{Names: []string{"k"}, Cols: []Column{RefCol{
+		mk(p1, a1, 42), mk(p2, a2, 42), mk(p1, a1, 7),
+	}}}
+	out, err := execHash(ctx, s, vl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.Col("h").(U64Col)
+	if h[0] != h[1] {
+		t.Error("equal keys on different pages must hash equally via TypeInfo.Hash")
+	}
+	if h[0] == h[2] {
+		t.Error("different keys should hash differently")
+	}
+
+	// String objects hash by contents.
+	s1, _ := object.MakeString(a1, "same")
+	s2, _ := object.MakeString(a2, "same")
+	s3, _ := object.MakeString(a1, "other")
+	vl = &VectorList{Names: []string{"k"}, Cols: []Column{RefCol{s1, s2, s3}}}
+	out, err = execHash(ctx, s, vl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = out.Col("h").(U64Col)
+	if h[0] != h[1] {
+		t.Error("equal string contents on different pages must hash equally")
+	}
+	if h[0] == h[2] {
+		t.Error("different string contents should hash differently")
 	}
 }
 

@@ -1,0 +1,82 @@
+package engine
+
+// Intra-worker parallel pipeline execution (the "runs as fast as the
+// hardware allows" layer): a worker's job-stage input is split into
+// contiguous batch chunks, and each chunk is driven through its own
+// Pipeline/Ctx/sink by a dedicated executor thread. Threads share nothing
+// hot — per-thread output page sets, per-thread stats, per-thread sinks —
+// so the only synchronization is the stage-end barrier, after which the
+// coordinating goroutine concatenates or merges the per-thread results.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// threadPanic wraps a panic recovered on an executor thread so the
+// coordinating goroutine can re-raise it. Re-raising matters: in the
+// simulated cluster a user-code panic must still "crash the backend" on the
+// goroutine the crash-proof front end is watching.
+type threadPanic struct{ v any }
+
+// errAborted marks a thread that stopped early because a sibling failed; it
+// never escapes ParallelScanRanges.
+var errAborted = errors.New("engine: aborted by sibling thread failure")
+
+// ParallelScanRanges drives fn over each chunk on its own goroutine: fn is
+// invoked as fn(thread, vl) for every batch of chunk `thread`, in order.
+// With a single chunk the scan runs inline on the caller (no goroutine, no
+// barrier) so sequential configurations pay nothing.
+//
+// The first error (or panic) on any thread makes the others stop after
+// their current batch — a shared abort flag is checked once per batch, not
+// per row, so the row path stays atomic-free. Panics are re-raised on the
+// calling goroutine after the barrier.
+func ParallelScanRanges(chunks [][]PageRange, colName string, fn func(thread int, vl *VectorList) error) error {
+	switch len(chunks) {
+	case 0:
+		return nil
+	case 1:
+		return ScanRanges(chunks[0], colName, func(vl *VectorList) error { return fn(0, vl) })
+	}
+	var wg sync.WaitGroup
+	var abort atomic.Bool
+	errs := make([]error, len(chunks))
+	panics := make([]*threadPanic, len(chunks))
+	for t := range chunks {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					abort.Store(true)
+					panics[t] = &threadPanic{v: r}
+				}
+			}()
+			errs[t] = ScanRanges(chunks[t], colName, func(vl *VectorList) error {
+				if abort.Load() {
+					return errAborted
+				}
+				if err := fn(t, vl); err != nil {
+					abort.Store(true)
+					return err
+				}
+				return nil
+			})
+		}(t)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p.v)
+		}
+	}
+	for t, err := range errs {
+		if err != nil && !errors.Is(err, errAborted) {
+			return fmt.Errorf("executor thread %d: %w", t, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/object"
+)
+
+// buildI64Pages fills pages with n I64Holder objects valued 0..n-1.
+func buildI64Pages(t testing.TB, reg *object.Registry, pageSize, n int) ([]*object.Page, *object.TypeInfo) {
+	t.Helper()
+	ti := reg.LookupName("I64Holder")
+	if ti == nil {
+		ti = object.NewStruct("I64Holder").AddField("v", object.KInt64).MustBuild(reg)
+	}
+	pages, err := object.BuildPages(reg, pageSize, n, func(a *object.Allocator, i int) (object.Ref, error) {
+		r, err := a.MakeObject(ti)
+		if err != nil {
+			return object.NilRef, err
+		}
+		object.SetI64(r, ti.Field("v"), int64(i))
+		return r, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pages, ti
+}
+
+func TestBatchRangesCoverEveryRowInOrder(t *testing.T) {
+	reg := object.NewRegistry()
+	pages, ti := buildI64Pages(t, reg, 1<<12, 1000)
+	if len(pages) < 2 {
+		t.Fatalf("want multiple pages, got %d", len(pages))
+	}
+	ranges := BatchRanges(pages, 64)
+	var got []int64
+	for _, r := range ranges {
+		if r.Rows() <= 0 || r.Rows() > 64 {
+			t.Fatalf("range rows = %d, want (0,64]", r.Rows())
+		}
+		root := object.AsVector(object.Ref{Page: r.Page, Off: r.Page.Root()})
+		for i := r.Start; i < r.End; i++ {
+			got = append(got, object.GetI64(root.HandleAt(i), ti.Field("v")))
+		}
+	}
+	if len(got) != 1000 {
+		t.Fatalf("ranges cover %d rows, want 1000", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d: ranges out of order", i, v)
+		}
+	}
+}
+
+func TestSplitRangesContiguousAndComplete(t *testing.T) {
+	reg := object.NewRegistry()
+	pages, _ := buildI64Pages(t, reg, 1<<12, 700)
+	ranges := BatchRanges(pages, 32)
+	for _, threads := range []int{1, 2, 3, 7, 16, 1000} {
+		chunks := SplitRanges(ranges, threads)
+		if len(chunks) > threads {
+			t.Fatalf("threads=%d: %d chunks", threads, len(chunks))
+		}
+		if len(chunks) > len(ranges) {
+			t.Fatalf("threads=%d: more chunks than batches", threads)
+		}
+		// Concatenating the chunks must reproduce the range list
+		// exactly (contiguity in source order).
+		var flat []PageRange
+		for _, ch := range chunks {
+			if len(ch) == 0 {
+				t.Fatalf("threads=%d: empty chunk", threads)
+			}
+			flat = append(flat, ch...)
+		}
+		if !reflect.DeepEqual(flat, ranges) {
+			t.Fatalf("threads=%d: chunks are not a contiguous partition", threads)
+		}
+	}
+	if got := SplitRanges(nil, 4); got != nil {
+		t.Fatalf("SplitRanges(nil) = %v, want nil", got)
+	}
+}
+
+// TestSplitRangesSkewedTail guards the rebalancing rule: a huge batch at
+// the tail must not be glued onto an already-full chunk (which would
+// serialize the stage onto one thread).
+func TestSplitRangesSkewedTail(t *testing.T) {
+	mk := func(rows ...int) []PageRange {
+		out := make([]PageRange, len(rows))
+		for i, r := range rows {
+			out[i] = PageRange{Start: 0, End: r}
+		}
+		return out
+	}
+	chunks := SplitRanges(mk(1, 1, 100), 2)
+	if len(chunks) != 2 {
+		t.Fatalf("tail-heavy split produced %d chunks, want 2", len(chunks))
+	}
+	if len(chunks[0]) != 2 || len(chunks[1]) != 1 || chunks[1][0].Rows() != 100 {
+		t.Fatalf("tail-heavy split = %v, want [[1 1] [100]]", chunks)
+	}
+	chunks = SplitRanges(mk(100, 1, 1), 2)
+	if len(chunks) != 2 || len(chunks[0]) != 1 || chunks[0][0].Rows() != 100 {
+		t.Fatalf("head-heavy split = %v, want [[100] [1 1]]", chunks)
+	}
+	// Uniform batches still split evenly.
+	chunks = SplitRanges(mk(256, 256, 256, 256), 2)
+	if len(chunks) != 2 || len(chunks[0]) != 2 || len(chunks[1]) != 2 {
+		t.Fatalf("uniform split = %v, want 2+2", chunks)
+	}
+}
+
+// TestScanRangesScratchReuseIsInvisible asserts the scratch-reusing scan
+// delivers the same batches as a naive per-batch allocation would, even
+// when the callback appends columns to the reused vector list (as the join
+// drivers do).
+func TestScanRangesScratchReuseIsInvisible(t *testing.T) {
+	reg := object.NewRegistry()
+	pages, ti := buildI64Pages(t, reg, 1<<12, 500)
+	var got []int64
+	err := ScanPages(pages, "obj", 64, func(vl *VectorList) error {
+		rc := vl.Col("obj").(RefCol)
+		extra := make(U64Col, len(rc))
+		vl.Append("h", extra) // must not corrupt the next batch
+		for _, r := range rc {
+			got = append(got, object.GetI64(r, ti.Field("v")))
+		}
+		if vl.Col("h") == nil {
+			return errors.New("appended column lost")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("scanned %d rows, want 500", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestParallelScanRangesMatchesSequentialOrder(t *testing.T) {
+	reg := object.NewRegistry()
+	pages, ti := buildI64Pages(t, reg, 1<<12, 900)
+	ranges := BatchRanges(pages, 32)
+
+	var seq []int64
+	if err := ScanRanges(ranges, "obj", func(vl *VectorList) error {
+		for _, r := range vl.Col("obj").(RefCol) {
+			seq = append(seq, object.GetI64(r, ti.Field("v")))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, threads := range []int{2, 4, 8} {
+		chunks := SplitRanges(ranges, threads)
+		perThread := make([][]int64, len(chunks))
+		err := ParallelScanRanges(chunks, "obj", func(th int, vl *VectorList) error {
+			for _, r := range vl.Col("obj").(RefCol) {
+				perThread[th] = append(perThread[th], object.GetI64(r, ti.Field("v")))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Thread-order concatenation must equal the sequential scan.
+		var flat []int64
+		for _, rows := range perThread {
+			flat = append(flat, rows...)
+		}
+		if !reflect.DeepEqual(flat, seq) {
+			t.Fatalf("threads=%d: parallel order differs from sequential", threads)
+		}
+	}
+}
+
+func TestParallelScanRangesPropagatesErrors(t *testing.T) {
+	reg := object.NewRegistry()
+	pages, _ := buildI64Pages(t, reg, 1<<12, 400)
+	chunks := SplitRanges(BatchRanges(pages, 32), 4)
+	boom := errors.New("boom")
+	err := ParallelScanRanges(chunks, "obj", func(th int, vl *VectorList) error {
+		if th == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestParallelScanRangesRePanicsOnCaller(t *testing.T) {
+	reg := object.NewRegistry()
+	pages, _ := buildI64Pages(t, reg, 1<<12, 400)
+	chunks := SplitRanges(BatchRanges(pages, 32), 4)
+	defer func() {
+		if r := recover(); r != "thread bug" {
+			t.Fatalf("recovered %v, want thread bug", r)
+		}
+	}()
+	_ = ParallelScanRanges(chunks, "obj", func(th int, vl *VectorList) error {
+		if th == 2 {
+			panic("thread bug")
+		}
+		return nil
+	})
+	t.Fatal("expected re-panic")
+}

@@ -12,6 +12,10 @@ import (
 // terminal sink (the paper's pipeline of pipeline stages, Appendix C). The
 // first statement consumes the source vector list; each subsequent statement
 // consumes its predecessor's output.
+//
+// A Pipeline is owned by exactly one executor thread: its batch-splitting
+// scratch is not synchronized. Parallel execution gives each thread its own
+// Pipeline (and Ctx, and sink) over a disjoint slice of the source.
 type Pipeline struct {
 	Stmts []*tcap.Stmt
 	Reg   *StageRegistry
@@ -19,6 +23,13 @@ type Pipeline struct {
 	// SinkStmt is the breaker statement the sink implements (OUTPUT,
 	// AGGREGATE, or the JOIN whose build side this pipeline feeds).
 	SinkStmt *tcap.Stmt
+
+	// splitScratch holds the row-index buffer reused by the top-level
+	// batch split on page-full faults; deeper recursive splits (rarer
+	// still) fall back to fresh allocations because the parent's halves
+	// are still live.
+	splitScratch  []int
+	splitScratchB bool // scratch currently lent to a split in progress
 }
 
 // RunBatch pushes one source vector list through every stage and into the
@@ -50,19 +61,20 @@ func (p *Pipeline) runBatch(ctx *Ctx, vl *VectorList, depth int) error {
 			if n <= 1 || depth > 24 {
 				return fmt.Errorf("engine: single row overflows an empty output page: %w", err)
 			}
+			idx, reused := p.splitIndices(n)
 			half := n / 2
-			lo := make([]int, half)
-			hi := make([]int, n-half)
-			for i := 0; i < half; i++ {
-				lo[i] = i
-			}
-			for i := half; i < n; i++ {
-				hi[i-half] = i
-			}
+			lo, hi := idx[:half], idx[half:]
 			if err := p.runBatch(ctx, vl.GatherAll(lo), depth+1); err != nil {
+				if reused {
+					p.splitScratchB = false
+				}
 				return err
 			}
-			return p.runBatch(ctx, vl.GatherAll(hi), depth+1)
+			err := p.runBatch(ctx, vl.GatherAll(hi), depth+1)
+			if reused {
+				p.splitScratchB = false
+			}
+			return err
 		}
 	}
 	if err != nil {
@@ -72,6 +84,28 @@ func (p *Pipeline) runBatch(ctx *Ctx, vl *VectorList, depth int) error {
 		return nil
 	}
 	return p.Sink.Consume(ctx, out, p.SinkStmt)
+}
+
+// splitIndices returns [0..n) in one backing array, reusing the pipeline
+// scratch when it is free (the halves stay live across both recursive calls,
+// so nested splits must not share it).
+func (p *Pipeline) splitIndices(n int) (idx []int, reused bool) {
+	if !p.splitScratchB && cap(p.splitScratch) >= n {
+		idx = p.splitScratch[:n]
+		p.splitScratchB = true
+		reused = true
+	} else if !p.splitScratchB {
+		p.splitScratch = make([]int, n)
+		idx = p.splitScratch
+		p.splitScratchB = true
+		reused = true
+	} else {
+		idx = make([]int, n)
+	}
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx, reused
 }
 
 func (p *Pipeline) applyStmts(ctx *Ctx, vl *VectorList) (*VectorList, error) {
@@ -86,35 +120,125 @@ func (p *Pipeline) applyStmts(ctx *Ctx, vl *VectorList) (*VectorList, error) {
 	return cur, nil
 }
 
-// ScanPages streams the objects stored on a slice of pages (each holding a
-// root Vector<Handle>) as vector lists with a single handle column named
-// colName, in batches of batch objects, invoking fn per batch.
-func ScanPages(pages []*object.Page, colName string, batch int, fn func(*VectorList) error) error {
+// PageRange addresses one batch of objects on one source page: rows
+// [Start, End) of the page's root Vector<Handle>.
+type PageRange struct {
+	Page       *object.Page
+	Start, End int
+}
+
+// Rows returns the number of objects in the range.
+func (r PageRange) Rows() int { return r.End - r.Start }
+
+// BatchRanges enumerates a page slice as batch-sized ranges, in page order —
+// the unit of work the scan driver (sequential or parallel) iterates.
+func BatchRanges(pages []*object.Page, batch int) []PageRange {
 	if batch <= 0 {
 		batch = BatchSize
 	}
+	var out []PageRange
 	for _, pg := range pages {
 		if pg.Root() == 0 {
 			continue
 		}
-		root := object.AsVector(object.Ref{Page: pg, Off: pg.Root()})
-		n := root.Len()
+		n := object.AsVector(object.Ref{Page: pg, Off: pg.Root()}).Len()
 		for start := 0; start < n; start += batch {
 			end := start + batch
 			if end > n {
 				end = n
 			}
-			col := make(RefCol, 0, end-start)
-			for i := start; i < end; i++ {
-				col = append(col, root.HandleAt(i))
+			out = append(out, PageRange{Page: pg, Start: start, End: end})
+		}
+	}
+	return out
+}
+
+// SplitRanges partitions a batch list into at most n contiguous chunks of
+// roughly equal row counts. Contiguity keeps per-thread output concatenation
+// in source order, so parallel OUTPUT pipelines materialize objects in the
+// same order a sequential run would. Fewer than n chunks are returned when
+// there are fewer batches than threads.
+func SplitRanges(ranges []PageRange, n int) [][]PageRange {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ranges) {
+		n = len(ranges)
+	}
+	if n <= 1 {
+		if len(ranges) == 0 {
+			return nil
+		}
+		return [][]PageRange{ranges}
+	}
+	total := 0
+	for _, r := range ranges {
+		total += r.Rows()
+	}
+	out := make([][]PageRange, 0, n)
+	start, acc := 0, 0
+	for i := 0; i < len(ranges); i++ {
+		chunksLeft := n - len(out)
+		if chunksLeft == 1 {
+			break // the tail chunk takes everything left
+		}
+		rows := ranges[i].Rows()
+		// Fair share of the rows still unassigned (acc included).
+		target := (total + chunksLeft - 1) / chunksLeft
+		if acc > 0 {
+			// Close the current chunk before range i when the
+			// remaining chunks would otherwise run out of batches,
+			// or when adding i overshoots the fair share by more
+			// than stopping short undershoots it (a single huge
+			// tail batch must not get glued onto a full chunk).
+			batchesLeft := len(ranges) - i
+			if batchesLeft <= chunksLeft-1 || acc+rows-target >= target-acc {
+				out = append(out, ranges[start:i])
+				total -= acc
+				start, acc = i, 0
 			}
-			vl := &VectorList{Names: []string{colName}, Cols: []Column{col}}
-			if err := fn(vl); err != nil {
-				return err
-			}
+		}
+		acc += rows
+	}
+	out = append(out, ranges[start:])
+	return out
+}
+
+// ScanRanges streams the given batch ranges as vector lists with a single
+// handle column named colName, invoking fn per batch. The handle column and
+// vector-list header are scratch reused across batches (the batch-scratch
+// reuse of the hot scan loop): fn must not retain them past its return —
+// pipeline stages copy what they keep (Gather, sink materialization), so
+// this holds for every compiled pipeline.
+func ScanRanges(ranges []PageRange, colName string, fn func(*VectorList) error) error {
+	var scratch RefCol
+	names := []string{colName}
+	cols := []Column{nil}
+	vl := &VectorList{}
+	for _, r := range ranges {
+		root := object.AsVector(object.Ref{Page: r.Page, Off: r.Page.Root()})
+		scratch = scratch[:0]
+		for i := r.Start; i < r.End; i++ {
+			scratch = append(scratch, root.HandleAt(i))
+		}
+		cols[0] = scratch
+		// Full-capacity slice expressions force any Append by fn (or a
+		// downstream stage) to reallocate instead of writing into the
+		// reused scratch headers.
+		vl.Names = names[:1:1]
+		vl.Cols = cols[:1:1]
+		if err := fn(vl); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// ScanPages streams the objects stored on a slice of pages (each holding a
+// root Vector<Handle>) as vector lists with a single handle column named
+// colName, in batches of batch objects, invoking fn per batch.
+func ScanPages(pages []*object.Page, colName string, batch int, fn func(*VectorList) error) error {
+	return ScanRanges(BatchRanges(pages, batch), colName, fn)
 }
 
 // CountObjects counts the objects stored across a slice of root-vector

@@ -191,13 +191,27 @@ func (s *AggSink) rotateThreshold() uint32 {
 	return t
 }
 
+// partitionHash hashes a key the way OMap does — handle keys dispatch
+// through the registered type's Hash — so a logical key lands in the same
+// partition regardless of which page its bytes live on (the physical offset
+// changes whenever a key is deep-copied, e.g. between thread sinks during
+// AbsorbPages or across workers in the shuffle).
+func (s *AggSink) partitionHash(key object.Value) uint64 {
+	if s.KeyKind == object.KHandle && key.K == object.KHandle && !key.H.IsNil() {
+		if ti := s.Out.Reg.Lookup(key.H.TypeCode()); ti != nil && ti.Hash != nil {
+			return ti.Hash(key.H)
+		}
+	}
+	return object.HashValue(key)
+}
+
 func (s *AggSink) updateWithRotate(key, val object.Value) error {
 	if s.Out.Live.Remaining() < s.rotateThreshold() {
 		if err := s.Out.Rotate(); err != nil {
 			return err
 		}
 	}
-	part := int(object.HashValue(key) % uint64(s.Partitions))
+	part := int(s.partitionHash(key) % uint64(s.Partitions))
 
 	try := func() error {
 		m := s.partitionMap(part)
@@ -227,20 +241,61 @@ func (s *AggSink) updateWithRotate(key, val object.Value) error {
 // Pages returns the pre-aggregated map pages.
 func (s *AggSink) Pages() []*object.Page { return s.Out.Pages() }
 
+// AbsorbPages folds other pre-aggregated map pages (produced by sibling
+// executor threads with the same partition count and combine function) into
+// this sink's live maps — the sink-merge half of the intra-worker threading
+// protocol. Handle-valued partial aggregates are deep-copied onto this
+// sink's pages by the object model's cross-block assignment rule, so the
+// absorbed pages hold no live references afterwards and can be recycled.
+func (s *AggSink) AbsorbPages(pages []*object.Page) error {
+	for _, pg := range pages {
+		if pg.Root() == 0 {
+			continue
+		}
+		root := object.AsVector(object.Ref{Page: pg, Off: pg.Root()})
+		if root.Len() < s.Partitions {
+			return fmt.Errorf("engine: absorbing page with %d partitions, need %d", root.Len(), s.Partitions)
+		}
+		for p := 0; p < s.Partitions; p++ {
+			m := object.AsMap(root.HandleAt(p))
+			var aerr error
+			m.Iterate(func(key, val object.Value) bool {
+				if err := s.updateWithRotate(key, val); err != nil {
+					aerr = err
+					return false
+				}
+				return true
+			})
+			if aerr != nil {
+				return aerr
+			}
+		}
+	}
+	return nil
+}
+
 // JoinBuildSink builds the probe hash table for one join input (the
 // BuildHashTableJobStage's terminal). The table references objects on their
-// input pages, which the engine keeps pinned for the duration of the join —
-// mirroring the paper's careful page usage (§6.5).
+// pages — input pages, or the pipeline's own output pages when a fused
+// upstream projection allocated the build objects — which the engine keeps
+// pinned for the duration of the join, mirroring the paper's careful page
+// usage (§6.5). The sink records which pages the table references so the
+// stage driver can recycle its scratch output pages that hold only dead
+// kernel intermediates.
 type JoinBuildSink struct {
 	Table   *JoinTable
 	HashCol string
 	ObjCol  string
+
+	refPages map[*object.Page]struct{}
+	lastPage *object.Page
 }
 
 // NewJoinBuildSink creates a build sink reading the given hash and object
 // columns.
 func NewJoinBuildSink(hashCol, objCol string) *JoinBuildSink {
-	return &JoinBuildSink{Table: NewJoinTable(), HashCol: hashCol, ObjCol: objCol}
+	return &JoinBuildSink{Table: NewJoinTable(), HashCol: hashCol, ObjCol: objCol,
+		refPages: map[*object.Page]struct{}{}}
 }
 
 // Consume inserts every (hash, object) row into the table.
@@ -254,9 +309,23 @@ func (s *JoinBuildSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error
 		return fmt.Errorf("engine: join build object column %q missing or mistyped", s.ObjCol)
 	}
 	for i, h := range hc {
-		s.Table.Add(h, oc[i])
+		r := oc[i]
+		// Page-run cache: batches reference long runs of the same page,
+		// so the map insert is off the per-row path.
+		if r.Page != s.lastPage && r.Page != nil {
+			s.lastPage = r.Page
+			s.refPages[r.Page] = struct{}{}
+		}
+		s.Table.Add(h, r)
 	}
 	return nil
+}
+
+// References reports whether the built table holds a handle into p (such a
+// page must stay live as long as the table).
+func (s *JoinBuildSink) References(p *object.Page) bool {
+	_, ok := s.refPages[p]
+	return ok
 }
 
 // Pages is empty: the build table is worker-transient state.

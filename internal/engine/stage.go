@@ -17,7 +17,7 @@ func executeStmt(ctx *Ctx, reg *StageRegistry, s *tcap.Stmt, in *VectorList) (*V
 	case tcap.OpApply:
 		return execApply(ctx, reg, s, in)
 	case tcap.OpHash:
-		return execHash(s, in)
+		return execHash(ctx, s, in)
 	case tcap.OpFilter:
 		return execFilter(s, in)
 	case tcap.OpFlatten:
@@ -62,7 +62,7 @@ func execApply(ctx *Ctx, reg *StageRegistry, s *tcap.Stmt, in *VectorList) (*Vec
 
 // execHash hashes the applied column into a new U64 column (the TCAP HASH
 // operation feeding joins and aggregations).
-func execHash(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+func execHash(ctx *Ctx, s *tcap.Stmt, in *VectorList) (*VectorList, error) {
 	if len(s.Applied.Cols) != 1 {
 		return nil, fmt.Errorf("engine: HASH takes one input column")
 	}
@@ -85,6 +85,10 @@ func execHash(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
 		for i, v := range col {
 			hashes[i] = object.HashValue(object.StringValue(v))
 		}
+	case RefCol:
+		if err := hashRefCol(ctx, col, hashes); err != nil {
+			return nil, err
+		}
 	default:
 		for i := 0; i < n; i++ {
 			hashes[i] = object.HashValue(c.Value(i))
@@ -102,8 +106,50 @@ func execHash(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
 	return out, nil
 }
 
+// hashRefCol hashes a handle column with a typed loop: objects whose
+// registered type declares a Hash are hashed through it (the "key value" of
+// the referenced object — the paper's key-projection hashing); strings hash
+// by contents. Other objects fall back to identity (offset) hashing, which
+// is still sound for joins because probe hits are re-verified by the
+// post-join equality filter. The resolved hash function is cached on the
+// handle's type code, mirroring the member/method kernels' one-entry vTable
+// cache.
+func hashRefCol(ctx *Ctx, col RefCol, hashes U64Col) error {
+	var cachedCode uint32
+	var cachedFn func(object.Ref) uint64
+	identity := func(r object.Ref) uint64 { return object.HashValue(object.HandleValue(r)) }
+	for i, r := range col {
+		if r.IsNil() {
+			hashes[i] = object.HashValue(object.HandleValue(r))
+			continue
+		}
+		tc := r.TypeCode()
+		if tc != cachedCode || cachedFn == nil {
+			switch {
+			case tc == object.TCString:
+				cachedFn = func(r object.Ref) uint64 {
+					return object.HashValue(object.StringValue(object.StringContents(r)))
+				}
+			case ctx != nil && ctx.Reg != nil:
+				if ti := ctx.Reg.Lookup(tc); ti != nil && ti.Hash != nil {
+					cachedFn = ti.Hash
+				} else {
+					cachedFn = identity
+				}
+			default:
+				cachedFn = identity
+			}
+			cachedCode = tc
+		}
+		hashes[i] = cachedFn(r)
+	}
+	return nil
+}
+
 // execFilter keeps the rows whose applied boolean column is true, gathering
-// every copied column.
+// every copied column. The selection index is presized with a counting pass
+// instead of growing through append (the filter is on every pipeline's hot
+// path).
 func execFilter(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
 	if len(s.Applied.Cols) != 1 {
 		return nil, fmt.Errorf("engine: FILTER takes one input column")
@@ -113,10 +159,19 @@ func execFilter(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: FILTER input %q is not boolean", s.Applied.Cols[0])
 	}
-	var idx []int
-	for i, b := range bc {
+	keep := 0
+	for _, b := range bc {
 		if b {
-			idx = append(idx, i)
+			keep++
+		}
+	}
+	var idx []int
+	if keep > 0 {
+		idx = make([]int, 0, keep)
+		for i, b := range bc {
+			if b {
+				idx = append(idx, i)
+			}
 		}
 	}
 	proj, err := in.Project(s.Copied.Cols)
@@ -138,8 +193,14 @@ func execFlatten(s *tcap.Stmt, in *VectorList) (*VectorList, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: FLATTEN input %q must be a handle column", s.Applied.Cols[0])
 	}
-	var idx []int
-	var elems []object.Value
+	total := 0
+	for _, r := range rc {
+		if !r.IsNil() {
+			total += object.AsVector(r).Len()
+		}
+	}
+	idx := make([]int, 0, total)
+	elems := make([]object.Value, 0, total)
 	for i, r := range rc {
 		if r.IsNil() {
 			continue
@@ -186,8 +247,15 @@ func execJoinProbe(ctx *Ctx, s *tcap.Stmt, in *VectorList) (*VectorList, error) 
 	if ctx.Stats != nil {
 		ctx.Stats.JoinProbeRows += len(hc)
 	}
-	var idx []int
-	var matches RefCol
+	// Counting pass presizes the match columns exactly: map lookups are
+	// paid twice, but append-growth copies (and their garbage) disappear
+	// from the probe hot path.
+	total := 0
+	for _, h := range hc {
+		total += len(table.M[h])
+	}
+	idx := make([]int, 0, total)
+	matches := make(RefCol, 0, total)
 	for i, h := range hc {
 		for _, r := range table.M[h] {
 			idx = append(idx, i)

@@ -1,0 +1,85 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/pc"
+)
+
+// TestCustomersPerSupplierDeterministicAcrossThreads runs the paper's
+// §8.4.2 TPC-H workload under intra-worker parallelism and asserts the
+// result is byte-identical for Threads = 1, 2, 8: the customer counts per
+// supplier are integers, so parallel pre-aggregation and the per-thread
+// sink-merge protocol must not change a single entry.
+func TestCustomersPerSupplierDeterministicAcrossThreads(t *testing.T) {
+	data := Generate(testParams(120))
+	var want map[string]int
+	for _, th := range []int{1, 2, 8} {
+		client, err := pc.Connect(pc.Config{Workers: 3, Threads: th, PageSize: 1 << 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := RegisterSchema(client.Registry())
+		if err := client.CreateDatabase("TPCH_db"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadPC(client, "TPCH_db", "set1", data); err != nil {
+			t.Fatal(err)
+		}
+		if err := CustomersPerSupplierPC(client, s, "TPCH_db", "set1", "q1"); err != nil {
+			t.Fatalf("threads=%d: %v", th, err)
+		}
+		got, err := CountCustomersPerSupplierPC(client, s, "TPCH_db", "q1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("threads=%d: empty result", th)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("threads=%d: customers-per-supplier differs from threads=1", th)
+		}
+	}
+}
+
+// TestTopKJaccardDeterministicAcrossThreads covers the second §8.4.2 query:
+// top-k Jaccard similarity. Similarities are ratios of small integers
+// computed per customer (never re-accumulated across threads), so the
+// returned ranking must match exactly at every thread count.
+func TestTopKJaccardDeterministicAcrossThreads(t *testing.T) {
+	data := Generate(testParams(80))
+	query := []int64{1, 5, 9, 13, 17, 21}
+	var want []TopJaccardEntry
+	for _, th := range []int{1, 2, 8} {
+		client, err := pc.Connect(pc.Config{Workers: 3, Threads: th, PageSize: 1 << 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := RegisterSchema(client.Registry())
+		if err := client.CreateDatabase("TPCH_db"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadPC(client, "TPCH_db", "set1", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := TopKJaccardPC(client, s, "TPCH_db", "set1", "topk", 8, query)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", th, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("threads=%d: empty top-k", th)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("threads=%d: top-k ranking differs from threads=1:\n%v\nvs\n%v", th, got, want)
+		}
+	}
+}

@@ -24,6 +24,34 @@
 //	client.CreateSet("Mydb", "Myset", "DataPoint")
 //	pages, _ := client.BuildPages(100, func(a *pc.Allocator, i int) (pc.Ref, error) { ... })
 //	client.SendData("Mydb", "Myset", pages)
+//
+// # Threading model
+//
+// Execution is parallel at two levels. Worker-level: every job stage runs
+// on all Config.Workers simultaneously, each worker executing its share of
+// the stored set (the paper's distributed scheduler). Thread-level: inside
+// each worker backend, the stage's source batches are split into
+// Config.Threads contiguous chunks (default runtime.NumCPU()/Workers, min
+// 1), each driven by a dedicated executor thread with a private pipeline,
+// execution context, output page set, and sink shard — no locks or atomics
+// on the per-row path.
+//
+// Per-thread results are combined by the sink-merge protocol after the
+// stage barrier:
+//
+//   - OUTPUT and materialization sinks concatenate per-thread pages in
+//     thread order; because chunks are contiguous, result order is
+//     identical to a sequential run at any thread count.
+//   - Pre-aggregation sinks fold sibling threads' map pages into the first
+//     thread's maps with the aggregation's combine function (partial
+//     aggregates merge exactly as they do across workers in the shuffle);
+//     the absorbed pages are recycled through the buffer pool.
+//   - Join-build sinks merge per-thread hash tables bucket-wise in thread
+//     order, preserving sequential per-bucket row order.
+//
+// Query results are therefore deterministic in Config.Threads, up to
+// floating-point summation order inside aggregations (integer and
+// lattice-quantized aggregates are bit-identical at every thread count).
 package pc
 
 import (
