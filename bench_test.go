@@ -113,3 +113,25 @@ func BenchmarkIntraWorkerScaling(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkAggScaling is the aggregation-consume parallelism ablation:
+// group-by integer-sum latency vs Config.Threads, with a bit-for-bit
+// group-set identity check across thread counts.
+func BenchmarkAggScaling(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunAggScaling(bench.AggScalingConfig{
+			N: 20000, Groups: 128, Workers: 2, Threads: []int{1, 4},
+		})
+	})
+}
+
+// BenchmarkJoinScaling is the hash-partition-join parallelism ablation:
+// repartition/build/probe latency vs Config.Threads, with a bit-for-bit
+// match-set identity check across thread counts.
+func BenchmarkJoinScaling(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunJoinScaling(bench.JoinScalingConfig{
+			Left: 6000, Right: 400, Keys: 199, Workers: 2, Threads: []int{1, 4},
+		})
+	})
+}

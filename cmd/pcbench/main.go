@@ -18,15 +18,21 @@ import (
 func main() {
 	table := flag.Int("table", 0, "run only this table (2-8); 0 = all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
-	scaling := flag.Bool("scaling", false, "run only the intra-worker thread-scaling ablation")
+	scaling := flag.Bool("scaling", false, "run only the intra-worker thread-scaling ablations (pipeline, aggregation, join)")
 	flag.Parse()
 
 	if *scaling {
-		t, err := bench.RunIntraWorkerScaling(bench.DefaultScaling())
-		if err != nil {
-			log.Fatal(err)
+		for _, run := range []func() (*bench.Table, error){
+			func() (*bench.Table, error) { return bench.RunIntraWorkerScaling(bench.DefaultScaling()) },
+			func() (*bench.Table, error) { return bench.RunAggScaling(bench.DefaultAggScaling()) },
+			func() (*bench.Table, error) { return bench.RunJoinScaling(bench.DefaultJoinScaling()) },
+		} {
+			t, err := run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(t.Format())
 		}
-		fmt.Println(t.Format())
 		return
 	}
 
@@ -61,6 +67,8 @@ func main() {
 			func() (*bench.Table, error) { return bench.RunOptimizerAblation(5000) },
 			func() (*bench.Table, error) { return bench.RunCoPartitionedJoin(5000, 1000) },
 			func() (*bench.Table, error) { return bench.RunIntraWorkerScaling(bench.DefaultScaling()) },
+			func() (*bench.Table, error) { return bench.RunAggScaling(bench.DefaultAggScaling()) },
+			func() (*bench.Table, error) { return bench.RunJoinScaling(bench.DefaultJoinScaling()) },
 		} {
 			t, err := run()
 			if err != nil {

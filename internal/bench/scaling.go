@@ -6,17 +6,28 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/lambda"
 	"repro/internal/ml"
+	"repro/internal/object"
 	"repro/pc"
 )
 
-// Intra-worker scaling ablation: the Table-6 k-means workload re-run at a
+// Intra-worker scaling ablations: representative workloads re-run at a
 // ladder of Config.Threads values. The paper's claim under test is
 // "high-performance in the small" — one worker should saturate its share of
-// the machine, so per-iteration latency should drop as executor threads are
-// added (until threads × workers exceeds the physical core count).
+// the machine, so latency should drop as executor threads are added (until
+// threads × workers exceeds the physical core count). Three workloads cover
+// the three parallelized phases: k-means (pipeline-dominated, Table 6), a
+// group-by sum (aggregation merge/finalize-dominated), and a hash-partition
+// join (repartition/build/probe-dominated). Every run doubles as a
+// correctness check: results are canonicalized and compared bit-for-bit
+// against the 1-thread baseline.
 
 // ScalingConfig sizes the intra-worker scaling experiment.
 type ScalingConfig struct {
@@ -112,4 +123,244 @@ func RunIntraWorkerScaling(cfg ScalingConfig) (*Table, error) {
 		})
 	}
 	return t, nil
+}
+
+// scalingLadder runs fn once per thread-ladder rung, timing it and
+// comparing its canonicalized result rows bit-for-bit against the first
+// rung's — the shared skeleton of the agg- and join-heavy scaling tables.
+// fn returns the result rows in any order; they are sorted before the
+// comparison because group and match sets are unordered. A rung whose rows
+// diverge from the baseline is an error, not just a table cell, so the CI
+// bench smoke fails when determinism breaks.
+func scalingLadder(t *Table, threads []int, fn func(threads int) ([]string, error)) (*Table, error) {
+	var base time.Duration
+	var refRows []string
+	for i, th := range threads {
+		var rows []string
+		d, err := Timed(func() error {
+			var err error
+			rows, err = fn(th)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(rows)
+		identical := "-"
+		if i == 0 {
+			base = d
+			refRows = rows
+		} else if reflect.DeepEqual(rows, refRows) {
+			identical = "yes"
+		} else {
+			return nil, fmt.Errorf("bench: threads=%d produced %d rows differing from the threads=%d baseline (%d rows)",
+				th, len(rows), threads[0], len(refRows))
+		}
+		t.Rows = append(t.Rows, Row{
+			Name:  fmt.Sprintf("threads=%d", th),
+			Cells: []string{ms(d), ratio(base, d), identical},
+		})
+	}
+	return t, nil
+}
+
+// AggScalingConfig sizes the aggregation-heavy scaling experiment.
+type AggScalingConfig struct {
+	// N rows are grouped into Groups integer-summed groups, so the
+	// shuffled merge (MergeAggMapsParallel) and finalize dominate.
+	N, Groups int
+	Workers   int
+	Threads   []int
+}
+
+// DefaultAggScaling is the laptop-scale default.
+func DefaultAggScaling() AggScalingConfig {
+	return AggScalingConfig{N: 120000, Groups: 512, Workers: 2, Threads: []int{1, 2, 4, 8}}
+}
+
+// RunAggScaling measures an aggregation-dominated query (group-by integer
+// sum) across the thread ladder. Integer values make every partial sum
+// exact, so the sorted group rows must match bit-for-bit at every thread
+// count — exercising the parallel pre-aggregation, the hash-range-parallel
+// merge, and the parallel finalization end to end.
+func RunAggScaling(cfg AggScalingConfig) (*Table, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{1, 2, 4, 8}
+	}
+	t := &Table{
+		Title:   "Ablation: intra-worker parallel aggregation (group-by integer sum)",
+		Columns: []string{"time", "speedup vs 1 thread", "identical"},
+		Notes: []string{
+			fmt.Sprintf("workers=%d, n=%d groups=%d; machine has %d CPUs", cfg.Workers, cfg.N, cfg.Groups, runtime.NumCPU()),
+			"integer sums are exact: sorted groups must match bit-for-bit across thread counts",
+		},
+	}
+	return scalingLadder(t, cfg.Threads, func(th int) ([]string, error) {
+		c, err := cluster.New(cluster.Config{Workers: cfg.Workers, Threads: th, PageSize: 1 << 18})
+		if err != nil {
+			return nil, err
+		}
+		reg := c.Catalog.Registry()
+		rec := object.NewStruct("AggScaleRec").
+			AddField("grp", object.KInt64).
+			AddField("val", object.KInt64).
+			MustBuild(reg)
+		if err := c.CreateDatabase("db"); err != nil {
+			return nil, err
+		}
+		if err := c.CreateSet("db", "rows", "AggScaleRec"); err != nil {
+			return nil, err
+		}
+		pages, err := object.BuildPages(reg, 1<<18, cfg.N, func(a *object.Allocator, i int) (object.Ref, error) {
+			r, err := a.MakeObject(rec)
+			if err != nil {
+				return object.NilRef, err
+			}
+			object.SetI64(r, rec.Field("grp"), int64(i%cfg.Groups))
+			object.SetI64(r, rec.Field("val"), int64(i))
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.SendData("db", "rows", pages); err != nil {
+			return nil, err
+		}
+		agg := &core.Aggregate{
+			In:      core.NewScan("db", "rows", "AggScaleRec"),
+			ArgType: "AggScaleRec",
+			Key:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMember(arg, "grp") },
+			Val:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMember(arg, "val") },
+			KeyKind: object.KInt64,
+			ValKind: object.KInt64,
+			Combine: func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
+				if !exists {
+					return next, nil
+				}
+				return object.Int64Value(cur.I + next.I), nil
+			},
+			Finalize: func(a *object.Allocator, key, val object.Value) (object.Ref, error) {
+				out, err := a.MakeObject(rec)
+				if err != nil {
+					return object.NilRef, err
+				}
+				object.SetI64(out, rec.Field("grp"), key.I)
+				object.SetI64(out, rec.Field("val"), val.I)
+				return out, nil
+			},
+		}
+		if err := c.CreateSet("db", "sums", "AggScaleRec"); err != nil {
+			return nil, err
+		}
+		if _, err := c.Execute(core.NewWrite("db", "sums", agg)); err != nil {
+			return nil, err
+		}
+		var rows []string
+		err = c.ScanSet("db", "sums", func(r object.Ref) bool {
+			rows = append(rows, fmt.Sprintf("%d=%d",
+				object.GetI64(r, rec.Field("grp")), object.GetI64(r, rec.Field("val"))))
+			return true
+		})
+		return rows, err
+	})
+}
+
+// JoinScalingConfig sizes the join-heavy scaling experiment.
+type JoinScalingConfig struct {
+	// Left × Right rows joined on key % Keys, so the repartition
+	// shuffle, parallel table build, and parallel probe dominate.
+	Left, Right, Keys int
+	Workers           int
+	Threads           []int
+}
+
+// DefaultJoinScaling is the laptop-scale default.
+func DefaultJoinScaling() JoinScalingConfig {
+	return JoinScalingConfig{Left: 30000, Right: 1000, Keys: 997, Workers: 2, Threads: []int{1, 2, 4, 8}}
+}
+
+// RunJoinScaling measures the 2n-stage hash-partition join across the
+// thread ladder: parallel repartition scans, bucket-merged parallel table
+// builds, and buffered parallel probes. The sorted match pairs must be
+// identical at every thread count.
+func RunJoinScaling(cfg JoinScalingConfig) (*Table, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 997
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{1, 2, 4, 8}
+	}
+	t := &Table{
+		Title:   "Ablation: intra-worker parallel hash-partition join",
+		Columns: []string{"time", "speedup vs 1 thread", "identical"},
+		Notes: []string{
+			fmt.Sprintf("workers=%d, left=%d right=%d keys=%d; machine has %d CPUs",
+				cfg.Workers, cfg.Left, cfg.Right, cfg.Keys, runtime.NumCPU()),
+			"sorted match pairs must be identical across thread counts",
+		},
+	}
+	return scalingLadder(t, cfg.Threads, func(th int) ([]string, error) {
+		c, err := cluster.New(cluster.Config{Workers: cfg.Workers, Threads: th, PageSize: 1 << 18})
+		if err != nil {
+			return nil, err
+		}
+		reg := c.Catalog.Registry()
+		rec := object.NewStruct("JoinScaleRec").
+			AddField("key", object.KInt64).
+			AddField("payload", object.KInt64).
+			MustBuild(reg)
+		if err := c.CreateDatabase("db"); err != nil {
+			return nil, err
+		}
+		keyField := rec.Field("key")
+		payloadField := rec.Field("payload")
+		load := func(set string, n int) error {
+			if err := c.CreateSet("db", set, "JoinScaleRec"); err != nil {
+				return err
+			}
+			pages, err := object.BuildPages(reg, 1<<18, n, func(a *object.Allocator, i int) (object.Ref, error) {
+				r, err := a.MakeObject(rec)
+				if err != nil {
+					return object.NilRef, err
+				}
+				object.SetI64(r, keyField, int64(i%cfg.Keys))
+				object.SetI64(r, payloadField, int64(i))
+				return r, nil
+			})
+			if err != nil {
+				return err
+			}
+			return c.SendData("db", set, pages)
+		}
+		if err := load("left", cfg.Left); err != nil {
+			return nil, err
+		}
+		if err := load("right", cfg.Right); err != nil {
+			return nil, err
+		}
+		keyFn := func(r object.Ref) uint64 {
+			return object.HashValue(object.Int64Value(object.GetI64(r, keyField)))
+		}
+		eq := func(l, r object.Ref) bool {
+			return object.GetI64(l, keyField) == object.GetI64(r, keyField)
+		}
+		var mu sync.Mutex
+		var rows []string
+		err = c.HashPartitionJoin("db", "left", "db", "right", keyFn, keyFn, eq,
+			func(workerID int, l, r object.Ref) error {
+				pair := fmt.Sprintf("%d|%d",
+					object.GetI64(l, payloadField), object.GetI64(r, payloadField))
+				mu.Lock()
+				rows = append(rows, pair)
+				mu.Unlock()
+				return nil
+			})
+		return rows, err
+	})
 }

@@ -9,6 +9,43 @@
 // spaces; the transport copies page bytes between them and counts traffic,
 // so every algorithm (shuffle, broadcast join, two-stage aggregation, crash
 // re-fork) executes the real code path with only the wire simulated.
+//
+// # Stage lifecycle
+//
+// Execute compiles a computation graph to TCAP (internal/core), optimizes
+// it (internal/optimizer), plans job stages (internal/physical), and runs
+// each stage on every worker in parallel (runStage), retrying a worker's
+// share once when its backend crashes. Per-worker stage execution goes
+// through the engine's shared parallel driver
+// (engine.RunPipelineThreads): the worker's source batches are split into
+// Config.Threads contiguous chunks, each driven by a dedicated executor
+// thread with a private pipeline, context, output page set, and sink.
+// Worker artifacts (materialized pages, pre-aggregated maps, join tables)
+// are committed only after the all-workers barrier, so no goroutine writes
+// a map a peer is reading for its shuffle.
+//
+// # Sink-merge protocol
+//
+// Per-thread results combine after each stage barrier, always in thread
+// order (source order, because chunks are contiguous):
+//
+//   - Output/materialize: per-thread pages are concatenated.
+//   - Pre-aggregation (producing stage): sibling threads' map pages fold
+//     into thread 0's sink with the aggregation's combine function; the
+//     absorbed pages are recycled through the buffer pool.
+//   - Aggregation consume: each worker merges its hash partition across
+//     Config.Threads hash-range sub-partitions
+//     (engine.MergeAggMapsParallel) and finalizes the disjoint sub-maps
+//     concurrently, concatenating output pages in sub-partition order.
+//   - Join build: per-thread hash tables merge bucket-wise, preserving
+//     sequential per-bucket row order; this applies to broadcast-join
+//     build stages, HashPartitionJoin's building stages, and
+//     CoPartitionedJoin's local builds.
+//   - Join probe (HashPartitionJoin/CoPartitionedJoin): probe threads
+//     buffer matches and the worker emits them after the barrier in
+//     thread order, so a worker's emit calls stay serialized in the
+//     sequential match order (workers still emit in parallel with each
+//     other, as they always did).
 package cluster
 
 import (

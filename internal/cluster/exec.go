@@ -182,10 +182,11 @@ func (c *Cluster) newStageSink(res *core.CompileResult, stage *physical.JobStage
 }
 
 // runPipelineOnWorker executes a pipeline stage on one worker across
-// Config.Threads executor threads: the worker's source batches are split
-// into contiguous chunks, each driven through a private Pipeline/Ctx/sink
-// (per-thread output pages, per-thread stats — nothing shared on the hot
-// path), and the per-thread results are combined after the barrier:
+// Config.Threads executor threads via the engine's shared stage driver: the
+// worker's source batches are split into contiguous chunks, each driven
+// through a private Pipeline/Ctx/sink (per-thread output pages, per-thread
+// stats — nothing shared on the hot path), and the per-thread results are
+// combined after the barrier:
 //
 //   - OUTPUT / materialize sinks: per-thread pages are concatenated in
 //     thread order, which is source order because chunks are contiguous.
@@ -229,7 +230,6 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 		// pages, an empty join table) is honored.
 		chunks = [][]engine.PageRange{nil}
 	}
-	nt := len(chunks)
 
 	sinkStmt := stage.SinkStmt
 	if stage.Sink == physical.SinkMaterialize {
@@ -246,86 +246,40 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 		}
 	}
 
-	sinks := make([]engine.Sink, nt)
-	ctxs := make([]*engine.Ctx, nt)
-	pipes := make([]*engine.Pipeline, nt)
-	tstats := make([]engine.Stats, nt)
-	for t := 0; t < nt; t++ {
-		sink, err := c.newStageSink(res, stage, w, &tstats[t])
-		if err != nil {
-			return nil, err
-		}
-		ctx := &engine.Ctx{Reg: w.Reg(), Tables: w.artTables, Stats: &tstats[t]}
-		switch s := sink.(type) {
-		case *engine.OutputSink:
-			ctx.Out = s.Out
-		case *engine.AggSink:
-			ctx.Out = s.Out
-		default:
-			// Join-build pipelines still need per-thread output
-			// pages for intermediate allocations by native kernels.
-			ops, err := engine.NewOutputPageSet(w.Reg(), c.Cfg.PageSize, object.PolicyLightweightReuse, nil, c.pool, &tstats[t])
+	pt, err := engine.RunPipelineThreads(chunks, stage.SourceCol, stage.Stmts, res.Stages, sinkStmt,
+		func(t int, stats *engine.Stats) (engine.Sink, *engine.Ctx, error) {
+			sink, err := c.newStageSink(res, stage, w, stats)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			ctx.Out = ops
-		}
-		sinks[t] = sink
-		ctxs[t] = ctx
-		pipes[t] = &engine.Pipeline{Stmts: stage.Stmts, Reg: res.Stages, Sink: sink, SinkStmt: sinkStmt}
-	}
-
-	err = engine.ParallelScanRanges(chunks, stage.SourceCol, func(t int, vl *engine.VectorList) error {
-		return pipes[t].RunBatch(ctxs[t], vl)
-	})
+			ctx, err := engine.NewSinkCtx(sink, w.Reg(), w.artTables, c.Cfg.PageSize, c.pool, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sink, ctx, nil
+		})
 	// Fold per-thread counters into the backend even on error, matching
 	// the sequential path's incremental accounting.
-	for t := range tstats {
-		backend.Stats.Merge(&tstats[t])
-	}
+	pt.MergeStatsInto(&backend.Stats)
 	if err != nil {
 		return nil, err
 	}
 
 	switch stage.Sink {
 	case physical.SinkOutput, physical.SinkMaterialize:
-		var out []*object.Page
-		for _, s := range sinks {
-			out = append(out, s.Pages()...)
-		}
+		out := pt.OutputPages()
 		if stage.Sink == physical.SinkOutput {
 			return &workerArtifacts{pages: out, outputDb: stage.SinkStmt.Db, outputSet: stage.SinkStmt.Set}, nil
 		}
 		return &workerArtifacts{pages: out, pagesKey: stage.Produces}, nil
 	case physical.SinkPreAgg:
-		primary := sinks[0].(*engine.AggSink)
-		for t := 1; t < nt; t++ {
-			absorbed := sinks[t].Pages()
-			if err := primary.AbsorbPages(absorbed); err != nil {
-				return nil, err
-			}
-			for _, p := range absorbed {
-				c.pool.Put(p)
-			}
+		pages, err := pt.MergeAggSinks(c.pool)
+		if err != nil {
+			return nil, err
 		}
-		return &workerArtifacts{pages: primary.Pages(), pagesKey: stage.Produces}, nil
+		return &workerArtifacts{pages: pages, pagesKey: stage.Produces}, nil
 	case physical.SinkJoinBuild:
-		table := sinks[0].(*engine.JoinBuildSink).Table
-		for t := 1; t < nt; t++ {
-			table.Merge(sinks[t].(*engine.JoinBuildSink).Table)
-		}
-		// Recycle each thread's scratch output pages unless the table
-		// references them (a fused upstream projection may have
-		// allocated the build objects there); unreferenced scratch
-		// holds only dead kernel intermediates.
-		for t := 0; t < nt; t++ {
-			js := sinks[t].(*engine.JoinBuildSink)
-			for _, p := range append(append([]*object.Page(nil), ctxs[t].Out.Sealed...), ctxs[t].Out.Live) {
-				if p != nil && !js.References(p) {
-					c.pool.Put(p)
-				}
-			}
-		}
+		table := pt.MergeJoinTables(c.pool)
 		return &workerArtifacts{table: table, tableKey: stage.SinkStmt.Applied2.Name}, nil
 	}
 	return nil, nil
@@ -335,8 +289,11 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 // (paper Appendix D.2, Figure 5): worker w is responsible for hash
 // partition w. Pre-aggregated map pages are shuffled from every producer;
 // the shuffle ships raw pages — maps, keys and values included — with zero
-// serialization. The merged partition is finalized into output objects
-// stored as this worker's share of the result.
+// serialization. The merge and finalization both run across Config.Threads
+// executor threads: the partition's key space is split into hash-range
+// sub-partitions, each merged into a disjoint sub-map and materialized into
+// output pages in sub-partition order (deterministic for a given thread
+// count), stored as this worker's share of the result.
 func (c *Cluster) runAggregationOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker) (*workerArtifacts, error) {
 	spec := res.AggSpecs[stage.AggList]
 	if spec == nil {
@@ -355,15 +312,18 @@ func (c *Cluster) runAggregationOnWorker(res *core.CompileResult, stage *physica
 		}
 		pages = append(pages, shipped...)
 	}
-	final, mergePage, err := engine.MergeAggMaps(w.Reg(), pages, w.ID, len(c.Workers), spec, c.Cfg.PageSize, c.pool)
+	finals, mergePages, err := engine.MergeAggMapsParallel(w.Reg(), pages, w.ID, len(c.Workers),
+		spec, c.Cfg.PageSize, c.pool, c.Cfg.Threads)
 	if err != nil {
 		return nil, err
 	}
-	out, err := engine.FinalizeAgg(w.Reg(), final, spec, c.Cfg.PageSize, c.pool, &w.Front.backend.Stats)
+	out, err := engine.FinalizeAggParallel(w.Reg(), finals, spec, c.Cfg.PageSize, c.pool, &w.Front.backend.Stats)
 	if err != nil {
 		return nil, err
 	}
-	// The merge page's contents were finalized into out; recycle it.
-	c.pool.Put(mergePage)
+	// The merge pages' contents were finalized into out; recycle them.
+	for _, pg := range mergePages {
+		c.pool.Put(pg)
+	}
 	return &workerArtifacts{pages: out, pagesKey: stage.Produces}, nil
 }

@@ -18,15 +18,36 @@ import (
 //  2. n−1 hash-table-building stages over the shuffled build side.
 //  3. one probe stage streaming the shuffled probe side through the tables.
 //
+// Every phase runs across Config.Threads executor threads per worker, with
+// the standard contiguous-chunk split and thread-ordered merge:
+//
+//   - Repartition: each thread scans its chunk into a private
+//     RepartitionSink; each partition's pages are concatenated in thread
+//     order before shuffling, so partition contents arrive in source order.
+//   - Build: each thread builds a private hash table over its chunk of the
+//     shuffled build side; tables are merged bucket-wise in thread order,
+//     so per-bucket row order matches a sequential build.
+//   - Probe: each thread probes the shared read-only table over its chunk,
+//     buffering matching pairs; pairs are emitted after the barrier in
+//     thread order, so each worker emits its matches in exactly the
+//     sequential order.
+//
 // keyL/keyR extract the join key hash from an object (the compiled key
 // lambdas); emit is invoked on each matching pair, running on the owning
-// worker. Matches are verified with eq (hash collisions are not matches).
+// worker's goroutine. Matches are verified with eq (hash collisions are not
+// matches). keyL, keyR, and eq are called concurrently across workers and
+// executor threads and must be safe for concurrent use (pure functions of
+// their arguments). A worker never calls emit from two executor threads at
+// once, but different workers probe — and emit — in parallel, exactly as
+// the sequential join did: an emit touching state shared across workers
+// must synchronize it.
 func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 	keyL, keyR func(object.Ref) uint64,
 	eq func(l, r object.Ref) bool,
 	emit func(workerID int, l, r object.Ref) error) error {
 
 	nw := len(c.Workers)
+	threads := c.Cfg.Threads
 
 	// Stages 1..n: repartition each input on every worker and shuffle.
 	repart := func(db, set string, key func(object.Ref) uint64) ([][]*object.Page, error) {
@@ -39,35 +60,47 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 			wg.Add(1)
 			go func(i int, w *Worker) {
 				defer wg.Done()
-				errs[i] = w.Front.Backend().Run(func() error {
+				backend := w.Front.Backend()
+				errs[i] = backend.Run(func() error {
 					pages, err := w.Front.Store.Pages(db, set)
 					if err != nil {
 						return nil // no local pages
 					}
-					sink, err := engine.NewRepartitionSink(w.Reg(), c.Cfg.PageSize, nw, "h", "obj", c.pool, &w.Front.backend.Stats)
-					if err != nil {
-						return err
+					chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
+					sinks := make([]*engine.RepartitionSink, len(chunks))
+					tstats := make([]engine.Stats, len(chunks))
+					for t := range chunks {
+						sinks[t], err = engine.NewRepartitionSink(w.Reg(), c.Cfg.PageSize, nw, "h", "obj", c.pool, &tstats[t])
+						if err != nil {
+							return err
+						}
 					}
-					err = engine.ScanPages(pages, "obj", engine.BatchSize, func(vl *engine.VectorList) error {
+					err = engine.ParallelScanRanges(chunks, "obj", func(t int, vl *engine.VectorList) error {
 						rc := vl.Col("obj").(engine.RefCol)
 						hashes := make(engine.U64Col, len(rc))
 						for j, r := range rc {
 							hashes[j] = key(r)
 						}
 						vl.Append("h", hashes)
-						return sink.Consume(nil, vl, nil)
+						return sinks[t].Consume(nil, vl, nil)
 					})
+					for t := range tstats {
+						backend.Stats.Merge(&tstats[t])
+					}
 					if err != nil {
 						return err
 					}
-					// Shuffle each partition to its destination worker.
+					// Shuffle each partition to its destination worker,
+					// concatenating the threads' shares in thread order.
 					for p := 0; p < nw; p++ {
+						var local []*object.Page
+						for t := range sinks {
+							local = append(local, sinks[t].PartitionPages(p)...)
+						}
 						dst := c.Workers[p]
-						var shipped []*object.Page
-						if dst == w {
-							shipped = sink.PartitionPages(p)
-						} else {
-							shipped, err = c.Transport.ShipAll(sink.PartitionPages(p), dst.Reg())
+						shipped := local
+						if dst != w {
+							shipped, err = c.Transport.ShipAll(local, dst.Reg())
 							if err != nil {
 								return err
 							}
@@ -107,34 +140,13 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 		go func(i int, w *Worker) {
 			defer wg.Done()
 			errs[i] = w.Front.Backend().Run(func() error {
-				table := engine.NewJoinTable()
-				for _, p := range rightParts[i] {
-					if p.Root() == 0 {
-						continue
-					}
-					root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
-					for j := 0; j < root.Len(); j++ {
-						r := root.HandleAt(j)
-						table.Add(keyR(r), r)
-					}
+				table, err := parallelBuildTable(rightParts[i], keyR, threads)
+				if err != nil {
+					return err
 				}
-				for _, p := range leftParts[i] {
-					if p.Root() == 0 {
-						continue
-					}
-					root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
-					for j := 0; j < root.Len(); j++ {
-						l := root.HandleAt(j)
-						for _, r := range table.M[keyL(l)] {
-							if eq(l, r) {
-								if err := emit(i, l, r); err != nil {
-									return err
-								}
-							}
-						}
-					}
-				}
-				return nil
+				return parallelProbe(leftParts[i], table, keyL, eq, threads, func(l, r object.Ref) error {
+					return emit(i, l, r)
+				})
 			})
 		}(i, w)
 	}
@@ -142,6 +154,98 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// parallelBuildTable builds the probe hash table over the shuffled build
+// side across threads executor threads: each thread inserts a contiguous
+// chunk of rows into a private table, and tables merge bucket-wise in
+// thread order after the barrier, so per-bucket row order matches a
+// sequential build over the whole input.
+func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threads int) (*engine.JoinTable, error) {
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
+	tables := make([]*engine.JoinTable, len(chunks))
+	err := engine.ParallelFor(len(chunks), func(t int) error {
+		tbl := engine.NewJoinTable()
+		for _, rng := range chunks[t] {
+			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
+			for j := rng.Start; j < rng.End; j++ {
+				r := root.HandleAt(j)
+				tbl.Add(key(r), r)
+			}
+		}
+		tables[t] = tbl
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := engine.NewJoinTable()
+	for _, tbl := range tables {
+		if tbl != nil {
+			table.Merge(tbl)
+		}
+	}
+	return table, nil
+}
+
+// parallelProbe streams the shuffled probe side through the read-only build
+// table across threads executor threads. Each thread buffers its chunk's
+// matching pairs; after the barrier the pairs are emitted in thread order —
+// exactly the order a sequential probe would produce — on the calling
+// goroutine, so one worker never invokes emit from two threads at once.
+// The buffering costs O(this worker's matches); a single chunk (Threads=1,
+// or fewer batches than threads) streams each match straight to emit with
+// no buffer, like the sequential path always did.
+func parallelProbe(pages []*object.Page, table *engine.JoinTable,
+	key func(object.Ref) uint64, eq func(l, r object.Ref) bool,
+	threads int, emit func(l, r object.Ref) error) error {
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
+	if len(chunks) <= 1 {
+		for _, chunk := range chunks {
+			for _, rng := range chunk {
+				root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
+				for j := rng.Start; j < rng.End; j++ {
+					l := root.HandleAt(j)
+					for _, r := range table.M[key(l)] {
+						if eq(l, r) {
+							if err := emit(l, r); err != nil {
+								return err
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+	matches := make([][][2]object.Ref, len(chunks))
+	err := engine.ParallelFor(len(chunks), func(t int) error {
+		var out [][2]object.Ref
+		for _, rng := range chunks[t] {
+			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
+			for j := rng.Start; j < rng.End; j++ {
+				l := root.HandleAt(j)
+				for _, r := range table.M[key(l)] {
+					if eq(l, r) {
+						out = append(out, [2]object.Ref{l, r})
+					}
+				}
+			}
+		}
+		matches[t] = out
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, ms := range matches {
+		for _, m := range ms {
+			if err := emit(m[0], m[1]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/engine"
 	"repro/internal/object"
 )
 
@@ -105,7 +104,9 @@ func (c *Cluster) SendDataPartitioned(db, set string, pages []*object.Page,
 // CoPartitionedJoin joins two sets that were loaded with
 // SendDataPartitioned under the same key label: no repartition stages, no
 // shuffle — each worker builds a table from its local right-side objects
-// and probes with its local left-side objects.
+// and probes with its local left-side objects. Build and probe run across
+// Config.Threads executor threads with the same thread-ordered merge and
+// buffered emit as HashPartitionJoin, so match order is deterministic.
 func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 	keyL, keyR func(object.Ref) uint64,
 	eq func(l, r object.Ref) bool,
@@ -131,40 +132,21 @@ func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 		go func(i int, w *Worker) {
 			defer wg.Done()
 			errs[i] = w.Front.Backend().Run(func() error {
-				table := engine.NewJoinTable()
+				var rightPages []*object.Page
 				if pages, err := w.Front.Store.Pages(dbR, setR); err == nil {
-					for _, p := range pages {
-						if p.Root() == 0 {
-							continue
-						}
-						root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
-						for j := 0; j < root.Len(); j++ {
-							r := root.HandleAt(j)
-							table.Add(keyR(r), r)
-						}
-					}
+					rightPages = pages
+				}
+				table, err := parallelBuildTable(rightPages, keyR, c.Cfg.Threads)
+				if err != nil {
+					return err
 				}
 				pages, err := w.Front.Store.Pages(dbL, setL)
 				if err != nil {
 					return nil
 				}
-				for _, p := range pages {
-					if p.Root() == 0 {
-						continue
-					}
-					root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
-					for j := 0; j < root.Len(); j++ {
-						l := root.HandleAt(j)
-						for _, r := range table.M[keyL(l)] {
-							if eq(l, r) {
-								if err := emit(i, l, r); err != nil {
-									return err
-								}
-							}
-						}
-					}
-				}
-				return nil
+				return parallelProbe(pages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
+					return emit(i, l, r)
+				})
 			})
 		}(i, w)
 	}

@@ -21,16 +21,24 @@ type SetStore interface {
 }
 
 // Executor runs a compiled query graph's physical plan on a single process
-// — the building block the distributed scheduler replicates per worker.
+// — the building block the distributed scheduler replicates per worker. It
+// drives stages through the same engine.RunPipelineThreads /
+// MergeAggMapsParallel machinery the cluster uses, so local ablations and
+// tests exercise the identical code path at any Threads setting.
 type Executor struct {
 	Store      SetStore
 	Reg        *object.Registry
 	PageSize   int
 	Partitions int
-	Stats      engine.Stats
+	// Threads is the executor-thread budget per stage (the single-process
+	// analogue of cluster Config.Threads). Zero or one runs sequentially.
+	Threads int
+	Stats   engine.Stats
 }
 
-// NewExecutor creates an executor with the given storage and type registry.
+// NewExecutor creates an executor with the given storage and type registry,
+// running stages sequentially (Threads 1); set Threads for intra-stage
+// parallelism.
 func NewExecutor(store SetStore, reg *object.Registry, pageSize, partitions int) *Executor {
 	if pageSize <= 0 {
 		pageSize = 1 << 18
@@ -39,6 +47,14 @@ func NewExecutor(store SetStore, reg *object.Registry, pageSize, partitions int)
 		partitions = 4
 	}
 	return &Executor{Store: store, Reg: reg, PageSize: pageSize, Partitions: partitions}
+}
+
+// threads normalizes the configured thread budget.
+func (e *Executor) threads() int {
+	if e.Threads < 1 {
+		return 1
+	}
+	return e.Threads
 }
 
 // Run compiles nothing — it executes an already compiled and planned query.
@@ -79,51 +95,30 @@ func (e *Executor) sourcePages(stage *physical.JobStage, arts *artifacts) ([]*ob
 	return pages, nil
 }
 
+// newStageSink builds one executor thread's private sink for a pipeline
+// stage, charging page counters to the thread's stats.
+func (e *Executor) newStageSink(res *CompileResult, stage *physical.JobStage, stats *engine.Stats) (engine.Sink, error) {
+	switch stage.Sink {
+	case physical.SinkOutput, physical.SinkMaterialize:
+		return engine.NewOutputSink(e.Reg, e.PageSize, nil, stats)
+	case physical.SinkPreAgg:
+		spec := res.AggSpecs[stage.SinkStmt.Out.Name]
+		if spec == nil {
+			return nil, fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
+		}
+		return engine.NewAggSink(e.Reg, e.PageSize, e.Partitions, spec.KeyKind, spec.ValKind,
+			spec.Combine, stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], nil, stats)
+	case physical.SinkJoinBuild:
+		return engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0]), nil
+	default:
+		return nil, fmt.Errorf("unknown sink kind %v", stage.Sink)
+	}
+}
+
 func (e *Executor) runPipelineStage(res *CompileResult, stage *physical.JobStage, arts *artifacts) error {
 	pages, err := e.sourcePages(stage, arts)
 	if err != nil {
 		return err
-	}
-
-	var sink engine.Sink
-	switch stage.Sink {
-	case physical.SinkOutput, physical.SinkMaterialize:
-		s, err := engine.NewOutputSink(e.Reg, e.PageSize, nil, &e.Stats)
-		if err != nil {
-			return err
-		}
-		sink = s
-	case physical.SinkPreAgg:
-		spec := res.AggSpecs[stage.SinkStmt.Out.Name]
-		if spec == nil {
-			return fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
-		}
-		s, err := engine.NewAggSink(e.Reg, e.PageSize, e.Partitions, spec.KeyKind, spec.ValKind,
-			spec.Combine, stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], nil, &e.Stats)
-		if err != nil {
-			return err
-		}
-		sink = s
-	case physical.SinkJoinBuild:
-		sink = engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0])
-	default:
-		return fmt.Errorf("unknown sink kind %v", stage.Sink)
-	}
-
-	ctx := &engine.Ctx{Reg: e.Reg, Tables: arts.tables, Stats: &e.Stats}
-	switch s := sink.(type) {
-	case *engine.OutputSink:
-		ctx.Out = s.Out
-	case *engine.AggSink:
-		ctx.Out = s.Out
-	default:
-		// Join-build pipelines still need an output page for any
-		// intermediate allocations made by native kernels.
-		ops, err := engine.NewOutputPageSet(e.Reg, e.PageSize, object.PolicyLightweightReuse, nil, nil, &e.Stats)
-		if err != nil {
-			return err
-		}
-		ctx.Out = ops
 	}
 
 	// The sink-side stmt for OUTPUT consumes Applied columns; synthesize
@@ -141,27 +136,48 @@ func (e *Executor) runPipelineStage(res *CompileResult, stage *physical.JobStage
 		}
 	}
 
-	pipe := &engine.Pipeline{Stmts: stage.Stmts, Reg: res.Stages, Sink: sink, SinkStmt: sinkStmt}
-	err = engine.ScanPages(pages, stage.SourceCol, engine.BatchSize, func(vl *engine.VectorList) error {
-		return pipe.RunBatch(ctx, vl)
-	})
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), e.threads())
+	if len(chunks) == 0 {
+		// No input: a single empty chunk still builds the sink, so the
+		// stage's artifact contract (possibly empty pages, an empty join
+		// table) is honored.
+		chunks = [][]engine.PageRange{nil}
+	}
+
+	pt, err := engine.RunPipelineThreads(chunks, stage.SourceCol, stage.Stmts, res.Stages, sinkStmt,
+		func(t int, stats *engine.Stats) (engine.Sink, *engine.Ctx, error) {
+			sink, err := e.newStageSink(res, stage, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			ctx, err := engine.NewSinkCtx(sink, e.Reg, arts.tables, e.PageSize, nil, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sink, ctx, nil
+		})
+	pt.MergeStatsInto(&e.Stats)
 	if err != nil {
 		return err
 	}
 
 	switch stage.Sink {
 	case physical.SinkOutput:
-		outPages := sink.Pages()
+		outPages := pt.OutputPages()
 		for _, p := range outPages {
 			p.SetManaged(false)
 		}
 		return e.Store.Append(stage.SinkStmt.Db, stage.SinkStmt.Set, outPages)
 	case physical.SinkMaterialize:
-		arts.pages[stage.Produces] = sink.Pages()
+		arts.pages[stage.Produces] = pt.OutputPages()
 	case physical.SinkPreAgg:
-		arts.pages[stage.Produces] = sink.Pages()
+		merged, err := pt.MergeAggSinks(nil)
+		if err != nil {
+			return err
+		}
+		arts.pages[stage.Produces] = merged
 	case physical.SinkJoinBuild:
-		arts.tables[stage.SinkStmt.Applied2.Name] = sink.(*engine.JoinBuildSink).Table
+		arts.tables[stage.SinkStmt.Applied2.Name] = pt.MergeJoinTables(nil)
 	}
 	return nil
 }
@@ -195,11 +211,12 @@ func (e *Executor) runAggregationStage(res *CompileResult, stage *physical.JobSt
 	}
 	var outPages []*object.Page
 	for part := 0; part < e.Partitions; part++ {
-		final, _, err := engine.MergeAggMaps(e.Reg, mapPages, part, e.Partitions, spec, e.PageSize, nil)
+		finals, _, err := engine.MergeAggMapsParallel(e.Reg, mapPages, part, e.Partitions,
+			spec, e.PageSize, nil, e.threads())
 		if err != nil {
 			return err
 		}
-		pages, err := engine.FinalizeAgg(e.Reg, final, spec, e.PageSize, nil, &e.Stats)
+		pages, err := engine.FinalizeAggParallel(e.Reg, finals, spec, e.PageSize, nil, &e.Stats)
 		if err != nil {
 			return err
 		}

@@ -50,8 +50,79 @@ func MergeAggMaps(reg *object.Registry, pages []*object.Page, part, partitions i
 	}
 }
 
+// LogicalKeyHash hashes an aggregation key the way OMap does — handle keys
+// dispatch through the registered type's Hash — so a logical key is
+// assigned consistently regardless of which page its bytes live on (the
+// physical offset changes whenever a key is deep-copied, e.g. between
+// thread sinks during AbsorbPages or across workers in the shuffle). Every
+// layer that routes keys to a partition or a thread must use this hash.
+func LogicalKeyHash(reg *object.Registry, keyKind object.Kind, key object.Value) uint64 {
+	if keyKind == object.KHandle && key.K == object.KHandle && !key.H.IsNil() {
+		if ti := reg.Lookup(key.H.TypeCode()); ti != nil && ti.Hash != nil {
+			return ti.Hash(key.H)
+		}
+	}
+	return object.HashValue(key)
+}
+
+// MergeAggMapsParallel is MergeAggMaps across threads executor threads:
+// partition part's key space is split into threads sub-partitions keyed on
+// (LogicalKeyHash / partitions) % threads — decorrelated from the
+// hash%partitions routing that assigned keys to this partition — and
+// thread t folds only sub-partition t's keys, building a disjoint sub-map
+// on its own page.
+// Each thread re-scans every source map page but pays Combine and map
+// maintenance only for its own keys, so the merge work — not the cheap key
+// hashing — is what parallelizes. Sub-maps and their pages are returned in
+// sub-partition order; FinalizeAggParallel materializes them in that order
+// so the output page sequence is deterministic in the thread count's
+// sub-partitioning.
+//
+// With threads <= 1 this is exactly MergeAggMaps (one sub-map, no
+// goroutines, no key filter).
+func MergeAggMapsParallel(reg *object.Registry, pages []*object.Page, part, partitions int,
+	spec *AggSpec, pageSize int, pool *object.PagePool, threads int) ([]object.OMap, []*object.Page, error) {
+	if threads <= 1 {
+		m, pg, err := MergeAggMaps(reg, pages, part, partitions, spec, pageSize, pool)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []object.OMap{m}, []*object.Page{pg}, nil
+	}
+	maps := make([]object.OMap, threads)
+	mergePages := make([]*object.Page, threads)
+	err := ParallelFor(threads, func(t int) error {
+		size := pageSize
+		for {
+			m, pg, err := tryMergeSub(reg, pages, part, partitions, spec, size, pool, t, threads)
+			if err == nil {
+				maps[t], mergePages[t] = m, pg
+				return nil
+			}
+			if !errors.Is(err, object.ErrPageFull) {
+				return err
+			}
+			size *= 2
+			if size > 1<<30 {
+				return fmt.Errorf("engine: aggregation sub-partition exceeds 1GiB: %w", err)
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return maps, mergePages, nil
+}
+
 func tryMerge(reg *object.Registry, pages []*object.Page, part, partitions int,
 	spec *AggSpec, pageSize int, pool *object.PagePool) (object.OMap, *object.Page, error) {
+	return tryMergeSub(reg, pages, part, partitions, spec, pageSize, pool, 0, 1)
+}
+
+// tryMergeSub merges partition part's entries whose logical key hash falls
+// in sub-partition sub of subs (subs == 1 disables the filter).
+func tryMergeSub(reg *object.Registry, pages []*object.Page, part, partitions int,
+	spec *AggSpec, pageSize int, pool *object.PagePool, sub, subs int) (object.OMap, *object.Page, error) {
 	var pg *object.Page
 	if pool != nil && pool.Size == pageSize {
 		pg = pool.Get(reg)
@@ -77,6 +148,15 @@ func tryMerge(reg *object.Registry, pages []*object.Page, part, partitions int,
 		m := object.AsMap(root.HandleAt(part))
 		var mergeErr error
 		m.Iterate(func(key, val object.Value) bool {
+			// Sub-partition on hash DIVIDED by the partition count:
+			// every key in partition part satisfies hash%partitions ==
+			// part, so taking hash%subs again would correlate with the
+			// partition routing (all keys in one sub whenever subs
+			// divides partitions); the quotient varies freely within a
+			// partition.
+			if subs > 1 && int((LogicalKeyHash(reg, spec.KeyKind, key)/uint64(partitions))%uint64(subs)) != sub {
+				return true
+			}
 			cur, ok := final.Get(key)
 			if ok && cur.K == object.KInvalid {
 				ok = false
@@ -128,4 +208,40 @@ func FinalizeAgg(reg *object.Registry, final object.OMap, spec *AggSpec, pageSiz
 		return nil, ferr
 	}
 	return sink.Pages(), nil
+}
+
+// FinalizeAggParallel materializes the hash-range sub-maps produced by
+// MergeAggMapsParallel, one executor thread per sub-map, each writing
+// through its own OutputSink with its own Stats. Output pages are
+// concatenated in sub-partition order, so the page sequence (and the row
+// order within each sub-map's pages) is deterministic for a given thread
+// count. Per-thread counters are folded into stats after the barrier.
+func FinalizeAggParallel(reg *object.Registry, finals []object.OMap, spec *AggSpec,
+	pageSize int, pool *object.PagePool, stats *Stats) ([]*object.Page, error) {
+	if len(finals) == 1 {
+		return FinalizeAgg(reg, finals[0], spec, pageSize, pool, stats)
+	}
+	perThread := make([][]*object.Page, len(finals))
+	tstats := make([]Stats, len(finals))
+	err := ParallelFor(len(finals), func(t int) error {
+		pages, err := FinalizeAgg(reg, finals[t], spec, pageSize, pool, &tstats[t])
+		if err != nil {
+			return err
+		}
+		perThread[t] = pages
+		return nil
+	})
+	if stats != nil {
+		for t := range tstats {
+			stats.Merge(&tstats[t])
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []*object.Page
+	for _, pages := range perThread {
+		out = append(out, pages...)
+	}
+	return out, nil
 }

@@ -1,10 +1,3 @@
-// Package engine implements PC's vectorized execution engine (paper §5,
-// Appendix C). TCAP statements are executed as pipelines of fully-compiled
-// stages; each stage consumes a *vector list* (named columns) and produces a
-// new vector list, amortizing any dispatch over a whole vector of objects.
-// Pipelines end in sinks — output sets, pre-aggregation maps, or join hash
-// tables — whose data structures are PC objects allocated in place on output
-// pages, so they ship with zero serialization cost.
 package engine
 
 import (

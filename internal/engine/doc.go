@@ -1,0 +1,74 @@
+// Package engine implements PC's vectorized execution engine (paper §5,
+// Appendix C). TCAP statements are executed as pipelines of fully-compiled
+// stages; each stage consumes a *vector list* (named columns) and produces
+// a new vector list, amortizing any dispatch over a whole vector of
+// objects. Pipelines end in sinks — output sets, pre-aggregation maps, or
+// join hash tables — whose data structures are PC objects allocated in
+// place on output pages, so they ship with zero serialization cost.
+//
+// # Stage lifecycle
+//
+// A job stage (internal/physical.JobStage) runs in four steps, each driven
+// by this package:
+//
+//  1. Scan. The stage's source pages are enumerated as batch-sized
+//     PageRanges (BatchRanges) and streamed as single-column vector lists
+//     (ScanRanges/ScanPages). The handle column is scratch reused across
+//     batches; pipeline stages copy what they keep.
+//  2. Pipeline. Each batch flows through the stage's non-breaking TCAP
+//     statements (APPLY, HASH, FILTER, FLATTEN, JOIN-probe) via
+//     Pipeline.RunBatch. Kernels allocate result objects directly on the
+//     live output page (Ctx.Out); a page-full fault rotates the page and
+//     retries, splitting the batch recursively if even a fresh page cannot
+//     hold it.
+//  3. Sink. The surviving rows of each batch enter the stage's terminal
+//     Sink: OutputSink (result-set root vectors), AggSink (per-partition
+//     pre-aggregation maps), JoinBuildSink (probe hash tables), or
+//     RepartitionSink (per-partition shuffle pages).
+//  4. Merge. When the stage ran on several executor threads, the
+//     per-thread sinks are combined by the sink-merge protocol below.
+//
+// # Intra-worker parallelism and the sink-merge protocol
+//
+// RunPipelineThreads splits a stage's source into contiguous chunks, one
+// executor thread per chunk, each with a private Pipeline, Ctx, output page
+// set, Stats, and sink — nothing shared on the per-row path. After the
+// stage barrier the coordinating goroutine merges per-thread results in
+// thread order, which is source order because chunks are contiguous:
+//
+//   - Output/materialize sinks: pages are concatenated in thread order
+//     (PipelineThreads.OutputPages), so parallel runs materialize objects
+//     in exactly the sequential order.
+//   - Pre-aggregation sinks: sibling threads' map pages are folded into
+//     thread 0's sink with the aggregation's combine function
+//     (AggSink.AbsorbPages via PipelineThreads.MergeAggSinks) — sound
+//     because Combine is associative — and the absorbed pages are
+//     recycled.
+//   - Join-build sinks: per-thread hash tables merge bucket-wise in thread
+//     order (JoinTable.Merge via PipelineThreads.MergeJoinTables), so
+//     per-bucket row order matches a sequential build.
+//
+// The consuming phases parallelize with the same machinery:
+//
+//   - Aggregation consume: MergeAggMapsParallel splits a partition's key
+//     space into hash-range sub-partitions (LogicalKeyHash, so handle keys
+//     route by logical value, not page offset); each thread folds only its
+//     sub-partition's keys into a private sub-map. FinalizeAggParallel then
+//     materializes the sub-maps concurrently and concatenates their pages
+//     in sub-partition order.
+//   - Join build/probe (internal/cluster.HashPartitionJoin): the build
+//     side is chunked into per-thread tables merged bucket-wise; probe
+//     threads buffer their matches, which are emitted after the barrier in
+//     thread order — the sequential match order — so user emit callbacks
+//     never run concurrently.
+//
+// Error and panic discipline: the first failing thread sets a shared abort
+// flag checked once per batch (never per row); panics in user kernels are
+// re-raised on the coordinating goroutine after the barrier so the
+// simulated cluster's crash-proof front end observes them as backend
+// crashes.
+//
+// Both the distributed runtime (internal/cluster) and the single-process
+// executor (internal/core) drive stages exclusively through this package,
+// so local ablations exercise the identical code path as the cluster.
+package engine

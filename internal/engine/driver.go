@@ -1,0 +1,147 @@
+package engine
+
+// The parallel stage driver shared by the distributed runtime
+// (internal/cluster) and the single-process executor (internal/core): both
+// split a pipeline stage's source into contiguous chunks, run one
+// Pipeline/Ctx/sink per chunk on a dedicated executor thread, and combine
+// the per-thread results with the sink-merge protocol implemented by the
+// PipelineThreads helpers below. Keeping the driver here means the local
+// ablations exercise exactly the code path the cluster runs per worker.
+
+import (
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+// PipelineThreads holds the per-thread state of one parallel stage run:
+// thread t drove chunk t through Pipes-like private state into Sinks[t],
+// charging counters to Stats[t]. After the stage barrier the coordinating
+// goroutine merges sinks (OutputPages, MergeAggSinks, MergeJoinTables) and
+// folds Stats into the owning accounting.
+type PipelineThreads struct {
+	Sinks []Sink
+	Ctxs  []*Ctx
+	Stats []Stats
+}
+
+// NewSinkCtx builds one executor thread's execution context around its
+// sink: sinks that own an output page set (OUTPUT, pre-aggregation) expose
+// it as Ctx.Out so kernels allocate result objects in place; other sinks
+// (join build) get a private scratch page set for kernel intermediates.
+// Reg and tables may be shared across threads — the registry is internally
+// locked and join tables are read-only during probes.
+func NewSinkCtx(sink Sink, reg *object.Registry, tables map[string]*JoinTable,
+	pageSize int, pool *object.PagePool, stats *Stats) (*Ctx, error) {
+	ctx := &Ctx{Reg: reg, Tables: tables, Stats: stats}
+	switch s := sink.(type) {
+	case *OutputSink:
+		ctx.Out = s.Out
+	case *AggSink:
+		ctx.Out = s.Out
+	default:
+		ops, err := NewOutputPageSet(reg, pageSize, object.PolicyLightweightReuse, nil, pool, stats)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Out = ops
+	}
+	return ctx, nil
+}
+
+// RunPipelineThreads executes a pipeline stage across one executor thread
+// per chunk: mk builds thread t's private sink and ctx (charging to the
+// returned *Stats), each thread drives its chunk through its own Pipeline,
+// and the call returns after the stage barrier. The per-thread state is
+// returned even when a thread failed, so the caller can still fold Stats
+// into its accounting (matching the sequential path's incremental
+// accounting); the error reports the first failing thread. Panics in user
+// code are re-raised on the caller.
+func RunPipelineThreads(chunks [][]PageRange, sourceCol string, stmts []*tcap.Stmt,
+	reg *StageRegistry, sinkStmt *tcap.Stmt,
+	mk func(t int, stats *Stats) (Sink, *Ctx, error)) (*PipelineThreads, error) {
+	nt := len(chunks)
+	pt := &PipelineThreads{
+		Sinks: make([]Sink, nt),
+		Ctxs:  make([]*Ctx, nt),
+		Stats: make([]Stats, nt),
+	}
+	pipes := make([]*Pipeline, nt)
+	for t := 0; t < nt; t++ {
+		sink, ctx, err := mk(t, &pt.Stats[t])
+		if err != nil {
+			return pt, err
+		}
+		pt.Sinks[t] = sink
+		pt.Ctxs[t] = ctx
+		pipes[t] = &Pipeline{Stmts: stmts, Reg: reg, Sink: sink, SinkStmt: sinkStmt}
+	}
+	err := ParallelScanRanges(chunks, sourceCol, func(t int, vl *VectorList) error {
+		return pipes[t].RunBatch(pt.Ctxs[t], vl)
+	})
+	return pt, err
+}
+
+// MergeStatsInto folds every thread's counters into dst (post-barrier,
+// single goroutine).
+func (pt *PipelineThreads) MergeStatsInto(dst *Stats) {
+	for t := range pt.Stats {
+		dst.Merge(&pt.Stats[t])
+	}
+}
+
+// OutputPages concatenates the per-thread sinks' pages in thread order.
+// Chunks are contiguous, so thread order is source order: a parallel OUTPUT
+// or materialization stage produces objects in exactly the sequence a
+// sequential run would.
+func (pt *PipelineThreads) OutputPages() []*object.Page {
+	var out []*object.Page
+	for _, s := range pt.Sinks {
+		out = append(out, s.Pages()...)
+	}
+	return out
+}
+
+// MergeAggSinks folds threads 1..n-1's pre-aggregated map pages into thread
+// 0's AggSink with the stage's combine function — sound because Combine is
+// associative — recycling the absorbed pages through pool (nil skips
+// recycling). Returns the primary sink's pages.
+func (pt *PipelineThreads) MergeAggSinks(pool *object.PagePool) ([]*object.Page, error) {
+	primary := pt.Sinks[0].(*AggSink)
+	for t := 1; t < len(pt.Sinks); t++ {
+		absorbed := pt.Sinks[t].Pages()
+		if err := primary.AbsorbPages(absorbed); err != nil {
+			return nil, err
+		}
+		if pool != nil {
+			for _, p := range absorbed {
+				pool.Put(p)
+			}
+		}
+	}
+	return primary.Pages(), nil
+}
+
+// MergeJoinTables merges the per-thread build tables bucket-wise in thread
+// order — per-bucket row order matches a sequential build because each
+// thread consumed a contiguous slice of the source — then recycles each
+// thread's scratch output pages through pool unless the table references
+// them (a fused upstream projection may have allocated the build objects
+// there); unreferenced scratch holds only dead kernel intermediates.
+func (pt *PipelineThreads) MergeJoinTables(pool *object.PagePool) *JoinTable {
+	table := pt.Sinks[0].(*JoinBuildSink).Table
+	for t := 1; t < len(pt.Sinks); t++ {
+		table.Merge(pt.Sinks[t].(*JoinBuildSink).Table)
+	}
+	if pool != nil {
+		for t := range pt.Sinks {
+			js := pt.Sinks[t].(*JoinBuildSink)
+			scratch := append(append([]*object.Page(nil), pt.Ctxs[t].Out.Sealed...), pt.Ctxs[t].Out.Live)
+			for _, p := range scratch {
+				if p != nil && !js.References(p) {
+					pool.Put(p)
+				}
+			}
+		}
+	}
+	return table
+}

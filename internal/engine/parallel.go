@@ -1,12 +1,17 @@
 package engine
 
-// Intra-worker parallel pipeline execution (the "runs as fast as the
-// hardware allows" layer): a worker's job-stage input is split into
-// contiguous batch chunks, and each chunk is driven through its own
-// Pipeline/Ctx/sink by a dedicated executor thread. Threads share nothing
-// hot — per-thread output page sets, per-thread stats, per-thread sinks —
-// so the only synchronization is the stage-end barrier, after which the
-// coordinating goroutine concatenates or merges the per-thread results.
+// Intra-worker parallel execution (the "runs as fast as the hardware
+// allows" layer): a worker's job-stage input is split into contiguous batch
+// chunks, and each chunk is driven through its own Pipeline/Ctx/sink by a
+// dedicated executor thread. Threads share nothing hot — per-thread output
+// page sets, per-thread stats, per-thread sinks — so the only
+// synchronization is the stage-end barrier, after which the coordinating
+// goroutine concatenates or merges the per-thread results.
+//
+// The same machinery drives the consuming phases: the aggregation merge
+// (MergeAggMapsParallel), finalization (FinalizeAggParallel), and the
+// hash-partition join's repartition/build/probe loops all run their
+// per-thread bodies through ParallelFor.
 
 import (
 	"errors"
@@ -22,8 +27,69 @@ import (
 type threadPanic struct{ v any }
 
 // errAborted marks a thread that stopped early because a sibling failed; it
-// never escapes ParallelScanRanges.
+// never escapes the parallel drivers.
 var errAborted = errors.New("engine: aborted by sibling thread failure")
+
+// runThreads runs body(t, abort) for t in [0, n) each on its own goroutine
+// and waits for all of them. The shared abort flag is set on the first error
+// or panic so cooperative bodies (those that poll it between batches) stop
+// early. Panics are re-raised on the calling goroutine after the barrier;
+// otherwise the first non-aborted error is returned, tagged with its thread.
+func runThreads(n int, body func(t int, abort *atomic.Bool) error) error {
+	var wg sync.WaitGroup
+	var abort atomic.Bool
+	errs := make([]error, n)
+	panics := make([]*threadPanic, n)
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					abort.Store(true)
+					panics[t] = &threadPanic{v: r}
+				}
+			}()
+			if err := body(t, &abort); err != nil {
+				abort.Store(true)
+				errs[t] = err
+			}
+		}(t)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p.v)
+		}
+	}
+	for t, err := range errs {
+		if err != nil && !errors.Is(err, errAborted) {
+			return fmt.Errorf("executor thread %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// ParallelFor runs fn(t) for every t in [0, n) on dedicated executor
+// threads and waits for all of them. With n <= 1 fn runs inline on the
+// caller (no goroutine, no barrier) so sequential configurations pay
+// nothing. The first panic is re-raised on the caller after the barrier;
+// otherwise the first error is returned. Unlike ParallelScanRanges there is
+// no mid-task abort: each fn is one coarse unit of work.
+func ParallelFor(n int, fn func(t int) error) error {
+	switch {
+	case n <= 0:
+		return nil
+	case n == 1:
+		return fn(0)
+	}
+	return runThreads(n, func(t int, abort *atomic.Bool) error {
+		if abort.Load() {
+			return errAborted
+		}
+		return fn(t)
+	})
+}
 
 // ParallelScanRanges drives fn over each chunk on its own goroutine: fn is
 // invoked as fn(thread, vl) for every batch of chunk `thread`, in order.
@@ -41,42 +107,12 @@ func ParallelScanRanges(chunks [][]PageRange, colName string, fn func(thread int
 	case 1:
 		return ScanRanges(chunks[0], colName, func(vl *VectorList) error { return fn(0, vl) })
 	}
-	var wg sync.WaitGroup
-	var abort atomic.Bool
-	errs := make([]error, len(chunks))
-	panics := make([]*threadPanic, len(chunks))
-	for t := range chunks {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					abort.Store(true)
-					panics[t] = &threadPanic{v: r}
-				}
-			}()
-			errs[t] = ScanRanges(chunks[t], colName, func(vl *VectorList) error {
-				if abort.Load() {
-					return errAborted
-				}
-				if err := fn(t, vl); err != nil {
-					abort.Store(true)
-					return err
-				}
-				return nil
-			})
-		}(t)
-	}
-	wg.Wait()
-	for _, p := range panics {
-		if p != nil {
-			panic(p.v)
-		}
-	}
-	for t, err := range errs {
-		if err != nil && !errors.Is(err, errAborted) {
-			return fmt.Errorf("executor thread %d: %w", t, err)
-		}
-	}
-	return nil
+	return runThreads(len(chunks), func(t int, abort *atomic.Bool) error {
+		return ScanRanges(chunks[t], colName, func(vl *VectorList) error {
+			if abort.Load() {
+				return errAborted
+			}
+			return fn(t, vl)
+		})
+	})
 }

@@ -191,18 +191,11 @@ func (s *AggSink) rotateThreshold() uint32 {
 	return t
 }
 
-// partitionHash hashes a key the way OMap does — handle keys dispatch
-// through the registered type's Hash — so a logical key lands in the same
-// partition regardless of which page its bytes live on (the physical offset
-// changes whenever a key is deep-copied, e.g. between thread sinks during
-// AbsorbPages or across workers in the shuffle).
+// partitionHash routes a key to its consuming partition via LogicalKeyHash,
+// so a logical key lands in the same partition regardless of which page its
+// bytes live on.
 func (s *AggSink) partitionHash(key object.Value) uint64 {
-	if s.KeyKind == object.KHandle && key.K == object.KHandle && !key.H.IsNil() {
-		if ti := s.Out.Reg.Lookup(key.H.TypeCode()); ti != nil && ti.Hash != nil {
-			return ti.Hash(key.H)
-		}
-	}
-	return object.HashValue(key)
+	return LogicalKeyHash(s.Out.Reg, s.KeyKind, key)
 }
 
 func (s *AggSink) updateWithRotate(key, val object.Value) error {

@@ -146,7 +146,15 @@ func (v Vector) PushBack(a *Allocator, val Value) error {
 		return err
 	}
 	v.setLen(n + 1)
-	return v.Set(a, n, val)
+	if err := v.Set(a, n, val); err != nil {
+		// Roll back the length: a handle or string element can fault
+		// mid-write (the deep copy of a cross-page target can fill the
+		// page), and the caller's rotate-and-retry must not leave a
+		// phantom nil element behind on the page being sealed.
+		v.setLen(n)
+		return err
+	}
+	return nil
 }
 
 // PushBackF64 is the float64 fast path.

@@ -1,6 +1,7 @@
 package object
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -165,5 +166,61 @@ func TestQuickVectorMatchesSlice(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestVectorPushBackFaultRollsBackLength drives cross-page handle pushes
+// into a small page until the deep copy faults with ErrPageFull: the failed
+// push must not leave a phantom nil element behind (the length is rolled
+// back), because rotate-and-retry callers seal the faulted page and readers
+// iterate its root vector assuming every element resolves.
+func TestVectorPushBackFaultRollsBackLength(t *testing.T) {
+	reg := NewRegistry()
+	ti := NewStruct("Blob").
+		AddField("a", KInt64).
+		AddField("b", KInt64).
+		AddField("c", KInt64).
+		MustBuild(reg)
+
+	src := NewPage(1<<16, reg)
+	sa := NewAllocator(src, PolicyLightweightReuse)
+	obj, err := sa.MakeObject(ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetI64(obj, ti.Field("a"), 7)
+
+	dst := NewPage(1<<12, reg)
+	da := NewAllocator(dst, PolicyLightweightReuse)
+	v, err := MakeVector(da, KHandle, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := 0
+	for {
+		err := v.PushBackHandle(da, obj) // deep-copies cross-page
+		if err == nil {
+			pushed++
+			continue
+		}
+		if !errors.Is(err, ErrPageFull) {
+			t.Fatalf("push %d: %v", pushed, err)
+		}
+		break
+	}
+	if pushed == 0 {
+		t.Fatal("page full before any push; grow the destination page")
+	}
+	if v.Len() != pushed {
+		t.Fatalf("Len = %d after %d successful pushes (failed push left a phantom element)", v.Len(), pushed)
+	}
+	for i := 0; i < v.Len(); i++ {
+		o := v.HandleAt(i)
+		if o.IsNil() {
+			t.Fatalf("elem %d is nil", i)
+		}
+		if got := GetI64(o, ti.Field("a")); got != 7 {
+			t.Fatalf("elem %d a = %d, want 7", i, got)
+		}
 	}
 }

@@ -51,18 +51,43 @@ func ConstStr(s string) Term { return lambda.ConstStr(s) }
 
 // Higher-order composition functions.
 
-func Eq(l, r Term) Term  { return lambda.Eq(l, r) }
-func Ne(l, r Term) Term  { return lambda.Ne(l, r) }
-func Gt(l, r Term) Term  { return lambda.Gt(l, r) }
-func Ge(l, r Term) Term  { return lambda.Ge(l, r) }
-func Lt(l, r Term) Term  { return lambda.Lt(l, r) }
-func Le(l, r Term) Term  { return lambda.Le(l, r) }
+// Eq composes an equality comparison term.
+func Eq(l, r Term) Term { return lambda.Eq(l, r) }
+
+// Ne composes an inequality comparison term.
+func Ne(l, r Term) Term { return lambda.Ne(l, r) }
+
+// Gt composes a greater-than comparison term.
+func Gt(l, r Term) Term { return lambda.Gt(l, r) }
+
+// Ge composes a greater-or-equal comparison term.
+func Ge(l, r Term) Term { return lambda.Ge(l, r) }
+
+// Lt composes a less-than comparison term.
+func Lt(l, r Term) Term { return lambda.Lt(l, r) }
+
+// Le composes a less-or-equal comparison term.
+func Le(l, r Term) Term { return lambda.Le(l, r) }
+
+// And composes a logical conjunction term.
 func And(l, r Term) Term { return lambda.And(l, r) }
-func Or(l, r Term) Term  { return lambda.Or(l, r) }
-func Not(x Term) Term    { return lambda.Not(x) }
+
+// Or composes a logical disjunction term.
+func Or(l, r Term) Term { return lambda.Or(l, r) }
+
+// Not composes a logical negation term.
+func Not(x Term) Term { return lambda.Not(x) }
+
+// Add composes an arithmetic addition term.
 func Add(l, r Term) Term { return lambda.Add(l, r) }
+
+// Sub composes an arithmetic subtraction term.
 func Sub(l, r Term) Term { return lambda.Sub(l, r) }
+
+// Mul composes an arithmetic multiplication term.
 func Mul(l, r Term) Term { return lambda.Mul(l, r) }
+
+// Div composes an arithmetic division term.
 func Div(l, r Term) Term { return lambda.Div(l, r) }
 
 // Value constructors (object model scalars).

@@ -49,6 +49,22 @@
 //   - Join-build sinks merge per-thread hash tables bucket-wise in thread
 //     order, preserving sequential per-bucket row order.
 //
+// The consuming phases honor Config.Threads too. Each worker's aggregation
+// consume stage splits its hash partition into per-thread hash-range
+// sub-partitions: every thread merges a disjoint sub-map and finalizes it
+// independently, with output pages concatenated in sub-partition order.
+// The hash-partition and co-partitioned joins parallelize their
+// repartition scans, hash-table builds (bucket-wise merged, as above), and
+// probe loops; probe matches are buffered per thread and emitted after the
+// barrier in thread order, so each worker's emit calls stay serialized in
+// the sequential match order. Workers emit in parallel with each other (as
+// they always have), so an emit callback touching cross-worker shared
+// state must synchronize it. Join key and equality lambdas must be pure:
+// they are invoked concurrently across workers and threads.
+//
+// The single-process core.Executor used by local ablations drives stages
+// through the same engine machinery, so Threads behaves identically there.
+//
 // Query results are therefore deterministic in Config.Threads, up to
 // floating-point summation order inside aggregations (integer and
 // lattice-quantized aggregates are bit-identical at every thread count).
