@@ -135,3 +135,17 @@ func BenchmarkJoinScaling(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkShuffleOverlap is the streaming-shuffle ablation: barrier vs
+// streaming exchange on aggregation- and join-heavy workloads, with the
+// bytes-in-flight high-water mark and an enforced bit-for-bit identity
+// check (streaming result == barrier result) that gates merges via the CI
+// bench smoke.
+func BenchmarkShuffleOverlap(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunShuffleOverlap(bench.ShuffleOverlapConfig{
+			N: 20000, Groups: 128, Left: 6000, Right: 400, Keys: 199,
+			Workers: 2, Threads: []int{1, 4},
+		})
+	})
+}

@@ -18,7 +18,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "run only this table (2-8); 0 = all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
-	scaling := flag.Bool("scaling", false, "run only the intra-worker thread-scaling ablations (pipeline, aggregation, join)")
+	scaling := flag.Bool("scaling", false, "run only the thread-scaling and shuffle-overlap ablations (pipeline, aggregation, join, exchange)")
 	flag.Parse()
 
 	if *scaling {
@@ -26,6 +26,7 @@ func main() {
 			func() (*bench.Table, error) { return bench.RunIntraWorkerScaling(bench.DefaultScaling()) },
 			func() (*bench.Table, error) { return bench.RunAggScaling(bench.DefaultAggScaling()) },
 			func() (*bench.Table, error) { return bench.RunJoinScaling(bench.DefaultJoinScaling()) },
+			func() (*bench.Table, error) { return bench.RunShuffleOverlap(bench.DefaultShuffleOverlap()) },
 		} {
 			t, err := run()
 			if err != nil {
@@ -69,6 +70,7 @@ func main() {
 			func() (*bench.Table, error) { return bench.RunIntraWorkerScaling(bench.DefaultScaling()) },
 			func() (*bench.Table, error) { return bench.RunAggScaling(bench.DefaultAggScaling()) },
 			func() (*bench.Table, error) { return bench.RunJoinScaling(bench.DefaultJoinScaling()) },
+			func() (*bench.Table, error) { return bench.RunShuffleOverlap(bench.DefaultShuffleOverlap()) },
 		} {
 			t, err := run()
 			if err != nil {

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Shuffle-overlap ablation: the streaming exchange (internal/exchange)
+// overlaps shuffle production, shipping, and consumption, where the
+// barrier schedule ships everything only after every producer finishes.
+// The ladder runs an aggregation-heavy and a join-heavy workload in both
+// modes at Threads ∈ {1, 2, 8}, reporting latency, shipped traffic, and
+// the bytes-in-flight high-water mark (barrier buffers the whole shuffle;
+// streaming stays near the backpressure bound). Every streaming rung is
+// compared bit-for-bit against its barrier twin — a divergence is an
+// error, not a table cell, so the CI bench smoke gates merges on the
+// identity check.
+
+// ShuffleOverlapConfig sizes the streaming-shuffle ablation.
+type ShuffleOverlapConfig struct {
+	// N rows in Groups integer-summed groups (aggregation workload).
+	N, Groups int
+	// Left × Right rows joined on key % Keys (join workload).
+	Left, Right, Keys int
+	Workers           int
+	Threads           []int
+}
+
+// DefaultShuffleOverlap is the laptop-scale default.
+func DefaultShuffleOverlap() ShuffleOverlapConfig {
+	return ShuffleOverlapConfig{N: 80000, Groups: 256, Left: 20000, Right: 800, Keys: 499,
+		Workers: 2, Threads: []int{1, 2, 8}}
+}
+
+// RunShuffleOverlap measures barrier vs streaming shuffles and enforces
+// their bit-for-bit identity.
+func RunShuffleOverlap(cfg ShuffleOverlapConfig) (*Table, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{1, 2, 8}
+	}
+	t := &Table{
+		Title:   "Ablation: streaming shuffle (exchange) vs barrier shuffle",
+		Columns: []string{"time", "MB shipped", "pages", "peak in-flight KB", "identical"},
+		Notes: []string{
+			fmt.Sprintf("workers=%d, agg n=%d groups=%d, join %dx%d keys=%d; machine has %d CPUs",
+				cfg.Workers, cfg.N, cfg.Groups, cfg.Left, cfg.Right, cfg.Keys, runtime.NumCPU()),
+			"streaming overlaps production, shipping, and merge; barrier ships after the stage completes",
+			"identity is enforced: a streaming rung differing from its barrier twin fails the run",
+		},
+	}
+	type workload struct {
+		name string
+		run  func(c *cluster.Cluster) ([]string, error)
+	}
+	workloads := []workload{
+		{"agg", func(c *cluster.Cluster) ([]string, error) {
+			rows, _, err := runAggWorkload(c, cfg.N, cfg.Groups)
+			return rows, err
+		}},
+		{"join", func(c *cluster.Cluster) ([]string, error) {
+			return runJoinWorkload(c, cfg.Left, cfg.Right, cfg.Keys)
+		}},
+	}
+	for _, wl := range workloads {
+		for _, th := range cfg.Threads {
+			var refRows []string
+			for _, barrier := range []bool{true, false} {
+				c, err := cluster.New(cluster.Config{
+					Workers: cfg.Workers, Threads: th, PageSize: 1 << 16, BarrierShuffle: barrier,
+				})
+				if err != nil {
+					return nil, err
+				}
+				var rows []string
+				d, err := Timed(func() error {
+					var err error
+					rows, err = wl.run(c)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				sort.Strings(rows)
+				mode, identical := "barrier", "-"
+				if barrier {
+					refRows = rows
+				} else {
+					mode = "streaming"
+					if reflect.DeepEqual(rows, refRows) {
+						identical = "yes"
+					} else {
+						return nil, fmt.Errorf("bench: %s threads=%d: streaming produced %d rows differing from barrier (%d rows)",
+							wl.name, th, len(rows), len(refRows))
+					}
+				}
+				bytes, pages := c.Transport.Counters()
+				t.Rows = append(t.Rows, Row{
+					Name: fmt.Sprintf("%s threads=%d %s", wl.name, th, mode),
+					Cells: []string{
+						ms(d),
+						fmt.Sprintf("%.2f", float64(bytes)/(1<<20)),
+						fmt.Sprintf("%d", pages),
+						fmt.Sprintf("%d", c.Transport.MaxBytesInFlight/(1<<10)),
+						identical,
+					},
+				})
+			}
+		}
+	}
+	return t, nil
+}

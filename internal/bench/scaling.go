@@ -203,69 +203,78 @@ func RunAggScaling(cfg AggScalingConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		reg := c.Catalog.Registry()
-		rec := object.NewStruct("AggScaleRec").
-			AddField("grp", object.KInt64).
-			AddField("val", object.KInt64).
-			MustBuild(reg)
-		if err := c.CreateDatabase("db"); err != nil {
-			return nil, err
+		rows, _, err := runAggWorkload(c, cfg.N, cfg.Groups)
+		return rows, err
+	})
+}
+
+// runAggWorkload loads N (grp, val) rows into a fresh set on c and runs the
+// distributed group-by integer sum, returning the result rows (storage scan
+// order) and the execution's stats.
+func runAggWorkload(c *cluster.Cluster, n, groups int) ([]string, *cluster.ExecStats, error) {
+	reg := c.Catalog.Registry()
+	rec := object.NewStruct("AggScaleRec").
+		AddField("grp", object.KInt64).
+		AddField("val", object.KInt64).
+		MustBuild(reg)
+	if err := c.CreateDatabase("db"); err != nil {
+		return nil, nil, err
+	}
+	if err := c.CreateSet("db", "rows", "AggScaleRec"); err != nil {
+		return nil, nil, err
+	}
+	pages, err := object.BuildPages(reg, 1<<18, n, func(a *object.Allocator, i int) (object.Ref, error) {
+		r, err := a.MakeObject(rec)
+		if err != nil {
+			return object.NilRef, err
 		}
-		if err := c.CreateSet("db", "rows", "AggScaleRec"); err != nil {
-			return nil, err
-		}
-		pages, err := object.BuildPages(reg, 1<<18, cfg.N, func(a *object.Allocator, i int) (object.Ref, error) {
-			r, err := a.MakeObject(rec)
+		object.SetI64(r, rec.Field("grp"), int64(i%groups))
+		object.SetI64(r, rec.Field("val"), int64(i))
+		return r, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.SendData("db", "rows", pages); err != nil {
+		return nil, nil, err
+	}
+	agg := &core.Aggregate{
+		In:      core.NewScan("db", "rows", "AggScaleRec"),
+		ArgType: "AggScaleRec",
+		Key:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMember(arg, "grp") },
+		Val:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMember(arg, "val") },
+		KeyKind: object.KInt64,
+		ValKind: object.KInt64,
+		Combine: func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
+			if !exists {
+				return next, nil
+			}
+			return object.Int64Value(cur.I + next.I), nil
+		},
+		Finalize: func(a *object.Allocator, key, val object.Value) (object.Ref, error) {
+			out, err := a.MakeObject(rec)
 			if err != nil {
 				return object.NilRef, err
 			}
-			object.SetI64(r, rec.Field("grp"), int64(i%cfg.Groups))
-			object.SetI64(r, rec.Field("val"), int64(i))
-			return r, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := c.SendData("db", "rows", pages); err != nil {
-			return nil, err
-		}
-		agg := &core.Aggregate{
-			In:      core.NewScan("db", "rows", "AggScaleRec"),
-			ArgType: "AggScaleRec",
-			Key:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMember(arg, "grp") },
-			Val:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMember(arg, "val") },
-			KeyKind: object.KInt64,
-			ValKind: object.KInt64,
-			Combine: func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
-				if !exists {
-					return next, nil
-				}
-				return object.Int64Value(cur.I + next.I), nil
-			},
-			Finalize: func(a *object.Allocator, key, val object.Value) (object.Ref, error) {
-				out, err := a.MakeObject(rec)
-				if err != nil {
-					return object.NilRef, err
-				}
-				object.SetI64(out, rec.Field("grp"), key.I)
-				object.SetI64(out, rec.Field("val"), val.I)
-				return out, nil
-			},
-		}
-		if err := c.CreateSet("db", "sums", "AggScaleRec"); err != nil {
-			return nil, err
-		}
-		if _, err := c.Execute(core.NewWrite("db", "sums", agg)); err != nil {
-			return nil, err
-		}
-		var rows []string
-		err = c.ScanSet("db", "sums", func(r object.Ref) bool {
-			rows = append(rows, fmt.Sprintf("%d=%d",
-				object.GetI64(r, rec.Field("grp")), object.GetI64(r, rec.Field("val"))))
-			return true
-		})
-		return rows, err
+			object.SetI64(out, rec.Field("grp"), key.I)
+			object.SetI64(out, rec.Field("val"), val.I)
+			return out, nil
+		},
+	}
+	if err := c.CreateSet("db", "sums", "AggScaleRec"); err != nil {
+		return nil, nil, err
+	}
+	stats, err := c.Execute(core.NewWrite("db", "sums", agg))
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []string
+	err = c.ScanSet("db", "sums", func(r object.Ref) bool {
+		rows = append(rows, fmt.Sprintf("%d=%d",
+			object.GetI64(r, rec.Field("grp")), object.GetI64(r, rec.Field("val"))))
+		return true
 	})
+	return rows, stats, err
 }
 
 // JoinScalingConfig sizes the join-heavy scaling experiment.
@@ -310,57 +319,64 @@ func RunJoinScaling(cfg JoinScalingConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		reg := c.Catalog.Registry()
-		rec := object.NewStruct("JoinScaleRec").
-			AddField("key", object.KInt64).
-			AddField("payload", object.KInt64).
-			MustBuild(reg)
-		if err := c.CreateDatabase("db"); err != nil {
-			return nil, err
-		}
-		keyField := rec.Field("key")
-		payloadField := rec.Field("payload")
-		load := func(set string, n int) error {
-			if err := c.CreateSet("db", set, "JoinScaleRec"); err != nil {
-				return err
-			}
-			pages, err := object.BuildPages(reg, 1<<18, n, func(a *object.Allocator, i int) (object.Ref, error) {
-				r, err := a.MakeObject(rec)
-				if err != nil {
-					return object.NilRef, err
-				}
-				object.SetI64(r, keyField, int64(i%cfg.Keys))
-				object.SetI64(r, payloadField, int64(i))
-				return r, nil
-			})
-			if err != nil {
-				return err
-			}
-			return c.SendData("db", set, pages)
-		}
-		if err := load("left", cfg.Left); err != nil {
-			return nil, err
-		}
-		if err := load("right", cfg.Right); err != nil {
-			return nil, err
-		}
-		keyFn := func(r object.Ref) uint64 {
-			return object.HashValue(object.Int64Value(object.GetI64(r, keyField)))
-		}
-		eq := func(l, r object.Ref) bool {
-			return object.GetI64(l, keyField) == object.GetI64(r, keyField)
-		}
-		var mu sync.Mutex
-		var rows []string
-		err = c.HashPartitionJoin("db", "left", "db", "right", keyFn, keyFn, eq,
-			func(workerID int, l, r object.Ref) error {
-				pair := fmt.Sprintf("%d|%d",
-					object.GetI64(l, payloadField), object.GetI64(r, payloadField))
-				mu.Lock()
-				rows = append(rows, pair)
-				mu.Unlock()
-				return nil
-			})
-		return rows, err
+		return runJoinWorkload(c, cfg.Left, cfg.Right, cfg.Keys)
 	})
+}
+
+// runJoinWorkload loads left and right (key, payload) sets on c and runs
+// the streaming hash-partition join, returning the emitted payload pairs
+// (cross-worker arrival order; callers canonicalize by sorting).
+func runJoinWorkload(c *cluster.Cluster, left, right, keys int) ([]string, error) {
+	reg := c.Catalog.Registry()
+	rec := object.NewStruct("JoinScaleRec").
+		AddField("key", object.KInt64).
+		AddField("payload", object.KInt64).
+		MustBuild(reg)
+	if err := c.CreateDatabase("db"); err != nil {
+		return nil, err
+	}
+	keyField := rec.Field("key")
+	payloadField := rec.Field("payload")
+	load := func(set string, n int) error {
+		if err := c.CreateSet("db", set, "JoinScaleRec"); err != nil {
+			return err
+		}
+		pages, err := object.BuildPages(reg, 1<<18, n, func(a *object.Allocator, i int) (object.Ref, error) {
+			r, err := a.MakeObject(rec)
+			if err != nil {
+				return object.NilRef, err
+			}
+			object.SetI64(r, keyField, int64(i%keys))
+			object.SetI64(r, payloadField, int64(i))
+			return r, nil
+		})
+		if err != nil {
+			return err
+		}
+		return c.SendData("db", set, pages)
+	}
+	if err := load("left", left); err != nil {
+		return nil, err
+	}
+	if err := load("right", right); err != nil {
+		return nil, err
+	}
+	keyFn := func(r object.Ref) uint64 {
+		return object.HashValue(object.Int64Value(object.GetI64(r, keyField)))
+	}
+	eq := func(l, r object.Ref) bool {
+		return object.GetI64(l, keyField) == object.GetI64(r, keyField)
+	}
+	var mu sync.Mutex
+	var rows []string
+	err := c.HashPartitionJoin("db", "left", "db", "right", keyFn, keyFn, eq,
+		func(workerID int, l, r object.Ref) error {
+			pair := fmt.Sprintf("%d|%d",
+				object.GetI64(l, payloadField), object.GetI64(r, payloadField))
+			mu.Lock()
+			rows = append(rows, pair)
+			mu.Unlock()
+			return nil
+		})
+	return rows, err
 }

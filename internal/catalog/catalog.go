@@ -77,7 +77,9 @@ func (m *Master) Registry() *object.Registry { return m.reg }
 
 // RegisterType registers a user type with the master before any data of
 // that type may be stored in the cluster (the paper's registration
-// requirement). Idempotent by name.
+// requirement). Idempotent by name. On a restarted cluster the registry
+// assigns re-registered types their persisted codes (Registry.PinCode), so
+// restored pages' object headers keep resolving.
 func (m *Master) RegisterType(ti *object.TypeInfo) (*object.TypeInfo, error) {
 	return m.reg.Register(ti)
 }
@@ -127,6 +129,59 @@ func (m *Master) CreateSet(db, set, typeName string) (*SetMeta, error) {
 	sm := &SetMeta{Db: db, Set: set, TypeName: typeName, TypeCode: ti.Code}
 	m.sets[key] = sm
 	return sm, nil
+}
+
+// RestoreTypeCode pins a persisted type name to the code its on-disk pages
+// embed: when the type re-registers (through this catalog or directly
+// against the registry), it gets its original code back, and fresh
+// registrations stay clear of it.
+func (m *Master) RestoreTypeCode(name string, code uint32) {
+	m.reg.PinCode(name, code)
+}
+
+// UserTypes lists registered user types for manifest persistence.
+func (m *Master) UserTypes() []*object.TypeInfo { return m.reg.UserTypes() }
+
+// RestoreDatabase re-registers a database found in a persisted catalog
+// manifest at startup (idempotent, unlike CreateDatabase).
+func (m *Master) RestoreDatabase(db string) {
+	m.mu.Lock()
+	m.dbs[db] = true
+	m.mu.Unlock()
+}
+
+// RestoreSet re-registers a set discovered on disk at startup, recorded
+// under its element type's *name* (the authoritative binding; the
+// informational TypeCode resolves only if the type happens to be
+// registered already, and on-disk object headers resolve through the
+// registry's pinned codes regardless). Idempotent: an already-known set is
+// left alone.
+func (m *Master) RestoreSet(db, set, typeName, partitionKey string, pages int, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dbs[db] = true
+	key := db + "." + set
+	if _, ok := m.sets[key]; ok {
+		return
+	}
+	sm := &SetMeta{Db: db, Set: set, TypeName: typeName, PartitionKey: partitionKey,
+		PageCount: pages, ByteCount: bytes}
+	if ti := m.reg.LookupName(typeName); ti != nil {
+		sm.TypeCode = ti.Code
+	}
+	m.sets[key] = sm
+}
+
+// Databases lists registered database names (manifest persistence).
+func (m *Master) Databases() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.dbs))
+	for db := range m.dbs {
+		out = append(out, db)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // LookupSet resolves set metadata.

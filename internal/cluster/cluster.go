@@ -20,38 +20,58 @@
 // (engine.RunPipelineThreads): the worker's source batches are split into
 // Config.Threads contiguous chunks, each driven by a dedicated executor
 // thread with a private pipeline, context, output page set, and sink.
-// Worker artifacts (materialized pages, pre-aggregated maps, join tables)
-// are committed only after the all-workers barrier, so no goroutine writes
-// a map a peer is reading for its shuffle.
+// Output and join-build artifacts are committed only after the all-workers
+// barrier, so no goroutine writes a map a peer is reading.
+//
+// # Streaming shuffle
+//
+// Stages connected by a shuffle — the pre-aggregation producer and its
+// aggregation-consume stage, and the hash-partition join's repartition and
+// build/probe phases — do NOT meet at a barrier. The physical plan marks
+// such producer→consumer pairs exchange-linked, and the scheduler launches
+// both together, connected by an internal/exchange Exchange: each executor
+// thread's sink hands every page to the exchange the moment it seals
+// (engine's OnSeal streaming-sink contract) tagged (worker, thread,
+// sequence), the transport ships it in flight, and the consumer starts
+// merging immediately. The exchange delivers pages in deterministic tag
+// order regardless of arrival order, so streaming results are bit-for-bit
+// identical to a barrier shuffle's (Config.BarrierShuffle re-creates that
+// schedule for the ablation).
+//
+// Crash semantics under streaming: a backend that crashes while producing
+// a shuffle is re-forked and its producing run retried from scratch; the
+// deterministic re-run re-sends the same tagged pages and the exchange
+// drops the duplicates of pages the consumer already merged, so the merge
+// sees every page exactly once. A crash inside the consuming merge itself
+// (user combine/finalize code) fails the job: the stream is consumed and
+// cannot be replayed.
 //
 // # Sink-merge protocol
 //
-// Per-thread results combine after each stage barrier, always in thread
-// order (source order, because chunks are contiguous):
+// Per-thread results of non-streamed sinks combine after each stage
+// barrier, always in thread order (source order, because chunks are
+// contiguous):
 //
 //   - Output/materialize: per-thread pages are concatenated.
-//   - Pre-aggregation (producing stage): sibling threads' map pages fold
-//     into thread 0's sink with the aggregation's combine function; the
-//     absorbed pages are recycled through the buffer pool.
-//   - Aggregation consume: each worker merges its hash partition across
-//     Config.Threads hash-range sub-partitions
-//     (engine.MergeAggMapsParallel) and finalizes the disjoint sub-maps
-//     concurrently, concatenating output pages in sub-partition order.
 //   - Join build: per-thread hash tables merge bucket-wise, preserving
-//     sequential per-bucket row order; this applies to broadcast-join
-//     build stages, HashPartitionJoin's building stages, and
-//     CoPartitionedJoin's local builds.
+//     sequential per-bucket row order (broadcast-join build stages and
+//     CoPartitionedJoin's local builds).
 //   - Join probe (HashPartitionJoin/CoPartitionedJoin): probe threads
 //     buffer matches and the worker emits them after the barrier in
-//     thread order, so a worker's emit calls stay serialized in the
-//     sequential match order (workers still emit in parallel with each
-//     other, as they always did).
+//     thread order, so a worker's emit calls stay serialized (workers
+//     still emit in parallel with each other, as they always did).
+//
+// Pre-aggregation sinks and repartition sinks stream instead: their pages
+// flow through the exchange per thread, and the consumer's merge — the
+// hash-range-parallel aggregation merge (engine.MergeAggMapsStream) or the
+// join-table build — consumes them in (worker, thread, sequence) order.
 package cluster
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
@@ -73,11 +93,23 @@ type Config struct {
 	// scaled down here).
 	PageSize int
 	// DataDir, when non-empty, persists worker sets under
-	// DataDir/worker-N; empty keeps all pages in memory.
+	// DataDir/worker-N and the catalog manifest under DataDir; a cluster
+	// reopened on the same directory restores its sets (re-register the
+	// element types, then read or query as usual). Empty keeps all pages
+	// in memory.
 	DataDir string
 	// BroadcastThreshold is the build-side byte size under which the
 	// scheduler chooses a broadcast join (paper: 2 GB).
 	BroadcastThreshold int64
+	// ShuffleCapacity bounds each exchange channel's pages in flight;
+	// a full channel backpressures the producing thread. Zero picks
+	// exchange.DefaultCapacity.
+	ShuffleCapacity int
+	// BarrierShuffle disables shuffle streaming (the ablation baseline):
+	// exchanges buffer every page and deliver only after all producers
+	// finish. Results are bit-for-bit identical to streaming mode; only
+	// the schedule (and the bytes-in-flight high-water mark) changes.
+	BarrierShuffle bool
 }
 
 func (c *Config) fill() {
@@ -105,6 +137,10 @@ type Transport struct {
 	mu           sync.Mutex
 	BytesShipped int64
 	PagesShipped int
+	// MaxBytesInFlight is the largest bytes-in-flight high-water mark any
+	// shuffle exchange reached (bytes shipped but not yet merged) — the
+	// streaming ablation's memory-bound evidence.
+	MaxBytesInFlight int64
 }
 
 // Ship moves a page to a destination registry's memory space.
@@ -118,7 +154,8 @@ func (t *Transport) Ship(p *object.Page, dst *object.Registry) (*object.Page, er
 	return object.FromBytes(b, dst)
 }
 
-// ShipAll ships a batch of pages.
+// ShipAll ships a batch of pages (broadcast joins and data loading; shuffle
+// pages travel one at a time through the exchange instead).
 func (t *Transport) ShipAll(pages []*object.Page, dst *object.Registry) ([]*object.Page, error) {
 	out := make([]*object.Page, 0, len(pages))
 	for _, p := range pages {
@@ -131,22 +168,46 @@ func (t *Transport) ShipAll(pages []*object.Page, dst *object.Registry) ([]*obje
 	return out, nil
 }
 
+// NoteInFlight records a shuffle's bytes-in-flight high-water mark.
+func (t *Transport) NoteInFlight(hwm int64) {
+	t.mu.Lock()
+	if hwm > t.MaxBytesInFlight {
+		t.MaxBytesInFlight = hwm
+	}
+	t.mu.Unlock()
+}
+
+// Counters returns a consistent snapshot of the shipped-traffic counters.
+func (t *Transport) Counters() (bytes int64, pages int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.BytesShipped, t.PagesShipped
+}
+
 // Backend is the worker's backend process: the only place user code runs.
 // A panic in user code "crashes" it; the front end re-forks a fresh one.
+// Crash state is atomic because a streaming stage runs concurrent roles
+// (producer pipeline, consumer merge) on one backend.
 type Backend struct {
 	ID      int
-	Crashed bool
+	crashed atomic.Bool
 	Stats   engine.Stats
 }
 
+// Crashed reports whether user code killed this backend process.
+func (b *Backend) Crashed() bool { return b.crashed.Load() }
+
+// errBackendDead marks an attempt to run work on a crashed backend.
+var errBackendDead = fmt.Errorf("cluster: backend is dead")
+
 // Run executes fn, converting panics into a crash error (the process dying).
 func (b *Backend) Run(fn func() error) (err error) {
-	if b.Crashed {
-		return fmt.Errorf("cluster: backend %d is dead", b.ID)
+	if b.crashed.Load() {
+		return fmt.Errorf("%w (worker %d)", errBackendDead, b.ID)
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			b.Crashed = true
+			b.crashed.Store(true)
 			err = fmt.Errorf("cluster: backend %d crashed: %v", b.ID, r)
 		}
 	}()
@@ -158,13 +219,16 @@ func (b *Backend) Run(fn func() error) (err error) {
 type FrontEnd struct {
 	Local   *catalog.Local
 	Store   *storage.Server
+	mu      sync.Mutex
 	backend *Backend
 	ReForks int
 }
 
 // Backend returns the live backend, re-forking a crashed one (paper §2).
 func (f *FrontEnd) Backend() *Backend {
-	if f.backend.Crashed {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.backend.Crashed() {
 		f.ReForks++
 		f.backend = &Backend{ID: f.backend.ID}
 	}
@@ -180,10 +244,25 @@ type Worker struct {
 	// join tables, keyed like the physical plan's artifact names.
 	artPages  map[string][]*object.Page
 	artTables map[string]*engine.JoinTable
+
+	// statsMu serializes counter folding into the backend: a streaming
+	// stage's producer and consumer roles account concurrently.
+	statsMu sync.Mutex
 }
 
 // Reg returns the worker's type registry (through its local catalog).
 func (w *Worker) Reg() *object.Registry { return w.Front.Local.Registry() }
+
+// mergeStats folds per-thread counters into the current backend's
+// accounting (post-role, under the worker's stats lock).
+func (w *Worker) mergeStats(stats ...*engine.Stats) {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	b := w.Front.Backend()
+	for _, s := range stats {
+		b.Stats.Merge(s)
+	}
+}
 
 // Cluster is the whole simulated deployment.
 type Cluster struct {
@@ -195,9 +274,15 @@ type Cluster struct {
 	// pool recycles transient pages (output, pre-aggregation, merge)
 	// across job stages and jobs.
 	pool *object.PagePool
+
+	// manifestMu serializes catalog-manifest writes (restore.go).
+	manifestMu sync.Mutex
 }
 
-// New builds a cluster: one master and cfg.Workers workers.
+// New builds a cluster: one master and cfg.Workers workers. With
+// Config.DataDir set, sets persisted by a previous cluster on the same
+// directory are restored (storage page files plus the catalog manifest);
+// re-register their element types before reading them.
 func New(cfg Config) (*Cluster, error) {
 	cfg.fill()
 	c := &Cluster{Cfg: cfg, Catalog: catalog.NewMaster(), Transport: &Transport{}, pool: object.NewPagePool(cfg.PageSize)}
@@ -216,22 +301,37 @@ func New(cfg Config) (*Cluster, error) {
 			Front: &FrontEnd{Local: local, Store: store, backend: &Backend{ID: i}},
 		})
 	}
+	if err := c.loadManifest(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
 // RegisterType registers a user type with the master catalog; workers fault
-// it in on first use.
+// it in on first use. Disk-backed clusters persist the name→code binding so
+// restored pages keep resolving after a restart.
 func (c *Cluster) RegisterType(ti *object.TypeInfo) (*object.TypeInfo, error) {
-	return c.Catalog.RegisterType(ti)
+	reged, err := c.Catalog.RegisterType(ti)
+	if err != nil {
+		return nil, err
+	}
+	return reged, c.saveManifest()
 }
 
 // CreateDatabase creates a database.
-func (c *Cluster) CreateDatabase(db string) error { return c.Catalog.CreateDatabase(db) }
+func (c *Cluster) CreateDatabase(db string) error {
+	if err := c.Catalog.CreateDatabase(db); err != nil {
+		return err
+	}
+	return c.saveManifest()
+}
 
 // CreateSet creates a set of a registered type.
 func (c *Cluster) CreateSet(db, set, typeName string) error {
-	_, err := c.Catalog.CreateSet(db, set, typeName)
-	return err
+	if _, err := c.Catalog.CreateSet(db, set, typeName); err != nil {
+		return err
+	}
+	return c.saveManifest()
 }
 
 // SendData ships client-built pages into the cluster, round-robin across
@@ -306,5 +406,5 @@ func (c *Cluster) DropSet(db, set string) error {
 	for _, w := range c.Workers {
 		_ = w.Front.Store.Drop(db, set) // workers without data are fine
 	}
-	return nil
+	return c.saveManifest()
 }

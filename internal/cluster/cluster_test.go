@@ -321,7 +321,7 @@ func TestBackendPersistentCrashFailsJob(t *testing.T) {
 	}
 	// The cluster survives: front ends are intact and a new job can run.
 	for _, w := range c.Workers {
-		if w.Front.Backend().Crashed {
+		if w.Front.Backend().Crashed() {
 			t.Error("front end should have re-forked a live backend")
 		}
 	}

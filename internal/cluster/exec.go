@@ -1,16 +1,34 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exchange"
 	"repro/internal/object"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/tcap"
 )
+
+// StageShip reports one scheduled step's shuffle traffic, measured at the
+// transport.
+type StageShip struct {
+	// Stage is the step's physical stage ID (for an exchange-linked pair,
+	// the producing stage's).
+	Stage int
+	// Bytes and Pages count transport traffic during the step: exchange
+	// streams, broadcast-join ships, and output loading alike.
+	Bytes int64
+	Pages int
+	// MaxBytesInFlight is the step's exchange bytes-in-flight high-water
+	// mark (zero for steps without a streaming shuffle).
+	MaxBytesInFlight int64
+}
 
 // ExecStats reports one distributed execution.
 type ExecStats struct {
@@ -20,12 +38,17 @@ type ExecStats struct {
 	// Threads is the per-worker executor-thread budget pipeline stages
 	// ran with (Config.Threads after defaulting).
 	Threads int
+	// Ships records per-stage shuffle traffic in schedule order.
+	Ships []StageShip
 }
 
 // Execute is the distributed query path: the client compiles the
 // computation graph to TCAP, the master's optimizer improves it, the
-// distributed query scheduler breaks it into job stages and runs each stage
-// across all worker backends (paper §2, Appendix D.1).
+// distributed query scheduler breaks it into job stages and runs each
+// schedulable step across all worker backends (paper §2, Appendix D.1).
+// Exchange-linked stage pairs — a pre-aggregation producer and its
+// aggregation consumer — run as one step with the shuffle streaming
+// between them; all other stages run with the classic all-workers barrier.
 func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 	res, err := core.Compile(writes...)
 	if err != nil {
@@ -53,8 +76,28 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 		w.artPages = map[string][]*object.Page{}
 		w.artTables = map[string]*engine.JoinTable{}
 	}
+	done := map[*physical.JobStage]bool{}
 	for _, stage := range plan.Stages {
-		if err := c.runStage(res, stage, stats); err != nil {
+		if done[stage] {
+			continue
+		}
+		beforeBytes, beforePages := c.Transport.Counters()
+		var hwm int64
+		if stage.ExchangeTo != nil {
+			hwm, err = c.runExchangeGroup(res, stage, stage.ExchangeTo, stats)
+			done[stage.ExchangeTo] = true
+		} else {
+			err = c.runStage(res, stage, stats)
+		}
+		afterBytes, afterPages := c.Transport.Counters()
+		stats.Ships = append(stats.Ships, StageShip{
+			Stage: stage.ID,
+			Bytes: afterBytes - beforeBytes,
+			Pages: afterPages - beforePages,
+
+			MaxBytesInFlight: hwm,
+		})
+		if err != nil {
 			return stats, fmt.Errorf("cluster: stage %d (%s): %w", stage.ID, stage.Produces, err)
 		}
 	}
@@ -63,7 +106,7 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 
 // workerArtifacts is one worker's stage result, committed to the worker's
 // artifact maps only after every worker finishes (so concurrent goroutines
-// never write a map a peer is reading for its shuffle).
+// never write a map a peer is reading).
 type workerArtifacts struct {
 	pages     []*object.Page
 	pagesKey  string
@@ -73,46 +116,8 @@ type workerArtifacts struct {
 	outputSet string
 }
 
-// runStage executes one job stage on every worker in parallel, retrying a
-// worker's share once if its backend crashes (the front end re-forks it).
-func (c *Cluster) runStage(res *core.CompileResult, stage *physical.JobStage, stats *ExecStats) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(c.Workers))
-	arts := make([]*workerArtifacts, len(c.Workers))
-	var mu sync.Mutex
-
-	for i, w := range c.Workers {
-		wg.Add(1)
-		go func(i int, w *Worker) {
-			defer wg.Done()
-			run := func() (*workerArtifacts, error) {
-				var out *workerArtifacts
-				err := w.Front.Backend().Run(func() error {
-					var err error
-					out, err = c.runStageOnWorker(res, stage, w)
-					return err
-				})
-				return out, err
-			}
-			out, err := run()
-			if err != nil && w.Front.backend.Crashed {
-				// Re-fork and retry once (paper §2's crash-proof
-				// front end).
-				mu.Lock()
-				stats.Retries++
-				mu.Unlock()
-				out, err = run()
-			}
-			arts[i], errs[i] = out, err
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	// Commit artifacts after the barrier.
+// commitArtifacts installs every worker's stage results after the barrier.
+func (c *Cluster) commitArtifacts(arts []*workerArtifacts) error {
 	for i, w := range c.Workers {
 		a := arts[i]
 		if a == nil {
@@ -136,6 +141,50 @@ func (c *Cluster) runStage(res *core.CompileResult, stage *physical.JobStage, st
 	return nil
 }
 
+// runStage executes one barrier job stage on every worker in parallel,
+// retrying a worker's share once if its backend crashes (the front end
+// re-forks it).
+func (c *Cluster) runStage(res *core.CompileResult, stage *physical.JobStage, stats *ExecStats) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.Workers))
+	arts := make([]*workerArtifacts, len(c.Workers))
+	var mu sync.Mutex
+
+	for i, w := range c.Workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			run := func() (*workerArtifacts, *Backend, error) {
+				backend := w.Front.Backend()
+				var out *workerArtifacts
+				err := backend.Run(func() error {
+					var err error
+					out, err = c.runStageOnWorker(res, stage, w)
+					return err
+				})
+				return out, backend, err
+			}
+			out, backend, err := run()
+			if err != nil && backend.Crashed() {
+				// Re-fork and retry once (paper §2's crash-proof
+				// front end).
+				mu.Lock()
+				stats.Retries++
+				mu.Unlock()
+				out, _, err = run()
+			}
+			arts[i], errs[i] = out, err
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return c.commitArtifacts(arts)
+}
+
 // sourcePagesFor resolves a stage's input pages on one worker.
 func (c *Cluster) sourcePagesFor(stage *physical.JobStage, w *Worker) ([]*object.Page, error) {
 	if stage.Scan != nil {
@@ -150,30 +199,22 @@ func (c *Cluster) sourcePagesFor(stage *physical.JobStage, w *Worker) ([]*object
 }
 
 func (c *Cluster) runStageOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker) (*workerArtifacts, error) {
-	switch stage.Kind {
-	case physical.StageAggregation:
-		return c.runAggregationOnWorker(res, stage, w)
-	case physical.StagePipeline:
+	switch {
+	case stage.Kind == physical.StagePipeline && stage.Sink != physical.SinkPreAgg:
 		return c.runPipelineOnWorker(res, stage, w)
 	default:
-		return nil, fmt.Errorf("unknown stage kind %d", stage.Kind)
+		// Pre-aggregation producers and aggregation consumers are
+		// exchange-linked and scheduled by runExchangeGroup.
+		return nil, fmt.Errorf("stage kind %d/sink %v must run through the exchange", stage.Kind, stage.Sink)
 	}
 }
 
-// newStageSink builds one executor thread's private sink for a pipeline
-// stage, charging page counters to the thread's stats.
+// newStageSink builds one executor thread's private sink for a barrier
+// pipeline stage, charging page counters to the thread's stats.
 func (c *Cluster) newStageSink(res *core.CompileResult, stage *physical.JobStage, w *Worker, stats *engine.Stats) (engine.Sink, error) {
 	switch stage.Sink {
 	case physical.SinkOutput, physical.SinkMaterialize:
 		return engine.NewOutputSink(w.Reg(), c.Cfg.PageSize, c.pool, stats)
-	case physical.SinkPreAgg:
-		spec := res.AggSpecs[stage.SinkStmt.Out.Name]
-		if spec == nil {
-			return nil, fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
-		}
-		return engine.NewAggSink(w.Reg(), c.Cfg.PageSize, len(c.Workers),
-			spec.KeyKind, spec.ValKind, spec.Combine,
-			stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], c.pool, stats)
 	case physical.SinkJoinBuild:
 		return engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0]), nil
 	default:
@@ -181,20 +222,20 @@ func (c *Cluster) newStageSink(res *core.CompileResult, stage *physical.JobStage
 	}
 }
 
-// runPipelineOnWorker executes a pipeline stage on one worker across
-// Config.Threads executor threads via the engine's shared stage driver: the
-// worker's source batches are split into contiguous chunks, each driven
-// through a private Pipeline/Ctx/sink (per-thread output pages, per-thread
-// stats — nothing shared on the hot path), and the per-thread results are
-// combined after the barrier:
+// runPipelineOnWorker executes a barrier pipeline stage on one worker
+// across Config.Threads executor threads via the engine's shared stage
+// driver: the worker's source batches are split into contiguous chunks,
+// each driven through a private Pipeline/Ctx/sink (per-thread output pages,
+// per-thread stats — nothing shared on the hot path), and the per-thread
+// results are combined after the barrier:
 //
 //   - OUTPUT / materialize sinks: per-thread pages are concatenated in
 //     thread order, which is source order because chunks are contiguous.
-//   - Pre-aggregation sinks: threads 1..n-1's map pages are folded into
-//     thread 0's sink with the stage's combine function, and the absorbed
-//     pages are recycled.
 //   - Join-build sinks: per-thread hash tables are merged bucket-wise in
 //     thread order.
+//
+// (Pre-aggregation sinks stream through the exchange instead; see
+// runExchangeGroup.)
 func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker) (*workerArtifacts, error) {
 	pages, err := c.sourcePagesFor(stage, w)
 	if err != nil {
@@ -204,7 +245,9 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 	// Broadcast join build: every worker needs the complete build input,
 	// so pages from the other workers are shipped over (the scheduler
 	// chose broadcast because the build side is small; see
-	// HashPartitionJoin for the large-side strategy).
+	// HashPartitionJoin for the large-side strategy). The inputs are
+	// already materialized — there is no production to overlap — so this
+	// stays a batch ship, not an exchange.
 	if stage.Sink == physical.SinkJoinBuild {
 		for _, other := range c.Workers {
 			if other == w {
@@ -222,7 +265,6 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 		}
 	}
 
-	backend := w.Front.backend
 	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), c.Cfg.Threads)
 	if len(chunks) == 0 {
 		// No input on this worker: a single empty chunk still builds
@@ -247,7 +289,7 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 	}
 
 	pt, err := engine.RunPipelineThreads(chunks, stage.SourceCol, stage.Stmts, res.Stages, sinkStmt,
-		func(t int, stats *engine.Stats) (engine.Sink, *engine.Ctx, error) {
+		func(t int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
 			sink, err := c.newStageSink(res, stage, w, stats)
 			if err != nil {
 				return nil, nil, err
@@ -257,10 +299,12 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 				return nil, nil, err
 			}
 			return sink, ctx, nil
-		})
+		}, nil)
 	// Fold per-thread counters into the backend even on error, matching
 	// the sequential path's incremental accounting.
-	pt.MergeStatsInto(&backend.Stats)
+	for t := range pt.Stats {
+		w.mergeStats(&pt.Stats[t])
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -272,12 +316,6 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 			return &workerArtifacts{pages: out, outputDb: stage.SinkStmt.Db, outputSet: stage.SinkStmt.Set}, nil
 		}
 		return &workerArtifacts{pages: out, pagesKey: stage.Produces}, nil
-	case physical.SinkPreAgg:
-		pages, err := pt.MergeAggSinks(c.pool)
-		if err != nil {
-			return nil, err
-		}
-		return &workerArtifacts{pages: pages, pagesKey: stage.Produces}, nil
 	case physical.SinkJoinBuild:
 		table := pt.MergeJoinTables(c.pool)
 		return &workerArtifacts{table: table, tableKey: stage.SinkStmt.Applied2.Name}, nil
@@ -285,39 +323,186 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 	return nil, nil
 }
 
-// runAggregationOnWorker is the consuming stage of distributed aggregation
-// (paper Appendix D.2, Figure 5): worker w is responsible for hash
-// partition w. Pre-aggregated map pages are shuffled from every producer;
-// the shuffle ships raw pages — maps, keys and values included — with zero
-// serialization. The merge and finalization both run across Config.Threads
-// executor threads: the partition's key space is split into hash-range
-// sub-partitions, each merged into a disjoint sub-map and materialized into
-// output pages in sub-partition order (deterministic for a given thread
-// count), stored as this worker's share of the result.
-func (c *Cluster) runAggregationOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker) (*workerArtifacts, error) {
+// newShuffleExchange wires an exchange to the simulated transport: shipping
+// copies the page into the consumer's registry (a worker's own pages pass
+// by reference — the barrier path never copied them either), and dropped
+// retry duplicates recycle through the page pool.
+func (c *Cluster) newShuffleExchange() *exchange.Exchange {
+	return exchange.New(exchange.Config{
+		Producers: len(c.Workers),
+		Consumers: len(c.Workers),
+		Capacity:  c.Cfg.ShuffleCapacity,
+		Barrier:   c.Cfg.BarrierShuffle,
+		Ship: func(p *object.Page, producer, consumer int) (*object.Page, error) {
+			if producer == consumer {
+				return p, nil
+			}
+			return c.Transport.Ship(p, c.Workers[consumer].Reg())
+		},
+		Release: func(p *object.Page) { c.pool.Put(p) },
+	})
+}
+
+// streamErr translates an exchange send aborted by sibling-thread failure
+// into the engine's abort sentinel, so the root cause wins error reporting.
+func streamErr(err error) error {
+	if errors.Is(err, exchange.ErrProducerStopped) {
+		return engine.ErrAborted
+	}
+	return err
+}
+
+// runExchangeGroup executes an exchange-linked stage pair — a
+// pre-aggregation producer and its aggregation consumer (paper Appendix
+// D.2, Figure 5) — concurrently on every worker. Each producer thread's
+// AggSink streams sealed map pages into the exchange tagged (worker,
+// thread, sequence); every consumer merges its own hash partition out of
+// the stream as pages arrive, in deterministic tag order
+// (engine.MergeAggMapsStream across Config.Threads hash-range
+// sub-partitions), then finalizes the disjoint sub-maps concurrently.
+//
+// A producer whose backend crashes mid-stream is re-forked and retried
+// once; the deterministic re-run re-sends the same tagged pages and the
+// exchange's receivers drop the duplicates. A consumer crash fails the job
+// (the stream is consumed and cannot be replayed).
+func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical.JobStage, stats *ExecStats) (int64, error) {
+	nw := len(c.Workers)
+	ex := c.newShuffleExchange()
+	arts := make([]*workerArtifacts, nw)
+	errs := make([]error, 2*nw)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, w := range c.Workers {
+		wg.Add(1)
+		go func(i int, w *Worker) { // producer role
+			defer wg.Done()
+			run := func() (*Backend, error) {
+				backend := w.Front.Backend()
+				return backend, backend.Run(func() error {
+					return c.runPreAggStreamOnWorker(res, prod, w, ex)
+				})
+			}
+			backend, err := run()
+			if err != nil && backend.Crashed() {
+				mu.Lock()
+				stats.Retries++
+				mu.Unlock()
+				_, err = run()
+			}
+			if err != nil {
+				errs[i] = err
+				ex.Cancel(err)
+				return
+			}
+			ex.CloseProducer(i)
+		}(i, w)
+		wg.Add(1)
+		go func(i int, w *Worker) { // consumer role
+			defer wg.Done()
+			var started atomic.Bool
+			consume := func() error {
+				return w.Front.Backend().Run(func() error {
+					started.Store(true)
+					a, err := c.consumeAggStream(res, cons, w, ex)
+					if err != nil {
+						return err
+					}
+					arts[i] = a
+					return nil
+				})
+			}
+			err := consume()
+			if errors.Is(err, errBackendDead) && !started.Load() {
+				// The sibling producer role crashed the shared backend
+				// in the instant before this role entered it; the
+				// re-forked backend picks the consume up untouched.
+				err = consume()
+			}
+			if err != nil {
+				errs[nw+i] = err
+				ex.Cancel(err)
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	hwm := ex.MaxBytesInFlight()
+	c.Transport.NoteInFlight(hwm)
+	for _, err := range errs {
+		if err != nil {
+			return hwm, err
+		}
+	}
+	return hwm, c.commitArtifacts(arts)
+}
+
+// runPreAggStreamOnWorker is the producer half of a streaming shuffle: the
+// pre-aggregation pipeline runs across Config.Threads executor threads, and
+// each thread's AggSink broadcasts every sealed page to all consumers the
+// moment it fills (each consumer owns one hash partition of every page).
+// The thread flushes its final live page and sends its close marker on the
+// way out, so each channel carries the thread's stream in sequence order.
+func (c *Cluster) runPreAggStreamOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker, ex *exchange.Exchange) error {
+	spec := res.AggSpecs[stage.SinkStmt.Out.Name]
+	if spec == nil {
+		return fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
+	}
+	pages, err := c.sourcePagesFor(stage, w)
+	if err != nil {
+		return err
+	}
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), c.Cfg.Threads)
+	if len(chunks) == 0 {
+		// A worker with no input still streams one page of empty
+		// partition maps, honoring the shuffle's artifact contract.
+		chunks = [][]engine.PageRange{nil}
+	}
+	pt, err := engine.RunPipelineThreads(chunks, stage.SourceCol, stage.Stmts, res.Stages, stage.SinkStmt,
+		func(t int, stats *engine.Stats, stop <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
+			sink, err := engine.NewAggSink(w.Reg(), c.Cfg.PageSize, len(c.Workers),
+				spec.KeyKind, spec.ValKind, spec.Combine,
+				stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], c.pool, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq := 0
+			sink.Out.OnSeal = func(p *object.Page) error {
+				tag := exchange.Tag{Producer: w.ID, Thread: t, Seq: seq}
+				seq++
+				return streamErr(ex.Broadcast(tag, p, stop))
+			}
+			ctx, err := engine.NewSinkCtx(sink, w.Reg(), w.artTables, c.Cfg.PageSize, c.pool, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sink, ctx, nil
+		},
+		func(t int, stop <-chan struct{}) error {
+			return streamErr(ex.CloseThread(w.ID, t, stop))
+		})
+	for t := range pt.Stats {
+		w.mergeStats(&pt.Stats[t])
+	}
+	return err
+}
+
+// consumeAggStream is the consumer half: worker w owns hash partition w and
+// merges it incrementally from the exchange, then finalizes the sub-maps
+// into this worker's share of the result (its "mat:" artifact).
+func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobStage, w *Worker, ex *exchange.Exchange) (*workerArtifacts, error) {
 	spec := res.AggSpecs[stage.AggList]
 	if spec == nil {
 		return nil, fmt.Errorf("no aggregation spec for %q", stage.AggList)
 	}
-	var pages []*object.Page
-	for _, v := range c.Workers {
-		src := v.artPages["aggmaps:"+stage.AggList]
-		if v == w {
-			pages = append(pages, src...)
-			continue
-		}
-		shipped, err := c.Transport.ShipAll(src, w.Reg())
-		if err != nil {
-			return nil, err
-		}
-		pages = append(pages, shipped...)
-	}
-	finals, mergePages, err := engine.MergeAggMapsParallel(w.Reg(), pages, w.ID, len(c.Workers),
-		spec, c.Cfg.PageSize, c.pool, c.Cfg.Threads)
+	next := func() (*object.Page, bool, error) { return ex.Recv(w.ID) }
+	finals, mergePages, err := engine.MergeAggMapsStream(w.Reg(), next, w.ID, len(c.Workers),
+		spec, c.Cfg.PageSize, c.pool, c.Cfg.Threads,
+		func(p *object.Page) { c.pool.Put(p) })
 	if err != nil {
 		return nil, err
 	}
-	out, err := engine.FinalizeAggParallel(w.Reg(), finals, spec, c.Cfg.PageSize, c.pool, &w.Front.backend.Stats)
+	var fstats engine.Stats
+	out, err := engine.FinalizeAggParallel(w.Reg(), finals, spec, c.Cfg.PageSize, c.pool, &fstats)
+	w.mergeStats(&fstats)
 	if err != nil {
 		return nil, err
 	}

@@ -5,32 +5,27 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/exchange"
 	"repro/internal/object"
 )
 
 // HashPartitionJoin implements the paper's 2n-job-stage distributed
 // equi-join (Appendix D.3) for two sets, used by the scheduler's
-// large-build-side strategy and benchmarked against broadcast joins:
+// large-build-side strategy and benchmarked against broadcast joins. The
+// repartition stages stream: both sides' repartition scans, the shuffle,
+// and the build all run concurrently, connected by exchanges —
 //
-//  1. n data-repartition stages: each worker hashes its local objects' join
-//     keys and materializes them into per-partition pages, which are
-//     shuffled so equal keys co-locate.
-//  2. n−1 hash-table-building stages over the shuffled build side.
-//  3. one probe stage streaming the shuffled probe side through the tables.
-//
-// Every phase runs across Config.Threads executor threads per worker, with
-// the standard contiguous-chunk split and thread-ordered merge:
-//
-//   - Repartition: each thread scans its chunk into a private
-//     RepartitionSink; each partition's pages are concatenated in thread
-//     order before shuffling, so partition contents arrive in source order.
-//   - Build: each thread builds a private hash table over its chunk of the
-//     shuffled build side; tables are merged bucket-wise in thread order,
-//     so per-bucket row order matches a sequential build.
-//   - Probe: each thread probes the shared read-only table over its chunk,
-//     buffering matching pairs; pairs are emitted after the barrier in
-//     thread order, so each worker emits its matches in exactly the
-//     sequential order.
+//  1. Every worker repartitions its local objects of both sets across
+//     Config.Threads executor threads; each thread's RepartitionSink
+//     streams every sealed per-partition page straight to the worker
+//     owning that partition, tagged (worker, thread, sequence).
+//  2. Concurrently, every worker builds its hash table from the build
+//     (right) side's stream as pages arrive — delivered in deterministic
+//     tag order and dealt round-robin across Config.Threads builder
+//     threads, whose tables merge bucket-wise in thread order — while
+//     buffering the probe (left) side's stream in tag order.
+//  3. When its build stream closes, each worker probes with its buffered
+//     left pages (contiguous-chunk parallel probe, thread-ordered emit).
 //
 // keyL/keyR extract the join key hash from an object (the compiled key
 // lambdas); emit is invoked on each matching pair, running on the owning
@@ -39,131 +34,229 @@ import (
 // executor threads and must be safe for concurrent use (pure functions of
 // their arguments). A worker never calls emit from two executor threads at
 // once, but different workers probe — and emit — in parallel, exactly as
-// the sequential join did: an emit touching state shared across workers
-// must synchronize it.
+// the barrier join did: an emit touching state shared across workers must
+// synchronize it.
+//
+// A backend crash anywhere in the join fails it (the caller may rerun; the
+// streams cannot be replayed mid-flight). Config.BarrierShuffle restores
+// the ship-everything-then-consume schedule with identical results.
 func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 	keyL, keyR func(object.Ref) uint64,
 	eq func(l, r object.Ref) bool,
 	emit func(workerID int, l, r object.Ref) error) error {
 
 	nw := len(c.Workers)
-	threads := c.Cfg.Threads
-
-	// Stages 1..n: repartition each input on every worker and shuffle.
-	repart := func(db, set string, key func(object.Ref) uint64) ([][]*object.Page, error) {
-		// received[w] = pages whose keys hash to partition w.
-		received := make([][]*object.Page, nw)
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		errs := make([]error, nw)
-		for i, w := range c.Workers {
-			wg.Add(1)
-			go func(i int, w *Worker) {
-				defer wg.Done()
-				backend := w.Front.Backend()
-				errs[i] = backend.Run(func() error {
-					pages, err := w.Front.Store.Pages(db, set)
-					if err != nil {
-						return nil // no local pages
-					}
-					chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
-					sinks := make([]*engine.RepartitionSink, len(chunks))
-					tstats := make([]engine.Stats, len(chunks))
-					for t := range chunks {
-						sinks[t], err = engine.NewRepartitionSink(w.Reg(), c.Cfg.PageSize, nw, "h", "obj", c.pool, &tstats[t])
-						if err != nil {
-							return err
-						}
-					}
-					err = engine.ParallelScanRanges(chunks, "obj", func(t int, vl *engine.VectorList) error {
-						rc := vl.Col("obj").(engine.RefCol)
-						hashes := make(engine.U64Col, len(rc))
-						for j, r := range rc {
-							hashes[j] = key(r)
-						}
-						vl.Append("h", hashes)
-						return sinks[t].Consume(nil, vl, nil)
-					})
-					for t := range tstats {
-						backend.Stats.Merge(&tstats[t])
-					}
-					if err != nil {
-						return err
-					}
-					// Shuffle each partition to its destination worker,
-					// concatenating the threads' shares in thread order.
-					for p := 0; p < nw; p++ {
-						var local []*object.Page
-						for t := range sinks {
-							local = append(local, sinks[t].PartitionPages(p)...)
-						}
-						dst := c.Workers[p]
-						shipped := local
-						if dst != w {
-							shipped, err = c.Transport.ShipAll(local, dst.Reg())
-							if err != nil {
-								return err
-							}
-						}
-						mu.Lock()
-						received[p] = append(received[p], shipped...)
-						mu.Unlock()
-					}
-					return nil
-				})
-			}(i, w)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		return received, nil
+	exL := c.newShuffleExchange()
+	exR := c.newShuffleExchange()
+	cancel := func(err error) {
+		exL.Cancel(err)
+		exR.Cancel(err)
 	}
 
-	leftParts, err := repart(dbL, setL, keyL)
-	if err != nil {
-		return fmt.Errorf("cluster: repartition %s.%s: %w", dbL, setL, err)
-	}
-	rightParts, err := repart(dbR, setR, keyR)
-	if err != nil {
-		return fmt.Errorf("cluster: repartition %s.%s: %w", dbR, setR, err)
-	}
-
-	// Stage n+1..2n-1: build per-worker hash tables over the shuffled
-	// build (right) side; stage 2n: probe with the shuffled left side.
 	var wg sync.WaitGroup
-	errs := make([]error, nw)
+	errs := make([]error, 3*nw)
 	for i, w := range c.Workers {
+		// Producer roles: repartition-stream each side.
+		for s, side := range []struct {
+			ex      *exchange.Exchange
+			db, set string
+			key     func(object.Ref) uint64
+		}{{exL, dbL, setL, keyL}, {exR, dbR, setR, keyR}} {
+			wg.Add(1)
+			go func(slot int, w *Worker, ex *exchange.Exchange, db, set string, key func(object.Ref) uint64) {
+				defer wg.Done()
+				err := w.Front.Backend().Run(func() error {
+					return c.streamRepartition(db, set, key, w, ex)
+				})
+				if err != nil {
+					errs[slot] = err
+					cancel(err)
+					return
+				}
+				ex.CloseProducer(w.ID)
+			}(s*nw+i, w, side.ex, side.db, side.set, side.key)
+		}
+		// Consumer role: build from the right stream, buffer the left
+		// stream, probe, emit.
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
-			errs[i] = w.Front.Backend().Run(func() error {
-				table, err := parallelBuildTable(rightParts[i], keyR, threads)
+			err := w.Front.Backend().Run(func() error {
+				table, leftPages, err := gatherJoinStreams(exR, exL, w.ID, keyR, c.Cfg.Threads)
 				if err != nil {
 					return err
 				}
-				return parallelProbe(leftParts[i], table, keyL, eq, threads, func(l, r object.Ref) error {
+				return parallelProbe(leftPages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
 					return emit(i, l, r)
 				})
 			})
+			if err != nil {
+				errs[2*nw+i] = err
+				cancel(err)
+			}
 		}(i, w)
 	}
 	wg.Wait()
+	c.Transport.NoteInFlight(exL.MaxBytesInFlight())
+	c.Transport.NoteInFlight(exR.MaxBytesInFlight())
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return fmt.Errorf("cluster: hash-partition join %s.%s ⋈ %s.%s: %w", dbL, setL, dbR, setR, err)
 		}
 	}
 	return nil
 }
 
-// parallelBuildTable builds the probe hash table over the shuffled build
-// side across threads executor threads: each thread inserts a contiguous
+// streamRepartition runs one worker's repartition of one set across
+// Config.Threads executor threads: each thread hashes its contiguous chunk
+// into a private RepartitionSink whose per-partition pages stream to the
+// owning worker the moment they seal. The thread flushes its partitions'
+// final pages and sends its close marker on the way out.
+func (c *Cluster) streamRepartition(db, set string, key func(object.Ref) uint64,
+	w *Worker, ex *exchange.Exchange) error {
+	pages, err := w.Front.Store.Pages(db, set)
+	if err != nil {
+		pages = nil // worker may hold no pages of this set
+	}
+	nw := len(c.Workers)
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), c.Cfg.Threads)
+	tstats := make([]engine.Stats, len(chunks))
+	err = engine.ParallelThreads(len(chunks), func(t int, stop <-chan struct{}) error {
+		sink, err := engine.NewRepartitionSink(w.Reg(), c.Cfg.PageSize, nw, "h", "obj", c.pool, &tstats[t])
+		if err != nil {
+			return err
+		}
+		seqs := make([]int, nw)
+		sink.SetOnSeal(func(part int, p *object.Page) error {
+			tag := exchange.Tag{Producer: w.ID, Thread: t, Seq: seqs[part]}
+			seqs[part]++
+			return streamErr(ex.Send(tag, part, p, stop))
+		})
+		err = engine.ScanRanges(chunks[t], "obj", func(vl *engine.VectorList) error {
+			select {
+			case <-stop:
+				return engine.ErrAborted
+			default:
+			}
+			rc := vl.Col("obj").(engine.RefCol)
+			hashes := make(engine.U64Col, len(rc))
+			for j, r := range rc {
+				hashes[j] = key(r)
+			}
+			vl.Append("h", hashes)
+			return sink.Consume(nil, vl, nil)
+		})
+		if err != nil {
+			return err
+		}
+		if err := sink.CloseStream(); err != nil {
+			return err
+		}
+		return streamErr(ex.CloseThread(w.ID, t, stop))
+	})
+	for t := range tstats {
+		w.mergeStats(&tstats[t])
+	}
+	return err
+}
+
+// gatherJoinStreams overlaps the join's two shuffles with the build: the
+// build-side stream feeds the hash table as pages arrive while the
+// probe-side stream is buffered in delivery order. Both streams drain
+// concurrently so neither side's producers stall on a full channel longer
+// than the backpressure bound. Panics in the user key lambda re-raise on
+// the caller (the backend goroutine).
+func gatherJoinStreams(exBuild, exProbe *exchange.Exchange, worker int,
+	key func(object.Ref) uint64, threads int) (*engine.JoinTable, []*object.Page, error) {
+	var (
+		table      *engine.JoinTable
+		leftPages  []*object.Page
+		buildErr   error
+		probeErr   error
+		buildPanic any
+		wg         sync.WaitGroup
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				buildPanic = r
+			}
+		}()
+		table, buildErr = buildTableStream(exBuild, worker, key, threads)
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			p, ok, err := exProbe.Recv(worker)
+			if err != nil {
+				probeErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			leftPages = append(leftPages, p)
+		}
+	}()
+	wg.Wait()
+	if buildPanic != nil {
+		panic(buildPanic)
+	}
+	if buildErr != nil {
+		return nil, nil, buildErr
+	}
+	if probeErr != nil {
+		return nil, nil, probeErr
+	}
+	return table, leftPages, nil
+}
+
+// buildTableStream builds the probe hash table incrementally from the
+// shuffled build stream: pages are dealt round-robin by delivery index
+// across threads builder threads (a pure function of the deterministic
+// delivery order), and the per-thread tables merge bucket-wise in thread
+// order after the stream closes. Build pages are never recycled — the
+// table references their objects for the life of the join.
+func buildTableStream(ex *exchange.Exchange, worker int,
+	key func(object.Ref) uint64, threads int) (*engine.JoinTable, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	tables := make([]*engine.JoinTable, threads)
+	for t := range tables {
+		tables[t] = engine.NewJoinTable()
+	}
+	next := func() (*object.Page, bool, error) { return ex.Recv(worker) }
+	err := engine.StreamPages(next, threads, false, nil, func(t int, p *object.Page) error {
+		if p.Root() == 0 {
+			return nil
+		}
+		root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+		tbl := tables[t]
+		for j, n := 0, root.Len(); j < n; j++ {
+			r := root.HandleAt(j)
+			tbl.Add(key(r), r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := tables[0]
+	for _, tbl := range tables[1:] {
+		table.Merge(tbl)
+	}
+	return table, nil
+}
+
+// parallelBuildTable builds a probe hash table over locally materialized
+// pages across threads executor threads: each thread inserts a contiguous
 // chunk of rows into a private table, and tables merge bucket-wise in
 // thread order after the barrier, so per-bucket row order matches a
-// sequential build over the whole input.
+// sequential build over the whole input. (CoPartitionedJoin's zero-shuffle
+// local builds; the shuffled build streams through buildTableStream.)
 func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threads int) (*engine.JoinTable, error) {
 	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
 	tables := make([]*engine.JoinTable, len(chunks))
@@ -191,8 +284,8 @@ func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threa
 	return table, nil
 }
 
-// parallelProbe streams the shuffled probe side through the read-only build
-// table across threads executor threads. Each thread buffers its chunk's
+// parallelProbe streams the probe side through the read-only build table
+// across threads executor threads. Each thread buffers its chunk's
 // matching pairs; after the barrier the pairs are emitted in thread order —
 // exactly the order a sequential probe would produce — on the calling
 // goroutine, so one worker never invokes emit from two threads at once.

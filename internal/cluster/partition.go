@@ -98,7 +98,7 @@ func (c *Cluster) SendDataPartitioned(db, set string, pages []*object.Page,
 		}
 	}
 	c.Catalog.SetPartitionKey(db, set, keyLabel)
-	return nil
+	return c.saveManifest()
 }
 
 // CoPartitionedJoin joins two sets that were loaded with

@@ -1,0 +1,115 @@
+package cluster
+
+// Set restore (ROADMAP "persist/restore worker sets"): a disk-backed
+// cluster survives restarts. Worker storage servers already rediscover
+// their page files on open (storage.NewServer scans the data directory);
+// what pages alone cannot carry is the catalog's view — databases, set
+// names, element type names and codes, partition keys. The cluster
+// therefore writes a small manifest next to the worker directories on
+// every metadata mutation, and New replays it: sets re-register under
+// their type *names*, and each persisted type's *code* is pinned so that
+// when the user re-registers the types — in any order — the objects on
+// disk, whose headers embed the original codes, keep resolving to the
+// right TypeInfo (catalog.Master.RestoreTypeCode / RegisterType).
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// manifestSet is one persisted set's catalog record.
+type manifestSet struct {
+	Db           string `json:"db"`
+	Set          string `json:"set"`
+	TypeName     string `json:"type"`
+	PartitionKey string `json:"partitionKey,omitempty"`
+}
+
+// manifestType pins one persisted type name to the code embedded in the
+// on-disk pages' object headers.
+type manifestType struct {
+	Name string `json:"name"`
+	Code uint32 `json:"code"`
+}
+
+// manifest is the persisted catalog state.
+type manifest struct {
+	Databases []string       `json:"databases"`
+	Types     []manifestType `json:"types"`
+	Sets      []manifestSet  `json:"sets"`
+}
+
+func (c *Cluster) manifestPath() string {
+	return filepath.Join(c.Cfg.DataDir, "catalog.json")
+}
+
+// saveManifest snapshots the master catalog to DataDir/catalog.json via a
+// temp-file rename, so a crash mid-write never leaves a torn manifest; the
+// mutex keeps concurrent DDL from interleaving stale snapshots. Memory-only
+// clusters skip it.
+func (c *Cluster) saveManifest() error {
+	if c.Cfg.DataDir == "" {
+		return nil
+	}
+	c.manifestMu.Lock()
+	defer c.manifestMu.Unlock()
+	var m manifest
+	m.Databases = c.Catalog.Databases()
+	for _, ti := range c.Catalog.UserTypes() {
+		m.Types = append(m.Types, manifestType{Name: ti.Name, Code: ti.Code})
+	}
+	for _, sm := range c.Catalog.Sets() {
+		m.Sets = append(m.Sets, manifestSet{
+			Db: sm.Db, Set: sm.Set, TypeName: sm.TypeName, PartitionKey: sm.PartitionKey,
+		})
+	}
+	b, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := c.manifestPath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.manifestPath())
+}
+
+// loadManifest restores catalog state persisted by a previous cluster on
+// the same DataDir: databases and sets re-register, type codes are pinned
+// for re-registration, and each set's placement stats are rebuilt from the
+// workers' restored storage.
+func (c *Cluster) loadManifest() error {
+	if c.Cfg.DataDir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(c.manifestPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil // fresh directory
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	for _, db := range m.Databases {
+		c.Catalog.RestoreDatabase(db)
+	}
+	for _, t := range m.Types {
+		c.Catalog.RestoreTypeCode(t.Name, t.Code)
+	}
+	for _, sm := range m.Sets {
+		var pages int
+		var bytes int64
+		for _, w := range c.Workers {
+			pages += w.Front.Store.PageCount(sm.Db, sm.Set)
+			bytes += w.Front.Store.SetBytes(sm.Db, sm.Set)
+		}
+		c.Catalog.RestoreSet(sm.Db, sm.Set, sm.TypeName, sm.PartitionKey, pages, bytes)
+	}
+	return nil
+}

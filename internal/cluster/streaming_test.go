@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lambda"
+	"repro/internal/object"
+)
+
+// shuffleMatrix is the streaming-identity test matrix from the issue's
+// acceptance criteria: Workers ∈ {1, 2, 4} × Threads ∈ {1, 2, 8}, each run
+// in streaming and in barrier mode.
+var shuffleMatrix = []struct{ workers, threads int }{
+	{1, 1}, {1, 2}, {1, 8},
+	{2, 1}, {2, 2}, {2, 8},
+	{4, 1}, {4, 2}, {4, 8},
+}
+
+// matrixCluster builds a cluster for one matrix cell with n employees.
+func matrixCluster(t testing.TB, workers, threads int, barrier bool, n int) (*Cluster, *object.TypeInfo) {
+	t.Helper()
+	c, err := New(Config{Workers: workers, Threads: threads, PageSize: 1 << 14, BarrierShuffle: barrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := c.Catalog.Registry()
+	emp := object.NewStruct("Emp").
+		AddField("name", object.KString).
+		AddField("salary", object.KFloat64).
+		AddField("dept", object.KString).
+		MustBuild(reg)
+	emp.Methods["getSalary"] = object.Method{Name: "getSalary", Ret: object.KFloat64,
+		Fn: func(r object.Ref) object.Value {
+			return object.Float64Value(object.GetF64(r, emp.Field("salary")))
+		}}
+	emp.Methods["getDept"] = object.Method{Name: "getDept", Ret: object.KString,
+		Fn: func(r object.Ref) object.Value {
+			return object.StringValue(object.GetStrField(r, emp.Field("dept")))
+		}}
+	if err := c.CreateDatabase("db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSet("db", "emps", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	loadEmps(t, c, emp, "db", "emps", n)
+	return c, emp
+}
+
+// runSelAgg executes a filtered selection and a dept-sum aggregation,
+// returning both result sets' rows in storage scan order (bit-for-bit,
+// order included).
+func runSelAgg(t *testing.T, c *Cluster, emp *object.TypeInfo) (sel, agg []string) {
+	t.Helper()
+	selComp := &core.Selection{
+		In:      core.NewScan("db", "emps", "Emp"),
+		ArgType: "Emp",
+		Predicate: func(arg *lambda.Arg) lambda.Term {
+			return lambda.Gt(lambda.FromMember(arg, "salary"), lambda.ConstF64(20000))
+		},
+		Projection: func(arg *lambda.Arg) lambda.Term { return lambda.FromSelf(arg) },
+	}
+	aggComp := &core.Aggregate{
+		In:      core.NewScan("db", "emps", "Emp"),
+		ArgType: "Emp",
+		Key:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMethod(arg, "getDept") },
+		Val:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMethod(arg, "getSalary") },
+		KeyKind: object.KString,
+		ValKind: object.KFloat64,
+		Combine: func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
+			if !exists {
+				return next, nil
+			}
+			return object.Float64Value(cur.F + next.F), nil
+		},
+		Finalize: func(a *object.Allocator, key, val object.Value) (object.Ref, error) {
+			out, err := a.MakeObject(emp)
+			if err != nil {
+				return object.NilRef, err
+			}
+			if err := object.SetStrField(a, out, emp.Field("dept"), key.S); err != nil {
+				return object.NilRef, err
+			}
+			object.SetF64(out, emp.Field("salary"), val.F)
+			return out, nil
+		},
+	}
+	if err := c.CreateSet("db", "sel", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSet("db", "agg", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(core.NewWrite("db", "sel", selComp)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(core.NewWrite("db", "agg", aggComp)); err != nil {
+		t.Fatal(err)
+	}
+	return scanEmpRows(t, c, emp, "db", "sel"), scanEmpRows(t, c, emp, "db", "agg")
+}
+
+// equalRows compares two row slices bit-for-bit including order.
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStreamingMatchesBarrierSelectionAggregation is the identity half of
+// the acceptance criteria for Execute: at every (workers, threads) cell,
+// the streaming shuffle must produce byte-identical result sets — order
+// included — to barrier mode.
+func TestStreamingMatchesBarrierSelectionAggregation(t *testing.T) {
+	for _, cell := range shuffleMatrix {
+		var refSel, refAgg []string
+		for _, barrier := range []bool{true, false} {
+			c, emp := matrixCluster(t, cell.workers, cell.threads, barrier, 900)
+			sel, agg := runSelAgg(t, c, emp)
+			if len(sel) == 0 || len(agg) != 5 {
+				t.Fatalf("w=%d t=%d barrier=%v: degenerate results (%d sel, %d agg)",
+					cell.workers, cell.threads, barrier, len(sel), len(agg))
+			}
+			if barrier {
+				refSel, refAgg = sel, agg
+				continue
+			}
+			if !equalRows(sel, refSel) {
+				t.Errorf("w=%d t=%d: streaming selection differs from barrier", cell.workers, cell.threads)
+			}
+			if !equalRows(agg, refAgg) {
+				t.Errorf("w=%d t=%d: streaming aggregation differs from barrier", cell.workers, cell.threads)
+			}
+		}
+	}
+}
+
+// joinRowsByWorker collects emitted pairs per worker and concatenates them
+// in worker order: each worker's emit sequence is serialized and
+// deterministic, while cross-worker interleaving is scheduler noise.
+func joinRowsByWorker(t *testing.T, c *Cluster, emp *object.TypeInfo,
+	run func(key func(object.Ref) uint64, eq func(l, r object.Ref) bool,
+		emit func(workerID int, l, r object.Ref) error) error) []string {
+	t.Helper()
+	deptField := emp.Field("dept")
+	nameField := emp.Field("name")
+	key := func(r object.Ref) uint64 {
+		return object.HashValue(object.StringValue(object.GetStrField(r, deptField)))
+	}
+	eq := func(l, r object.Ref) bool {
+		return object.GetStrField(l, deptField) == object.GetStrField(r, deptField)
+	}
+	perWorker := make([][]string, len(c.Workers))
+	err := run(key, eq, func(workerID int, l, r object.Ref) error {
+		perWorker[workerID] = append(perWorker[workerID],
+			fmt.Sprintf("%s|%s", object.GetStrField(l, nameField), object.GetStrField(r, nameField)))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for _, ws := range perWorker {
+		rows = append(rows, ws...)
+	}
+	return rows
+}
+
+// TestStreamingMatchesBarrierJoins is the identity half for the joins: per
+// (workers, threads) cell, hash-partition and co-partitioned joins must
+// emit byte-identical per-worker match sequences in streaming and barrier
+// mode.
+func TestStreamingMatchesBarrierJoins(t *testing.T) {
+	for _, cell := range shuffleMatrix {
+		var refHash, refCo []string
+		for _, barrier := range []bool{true, false} {
+			c, emp := matrixCluster(t, cell.workers, cell.threads, barrier, 400)
+			if err := c.CreateSet("db", "reps", "Emp"); err != nil {
+				t.Fatal(err)
+			}
+			loadEmps(t, c, emp, "db", "reps", 5) // one rep per dept d0..d4
+			hash := joinRowsByWorker(t, c, emp, func(key func(object.Ref) uint64,
+				eq func(l, r object.Ref) bool,
+				emit func(workerID int, l, r object.Ref) error) error {
+				return c.HashPartitionJoin("db", "emps", "db", "reps", key, key, eq, emit)
+			})
+			if len(hash) != 400 {
+				t.Fatalf("w=%d t=%d barrier=%v: hash join rows = %d, want 400",
+					cell.workers, cell.threads, barrier, len(hash))
+			}
+
+			deptField := emp.Field("dept")
+			pkey := func(r object.Ref) uint64 {
+				return object.HashValue(object.StringValue(object.GetStrField(r, deptField)))
+			}
+			if err := c.CreateSet("db", "pl", "Emp"); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.CreateSet("db", "pr", "Emp"); err != nil {
+				t.Fatal(err)
+			}
+			plPages := buildEmpPages(t, c, emp, 300)
+			prPages := buildEmpPages(t, c, emp, 7)
+			if err := c.SendDataPartitioned("db", "pl", plPages, "dept", pkey); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SendDataPartitioned("db", "pr", prPages, "dept", pkey); err != nil {
+				t.Fatal(err)
+			}
+			co := joinRowsByWorker(t, c, emp, func(key func(object.Ref) uint64,
+				eq func(l, r object.Ref) bool,
+				emit func(workerID int, l, r object.Ref) error) error {
+				return c.CoPartitionedJoin("db", "pl", "db", "pr", key, key, eq, emit)
+			})
+			if len(co) != 300 {
+				t.Fatalf("w=%d t=%d barrier=%v: co-partitioned rows = %d, want 300",
+					cell.workers, cell.threads, barrier, len(co))
+			}
+			if barrier {
+				refHash, refCo = hash, co
+				continue
+			}
+			if !equalRows(hash, refHash) {
+				t.Errorf("w=%d t=%d: streaming hash-partition join differs from barrier", cell.workers, cell.threads)
+			}
+			if !equalRows(co, refCo) {
+				t.Errorf("w=%d t=%d: streaming co-partitioned join differs from barrier", cell.workers, cell.threads)
+			}
+		}
+	}
+}
+
+// TestBackendCrashReForkMidShuffle crashes a producer backend while
+// pre-aggregation pages are already in flight: the front end re-forks it,
+// the deterministic retry re-streams the same tagged pages, and the
+// consumers' merges must come out exact — every page consumed exactly
+// once, nothing duplicated (sums would be too high), nothing dropped (too
+// low).
+func TestBackendCrashReForkMidShuffle(t *testing.T) {
+	c, err := New(Config{Workers: 2, Threads: 2, PageSize: 1 << 12, ShuffleCapacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := c.Catalog.Registry()
+	rec := object.NewStruct("CrashRec").
+		AddField("grp", object.KInt64).
+		AddField("val", object.KInt64).
+		MustBuild(reg)
+	if err := c.CreateDatabase("db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSet("db", "rows", "CrashRec"); err != nil {
+		t.Fatal(err)
+	}
+	const n, groups = 4000, 16
+	pages, err := object.BuildPages(reg, 1<<12, n, func(a *object.Allocator, i int) (object.Ref, error) {
+		r, err := a.MakeObject(rec)
+		if err != nil {
+			return object.NilRef, err
+		}
+		object.SetI64(r, rec.Field("grp"), int64(i%groups))
+		object.SetI64(r, rec.Field("val"), int64(i))
+		return r, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendData("db", "rows", pages); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Val lambda panics exactly once, after enough rows that the
+	// 4KB pre-aggregation pages have already started shipping.
+	var seen int64
+	var crashed int32
+	agg := &core.Aggregate{
+		In:      core.NewScan("db", "rows", "CrashRec"),
+		ArgType: "CrashRec",
+		Key:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMember(arg, "grp") },
+		Val: func(arg *lambda.Arg) lambda.Term {
+			return lambda.FromNative("crashMidShuffle", object.KInt64,
+				func(ctx *lambda.NativeCtx, args []object.Value) (object.Value, error) {
+					if atomic.AddInt64(&seen, 1) > int64(n)/2 &&
+						atomic.CompareAndSwapInt32(&crashed, 0, 1) {
+						panic("user code bug mid-shuffle")
+					}
+					return object.Int64Value(object.GetI64(args[0].H, rec.Field("val"))), nil
+				},
+				lambda.FromSelf(arg))
+		},
+		KeyKind: object.KInt64,
+		ValKind: object.KInt64,
+		Combine: func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
+			if !exists {
+				return next, nil
+			}
+			return object.Int64Value(cur.I + next.I), nil
+		},
+		Finalize: func(a *object.Allocator, key, val object.Value) (object.Ref, error) {
+			out, err := a.MakeObject(rec)
+			if err != nil {
+				return object.NilRef, err
+			}
+			object.SetI64(out, rec.Field("grp"), key.I)
+			object.SetI64(out, rec.Field("val"), val.I)
+			return out, nil
+		},
+	}
+	if err := c.CreateSet("db", "sums", "CrashRec"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Execute(core.NewWrite("db", "sums", agg))
+	if err != nil {
+		t.Fatalf("job should survive a producer crash mid-shuffle: %v", err)
+	}
+	if stats.Retries != 1 {
+		t.Errorf("retries = %d, want 1", stats.Retries)
+	}
+	if atomic.LoadInt32(&crashed) != 1 {
+		t.Fatal("the crash never fired; the test exercised nothing")
+	}
+
+	want := make(map[int64]int64)
+	for i := 0; i < n; i++ {
+		want[int64(i%groups)] += int64(i)
+	}
+	got := make(map[int64]int64)
+	err = c.ScanSet("db", "sums", func(r object.Ref) bool {
+		got[object.GetI64(r, rec.Field("grp"))] = object.GetI64(r, rec.Field("val"))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != groups {
+		t.Fatalf("groups = %d, want %d", len(got), groups)
+	}
+	for g, w := range want {
+		if got[g] != w {
+			t.Errorf("group %d sum = %d, want %d (duplicated or dropped shuffle pages)", g, got[g], w)
+		}
+	}
+	// At least one page must have been in flight before the crash for the
+	// retry-dedup path to have been exercised.
+	if c.Transport.PagesShipped == 0 {
+		t.Error("no pages shipped; shuffle never streamed")
+	}
+}
+
+// TestShuffleObservability checks the per-stage ship accounting: the
+// exchange-linked aggregation stage must report shipped bytes/pages and a
+// bytes-in-flight high-water mark on multi-worker clusters.
+func TestShuffleObservability(t *testing.T) {
+	c, emp := matrixCluster(t, 4, 2, false, 800)
+	_, agg := runSelAgg(t, c, emp)
+	if len(agg) != 5 {
+		t.Fatalf("aggregation produced %d groups", len(agg))
+	}
+	found := false
+	// The second Execute call ran the aggregation; its stats are not
+	// returned here, so re-run one aggregation explicitly.
+	aggComp := &core.Aggregate{
+		In:      core.NewScan("db", "emps", "Emp"),
+		ArgType: "Emp",
+		Key:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMethod(arg, "getDept") },
+		Val:     func(arg *lambda.Arg) lambda.Term { return lambda.FromMethod(arg, "getSalary") },
+		KeyKind: object.KString,
+		ValKind: object.KFloat64,
+		Combine: func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
+			if !exists {
+				return next, nil
+			}
+			return object.Float64Value(cur.F + next.F), nil
+		},
+		Finalize: func(a *object.Allocator, key, val object.Value) (object.Ref, error) {
+			out, err := a.MakeObject(emp)
+			if err != nil {
+				return object.NilRef, err
+			}
+			if err := object.SetStrField(a, out, emp.Field("dept"), key.S); err != nil {
+				return object.NilRef, err
+			}
+			object.SetF64(out, emp.Field("salary"), val.F)
+			return out, nil
+		},
+	}
+	if err := c.CreateSet("db", "agg2", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Execute(core.NewWrite("db", "agg2", aggComp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Ships) == 0 {
+		t.Fatal("ExecStats.Ships is empty")
+	}
+	for _, s := range stats.Ships {
+		if s.MaxBytesInFlight > 0 {
+			found = true
+			if s.Bytes <= 0 || s.Pages <= 0 {
+				t.Errorf("exchange stage %d shipped (%d bytes, %d pages); want positive traffic", s.Stage, s.Bytes, s.Pages)
+			}
+		}
+	}
+	if !found {
+		t.Error("no stage reported a bytes-in-flight high-water mark; the aggregation should have streamed")
+	}
+	if c.Transport.MaxBytesInFlight <= 0 {
+		t.Error("transport did not record the shuffle high-water mark")
+	}
+}

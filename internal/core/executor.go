@@ -145,7 +145,7 @@ func (e *Executor) runPipelineStage(res *CompileResult, stage *physical.JobStage
 	}
 
 	pt, err := engine.RunPipelineThreads(chunks, stage.SourceCol, stage.Stmts, res.Stages, sinkStmt,
-		func(t int, stats *engine.Stats) (engine.Sink, *engine.Ctx, error) {
+		func(t int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
 			sink, err := e.newStageSink(res, stage, stats)
 			if err != nil {
 				return nil, nil, err
@@ -155,7 +155,7 @@ func (e *Executor) runPipelineStage(res *CompileResult, stage *physical.JobStage
 				return nil, nil, err
 			}
 			return sink, ctx, nil
-		})
+		}, nil)
 	pt.MergeStatsInto(&e.Stats)
 	if err != nil {
 		return err

@@ -179,6 +179,181 @@ func tryMergeSub(reg *object.Registry, pages []*object.Page, part, partitions in
 	return final, pg, nil
 }
 
+// subMerger incrementally folds pre-aggregated map pages into one
+// sub-partition's final map. Unlike the batch merge (tryMergeSub), which
+// restarts on a bigger page when the map overflows, a stream cannot re-scan
+// consumed pages — so an overflow grows the map in place: the entries are
+// rehashed onto a double-size page and the faulted update retries.
+type subMerger struct {
+	reg              *object.Registry
+	spec             *AggSpec
+	part, partitions int
+	sub, subs        int
+	pool             *object.PagePool
+
+	pg    *object.Page
+	a     *object.Allocator
+	final object.OMap
+}
+
+func newSubMerger(reg *object.Registry, part, partitions int, spec *AggSpec,
+	pageSize int, pool *object.PagePool, sub, subs int) (*subMerger, error) {
+	m := &subMerger{reg: reg, spec: spec, part: part, partitions: partitions,
+		sub: sub, subs: subs, pool: pool}
+	for {
+		if pool != nil && pool.Size == pageSize {
+			m.pg = pool.Get(reg)
+		} else {
+			m.pg = object.NewPage(pageSize, reg)
+		}
+		m.a = object.NewAllocator(m.pg, object.PolicyLightweightReuse)
+		final, err := object.MakeMap(m.a, spec.KeyKind, spec.ValKind, 64)
+		if errors.Is(err, object.ErrPageFull) {
+			// The configured page cannot hold even an empty map; start
+			// bigger (the grow path would do the same, one fold later).
+			if pool != nil {
+				pool.Put(m.pg)
+			}
+			pageSize *= 2
+			if pageSize > 1<<30 {
+				return nil, fmt.Errorf("engine: aggregation sub-map exceeds 1GiB empty: %w", err)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		final.Retain()
+		m.pg.SetRoot(final.Off)
+		m.final = final
+		return m, nil
+	}
+}
+
+// fold merges the sub-partition's share of one shuffled map page.
+func (m *subMerger) fold(src *object.Page) error {
+	if src.Root() == 0 {
+		return nil
+	}
+	root := object.AsVector(object.Ref{Page: src, Off: src.Root()})
+	if m.part >= root.Len() {
+		return fmt.Errorf("engine: page has %d partitions, need %d", root.Len(), m.part+1)
+	}
+	var ferr error
+	object.AsMap(root.HandleAt(m.part)).Iterate(func(key, val object.Value) bool {
+		// Sub-partition on hash divided by the partition count — see
+		// tryMergeSub for why the quotient decorrelates from routing.
+		if m.subs > 1 && int((LogicalKeyHash(m.reg, m.spec.KeyKind, key)/uint64(m.partitions))%uint64(m.subs)) != m.sub {
+			return true
+		}
+		if err := m.update(key, val); err != nil {
+			ferr = err
+			return false
+		}
+		return true
+	})
+	return ferr
+}
+
+func (m *subMerger) update(key, val object.Value) error {
+	try := func() error {
+		cur, ok := m.final.Get(key)
+		if ok && cur.K == object.KInvalid {
+			ok = false // a faulted earlier write left a zero entry
+		}
+		nv, err := m.spec.Combine(m.a, cur, ok, val)
+		if err != nil {
+			return err
+		}
+		return m.final.Put(m.a, key, nv)
+	}
+	err := try()
+	for errors.Is(err, object.ErrPageFull) {
+		if gerr := m.grow(); gerr != nil {
+			return gerr
+		}
+		err = try()
+	}
+	return err
+}
+
+// grow rehashes the sub-map onto a page of at least double the size,
+// recycling the outgrown page. Entries deep-copy across by the object
+// model's cross-block assignment rule, exactly as they do in the shuffle.
+func (m *subMerger) grow() error {
+	for size := len(m.pg.Data) * 2; ; size *= 2 {
+		if size > 1<<30 {
+			return fmt.Errorf("engine: aggregation sub-partition exceeds 1GiB: %w", object.ErrPageFull)
+		}
+		npg := object.NewPage(size, m.reg)
+		na := object.NewAllocator(npg, object.PolicyLightweightReuse)
+		nm, err := object.MakeMap(na, m.spec.KeyKind, m.spec.ValKind, 64)
+		if err != nil {
+			return err
+		}
+		nm.Retain()
+		npg.SetRoot(nm.Off)
+		var cerr error
+		m.final.Iterate(func(key, val object.Value) bool {
+			if err := nm.Put(na, key, val); err != nil {
+				cerr = err
+				return false
+			}
+			return true
+		})
+		if errors.Is(cerr, object.ErrPageFull) {
+			continue // even the copy overflowed; double again
+		}
+		if cerr != nil {
+			return cerr
+		}
+		if m.pool != nil {
+			m.pool.Put(m.pg)
+		}
+		m.pg, m.a, m.final = npg, na, nm
+		return nil
+	}
+}
+
+// MergeAggMapsStream is the consuming half of the streaming shuffle:
+// MergeAggMapsParallel fed one page at a time. next yields shuffled map
+// pages in the exchange's deterministic (producer worker, thread, sequence)
+// order; each of threads sub-partition mergers folds every page in exactly
+// that order (StreamPages broadcast), so the merge is bit-for-bit
+// reproducible and identical to a barrier shuffle's. release is invoked
+// once a page has been folded by every merger — the recycling hook for
+// shuffle pages, which no artifact list retains in streaming mode.
+//
+// Sub-maps and their pages are returned in sub-partition order for
+// FinalizeAggParallel, like the batch merge.
+func MergeAggMapsStream(reg *object.Registry, next func() (*object.Page, bool, error),
+	part, partitions int, spec *AggSpec, pageSize int, pool *object.PagePool,
+	threads int, release func(*object.Page)) ([]object.OMap, []*object.Page, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	mergers := make([]*subMerger, threads)
+	for t := range mergers {
+		m, err := newSubMerger(reg, part, partitions, spec, pageSize, pool, t, threads)
+		if err != nil {
+			return nil, nil, err
+		}
+		mergers[t] = m
+	}
+	err := StreamPages(next, threads, true, release, func(t int, p *object.Page) error {
+		return mergers[t].fold(p)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	maps := make([]object.OMap, threads)
+	pages := make([]*object.Page, threads)
+	for t, m := range mergers {
+		maps[t], pages[t] = m.final, m.pg
+	}
+	return maps, pages, nil
+}
+
 // FinalizeAgg materializes a merged aggregation map into output objects via
 // the spec's Finalize, writing them through an OutputSink.
 func FinalizeAgg(reg *object.Registry, final object.OMap, spec *AggSpec, pageSize int, pool *object.PagePool, stats *Stats) ([]*object.Page, error) {

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+// buildAggPages pre-aggregates n rows over `keys` string keys into
+// partitioned map pages (tiny pages force many rotations, so the stream
+// has real length).
+func buildAggPages(t *testing.T, reg *object.Registry, parts, n, keys, pageSize int) []*object.Page {
+	t.Helper()
+	stats := &Stats{}
+	sink, err := NewAggSink(reg, pageSize, parts, object.KString, object.KFloat64,
+		sumCombine, "key", "val", nil, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Ctx{Reg: reg, Out: sink.Out, Stats: stats}
+	stmt := &tcap.Stmt{Op: tcap.OpAggregate,
+		Applied: tcap.ColumnsRef{Name: "in", Cols: []string{"key", "val"}}}
+	kc := make(StrCol, n)
+	vc := make(F64Col, n)
+	for i := range kc {
+		kc[i] = fmt.Sprintf("key-%03d", i%keys)
+		vc[i] = float64(i)
+	}
+	vl := &VectorList{Names: []string{"key", "val"}, Cols: []Column{kc, vc}}
+	if err := sink.Consume(ctx, vl, stmt); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Pages()
+}
+
+// mergedRows folds one partition's maps and serializes the entries sorted.
+func mergedRows(t *testing.T, finals []object.OMap) []string {
+	t.Helper()
+	var rows []string
+	for _, m := range finals {
+		m.Iterate(func(k, v object.Value) bool {
+			rows = append(rows, fmt.Sprintf("%s=%g", k.S, v.F))
+			return true
+		})
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// pagesSource yields a page slice as a stream.
+func pagesSource(pages []*object.Page) func() (*object.Page, bool, error) {
+	i := 0
+	return func() (*object.Page, bool, error) {
+		if i >= len(pages) {
+			return nil, false, nil
+		}
+		p := pages[i]
+		i++
+		return p, true, nil
+	}
+}
+
+// TestMergeAggMapsStreamMatchesBatch feeds the same shuffled pages through
+// the streaming merge and the batch merge at several thread counts; the
+// merged (key, sum) sets must agree exactly, and the streaming merge must
+// release every page it consumed.
+func TestMergeAggMapsStreamMatchesBatch(t *testing.T) {
+	reg := object.NewRegistry()
+	const parts = 3
+	spec := &AggSpec{KeyKind: object.KString, ValKind: object.KFloat64, Combine: sumCombine}
+	pages := buildAggPages(t, reg, parts, 4000, 120, 1<<12)
+	if len(pages) < 3 {
+		t.Fatalf("want a multi-page stream, got %d pages", len(pages))
+	}
+	for part := 0; part < parts; part++ {
+		var want []string
+		for _, threads := range []int{1, 2, 8} {
+			batchFinals, _, err := MergeAggMapsParallel(reg, pages, part, parts, spec, 1<<14, nil, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			released := 0
+			streamFinals, _, err := MergeAggMapsStream(reg, pagesSource(pages), part, parts,
+				spec, 1<<14, nil, threads, func(*object.Page) { released++ })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if released != len(pages) {
+				t.Errorf("threads=%d: released %d pages, want %d", threads, released, len(pages))
+			}
+			batch, stream := mergedRows(t, batchFinals), mergedRows(t, streamFinals)
+			if !reflect.DeepEqual(batch, stream) {
+				t.Errorf("part %d threads=%d: stream merge differs from batch merge", part, threads)
+			}
+			if want == nil {
+				want = stream
+				continue
+			}
+			if !reflect.DeepEqual(stream, want) {
+				t.Errorf("part %d threads=%d: stream merge differs across thread counts", part, threads)
+			}
+		}
+	}
+}
+
+// TestMergeAggMapsStreamGrowsOnOverflow starts the merge on a page far too
+// small for the partition and relies on in-place growth (the stream cannot
+// be re-scanned, unlike the batch merge's restart-on-full).
+func TestMergeAggMapsStreamGrowsOnOverflow(t *testing.T) {
+	reg := object.NewRegistry()
+	spec := &AggSpec{KeyKind: object.KString, ValKind: object.KFloat64, Combine: sumCombine}
+	pages := buildAggPages(t, reg, 1, 6000, 400, 1<<12)
+	finals, mergePages, err := MergeAggMapsStream(reg, pagesSource(pages), 0, 1,
+		spec, 1<<10, nil, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := false
+	for _, pg := range mergePages {
+		if len(pg.Data) > 1<<10 {
+			grown = true
+		}
+	}
+	if !grown {
+		t.Fatal("expected at least one sub-map page to grow past the initial size")
+	}
+	rows := mergedRows(t, finals)
+	if len(rows) != 400 {
+		t.Fatalf("merged %d keys, want 400", len(rows))
+	}
+	// Cross-check totals against the batch merge.
+	batchFinals, _, err := MergeAggMapsParallel(reg, pages, 0, 1, spec, 1<<14, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, mergedRows(t, batchFinals)) {
+		t.Fatal("grown stream merge differs from batch merge")
+	}
+}

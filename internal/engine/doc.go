@@ -26,7 +26,9 @@
 //     pre-aggregation maps), JoinBuildSink (probe hash tables), or
 //     RepartitionSink (per-partition shuffle pages).
 //  4. Merge. When the stage ran on several executor threads, the
-//     per-thread sinks are combined by the sink-merge protocol below.
+//     per-thread sinks are combined by the sink-merge protocol below —
+//     unless the sink streams, in which case its pages already left
+//     through the exchange (see "The OnSeal streaming sink contract").
 //
 // # Intra-worker parallelism and the sink-merge protocol
 //
@@ -48,19 +50,41 @@
 //     order (JoinTable.Merge via PipelineThreads.MergeJoinTables), so
 //     per-bucket row order matches a sequential build.
 //
+// # The OnSeal streaming sink contract
+//
+// A sink whose output feeds a shuffle does not accumulate an artifact
+// list. Installing OutputPageSet.OnSeal turns the sink into a stream:
+// every page is handed to the hook — an exchange channel — the moment
+// Rotate seals it, and the hook takes ownership. When an executor thread
+// finishes its chunk, RunPipelineThreads calls the sink's CloseStream on
+// that same thread, flushing the final live page through the hook; the
+// optional done epilogue then lets the caller send its thread-close
+// marker. A thread's whole stream is therefore emitted in (thread,
+// sequence) order on the producing thread, which is what lets the
+// exchange reconstruct a deterministic global order at the consumer.
+// StreamSink marks the sinks that implement the contract (OutputSink,
+// AggSink, RepartitionSink); without a hook CloseStream is a no-op and
+// the sink behaves exactly as before. mk receives the run's stop channel
+// (closed on sibling-thread failure) so a hook blocked on exchange
+// backpressure can bail out with ErrAborted instead of deadlocking the
+// stage barrier.
+//
 // The consuming phases parallelize with the same machinery:
 //
-//   - Aggregation consume: MergeAggMapsParallel splits a partition's key
-//     space into hash-range sub-partitions (LogicalKeyHash, so handle keys
-//     route by logical value, not page offset); each thread folds only its
-//     sub-partition's keys into a private sub-map. FinalizeAggParallel then
-//     materializes the sub-maps concurrently and concatenates their pages
-//     in sub-partition order.
-//   - Join build/probe (internal/cluster.HashPartitionJoin): the build
-//     side is chunked into per-thread tables merged bucket-wise; probe
-//     threads buffer their matches, which are emitted after the barrier in
-//     thread order — the sequential match order — so user emit callbacks
-//     never run concurrently.
+//   - Aggregation consume: MergeAggMapsParallel (batch) and
+//     MergeAggMapsStream (fed from an exchange, page by page) split a
+//     partition's key space into hash-range sub-partitions
+//     (LogicalKeyHash, so handle keys route by logical value, not page
+//     offset); each thread folds only its sub-partition's keys into a
+//     private sub-map, consuming pages in the stream's deterministic
+//     order (StreamPages). FinalizeAggParallel then materializes the
+//     sub-maps concurrently and concatenates their pages in sub-partition
+//     order.
+//   - Join build/probe (internal/cluster.HashPartitionJoin): the shuffled
+//     build side streams into per-thread tables (pages dealt round-robin
+//     by delivery index) merged bucket-wise; probe threads buffer their
+//     matches, which are emitted after the barrier in thread order — so
+//     user emit callbacks never run concurrently on one worker.
 //
 // Error and panic discipline: the first failing thread sets a shared abort
 // flag checked once per batch (never per row); panics in user kernels are

@@ -56,29 +56,53 @@ func NewSinkCtx(sink Sink, reg *object.Registry, tables map[string]*JoinTable,
 // into its accounting (matching the sequential path's incremental
 // accounting); the error reports the first failing thread. Panics in user
 // code are re-raised on the caller.
+//
+// Streaming: mk receives the run's stop channel (closed on sibling-thread
+// failure) so streaming sinks can abandon a blocked exchange send. When a
+// thread's chunk completes, its sink's CloseStream runs on that thread
+// (flushing the final live page through OnSeal, a no-op for non-streaming
+// sinks), followed by the optional done epilogue — the place a streaming
+// producer sends its thread-close marker.
 func RunPipelineThreads(chunks [][]PageRange, sourceCol string, stmts []*tcap.Stmt,
 	reg *StageRegistry, sinkStmt *tcap.Stmt,
-	mk func(t int, stats *Stats) (Sink, *Ctx, error)) (*PipelineThreads, error) {
+	mk func(t int, stats *Stats, stop <-chan struct{}) (Sink, *Ctx, error),
+	done func(t int, stop <-chan struct{}) error) (*PipelineThreads, error) {
 	nt := len(chunks)
 	pt := &PipelineThreads{
 		Sinks: make([]Sink, nt),
 		Ctxs:  make([]*Ctx, nt),
 		Stats: make([]Stats, nt),
 	}
-	pipes := make([]*Pipeline, nt)
-	for t := 0; t < nt; t++ {
-		sink, ctx, err := mk(t, &pt.Stats[t])
+	body := func(t int, stop <-chan struct{}) error {
+		sink, ctx, err := mk(t, &pt.Stats[t], stop)
 		if err != nil {
-			return pt, err
+			return err
 		}
 		pt.Sinks[t] = sink
 		pt.Ctxs[t] = ctx
-		pipes[t] = &Pipeline{Stmts: stmts, Reg: reg, Sink: sink, SinkStmt: sinkStmt}
+		pipe := &Pipeline{Stmts: stmts, Reg: reg, Sink: sink, SinkStmt: sinkStmt}
+		err = ScanRanges(chunks[t], sourceCol, func(vl *VectorList) error {
+			select {
+			case <-stop:
+				return ErrAborted
+			default:
+			}
+			return pipe.RunBatch(ctx, vl)
+		})
+		if err != nil {
+			return err
+		}
+		if ss, ok := sink.(StreamSink); ok {
+			if err := ss.CloseStream(); err != nil {
+				return err
+			}
+		}
+		if done != nil {
+			return done(t, stop)
+		}
+		return nil
 	}
-	err := ParallelScanRanges(chunks, sourceCol, func(t int, vl *VectorList) error {
-		return pipes[t].RunBatch(pt.Ctxs[t], vl)
-	})
-	return pt, err
+	return pt, ParallelThreads(nt, body)
 }
 
 // MergeStatsInto folds every thread's counters into dst (post-barrier,

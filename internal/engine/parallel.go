@@ -9,15 +9,18 @@ package engine
 // goroutine concatenates or merges the per-thread results.
 //
 // The same machinery drives the consuming phases: the aggregation merge
-// (MergeAggMapsParallel), finalization (FinalizeAggParallel), and the
-// hash-partition join's repartition/build/probe loops all run their
-// per-thread bodies through ParallelFor.
+// (MergeAggMapsParallel / MergeAggMapsStream), finalization
+// (FinalizeAggParallel), and the hash-partition join's repartition, build,
+// and probe loops all run their per-thread bodies through ParallelFor,
+// ParallelThreads, or StreamPages.
 
 import (
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/object"
 )
 
 // threadPanic wraps a panic recovered on an executor thread so the
@@ -26,18 +29,39 @@ import (
 // goroutine the crash-proof front end is watching.
 type threadPanic struct{ v any }
 
-// errAborted marks a thread that stopped early because a sibling failed; it
-// never escapes the parallel drivers.
-var errAborted = errors.New("engine: aborted by sibling thread failure")
+// ErrAborted marks work a thread abandoned because a sibling failed. The
+// parallel drivers set the shared abort signal on the first error or panic;
+// cooperative bodies return ErrAborted when they observe it (polling the
+// flag between batches, or woken from a blocked exchange send through the
+// stop channel), and the drivers never report it as the run's error — the
+// root cause wins.
+var ErrAborted = errors.New("engine: aborted by sibling thread failure")
 
-// runThreads runs body(t, abort) for t in [0, n) each on its own goroutine
-// and waits for all of them. The shared abort flag is set on the first error
-// or panic so cooperative bodies (those that poll it between batches) stop
-// early. Panics are re-raised on the calling goroutine after the barrier;
-// otherwise the first non-aborted error is returned, tagged with its thread.
-func runThreads(n int, body func(t int, abort *atomic.Bool) error) error {
+// abortSignal is the shared tear-down switch of one parallel run: a flag
+// for the cheap per-batch poll, plus a channel that closes on the first
+// failure so bodies blocked in a select (streaming sends under exchange
+// backpressure) wake up too.
+type abortSignal struct {
+	flag atomic.Bool
+	ch   chan struct{}
+	once sync.Once
+}
+
+func newAbortSignal() *abortSignal { return &abortSignal{ch: make(chan struct{})} }
+
+func (a *abortSignal) trip() {
+	a.flag.Store(true)
+	a.once.Do(func() { close(a.ch) })
+}
+
+// runThreads runs body(t, ab) for t in [0, n) each on its own goroutine and
+// waits for all of them. The shared abort signal trips on the first error
+// or panic so cooperative bodies stop early. Panics are re-raised on the
+// calling goroutine after the barrier; otherwise the first non-aborted
+// error is returned, tagged with its thread.
+func runThreads(n int, body func(t int, ab *abortSignal) error) error {
 	var wg sync.WaitGroup
-	var abort atomic.Bool
+	ab := newAbortSignal()
 	errs := make([]error, n)
 	panics := make([]*threadPanic, n)
 	for t := 0; t < n; t++ {
@@ -46,12 +70,12 @@ func runThreads(n int, body func(t int, abort *atomic.Bool) error) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					abort.Store(true)
+					ab.trip()
 					panics[t] = &threadPanic{v: r}
 				}
 			}()
-			if err := body(t, &abort); err != nil {
-				abort.Store(true)
+			if err := body(t, ab); err != nil {
+				ab.trip()
 				errs[t] = err
 			}
 		}(t)
@@ -63,7 +87,7 @@ func runThreads(n int, body func(t int, abort *atomic.Bool) error) error {
 		}
 	}
 	for t, err := range errs {
-		if err != nil && !errors.Is(err, errAborted) {
+		if err != nil && !errors.Is(err, ErrAborted) {
 			return fmt.Errorf("executor thread %d: %w", t, err)
 		}
 	}
@@ -74,7 +98,7 @@ func runThreads(n int, body func(t int, abort *atomic.Bool) error) error {
 // threads and waits for all of them. With n <= 1 fn runs inline on the
 // caller (no goroutine, no barrier) so sequential configurations pay
 // nothing. The first panic is re-raised on the caller after the barrier;
-// otherwise the first error is returned. Unlike ParallelScanRanges there is
+// otherwise the first error is returned. Unlike the scan drivers there is
 // no mid-task abort: each fn is one coarse unit of work.
 func ParallelFor(n int, fn func(t int) error) error {
 	switch {
@@ -83,36 +107,146 @@ func ParallelFor(n int, fn func(t int) error) error {
 	case n == 1:
 		return fn(0)
 	}
-	return runThreads(n, func(t int, abort *atomic.Bool) error {
-		if abort.Load() {
-			return errAborted
+	return runThreads(n, func(t int, ab *abortSignal) error {
+		if ab.flag.Load() {
+			return ErrAborted
 		}
 		return fn(t)
 	})
 }
 
-// ParallelScanRanges drives fn over each chunk on its own goroutine: fn is
-// invoked as fn(thread, vl) for every batch of chunk `thread`, in order.
-// With a single chunk the scan runs inline on the caller (no goroutine, no
-// barrier) so sequential configurations pay nothing.
-//
-// The first error (or panic) on any thread makes the others stop after
-// their current batch — a shared abort flag is checked once per batch, not
-// per row, so the row path stays atomic-free. Panics are re-raised on the
-// calling goroutine after the barrier.
-func ParallelScanRanges(chunks [][]PageRange, colName string, fn func(thread int, vl *VectorList) error) error {
-	switch len(chunks) {
-	case 0:
+// ParallelThreads runs body(t, stop) for every t in [0, n) on dedicated
+// executor threads and waits for all of them. stop closes when a sibling
+// thread fails or panics, so bodies that block outside the engine — a
+// streaming sink's exchange send waiting out backpressure — can select on
+// it and bail with ErrAborted instead of deadlocking the barrier. With
+// n <= 1 the body runs inline with a nil stop channel (it has no siblings
+// to fail). Panics re-raise on the caller after the barrier.
+func ParallelThreads(n int, body func(t int, stop <-chan struct{}) error) error {
+	switch {
+	case n <= 0:
 		return nil
-	case 1:
-		return ScanRanges(chunks[0], colName, func(vl *VectorList) error { return fn(0, vl) })
+	case n == 1:
+		return body(0, nil)
 	}
-	return runThreads(len(chunks), func(t int, abort *atomic.Bool) error {
-		return ScanRanges(chunks[t], colName, func(vl *VectorList) error {
-			if abort.Load() {
-				return errAborted
-			}
-			return fn(t, vl)
-		})
+	return runThreads(n, func(t int, ab *abortSignal) error {
+		if ab.flag.Load() {
+			return ErrAborted
+		}
+		return body(t, ab.ch)
 	})
+}
+
+// StreamPages fans a shuffle stream out over consumer threads: next yields
+// pages in the exchange's deterministic delivery order; body(t, p) folds a
+// page on thread t. broadcast hands every page to every thread (the
+// aggregation merge, where each thread filters its own hash range);
+// otherwise pages are dealt round-robin by delivery index (the join build)
+// — both assignments are pure functions of the delivery order, so the
+// consumption stays deterministic. release runs once a page's last
+// consumer is done with it (recycling hook; nil skips). With threads <= 1
+// everything runs inline on the caller.
+//
+// Panics in body (user combine/key code) re-raise on the caller after all
+// threads drain, preserving the backend-crash discipline; a body error
+// stops the dispatch and is returned (the stream itself is abandoned — the
+// caller is expected to cancel the exchange, unblocking producers).
+func StreamPages(next func() (*object.Page, bool, error), threads int, broadcast bool,
+	release func(*object.Page), body func(t int, p *object.Page) error) error {
+	if threads <= 1 {
+		for {
+			p, ok, err := next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := body(0, p); err != nil {
+				return err
+			}
+			if release != nil {
+				release(p)
+			}
+		}
+	}
+
+	type counted struct {
+		p    *object.Page
+		refs atomic.Int32
+	}
+	finish := func(cp *counted) {
+		if cp.refs.Add(-1) == 0 && release != nil {
+			release(cp.p)
+		}
+	}
+	feeds := make([]chan *counted, threads)
+	errs := make([]error, threads)
+	panics := make([]*threadPanic, threads)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for t := range feeds {
+		feeds[t] = make(chan *counted, 4)
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[t] = &threadPanic{v: r}
+					failed.Store(true)
+					// Keep draining so the dispatcher never blocks on a
+					// dead thread's feed.
+					for cp := range feeds[t] {
+						finish(cp)
+					}
+				}
+			}()
+			for cp := range feeds[t] {
+				if errs[t] == nil {
+					if err := body(t, cp.p); err != nil {
+						errs[t] = err
+						failed.Store(true)
+					}
+				}
+				finish(cp)
+			}
+		}(t)
+	}
+	var srcErr error
+	for i := 0; !failed.Load(); i++ {
+		p, ok, err := next()
+		if err != nil {
+			srcErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		if broadcast {
+			cp := &counted{p: p}
+			cp.refs.Store(int32(threads))
+			for t := range feeds {
+				feeds[t] <- cp
+			}
+		} else {
+			cp := &counted{p: p}
+			cp.refs.Store(1)
+			feeds[i%threads] <- cp
+		}
+	}
+	for t := range feeds {
+		close(feeds[t])
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p.v)
+		}
+	}
+	for t, err := range errs {
+		if err != nil {
+			return fmt.Errorf("stream consumer thread %d: %w", t, err)
+		}
+	}
+	return srcErr
 }

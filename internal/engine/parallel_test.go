@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/object"
@@ -148,7 +149,7 @@ func TestScanRangesScratchReuseIsInvisible(t *testing.T) {
 	}
 }
 
-func TestParallelScanRangesMatchesSequentialOrder(t *testing.T) {
+func TestParallelThreadsScanMatchesSequentialOrder(t *testing.T) {
 	reg := object.NewRegistry()
 	pages, ti := buildI64Pages(t, reg, 1<<12, 900)
 	ranges := BatchRanges(pages, 32)
@@ -166,11 +167,13 @@ func TestParallelScanRangesMatchesSequentialOrder(t *testing.T) {
 	for _, threads := range []int{2, 4, 8} {
 		chunks := SplitRanges(ranges, threads)
 		perThread := make([][]int64, len(chunks))
-		err := ParallelScanRanges(chunks, "obj", func(th int, vl *VectorList) error {
-			for _, r := range vl.Col("obj").(RefCol) {
-				perThread[th] = append(perThread[th], object.GetI64(r, ti.Field("v")))
-			}
-			return nil
+		err := ParallelThreads(len(chunks), func(th int, _ <-chan struct{}) error {
+			return ScanRanges(chunks[th], "obj", func(vl *VectorList) error {
+				for _, r := range vl.Col("obj").(RefCol) {
+					perThread[th] = append(perThread[th], object.GetI64(r, ti.Field("v")))
+				}
+				return nil
+			})
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -186,36 +189,46 @@ func TestParallelScanRangesMatchesSequentialOrder(t *testing.T) {
 	}
 }
 
-func TestParallelScanRangesPropagatesErrors(t *testing.T) {
-	reg := object.NewRegistry()
-	pages, _ := buildI64Pages(t, reg, 1<<12, 400)
-	chunks := SplitRanges(BatchRanges(pages, 32), 4)
+func TestParallelThreadsPropagatesErrorsAndClosesStop(t *testing.T) {
 	boom := errors.New("boom")
-	err := ParallelScanRanges(chunks, "obj", func(th int, vl *VectorList) error {
+	stopSeen := make([]bool, 4)
+	var entered sync.WaitGroup
+	entered.Add(4)
+	err := ParallelThreads(4, func(th int, stop <-chan struct{}) error {
+		entered.Done()
 		if th == 1 {
+			// Fail only once every sibling is inside the body, so none
+			// can early-abort before blocking on stop.
+			entered.Wait()
 			return boom
 		}
-		return nil
+		// Siblings must observe the closed stop channel.
+		<-stop
+		stopSeen[th] = true
+		return ErrAborted
 	})
 	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v, want wrapped boom", err)
+		t.Fatalf("err = %v, want wrapped boom (ErrAborted must not mask it)", err)
+	}
+	for th, seen := range stopSeen {
+		if th != 1 && !seen {
+			t.Errorf("thread %d never saw the stop channel close", th)
+		}
 	}
 }
 
-func TestParallelScanRangesRePanicsOnCaller(t *testing.T) {
-	reg := object.NewRegistry()
-	pages, _ := buildI64Pages(t, reg, 1<<12, 400)
-	chunks := SplitRanges(BatchRanges(pages, 32), 4)
+func TestParallelThreadsRePanicsOnCaller(t *testing.T) {
 	defer func() {
 		if r := recover(); r != "thread bug" {
 			t.Fatalf("recovered %v, want thread bug", r)
 		}
 	}()
-	_ = ParallelScanRanges(chunks, "obj", func(th int, vl *VectorList) error {
+	_ = ParallelThreads(4, func(th int, stop <-chan struct{}) error {
 		if th == 2 {
 			panic("thread bug")
 		}
-		return nil
+		<-stop // released when the panicking sibling trips the abort
+		return ErrAborted
 	})
 	t.Fatal("expected re-panic")
 }

@@ -18,6 +18,18 @@ type Sink interface {
 	Pages() []*object.Page
 }
 
+// StreamSink is a sink that can stream its output pages: installing an
+// OnSeal hook on its page set(s) makes every sealed page flow to the hook
+// (an exchange channel) the moment it fills, and CloseStream flushes the
+// final live page(s) when the owning executor thread finishes its chunk.
+// The stage driver calls CloseStream on the producing thread, so a sink's
+// whole stream is emitted in (thread, sequence) order. Without a hook
+// CloseStream is a no-op and the sink behaves like any other.
+type StreamSink interface {
+	Sink
+	CloseStream() error
+}
+
 // CombineFn merges an incoming aggregation value into the current value for
 // a key (the paper's "the existing value is added to the new value").
 // Handle-valued aggregates allocate their state with a.
@@ -88,6 +100,10 @@ func (s *OutputSink) appendWithRotate(r object.Ref) error {
 
 // Pages returns the output pages.
 func (s *OutputSink) Pages() []*object.Page { return s.Out.Pages() }
+
+// CloseStream flushes the final live page through the page set's OnSeal
+// hook (no-op without one).
+func (s *OutputSink) CloseStream() error { return s.Out.CloseStream() }
 
 // AggSink pre-aggregates (key, value) pairs into per-hash-partition PC Map
 // objects held on output pages — the producing stage of distributed
@@ -234,6 +250,12 @@ func (s *AggSink) updateWithRotate(key, val object.Value) error {
 // Pages returns the pre-aggregated map pages.
 func (s *AggSink) Pages() []*object.Page { return s.Out.Pages() }
 
+// CloseStream flushes the final live map page through the page set's
+// OnSeal hook (no-op without one). Streaming producers ship even an
+// empty-map page, matching the barrier artifact contract (a worker with no
+// input still contributes one page of empty partition maps).
+func (s *AggSink) CloseStream() error { return s.Out.CloseStream() }
+
 // AbsorbPages folds other pre-aggregated map pages (produced by sibling
 // executor threads with the same partition count and combine function) into
 // this sink's live maps — the sink-merge half of the intra-worker threading
@@ -378,6 +400,27 @@ func appendToRoot(out *OutputPageSet, r object.Ref) error {
 	root = object.AsVector(object.Ref{Page: out.Live, Off: out.Live.Root()})
 	if err := root.PushBackHandle(out.Alloc, r); err != nil {
 		return fmt.Errorf("engine: object does not fit on an empty repartition page: %w", err)
+	}
+	return nil
+}
+
+// SetOnSeal streams every partition's sealed pages through fn (tagged with
+// the partition, so the caller can route each page to the worker owning
+// it). Install before consuming any rows.
+func (s *RepartitionSink) SetOnSeal(fn func(part int, p *object.Page) error) {
+	for i, ops := range s.Parts {
+		i := i
+		ops.OnSeal = func(p *object.Page) error { return fn(i, p) }
+	}
+}
+
+// CloseStream flushes every partition's final live page through its OnSeal
+// hook, in partition order (no-op without hooks).
+func (s *RepartitionSink) CloseStream() error {
+	for _, ops := range s.Parts {
+		if err := ops.CloseStream(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,429 @@
+// Package exchange implements the streaming shuffle that connects a
+// producing job stage to its consuming stage (paper Appendix D.2/D.3,
+// "overlap shuffle with production"): a bounded, per-(producer, consumer)
+// queue of sealed pages with backpressure. Producers push each page the
+// moment its sink seals it; the transport ships it in flight; consumers
+// start merging immediately — production, shipping, and consumption all
+// overlap instead of meeting at a stage barrier.
+//
+// # Determinism
+//
+// Every page carries a (producer worker, executor thread, sequence) Tag.
+// Recv delivers pages to a consumer in strict Tag order — producer-major,
+// then thread, then sequence — regardless of arrival order, buffering
+// early arrivals until their turn. Because the merge consumes the exact
+// sequence a barrier shuffle would have presented, streaming and barrier
+// executions are bit-for-bit identical.
+//
+// # Crash retry
+//
+// A producer that crashes mid-stream is re-forked and re-run from scratch.
+// Pipeline execution is deterministic, so the retry re-sends the same
+// pages with the same tags; Recv tracks the next expected sequence per
+// (producer, thread) and silently drops the retry's duplicates of pages
+// already delivered, so the consumer's merge sees every page exactly once
+// — nothing duplicated, nothing dropped.
+//
+// # Barrier mode (ablation baseline)
+//
+// Config.Barrier buffers the whole shuffle and releases it only after all
+// producers close, restoring the pre-streaming schedule with the identical
+// delivery order. It exists for the shuffle-overlap ablation
+// (bench.RunShuffleOverlap) and its identity check, not as a second code
+// path in the execution stack: producers and consumers are wired exactly
+// the same way in both modes.
+package exchange
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/object"
+)
+
+// Tag identifies a page's deterministic position in a shuffle stream.
+type Tag struct {
+	// Producer is the producing worker's ID.
+	Producer int
+	// Thread is the executor thread (within the producer) that sealed the
+	// page.
+	Thread int
+	// Seq numbers the pages one thread sent through one channel, from 0.
+	Seq int
+}
+
+// ErrProducerStopped is returned by Send/Broadcast/CloseThread when the
+// caller's stop channel closed — a sibling executor thread failed and the
+// stage is being torn down. Callers translate it into their driver's abort
+// sentinel so the root cause wins error reporting.
+var ErrProducerStopped = errors.New("exchange: producer stopped by sibling failure")
+
+// message is one queue entry: a tagged page, or (page == nil) a marker that
+// tag.Thread of tag.Producer finished its stream.
+type message struct {
+	tag  Tag
+	page *object.Page
+}
+
+// Config sizes an Exchange.
+type Config struct {
+	// Producers and Consumers count the workers on each side (usually
+	// equal: every worker both produces and consumes a shuffle).
+	Producers, Consumers int
+	// Capacity bounds each (producer, consumer) channel's pages in flight;
+	// a full channel blocks the producer (backpressure). Zero picks
+	// DefaultCapacity. Ignored in Barrier mode.
+	Capacity int
+	// Barrier buffers every page and delivers only after all producers
+	// close — the pre-streaming schedule, kept for the overlap ablation.
+	Barrier bool
+	// Ship copies a page into the consumer's memory space (the simulated
+	// wire). nil passes pages through untouched.
+	Ship func(p *object.Page, producer, consumer int) (*object.Page, error)
+	// Release receives pages the receiver drops as retry duplicates, so
+	// the owner can recycle them. nil discards them.
+	Release func(p *object.Page)
+}
+
+// DefaultCapacity is the per-channel pages-in-flight bound when
+// Config.Capacity is zero.
+const DefaultCapacity = 4
+
+// Exchange is one shuffle: Producers × Consumers bounded page channels plus
+// a per-consumer receiver that restores deterministic order.
+type Exchange struct {
+	cfg   Config
+	chans [][]chan message // [producer][consumer]
+	recvs []*receiver
+
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+	cancelMu   sync.Mutex
+	cancelErr  error
+
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+
+	// Barrier-mode drains: one buffer per channel, filled by drainer
+	// goroutines so producers never block; ready[c] closes when consumer
+	// c's whole input is buffered.
+	barrier [][]*drainBuf
+	ready   []chan struct{}
+}
+
+type drainBuf struct {
+	mu   sync.Mutex
+	msgs []message
+	next int // receiver cursor
+}
+
+// New builds an exchange. In Barrier mode it immediately starts the drainer
+// goroutines that buffer the shuffle until all producers close.
+func New(cfg Config) *Exchange {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	ex := &Exchange{cfg: cfg, cancelCh: make(chan struct{})}
+	ex.chans = make([][]chan message, cfg.Producers)
+	for p := range ex.chans {
+		ex.chans[p] = make([]chan message, cfg.Consumers)
+		for c := range ex.chans[p] {
+			ex.chans[p][c] = make(chan message, cfg.Capacity)
+		}
+	}
+	ex.recvs = make([]*receiver, cfg.Consumers)
+	for c := range ex.recvs {
+		ex.recvs[c] = &receiver{ex: ex, consumer: c}
+	}
+	if cfg.Barrier {
+		ex.startBarrierDrains()
+	}
+	return ex
+}
+
+// Send ships a tagged page to one consumer and enqueues it, blocking while
+// the channel is full. It returns early when stop closes (sibling thread
+// failure) or the exchange is cancelled.
+func (ex *Exchange) Send(tag Tag, consumer int, p *object.Page, stop <-chan struct{}) error {
+	shipped := p
+	if ex.cfg.Ship != nil {
+		var err error
+		if shipped, err = ex.cfg.Ship(p, tag.Producer, consumer); err != nil {
+			return err
+		}
+	}
+	return ex.enqueue(tag, consumer, shipped, stop)
+}
+
+// Broadcast ships a tagged page to every consumer — the pre-aggregation
+// shuffle's pattern, where each consumer merges its own hash partition out
+// of every page. All wire copies are made before any enqueue, so a consumer
+// that merges (and recycles) its copy early cannot corrupt a later ship of
+// the original.
+func (ex *Exchange) Broadcast(tag Tag, p *object.Page, stop <-chan struct{}) error {
+	shipped := make([]*object.Page, ex.cfg.Consumers)
+	for c := range shipped {
+		shipped[c] = p
+		if ex.cfg.Ship != nil {
+			var err error
+			if shipped[c], err = ex.cfg.Ship(p, tag.Producer, c); err != nil {
+				return err
+			}
+		}
+	}
+	for c, q := range shipped {
+		if err := ex.enqueue(tag, c, q, stop); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *Exchange) enqueue(tag Tag, consumer int, p *object.Page, stop <-chan struct{}) error {
+	n := int64(len(p.Bytes()))
+	cur := ex.inFlight.Add(n)
+	for {
+		hwm := ex.maxInFlight.Load()
+		if cur <= hwm || ex.maxInFlight.CompareAndSwap(hwm, cur) {
+			break
+		}
+	}
+	select {
+	case ex.chans[tag.Producer][consumer] <- message{tag: tag, page: p}:
+		return nil
+	case <-ex.cancelCh:
+		ex.inFlight.Add(-n)
+		return ex.cancelled()
+	case <-stop:
+		ex.inFlight.Add(-n)
+		return ErrProducerStopped
+	}
+}
+
+// CloseThread marks one producer thread's stream complete on every
+// consumer. A thread sends it after flushing its final page, so it follows
+// all of the thread's pages in each channel.
+func (ex *Exchange) CloseThread(producer, thread int, stop <-chan struct{}) error {
+	m := message{tag: Tag{Producer: producer, Thread: thread}}
+	for c := 0; c < ex.cfg.Consumers; c++ {
+		select {
+		case ex.chans[producer][c] <- m:
+		case <-ex.cancelCh:
+			return ex.cancelled()
+		case <-stop:
+			return ErrProducerStopped
+		}
+	}
+	return nil
+}
+
+// CloseProducer closes all of a producer's channels. Call it exactly once,
+// after the producer's run (including any crash retry) succeeded.
+func (ex *Exchange) CloseProducer(producer int) {
+	for _, ch := range ex.chans[producer] {
+		close(ch)
+	}
+}
+
+// Cancel aborts the exchange: blocked senders and receivers return err.
+// The first cause wins; later calls are no-ops.
+func (ex *Exchange) Cancel(err error) {
+	ex.cancelMu.Lock()
+	if ex.cancelErr == nil {
+		ex.cancelErr = err
+	}
+	ex.cancelMu.Unlock()
+	ex.cancelOnce.Do(func() { close(ex.cancelCh) })
+}
+
+func (ex *Exchange) cancelled() error {
+	ex.cancelMu.Lock()
+	defer ex.cancelMu.Unlock()
+	return fmt.Errorf("exchange: cancelled: %w", ex.cancelErr)
+}
+
+// MaxBytesInFlight reports the shuffle's bytes-in-flight high-water mark:
+// bytes enqueued (shipped) but not yet delivered to a merge. Barrier mode
+// buffers the whole shuffle, so its mark approaches the total shuffle
+// volume. Streaming mode's channels are bounded at Capacity pages each,
+// but the receiver's reorder buffer is not: pages of threads behind the
+// delivery cursor park in pending, so a producer running many threads can
+// still accumulate up to (threads-1)/threads of its output at the
+// consumer while thread 0's stream is open — less than barrier's
+// all-producers buffering, but not a hard constant. (Per-(producer,
+// thread) channels would make the bound hard; see ROADMAP.)
+func (ex *Exchange) MaxBytesInFlight() int64 { return ex.maxInFlight.Load() }
+
+// receiver restores deterministic order for one consumer: pages are
+// delivered producer-major, within a producer thread-major, within a thread
+// in sequence order. Early arrivals park in pending; retry duplicates
+// (sequence below the next expected) are dropped.
+type receiver struct {
+	ex       *Exchange
+	consumer int
+	producer int // cursor
+
+	curThread int
+	maxThread int
+	nextSeq   []int
+	closed    []bool
+	pending   [][]*object.Page
+	srcDone   bool // current producer's channel closed / buffer exhausted
+}
+
+func (r *receiver) reset() {
+	r.curThread, r.maxThread = 0, -1
+	r.nextSeq, r.closed, r.pending = nil, nil, nil
+	r.srcDone = false
+}
+
+func (r *receiver) growTo(t int) {
+	for len(r.nextSeq) <= t {
+		r.nextSeq = append(r.nextSeq, 0)
+		r.closed = append(r.closed, false)
+		r.pending = append(r.pending, nil)
+	}
+}
+
+// next pulls the current producer's next raw message: a live channel
+// receive in streaming mode, a buffer pop in barrier mode (after the
+// consumer's whole input is buffered).
+func (r *receiver) next() (message, bool, error) {
+	ex := r.ex
+	if ex.cfg.Barrier {
+		b := ex.barrier[r.producer][r.consumer]
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.next >= len(b.msgs) {
+			return message{}, false, nil
+		}
+		m := b.msgs[b.next]
+		b.next++
+		return m, true, nil
+	}
+	select {
+	case m, ok := <-ex.chans[r.producer][r.consumer]:
+		return m, ok, nil
+	case <-ex.cancelCh:
+		return message{}, false, ex.cancelled()
+	}
+}
+
+// Recv returns the consumer's next page in deterministic (producer, thread,
+// sequence) order. ok=false marks the end of the whole shuffle. An error
+// means the exchange was cancelled.
+func (ex *Exchange) Recv(consumer int) (*object.Page, bool, error) {
+	r := ex.recvs[consumer]
+	if ex.cfg.Barrier {
+		select {
+		case <-ex.ready[consumer]:
+		case <-ex.cancelCh:
+			return nil, false, ex.cancelled()
+		}
+	}
+	for {
+		if r.producer >= ex.cfg.Producers {
+			return nil, false, nil
+		}
+		// Deliver the current thread's buffered pages first.
+		if r.curThread < len(r.pending) && len(r.pending[r.curThread]) > 0 {
+			p := r.pending[r.curThread][0]
+			r.pending[r.curThread] = r.pending[r.curThread][1:]
+			ex.inFlight.Add(-int64(len(p.Bytes())))
+			return p, true, nil
+		}
+		if r.curThread < len(r.closed) && r.closed[r.curThread] {
+			r.curThread++
+			continue
+		}
+		if r.srcDone {
+			if r.curThread <= r.maxThread {
+				// The channel closed without an explicit marker (a
+				// producer with no work for this thread); everything is
+				// buffered, so drain threads in order.
+				r.curThread++
+				continue
+			}
+			r.producer++
+			r.reset()
+			continue
+		}
+		m, ok, err := r.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			r.srcDone = true
+			continue
+		}
+		t := m.tag.Thread
+		r.growTo(t)
+		if t > r.maxThread {
+			r.maxThread = t
+		}
+		if m.page == nil { // thread-close marker (idempotent under retry)
+			r.closed[t] = true
+			continue
+		}
+		if m.tag.Seq != r.nextSeq[t] {
+			// A crashed producer's retry re-sent a page the first attempt
+			// already delivered; drop the duplicate.
+			ex.inFlight.Add(-int64(len(m.page.Bytes())))
+			if ex.cfg.Release != nil {
+				ex.cfg.Release(m.page)
+			}
+			continue
+		}
+		r.nextSeq[t]++
+		if t == r.curThread {
+			ex.inFlight.Add(-int64(len(m.page.Bytes())))
+			return m.page, true, nil
+		}
+		r.pending[t] = append(r.pending[t], m.page)
+	}
+}
+
+// startBarrierDrains spawns one goroutine per channel that moves messages
+// into an unbounded buffer, so barrier mode never backpressures producers;
+// ready[c] closes when every producer's stream to consumer c is buffered.
+func (ex *Exchange) startBarrierDrains() {
+	ex.barrier = make([][]*drainBuf, ex.cfg.Producers)
+	ex.ready = make([]chan struct{}, ex.cfg.Consumers)
+	wgs := make([]*sync.WaitGroup, ex.cfg.Consumers)
+	for c := range ex.ready {
+		ex.ready[c] = make(chan struct{})
+		wgs[c] = &sync.WaitGroup{}
+		wgs[c].Add(ex.cfg.Producers)
+	}
+	for p := range ex.chans {
+		ex.barrier[p] = make([]*drainBuf, ex.cfg.Consumers)
+		for c := range ex.chans[p] {
+			buf := &drainBuf{}
+			ex.barrier[p][c] = buf
+			go func(ch chan message, buf *drainBuf, wg *sync.WaitGroup) {
+				defer wg.Done()
+				for {
+					select {
+					case m, ok := <-ch:
+						if !ok {
+							return
+						}
+						buf.mu.Lock()
+						buf.msgs = append(buf.msgs, m)
+						buf.mu.Unlock()
+					case <-ex.cancelCh:
+						return
+					}
+				}
+			}(ex.chans[p][c], buf, wgs[c])
+		}
+	}
+	for c := range ex.ready {
+		go func(c int) {
+			wgs[c].Wait()
+			close(ex.ready[c])
+		}(c)
+	}
+}

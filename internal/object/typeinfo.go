@@ -105,6 +105,12 @@ type Registry struct {
 	byName map[string]*TypeInfo
 	next   uint32
 
+	// pins maps type names to the code persisted pages embed (set by
+	// PinCode on restore); Register hands a pinned name its original
+	// code so on-disk object headers keep resolving after a restart,
+	// whatever order types re-register in.
+	pins map[string]uint32
+
 	// Miss, if set, is consulted when a lookup by code fails. It may
 	// return a TypeInfo fetched from elsewhere (which is then cached)
 	// or nil.
@@ -117,13 +123,15 @@ func NewRegistry() *Registry {
 	return &Registry{
 		byCode: make(map[uint32]*TypeInfo),
 		byName: make(map[string]*TypeInfo),
+		pins:   make(map[string]uint32),
 		next:   FirstUserTypeCode,
 	}
 }
 
-// Register installs a TypeInfo. If ti.Code is zero a fresh code is assigned.
-// Registering a name twice returns the existing registration (idempotent, so
-// every simulated process can register the same shared type set).
+// Register installs a TypeInfo. If ti.Code is zero a fresh code is assigned
+// (honoring a PinCode binding for the name, if any). Registering a name
+// twice returns the existing registration (idempotent, so every simulated
+// process can register the same shared type set).
 func (r *Registry) Register(ti *TypeInfo) (*TypeInfo, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -131,9 +139,14 @@ func (r *Registry) Register(ti *TypeInfo) (*TypeInfo, error) {
 		return prev, nil
 	}
 	if ti.Code == 0 {
-		ti.Code = r.next
-		r.next++
-	} else if ti.Code >= r.next {
+		if code, ok := r.pins[ti.Name]; ok {
+			ti.Code = code
+		} else {
+			ti.Code = r.next
+			r.next++
+		}
+	}
+	if ti.Code >= r.next {
 		r.next = ti.Code + 1
 	}
 	if _, dup := r.byCode[ti.Code]; dup {
@@ -142,6 +155,34 @@ func (r *Registry) Register(ti *TypeInfo) (*TypeInfo, error) {
 	r.byCode[ti.Code] = ti
 	r.byName[ti.Name] = ti
 	return ti, nil
+}
+
+// PinCode binds a type name to the code persisted pages embed, ahead of
+// the type's re-registration (the restore path): when Register later sees
+// the name, it assigns the pinned code instead of a fresh one, and fresh
+// automatic assignments are kept clear of the pin.
+func (r *Registry) PinCode(name string, code uint32) {
+	r.mu.Lock()
+	r.pins[name] = code
+	if code >= r.next {
+		r.next = code + 1
+	}
+	r.mu.Unlock()
+}
+
+// UserTypes lists the registered user types (codes at or above
+// FirstUserTypeCode) sorted by code — the persistence manifest's view.
+func (r *Registry) UserTypes() []*TypeInfo {
+	r.mu.RLock()
+	out := make([]*TypeInfo, 0, len(r.byCode))
+	for code, ti := range r.byCode {
+		if code >= FirstUserTypeCode {
+			out = append(out, ti)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
 }
 
 // Lookup resolves a type code, faulting into Miss for unknown codes.

@@ -64,6 +64,15 @@ type JobStage struct {
 	// Aggregation fields.
 	AggList string // the AGGREGATE output list this stage merges
 
+	// Exchange links: a producing stage and the consuming stage that
+	// merges its shuffled output are marked as a pair so the scheduler
+	// launches them together and connects them with a streaming exchange
+	// (internal/exchange) instead of running them sequentially with a
+	// barrier shuffle between. ExchangeTo points from the producer to its
+	// consumer; ExchangeFrom points back (nil = not exchange-linked).
+	ExchangeTo   *JobStage
+	ExchangeFrom *JobStage
+
 	Produces  string
 	DependsOn []string
 }
@@ -185,7 +194,9 @@ func (b *builder) buildPipeline(scan *tcap.Stmt, srcList, srcCol string, first *
 			st.Produces = "aggmaps:" + cur.Out.Name
 			b.stages = append(b.stages, st)
 			// The consuming AggregationJobStage merges the shuffled
-			// maps and finalizes output objects.
+			// maps and finalizes output objects. The pair is
+			// exchange-linked: the scheduler runs both together, with
+			// the pre-aggregation shuffle streaming between them.
 			agg := &JobStage{
 				ID:        b.nextID,
 				Kind:      StageAggregation,
@@ -194,6 +205,8 @@ func (b *builder) buildPipeline(scan *tcap.Stmt, srcList, srcCol string, first *
 				Produces:  "mat:" + cur.Out.Name,
 				DependsOn: []string{"aggmaps:" + cur.Out.Name},
 			}
+			st.ExchangeTo = agg
+			agg.ExchangeFrom = st
 			b.nextID++
 			b.stages = append(b.stages, agg)
 			return nil
@@ -291,14 +304,22 @@ func (p *Plan) String() string {
 	for _, s := range p.Stages {
 		switch s.Kind {
 		case StageAggregation:
-			out += fmt.Sprintf("stage %d: AGGREGATION %s -> %s\n", s.ID, s.AggList, s.Produces)
+			link := ""
+			if s.ExchangeFrom != nil {
+				link = fmt.Sprintf(" <~ stage %d (exchange)", s.ExchangeFrom.ID)
+			}
+			out += fmt.Sprintf("stage %d: AGGREGATION %s -> %s%s\n", s.ID, s.AggList, s.Produces, link)
 		default:
 			src := s.SourceList
 			if s.Scan != nil {
 				src = "scan " + s.Scan.Db + "." + s.Scan.Set
 			}
-			out += fmt.Sprintf("stage %d: PIPELINE [%s] %d stmts sink=%s -> %s\n",
-				s.ID, src, len(s.Stmts), s.Sink, s.Produces)
+			link := ""
+			if s.ExchangeTo != nil {
+				link = fmt.Sprintf(" ~> stage %d (exchange)", s.ExchangeTo.ID)
+			}
+			out += fmt.Sprintf("stage %d: PIPELINE [%s] %d stmts sink=%s -> %s%s\n",
+				s.ID, src, len(s.Stmts), s.Sink, s.Produces, link)
 		}
 	}
 	return out

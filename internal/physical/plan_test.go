@@ -208,3 +208,33 @@ func TestPlanStringIsInformative(t *testing.T) {
 		}
 	}
 }
+
+func TestAggregationStagesAreExchangeLinked(t *testing.T) {
+	prog, err := tcap.Parse(figure3Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := 0
+	for _, s := range plan.Stages {
+		switch {
+		case s.Sink == SinkPreAgg && s.Kind == StagePipeline:
+			if s.ExchangeTo == nil || s.ExchangeTo.Kind != StageAggregation ||
+				s.ExchangeTo.AggList != s.SinkStmt.Out.Name {
+				t.Errorf("pre-agg stage %d is not exchange-linked to its consumer\n%s", s.ID, plan.String())
+			}
+			if s.ExchangeTo.ExchangeFrom != s {
+				t.Errorf("stage %d's consumer does not link back\n%s", s.ID, plan.String())
+			}
+			links++
+		case s.ExchangeTo != nil || (s.Kind != StageAggregation && s.ExchangeFrom != nil):
+			t.Errorf("stage %d unexpectedly exchange-linked\n%s", s.ID, plan.String())
+		}
+	}
+	if links != 1 {
+		t.Fatalf("exchange links = %d, want 1\n%s", links, plan.String())
+	}
+}

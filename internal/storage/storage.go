@@ -36,14 +36,69 @@ type setData struct {
 }
 
 // NewServer creates a storage server. dir may be empty for memory-only
-// operation.
+// operation. A non-empty dir is scanned for sets persisted by a previous
+// server (db/set/page-N.pcp files), which re-register with their page
+// counts so a restarted worker serves them immediately.
 func NewServer(dir string, reg *object.Registry) (*Server, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	return &Server{dir: dir, reg: reg, sets: map[string]*setData{}}, nil
+	s := &Server{dir: dir, reg: reg, sets: map[string]*setData{}}
+	if dir != "" {
+		if err := s.restore(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// restore rediscovers persisted sets: every db/set directory under dir
+// re-registers with the number of page files it holds, so appends continue
+// the page numbering and Pages serves the restored data.
+func (s *Server) restore() error {
+	dbs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, db := range dbs {
+		if !db.IsDir() {
+			continue
+		}
+		sets, err := os.ReadDir(filepath.Join(s.dir, db.Name()))
+		if err != nil {
+			return err
+		}
+		for _, set := range sets {
+			if !set.IsDir() {
+				continue
+			}
+			pages, err := os.ReadDir(filepath.Join(s.dir, db.Name(), set.Name()))
+			if err != nil {
+				return err
+			}
+			n := 0
+			for _, p := range pages {
+				if !p.IsDir() {
+					n++
+				}
+			}
+			s.sets[setKey(db.Name(), set.Name())] = &setData{count: n}
+		}
+	}
+	return nil
+}
+
+// PageCount reports how many pages a set holds on this server (restore
+// bookkeeping; zero for unknown sets).
+func (s *Server) PageCount(db, set string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sd, ok := s.sets[setKey(db, set)]; ok {
+		return sd.count
+	}
+	return 0
 }
 
 func setKey(db, set string) string { return db + "." + set }

@@ -124,3 +124,46 @@ func TestUnknownSetErrors(t *testing.T) {
 		t.Error("unknown set should error")
 	}
 }
+
+func TestDiskModeRestoresSetsOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	reg := object.NewRegistry()
+	s, err := NewServer(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("db", "set", []*object.Page{buildPage(t, reg, 1, 2), buildPage(t, reg, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := s.SetBytes("db", "set")
+
+	// A fresh server on the same directory must rediscover the set.
+	s2, err := NewServer(dir, object.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.PageCount("db", "set"); got != 2 {
+		t.Fatalf("restored page count = %d, want 2", got)
+	}
+	if got := s2.SetBytes("db", "set"); got != wantBytes {
+		t.Errorf("restored SetBytes = %d, want %d", got, wantBytes)
+	}
+	pages, err := s2.Pages("db", "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 2 {
+		t.Fatalf("restored Pages = %d, want 2", len(pages))
+	}
+	// Appends after restore continue the page numbering.
+	if err := s2.Append("db", "set", []*object.Page{buildPage(t, reg, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	pages, err = s2.Pages("db", "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 3 {
+		t.Fatalf("post-restore append: Pages = %d, want 3", len(pages))
+	}
+}

@@ -42,17 +42,20 @@
 //   - OUTPUT and materialization sinks concatenate per-thread pages in
 //     thread order; because chunks are contiguous, result order is
 //     identical to a sequential run at any thread count.
-//   - Pre-aggregation sinks fold sibling threads' map pages into the first
-//     thread's maps with the aggregation's combine function (partial
-//     aggregates merge exactly as they do across workers in the shuffle);
-//     the absorbed pages are recycled through the buffer pool.
+//   - Pre-aggregation sinks stream: each thread's partitioned map pages
+//     flow into the shuffle exchange the moment they seal, tagged
+//     (worker, thread, sequence), so shipping and the downstream merge
+//     overlap production instead of waiting for the stage barrier.
 //   - Join-build sinks merge per-thread hash tables bucket-wise in thread
 //     order, preserving sequential per-bucket row order.
 //
-// The consuming phases honor Config.Threads too. Each worker's aggregation
-// consume stage splits its hash partition into per-thread hash-range
-// sub-partitions: every thread merges a disjoint sub-map and finalizes it
-// independently, with output pages concatenated in sub-partition order.
+// The consuming phases honor Config.Threads too, and run concurrently
+// with their producers: each worker's aggregation consume stage splits
+// its hash partition into per-thread hash-range sub-partitions, every
+// thread folding shuffled pages — delivered in deterministic tag order
+// regardless of arrival order — into a disjoint sub-map as they arrive,
+// then finalizing independently with output pages concatenated in
+// sub-partition order.
 // The hash-partition and co-partitioned joins parallelize their
 // repartition scans, hash-table builds (bucket-wise merged, as above), and
 // probe loops; probe matches are buffered per thread and emitted after the
