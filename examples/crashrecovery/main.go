@@ -1,6 +1,9 @@
 // Crash recovery example (paper §2): worker nodes run user code in a
 // separate backend process; when a buggy native lambda crashes a backend,
-// the front end re-forks it and the scheduler retries the stage.
+// the front end re-forks it and the scheduler retries the stage. Both
+// sides of a streaming shuffle recover: a crashed producer re-runs with
+// sender-side duplicate dropping, and a crashed consumer restores its
+// last merge checkpoint and replays only the stream's suffix.
 //
 //	go run ./examples/crashrecovery
 package main
@@ -74,4 +77,60 @@ func main() {
 	fmt.Printf("user code crashed a backend once; front end re-forked %d backend(s), "+
 		"scheduler retried %d stage share(s), and the job still produced all %d rows\n",
 		reforks, stats.Retries, n)
+
+	// Act two: crash the CONSUMING side. The Finalize lambda — which runs
+	// inside the aggregation's streaming merge consumer — panics once; the
+	// scheduler restores the consumer's last checkpoint, rewinds the
+	// exchange, and replays, so the sums still come out exact.
+	var finalizeCrashes int32
+	agg := &pc.Aggregate{
+		In:      pc.NewScan("db", "in", "Rec"),
+		ArgType: "Rec",
+		Key: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("mod5", pc.KInt64,
+				func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+					return object.Int64Value(object.GetI64(args[0].H, rec.Field("x")) % 5), nil
+				}, pc.FromSelf(arg))
+		},
+		Val: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("val", pc.KInt64,
+				func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+					return object.Int64Value(object.GetI64(args[0].H, rec.Field("x"))), nil
+				}, pc.FromSelf(arg))
+		},
+		KeyKind: pc.KInt64,
+		ValKind: pc.KInt64,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists {
+				return next, nil
+			}
+			return object.Int64Value(cur.I + next.I), nil
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			if atomic.CompareAndSwapInt32(&finalizeCrashes, 0, 1) {
+				panic("segfault in user finalize code (simulated)")
+			}
+			out, err := a.MakeObject(rec)
+			if err != nil {
+				return pc.Ref{}, err
+			}
+			object.SetI64(out, rec.Field("x"), val.I)
+			return out, nil
+		},
+	}
+	if err := client.CreateSet("db", "sums", "Rec"); err != nil {
+		log.Fatal(err)
+	}
+	aggStats, err := client.ExecuteComputations(pc.NewWrite("db", "sums", agg))
+	if err != nil {
+		log.Fatalf("aggregation failed despite consumer recovery: %v", err)
+	}
+	groups, _ := client.CountSet("db", "sums")
+	ckpts := 0
+	for _, s := range aggStats.Ships {
+		ckpts += s.Checkpoints
+	}
+	fmt.Printf("user code then crashed a consuming merge; the scheduler restored the last "+
+		"of %d checkpoint(s), replayed the stream, recovered %d consumer(s), and all %d "+
+		"group sums are intact\n", ckpts, aggStats.ConsumerRecoveries, groups)
 }

@@ -47,11 +47,13 @@ func RunShuffleOverlap(cfg ShuffleOverlapConfig) (*Table, error) {
 	}
 	t := &Table{
 		Title:   "Ablation: streaming shuffle (exchange) vs barrier shuffle",
-		Columns: []string{"time", "MB shipped", "pages", "peak in-flight KB", "identical"},
+		Columns: []string{"time", "MB shipped", "pages", "peak in-flight KB", "reorder pages", "ckpts", "identical"},
 		Notes: []string{
 			fmt.Sprintf("workers=%d, agg n=%d groups=%d, join %dx%d keys=%d; machine has %d CPUs",
 				cfg.Workers, cfg.N, cfg.Groups, cfg.Left, cfg.Right, cfg.Keys, runtime.NumCPU()),
 			"streaming overlaps production, shipping, and merge; barrier ships after the stage completes",
+			"reorder pages = peak undelivered backlog at one consumer (streaming: hard-bounded by capacity x threads per producer; barrier: the whole shuffle)",
+			"ckpts = consumer-side recovery checkpoints taken (replayable crash recovery rides the same stream)",
 			"identity is enforced: a streaming rung differing from its barrier twin fails the run",
 		},
 	}
@@ -108,6 +110,8 @@ func RunShuffleOverlap(cfg ShuffleOverlapConfig) (*Table, error) {
 						fmt.Sprintf("%.2f", float64(bytes)/(1<<20)),
 						fmt.Sprintf("%d", pages),
 						fmt.Sprintf("%d", c.Transport.MaxBytesInFlight/(1<<10)),
+						fmt.Sprintf("%d", c.Transport.MaxReorderPages),
+						fmt.Sprintf("%d", c.Transport.Checkpoints),
 						identical,
 					},
 				})

@@ -1,0 +1,137 @@
+package cluster
+
+// Consumer-side crash-recovery state (paper §2's crash-proof front end,
+// extended to consuming merges): each streaming consumer's recovery record
+// is owned by the scheduler goroutine — the front-end side of the worker —
+// so it survives backend crashes. The checkpoint callback running inside
+// the backend only writes through it at consistent cuts, and the re-forked
+// backend reads it back to resume.
+//
+// Snapshot pages ride the worker's storage server: with Config.DataDir
+// they become ordinary page files under <worker>/_ckpt/<set>/ (the same
+// single-write persistence every stored set uses — no serialization step
+// exists to pay for), and the restore path reads them back through
+// storage.Server.Pages, exercising the real page-file machinery. Memory-
+// only clusters keep the snapshots in the recovery record instead.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/object"
+	"repro/internal/physical"
+)
+
+// checkpointDb is the reserved storage database holding consumer-recovery
+// snapshot sets (transient: dropped when the consuming step commits).
+const checkpointDb = "_ckpt"
+
+// checkpointEvery resolves the recovery checkpoint interval for a
+// consuming stage: Config.CheckpointInterval overrides (>0) or disables
+// (<0); zero defers to the stage's planner policy (whose own zero means
+// "no checkpoint policy"), falling back to the planner default for
+// streams without a stage (the hash-partition join).
+func (c *Cluster) checkpointEvery(stage *physical.JobStage) int {
+	switch {
+	case c.Cfg.CheckpointInterval < 0:
+		return 0
+	case c.Cfg.CheckpointInterval > 0:
+		return c.Cfg.CheckpointInterval
+	case stage != nil:
+		return stage.CheckpointEvery
+	default:
+		return physical.DefaultCheckpointInterval
+	}
+}
+
+// aggRecovery is one worker's consumer-recovery record for a streaming
+// aggregation merge.
+type aggRecovery struct {
+	ckpt    *engine.MergeCheckpoint
+	saves   int
+	diskSet string // snapshot set on the worker's storage server (DataDir mode)
+}
+
+// ckptSetName derives a storage-safe snapshot set name from a stage
+// artifact name and worker ID.
+func ckptSetName(produces string, worker int) string {
+	s := strings.NewReplacer(":", "-", "/", "-", ".", "-").Replace(produces)
+	return fmt.Sprintf("agg-%s-w%d", s, worker)
+}
+
+// persistAggCheckpoint installs ck as the worker's recovery point. With
+// DataDir, the snapshot pages are written through the worker's storage
+// server and dropped from memory — the restore proves the round trip.
+func (c *Cluster) persistAggCheckpoint(w *Worker, rec *aggRecovery, produces string,
+	ck *engine.MergeCheckpoint) error {
+	if c.Cfg.DataDir != "" {
+		set := ckptSetName(produces, w.ID)
+		_ = w.Front.Store.Drop(checkpointDb, set) // first checkpoint: nothing to drop
+		pages := make([]*object.Page, len(ck.Subs))
+		for i, sub := range ck.Subs {
+			pg, err := object.FromBytes(append([]byte(nil), sub.Data...), w.Reg())
+			if err != nil {
+				return err
+			}
+			pages[i] = pg
+		}
+		if err := w.Front.Store.Append(checkpointDb, set, pages); err != nil {
+			return err
+		}
+		rec.diskSet = set
+		for i := range ck.Subs {
+			ck.Subs[i].Data = nil // restore re-reads the bytes from storage
+		}
+	}
+	rec.ckpt = ck
+	rec.saves++
+	return nil
+}
+
+// loadAggCheckpoint returns the checkpoint a re-forked consumer resumes
+// from (nil when no cut was ever saved — full replay). In DataDir mode the
+// snapshot bytes are read back through the storage server.
+func (c *Cluster) loadAggCheckpoint(w *Worker, rec *aggRecovery) (*engine.MergeCheckpoint, error) {
+	if rec.ckpt == nil {
+		return nil, nil
+	}
+	if rec.diskSet == "" {
+		return rec.ckpt, nil
+	}
+	pages, err := w.Front.Store.Pages(checkpointDb, rec.diskSet)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: restoring consumer checkpoint: %w", err)
+	}
+	if len(pages) != len(rec.ckpt.Subs) {
+		return nil, fmt.Errorf("cluster: checkpoint holds %d snapshot pages, want %d",
+			len(pages), len(rec.ckpt.Subs))
+	}
+	ck := &engine.MergeCheckpoint{Cut: rec.ckpt.Cut, Subs: make([]engine.SubMapSnapshot, len(pages))}
+	for i, pg := range pages {
+		ck.Subs[i] = engine.SubMapSnapshot{
+			PageSize: rec.ckpt.Subs[i].PageSize,
+			Data:     append([]byte(nil), pg.Bytes()...),
+		}
+	}
+	return ck, nil
+}
+
+// dropAggCheckpoint discards a committed consumer's snapshot set.
+func (c *Cluster) dropAggCheckpoint(w *Worker, rec *aggRecovery) {
+	if rec.diskSet != "" {
+		_ = w.Front.Store.Drop(checkpointDb, rec.diskSet)
+		rec.diskSet = ""
+	}
+}
+
+// joinBuildRecovery is one worker's consumer-recovery record for the
+// streaming join-table build: the per-thread tables cloned at the last cut.
+// Tables reference shipped build pages, which stay alive through the
+// clones themselves, so the in-memory snapshot is complete; build pages
+// past the cut replay from the exchange's retained window.
+type joinBuildRecovery struct {
+	cut    int
+	tables []*engine.JoinTable
+	saves  int
+}

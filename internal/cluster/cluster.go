@@ -41,10 +41,19 @@
 // Crash semantics under streaming: a backend that crashes while producing
 // a shuffle is re-forked and its producing run retried from scratch; the
 // deterministic re-run re-sends the same tagged pages and the exchange
-// drops the duplicates of pages the consumer already merged, so the merge
-// sees every page exactly once. A crash inside the consuming merge itself
-// (user combine/finalize code) fails the job: the stream is consumed and
-// cannot be replayed.
+// drops the retry's duplicates at the sender, so the merge sees every page
+// exactly once. A crash inside the consuming merge (user combine/finalize
+// code, or the join build's key lambda) is replayable too: the consumer
+// checkpoints its merged sub-maps — or cloned join-table buckets — every
+// Config.CheckpointInterval pages and acknowledges each cut to the
+// exchange, which retains delivered pages until they are acknowledged. On
+// a consumer crash the scheduler re-forks the backend, restores the last
+// checkpoint (reading snapshot pages back through the storage server when
+// Config.DataDir is set, from in-memory snapshots otherwise), rewinds the
+// exchange to the cut, and resumes the merge over only the replayed
+// suffix — producing output bit-for-bit identical to a crash-free run. A
+// crash during the join's probe/emit phase still fails the job: matches
+// may already have reached user code and cannot be un-emitted.
 //
 // # Sink-merge protocol
 //
@@ -101,10 +110,23 @@ type Config struct {
 	// BroadcastThreshold is the build-side byte size under which the
 	// scheduler chooses a broadcast join (paper: 2 GB).
 	BroadcastThreshold int64
-	// ShuffleCapacity bounds each exchange channel's pages in flight;
-	// a full channel backpressures the producing thread. Zero picks
+	// ShuffleCapacity bounds each exchange lane's pages in flight; a full
+	// lane backpressures exactly the producing thread that owns it, so a
+	// consumer never holds more than ShuffleCapacity × Threads
+	// undelivered pages per producer. Zero picks
 	// exchange.DefaultCapacity.
 	ShuffleCapacity int
+	// CheckpointInterval tunes consumer-side crash recovery: the number
+	// of shuffled pages a streaming consumer merges between recovery
+	// checkpoints. Zero uses the physical plan's policy
+	// (physical.DefaultCheckpointInterval); a positive value overrides
+	// it; a negative value disables consumer recovery entirely (a crash
+	// inside a consuming merge then fails the job, and the exchange
+	// retains nothing). Each cut snapshots the consumer's whole merge
+	// state, so the interval trades the replay window against a per-cut
+	// cost proportional to aggregate state size — raise it when merged
+	// state is large relative to the stream.
+	CheckpointInterval int
 	// BarrierShuffle disables shuffle streaming (the ablation baseline):
 	// exchanges buffer every page and deliver only after all producers
 	// finish. Results are bit-for-bit identical to streaming mode; only
@@ -141,6 +163,14 @@ type Transport struct {
 	// shuffle exchange reached (bytes shipped but not yet merged) — the
 	// streaming ablation's memory-bound evidence.
 	MaxBytesInFlight int64
+	// MaxReorderPages is the largest undelivered-page backlog any single
+	// consumer's exchange lanes reached. Streaming mode hard-bounds it at
+	// ShuffleCapacity × Threads × Workers; barrier mode buffers the whole
+	// shuffle.
+	MaxReorderPages int64
+	// Checkpoints totals the consumer-side recovery checkpoints taken
+	// across all streaming shuffles.
+	Checkpoints int64
 }
 
 // Ship moves a page to a destination registry's memory space.
@@ -168,12 +198,18 @@ func (t *Transport) ShipAll(pages []*object.Page, dst *object.Registry) ([]*obje
 	return out, nil
 }
 
-// NoteInFlight records a shuffle's bytes-in-flight high-water mark.
-func (t *Transport) NoteInFlight(hwm int64) {
+// NoteExchange records one finished shuffle's telemetry: the
+// bytes-in-flight and reorder-backlog high-water marks, and the number of
+// consumer-side recovery checkpoints taken.
+func (t *Transport) NoteExchange(hwm, reorderPages int64, checkpoints int) {
 	t.mu.Lock()
 	if hwm > t.MaxBytesInFlight {
 		t.MaxBytesInFlight = hwm
 	}
+	if reorderPages > t.MaxReorderPages {
+		t.MaxReorderPages = reorderPages
+	}
+	t.Checkpoints += int64(checkpoints)
 	t.mu.Unlock()
 }
 
@@ -200,6 +236,12 @@ func (b *Backend) Crashed() bool { return b.crashed.Load() }
 // errBackendDead marks an attempt to run work on a crashed backend.
 var errBackendDead = fmt.Errorf("cluster: backend is dead")
 
+// errBackendCrashed marks an error produced by a Run whose own fn panicked
+// — as opposed to a Run that failed because a sibling role crashed the
+// shared backend. Retry logic keys on it: only the role whose user code
+// actually crashed gets the re-fork retry.
+var errBackendCrashed = fmt.Errorf("cluster: backend crashed")
+
 // Run executes fn, converting panics into a crash error (the process dying).
 func (b *Backend) Run(fn func() error) (err error) {
 	if b.crashed.Load() {
@@ -208,7 +250,7 @@ func (b *Backend) Run(fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			b.crashed.Store(true)
-			err = fmt.Errorf("cluster: backend %d crashed: %v", b.ID, r)
+			err = fmt.Errorf("%w (worker %d): %v", errBackendCrashed, b.ID, r)
 		}
 	}()
 	return fn()
@@ -277,6 +319,14 @@ type Cluster struct {
 
 	// manifestMu serializes catalog-manifest writes (restore.go).
 	manifestMu sync.Mutex
+
+	// Test-only fault injection, always nil in production: invoked with
+	// (worker, delivery index) as a consumer pulls each shuffled page, on
+	// the consuming backend's goroutine — the crash-recovery tests panic
+	// inside to simulate a user-code crash mid-merge / mid-build at a
+	// deterministic point in the stream.
+	testAggConsume func(worker, index int)
+	testJoinBuild  func(worker, index int)
 }
 
 // New builds a cluster: one master and cfg.Workers workers. With

@@ -28,13 +28,25 @@ type StageShip struct {
 	// MaxBytesInFlight is the step's exchange bytes-in-flight high-water
 	// mark (zero for steps without a streaming shuffle).
 	MaxBytesInFlight int64
+	// MaxReorderPages is the largest undelivered-page backlog any
+	// consumer's exchange lanes reached during the step — hard-bounded by
+	// ShuffleCapacity × Threads per producer in streaming mode.
+	MaxReorderPages int64
+	// Checkpoints counts the consumer-side recovery checkpoints taken
+	// during the step (zero for steps without a streaming shuffle, or
+	// with recovery disabled).
+	Checkpoints int
 }
 
 // ExecStats reports one distributed execution.
 type ExecStats struct {
 	Optimizer optimizer.Stats
 	Stages    int
-	Retries   int // backend crash retries
+	Retries   int // backend crash retries (producer and consumer roles)
+	// ConsumerRecoveries counts backend crashes inside consuming merges
+	// that were recovered by checkpoint restore + stream replay (a subset
+	// of Retries).
+	ConsumerRecoveries int
 	// Threads is the per-worker executor-thread budget pipeline stages
 	// ran with (Config.Threads after defaulting).
 	Threads int
@@ -82,9 +94,9 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 			continue
 		}
 		beforeBytes, beforePages := c.Transport.Counters()
-		var hwm int64
+		var tel exchangeTelemetry
 		if stage.ExchangeTo != nil {
-			hwm, err = c.runExchangeGroup(res, stage, stage.ExchangeTo, stats)
+			tel, err = c.runExchangeGroup(res, stage, stage.ExchangeTo, stats)
 			done[stage.ExchangeTo] = true
 		} else {
 			err = c.runStage(res, stage, stats)
@@ -95,7 +107,9 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 			Bytes: afterBytes - beforeBytes,
 			Pages: afterPages - beforePages,
 
-			MaxBytesInFlight: hwm,
+			MaxBytesInFlight: tel.hwm,
+			MaxReorderPages:  tel.reorderPages,
+			Checkpoints:      tel.checkpoints,
 		})
 		if err != nil {
 			return stats, fmt.Errorf("cluster: stage %d (%s): %w", stage.ID, stage.Produces, err)
@@ -323,24 +337,39 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 	return nil, nil
 }
 
-// newShuffleExchange wires an exchange to the simulated transport: shipping
-// copies the page into the consumer's registry (a worker's own pages pass
-// by reference — the barrier path never copied them either), and dropped
-// retry duplicates recycle through the page pool.
-func (c *Cluster) newShuffleExchange() *exchange.Exchange {
+// newShuffleExchange wires an exchange to the simulated transport: one lane
+// per (producer, executor thread, consumer) so ShuffleCapacity is a hard
+// per-thread bound; shipping copies the page into the consumer's registry
+// (a worker's own pages pass by reference — the barrier path never copied
+// them either); and retry duplicates, dropped at the sender, recycle
+// through the page pool. replayable turns on delivered-page retention for
+// consumer crash recovery; releaseDelivered receives pages once a
+// consumer's checkpoint acknowledges them (nil when the consumer's state
+// keeps referencing them, as the join-table build does).
+func (c *Cluster) newShuffleExchange(replayable bool, releaseDelivered func(*object.Page)) *exchange.Exchange {
 	return exchange.New(exchange.Config{
-		Producers: len(c.Workers),
-		Consumers: len(c.Workers),
-		Capacity:  c.Cfg.ShuffleCapacity,
-		Barrier:   c.Cfg.BarrierShuffle,
+		Producers:  len(c.Workers),
+		Consumers:  len(c.Workers),
+		Threads:    c.Cfg.Threads,
+		Capacity:   c.Cfg.ShuffleCapacity,
+		Barrier:    c.Cfg.BarrierShuffle,
+		Replayable: replayable,
 		Ship: func(p *object.Page, producer, consumer int) (*object.Page, error) {
 			if producer == consumer {
 				return p, nil
 			}
 			return c.Transport.Ship(p, c.Workers[consumer].Reg())
 		},
-		Release: func(p *object.Page) { c.pool.Put(p) },
+		Release:          func(p *object.Page) { c.pool.Put(p) },
+		ReleaseDelivered: releaseDelivered,
 	})
+}
+
+// exchangeTelemetry is one exchange-linked step's observability record.
+type exchangeTelemetry struct {
+	hwm          int64
+	reorderPages int64
+	checkpoints  int
 }
 
 // streamErr translates an exchange send aborted by sibling-thread failure
@@ -363,13 +392,19 @@ func streamErr(err error) error {
 //
 // A producer whose backend crashes mid-stream is re-forked and retried
 // once; the deterministic re-run re-sends the same tagged pages and the
-// exchange's receivers drop the duplicates. A consumer crash fails the job
-// (the stream is consumed and cannot be replayed).
-func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical.JobStage, stats *ExecStats) (int64, error) {
+// exchange drops the duplicates at the sender. A consumer whose backend
+// crashes mid-merge is also re-forked and retried once: the merge
+// checkpoints its sub-maps every interval pages (acknowledging each cut so
+// the exchange's replay retention stays bounded), and the retry restores
+// the last checkpoint, rewinds the exchange to its cut, and re-consumes
+// only the replayed suffix — bit-for-bit identical to a crash-free run.
+func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical.JobStage, stats *ExecStats) (exchangeTelemetry, error) {
 	nw := len(c.Workers)
-	ex := c.newShuffleExchange()
+	interval := c.checkpointEvery(cons)
+	ex := c.newShuffleExchange(interval > 0, func(p *object.Page) { c.pool.Put(p) })
 	arts := make([]*workerArtifacts, nw)
 	errs := make([]error, 2*nw)
+	recs := make([]*aggRecovery, nw)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for i, w := range c.Workers {
@@ -382,8 +417,15 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 					return c.runPreAggStreamOnWorker(res, prod, w, ex)
 				})
 			}
-			backend, err := run()
-			if err != nil && backend.Crashed() {
+			_, err := run()
+			if errors.Is(err, errBackendDead) {
+				// The sibling consumer role's (recoverable) crash landed
+				// in the instant before this role entered the shared
+				// backend; the re-forked backend picks the stream up
+				// untouched — nothing had been sent.
+				_, err = run()
+			}
+			if err != nil && errors.Is(err, errBackendCrashed) {
 				mu.Lock()
 				stats.Retries++
 				mu.Unlock()
@@ -399,24 +441,38 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 		wg.Add(1)
 		go func(i int, w *Worker) { // consumer role
 			defer wg.Done()
+			rec := &aggRecovery{}
+			recs[i] = rec
 			var started atomic.Bool
-			consume := func() error {
-				return w.Front.Backend().Run(func() error {
+			consume := func() (*Backend, error) {
+				backend := w.Front.Backend()
+				err := backend.Run(func() error {
 					started.Store(true)
-					a, err := c.consumeAggStream(res, cons, w, ex)
+					a, err := c.consumeAggStream(res, cons, w, ex, interval, rec)
 					if err != nil {
 						return err
 					}
 					arts[i] = a
 					return nil
 				})
+				return backend, err
 			}
-			err := consume()
+			_, err := consume()
 			if errors.Is(err, errBackendDead) && !started.Load() {
 				// The sibling producer role crashed the shared backend
 				// in the instant before this role entered it; the
 				// re-forked backend picks the consume up untouched.
-				err = consume()
+				_, err = consume()
+			}
+			if errors.Is(err, errBackendCrashed) && interval > 0 {
+				// The merge itself crashed (user combine/finalize code,
+				// not a sibling role's panic): re-fork and resume from
+				// the last checkpoint.
+				mu.Lock()
+				stats.Retries++
+				stats.ConsumerRecoveries++
+				mu.Unlock()
+				_, err = consume()
 			}
 			if err != nil {
 				errs[nw+i] = err
@@ -425,14 +481,19 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 		}(i, w)
 	}
 	wg.Wait()
-	hwm := ex.MaxBytesInFlight()
-	c.Transport.NoteInFlight(hwm)
-	for _, err := range errs {
-		if err != nil {
-			return hwm, err
+	tel := exchangeTelemetry{hwm: ex.MaxBytesInFlight(), reorderPages: ex.MaxReorderPages()}
+	for _, rec := range recs {
+		if rec != nil {
+			tel.checkpoints += rec.saves
 		}
 	}
-	return hwm, c.commitArtifacts(arts)
+	c.Transport.NoteExchange(tel.hwm, tel.reorderPages, tel.checkpoints)
+	for _, err := range errs {
+		if err != nil {
+			return tel, err
+		}
+	}
+	return tel, c.commitArtifacts(arts)
 }
 
 // runPreAggStreamOnWorker is the producer half of a streaming shuffle: the
@@ -488,15 +549,60 @@ func (c *Cluster) runPreAggStreamOnWorker(res *core.CompileResult, stage *physic
 // consumeAggStream is the consumer half: worker w owns hash partition w and
 // merges it incrementally from the exchange, then finalizes the sub-maps
 // into this worker's share of the result (its "mat:" artifact).
-func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobStage, w *Worker, ex *exchange.Exchange) (*workerArtifacts, error) {
+//
+// With interval > 0 the merge is replayable: it rewinds the exchange to
+// rec's last cut (a no-op on a fresh first attempt), restores the
+// checkpointed sub-maps if any, and snapshots + acknowledges a new cut
+// every interval pages plus once at stream end — so a crash anywhere in
+// the merge or finalize resumes from at most one interval back. Delivered
+// pages recycle through the exchange's acknowledge path instead of a
+// per-fold release, since the replay window still needs them.
+func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobStage, w *Worker,
+	ex *exchange.Exchange, interval int, rec *aggRecovery) (*workerArtifacts, error) {
 	spec := res.AggSpecs[stage.AggList]
 	if spec == nil {
 		return nil, fmt.Errorf("no aggregation spec for %q", stage.AggList)
 	}
+	release := func(p *object.Page) { c.pool.Put(p) }
+	var ckptr *engine.MergeCheckpointer
+	cut := 0
+	if interval > 0 {
+		resume, err := c.loadAggCheckpoint(w, rec)
+		if err != nil {
+			return nil, err
+		}
+		if resume != nil {
+			cut = resume.Cut
+		}
+		if err := ex.Rewind(w.ID, cut); err != nil {
+			return nil, err
+		}
+		release = nil
+		ckptr = &engine.MergeCheckpointer{
+			Interval: interval,
+			Resume:   resume,
+			Save: func(ck *engine.MergeCheckpoint) error {
+				if err := c.persistAggCheckpoint(w, rec, stage.Produces, ck); err != nil {
+					return err
+				}
+				return ex.Ack(w.ID, ck.Cut)
+			},
+		}
+	}
 	next := func() (*object.Page, bool, error) { return ex.Recv(w.ID) }
+	if hook := c.testAggConsume; hook != nil {
+		base, idx := next, cut
+		next = func() (*object.Page, bool, error) {
+			p, ok, err := base()
+			if ok {
+				hook(w.ID, idx)
+				idx++
+			}
+			return p, ok, err
+		}
+	}
 	finals, mergePages, err := engine.MergeAggMapsStream(w.Reg(), next, w.ID, len(c.Workers),
-		spec, c.Cfg.PageSize, c.pool, c.Cfg.Threads,
-		func(p *object.Page) { c.pool.Put(p) })
+		spec, c.Cfg.PageSize, c.pool, c.Cfg.Threads, release, ckptr)
 	if err != nil {
 		return nil, err
 	}
@@ -506,9 +612,13 @@ func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobS
 	if err != nil {
 		return nil, err
 	}
-	// The merge pages' contents were finalized into out; recycle them.
+	// The merge pages' contents were finalized into out; recycle them and
+	// discard the recovery snapshots — the artifact is about to commit.
 	for _, pg := range mergePages {
 		c.pool.Put(pg)
+	}
+	if interval > 0 {
+		c.dropAggCheckpoint(w, rec)
 	}
 	return &workerArtifacts{pages: out, pagesKey: stage.Produces}, nil
 }

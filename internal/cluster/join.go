@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/exchange"
@@ -37,17 +39,30 @@ import (
 // the barrier join did: an emit touching state shared across workers must
 // synchronize it.
 //
-// A backend crash anywhere in the join fails it (the caller may rerun; the
-// streams cannot be replayed mid-flight). Config.BarrierShuffle restores
-// the ship-everything-then-consume schedule with identical results.
+// A backend crash in a user key lambda is recovered on either side of the
+// shuffle. A producer crash (the key panics while repartitioning) is
+// re-forked and re-run; the deterministic retry re-sends the same tags
+// and the lanes drop its duplicates at the sender. A consumer crash (the
+// key panics while building the table from the stream) restores the
+// build's checkpoint: the build clones its per-thread tables every
+// Config.CheckpointInterval pages, and the re-forked backend restores the
+// clones, rewinds both streams, and replays only the build pages past the
+// cut (the probe buffer replays whole — its pages were never
+// acknowledged) — match output is bit-for-bit identical to a crash-free
+// run. A crash during probe/emit still fails the join: matches may
+// already have reached user code. Config.BarrierShuffle restores the
+// ship-everything-then-consume schedule with identical results.
 func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 	keyL, keyR func(object.Ref) uint64,
 	eq func(l, r object.Ref) bool,
 	emit func(workerID int, l, r object.Ref) error) error {
 
 	nw := len(c.Workers)
-	exL := c.newShuffleExchange()
-	exR := c.newShuffleExchange()
+	interval := c.checkpointEvery(nil)
+	// Neither side's delivered pages recycle on acknowledge: the build
+	// tables and the probe buffer keep referencing them.
+	exL := c.newShuffleExchange(interval > 0, nil)
+	exR := c.newShuffleExchange(interval > 0, nil)
 	cancel := func(err error) {
 		exL.Cancel(err)
 		exR.Cancel(err)
@@ -55,6 +70,7 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 
 	var wg sync.WaitGroup
 	errs := make([]error, 3*nw)
+	recs := make([]*joinBuildRecovery, nw)
 	for i, w := range c.Workers {
 		// Producer roles: repartition-stream each side.
 		for s, side := range []struct {
@@ -65,9 +81,25 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 			wg.Add(1)
 			go func(slot int, w *Worker, ex *exchange.Exchange, db, set string, key func(object.Ref) uint64) {
 				defer wg.Done()
-				err := w.Front.Backend().Run(func() error {
-					return c.streamRepartition(db, set, key, w, ex)
-				})
+				run := func() error {
+					return w.Front.Backend().Run(func() error {
+						return c.streamRepartition(db, set, key, w, ex)
+					})
+				}
+				err := run()
+				if errors.Is(err, errBackendDead) {
+					// The sibling consumer role's (recoverable) crash
+					// landed before this role entered the shared backend;
+					// the re-forked backend starts the stream untouched.
+					err = run()
+				}
+				if errors.Is(err, errBackendCrashed) {
+					// The key lambda crashed this producer's repartition:
+					// re-fork and re-run once — the deterministic retry
+					// re-sends the same tags and the lanes drop its
+					// duplicates at the sender, like the agg producers.
+					err = run()
+				}
 				if err != nil {
 					errs[slot] = err
 					cancel(err)
@@ -81,15 +113,46 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
-			err := w.Front.Backend().Run(func() error {
-				table, leftPages, err := gatherJoinStreams(exR, exL, w.ID, keyR, c.Cfg.Threads)
-				if err != nil {
-					return err
-				}
-				return parallelProbe(leftPages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
-					return emit(i, l, r)
+			rec := &joinBuildRecovery{}
+			recs[i] = rec
+			var probing atomic.Bool
+			attempt := func() (*Backend, error) {
+				backend := w.Front.Backend()
+				err := backend.Run(func() error {
+					if interval > 0 {
+						if err := exR.Rewind(i, rec.cut); err != nil {
+							return err
+						}
+						if err := exL.Rewind(i, 0); err != nil {
+							return err
+						}
+					}
+					table, leftPages, err := c.gatherJoinStreams(exR, exL, i, keyR, interval, rec)
+					if err != nil {
+						return err
+					}
+					probing.Store(true)
+					return parallelProbe(leftPages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
+						return emit(i, l, r)
+					})
 				})
-			})
+				return backend, err
+			}
+			_, err := attempt()
+			if errors.Is(err, errBackendDead) {
+				// A sibling producer role's crash landed before this role
+				// entered the shared backend (Run rejects work only at
+				// entry); the re-forked backend starts the gather
+				// untouched.
+				_, err = attempt()
+			}
+			if errors.Is(err, errBackendCrashed) && interval > 0 && !probing.Load() {
+				// Build-phase consumer crash: re-fork, restore the
+				// checkpointed tables, replay both streams past their
+				// cuts. (Once probing started, matches may have been
+				// emitted and the crash must fail the join.)
+				_, err = attempt()
+			}
 			if err != nil {
 				errs[2*nw+i] = err
 				cancel(err)
@@ -97,8 +160,14 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 		}(i, w)
 	}
 	wg.Wait()
-	c.Transport.NoteInFlight(exL.MaxBytesInFlight())
-	c.Transport.NoteInFlight(exR.MaxBytesInFlight())
+	ckpts := 0
+	for _, rec := range recs {
+		if rec != nil {
+			ckpts += rec.saves
+		}
+	}
+	c.Transport.NoteExchange(exL.MaxBytesInFlight(), exL.MaxReorderPages(), 0)
+	c.Transport.NoteExchange(exR.MaxBytesInFlight(), exR.MaxReorderPages(), ckpts)
 	for _, err := range errs {
 		if err != nil {
 			return fmt.Errorf("cluster: hash-partition join %s.%s ⋈ %s.%s: %w", dbL, setL, dbR, setR, err)
@@ -163,11 +232,11 @@ func (c *Cluster) streamRepartition(db, set string, key func(object.Ref) uint64,
 // gatherJoinStreams overlaps the join's two shuffles with the build: the
 // build-side stream feeds the hash table as pages arrive while the
 // probe-side stream is buffered in delivery order. Both streams drain
-// concurrently so neither side's producers stall on a full channel longer
+// concurrently so neither side's producers stall on a full lane longer
 // than the backpressure bound. Panics in the user key lambda re-raise on
 // the caller (the backend goroutine).
-func gatherJoinStreams(exBuild, exProbe *exchange.Exchange, worker int,
-	key func(object.Ref) uint64, threads int) (*engine.JoinTable, []*object.Page, error) {
+func (c *Cluster) gatherJoinStreams(exBuild, exProbe *exchange.Exchange, worker int,
+	key func(object.Ref) uint64, interval int, rec *joinBuildRecovery) (*engine.JoinTable, []*object.Page, error) {
 	var (
 		table      *engine.JoinTable
 		leftPages  []*object.Page
@@ -184,7 +253,7 @@ func gatherJoinStreams(exBuild, exProbe *exchange.Exchange, worker int,
 				buildPanic = r
 			}
 		}()
-		table, buildErr = buildTableStream(exBuild, worker, key, threads)
+		table, buildErr = c.buildTableStream(exBuild, worker, key, c.Cfg.Threads, interval, rec)
 	}()
 	go func() {
 		defer wg.Done()
@@ -214,22 +283,52 @@ func gatherJoinStreams(exBuild, exProbe *exchange.Exchange, worker int,
 }
 
 // buildTableStream builds the probe hash table incrementally from the
-// shuffled build stream: pages are dealt round-robin by delivery index
-// across threads builder threads (a pure function of the deterministic
-// delivery order), and the per-thread tables merge bucket-wise in thread
-// order after the stream closes. Build pages are never recycled — the
-// table references their objects for the life of the join.
-func buildTableStream(ex *exchange.Exchange, worker int,
-	key func(object.Ref) uint64, threads int) (*engine.JoinTable, error) {
+// shuffled build stream: pages are dealt round-robin by global delivery
+// index across threads builder threads (a pure function of the
+// deterministic delivery order), and the per-thread tables merge
+// bucket-wise in thread order after the stream closes. Build pages are
+// never recycled — the table references their objects for the life of the
+// join.
+//
+// With interval > 0 the build checkpoints for consumer crash recovery:
+// every interval pages the quiesced per-thread tables are cloned into rec
+// and the cut acknowledged to the exchange; a resumed build (rec already
+// holding clones) starts from those tables at rec.cut, fed by an exchange
+// rewound to the same cut, and reproduces the crash-free table exactly.
+func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
+	key func(object.Ref) uint64, threads, interval int, rec *joinBuildRecovery) (*engine.JoinTable, error) {
 	if threads < 1 {
 		threads = 1
 	}
 	tables := make([]*engine.JoinTable, threads)
-	for t := range tables {
-		tables[t] = engine.NewJoinTable()
+	start := 0
+	if rec != nil && rec.tables != nil {
+		if len(rec.tables) != threads {
+			return nil, fmt.Errorf("cluster: join checkpoint holds %d tables, build runs %d threads",
+				len(rec.tables), threads)
+		}
+		start = rec.cut
+		for t := range tables {
+			tables[t] = rec.tables[t].Clone()
+		}
+	} else {
+		for t := range tables {
+			tables[t] = engine.NewJoinTable()
+		}
 	}
 	next := func() (*object.Page, bool, error) { return ex.Recv(worker) }
-	err := engine.StreamPages(next, threads, false, nil, func(t int, p *object.Page) error {
+	if hook := c.testJoinBuild; hook != nil {
+		base, idx := next, start
+		next = func() (*object.Page, bool, error) {
+			p, ok, err := base()
+			if ok {
+				hook(worker, idx)
+				idx++
+			}
+			return p, ok, err
+		}
+	}
+	fold := func(t int, p *object.Page) error {
 		if p.Root() == 0 {
 			return nil
 		}
@@ -240,7 +339,30 @@ func buildTableStream(ex *exchange.Exchange, worker int,
 			tbl.Add(key(r), r)
 		}
 		return nil
-	})
+	}
+	var err error
+	if interval <= 0 {
+		err = engine.StreamPages(next, threads, false, nil, fold)
+	} else {
+		err = engine.StreamPagesCheckpointed(next, threads, false, start, interval, fold,
+			func(delivered int, final bool) error {
+				if final {
+					// The build's recovery window closes with the stream:
+					// no user code runs between build and probe, and probe
+					// crashes are not replayed — skip the epilogue clone
+					// (and its ack, keeping rec and the exchange cursor
+					// consistent at the last real cut).
+					return nil
+				}
+				clones := make([]*engine.JoinTable, len(tables))
+				for t := range tables {
+					clones[t] = tables[t].Clone()
+				}
+				rec.cut, rec.tables = delivered, clones
+				rec.saves++
+				return ex.Ack(worker, delivered)
+			})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -200,6 +200,13 @@ func materializeColumn(res *CompileResult, stage *physical.JobStage, last *tcap.
 	return "", fmt.Errorf("cannot determine materialization column of %s", last.Out)
 }
 
+// runAggregationStage is the consuming stage of a local aggregation: every
+// partition is merged (hash-range sub-partitioned across e.Threads, like a
+// cluster worker merging its partition) and finalized. At Threads > 1 the
+// partitions themselves also run concurrently — the single-process
+// analogue of the cluster's workers consuming their partitions in parallel
+// — with per-partition output pages concatenated in partition order, so
+// the result page sequence matches the sequential schedule exactly.
 func (e *Executor) runAggregationStage(res *CompileResult, stage *physical.JobStage, arts *artifacts) error {
 	spec := res.AggSpecs[stage.AggList]
 	if spec == nil {
@@ -209,17 +216,37 @@ func (e *Executor) runAggregationStage(res *CompileResult, stage *physical.JobSt
 	if !ok {
 		return fmt.Errorf("missing pre-aggregated maps for %q", stage.AggList)
 	}
-	var outPages []*object.Page
-	for part := 0; part < e.Partitions; part++ {
+	perPart := make([][]*object.Page, e.Partitions)
+	pstats := make([]engine.Stats, e.Partitions)
+	runPart := func(part int) error {
 		finals, _, err := engine.MergeAggMapsParallel(e.Reg, mapPages, part, e.Partitions,
 			spec, e.PageSize, nil, e.threads())
 		if err != nil {
 			return err
 		}
-		pages, err := engine.FinalizeAggParallel(e.Reg, finals, spec, e.PageSize, nil, &e.Stats)
+		pages, err := engine.FinalizeAggParallel(e.Reg, finals, spec, e.PageSize, nil, &pstats[part])
 		if err != nil {
 			return err
 		}
+		perPart[part] = pages
+		return nil
+	}
+	var err error
+	if e.threads() > 1 {
+		err = engine.ParallelFor(e.Partitions, runPart)
+	} else {
+		for part := 0; part < e.Partitions && err == nil; part++ {
+			err = runPart(part)
+		}
+	}
+	for part := range pstats {
+		e.Stats.Merge(&pstats[part])
+	}
+	if err != nil {
+		return err
+	}
+	var outPages []*object.Page
+	for _, pages := range perPart {
 		outPages = append(outPages, pages...)
 	}
 	arts.pages[stage.Produces] = outPages

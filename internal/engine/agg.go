@@ -184,12 +184,22 @@ func tryMergeSub(reg *object.Registry, pages []*object.Page, part, partitions in
 // restarts on a bigger page when the map overflows, a stream cannot re-scan
 // consumed pages — so an overflow grows the map in place: the entries are
 // rehashed onto a double-size page and the faulted update retries.
+//
+// A recoverable subMerger (one owned by a checkpointing merge) allocates
+// with PolicyNoReuse so its whole state is the page bytes plus the on-page
+// watermark — no in-memory freelists. That makes a byte snapshot of the
+// page a complete checkpoint: a merger restored from the snapshot replays
+// the remaining stream into bit-for-bit the same final page a crash-free
+// run produces, which is the invariant consumer-side crash recovery
+// (MergeCheckpointer) is built on. Non-recoverable merges keep
+// PolicyLightweightReuse and its tighter pages.
 type subMerger struct {
 	reg              *object.Registry
 	spec             *AggSpec
 	part, partitions int
 	sub, subs        int
 	pool             *object.PagePool
+	policy           object.Policy
 
 	pg    *object.Page
 	a     *object.Allocator
@@ -197,16 +207,16 @@ type subMerger struct {
 }
 
 func newSubMerger(reg *object.Registry, part, partitions int, spec *AggSpec,
-	pageSize int, pool *object.PagePool, sub, subs int) (*subMerger, error) {
+	pageSize int, pool *object.PagePool, sub, subs int, policy object.Policy) (*subMerger, error) {
 	m := &subMerger{reg: reg, spec: spec, part: part, partitions: partitions,
-		sub: sub, subs: subs, pool: pool}
+		sub: sub, subs: subs, pool: pool, policy: policy}
 	for {
 		if pool != nil && pool.Size == pageSize {
 			m.pg = pool.Get(reg)
 		} else {
 			m.pg = object.NewPage(pageSize, reg)
 		}
-		m.a = object.NewAllocator(m.pg, object.PolicyLightweightReuse)
+		m.a = object.NewAllocator(m.pg, m.policy)
 		final, err := object.MakeMap(m.a, spec.KeyKind, spec.ValKind, 64)
 		if errors.Is(err, object.ErrPageFull) {
 			// The configured page cannot hold even an empty map; start
@@ -286,7 +296,7 @@ func (m *subMerger) grow() error {
 			return fmt.Errorf("engine: aggregation sub-partition exceeds 1GiB: %w", object.ErrPageFull)
 		}
 		npg := object.NewPage(size, m.reg)
-		na := object.NewAllocator(npg, object.PolicyLightweightReuse)
+		na := object.NewAllocator(npg, m.policy)
 		nm, err := object.MakeMap(na, m.spec.KeyKind, m.spec.ValKind, 64)
 		if err != nil {
 			return err
@@ -315,34 +325,140 @@ func (m *subMerger) grow() error {
 	}
 }
 
+// snapshot captures the merger's complete state: the sub-map page's
+// occupied prefix plus its full size (so a restore faults — and grows — at
+// exactly the same points the uncrashed merger would).
+func (m *subMerger) snapshot() SubMapSnapshot {
+	return SubMapSnapshot{
+		PageSize: len(m.pg.Data),
+		Data:     append([]byte(nil), m.pg.Bytes()...),
+	}
+}
+
+// restoreSubMerger rebuilds a merger from a checkpoint snapshot. The
+// snapshot bytes are copied onto a fresh full-size page, so resuming never
+// mutates the checkpoint itself — a second crash before the next cut
+// restores the same state again.
+func restoreSubMerger(reg *object.Registry, part, partitions int, spec *AggSpec,
+	pool *object.PagePool, sub, subs int, snap SubMapSnapshot) (*subMerger, error) {
+	if snap.PageSize < len(snap.Data) {
+		return nil, fmt.Errorf("engine: sub-map snapshot larger (%d) than its page (%d)", len(snap.Data), snap.PageSize)
+	}
+	buf := make([]byte, snap.PageSize)
+	copy(buf, snap.Data)
+	pg, err := object.FromBytes(buf, reg)
+	if err != nil {
+		return nil, err
+	}
+	pg.SetManaged(true)
+	m := &subMerger{reg: reg, spec: spec, part: part, partitions: partitions,
+		sub: sub, subs: subs, pool: pool, policy: object.PolicyNoReuse, pg: pg}
+	m.a = object.NewAllocator(pg, object.PolicyNoReuse)
+	m.final = object.AsMap(object.Ref{Page: pg, Off: pg.Root()})
+	return m, nil
+}
+
+// SubMapSnapshot is one sub-partition merger's checkpointed state: the
+// occupied prefix of its sub-map page and the page's full size.
+type SubMapSnapshot struct {
+	PageSize int
+	Data     []byte
+}
+
+// MergeCheckpoint is a consistent cut of a streaming aggregation merge:
+// every merger has folded exactly the first Cut pages of the shuffle's
+// deterministic delivery order, and Subs holds each sub-partition's state
+// at that point (sub-partition order).
+type MergeCheckpoint struct {
+	Cut  int
+	Subs []SubMapSnapshot
+}
+
+// MergeCheckpointer wires consumer-side crash recovery into
+// MergeAggMapsStream. Save runs on the consuming goroutine at every cut —
+// after each Interval pages and once when the stream ends (the checkpoint
+// epilogue, which covers crashes in finalization) — with all mergers
+// quiesced; it typically persists the checkpoint and acknowledges the cut
+// to the exchange so replay retention stays bounded by Interval. Resume,
+// when non-nil, restores the mergers from a previous checkpoint: the caller
+// must feed a page stream starting at Resume.Cut (an exchange rewound to
+// the cut), and the resumed merge is bit-for-bit identical to a crash-free
+// run.
+type MergeCheckpointer struct {
+	Interval int
+	Resume   *MergeCheckpoint
+	Save     func(ck *MergeCheckpoint) error
+}
+
 // MergeAggMapsStream is the consuming half of the streaming shuffle:
 // MergeAggMapsParallel fed one page at a time. next yields shuffled map
 // pages in the exchange's deterministic (producer worker, thread, sequence)
 // order; each of threads sub-partition mergers folds every page in exactly
-// that order (StreamPages broadcast), so the merge is bit-for-bit
-// reproducible and identical to a barrier shuffle's. release is invoked
-// once a page has been folded by every merger — the recycling hook for
-// shuffle pages, which no artifact list retains in streaming mode.
+// that order, so the merge is bit-for-bit reproducible and identical to a
+// barrier shuffle's.
+//
+// With ckpt nil the merge is not recoverable: release is invoked once a
+// page has been folded by every merger — the recycling hook for shuffle
+// pages, which no artifact list retains in streaming mode. With ckpt set,
+// the merge checkpoints through it instead (release is ignored; page
+// recycling belongs to the exchange's Ack path, driven from ckpt.Save) and
+// can resume from ckpt.Resume after a consumer crash.
 //
 // Sub-maps and their pages are returned in sub-partition order for
 // FinalizeAggParallel, like the batch merge.
 func MergeAggMapsStream(reg *object.Registry, next func() (*object.Page, bool, error),
 	part, partitions int, spec *AggSpec, pageSize int, pool *object.PagePool,
-	threads int, release func(*object.Page)) ([]object.OMap, []*object.Page, error) {
+	threads int, release func(*object.Page), ckpt *MergeCheckpointer) ([]object.OMap, []*object.Page, error) {
 	if threads < 1 {
 		threads = 1
 	}
 	mergers := make([]*subMerger, threads)
-	for t := range mergers {
-		m, err := newSubMerger(reg, part, partitions, spec, pageSize, pool, t, threads)
-		if err != nil {
-			return nil, nil, err
+	start := 0
+	if ckpt != nil && ckpt.Resume != nil {
+		if len(ckpt.Resume.Subs) != threads {
+			return nil, nil, fmt.Errorf("engine: checkpoint has %d sub-maps, merge runs %d threads",
+				len(ckpt.Resume.Subs), threads)
 		}
-		mergers[t] = m
+		start = ckpt.Resume.Cut
+		for t := range mergers {
+			m, err := restoreSubMerger(reg, part, partitions, spec, pool, t, threads, ckpt.Resume.Subs[t])
+			if err != nil {
+				return nil, nil, err
+			}
+			mergers[t] = m
+		}
+	} else {
+		// Recoverable mergers allocate no-reuse so their page bytes are
+		// their complete state (snapshot invariant); without a
+		// checkpointer the merge keeps the tighter reuse policy.
+		policy := object.PolicyLightweightReuse
+		if ckpt != nil {
+			policy = object.PolicyNoReuse
+		}
+		for t := range mergers {
+			m, err := newSubMerger(reg, part, partitions, spec, pageSize, pool, t, threads, policy)
+			if err != nil {
+				return nil, nil, err
+			}
+			mergers[t] = m
+		}
 	}
-	err := StreamPages(next, threads, true, release, func(t int, p *object.Page) error {
-		return mergers[t].fold(p)
-	})
+	fold := func(t int, p *object.Page) error { return mergers[t].fold(p) }
+	var err error
+	if ckpt == nil {
+		err = StreamPages(next, threads, true, release, fold)
+	} else {
+		err = StreamPagesCheckpointed(next, threads, true, start, ckpt.Interval, fold,
+			func(delivered int, _ bool) error {
+				// The final cut matters here too: it is the recovery
+				// point for crashes in the user Finalize code downstream.
+				ck := &MergeCheckpoint{Cut: delivered, Subs: make([]SubMapSnapshot, len(mergers))}
+				for t, m := range mergers {
+					ck.Subs[t] = m.snapshot()
+				}
+				return ckpt.Save(ck)
+			})
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -85,7 +85,7 @@ func TestMergeAggMapsStreamMatchesBatch(t *testing.T) {
 			}
 			released := 0
 			streamFinals, _, err := MergeAggMapsStream(reg, pagesSource(pages), part, parts,
-				spec, 1<<14, nil, threads, func(*object.Page) { released++ })
+				spec, 1<<14, nil, threads, func(*object.Page) { released++ }, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,7 +115,7 @@ func TestMergeAggMapsStreamGrowsOnOverflow(t *testing.T) {
 	spec := &AggSpec{KeyKind: object.KString, ValKind: object.KFloat64, Combine: sumCombine}
 	pages := buildAggPages(t, reg, 1, 6000, 400, 1<<12)
 	finals, mergePages, err := MergeAggMapsStream(reg, pagesSource(pages), 0, 1,
-		spec, 1<<10, nil, 2, nil)
+		spec, 1<<10, nil, 2, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

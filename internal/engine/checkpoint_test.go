@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/object"
+)
+
+// intPages builds n tiny pages tagged 0..n-1 through the shared test
+// helper used by the agg stream tests.
+func intPages(t *testing.T, reg *object.Registry, n int) []*object.Page {
+	t.Helper()
+	ti := object.NewStruct(fmt.Sprintf("CkptPage%d", n)).AddField("id", object.KInt64).MustBuild(reg)
+	pages := make([]*object.Page, n)
+	for i := range pages {
+		p := object.NewPage(1<<12, reg)
+		a := object.NewAllocator(p, object.PolicyLightweightReuse)
+		root, err := object.MakeVector(a, object.KHandle, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Retain()
+		p.SetRoot(root.Off)
+		o, err := a.MakeObject(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		object.SetI64(o, ti.Field("id"), int64(i))
+		if err := root.PushBackHandle(a, o); err != nil {
+			t.Fatal(err)
+		}
+		pages[i] = p
+	}
+	return pages
+}
+
+func pageTag(p *object.Page) int64 {
+	root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+	ti := p.Reg.Lookup(root.HandleAt(0).TypeCode())
+	return object.GetI64(root.HandleAt(0), ti.Field("id"))
+}
+
+// TestStreamPagesCheckpointedCuts checks the cut schedule and the
+// deterministic page→thread assignment at several thread counts, for both
+// the broadcast (aggregation merge) and round-robin (join build) dealing.
+func TestStreamPagesCheckpointedCuts(t *testing.T) {
+	reg := object.NewRegistry()
+	const n, interval = 10, 3
+	pages := intPages(t, reg, n)
+	for _, threads := range []int{1, 2, 4} {
+		for _, broadcast := range []bool{true, false} {
+			perThread := make([][]int64, threads)
+			var cuts []int
+			err := StreamPagesCheckpointed(pagesSource(pages), threads, broadcast, 0, interval,
+				func(th int, p *object.Page) error {
+					perThread[th] = append(perThread[th], pageTag(p))
+					return nil
+				},
+				func(delivered int, _ bool) error {
+					cuts = append(cuts, delivered)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := []int{3, 6, 9, 10}; !reflect.DeepEqual(cuts, want) {
+				t.Errorf("threads=%d broadcast=%v: cuts = %v, want %v", threads, broadcast, cuts, want)
+			}
+			for th := 0; th < threads; th++ {
+				var want []int64
+				for i := 0; i < n; i++ {
+					if broadcast || i%threads == th {
+						want = append(want, int64(i))
+					}
+				}
+				if !reflect.DeepEqual(perThread[th], want) {
+					t.Errorf("threads=%d broadcast=%v thread %d folded %v, want %v",
+						threads, broadcast, th, perThread[th], want)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamPagesCheckpointedResume verifies the recovery contract: a run
+// resumed at a cut, fed the stream from that index, folds exactly the pages
+// an uncrashed run folds after the cut — on the same threads, in the same
+// order — and does not re-emit earlier cuts.
+func TestStreamPagesCheckpointedResume(t *testing.T) {
+	reg := object.NewRegistry()
+	const n, interval, cutAt, threads = 11, 4, 8, 3
+	pages := intPages(t, reg, n)
+	full := make([][]int64, threads)
+	if err := StreamPagesCheckpointed(pagesSource(pages), threads, false, 0, interval,
+		func(th int, p *object.Page) error {
+			full[th] = append(full[th], pageTag(p))
+			return nil
+		}, func(int, bool) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	pre := make([][]int64, threads)
+	if err := StreamPagesCheckpointed(pagesSource(pages[:cutAt]), threads, false, 0, interval,
+		func(th int, p *object.Page) error {
+			pre[th] = append(pre[th], pageTag(p))
+			return nil
+		}, func(int, bool) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var cuts []int
+	if err := StreamPagesCheckpointed(pagesSource(pages[cutAt:]), threads, false, cutAt, interval,
+		func(th int, p *object.Page) error {
+			pre[th] = append(pre[th], pageTag(p))
+			return nil
+		}, func(delivered int, _ bool) error {
+			cuts = append(cuts, delivered)
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pre, full) {
+		t.Errorf("resumed folds %v differ from uncrashed %v", pre, full)
+	}
+	if want := []int{11}; !reflect.DeepEqual(cuts, want) {
+		t.Errorf("resumed cuts = %v, want %v (only the epilogue past the cut)", cuts, want)
+	}
+}
+
+// TestStreamPagesCheckpointedPanic checks the crash discipline: a panic in
+// a fold body re-raises on the caller after all threads drain, and no cut
+// runs after the failure (the last checkpoint stays the recovery point).
+func TestStreamPagesCheckpointedPanic(t *testing.T) {
+	reg := object.NewRegistry()
+	pages := intPages(t, reg, 10)
+	var cuts atomic.Int32
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("fold panic was swallowed")
+		}
+		if got := cuts.Load(); got != 1 {
+			t.Errorf("cuts after crash = %d, want 1 (only the pre-crash cut)", got)
+		}
+	}()
+	_ = StreamPagesCheckpointed(pagesSource(pages), 2, true, 0, 3,
+		func(th int, p *object.Page) error {
+			if pageTag(p) == 5 && th == 1 {
+				panic("user combine bug")
+			}
+			return nil
+		},
+		func(delivered int, _ bool) error {
+			cuts.Add(1)
+			return nil
+		})
+	t.Fatal("StreamPagesCheckpointed returned instead of panicking")
+}
+
+// TestMergeAggMapsStreamCheckpointResume is the engine half of the
+// consumer-recovery acceptance criterion: a merge restored from a mid-
+// stream checkpoint and replayed from the cut produces final sub-map pages
+// bit-for-bit identical to an uncrashed run's — sizes, bytes, and
+// finalize-visible contents alike.
+func TestMergeAggMapsStreamCheckpointResume(t *testing.T) {
+	reg := object.NewRegistry()
+	spec := &AggSpec{KeyKind: object.KString, ValKind: object.KFloat64, Combine: sumCombine}
+	pages := buildAggPages(t, reg, 1, 6000, 300, 1<<12)
+	if len(pages) < 6 {
+		t.Fatalf("want a long stream, got %d pages", len(pages))
+	}
+	const threads, interval = 2, 2
+	for _, crashAfter := range []int{0, interval, len(pages)} {
+		var checkpoints []*MergeCheckpoint
+		refFinals, refPages, err := MergeAggMapsStream(reg, pagesSource(pages), 0, 1,
+			spec, 1<<10, nil, threads, nil,
+			&MergeCheckpointer{Interval: interval, Save: func(ck *MergeCheckpoint) error {
+				checkpoints = append(checkpoints, ck)
+				return nil
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Pick the newest checkpoint at or before the crash point — what
+		// the scheduler would restore — and replay from its cut.
+		var resume *MergeCheckpoint
+		for _, ck := range checkpoints {
+			if ck.Cut <= crashAfter {
+				resume = ck
+			}
+		}
+		cut := 0
+		if resume != nil {
+			cut = resume.Cut
+		} // resume == nil: crash before the first cut — full replay
+		gotFinals, gotPages, err := MergeAggMapsStream(reg, pagesSource(pages[cut:]), 0, 1,
+			spec, 1<<10, nil, threads, nil,
+			&MergeCheckpointer{Interval: interval, Resume: resume, Save: func(*MergeCheckpoint) error { return nil }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range refPages {
+			if len(gotPages[i].Data) != len(refPages[i].Data) {
+				t.Errorf("crash@%d: sub-map %d page size %d, want %d",
+					crashAfter, i, len(gotPages[i].Data), len(refPages[i].Data))
+			}
+			if !bytes.Equal(gotPages[i].Bytes(), refPages[i].Bytes()) {
+				t.Errorf("crash@%d: sub-map %d page bytes differ from the uncrashed run", crashAfter, i)
+			}
+		}
+		if !reflect.DeepEqual(mergedRows(t, gotFinals), mergedRows(t, refFinals)) {
+			t.Errorf("crash@%d: resumed merge contents differ", crashAfter)
+		}
+	}
+}

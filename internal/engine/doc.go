@@ -77,9 +77,17 @@
 //     (LogicalKeyHash, so handle keys route by logical value, not page
 //     offset); each thread folds only its sub-partition's keys into a
 //     private sub-map, consuming pages in the stream's deterministic
-//     order (StreamPages). FinalizeAggParallel then materializes the
-//     sub-maps concurrently and concatenates their pages in sub-partition
-//     order.
+//     order (StreamPages, or StreamPagesCheckpointed when the merge is
+//     recoverable). FinalizeAggParallel then materializes the sub-maps
+//     concurrently and concatenates their pages in sub-partition order.
+//
+// The streaming contract carries a checkpoint epilogue for consumer-side
+// crash recovery: StreamPagesCheckpointed quiesces every consumer thread
+// at interval cuts — and once more at stream end — so the caller can
+// snapshot a mutually consistent merge state (MergeCheckpointer snapshots
+// sub-map pages byte-for-byte; the join build clones its tables) and a
+// re-forked consumer can restore it and replay only the stream's suffix,
+// reproducing the crash-free output exactly.
 //   - Join build/probe (internal/cluster.HashPartitionJoin): the shuffled
 //     build side streams into per-thread tables (pages dealt round-robin
 //     by delivery index) merged bucket-wise; probe threads buffer their

@@ -137,6 +137,171 @@ func ParallelThreads(n int, body func(t int, stop <-chan struct{}) error) error 
 	})
 }
 
+// StreamPagesCheckpointed drives a shuffle stream like StreamPages, but
+// with consistent cut points for consumer-side crash recovery: after every
+// interval pages — and once more when the stream ends, the checkpoint
+// epilogue — every consumer thread quiesces at a barrier and cut(delivered)
+// runs on the calling goroutine, where delivered is the total number of
+// pages folded. A caller that snapshots its per-thread merge state inside
+// cut and later resumes with start = the snapshot's cut (feeding a next
+// that replays the stream from that index) reproduces the uncrashed run
+// bit-for-bit: broadcast hands every page to every thread, and round-robin
+// deals page i to thread i%threads using the global delivery index, so
+// resumed work lands on the same threads in the same order.
+//
+// interval <= 0 disables the periodic cuts; the end-of-stream cut still
+// runs, with final=true — callers whose recovery window closes when the
+// stream ends (the join build: no user code runs between build and probe)
+// can skip the epilogue snapshot. Panics in body re-raise on the caller
+// after all threads drain
+// (preserving the backend-crash discipline) and skip any pending cut, so
+// the last successful checkpoint remains the recovery point. Unlike
+// StreamPages there is no release hook: with recovery in play, page
+// lifetime belongs to the replay window's owner (the exchange), not the
+// fold.
+func StreamPagesCheckpointed(next func() (*object.Page, bool, error), threads int, broadcast bool,
+	start, interval int, body func(t int, p *object.Page) error, cut func(delivered int, final bool) error) error {
+	delivered := start
+	lastCut := -1
+	if threads <= 1 {
+		for {
+			p, ok, err := next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := body(0, p); err != nil {
+				return err
+			}
+			delivered++
+			if interval > 0 && delivered%interval == 0 {
+				if err := cut(delivered, false); err != nil {
+					return err
+				}
+				lastCut = delivered
+			}
+		}
+		if lastCut == delivered {
+			return nil // the end-of-stream state is already checkpointed
+		}
+		return cut(delivered, true)
+	}
+
+	type msg struct {
+		p       *object.Page
+		barrier bool
+	}
+	feeds := make([]chan msg, threads)
+	acks := make(chan struct{}, threads)
+	errs := make([]error, threads)
+	panics := make([]*threadPanic, threads)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for t := range feeds {
+		feeds[t] = make(chan msg, 4)
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[t] = &threadPanic{v: r}
+					failed.Store(true)
+					// Keep draining (and acking barriers) so neither the
+					// dispatcher nor a sibling blocks on a dead thread.
+					for m := range feeds[t] {
+						if m.barrier {
+							acks <- struct{}{}
+						}
+					}
+				}
+			}()
+			for m := range feeds[t] {
+				if m.barrier {
+					acks <- struct{}{}
+					continue
+				}
+				if errs[t] == nil {
+					if err := body(t, m.p); err != nil {
+						errs[t] = err
+						failed.Store(true)
+					}
+				}
+			}
+		}(t)
+	}
+	// quiesce parks every thread at the barrier; the threads resume only
+	// when the dispatcher feeds again, so cut observes a frozen, mutually
+	// consistent merge state.
+	quiesce := func() {
+		for t := range feeds {
+			feeds[t] <- msg{barrier: true}
+		}
+		for range feeds {
+			<-acks
+		}
+	}
+	var srcErr error
+	func() {
+		// Tear down the threads even when next or cut panics (a crash
+		// hook or user code on the consuming goroutine), so the panic
+		// reaches the backend with no goroutine left behind.
+		defer func() {
+			for t := range feeds {
+				close(feeds[t])
+			}
+			wg.Wait()
+		}()
+		for !failed.Load() {
+			p, ok, err := next()
+			if err != nil {
+				srcErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			if broadcast {
+				for t := range feeds {
+					feeds[t] <- msg{p: p}
+				}
+			} else {
+				feeds[delivered%threads] <- msg{p: p}
+			}
+			delivered++
+			if interval > 0 && delivered%interval == 0 {
+				quiesce()
+				if failed.Load() {
+					return
+				}
+				if err := cut(delivered, false); err != nil {
+					srcErr = err
+					return
+				}
+				lastCut = delivered
+			}
+		}
+	}()
+	for _, p := range panics {
+		if p != nil {
+			panic(p.v)
+		}
+	}
+	for t, err := range errs {
+		if err != nil {
+			return fmt.Errorf("stream consumer thread %d: %w", t, err)
+		}
+	}
+	if srcErr != nil {
+		return srcErr
+	}
+	if lastCut == delivered {
+		return nil // the end-of-stream state is already checkpointed
+	}
+	return cut(delivered, true)
+}
+
 // StreamPages fans a shuffle stream out over consumer threads: next yields
 // pages in the exchange's deterministic delivery order; body(t, p) folds a
 // page on thread t. broadcast hands every page to every thread (the

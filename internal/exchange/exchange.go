@@ -1,28 +1,50 @@
 // Package exchange implements the streaming shuffle that connects a
 // producing job stage to its consuming stage (paper Appendix D.2/D.3,
-// "overlap shuffle with production"): a bounded, per-(producer, consumer)
-// queue of sealed pages with backpressure. Producers push each page the
-// moment its sink seals it; the transport ships it in flight; consumers
-// start merging immediately — production, shipping, and consumption all
-// overlap instead of meeting at a stage barrier.
+// "overlap shuffle with production"): bounded queues of sealed pages with
+// backpressure. Producers push each page the moment its sink seals it; the
+// transport ships it in flight; consumers start merging immediately —
+// production, shipping, and consumption all overlap instead of meeting at a
+// stage barrier.
+//
+// # Lanes and the hard memory bound
+//
+// Every (producer worker, executor thread, consumer) triple owns a private
+// bounded channel — a lane. A page travels the lane of the thread that
+// sealed it, so each lane carries one thread's stream in sequence order and
+// Config.Capacity is a hard per-lane bound: a consumer never holds more
+// than Capacity × Threads undelivered pages per producer, and a full lane
+// backpressures exactly the producing thread that outran the merge. (The
+// previous design multiplexed a producer's threads onto one channel and
+// reordered at the receiver, which let pages of threads behind the delivery
+// cursor pile up without limit.)
 //
 // # Determinism
 //
 // Every page carries a (producer worker, executor thread, sequence) Tag.
 // Recv delivers pages to a consumer in strict Tag order — producer-major,
-// then thread, then sequence — regardless of arrival order, buffering
-// early arrivals until their turn. Because the merge consumes the exact
-// sequence a barrier shuffle would have presented, streaming and barrier
-// executions are bit-for-bit identical.
+// then thread, then sequence — by draining lanes in that order. Because the
+// merge consumes the exact sequence a barrier shuffle would have presented,
+// streaming and barrier executions are bit-for-bit identical.
 //
-// # Crash retry
+// # Crash retry (producer side)
 //
 // A producer that crashes mid-stream is re-forked and re-run from scratch.
-// Pipeline execution is deterministic, so the retry re-sends the same
-// pages with the same tags; Recv tracks the next expected sequence per
-// (producer, thread) and silently drops the retry's duplicates of pages
-// already delivered, so the consumer's merge sees every page exactly once
-// — nothing duplicated, nothing dropped.
+// Pipeline execution is deterministic, so the retry re-sends the same pages
+// with the same tags; each lane remembers the next sequence it will admit
+// and drops the retry's duplicates at the sender, before they are shipped
+// or enqueued — so lanes never hold duplicate pages (and the in-flight
+// accounting never counts them), and the consumer's merge sees every page
+// exactly once.
+//
+// # Crash replay (consumer side)
+//
+// With Config.Replayable, delivered pages are retained until the consumer
+// acknowledges them (Ack), and Rewind moves the delivery cursor back to any
+// unacknowledged position. A consumer that checkpoints its merge state
+// every K pages and acks each checkpoint can crash, restore the checkpoint,
+// rewind, and re-consume only the pages past the cut — the retained suffix
+// replays first, then delivery continues live. Retention is bounded by the
+// checkpoint interval (plus any pull-ahead).
 //
 // # Barrier mode (ablation baseline)
 //
@@ -31,7 +53,10 @@
 // delivery order. It exists for the shuffle-overlap ablation
 // (bench.RunShuffleOverlap) and its identity check, not as a second code
 // path in the execution stack: producers and consumers are wired exactly
-// the same way in both modes.
+// the same way in both modes, and the bytes-in-flight accounting follows
+// the same enqueue→delivery lifecycle (sender-side dedup keeps retry
+// duplicates out of both modes' buffers, so the ablation's memory
+// comparison is apples-to-apples).
 package exchange
 
 import (
@@ -50,7 +75,7 @@ type Tag struct {
 	// Thread is the executor thread (within the producer) that sealed the
 	// page.
 	Thread int
-	// Seq numbers the pages one thread sent through one channel, from 0.
+	// Seq numbers the pages one thread sent through one lane, from 0.
 	Seq int
 }
 
@@ -60,8 +85,8 @@ type Tag struct {
 // sentinel so the root cause wins error reporting.
 var ErrProducerStopped = errors.New("exchange: producer stopped by sibling failure")
 
-// message is one queue entry: a tagged page, or (page == nil) a marker that
-// tag.Thread of tag.Producer finished its stream.
+// message is one lane entry: a tagged page, or (page == nil) a marker that
+// the lane's thread finished its stream.
 type message struct {
 	tag  Tag
 	page *object.Page
@@ -72,30 +97,63 @@ type Config struct {
 	// Producers and Consumers count the workers on each side (usually
 	// equal: every worker both produces and consumes a shuffle).
 	Producers, Consumers int
-	// Capacity bounds each (producer, consumer) channel's pages in flight;
-	// a full channel blocks the producer (backpressure). Zero picks
-	// DefaultCapacity. Ignored in Barrier mode.
+	// Threads is the executor-thread budget per producer: each producer
+	// owns Threads lanes to every consumer, indexed by Tag.Thread. Zero
+	// or negative picks 1.
+	Threads int
+	// Capacity bounds each lane's pages in flight; a full lane blocks the
+	// producing thread (backpressure). Zero picks DefaultCapacity. Lanes
+	// stay bounded in Barrier mode too — the drain buffers behind them
+	// absorb the whole shuffle, which is the barrier schedule's cost.
 	Capacity int
 	// Barrier buffers every page and delivers only after all producers
 	// close — the pre-streaming schedule, kept for the overlap ablation.
 	Barrier bool
+	// Replayable retains delivered pages until Ack so a crashed consumer
+	// can Rewind and re-consume them. Off, Ack and Rewind are errors and
+	// delivered pages are forgotten immediately.
+	Replayable bool
 	// Ship copies a page into the consumer's memory space (the simulated
 	// wire). nil passes pages through untouched.
 	Ship func(p *object.Page, producer, consumer int) (*object.Page, error)
-	// Release receives pages the receiver drops as retry duplicates, so
-	// the owner can recycle them. nil discards them.
+	// Release receives producer pages dropped whole by sender-side retry
+	// dedup, so the owner can recycle them. nil discards them.
 	Release func(p *object.Page)
+	// ReleaseDelivered receives retained pages released by Ack
+	// (Replayable mode), once the consumer's checkpoint guarantees they
+	// will never replay. nil just drops the references.
+	ReleaseDelivered func(p *object.Page)
 }
 
-// DefaultCapacity is the per-channel pages-in-flight bound when
+// DefaultCapacity is the per-lane pages-in-flight bound when
 // Config.Capacity is zero.
 const DefaultCapacity = 4
 
-// Exchange is one shuffle: Producers × Consumers bounded page channels plus
-// a per-consumer receiver that restores deterministic order.
+// lane is one (producer thread → consumer) bounded channel plus its
+// sender-side bookkeeping. A lane has exactly one sending goroutine at any
+// time (the owning executor thread, or its crash-retry successor, which the
+// scheduler starts only after the failed run's barrier), so sent/closeSent
+// need no lock.
+type lane struct {
+	ch chan message
+
+	sent      int  // next sequence this lane will admit (retry dedup)
+	closeSent bool // thread-close marker already enqueued
+
+	buf *drainBuf // barrier mode: unbounded drain behind the lane
+}
+
+type drainBuf struct {
+	mu   sync.Mutex
+	msgs []message
+	next int // receiver cursor
+}
+
+// Exchange is one shuffle: Producers × Threads × Consumers bounded lanes
+// plus a per-consumer receiver that walks them in deterministic tag order.
 type Exchange struct {
 	cfg   Config
-	chans [][]chan message // [producer][consumer]
+	lanes [][][]*lane // [producer][thread][consumer]
 	recvs []*receiver
 
 	cancelCh   chan struct{}
@@ -105,18 +163,11 @@ type Exchange struct {
 
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
+	maxReorder  atomic.Int64 // max undelivered-page backlog of any consumer
 
-	// Barrier-mode drains: one buffer per channel, filled by drainer
-	// goroutines so producers never block; ready[c] closes when consumer
-	// c's whole input is buffered.
-	barrier [][]*drainBuf
-	ready   []chan struct{}
-}
-
-type drainBuf struct {
-	mu   sync.Mutex
-	msgs []message
-	next int // receiver cursor
+	// Barrier-mode ready[c] closes when consumer c's whole input is
+	// buffered behind its lanes.
+	ready []chan struct{}
 }
 
 // New builds an exchange. In Barrier mode it immediately starts the drainer
@@ -125,12 +176,18 @@ func New(cfg Config) *Exchange {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = DefaultCapacity
 	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
 	ex := &Exchange{cfg: cfg, cancelCh: make(chan struct{})}
-	ex.chans = make([][]chan message, cfg.Producers)
-	for p := range ex.chans {
-		ex.chans[p] = make([]chan message, cfg.Consumers)
-		for c := range ex.chans[p] {
-			ex.chans[p][c] = make(chan message, cfg.Capacity)
+	ex.lanes = make([][][]*lane, cfg.Producers)
+	for p := range ex.lanes {
+		ex.lanes[p] = make([][]*lane, cfg.Threads)
+		for t := range ex.lanes[p] {
+			ex.lanes[p][t] = make([]*lane, cfg.Consumers)
+			for c := range ex.lanes[p][t] {
+				ex.lanes[p][t][c] = &lane{ch: make(chan message, cfg.Capacity)}
+			}
 		}
 	}
 	ex.recvs = make([]*receiver, cfg.Consumers)
@@ -143,10 +200,27 @@ func New(cfg Config) *Exchange {
 	return ex
 }
 
-// Send ships a tagged page to one consumer and enqueues it, blocking while
-// the channel is full. It returns early when stop closes (sibling thread
-// failure) or the exchange is cancelled.
+func (ex *Exchange) lane(tag Tag, consumer int) *lane {
+	return ex.lanes[tag.Producer][tag.Thread][consumer]
+}
+
+// Send ships a tagged page to one consumer and enqueues it on the sending
+// thread's lane, blocking while the lane is full. A sequence the lane
+// already admitted (a crashed producer's deterministic retry) is dropped —
+// and released — before shipping. Send returns early when stop closes
+// (sibling thread failure) or the exchange is cancelled.
 func (ex *Exchange) Send(tag Tag, consumer int, p *object.Page, stop <-chan struct{}) error {
+	ln := ex.lane(tag, consumer)
+	if tag.Seq < ln.sent {
+		if ex.cfg.Release != nil {
+			ex.cfg.Release(p)
+		}
+		return nil
+	}
+	if tag.Seq != ln.sent {
+		return fmt.Errorf("exchange: lane (%d, %d, %d) sent seq %d, want %d",
+			tag.Producer, tag.Thread, consumer, tag.Seq, ln.sent)
+	}
 	shipped := p
 	if ex.cfg.Ship != nil {
 		var err error
@@ -154,45 +228,62 @@ func (ex *Exchange) Send(tag Tag, consumer int, p *object.Page, stop <-chan stru
 			return err
 		}
 	}
-	return ex.enqueue(tag, consumer, shipped, stop)
+	if err := ex.enqueue(ln, tag, consumer, shipped, stop); err != nil {
+		return err
+	}
+	ln.sent++
+	return nil
 }
 
 // Broadcast ships a tagged page to every consumer — the pre-aggregation
 // shuffle's pattern, where each consumer merges its own hash partition out
 // of every page. All wire copies are made before any enqueue, so a consumer
 // that merges (and recycles) its copy early cannot corrupt a later ship of
-// the original.
+// the original. Consumers whose lane already admitted the sequence (a crash
+// retry interrupted mid-broadcast) are skipped; if no lane takes the
+// original page itself, it is released back to the caller's pool.
 func (ex *Exchange) Broadcast(tag Tag, p *object.Page, stop <-chan struct{}) error {
-	shipped := make([]*object.Page, ex.cfg.Consumers)
-	for c := range shipped {
-		shipped[c] = p
+	planned := make([]*object.Page, ex.cfg.Consumers)
+	originalUsed := false
+	for c := range planned {
+		if tag.Seq < ex.lane(tag, c).sent {
+			continue // retry duplicate for this consumer
+		}
+		q := p
 		if ex.cfg.Ship != nil {
 			var err error
-			if shipped[c], err = ex.cfg.Ship(p, tag.Producer, c); err != nil {
+			if q, err = ex.cfg.Ship(p, tag.Producer, c); err != nil {
 				return err
 			}
 		}
+		planned[c] = q
+		if q == p {
+			originalUsed = true
+		}
 	}
-	for c, q := range shipped {
-		if err := ex.enqueue(tag, c, q, stop); err != nil {
+	if !originalUsed && ex.cfg.Release != nil {
+		ex.cfg.Release(p)
+	}
+	for c, q := range planned {
+		if q == nil {
+			continue
+		}
+		ln := ex.lane(tag, c)
+		if err := ex.enqueue(ln, tag, c, q, stop); err != nil {
 			return err
 		}
+		ln.sent++
 	}
 	return nil
 }
 
-func (ex *Exchange) enqueue(tag Tag, consumer int, p *object.Page, stop <-chan struct{}) error {
+func (ex *Exchange) enqueue(ln *lane, tag Tag, consumer int, p *object.Page, stop <-chan struct{}) error {
+	// Bytes count from ship time: the wire copy already occupies the
+	// consumer's memory space while the sender waits out backpressure.
 	n := int64(len(p.Bytes()))
-	cur := ex.inFlight.Add(n)
-	for {
-		hwm := ex.maxInFlight.Load()
-		if cur <= hwm || ex.maxInFlight.CompareAndSwap(hwm, cur) {
-			break
-		}
-	}
+	maxGauge(&ex.maxInFlight, ex.inFlight.Add(n))
 	select {
-	case ex.chans[tag.Producer][consumer] <- message{tag: tag, page: p}:
-		return nil
+	case ln.ch <- message{tag: tag, page: p}:
 	case <-ex.cancelCh:
 		ex.inFlight.Add(-n)
 		return ex.cancelled()
@@ -200,16 +291,36 @@ func (ex *Exchange) enqueue(tag Tag, consumer int, p *object.Page, stop <-chan s
 		ex.inFlight.Add(-n)
 		return ErrProducerStopped
 	}
+	// The page-backlog gauge counts only after the handoff: a blocked
+	// sender's page is backpressured at the producer, not buffered at the
+	// receiver, and the hard bound speaks about receiver-side backlog.
+	maxGauge(&ex.maxReorder, ex.recvs[consumer].backlog.Add(1))
+	return nil
+}
+
+func maxGauge(g *atomic.Int64, cur int64) {
+	for {
+		hwm := g.Load()
+		if cur <= hwm || g.CompareAndSwap(hwm, cur) {
+			return
+		}
+	}
 }
 
 // CloseThread marks one producer thread's stream complete on every
 // consumer. A thread sends it after flushing its final page, so it follows
-// all of the thread's pages in each channel.
+// all of the thread's pages in each lane; a crash retry that re-closes an
+// already-closed lane is a no-op.
 func (ex *Exchange) CloseThread(producer, thread int, stop <-chan struct{}) error {
-	m := message{tag: Tag{Producer: producer, Thread: thread}}
 	for c := 0; c < ex.cfg.Consumers; c++ {
+		ln := ex.lanes[producer][thread][c]
+		if ln.closeSent {
+			continue
+		}
+		m := message{tag: Tag{Producer: producer, Thread: thread, Seq: ln.sent}}
 		select {
-		case ex.chans[producer][c] <- m:
+		case ln.ch <- m:
+			ln.closeSent = true
 		case <-ex.cancelCh:
 			return ex.cancelled()
 		case <-stop:
@@ -219,11 +330,13 @@ func (ex *Exchange) CloseThread(producer, thread int, stop <-chan struct{}) erro
 	return nil
 }
 
-// CloseProducer closes all of a producer's channels. Call it exactly once,
+// CloseProducer closes all of a producer's lanes. Call it exactly once,
 // after the producer's run (including any crash retry) succeeded.
 func (ex *Exchange) CloseProducer(producer int) {
-	for _, ch := range ex.chans[producer] {
-		close(ch)
+	for _, row := range ex.lanes[producer] {
+		for _, ln := range row {
+			close(ln.ch)
+		}
 	}
 }
 
@@ -247,53 +360,55 @@ func (ex *Exchange) cancelled() error {
 // MaxBytesInFlight reports the shuffle's bytes-in-flight high-water mark:
 // bytes enqueued (shipped) but not yet delivered to a merge. Barrier mode
 // buffers the whole shuffle, so its mark approaches the total shuffle
-// volume. Streaming mode's channels are bounded at Capacity pages each,
-// but the receiver's reorder buffer is not: pages of threads behind the
-// delivery cursor park in pending, so a producer running many threads can
-// still accumulate up to (threads-1)/threads of its output at the
-// consumer while thread 0's stream is open — less than barrier's
-// all-producers buffering, but not a hard constant. (Per-(producer,
-// thread) channels would make the bound hard; see ROADMAP.)
+// volume. Streaming mode is hard-bounded: every lane holds at most
+// Capacity pages, so a consumer's undelivered backlog never exceeds
+// Capacity × Threads pages per producer — backpressure, not buffering,
+// absorbs skew.
 func (ex *Exchange) MaxBytesInFlight() int64 { return ex.maxInFlight.Load() }
 
-// receiver restores deterministic order for one consumer: pages are
-// delivered producer-major, within a producer thread-major, within a thread
-// in sequence order. Early arrivals park in pending; retry duplicates
-// (sequence below the next expected) are dropped.
+// MaxReorderPages reports the largest undelivered-page backlog any single
+// consumer reached (pages enqueued on its lanes — or barrier drain buffers
+// — and not yet delivered). In streaming mode it is hard-bounded by
+// Capacity × Threads × Producers; in barrier mode it approaches the
+// shuffle's page count.
+func (ex *Exchange) MaxReorderPages() int64 { return ex.maxReorder.Load() }
+
+// BufferedPages reports one consumer's current undelivered-page backlog.
+func (ex *Exchange) BufferedPages(consumer int) int64 {
+	return ex.recvs[consumer].backlog.Load()
+}
+
+// receiver walks one consumer's lanes in deterministic order: producers
+// major, threads within a producer, sequence within a lane. All of a
+// receiver's methods (through Recv/Ack/Rewind) are called from the single
+// consuming goroutine; only backlog is touched by senders.
 type receiver struct {
 	ex       *Exchange
 	consumer int
-	producer int // cursor
 
-	curThread int
-	maxThread int
-	nextSeq   []int
-	closed    []bool
-	pending   [][]*object.Page
-	srcDone   bool // current producer's channel closed / buffer exhausted
+	producer, thread int // lane cursor
+	laneSeq          int // next sequence expected from the current lane
+	ended            bool
+
+	backlog atomic.Int64 // pages enqueued for this consumer, undelivered
+
+	// Replay retention (Config.Replayable): retained holds delivered,
+	// unacknowledged pages; base is the delivery index of retained[0];
+	// pos is the next delivery index Recv hands out (pos < base +
+	// len(retained) while replaying after a Rewind).
+	retained []*object.Page
+	base     int
+	pos      int
 }
 
-func (r *receiver) reset() {
-	r.curThread, r.maxThread = 0, -1
-	r.nextSeq, r.closed, r.pending = nil, nil, nil
-	r.srcDone = false
-}
-
-func (r *receiver) growTo(t int) {
-	for len(r.nextSeq) <= t {
-		r.nextSeq = append(r.nextSeq, 0)
-		r.closed = append(r.closed, false)
-		r.pending = append(r.pending, nil)
-	}
-}
-
-// next pulls the current producer's next raw message: a live channel
-// receive in streaming mode, a buffer pop in barrier mode (after the
-// consumer's whole input is buffered).
+// next pulls the current lane's next raw message: a live channel receive in
+// streaming mode, a buffer pop in barrier mode (after the consumer's whole
+// input is buffered).
 func (r *receiver) next() (message, bool, error) {
 	ex := r.ex
+	ln := ex.lanes[r.producer][r.thread][r.consumer]
 	if ex.cfg.Barrier {
-		b := ex.barrier[r.producer][r.consumer]
+		b := ln.buf
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		if b.next >= len(b.msgs) {
@@ -304,7 +419,7 @@ func (r *receiver) next() (message, bool, error) {
 		return m, true, nil
 	}
 	select {
-	case m, ok := <-ex.chans[r.producer][r.consumer]:
+	case m, ok := <-ln.ch:
 		return m, ok, nil
 	case <-ex.cancelCh:
 		return message{}, false, ex.cancelled()
@@ -313,9 +428,18 @@ func (r *receiver) next() (message, bool, error) {
 
 // Recv returns the consumer's next page in deterministic (producer, thread,
 // sequence) order. ok=false marks the end of the whole shuffle. An error
-// means the exchange was cancelled.
+// means the exchange was cancelled or a lane misbehaved.
 func (ex *Exchange) Recv(consumer int) (*object.Page, bool, error) {
 	r := ex.recvs[consumer]
+	if r.pos < r.base+len(r.retained) {
+		// Replaying after a Rewind: the retained suffix first.
+		p := r.retained[r.pos-r.base]
+		r.pos++
+		return p, true, nil
+	}
+	if r.ended {
+		return nil, false, nil
+	}
 	if ex.cfg.Barrier {
 		select {
 		case <-ex.ready[consumer]:
@@ -325,99 +449,119 @@ func (ex *Exchange) Recv(consumer int) (*object.Page, bool, error) {
 	}
 	for {
 		if r.producer >= ex.cfg.Producers {
+			r.ended = true
 			return nil, false, nil
-		}
-		// Deliver the current thread's buffered pages first.
-		if r.curThread < len(r.pending) && len(r.pending[r.curThread]) > 0 {
-			p := r.pending[r.curThread][0]
-			r.pending[r.curThread] = r.pending[r.curThread][1:]
-			ex.inFlight.Add(-int64(len(p.Bytes())))
-			return p, true, nil
-		}
-		if r.curThread < len(r.closed) && r.closed[r.curThread] {
-			r.curThread++
-			continue
-		}
-		if r.srcDone {
-			if r.curThread <= r.maxThread {
-				// The channel closed without an explicit marker (a
-				// producer with no work for this thread); everything is
-				// buffered, so drain threads in order.
-				r.curThread++
-				continue
-			}
-			r.producer++
-			r.reset()
-			continue
 		}
 		m, ok, err := r.next()
 		if err != nil {
 			return nil, false, err
 		}
-		if !ok {
-			r.srcDone = true
-			continue
-		}
-		t := m.tag.Thread
-		r.growTo(t)
-		if t > r.maxThread {
-			r.maxThread = t
-		}
-		if m.page == nil { // thread-close marker (idempotent under retry)
-			r.closed[t] = true
-			continue
-		}
-		if m.tag.Seq != r.nextSeq[t] {
-			// A crashed producer's retry re-sent a page the first attempt
-			// already delivered; drop the duplicate.
-			ex.inFlight.Add(-int64(len(m.page.Bytes())))
-			if ex.cfg.Release != nil {
-				ex.cfg.Release(m.page)
+		if !ok || m.page == nil {
+			// Lane closed (a producer with no work for this thread) or
+			// explicit thread-close marker: advance to the next lane.
+			r.thread++
+			r.laneSeq = 0
+			if r.thread >= ex.cfg.Threads {
+				r.thread = 0
+				r.producer++
 			}
 			continue
 		}
-		r.nextSeq[t]++
-		if t == r.curThread {
-			ex.inFlight.Add(-int64(len(m.page.Bytes())))
-			return m.page, true, nil
+		if m.tag.Seq != r.laneSeq {
+			return nil, false, fmt.Errorf("exchange: lane (producer %d, thread %d) delivered seq %d, want %d",
+				r.producer, r.thread, m.tag.Seq, r.laneSeq)
 		}
-		r.pending[t] = append(r.pending[t], m.page)
+		r.laneSeq++
+		ex.inFlight.Add(-int64(len(m.page.Bytes())))
+		r.backlog.Add(-1)
+		if ex.cfg.Replayable {
+			r.retained = append(r.retained, m.page)
+		} else {
+			r.base++
+		}
+		r.pos++
+		return m.page, true, nil
 	}
 }
 
-// startBarrierDrains spawns one goroutine per channel that moves messages
-// into an unbounded buffer, so barrier mode never backpressures producers;
-// ready[c] closes when every producer's stream to consumer c is buffered.
+// Ack acknowledges delivery up to (excluding) global index upto: the
+// consumer's checkpoint covers those pages, so they will never replay and
+// their retained references are released (through Config.ReleaseDelivered).
+// Acknowledging an index beyond the replay cursor is an error — it would
+// discard pages a Rewind still needs.
+func (ex *Exchange) Ack(consumer, upto int) error {
+	if !ex.cfg.Replayable {
+		return errors.New("exchange: Ack on a non-replayable exchange")
+	}
+	r := ex.recvs[consumer]
+	if upto <= r.base {
+		return nil // already acknowledged
+	}
+	if upto > r.pos {
+		return fmt.Errorf("exchange: ack %d beyond delivery cursor %d", upto, r.pos)
+	}
+	n := upto - r.base
+	for _, p := range r.retained[:n] {
+		if ex.cfg.ReleaseDelivered != nil {
+			ex.cfg.ReleaseDelivered(p)
+		}
+	}
+	r.retained = append(r.retained[:0:0], r.retained[n:]...)
+	r.base = upto
+	return nil
+}
+
+// Rewind moves the consumer's delivery cursor back to global index cursor
+// (≥ the last acknowledged index): subsequent Recv calls replay the
+// retained pages from there in the original order, then continue live. The
+// crashed-consumer recovery path: restore the checkpoint taken at cursor,
+// rewind, resume the merge.
+func (ex *Exchange) Rewind(consumer, cursor int) error {
+	if !ex.cfg.Replayable {
+		return errors.New("exchange: Rewind on a non-replayable exchange")
+	}
+	r := ex.recvs[consumer]
+	if cursor < r.base || cursor > r.base+len(r.retained) {
+		return fmt.Errorf("exchange: rewind to %d outside retained window [%d, %d]",
+			cursor, r.base, r.base+len(r.retained))
+	}
+	r.pos = cursor
+	return nil
+}
+
+// startBarrierDrains spawns one goroutine per lane that moves messages into
+// an unbounded buffer — barrier mode's whole-shuffle buffering, whose cost
+// the in-flight gauge records; ready[c] closes when every lane to consumer
+// c is drained to its end.
 func (ex *Exchange) startBarrierDrains() {
-	ex.barrier = make([][]*drainBuf, ex.cfg.Producers)
 	ex.ready = make([]chan struct{}, ex.cfg.Consumers)
 	wgs := make([]*sync.WaitGroup, ex.cfg.Consumers)
 	for c := range ex.ready {
 		ex.ready[c] = make(chan struct{})
 		wgs[c] = &sync.WaitGroup{}
-		wgs[c].Add(ex.cfg.Producers)
+		wgs[c].Add(ex.cfg.Producers * ex.cfg.Threads)
 	}
-	for p := range ex.chans {
-		ex.barrier[p] = make([]*drainBuf, ex.cfg.Consumers)
-		for c := range ex.chans[p] {
-			buf := &drainBuf{}
-			ex.barrier[p][c] = buf
-			go func(ch chan message, buf *drainBuf, wg *sync.WaitGroup) {
-				defer wg.Done()
-				for {
-					select {
-					case m, ok := <-ch:
-						if !ok {
+	for p := range ex.lanes {
+		for t := range ex.lanes[p] {
+			for c, ln := range ex.lanes[p][t] {
+				ln.buf = &drainBuf{}
+				go func(ln *lane, wg *sync.WaitGroup) {
+					defer wg.Done()
+					for {
+						select {
+						case m, ok := <-ln.ch:
+							if !ok {
+								return
+							}
+							ln.buf.mu.Lock()
+							ln.buf.msgs = append(ln.buf.msgs, m)
+							ln.buf.mu.Unlock()
+						case <-ex.cancelCh:
 							return
 						}
-						buf.mu.Lock()
-						buf.msgs = append(buf.msgs, m)
-						buf.mu.Unlock()
-					case <-ex.cancelCh:
-						return
 					}
-				}
-			}(ex.chans[p][c], buf, wgs[c])
+				}(ln, wgs[c])
+			}
 		}
 	}
 	for c := range ex.ready {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/object"
@@ -73,7 +74,7 @@ func drain(t *testing.T, ex *Exchange, consumer int, ti *object.TypeInfo) []int6
 func TestOrderedDeliveryAcrossThreads(t *testing.T) {
 	for _, barrier := range []bool{false, true} {
 		reg, ti := testRegistry(t)
-		ex := New(Config{Producers: 2, Consumers: 1, Capacity: 16, Barrier: barrier})
+		ex := New(Config{Producers: 2, Consumers: 1, Threads: 2, Capacity: 16, Barrier: barrier})
 		// Producer 1 finishes before producer 0; threads interleave
 		// backwards — all legal arrival orders.
 		send := func(p, th, seq int) {
@@ -106,7 +107,7 @@ func TestOrderedDeliveryAcrossThreads(t *testing.T) {
 func TestRetryDuplicatesDropped(t *testing.T) {
 	reg, ti := testRegistry(t)
 	var released int
-	ex := New(Config{Producers: 1, Consumers: 1, Capacity: 16,
+	ex := New(Config{Producers: 1, Consumers: 1, Threads: 2, Capacity: 16,
 		Release: func(*object.Page) { released++ }})
 	send := func(th, seq int) {
 		if err := ex.Send(Tag{0, th, seq}, 0, testPage(t, reg, ti, id(0, th, seq)), nil); err != nil {
@@ -266,7 +267,7 @@ func TestBroadcastDeliversToEveryConsumer(t *testing.T) {
 func TestManyProducersManyConsumers(t *testing.T) {
 	reg, ti := testRegistry(t)
 	const np, nc, threads, pages = 3, 3, 2, 4
-	ex := New(Config{Producers: np, Consumers: nc, Capacity: 2})
+	ex := New(Config{Producers: np, Consumers: nc, Threads: threads, Capacity: 2})
 	var wg sync.WaitGroup
 	for p := 0; p < np; p++ {
 		wg.Add(1)
@@ -338,4 +339,143 @@ func TestProducerWithNoThreads(t *testing.T) {
 func ExampleTag() {
 	fmt.Println(Tag{Producer: 2, Thread: 1, Seq: 3})
 	// Output: {2 1 3}
+}
+
+// TestSkewedProducerHardBound pins the tentpole memory bound: with one
+// producer thread far behind the delivery cursor, the fast threads fill
+// their own bounded lanes and then block — the receiver never holds more
+// than Capacity × Threads undelivered pages per producer, where the old
+// shared-channel design buffered the fast threads' entire output.
+func TestSkewedProducerHardBound(t *testing.T) {
+	reg, ti := testRegistry(t)
+	const threads, capacity = 4, 2
+	ex := New(Config{Producers: 1, Consumers: 1, Threads: threads, Capacity: capacity})
+
+	// Threads 1..3 race ahead: each fills its lane to capacity (these
+	// sends cannot block), then attempts one more page, which must block
+	// until the consumer advances past thread 0.
+	for th := 1; th < threads; th++ {
+		for seq := 0; seq < capacity; seq++ {
+			if err := ex.Send(Tag{0, th, seq}, 0, testPage(t, reg, ti, id(0, th, seq)), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var overflowDone atomic.Int32
+	var wg sync.WaitGroup
+	for th := 1; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			if err := ex.Send(Tag{0, th, capacity}, 0, testPage(t, reg, ti, id(0, th, capacity)), nil); err != nil {
+				t.Error(err)
+				return
+			}
+			overflowDone.Add(1)
+			_ = ex.CloseThread(0, th, nil)
+		}(th)
+	}
+
+	if got := ex.BufferedPages(0); got != capacity*(threads-1) {
+		t.Fatalf("buffered pages before drain = %d, want %d", got, capacity*(threads-1))
+	}
+	if overflowDone.Load() != 0 {
+		t.Fatal("an over-capacity send completed without backpressure")
+	}
+
+	// Thread 0 (the straggler) finishes; the consumer drains everything,
+	// releasing the blocked senders lane by lane.
+	if err := ex.Send(Tag{0, 0, 0}, 0, testPage(t, reg, ti, id(0, 0, 0)), nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = ex.CloseThread(0, 0, nil)
+	go func() {
+		wg.Wait()
+		ex.CloseProducer(0)
+	}()
+	got := drain(t, ex, 0, ti)
+
+	var want []int64
+	want = append(want, id(0, 0, 0))
+	for th := 1; th < threads; th++ {
+		for seq := 0; seq <= capacity; seq++ {
+			want = append(want, id(0, th, seq))
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("delivery = %v, want %v", got, want)
+	}
+	if hwm := ex.MaxReorderPages(); hwm > capacity*threads {
+		t.Errorf("reorder high-water mark = %d pages, want <= capacity*threads = %d", hwm, capacity*threads)
+	}
+}
+
+// TestRewindReplaysRetained exercises the consumer-side recovery API: a
+// replayable exchange retains delivered pages, Rewind replays them in the
+// original order (then continues live), Ack releases the acknowledged
+// prefix, and rewinding before the acknowledged cut is rejected.
+func TestRewindReplaysRetained(t *testing.T) {
+	reg, ti := testRegistry(t)
+	released := 0
+	ex := New(Config{Producers: 1, Consumers: 1, Threads: 1, Capacity: 16, Replayable: true,
+		ReleaseDelivered: func(*object.Page) { released++ }})
+	const n = 6
+	for seq := 0; seq < n; seq++ {
+		if err := ex.Send(Tag{0, 0, seq}, 0, testPage(t, reg, ti, int64(seq)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = ex.CloseThread(0, 0, nil)
+	ex.CloseProducer(0)
+
+	recvN := func(k int) []int64 {
+		var got []int64
+		for i := 0; i < k; i++ {
+			p, ok, err := ex.Recv(0)
+			if err != nil || !ok {
+				t.Fatalf("recv %d: ok=%v err=%v", i, ok, err)
+			}
+			got = append(got, pageID(p, ti))
+		}
+		return got
+	}
+	if got := recvN(4); !reflect.DeepEqual(got, []int64{0, 1, 2, 3}) {
+		t.Fatalf("first pass = %v", got)
+	}
+	// Checkpoint at cut 2: pages 0..1 will never replay.
+	if err := ex.Ack(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if released != 2 {
+		t.Fatalf("released %d pages at ack, want 2", released)
+	}
+	if err := ex.Rewind(0, 1); err == nil {
+		t.Fatal("rewind before the acknowledged cut must fail")
+	}
+	// Crash-restore: rewind to the cut, replay 2..3, then continue live.
+	if err := ex.Rewind(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvN(4); !reflect.DeepEqual(got, []int64{2, 3, 4, 5}) {
+		t.Fatalf("replay pass = %v", got)
+	}
+	if _, ok, err := ex.Recv(0); ok || err != nil {
+		t.Fatalf("stream should have ended: ok=%v err=%v", ok, err)
+	}
+	// Rewinding at the very end still replays the retained tail.
+	if err := ex.Rewind(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvN(2); !reflect.DeepEqual(got, []int64{4, 5}) {
+		t.Fatalf("tail replay = %v", got)
+	}
+	if _, ok, _ := ex.Recv(0); ok {
+		t.Fatal("stream should stay ended after tail replay")
+	}
+	if err := ex.Ack(0, n); err != nil {
+		t.Fatal(err)
+	}
+	if released != n {
+		t.Fatalf("released %d pages total, want %d", released, n)
+	}
 }
