@@ -149,3 +149,16 @@ func BenchmarkShuffleOverlap(b *testing.B) {
 		})
 	})
 }
+
+// BenchmarkSpillLadder is the memory-governor ablation: the same workloads
+// under a shrinking Config.MemoryBudget, down to a single page, with the
+// bit-for-bit identity and resident-bytes-within-budget checks enforced as
+// errors so the CI bench smoke gates merges on them.
+func BenchmarkSpillLadder(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunSpillLadder(bench.SpillLadderConfig{
+			N: 20000, Groups: 2048, Left: 6000, Right: 400, Keys: 199,
+			Workers: 2, Threads: 2, PageSize: 1 << 14, BudgetPages: []int{0, 4, 1},
+		})
+	})
+}

@@ -1,0 +1,103 @@
+// linkcheck verifies relative links in markdown files: every *.md under
+// the given roots (skipping .git and vendor-like dirs) is scanned for
+// [text](target) links, and each non-URL target must exist on disk
+// relative to the file that links it — the documentation gate that keeps
+// README/ARCHITECTURE/TUNING cross-references from rotting.
+//
+//	go run ./cmd/linkcheck .
+//
+// Exit status 1 lists each broken link as file: target. External links
+// (http, https, mailto) and pure in-page anchors (#section) are skipped;
+// an anchor suffix on a relative target is stripped before the existence
+// check.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links, capturing the target. Images
+// (![alt](target)) match too — their targets must exist just the same.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	broken := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name == ".git" || name == "node_modules" || name == "vendor" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(d.Name(), ".md") {
+				return nil
+			}
+			// Retrieved reference corpora quote other repos' docs, whose
+			// relative links point inside those repos — not checkable here.
+			if n := d.Name(); n == "SNIPPETS.md" || n == "PAPERS.md" || n == "PAPER.md" {
+				return nil
+			}
+			for _, target := range fileLinks(path) {
+				if !checkLink(path, target) {
+					fmt.Printf("%s: broken relative link %q\n", path, target)
+					broken++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken relative link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// fileLinks extracts the checkable relative targets of one markdown file.
+func fileLinks(path string) []string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(b), -1) {
+		target := m[1]
+		switch {
+		case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+			continue // external
+		case strings.HasPrefix(target, "#"):
+			continue // in-page anchor
+		}
+		out = append(out, target)
+	}
+	return out
+}
+
+// checkLink reports whether a relative target (anchor stripped) exists
+// relative to the linking file's directory.
+func checkLink(path, target string) bool {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return true
+	}
+	_, err := os.Stat(filepath.Join(filepath.Dir(path), target))
+	return err == nil
+}

@@ -18,7 +18,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "run only this table (2-8); 0 = all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
-	scaling := flag.Bool("scaling", false, "run only the thread-scaling and shuffle-overlap ablations (pipeline, aggregation, join, exchange)")
+	scaling := flag.Bool("scaling", false, "run only the thread-scaling, shuffle-overlap, and memory-budget ablations (pipeline, aggregation, join, exchange, spill)")
 	flag.Parse()
 
 	if *scaling {
@@ -27,6 +27,7 @@ func main() {
 			func() (*bench.Table, error) { return bench.RunAggScaling(bench.DefaultAggScaling()) },
 			func() (*bench.Table, error) { return bench.RunJoinScaling(bench.DefaultJoinScaling()) },
 			func() (*bench.Table, error) { return bench.RunShuffleOverlap(bench.DefaultShuffleOverlap()) },
+			func() (*bench.Table, error) { return bench.RunSpillLadder(bench.DefaultSpillLadder()) },
 		} {
 			t, err := run()
 			if err != nil {
@@ -71,6 +72,7 @@ func main() {
 			func() (*bench.Table, error) { return bench.RunAggScaling(bench.DefaultAggScaling()) },
 			func() (*bench.Table, error) { return bench.RunJoinScaling(bench.DefaultJoinScaling()) },
 			func() (*bench.Table, error) { return bench.RunShuffleOverlap(bench.DefaultShuffleOverlap()) },
+			func() (*bench.Table, error) { return bench.RunSpillLadder(bench.DefaultSpillLadder()) },
 		} {
 			t, err := run()
 			if err != nil {

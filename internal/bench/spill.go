@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Memory-governor ablation: a fixed workload re-run at a shrinking ladder
+// of Config.MemoryBudget values, down to a single page. The claim under
+// test is the tentpole's: the budget changes only where shuffled pages
+// reside (RAM vs spill files), never what the query computes — so every
+// rung must be bit-for-bit identical to the unbounded baseline, and the
+// surfaced MaxBufferedBytes gauge must never exceed the budget. Both
+// checks are enforced as errors, not table cells, so the CI bench smoke
+// gates merges on them.
+
+// SpillLadderConfig sizes the memory-governor ablation.
+type SpillLadderConfig struct {
+	// N rows in Groups integer-summed groups (aggregation workload).
+	N, Groups int
+	// Left × Right rows joined on key % Keys (join workload).
+	Left, Right, Keys int
+	Workers, Threads  int
+	// PageSize is the cluster page size — also the ladder's budget unit.
+	PageSize int
+	// BudgetPages is the ladder of Config.MemoryBudget values in pages;
+	// 0 means unlimited and must come first (the identity baseline).
+	BudgetPages []int
+}
+
+// DefaultSpillLadder is the laptop-scale default: unlimited, then 64, 4,
+// and 1 page(s). The aggregation is high-cardinality (many groups) so the
+// shuffled maps genuinely dwarf the smallest budgets — a low-cardinality
+// group-by's maps can fit a single page and never need to spill.
+func DefaultSpillLadder() SpillLadderConfig {
+	return SpillLadderConfig{N: 60000, Groups: 4096, Left: 12000, Right: 600, Keys: 499,
+		Workers: 2, Threads: 2, PageSize: 1 << 16, BudgetPages: []int{0, 64, 4, 1}}
+}
+
+// RunSpillLadder measures the governed exchange across the budget ladder
+// and enforces bit-for-bit identity with the unbounded run plus the
+// resident-byte bound.
+func RunSpillLadder(cfg SpillLadderConfig) (*Table, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 2
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 1 << 16
+	}
+	if len(cfg.BudgetPages) == 0 {
+		cfg.BudgetPages = []int{0, 64, 4, 1}
+	}
+	if cfg.BudgetPages[0] != 0 {
+		// The identity column certifies governed == unbounded; a governed
+		// baseline would silently weaken it to governed == governed.
+		return nil, fmt.Errorf("bench: spill ladder must start unbounded (BudgetPages[0] = %d)", cfg.BudgetPages[0])
+	}
+	t := &Table{
+		Title:   "Ablation: memory-governed exchange (disk spill under a shrinking budget)",
+		Columns: []string{"time", "spilled pages", "spilled MB", "peak buffered KB", "identical"},
+		Notes: []string{
+			fmt.Sprintf("workers=%d threads=%d pagesize=%dKB, agg n=%d groups=%d, join %dx%d keys=%d; machine has %d CPUs",
+				cfg.Workers, cfg.Threads, cfg.PageSize>>10, cfg.N, cfg.Groups, cfg.Left, cfg.Right, cfg.Keys, runtime.NumCPU()),
+			"budget meters lane pages + replay retention + checkpoint snapshots per backend; coldest pages spill to disk",
+			"identity and the buffered<=budget bound are enforced: a violating rung fails the run",
+		},
+	}
+	type workload struct {
+		name string
+		run  func(c *cluster.Cluster) ([]string, error)
+	}
+	workloads := []workload{
+		{"agg", func(c *cluster.Cluster) ([]string, error) {
+			rows, _, err := runAggWorkload(c, cfg.N, cfg.Groups)
+			return rows, err
+		}},
+		{"join", func(c *cluster.Cluster) ([]string, error) {
+			return runJoinWorkload(c, cfg.Left, cfg.Right, cfg.Keys)
+		}},
+	}
+	for _, wl := range workloads {
+		var refRows []string
+		for i, pages := range cfg.BudgetPages {
+			budget := int64(pages) * int64(cfg.PageSize)
+			c, err := cluster.New(cluster.Config{
+				Workers: cfg.Workers, Threads: cfg.Threads, PageSize: cfg.PageSize,
+				MemoryBudget: budget,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var rows []string
+			d, err := Timed(func() error {
+				var err error
+				rows, err = wl.run(c)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			sort.Strings(rows)
+			identical := "-"
+			if i == 0 {
+				refRows = rows
+			} else if reflect.DeepEqual(rows, refRows) {
+				identical = "yes"
+			} else {
+				return nil, fmt.Errorf("bench: %s budget=%dp: governed run produced %d rows differing from unbounded (%d rows)",
+					wl.name, pages, len(rows), len(refRows))
+			}
+			if budget > 0 && c.Transport.MaxBufferedBytes > budget {
+				return nil, fmt.Errorf("bench: %s budget=%dp: buffered %d bytes exceeds budget %d",
+					wl.name, pages, c.Transport.MaxBufferedBytes, budget)
+			}
+			if budget > 0 && pages <= 1 && c.Transport.SpilledPages == 0 {
+				return nil, fmt.Errorf("bench: %s budget=%dp: one-page budget spilled nothing", wl.name, pages)
+			}
+			name := fmt.Sprintf("%s budget=unlimited", wl.name)
+			if pages > 0 {
+				name = fmt.Sprintf("%s budget=%dp", wl.name, pages)
+			}
+			t.Rows = append(t.Rows, Row{
+				Name: name,
+				Cells: []string{
+					ms(d),
+					fmt.Sprintf("%d", c.Transport.SpilledPages),
+					fmt.Sprintf("%.2f", float64(c.Transport.SpilledBytes)/(1<<20)),
+					fmt.Sprintf("%d", c.Transport.MaxBufferedBytes/(1<<10)),
+					identical,
+				},
+			})
+		}
+	}
+	return t, nil
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/exchange"
 	"repro/internal/object"
 	"repro/internal/physical"
 )
@@ -46,11 +47,32 @@ func (c *Cluster) checkpointEvery(stage *physical.JobStage) int {
 }
 
 // aggRecovery is one worker's consumer-recovery record for a streaming
-// aggregation merge.
+// aggregation merge. Snapshot bytes live in exactly one of three places:
+// inside ckpt (memory mode, within budget), on the worker's storage server
+// (DataDir mode, diskSet), or in the step's spill pool (memory mode over
+// Config.MemoryBudget, slots).
 type aggRecovery struct {
-	ckpt    *engine.MergeCheckpoint
-	saves   int
-	diskSet string // snapshot set on the worker's storage server (DataDir mode)
+	ckpt     *engine.MergeCheckpoint
+	saves    int
+	diskSet  string // snapshot set on the worker's storage server (DataDir mode)
+	slots    []int  // spill slots holding the snapshots (over-budget memory mode)
+	resident int64  // bytes the in-memory snapshot reserved with the governor
+}
+
+// releaseSnapshots returns the previous checkpoint's snapshot bytes to the
+// governor — spill slots freed, in-memory reservation released.
+func (rec *aggRecovery) releaseSnapshots(gov *exchange.Governor) {
+	if gov == nil {
+		return
+	}
+	for _, slot := range rec.slots {
+		gov.Free(slot)
+	}
+	rec.slots = nil
+	if rec.resident > 0 {
+		gov.ReleaseBytes(rec.resident)
+		rec.resident = 0
+	}
 }
 
 // ckptSetName derives a storage-safe snapshot set name from a stage
@@ -63,8 +85,12 @@ func ckptSetName(produces string, worker int) string {
 // persistAggCheckpoint installs ck as the worker's recovery point. With
 // DataDir, the snapshot pages are written through the worker's storage
 // server and dropped from memory — the restore proves the round trip.
+// Memory-only clusters keep the snapshot bytes in the recovery record,
+// unless the worker's memory governor (Config.MemoryBudget) refuses them:
+// then the snapshots go straight to the step's spill pool and only their
+// slots stay resident.
 func (c *Cluster) persistAggCheckpoint(w *Worker, rec *aggRecovery, produces string,
-	ck *engine.MergeCheckpoint) error {
+	ck *engine.MergeCheckpoint, gov *exchange.Governor) error {
 	if c.Cfg.DataDir != "" {
 		set := ckptSetName(produces, w.ID)
 		_ = w.Front.Store.Drop(checkpointDb, set) // first checkpoint: nothing to drop
@@ -83,6 +109,32 @@ func (c *Cluster) persistAggCheckpoint(w *Worker, rec *aggRecovery, produces str
 		for i := range ck.Subs {
 			ck.Subs[i].Data = nil // restore re-reads the bytes from storage
 		}
+		rec.ckpt = ck
+		rec.saves++
+		return nil
+	}
+	if gov != nil {
+		// The new cut supersedes the previous one; its snapshot bytes
+		// return to the budget before the new snapshot claims room.
+		rec.releaseSnapshots(gov)
+		var total int64
+		for _, sub := range ck.Subs {
+			total += int64(len(sub.Data))
+		}
+		if gov.TryReserve(total) {
+			rec.resident = total
+		} else {
+			slots := make([]int, len(ck.Subs))
+			for i := range ck.Subs {
+				slot, err := gov.SpillSnapshot(ck.Subs[i].Data)
+				if err != nil {
+					return err
+				}
+				slots[i] = slot
+				ck.Subs[i].Data = nil // restore re-reads the bytes from the pool
+			}
+			rec.slots = slots
+		}
 	}
 	rec.ckpt = ck
 	rec.saves++
@@ -91,10 +143,22 @@ func (c *Cluster) persistAggCheckpoint(w *Worker, rec *aggRecovery, produces str
 
 // loadAggCheckpoint returns the checkpoint a re-forked consumer resumes
 // from (nil when no cut was ever saved — full replay). In DataDir mode the
-// snapshot bytes are read back through the storage server.
-func (c *Cluster) loadAggCheckpoint(w *Worker, rec *aggRecovery) (*engine.MergeCheckpoint, error) {
+// snapshot bytes are read back through the storage server; snapshots the
+// governor spilled are read back from the step's spill pool.
+func (c *Cluster) loadAggCheckpoint(w *Worker, rec *aggRecovery, gov *exchange.Governor) (*engine.MergeCheckpoint, error) {
 	if rec.ckpt == nil {
 		return nil, nil
+	}
+	if rec.slots != nil {
+		ck := &engine.MergeCheckpoint{Cut: rec.ckpt.Cut, Subs: make([]engine.SubMapSnapshot, len(rec.slots))}
+		for i, slot := range rec.slots {
+			b, err := gov.LoadSnapshot(slot)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: restoring spilled consumer checkpoint: %w", err)
+			}
+			ck.Subs[i] = engine.SubMapSnapshot{PageSize: rec.ckpt.Subs[i].PageSize, Data: b}
+		}
+		return ck, nil
 	}
 	if rec.diskSet == "" {
 		return rec.ckpt, nil
@@ -117,12 +181,15 @@ func (c *Cluster) loadAggCheckpoint(w *Worker, rec *aggRecovery) (*engine.MergeC
 	return ck, nil
 }
 
-// dropAggCheckpoint discards a committed consumer's snapshot set.
-func (c *Cluster) dropAggCheckpoint(w *Worker, rec *aggRecovery) {
+// dropAggCheckpoint discards a committed consumer's snapshots — the
+// storage set in DataDir mode, spill slots and budget reservation under a
+// governor.
+func (c *Cluster) dropAggCheckpoint(w *Worker, rec *aggRecovery, gov *exchange.Governor) {
 	if rec.diskSet != "" {
 		_ = w.Front.Store.Drop(checkpointDb, rec.diskSet)
 		rec.diskSet = ""
 	}
+	rec.releaseSnapshots(gov)
 }
 
 // joinBuildRecovery is one worker's consumer-recovery record for the

@@ -132,6 +132,22 @@ type Config struct {
 	// finish. Results are bit-for-bit identical to streaming mode; only
 	// the schedule (and the bytes-in-flight high-water mark) changes.
 	BarrierShuffle bool
+	// MemoryBudget, in bytes, bounds the exchange memory each worker
+	// backend keeps resident during a streaming step: pages buffered in
+	// lanes (or barrier drain buffers), delivered pages retained for
+	// replay, and in-memory checkpoint snapshots all meter against it,
+	// and the coldest of them spill to reusable page files — under
+	// DataDir/worker-N/_spill when DataDir is set, a temporary directory
+	// otherwise — reloading transparently on delivery, replay, and
+	// restore. Results are bit-for-bit identical at any budget (only page
+	// residence changes), and ExecStats.Ships surfaces
+	// SpilledPages/SpilledBytes/MaxBufferedBytes per step. Zero or
+	// negative disables governance: everything stays resident and nothing
+	// is metered. Consumer working state (merged sub-maps, join tables
+	// and their referenced build pages, probe buffers) is the job's own
+	// state, not exchange memory, and is outside the budget — see
+	// docs/TUNING.md for the full memory model.
+	MemoryBudget int64
 }
 
 func (c *Config) fill() {
@@ -171,6 +187,19 @@ type Transport struct {
 	// Checkpoints totals the consumer-side recovery checkpoints taken
 	// across all streaming shuffles.
 	Checkpoints int64
+	// SpilledPages and SpilledBytes total the page images the memory
+	// governor (Config.MemoryBudget) moved to spill files across all
+	// shuffles — lane pages, retained replay pages, and checkpoint
+	// snapshots alike.
+	SpilledPages int64
+	// SpilledBytes is SpilledPages' byte volume.
+	SpilledBytes int64
+	// MaxBufferedBytes is the largest resident governed-byte footprint
+	// any single consumer backend reached (lane pages + replay retention
+	// + in-memory snapshots). With a budget set it never exceeds
+	// Config.MemoryBudget — the single page in the act of being delivered
+	// is excluded; zero when governance is off.
+	MaxBufferedBytes int64
 }
 
 // Ship moves a page to a destination registry's memory space.
@@ -210,6 +239,18 @@ func (t *Transport) NoteExchange(hwm, reorderPages int64, checkpoints int) {
 		t.MaxReorderPages = reorderPages
 	}
 	t.Checkpoints += int64(checkpoints)
+	t.mu.Unlock()
+}
+
+// NoteSpill records one governed step's memory telemetry: spill traffic
+// totals accumulate and the resident high-water mark keeps its maximum.
+func (t *Transport) NoteSpill(pages, bytes, maxBuffered int64) {
+	t.mu.Lock()
+	t.SpilledPages += pages
+	t.SpilledBytes += bytes
+	if maxBuffered > t.MaxBufferedBytes {
+		t.MaxBufferedBytes = maxBuffered
+	}
 	t.mu.Unlock()
 }
 

@@ -36,6 +36,19 @@ type StageShip struct {
 	// during the step (zero for steps without a streaming shuffle, or
 	// with recovery disabled).
 	Checkpoints int
+	// SpilledPages counts the page images the step's memory governor
+	// (Config.MemoryBudget) moved to spill files — lane pages, retained
+	// replay pages, and checkpoint snapshots alike; zero when governance
+	// is off.
+	SpilledPages int64
+	// SpilledBytes is SpilledPages' byte volume.
+	SpilledBytes int64
+	// MaxBufferedBytes is the largest resident governed-byte footprint
+	// any single consumer backend reached during the step (lane pages +
+	// replay retention + in-memory snapshots). With a budget set it never
+	// exceeds Config.MemoryBudget, excluding the single page being
+	// delivered.
+	MaxBufferedBytes int64
 }
 
 // ExecStats reports one distributed execution.
@@ -110,6 +123,9 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 			MaxBytesInFlight: tel.hwm,
 			MaxReorderPages:  tel.reorderPages,
 			Checkpoints:      tel.checkpoints,
+			SpilledPages:     tel.spilledPages,
+			SpilledBytes:     tel.spilledBytes,
+			MaxBufferedBytes: tel.maxBuffered,
 		})
 		if err != nil {
 			return stats, fmt.Errorf("cluster: stage %d (%s): %w", stage.ID, stage.Produces, err)
@@ -345,8 +361,11 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 // through the page pool. replayable turns on delivered-page retention for
 // consumer crash recovery; releaseDelivered receives pages once a
 // consumer's checkpoint acknowledges them (nil when the consumer's state
-// keeps referencing them, as the join-table build does).
-func (c *Cluster) newShuffleExchange(replayable bool, releaseDelivered func(*object.Page)) *exchange.Exchange {
+// keeps referencing them, as the join-table build does). govs, when
+// non-nil, attach the step's per-worker memory governors
+// (Config.MemoryBudget) so over-budget pages spill to disk.
+func (c *Cluster) newShuffleExchange(replayable bool, releaseDelivered func(*object.Page),
+	govs []*exchange.Governor) *exchange.Exchange {
 	return exchange.New(exchange.Config{
 		Producers:  len(c.Workers),
 		Consumers:  len(c.Workers),
@@ -362,6 +381,7 @@ func (c *Cluster) newShuffleExchange(replayable bool, releaseDelivered func(*obj
 		},
 		Release:          func(p *object.Page) { c.pool.Put(p) },
 		ReleaseDelivered: releaseDelivered,
+		Governors:        govs,
 	})
 }
 
@@ -370,6 +390,9 @@ type exchangeTelemetry struct {
 	hwm          int64
 	reorderPages int64
 	checkpoints  int
+	spilledPages int64
+	spilledBytes int64
+	maxBuffered  int64
 }
 
 // streamErr translates an exchange send aborted by sibling-thread failure
@@ -401,7 +424,9 @@ func streamErr(err error) error {
 func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical.JobStage, stats *ExecStats) (exchangeTelemetry, error) {
 	nw := len(c.Workers)
 	interval := c.checkpointEvery(cons)
-	ex := c.newShuffleExchange(interval > 0, func(p *object.Page) { c.pool.Put(p) })
+	govs, closeGovs := c.stepGovernors()
+	defer closeGovs()
+	ex := c.newShuffleExchange(interval > 0, func(p *object.Page) { c.pool.Put(p) }, govs)
 	arts := make([]*workerArtifacts, nw)
 	errs := make([]error, 2*nw)
 	recs := make([]*aggRecovery, nw)
@@ -448,7 +473,11 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 				backend := w.Front.Backend()
 				err := backend.Run(func() error {
 					started.Store(true)
-					a, err := c.consumeAggStream(res, cons, w, ex, interval, rec)
+					var gov *exchange.Governor
+					if govs != nil {
+						gov = govs[w.ID]
+					}
+					a, err := c.consumeAggStream(res, cons, w, ex, interval, rec, gov)
 					if err != nil {
 						return err
 					}
@@ -488,6 +517,7 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 		}
 	}
 	c.Transport.NoteExchange(tel.hwm, tel.reorderPages, tel.checkpoints)
+	tel.spilledPages, tel.spilledBytes, tel.maxBuffered = c.spillTelemetry(govs)
 	for _, err := range errs {
 		if err != nil {
 			return tel, err
@@ -558,7 +588,7 @@ func (c *Cluster) runPreAggStreamOnWorker(res *core.CompileResult, stage *physic
 // pages recycle through the exchange's acknowledge path instead of a
 // per-fold release, since the replay window still needs them.
 func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobStage, w *Worker,
-	ex *exchange.Exchange, interval int, rec *aggRecovery) (*workerArtifacts, error) {
+	ex *exchange.Exchange, interval int, rec *aggRecovery, gov *exchange.Governor) (*workerArtifacts, error) {
 	spec := res.AggSpecs[stage.AggList]
 	if spec == nil {
 		return nil, fmt.Errorf("no aggregation spec for %q", stage.AggList)
@@ -567,7 +597,7 @@ func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobS
 	var ckptr *engine.MergeCheckpointer
 	cut := 0
 	if interval > 0 {
-		resume, err := c.loadAggCheckpoint(w, rec)
+		resume, err := c.loadAggCheckpoint(w, rec, gov)
 		if err != nil {
 			return nil, err
 		}
@@ -582,7 +612,7 @@ func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobS
 			Interval: interval,
 			Resume:   resume,
 			Save: func(ck *engine.MergeCheckpoint) error {
-				if err := c.persistAggCheckpoint(w, rec, stage.Produces, ck); err != nil {
+				if err := c.persistAggCheckpoint(w, rec, stage.Produces, ck, gov); err != nil {
 					return err
 				}
 				return ex.Ack(w.ID, ck.Cut)
@@ -618,7 +648,7 @@ func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobS
 		c.pool.Put(pg)
 	}
 	if interval > 0 {
-		c.dropAggCheckpoint(w, rec)
+		c.dropAggCheckpoint(w, rec, gov)
 	}
 	return &workerArtifacts{pages: out, pagesKey: stage.Produces}, nil
 }

@@ -1,0 +1,70 @@
+package cluster
+
+// Per-step memory governance (Config.MemoryBudget): each streaming step —
+// an exchange-linked stage pair or a hash-partition join — builds one
+// exchange.Governor per worker backend, backed by a storage.SpillPool of
+// reusable page files. The budget is per backend: a join consumer's two
+// exchanges and the aggregation consumer's checkpoint snapshots all meter
+// against the same worker's governor. The pools live exactly as long as
+// the step: closing them removes every spill file, so a finished job —
+// crashed, recovered, or clean — leaves nothing behind on disk.
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/exchange"
+	"repro/internal/object"
+	"repro/internal/storage"
+)
+
+// stepGovernors builds the per-worker memory governors for one streaming
+// step, or (nil, no-op) when Config.MemoryBudget is unset. The returned
+// close function removes the step's spill files; call it only after the
+// step has fully drained.
+func (c *Cluster) stepGovernors() ([]*exchange.Governor, func()) {
+	if c.Cfg.MemoryBudget <= 0 {
+		return nil, func() {}
+	}
+	govs := make([]*exchange.Governor, len(c.Workers))
+	pools := make([]*storage.SpillPool, len(c.Workers))
+	closeAll := func() {
+		for _, sp := range pools {
+			if sp != nil {
+				_ = sp.Close()
+			}
+		}
+	}
+	for i, w := range c.Workers {
+		// DataDir clusters spill under the worker's storage root; without
+		// one the pool picks a temp directory lazily on its first spill,
+		// so an under-budget step touches no filesystem state at all.
+		dir := ""
+		if c.Cfg.DataDir != "" {
+			dir = filepath.Join(c.Cfg.DataDir, fmt.Sprintf("worker-%d", i), "_spill")
+		}
+		sp := storage.NewSpillPool(dir, w.Reg())
+		pools[i] = sp
+		govs[i] = exchange.NewGovernor(c.Cfg.MemoryBudget, sp, func(p *object.Page) { c.pool.Put(p) })
+	}
+	return govs, closeAll
+}
+
+// spillTelemetry records one step's governor gauges on the transport and
+// returns them (spill traffic totals, resident high-water mark across the
+// step's backends). Steps that surface per-stage stats fold the values
+// into their StageShip; the join records transport-level only.
+func (c *Cluster) spillTelemetry(govs []*exchange.Governor) (spilledPages, spilledBytes, maxBuffered int64) {
+	for _, g := range govs {
+		if g == nil {
+			continue
+		}
+		spilledPages += g.SpilledPages()
+		spilledBytes += g.SpilledBytes()
+		if mb := g.MaxResidentBytes(); mb > maxBuffered {
+			maxBuffered = mb
+		}
+	}
+	c.Transport.NoteSpill(spilledPages, spilledBytes, maxBuffered)
+	return spilledPages, spilledBytes, maxBuffered
+}

@@ -59,10 +59,15 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 
 	nw := len(c.Workers)
 	interval := c.checkpointEvery(nil)
-	// Neither side's delivered pages recycle on acknowledge: the build
-	// tables and the probe buffer keep referencing them.
-	exL := c.newShuffleExchange(interval > 0, nil)
-	exR := c.newShuffleExchange(interval > 0, nil)
+	// One governor per consumer backend, shared by both exchanges: the
+	// memory budget is per backend, not per shuffle. Delivered pages are
+	// consumer-owned on both sides (the build tables and the probe buffer
+	// reference them in place), so the budget governs undelivered lane
+	// pages; neither side's delivered pages recycle on acknowledge.
+	govs, closeGovs := c.stepGovernors()
+	defer closeGovs()
+	exL := c.newShuffleExchange(interval > 0, nil, govs)
+	exR := c.newShuffleExchange(interval > 0, nil, govs)
 	cancel := func(err error) {
 		exL.Cancel(err)
 		exR.Cancel(err)
@@ -168,6 +173,7 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 	}
 	c.Transport.NoteExchange(exL.MaxBytesInFlight(), exL.MaxReorderPages(), 0)
 	c.Transport.NoteExchange(exR.MaxBytesInFlight(), exR.MaxReorderPages(), ckpts)
+	c.spillTelemetry(govs)
 	for _, err := range errs {
 		if err != nil {
 			return fmt.Errorf("cluster: hash-partition join %s.%s ⋈ %s.%s: %w", dbL, setL, dbR, setR, err)

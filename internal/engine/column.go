@@ -25,8 +25,13 @@ type Column interface {
 // BoolCol is a vector of booleans (e.g. filter inputs).
 type BoolCol []bool
 
-func (c BoolCol) Len() int                 { return len(c) }
+// Len reports the number of elements.
+func (c BoolCol) Len() int { return len(c) }
+
+// Value returns element i boxed.
 func (c BoolCol) Value(i int) object.Value { return object.BoolValue(c[i]) }
+
+// Gather builds a new column from the selected indices.
 func (c BoolCol) Gather(idx []int) Column {
 	out := make(BoolCol, len(idx))
 	for j, i := range idx {
@@ -38,8 +43,13 @@ func (c BoolCol) Gather(idx []int) Column {
 // I64Col is a vector of int64 values.
 type I64Col []int64
 
-func (c I64Col) Len() int                 { return len(c) }
+// Len reports the number of elements.
+func (c I64Col) Len() int { return len(c) }
+
+// Value returns element i boxed.
 func (c I64Col) Value(i int) object.Value { return object.Int64Value(c[i]) }
+
+// Gather builds a new column from the selected indices.
 func (c I64Col) Gather(idx []int) Column {
 	out := make(I64Col, len(idx))
 	for j, i := range idx {
@@ -51,8 +61,13 @@ func (c I64Col) Gather(idx []int) Column {
 // F64Col is a vector of float64 values.
 type F64Col []float64
 
-func (c F64Col) Len() int                 { return len(c) }
+// Len reports the number of elements.
+func (c F64Col) Len() int { return len(c) }
+
+// Value returns element i boxed.
 func (c F64Col) Value(i int) object.Value { return object.Float64Value(c[i]) }
+
+// Gather builds a new column from the selected indices.
 func (c F64Col) Gather(idx []int) Column {
 	out := make(F64Col, len(idx))
 	for j, i := range idx {
@@ -64,8 +79,13 @@ func (c F64Col) Gather(idx []int) Column {
 // U64Col is a vector of hash values (the HASH operation's output).
 type U64Col []uint64
 
-func (c U64Col) Len() int                 { return len(c) }
+// Len reports the number of elements.
+func (c U64Col) Len() int { return len(c) }
+
+// Value returns element i boxed.
 func (c U64Col) Value(i int) object.Value { return object.Int64Value(int64(c[i])) }
+
+// Gather builds a new column from the selected indices.
 func (c U64Col) Gather(idx []int) Column {
 	out := make(U64Col, len(idx))
 	for j, i := range idx {
@@ -77,8 +97,13 @@ func (c U64Col) Gather(idx []int) Column {
 // StrCol is a vector of strings.
 type StrCol []string
 
-func (c StrCol) Len() int                 { return len(c) }
+// Len reports the number of elements.
+func (c StrCol) Len() int { return len(c) }
+
+// Value returns element i boxed.
 func (c StrCol) Value(i int) object.Value { return object.StringValue(c[i]) }
+
+// Gather builds a new column from the selected indices.
 func (c StrCol) Gather(idx []int) Column {
 	out := make(StrCol, len(idx))
 	for j, i := range idx {
@@ -90,8 +115,13 @@ func (c StrCol) Gather(idx []int) Column {
 // RefCol is a vector of handles to PC objects.
 type RefCol []object.Ref
 
-func (c RefCol) Len() int                 { return len(c) }
+// Len reports the number of elements.
+func (c RefCol) Len() int { return len(c) }
+
+// Value returns element i boxed.
 func (c RefCol) Value(i int) object.Value { return object.HandleValue(c[i]) }
+
+// Gather builds a new column from the selected indices.
 func (c RefCol) Gather(idx []int) Column {
 	out := make(RefCol, len(idx))
 	for j, i := range idx {
@@ -103,8 +133,13 @@ func (c RefCol) Gather(idx []int) Column {
 // ValCol is the generic fallback column of boxed values.
 type ValCol []object.Value
 
-func (c ValCol) Len() int                 { return len(c) }
+// Len reports the number of elements.
+func (c ValCol) Len() int { return len(c) }
+
+// Value returns element i boxed.
 func (c ValCol) Value(i int) object.Value { return c[i] }
+
+// Gather builds a new column from the selected indices.
 func (c ValCol) Gather(idx []int) Column {
 	out := make(ValCol, len(idx))
 	for j, i := range idx {

@@ -46,6 +46,20 @@
 // replays first, then delivery continues live. Retention is bounded by the
 // checkpoint interval (plus any pull-ahead).
 //
+// # Memory governance (disk spill)
+//
+// Config.Governors attaches a per-consumer memory Governor: every page the
+// exchange holds for a consumer — buffered in a lane (or a barrier drain
+// buffer) or retained for replay — is metered against the governor's byte
+// budget, and a page the budget refuses is spilled to the governor's
+// SpillStore at enqueue (the lane then carries only its slot) or evicted
+// from the retention window coldest-first, reloading transparently on
+// delivery and replay. Results are bit-for-bit identical with any budget;
+// only page residence changes. The resident high-water mark
+// (Governor.MaxResidentBytes) never exceeds the budget — the single page
+// in the act of being delivered is the one allowed excursion, and it is
+// excluded from the gauge until the next Recv settles it.
+//
 // # Barrier mode (ablation baseline)
 //
 // Config.Barrier buffers the whole shuffle and releases it only after all
@@ -85,11 +99,14 @@ type Tag struct {
 // sentinel so the root cause wins error reporting.
 var ErrProducerStopped = errors.New("exchange: producer stopped by sibling failure")
 
-// message is one lane entry: a tagged page, or (page == nil) a marker that
-// the lane's thread finished its stream.
+// message is one lane entry: a tagged page — resident in page, or spilled
+// to disk under slot when the consumer's memory governor refused it — or
+// (size == 0) a marker that the lane's thread finished its stream.
 type message struct {
 	tag  Tag
-	page *object.Page
+	page *object.Page // resident page; nil for close markers and spilled pages
+	slot int          // spill slot when the budget moved the page to disk; -1 otherwise
+	size int          // occupied page bytes (0 marks a thread-close)
 }
 
 // Config sizes an Exchange.
@@ -121,8 +138,19 @@ type Config struct {
 	Release func(p *object.Page)
 	// ReleaseDelivered receives retained pages released by Ack
 	// (Replayable mode), once the consumer's checkpoint guarantees they
-	// will never replay. nil just drops the references.
+	// will never replay. nil just drops the references — and marks the
+	// retention window as consumer-owned: the consumer's state references
+	// delivered pages in place (the join build), so the governor neither
+	// meters nor spills them.
 	ReleaseDelivered func(p *object.Page)
+	// Governors, indexed by consumer, attach per-consumer memory
+	// governors: pages held for consumer c are metered against
+	// Governors[c]'s budget and spilled to its store when refused. A nil
+	// slice (or nil entry) leaves that consumer ungoverned — every page
+	// stays resident. A consumer fed by several exchanges (the join's two
+	// shuffles) shares one governor across them: the budget is per
+	// backend.
+	Governors []*Governor
 }
 
 // DefaultCapacity is the per-lane pages-in-flight bound when
@@ -192,7 +220,7 @@ func New(cfg Config) *Exchange {
 	}
 	ex.recvs = make([]*receiver, cfg.Consumers)
 	for c := range ex.recvs {
-		ex.recvs[c] = &receiver{ex: ex, consumer: c}
+		ex.recvs[c] = &receiver{ex: ex, consumer: c, pending: -1}
 	}
 	if cfg.Barrier {
 		ex.startBarrierDrains()
@@ -202,6 +230,24 @@ func New(cfg Config) *Exchange {
 
 func (ex *Exchange) lane(tag Tag, consumer int) *lane {
 	return ex.lanes[tag.Producer][tag.Thread][consumer]
+}
+
+// governor returns the consumer's memory governor, nil when ungoverned.
+func (ex *Exchange) governor(consumer int) *Governor {
+	if consumer < len(ex.cfg.Governors) {
+		return ex.cfg.Governors[consumer]
+	}
+	return nil
+}
+
+// ownsRetained reports whether the retention window's page bytes belong to
+// the exchange (the consumer copies what it needs out of each delivered
+// page, so Ack recycles them through ReleaseDelivered) — the precondition
+// for the governor metering and spilling retained pages. With
+// ReleaseDelivered nil the consumer's state references delivered pages in
+// place and the window holds only references, never extra bytes.
+func (ex *Exchange) ownsRetained() bool {
+	return ex.cfg.Replayable && ex.cfg.ReleaseDelivered != nil
 }
 
 // Send ships a tagged page to one consumer and enqueues it on the sending
@@ -281,14 +327,28 @@ func (ex *Exchange) enqueue(ln *lane, tag Tag, consumer int, p *object.Page, sto
 	// Bytes count from ship time: the wire copy already occupies the
 	// consumer's memory space while the sender waits out backpressure.
 	n := int64(len(p.Bytes()))
+	m := message{tag: tag, page: p, slot: -1, size: int(n)}
+	if g := ex.governor(consumer); g != nil && !g.TryReserve(n) {
+		// Over the consumer's memory budget: the page's bytes go to the
+		// spill store and the lane carries only the slot. Backpressure
+		// still bounds pages in flight per lane; the refused bytes wait on
+		// disk instead of in RAM.
+		slot, err := g.spillPage(p)
+		if err != nil {
+			return err
+		}
+		m.page, m.slot = nil, slot
+	}
 	maxGauge(&ex.maxInFlight, ex.inFlight.Add(n))
 	select {
-	case ln.ch <- message{tag: tag, page: p}:
+	case ln.ch <- m:
 	case <-ex.cancelCh:
 		ex.inFlight.Add(-n)
+		ex.unship(consumer, m)
 		return ex.cancelled()
 	case <-stop:
 		ex.inFlight.Add(-n)
+		ex.unship(consumer, m)
 		return ErrProducerStopped
 	}
 	// The page-backlog gauge counts only after the handoff: a blocked
@@ -296,6 +356,21 @@ func (ex *Exchange) enqueue(ln *lane, tag Tag, consumer int, p *object.Page, sto
 	// receiver, and the hard bound speaks about receiver-side backlog.
 	maxGauge(&ex.maxReorder, ex.recvs[consumer].backlog.Add(1))
 	return nil
+}
+
+// unship ends the exchange's governor claim on a message's bytes: the
+// reservation is returned, or the spill slot freed. Used when an enqueue
+// fails and when delivery hands the page's ownership to the consumer.
+func (ex *Exchange) unship(consumer int, m message) {
+	g := ex.governor(consumer)
+	if g == nil {
+		return
+	}
+	if m.page == nil {
+		g.Free(m.slot)
+	} else {
+		g.ReleaseBytes(int64(m.size))
+	}
 }
 
 func maxGauge(g *atomic.Int64, cur int64) {
@@ -317,7 +392,7 @@ func (ex *Exchange) CloseThread(producer, thread int, stop <-chan struct{}) erro
 		if ln.closeSent {
 			continue
 		}
-		m := message{tag: Tag{Producer: producer, Thread: thread, Seq: ln.sent}}
+		m := message{tag: Tag{Producer: producer, Thread: thread, Seq: ln.sent}, slot: -1}
 		select {
 		case ln.ch <- m:
 			ln.closeSent = true
@@ -363,7 +438,9 @@ func (ex *Exchange) cancelled() error {
 // volume. Streaming mode is hard-bounded: every lane holds at most
 // Capacity pages, so a consumer's undelivered backlog never exceeds
 // Capacity × Threads pages per producer — backpressure, not buffering,
-// absorbs skew.
+// absorbs skew. The gauge counts logical (shipped, undelivered) bytes
+// whether they reside in RAM or in a governor's spill store — it measures
+// the schedule, not residence; Governor.MaxResidentBytes measures memory.
 func (ex *Exchange) MaxBytesInFlight() int64 { return ex.maxInFlight.Load() }
 
 // MaxReorderPages reports the largest undelivered-page backlog any single
@@ -376,6 +453,20 @@ func (ex *Exchange) MaxReorderPages() int64 { return ex.maxReorder.Load() }
 // BufferedPages reports one consumer's current undelivered-page backlog.
 func (ex *Exchange) BufferedPages(consumer int) int64 {
 	return ex.recvs[consumer].backlog.Load()
+}
+
+// retainedEntry is one delivered, unacknowledged page in a replayable
+// receiver's retention window. In an exchange-owned window (ownsRetained)
+// the entry is metered by the consumer's governor: reserved entries count
+// against the budget; an entry whose bytes were evicted to disk has page
+// nil and lives only in slot. Sealed pages are immutable, so a slot stays
+// a valid image for the entry's whole retention — an entry reloaded for
+// replay can be evicted again without rewriting it.
+type retainedEntry struct {
+	page     *object.Page // resident page; nil when evicted to the spill store
+	slot     int          // spill slot holding the page image; -1 when never spilled
+	size     int          // occupied page bytes (the governor's accounting unit)
+	reserved bool         // counted in the governor's resident gauge
 }
 
 // receiver walks one consumer's lanes in deterministic order: producers
@@ -395,10 +486,90 @@ type receiver struct {
 	// Replay retention (Config.Replayable): retained holds delivered,
 	// unacknowledged pages; base is the delivery index of retained[0];
 	// pos is the next delivery index Recv hands out (pos < base +
-	// len(retained) while replaying after a Rewind).
-	retained []*object.Page
+	// len(retained) while replaying after a Rewind). pending is the
+	// delivery index of the page the last Recv handed out when that page
+	// still awaits governor accounting (settle), -1 otherwise.
+	retained []retainedEntry
 	base     int
 	pos      int
+	pending  int
+}
+
+// settle finishes the governor accounting of the page handed out by the
+// previous Recv: calling Recv again asserts the consumer is done reading
+// the last delivery, so its entry either joins the resident set — evicting
+// colder retained pages to make room — or, when the budget has no room at
+// all, goes straight (back) to disk. Until then the page is the one
+// in-flight excursion the budget's gauge deliberately excludes.
+func (r *receiver) settle() error {
+	if r.pending < 0 {
+		return nil
+	}
+	idx := r.pending
+	r.pending = -1
+	if idx < r.base || idx >= r.base+len(r.retained) {
+		return nil // acknowledged while in flight; nothing left to meter
+	}
+	g := r.ex.governor(r.consumer)
+	e := &r.retained[idx-r.base]
+	if g == nil || e.page == nil || e.reserved {
+		return nil
+	}
+	n := int64(e.size)
+	if !g.TryReserve(n) {
+		if err := r.evictRetained(g, n, idx); err != nil {
+			return err
+		}
+		if !g.TryReserve(n) {
+			// No room even after evicting every other retained page
+			// (senders may have claimed the freed budget): the settled
+			// page itself returns to disk.
+			return r.evict(g, e)
+		}
+	}
+	e.reserved = true
+	return nil
+}
+
+// evictRetained evicts reserved retained pages, coldest (oldest) first,
+// until need more bytes would fit the budget or candidates run out. skip
+// is the delivery index being settled, never evicted from under itself.
+func (r *receiver) evictRetained(g *Governor, need int64, skip int) error {
+	for i := range r.retained {
+		if g.fits(need) {
+			return nil
+		}
+		if r.base+i == skip || !r.retained[i].reserved {
+			continue
+		}
+		if err := r.evict(g, &r.retained[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evict moves one retained entry's bytes out of the metered resident set:
+// the page image is written to the spill store unless an earlier spill
+// already holds it (sealed pages are immutable), the entry's reference is
+// dropped, and any reservation returns to the budget. The page memory is
+// never recycled here — consumer threads may still be folding it (the
+// stream driver pulls ahead of its threads), so it returns through the
+// garbage collector once the last fold finishes.
+func (r *receiver) evict(g *Governor, e *retainedEntry) error {
+	if e.slot < 0 {
+		slot, err := g.evictPage(e.page)
+		if err != nil {
+			return err
+		}
+		e.slot = slot
+	}
+	e.page = nil
+	if e.reserved {
+		g.ReleaseBytes(int64(e.size))
+		e.reserved = false
+	}
+	return nil
 }
 
 // next pulls the current lane's next raw message: a live channel receive in
@@ -428,12 +599,27 @@ func (r *receiver) next() (message, bool, error) {
 
 // Recv returns the consumer's next page in deterministic (producer, thread,
 // sequence) order. ok=false marks the end of the whole shuffle. An error
-// means the exchange was cancelled or a lane misbehaved.
+// means the exchange was cancelled, a lane misbehaved, or a spill store
+// failed. Pages the governor spilled reload transparently here.
 func (ex *Exchange) Recv(consumer int) (*object.Page, bool, error) {
 	r := ex.recvs[consumer]
+	if err := r.settle(); err != nil {
+		return nil, false, err
+	}
 	if r.pos < r.base+len(r.retained) {
 		// Replaying after a Rewind: the retained suffix first.
-		p := r.retained[r.pos-r.base]
+		e := &r.retained[r.pos-r.base]
+		if e.page == nil {
+			// The entry was evicted under the budget; reload it for the
+			// replay (the slot stays live — see retainedEntry).
+			p, err := ex.governor(consumer).loadSlot(e.slot)
+			if err != nil {
+				return nil, false, err
+			}
+			e.page = p
+			r.pending = r.pos
+		}
+		p := e.page
 		r.pos++
 		return p, true, nil
 	}
@@ -456,7 +642,7 @@ func (ex *Exchange) Recv(consumer int) (*object.Page, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		if !ok || m.page == nil {
+		if !ok || m.size == 0 {
 			// Lane closed (a producer with no work for this thread) or
 			// explicit thread-close marker: advance to the next lane.
 			r.thread++
@@ -472,15 +658,45 @@ func (ex *Exchange) Recv(consumer int) (*object.Page, bool, error) {
 				r.producer, r.thread, m.tag.Seq, r.laneSeq)
 		}
 		r.laneSeq++
-		ex.inFlight.Add(-int64(len(m.page.Bytes())))
+		ex.inFlight.Add(-int64(m.size))
 		r.backlog.Add(-1)
-		if ex.cfg.Replayable {
-			r.retained = append(r.retained, m.page)
-		} else {
+		g := ex.governor(consumer)
+		p := m.page
+		if p == nil {
+			// The budget spilled this page at enqueue; reload it. The
+			// loaded copy is the unmetered in-flight page until the next
+			// Recv settles it (or the consumer takes ownership below).
+			var err error
+			if p, err = g.loadSlot(m.slot); err != nil {
+				return nil, false, err
+			}
+		}
+		switch {
+		case !ex.cfg.Replayable:
+			// Delivery hands the page to the consumer; the exchange's
+			// claim on its bytes (reservation or spill slot) ends here.
+			ex.unship(consumer, m)
 			r.base++
+		case ex.ownsRetained():
+			// The retention window keeps the bytes until Ack: a page
+			// delivered resident carries its lane reservation over; one
+			// delivered from spill keeps its slot and settles at the next
+			// Recv.
+			r.retained = append(r.retained, retainedEntry{
+				page: p, slot: m.slot, size: m.size, reserved: m.page != nil,
+			})
+			if m.page == nil {
+				r.pending = r.pos
+			}
+		default:
+			// Consumer-owned retention (the join build): the consumer's
+			// state references the delivered page in place, so the window
+			// holds only the reference — unmetered, never evicted.
+			ex.unship(consumer, m)
+			r.retained = append(r.retained, retainedEntry{page: p, slot: -1, size: m.size})
 		}
 		r.pos++
-		return m.page, true, nil
+		return p, true, nil
 	}
 }
 
@@ -501,10 +717,21 @@ func (ex *Exchange) Ack(consumer, upto int) error {
 		return fmt.Errorf("exchange: ack %d beyond delivery cursor %d", upto, r.pos)
 	}
 	n := upto - r.base
-	for _, p := range r.retained[:n] {
-		if ex.cfg.ReleaseDelivered != nil {
-			ex.cfg.ReleaseDelivered(p)
+	g := ex.governor(consumer)
+	for i := range r.retained[:n] {
+		e := &r.retained[i]
+		if g != nil {
+			if e.reserved {
+				g.ReleaseBytes(int64(e.size))
+			}
+			g.Free(e.slot)
 		}
+		if e.page != nil && ex.cfg.ReleaseDelivered != nil {
+			ex.cfg.ReleaseDelivered(e.page)
+		}
+	}
+	if r.pending >= 0 && r.pending < upto {
+		r.pending = -1 // the in-flight page was acknowledged before settling
 	}
 	r.retained = append(r.retained[:0:0], r.retained[n:]...)
 	r.base = upto

@@ -71,6 +71,17 @@
 // Query results are therefore deterministic in Config.Threads, up to
 // floating-point summation order inside aggregations (integer and
 // lattice-quantized aggregates are bit-identical at every thread count).
+//
+// # Memory governance
+//
+// Config.MemoryBudget bounds the exchange bytes each worker backend keeps
+// resident during a streaming shuffle — lane buffers, replay retention,
+// and checkpoint snapshots — spilling the coldest pages to reusable page
+// files (under Config.DataDir, or a temp directory) and reloading them
+// transparently. Results are bit-for-bit identical at any budget; only
+// page residence changes. See docs/TUNING.md for the memory model and how
+// MemoryBudget interacts with ShuffleCapacity, Threads,
+// CheckpointInterval, DataDir, and BarrierShuffle.
 package pc
 
 import (
