@@ -4,6 +4,7 @@
 //	go run ./cmd/pcbench            # all tables
 //	go run ./cmd/pcbench -table 3   # one table
 //	go run ./cmd/pcbench -ablations # design-choice ablations
+//	go run ./cmd/pcbench -chaos     # seeded fault-injection campaign
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/bench"
 )
@@ -19,7 +21,24 @@ func main() {
 	table := flag.Int("table", 0, "run only this table (2-8); 0 = all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	scaling := flag.Bool("scaling", false, "run only the thread-scaling, shuffle-overlap, and memory-budget ablations (pipeline, aggregation, join, exchange, spill)")
+	chaos := flag.Bool("chaos", false, "run the seeded fault-injection campaign (crash/IO-error schedules across workers x threads x budgets); persists BENCH_6.json")
 	flag.Parse()
+
+	if *chaos {
+		t, err := bench.RunChaosCampaign(bench.DefaultChaos())
+		if t != nil {
+			fmt.Println(t.Format())
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := filepath.Join(repoRoot(), "BENCH_6.json")
+		if err := bench.WriteJSON(out, []*bench.Table{t}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+		return
+	}
 
 	if *scaling {
 		for _, run := range []func() (*bench.Table, error){

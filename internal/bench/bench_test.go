@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -98,6 +99,29 @@ func TestRunCoPartitionedJoinSmoke(t *testing.T) {
 	// Zero bytes shuffled on the co-partitioned path.
 	if tab.Rows[0].Cells[1] != "0" {
 		t.Errorf("co-partitioned join shuffled %s bytes, want 0", tab.Rows[0].Cells[1])
+	}
+}
+
+// TestChaosCampaignCI is the CI chaos step: a fixed-seed short sweep (24
+// fault schedules at one cluster shape, both budgets, both workloads) that
+// must uphold the campaign contract — bit-for-bit identity after absorbed
+// crashes, clean failures on injected I/O errors, zero leaks.
+func TestChaosCampaignCI(t *testing.T) {
+	tab, err := RunChaosCampaign(CIChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, nil, 4) // 1 cell × 2 budgets × 2 workloads
+	fired := 0
+	for _, r := range tab.Rows {
+		var n int
+		if _, err := fmt.Sscanf(r.Cells[1], "%d", &n); err != nil {
+			t.Fatalf("row %q fired cell %q unparsable", r.Name, r.Cells[1])
+		}
+		fired += n
+	}
+	if fired == 0 {
+		t.Error("no fault schedule fired — the sweep exercised nothing")
 	}
 }
 

@@ -1,0 +1,268 @@
+package bench
+
+// The chaos campaign: a seeded sweep of single-fault schedules
+// (internal/fault.Seeded) across cluster shapes, memory budgets, and crash
+// sites, asserting the total-crash-coverage contract on every schedule —
+// a job that absorbs an injected panic must produce results bit-for-bit
+// identical to a fault-free run, a job that trips an injected I/O error
+// must fail cleanly with the injection named in the error, and either way
+// the step must leak nothing (no live spill slots, no _ckpt sets).
+// cmd/pcbench -chaos runs the full campaign and persists BENCH_6.json;
+// the CI profile (TestChaosCampaignCI) runs a fixed-seed short sweep
+// under the race detector.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+)
+
+// ChaosConfig shapes one campaign: the cluster cells to sweep, the number
+// of consecutive seeds per (cell, workload), and the workload sizes.
+type ChaosConfig struct {
+	Workers      []int
+	Threads      []int
+	Budgets      []int64 // 0 = unbounded; nonzero exercises the spill sites
+	SeedsPerCell int     // seeds per (cell, workload); consecutive seeds cycle sites
+	BaseSeed     int64
+
+	// Aggregation workload (rows, groups) and join workload (left, right,
+	// distinct keys). High group cardinality keeps shuffle pages full so
+	// small budgets actually spill.
+	AggN, AggGroups           int
+	JoinLeft, JoinRight, Keys int
+
+	// RequireAllSites fails the campaign unless every applicable fault
+	// site fired at least once across it. The full campaign asserts it;
+	// the short CI profile cannot (too few seeds to cycle every site).
+	RequireAllSites bool
+}
+
+// DefaultChaos is the full campaign: 3 worker counts × 3 thread counts ×
+// 2 budgets × 2 workloads × 6 seeds = 216 fault schedules.
+func DefaultChaos() ChaosConfig {
+	return ChaosConfig{
+		Workers:      []int{1, 2, 4},
+		Threads:      []int{1, 2, 8},
+		Budgets:      []int64{0, 1 << 12},
+		SeedsPerCell: 6,
+		BaseSeed:     1,
+		AggN:         4000, AggGroups: 499,
+		JoinLeft: 600, JoinRight: 90, Keys: 18,
+		RequireAllSites: true,
+	}
+}
+
+// CIChaos is the short fixed-seed profile the CI chaos step runs under the
+// race detector: 1 cell × 2 budgets × 2 workloads × 6 seeds = 24 schedules.
+func CIChaos() ChaosConfig {
+	cfg := DefaultChaos()
+	cfg.Workers = []int{2}
+	cfg.Threads = []int{2}
+	cfg.RequireAllSites = false
+	return cfg
+}
+
+// aggSites / joinSites are the fault sites a workload can reach; the spill
+// sites only arm when the cell runs under a budget.
+func aggSites(budget int64) []fault.Site {
+	s := []fault.Site{fault.PageSeal, fault.Delivery, fault.Checkpoint, fault.Finalize, fault.CheckpointIO}
+	if budget > 0 {
+		s = append(s, fault.SpillEnqueue, fault.SpillWrite, fault.SpillRead)
+	}
+	return s
+}
+
+func joinSites(budget int64) []fault.Site {
+	s := []fault.Site{fault.PageSeal, fault.BuildPage, fault.Checkpoint, fault.ProbePage, fault.Emit}
+	if budget > 0 {
+		s = append(s, fault.SpillEnqueue, fault.SpillWrite, fault.SpillRead)
+	}
+	return s
+}
+
+// chaosCell is one point of the sweep grid.
+type chaosCell struct {
+	workers, threads int
+	budget           int64
+}
+
+// chaosOutcome tallies one (cell, workload) slice of the campaign.
+type chaosOutcome struct {
+	schedules, fired, pending, cleanFails int
+}
+
+// RunChaosCampaign sweeps the configured grid. Every schedule's contract
+// violation (wrong rows, dirty failure, leaked slot or checkpoint set) is
+// collected; the campaign errors if any schedule violated it — the table
+// is still returned so the failure report shows the sweep's shape.
+func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
+	if cfg.SeedsPerCell <= 0 {
+		cfg.SeedsPerCell = 6
+	}
+	var cells []chaosCell
+	for _, w := range cfg.Workers {
+		for _, th := range cfg.Threads {
+			for _, b := range cfg.Budgets {
+				cells = append(cells, chaosCell{workers: w, threads: th, budget: b})
+			}
+		}
+	}
+
+	mkCluster := func(cell chaosCell, interval int, plan *fault.Plan) (*cluster.Cluster, error) {
+		return cluster.New(cluster.Config{
+			Workers: cell.workers, Threads: cell.threads, PageSize: 1 << 12,
+			ShuffleCapacity: 2, CheckpointInterval: interval,
+			MemoryBudget: cell.budget, Fault: plan,
+		})
+	}
+	// The two workloads, as (reference rows, faulted rows) runners. The agg
+	// result is compared in storage scan order (fully deterministic); the
+	// join's emitted pairs interleave across workers, so both sides are
+	// canonicalized by sorting — the spill-ladder identity idiom.
+	workloads := []struct {
+		name     string
+		interval int
+		sites    func(int64) []fault.Site
+		run      func(c *cluster.Cluster) ([]string, error)
+		sorted   bool
+	}{
+		{
+			name: "agg", interval: 2, sites: aggSites, sorted: false,
+			run: func(c *cluster.Cluster) ([]string, error) {
+				rows, _, err := runAggWorkload(c, cfg.AggN, cfg.AggGroups)
+				return rows, err
+			},
+		},
+		{
+			name: "join", interval: 1, sites: joinSites, sorted: true,
+			run: func(c *cluster.Cluster) ([]string, error) {
+				return runJoinWorkload(c, cfg.JoinLeft, cfg.JoinRight, cfg.Keys)
+			},
+		},
+	}
+
+	var violations []string
+	violate := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	firedBySite := map[fault.Site]int{}
+	sweptSites := map[fault.Site]bool{}
+	seed := cfg.BaseSeed
+	total := 0
+	t := &Table{
+		Title:   "Chaos campaign: seeded fault schedules vs fault-free identity",
+		Columns: []string{"schedules", "fired", "pending", "clean fails"},
+	}
+
+	for _, wl := range workloads {
+		for _, cell := range cells {
+			// Fault-free reference for this (workload, cell).
+			refCluster, err := mkCluster(cell, wl.interval, nil)
+			if err != nil {
+				return nil, err
+			}
+			refRows, err := wl.run(refCluster)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: fault-free %s reference (w=%d t=%d budget=%d): %w",
+					wl.name, cell.workers, cell.threads, cell.budget, err)
+			}
+			if wl.sorted {
+				sort.Strings(refRows)
+			}
+			if len(refRows) == 0 {
+				return nil, fmt.Errorf("chaos: %s reference produced no rows", wl.name)
+			}
+
+			out := chaosOutcome{}
+			sites := wl.sites(cell.budget)
+			for _, s := range sites {
+				sweptSites[s] = true
+			}
+			for i := 0; i < cfg.SeedsPerCell; i++ {
+				plan := fault.Seeded(seed, cell.workers, sites)
+				seed++
+				label := fmt.Sprintf("%s w=%d t=%d budget=%d seed=%d [%s]",
+					wl.name, cell.workers, cell.threads, cell.budget, seed-1, plan)
+				c, err := mkCluster(cell, wl.interval, plan)
+				if err != nil {
+					return nil, err
+				}
+				rows, err := wl.run(c)
+				out.schedules++
+				total++
+				inj := plan.Injections()[0]
+				switch {
+				case err == nil:
+					if wl.sorted {
+						sort.Strings(rows)
+					}
+					if len(rows) != len(refRows) {
+						violate("%s: %d rows vs %d fault-free", label, len(rows), len(refRows))
+					} else {
+						for j := range rows {
+							if rows[j] != refRows[j] {
+								violate("%s: row %d differs (%q vs %q)", label, j, rows[j], refRows[j])
+								break
+							}
+						}
+					}
+				case inj.Site.IsError() && strings.Contains(err.Error(), "fault: injected"):
+					// An injected I/O error failed the job cleanly — the
+					// accepted outcome for error sites.
+					out.cleanFails++
+				default:
+					violate("%s: unexpected failure: %v", label, err)
+				}
+				if n := c.Transport.LeakedSpillSlots; n != 0 {
+					violate("%s: %d spill slots leaked", label, n)
+				}
+				if n := c.CheckpointSets(); n != 0 {
+					violate("%s: %d _ckpt sets leaked", label, n)
+				}
+				if plan.Fired() > 0 {
+					out.fired++
+					firedBySite[inj.Site]++
+				} else {
+					out.pending++
+				}
+			}
+			t.Rows = append(t.Rows, Row{
+				Name: fmt.Sprintf("%s w=%d t=%d budget=%d", wl.name, cell.workers, cell.threads, cell.budget),
+				Cells: []string{
+					fmt.Sprintf("%d", out.schedules), fmt.Sprintf("%d", out.fired),
+					fmt.Sprintf("%d", out.pending), fmt.Sprintf("%d", out.cleanFails),
+				},
+			})
+		}
+	}
+
+	var swept []fault.Site
+	for s := range sweptSites {
+		swept = append(swept, s)
+	}
+	sort.Slice(swept, func(i, j int) bool { return swept[i] < swept[j] })
+	var coverage []string
+	for _, s := range swept {
+		if n := firedBySite[s]; n > 0 {
+			coverage = append(coverage, fmt.Sprintf("%s×%d", s, n))
+		} else if cfg.RequireAllSites {
+			violate("site %s never fired across %d schedules", s, total)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d fault schedules; identity = bit-for-bit rows vs fault-free run, zero leaked slots/_ckpt sets", total),
+		"fired sites: "+strings.Join(coverage, " "))
+	if len(violations) > 0 {
+		max := len(violations)
+		if max > 8 {
+			max = 8
+		}
+		return t, fmt.Errorf("chaos: %d contract violations:\n  %s",
+			len(violations), strings.Join(violations[:max], "\n  "))
+	}
+	return t, nil
+}

@@ -1,0 +1,19 @@
+package bench
+
+// JSON persistence for benchmark results: pcbench writes the tables a run
+// produced (e.g. the chaos campaign's BENCH_6.json) so CI and later
+// sessions can diff campaign shape without re-running it.
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteJSON persists tables to path as indented JSON.
+func WriteJSON(path string, tables []*Table) error {
+	data, err := json.MarshalIndent(tables, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/exchange"
+	"repro/internal/fault"
 	"repro/internal/object"
 	"repro/internal/physical"
 )
@@ -91,6 +92,10 @@ func ckptSetName(produces string, worker int) string {
 // slots stay resident.
 func (c *Cluster) persistAggCheckpoint(w *Worker, rec *aggRecovery, produces string,
 	ck *engine.MergeCheckpoint, gov *exchange.Governor) error {
+	c.Cfg.Fault.Hit(fault.Checkpoint, w.ID)
+	if err := c.Cfg.Fault.ErrAt(fault.CheckpointIO, w.ID); err != nil {
+		return fmt.Errorf("cluster: persisting consumer checkpoint: %w", err)
+	}
 	if c.Cfg.DataDir != "" {
 		set := ckptSetName(produces, w.ID)
 		_ = w.Front.Store.Drop(checkpointDb, set) // first checkpoint: nothing to drop
@@ -192,13 +197,39 @@ func (c *Cluster) dropAggCheckpoint(w *Worker, rec *aggRecovery, gov *exchange.G
 	rec.releaseSnapshots(gov)
 }
 
-// joinBuildRecovery is one worker's consumer-recovery record for the
-// streaming join-table build: the per-thread tables cloned at the last cut.
-// Tables reference shipped build pages, which stay alive through the
-// clones themselves, so the in-memory snapshot is complete; build pages
-// past the cut replay from the exchange's retained window.
-type joinBuildRecovery struct {
-	cut    int
-	tables []*engine.JoinTable
+// joinRecovery is one worker's consumer-recovery record for the streaming
+// hash-partition join — both phases. The build phase checkpoints the
+// per-thread tables cloned at the last cut (tables reference shipped build
+// pages, which stay alive through the clones themselves, so the in-memory
+// snapshot is complete; build pages past the cut replay from the
+// exchange's retained window). The probe/emit phase checkpoints a probe
+// cursor (probe-side pages fully probed and emitted) plus the total
+// matches emitted, so a re-forked consumer rewinds the probe exchange to
+// the cursor, replays the suffix, and skips the first emitted matches —
+// match order is page order, so the skip prefix is exactly what user code
+// already observed, making emit exactly-once across crashes.
+type joinRecovery struct {
+	cut    int                 // build-side pages consumed at the last build cut
+	tables []*engine.JoinTable // per-thread table clones at that cut
 	saves  int
+	built  bool // build finished; tables is the complete table set
+
+	probeCursor  int // probe-side pages fully probed and emitted
+	emitted      int // matches handed to user emit (exactly-once skip cursor)
+	emittedAtCut int // matches emitted within pages before probeCursor
+}
+
+// CheckpointSets counts live consumer-recovery snapshot sets (the _ckpt
+// database) across all workers — zero after any job, success or failure;
+// the chaos campaign's leak check.
+func (c *Cluster) CheckpointSets() int {
+	n := 0
+	for _, w := range c.Workers {
+		for _, key := range w.Front.Store.Sets() {
+			if strings.HasPrefix(key, checkpointDb+".") {
+				n++
+			}
+		}
+	}
+	return n
 }

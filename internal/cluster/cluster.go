@@ -51,9 +51,21 @@
 // checkpoint (reading snapshot pages back through the storage server when
 // Config.DataDir is set, from in-memory snapshots otherwise), rewinds the
 // exchange to the cut, and resumes the merge over only the replayed
-// suffix — producing output bit-for-bit identical to a crash-free run. A
-// crash during the join's probe/emit phase still fails the job: matches
-// may already have reached user code and cannot be un-emitted.
+// suffix — producing output bit-for-bit identical to a crash-free run. The
+// join's probe/emit phase is recoverable the same way: the consumer
+// checkpoints a probe cursor and emitted-match count alongside the build
+// table's cloned buckets, and a replay skips already-emitted matches so
+// user emit code observes each match exactly once (join.go, "Probe/emit
+// recovery").
+//
+// Retries are bounded and accounted: Config.MaxRetries caps the re-fork
+// retries any single role gets, ExecStats.RoleRetries breaks them out per
+// role, and a crash that repeats identically on the retried attempt is
+// treated as a deterministic user bug and fails the job immediately with
+// the failing role and worker in the error. docs/FAULTS.md tabulates the
+// full fault model (role × crash site → recovery outcome), and
+// internal/fault injects deterministic crashes and I/O errors at every
+// site via Config.Fault.
 //
 // # Sink-merge protocol
 //
@@ -84,6 +96,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/object"
 	"repro/internal/storage"
 )
@@ -143,11 +156,28 @@ type Config struct {
 	// residence changes), and ExecStats.Ships surfaces
 	// SpilledPages/SpilledBytes/MaxBufferedBytes per step. Zero or
 	// negative disables governance: everything stays resident and nothing
-	// is metered. Consumer working state (merged sub-maps, join tables
-	// and their referenced build pages, probe buffers) is the job's own
-	// state, not exchange memory, and is outside the budget — see
-	// docs/TUNING.md for the full memory model.
+	// is metered. The join's probe-side pages are exchange retention and
+	// meter against the budget like any other retained page; consumer
+	// working state (merged sub-maps, join tables and their referenced
+	// build pages) is the job's own state, not exchange memory, and is
+	// outside the budget — see docs/TUNING.md for the full memory model.
 	MemoryBudget int64
+	// MaxRetries bounds how many crash re-fork retries any single role
+	// (stage pipeline, shuffle producer, shuffle consumer, join probe)
+	// gets before the job fails with the role and worker in the error.
+	// Zero keeps the historical policy of one retry; negative disables
+	// retries entirely. A role whose retried attempt crashes with a panic
+	// message identical to the previous attempt's fails immediately — an
+	// identical repeated crash is a deterministic user bug no number of
+	// re-forks will absorb — without consuming the remaining budget.
+	MaxRetries int
+	// Fault, when non-nil, is a deterministic fault-injection schedule
+	// (internal/fault) the runtime consults at every instrumented crash
+	// site — page seals, deliveries, checkpoint writes, spills, finalize,
+	// probe/emit. Nil (the production default) injects nothing and costs
+	// nothing. Crash tests and the chaos campaign (pcbench -chaos) use it
+	// to place reproducible crashes and I/O errors anywhere in a job.
+	Fault *fault.Plan
 }
 
 func (c *Config) fill() {
@@ -200,6 +230,10 @@ type Transport struct {
 	// Config.MemoryBudget — the single page in the act of being delivered
 	// is excluded; zero when governance is off.
 	MaxBufferedBytes int64
+	// LeakedSpillSlots counts spill slots still live when a step's spill
+	// pools closed — always zero unless cleanup has a bug; the chaos
+	// campaign and failure-path tests assert on it.
+	LeakedSpillSlots int64
 }
 
 // Ship moves a page to a destination registry's memory space.
@@ -251,6 +285,14 @@ func (t *Transport) NoteSpill(pages, bytes, maxBuffered int64) {
 	if maxBuffered > t.MaxBufferedBytes {
 		t.MaxBufferedBytes = maxBuffered
 	}
+	t.mu.Unlock()
+}
+
+// NoteLeakedSlots records spill slots found live at pool close — a cleanup
+// bug the leak checks turn into a test failure.
+func (t *Transport) NoteLeakedSlots(n int64) {
+	t.mu.Lock()
+	t.LeakedSpillSlots += n
 	t.mu.Unlock()
 }
 
@@ -360,14 +402,6 @@ type Cluster struct {
 
 	// manifestMu serializes catalog-manifest writes (restore.go).
 	manifestMu sync.Mutex
-
-	// Test-only fault injection, always nil in production: invoked with
-	// (worker, delivery index) as a consumer pulls each shuffled page, on
-	// the consuming backend's goroutine — the crash-recovery tests panic
-	// inside to simulate a user-code crash mid-merge / mid-build at a
-	// deterministic point in the stream.
-	testAggConsume func(worker, index int)
-	testJoinBuild  func(worker, index int)
 }
 
 // New builds a cluster: one master and cfg.Workers workers. With

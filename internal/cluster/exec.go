@@ -4,11 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exchange"
+	"repro/internal/fault"
 	"repro/internal/object"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
@@ -55,7 +55,10 @@ type StageShip struct {
 type ExecStats struct {
 	Optimizer optimizer.Stats
 	Stages    int
-	Retries   int // backend crash retries (producer and consumer roles)
+	Retries   int // backend crash retries, all roles
+	// RoleRetries breaks Retries out per role ("pipeline", "producer",
+	// "consumer") — which half of a streaming step absorbed the crashes.
+	RoleRetries map[string]int
 	// ConsumerRecoveries counts backend crashes inside consuming merges
 	// that were recovered by checkpoint restore + stream replay (a subset
 	// of Retries).
@@ -88,7 +91,7 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats := &ExecStats{Optimizer: *ostats, Stages: len(plan.Stages), Threads: c.Cfg.Threads}
+	stats := &ExecStats{Optimizer: *ostats, Stages: len(plan.Stages), Threads: c.Cfg.Threads, RoleRetries: map[string]int{}}
 
 	// Reset per-job worker artifacts, recycling the previous job's
 	// transient pages through the page pool (buffer-pool reuse, §3).
@@ -171,9 +174,26 @@ func (c *Cluster) commitArtifacts(arts []*workerArtifacts) error {
 	return nil
 }
 
+// noteRetry builds a runRole onRetry callback accounting one crash retry
+// under mu.
+func noteRetry(mu *sync.Mutex, stats *ExecStats, role string, consumerRecovery bool) func() {
+	return func() {
+		mu.Lock()
+		stats.Retries++
+		if stats.RoleRetries == nil {
+			stats.RoleRetries = map[string]int{}
+		}
+		stats.RoleRetries[role]++
+		if consumerRecovery {
+			stats.ConsumerRecoveries++
+		}
+		mu.Unlock()
+	}
+}
+
 // runStage executes one barrier job stage on every worker in parallel,
-// retrying a worker's share once if its backend crashes (the front end
-// re-forks it).
+// retrying a worker's share within Config.MaxRetries if its backend
+// crashes (the front end re-forks it — paper §2's crash-proof front end).
 func (c *Cluster) runStage(res *core.CompileResult, stage *physical.JobStage, stats *ExecStats) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.Workers))
@@ -184,26 +204,15 @@ func (c *Cluster) runStage(res *core.CompileResult, stage *physical.JobStage, st
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
-			run := func() (*workerArtifacts, *Backend, error) {
-				backend := w.Front.Backend()
-				var out *workerArtifacts
-				err := backend.Run(func() error {
-					var err error
-					out, err = c.runStageOnWorker(res, stage, w)
-					return err
+			errs[i] = c.runRole(w, rolePipeline, stage.Produces, nil,
+				noteRetry(&mu, stats, rolePipeline, false), func() error {
+					out, err := c.runStageOnWorker(res, stage, w)
+					if err != nil {
+						return err
+					}
+					arts[i] = out
+					return nil
 				})
-				return out, backend, err
-			}
-			out, backend, err := run()
-			if err != nil && backend.Crashed() {
-				// Re-fork and retry once (paper §2's crash-proof
-				// front end).
-				mu.Lock()
-				stats.Retries++
-				mu.Unlock()
-				out, _, err = run()
-			}
-			arts[i], errs[i] = out, err
 		}(i, w)
 	}
 	wg.Wait()
@@ -414,13 +423,17 @@ func streamErr(err error) error {
 // sub-partitions), then finalizes the disjoint sub-maps concurrently.
 //
 // A producer whose backend crashes mid-stream is re-forked and retried
-// once; the deterministic re-run re-sends the same tagged pages and the
-// exchange drops the duplicates at the sender. A consumer whose backend
-// crashes mid-merge is also re-forked and retried once: the merge
-// checkpoints its sub-maps every interval pages (acknowledging each cut so
-// the exchange's replay retention stays bounded), and the retry restores
-// the last checkpoint, rewinds the exchange to its cut, and re-consumes
-// only the replayed suffix — bit-for-bit identical to a crash-free run.
+// (within Config.MaxRetries); the deterministic re-run re-sends the same
+// tagged pages and the exchange drops the duplicates at the sender. A
+// consumer whose backend crashes mid-merge is also re-forked and retried:
+// the merge checkpoints its sub-maps every interval pages (acknowledging
+// each cut so the exchange's replay retention stays bounded), and the
+// retry restores the last checkpoint, rewinds the exchange to its cut, and
+// re-consumes only the replayed suffix — bit-for-bit identical to a
+// crash-free run. When the step fails anyway (retries exhausted, a
+// deterministic crash, or an injected I/O error), the failure path
+// releases everything the step still holds: undelivered and retained
+// exchange pages (Exchange.Discard), checkpoint snapshots, spill slots.
 func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical.JobStage, stats *ExecStats) (exchangeTelemetry, error) {
 	nw := len(c.Workers)
 	interval := c.checkpointEvery(cons)
@@ -436,26 +449,10 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 		wg.Add(1)
 		go func(i int, w *Worker) { // producer role
 			defer wg.Done()
-			run := func() (*Backend, error) {
-				backend := w.Front.Backend()
-				return backend, backend.Run(func() error {
+			err := c.runRole(w, roleProducer, prod.Produces, nil,
+				noteRetry(&mu, stats, roleProducer, false), func() error {
 					return c.runPreAggStreamOnWorker(res, prod, w, ex)
 				})
-			}
-			_, err := run()
-			if errors.Is(err, errBackendDead) {
-				// The sibling consumer role's (recoverable) crash landed
-				// in the instant before this role entered the shared
-				// backend; the re-forked backend picks the stream up
-				// untouched — nothing had been sent.
-				_, err = run()
-			}
-			if err != nil && errors.Is(err, errBackendCrashed) {
-				mu.Lock()
-				stats.Retries++
-				mu.Unlock()
-				_, err = run()
-			}
 			if err != nil {
 				errs[i] = err
 				ex.Cancel(err)
@@ -468,11 +465,9 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 			defer wg.Done()
 			rec := &aggRecovery{}
 			recs[i] = rec
-			var started atomic.Bool
-			consume := func() (*Backend, error) {
-				backend := w.Front.Backend()
-				err := backend.Run(func() error {
-					started.Store(true)
+			err := c.runRole(w, roleConsumer, cons.Produces,
+				func() bool { return interval > 0 },
+				noteRetry(&mu, stats, roleConsumer, true), func() error {
 					var gov *exchange.Governor
 					if govs != nil {
 						gov = govs[w.ID]
@@ -484,25 +479,6 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 					arts[i] = a
 					return nil
 				})
-				return backend, err
-			}
-			_, err := consume()
-			if errors.Is(err, errBackendDead) && !started.Load() {
-				// The sibling producer role crashed the shared backend
-				// in the instant before this role entered it; the
-				// re-forked backend picks the consume up untouched.
-				_, err = consume()
-			}
-			if errors.Is(err, errBackendCrashed) && interval > 0 {
-				// The merge itself crashed (user combine/finalize code,
-				// not a sibling role's panic): re-fork and resume from
-				// the last checkpoint.
-				mu.Lock()
-				stats.Retries++
-				stats.ConsumerRecoveries++
-				mu.Unlock()
-				_, err = consume()
-			}
 			if err != nil {
 				errs[nw+i] = err
 				ex.Cancel(err)
@@ -517,12 +493,30 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 		}
 	}
 	c.Transport.NoteExchange(tel.hwm, tel.reorderPages, tel.checkpoints)
-	tel.spilledPages, tel.spilledBytes, tel.maxBuffered = c.spillTelemetry(govs)
 	for _, err := range errs {
 		if err != nil {
+			// Failure cleanup: both roles have returned, so nothing
+			// touches the exchange or the recovery records anymore.
+			// Release every page the step still holds — undelivered lane
+			// messages, replay retention — and every worker's checkpoint
+			// snapshots, so the step's governors and spill pools close
+			// with zero live slots and no _ckpt sets survive.
+			ex.Discard()
+			for j, w := range c.Workers {
+				if recs[j] == nil {
+					continue
+				}
+				var gov *exchange.Governor
+				if govs != nil {
+					gov = govs[j]
+				}
+				c.dropAggCheckpoint(w, recs[j], gov)
+			}
+			tel.spilledPages, tel.spilledBytes, tel.maxBuffered = c.spillTelemetry(govs)
 			return tel, err
 		}
 	}
+	tel.spilledPages, tel.spilledBytes, tel.maxBuffered = c.spillTelemetry(govs)
 	return tel, c.commitArtifacts(arts)
 }
 
@@ -557,6 +551,7 @@ func (c *Cluster) runPreAggStreamOnWorker(res *core.CompileResult, stage *physic
 			}
 			seq := 0
 			sink.Out.OnSeal = func(p *object.Page) error {
+				c.Cfg.Fault.Hit(fault.PageSeal, w.ID)
 				tag := exchange.Tag{Producer: w.ID, Thread: t, Seq: seq}
 				seq++
 				return streamErr(ex.Broadcast(tag, p, stop))
@@ -619,23 +614,19 @@ func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobS
 			},
 		}
 	}
-	next := func() (*object.Page, bool, error) { return ex.Recv(w.ID) }
-	if hook := c.testAggConsume; hook != nil {
-		base, idx := next, cut
-		next = func() (*object.Page, bool, error) {
-			p, ok, err := base()
-			if ok {
-				hook(w.ID, idx)
-				idx++
-			}
-			return p, ok, err
+	next := func() (*object.Page, bool, error) {
+		p, ok, err := ex.Recv(w.ID)
+		if ok {
+			c.Cfg.Fault.Hit(fault.Delivery, w.ID)
 		}
+		return p, ok, err
 	}
 	finals, mergePages, err := engine.MergeAggMapsStream(w.Reg(), next, w.ID, len(c.Workers),
 		spec, c.Cfg.PageSize, c.pool, c.Cfg.Threads, release, ckptr)
 	if err != nil {
 		return nil, err
 	}
+	c.Cfg.Fault.Hit(fault.Finalize, w.ID)
 	var fstats engine.Stats
 	out, err := engine.FinalizeAggParallel(w.Reg(), finals, spec, c.Cfg.PageSize, c.pool, &fstats)
 	w.mergeStats(&fstats)

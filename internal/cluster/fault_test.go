@@ -1,0 +1,508 @@
+package cluster
+
+// Crash tests for the fault-injection subsystem (internal/fault): the
+// probe/emit recovery the tentpole added, injected spill/checkpoint I/O
+// errors, the bounded retry policy, and the failure path's leak-free
+// cleanup. The chaos campaign (internal/bench, pcbench -chaos) sweeps the
+// same sites across seeds; these tests pin the specific behaviors.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/lambda"
+	"repro/internal/object"
+)
+
+// joinFixture loads the join workload the recovery tests use.
+func joinFixture(t *testing.T, cfg Config, left, right, groups int) (*Cluster, *object.TypeInfo) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := intRecType(c)
+	loadIntRows(t, c, rec, "db", "left", left, groups)
+	loadIntRows(t, c, rec, "db", "right", right, groups)
+	return c, rec
+}
+
+// writeIntAgg is the aggregation write runIntAgg executes, for tests that
+// need the raw Execute error instead of a t.Fatal on failure.
+func writeIntAgg(t *testing.T, c *Cluster, rec *object.TypeInfo) error {
+	t.Helper()
+	if err := c.CreateSet("db", "sums", "RecovRec"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Execute(core.NewWrite("db", "sums", intSumAgg(rec, nil)))
+	return err
+}
+
+// assertNoJoinLeaks asserts a finished job — recovered or failed — left
+// nothing behind: no live spill slots at pool close, no _ckpt sets.
+func assertNoJoinLeaks(t *testing.T, c *Cluster, label string) {
+	t.Helper()
+	if n := c.Transport.LeakedSpillSlots; n != 0 {
+		t.Errorf("%s: %d spill slots leaked", label, n)
+	}
+	if n := c.CheckpointSets(); n != 0 {
+		t.Errorf("%s: %d _ckpt sets leaked", label, n)
+	}
+}
+
+// TestProbeEmitCrashRecovery closes the last crash class: a backend crash
+// in the join's probe/emit phase — at probe-page delivery or immediately
+// before a user emit — must recover via the probe cursor checkpoint and
+// emit matches bit-for-bit identical to a crash-free run.
+func TestProbeEmitCrashRecovery(t *testing.T) {
+	const left, right, groups = 600, 90, 18
+	cells := append([]struct{ workers, threads int }{{1, 1}, {1, 8}}, recoveryMatrix...)
+	for _, site := range []fault.Site{fault.ProbePage, fault.Emit} {
+		for _, cell := range cells {
+			cfg := Config{Workers: cell.workers, Threads: cell.threads,
+				PageSize: 1 << 12, ShuffleCapacity: 2, CheckpointInterval: 1}
+			ref, refRec := joinFixture(t, cfg, left, right, groups)
+			wantRows := joinPairsByWorker(t, ref, refRec)
+			if len(wantRows) == 0 {
+				t.Fatalf("%s w=%d t=%d: reference join emitted nothing", site, cell.workers, cell.threads)
+			}
+
+			c, rec := joinFixture(t, cfg, left, right, groups)
+			k := 1 // the probe page after the first probe cut
+			if site == fault.Emit {
+				k = 5
+			}
+			c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: site, Worker: 0, K: k})
+			gotRows := joinPairsByWorker(t, c, rec)
+			if c.Cfg.Fault.Fired() != 1 {
+				t.Fatalf("%s w=%d t=%d: the probe-phase crash never fired", site, cell.workers, cell.threads)
+			}
+			if !equalRows(gotRows, wantRows) {
+				t.Errorf("%s w=%d t=%d: recovered join differs from crash-free join (%d vs %d pairs)",
+					site, cell.workers, cell.threads, len(gotRows), len(wantRows))
+			}
+			assertNoJoinLeaks(t, c, fmt.Sprintf("%s w=%d t=%d", site, cell.workers, cell.threads))
+		}
+	}
+}
+
+// TestProbeEmitCrashRecoverySpill runs the probe-phase crash under a
+// one-page budget: the probe side's retained pages are metered (the old
+// accounting gap), evicted pages reload from spill during the replay, and
+// the recovered matches still equal the unbounded crash-free join's.
+func TestProbeEmitCrashRecoverySpill(t *testing.T) {
+	const left, right, groups = 600, 90, 18
+	base := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 1}
+	ref, refRec := joinFixture(t, base, left, right, groups)
+	wantRows := joinPairsByWorker(t, ref, refRec)
+
+	cfg := base
+	cfg.MemoryBudget = spillBudget
+	for _, site := range []fault.Site{fault.ProbePage, fault.Emit} {
+		c, rec := joinFixture(t, cfg, left, right, groups)
+		c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: site, Worker: 0, K: 2})
+		gotRows := joinPairsByWorker(t, c, rec)
+		if c.Cfg.Fault.Fired() != 1 {
+			t.Fatalf("%s: the probe-phase crash never fired under budget", site)
+		}
+		if !equalRows(gotRows, wantRows) {
+			t.Errorf("%s: governed recovered join differs from unbounded crash-free join (%d vs %d pairs)",
+				site, len(gotRows), len(wantRows))
+		}
+		if c.Transport.SpilledPages == 0 {
+			t.Errorf("%s: a one-page budget spilled nothing on the join shuffles", site)
+		}
+		if c.Transport.MaxBufferedBytes == 0 || c.Transport.MaxBufferedBytes > spillBudget {
+			t.Errorf("%s: MaxBufferedBytes = %d, want in (0, %d]", site, c.Transport.MaxBufferedBytes, spillBudget)
+		}
+		assertNoJoinLeaks(t, c, site.String())
+	}
+}
+
+// TestProbeEmitCrashRecoveryBarrier runs the probe-phase crash with the
+// barrier-shuffle ablation: recovery rides the same delivery layer, so the
+// rewind-and-replay works identically out of the drain buffers.
+func TestProbeEmitCrashRecoveryBarrier(t *testing.T) {
+	const left, right, groups = 600, 90, 18
+	cfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 1, BarrierShuffle: true}
+	ref, refRec := joinFixture(t, cfg, left, right, groups)
+	wantRows := joinPairsByWorker(t, ref, refRec)
+
+	c, rec := joinFixture(t, cfg, left, right, groups)
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Emit, Worker: 1, K: 3})
+	gotRows := joinPairsByWorker(t, c, rec)
+	if c.Cfg.Fault.Fired() != 1 {
+		t.Fatal("the probe-phase crash never fired in barrier mode")
+	}
+	if !equalRows(gotRows, wantRows) {
+		t.Errorf("barrier-mode recovered join differs from crash-free join (%d vs %d pairs)",
+			len(gotRows), len(wantRows))
+	}
+}
+
+// TestEmitExactlyOnce counts emit invocations across an Emit-site crash:
+// recovery must not re-deliver any match user code already observed — the
+// total count equals the crash-free run's exactly, every pair once.
+func TestEmitExactlyOnce(t *testing.T) {
+	const left, right, groups = 600, 90, 18
+	cfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 1}
+	ref, refRec := joinFixture(t, cfg, left, right, groups)
+	wantRows := joinPairsByWorker(t, ref, refRec)
+
+	c, rec := joinFixture(t, cfg, left, right, groups)
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Emit, Worker: 0, K: 7})
+	grpField := rec.Field("grp")
+	valField := rec.Field("val")
+	key := func(r object.Ref) uint64 {
+		return object.HashValue(object.Int64Value(object.GetI64(r, grpField)))
+	}
+	eq := func(l, r object.Ref) bool {
+		return object.GetI64(l, grpField) == object.GetI64(r, grpField)
+	}
+	var emits int64
+	seen := map[string]int{}
+	var mu sync.Mutex
+	stats, err := c.HashPartitionJoinStats("db", "left", "db", "right", key, key, eq,
+		func(workerID int, l, r object.Ref) error {
+			atomic.AddInt64(&emits, 1)
+			mu.Lock()
+			seen[fmt.Sprintf("%d:%d|%d", workerID,
+				object.GetI64(l, valField), object.GetI64(r, valField))]++
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cfg.Fault.Fired() != 1 {
+		t.Fatal("the emit crash never fired")
+	}
+	if int(emits) != len(wantRows) {
+		t.Errorf("emit ran %d times, crash-free join emits %d matches", emits, len(wantRows))
+	}
+	for pair, n := range seen {
+		if n != 1 {
+			t.Errorf("match %s emitted %d times, want exactly once", pair, n)
+		}
+	}
+	if stats.ProbeRecoveries != 1 {
+		t.Errorf("probe recoveries = %d, want 1", stats.ProbeRecoveries)
+	}
+	if stats.RoleRetries[roleProbe] != 1 {
+		t.Errorf("probe role retries = %d, want 1", stats.RoleRetries[roleProbe])
+	}
+}
+
+// TestSpillWriteErrorFailsCleanly injects an I/O error into the spill
+// store's write path under a one-page budget: the job must fail with a
+// clean error naming the injection — no hang, no panic — and the failure
+// path must release every slot and checkpoint set it had claimed.
+func TestSpillWriteErrorFailsCleanly(t *testing.T) {
+	cfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 2, MemoryBudget: spillBudget}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := intRecType(c)
+	loadIntRows(t, c, rec, "db", "rows", 4000, 499)
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.SpillWrite, Worker: 1, K: 0})
+	err = writeIntAgg(t, c, rec)
+	if err == nil {
+		t.Fatal("job with an injected spill-write error succeeded")
+	}
+	if !strings.Contains(err.Error(), "injected SpillWrite") {
+		t.Errorf("error does not name the injection: %v", err)
+	}
+	assertNoJoinLeaks(t, c, "spill-write error")
+
+	// The same workload on a fault-free cluster still succeeds — the
+	// failure was the injection, not the configuration.
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := intRecType(c2)
+	loadIntRows(t, c2, rec2, "db", "rows", 4000, 499)
+	if rows, _ := runIntAgg(t, c2, rec2, nil); len(rows) != 499 {
+		t.Fatalf("fault-free rerun produced %d groups, want 499", len(rows))
+	}
+}
+
+// TestSpillReadErrorFailsCleanly injects an I/O error into the spill
+// store's read path while a consumer crash forces a replay over spilled
+// retained pages: the reload failure must surface as a clean job error
+// with the governor's slot bookkeeping intact.
+func TestSpillReadErrorFailsCleanly(t *testing.T) {
+	cfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 2, MemoryBudget: spillBudget}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := intRecType(c)
+	loadIntRows(t, c, rec, "db", "rows", 4000, 499)
+	// One plan, two injections: crash the merge mid-stream, then fail the
+	// first spill read worker 1's recovery (or delivery reload) performs.
+	c.Cfg.Fault = fault.NewPlan(
+		fault.Injection{Site: fault.Delivery, Worker: 1, K: 3},
+		fault.Injection{Site: fault.SpillRead, Worker: 1, K: 0},
+	)
+	err = writeIntAgg(t, c, rec)
+	if err == nil {
+		t.Fatal("job with an injected spill-read error succeeded")
+	}
+	if !strings.Contains(err.Error(), "injected SpillRead") {
+		t.Errorf("error does not name the injection: %v", err)
+	}
+	assertNoJoinLeaks(t, c, "spill-read error")
+}
+
+// TestCheckpointIOErrorFailsCleanly injects an I/O error into checkpoint
+// persistence: the cut fails, the job errors cleanly, and no checkpoint
+// set survives the failure path.
+func TestCheckpointIOErrorFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 2, DataDir: dir}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := intRecType(c)
+	loadIntRows(t, c, rec, "db", "rows", 3000, 12)
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.CheckpointIO, Worker: 0, K: 0})
+	err = writeIntAgg(t, c, rec)
+	if err == nil {
+		t.Fatal("job with an injected checkpoint-write error succeeded")
+	}
+	if !strings.Contains(err.Error(), "injected CheckpointIO") {
+		t.Errorf("error does not name the injection: %v", err)
+	}
+	assertNoJoinLeaks(t, c, "checkpoint I/O error")
+}
+
+// TestMaxRetriesBoundsRecovery arms more distinct crashes than the retry
+// budget absorbs: MaxRetries=1 must fail with the exhaustion error naming
+// the role and worker, while MaxRetries=3 rides out the same schedule.
+func TestMaxRetriesBoundsRecovery(t *testing.T) {
+	const interval = 2
+	// Two distinct crashes on worker 1's merge: the second K is cumulative
+	// across the retry's replayed deliveries, so it fires mid-retry.
+	plan := func() *fault.Plan {
+		return fault.NewPlan(
+			fault.Injection{Site: fault.Delivery, Worker: 1, K: 3},
+			fault.Injection{Site: fault.Delivery, Worker: 1, K: 10},
+		)
+	}
+	mk := func(maxRetries int) (*Cluster, *object.TypeInfo) {
+		c, err := New(Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+			ShuffleCapacity: 2, CheckpointInterval: interval, MaxRetries: maxRetries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := intRecType(c)
+		// High cardinality → full map pages → enough deliveries on worker 1
+		// for both hit indexes to be reached.
+		loadIntRows(t, c, rec, "db", "rows", 4000, 499)
+		return c, rec
+	}
+
+	c, rec := mk(1)
+	c.Cfg.Fault = plan()
+	err := writeIntAgg(t, c, rec)
+	if err == nil {
+		t.Fatal("two distinct crashes under MaxRetries=1 succeeded")
+	}
+	if !strings.Contains(err.Error(), "exhausted 1 crash retries") {
+		t.Errorf("error does not report retry exhaustion: %v", err)
+	}
+	if !strings.Contains(err.Error(), "consumer role") || !strings.Contains(err.Error(), "worker 1") {
+		t.Errorf("error does not name the failing role and worker: %v", err)
+	}
+
+	c3, rec3 := mk(3)
+	c3.Cfg.Fault = plan()
+	rows, stats := runIntAgg(t, c3, rec3, nil)
+	if len(rows) != 499 {
+		t.Fatalf("MaxRetries=3 run produced %d groups, want 499", len(rows))
+	}
+	if c3.Cfg.Fault.Fired() != 2 {
+		t.Errorf("fired %d of 2 injections", c3.Cfg.Fault.Fired())
+	}
+	if stats.RoleRetries[roleConsumer] != 2 {
+		t.Errorf("consumer role retries = %d, want 2 (got %v)", stats.RoleRetries[roleConsumer], stats.RoleRetries)
+	}
+}
+
+// TestDeterministicCrashFailsFast arms a generous retry budget against a
+// deterministic user bug (identical panic on every attempt): the policy
+// must fail after a single confirming retry instead of burning the budget,
+// and say so in the error.
+func TestDeterministicCrashFailsFast(t *testing.T) {
+	c, _ := testCluster(t, 50)
+	c.Cfg.MaxRetries = 5
+	sel := &core.Selection{
+		In:      core.NewScan("db", "emps", "Emp"),
+		ArgType: "Emp",
+		Projection: func(arg *lambda.Arg) lambda.Term {
+			return lambda.FromNative("alwaysCrash", object.KHandle,
+				func(ctx *lambda.NativeCtx, args []object.Value) (object.Value, error) {
+					panic("deterministic user bug")
+				},
+				lambda.FromSelf(arg))
+		},
+	}
+	if err := c.CreateSet("db", "out", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Execute(core.NewWrite("db", "out", sel))
+	if err == nil {
+		t.Fatal("deterministically crashing job succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed deterministically") {
+		t.Errorf("error does not flag the deterministic crash: %v", err)
+	}
+	// One original attempt + one confirming retry per crashing worker —
+	// the remaining retry budget must not be burned on an identical bug.
+	for _, w := range c.Workers {
+		if w.Front.ReForks > 2 {
+			t.Errorf("worker %d re-forked %d times for an identical crash, want <= 2", w.ID, w.Front.ReForks)
+		}
+	}
+}
+
+// TestFailureCleanupReleasesEverything fails a governed, checkpointing job
+// on purpose (retries disabled) and asserts the failure path released all
+// transient state: spill slots, _ckpt sets, temp spill directories.
+func TestFailureCleanupReleasesEverything(t *testing.T) {
+	tmpBefore, err := filepath.Glob(filepath.Join(os.TempDir(), "pcspill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dataDir := range []bool{false, true} {
+		dir := ""
+		if dataDir {
+			dir = t.TempDir()
+		}
+		c, err := New(Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+			ShuffleCapacity: 2, CheckpointInterval: 2, MemoryBudget: spillBudget,
+			MaxRetries: -1, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := intRecType(c)
+		loadIntRows(t, c, rec, "db", "rows", 4000, 499)
+		c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Delivery, Worker: 1, K: 5})
+		if err := writeIntAgg(t, c, rec); err == nil {
+			t.Fatal("crashing job with retries disabled succeeded")
+		}
+		assertNoJoinLeaks(t, c, fmt.Sprintf("failed job (dataDir=%v)", dataDir))
+		if dataDir {
+			assertNoSpillDirs(t, dir)
+		}
+	}
+	tmpAfter, err := filepath.Glob(filepath.Join(os.TempDir(), "pcspill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpAfter) != len(tmpBefore) {
+		t.Errorf("temp spill dirs grew from %d to %d across failed jobs", len(tmpBefore), len(tmpAfter))
+	}
+}
+
+// TestFailedJoinCleansUp fails the join mid-probe with retries disabled
+// and asserts both exchanges' retained pages and spill slots are released.
+func TestFailedJoinCleansUp(t *testing.T) {
+	cfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 1, MemoryBudget: spillBudget,
+		MaxRetries: -1}
+	c, rec := joinFixture(t, cfg, 600, 90, 18)
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Emit, Worker: 0, K: 3})
+	grpField := rec.Field("grp")
+	key := func(r object.Ref) uint64 {
+		return object.HashValue(object.Int64Value(object.GetI64(r, grpField)))
+	}
+	eq := func(l, r object.Ref) bool {
+		return object.GetI64(l, grpField) == object.GetI64(r, grpField)
+	}
+	err := c.HashPartitionJoin("db", "left", "db", "right", key, key, eq,
+		func(int, object.Ref, object.Ref) error { return nil })
+	if err == nil {
+		t.Fatal("crashing join with retries disabled succeeded")
+	}
+	assertNoJoinLeaks(t, c, "failed join")
+}
+
+// TestCoPartitionedJoinCrashRecovered crashes the zero-shuffle join's
+// emit once: the local inputs are front-end-owned, so the re-forked
+// backend re-probes and the emitted matches equal the crash-free run's,
+// each exactly once.
+func TestCoPartitionedJoinCrashRecovered(t *testing.T) {
+	run := func(c *Cluster, emp *object.TypeInfo, key func(object.Ref) uint64) [][]string {
+		deptField := emp.Field("dept")
+		salField := emp.Field("salary")
+		eq := func(l, r object.Ref) bool {
+			return object.GetStrField(l, deptField) == object.GetStrField(r, deptField)
+		}
+		perWorker := make([][]string, len(c.Workers))
+		var mu sync.Mutex
+		err := c.CoPartitionedJoin("db", "left", "db", "right", key, key, eq,
+			func(workerID int, l, r object.Ref) error {
+				mu.Lock()
+				perWorker[workerID] = append(perWorker[workerID],
+					fmt.Sprintf("%v|%v", object.GetF64(l, salField), object.GetF64(r, salField)))
+				mu.Unlock()
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return perWorker
+	}
+	flatten := func(perWorker [][]string) []string {
+		var rows []string
+		for _, ws := range perWorker {
+			rows = append(rows, ws...)
+		}
+		return rows
+	}
+	ref, refEmp, refKey := partitionFixture(t, 400, 60)
+	refWorkers := run(ref, refEmp, refKey)
+	wantRows := flatten(refWorkers)
+	if len(wantRows) == 0 {
+		t.Fatal("reference co-partitioned join emitted nothing")
+	}
+	// Target the first worker that owns enough matches for the injection.
+	target := -1
+	for w, rows := range refWorkers {
+		if len(rows) > 4 {
+			target = w
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no worker owns enough matches to crash")
+	}
+
+	c, emp, key := partitionFixture(t, 400, 60)
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Emit, Worker: target, K: 4})
+	gotRows := flatten(run(c, emp, key))
+	if c.Cfg.Fault.Fired() != 1 {
+		t.Fatal("the co-partitioned emit crash never fired")
+	}
+	if !equalRows(gotRows, wantRows) {
+		t.Errorf("recovered co-partitioned join differs from crash-free run (%d vs %d pairs)",
+			len(gotRows), len(wantRows))
+	}
+}

@@ -14,9 +14,53 @@ import (
 	"path/filepath"
 
 	"repro/internal/exchange"
+	"repro/internal/fault"
 	"repro/internal/object"
 	"repro/internal/storage"
 )
+
+// faultSpillStore wraps a worker's spill pool with the step's fault plan:
+// SpillEnqueue panics and SpillWrite/SpillRead injected I/O errors fire
+// before the pool is touched, so an injected failure never half-allocates
+// a slot — the governor's accounting and the pool's live-slot count stay
+// consistent through the failure.
+type faultSpillStore struct {
+	pool   *storage.SpillPool
+	plan   *fault.Plan
+	worker int
+}
+
+func (f *faultSpillStore) Spill(p *object.Page) (int, error) {
+	f.plan.Hit(fault.SpillEnqueue, f.worker)
+	if err := f.plan.ErrAt(fault.SpillWrite, f.worker); err != nil {
+		return 0, err
+	}
+	return f.pool.Spill(p)
+}
+
+func (f *faultSpillStore) SpillBytes(b []byte) (int, error) {
+	f.plan.Hit(fault.SpillEnqueue, f.worker)
+	if err := f.plan.ErrAt(fault.SpillWrite, f.worker); err != nil {
+		return 0, err
+	}
+	return f.pool.SpillBytes(b)
+}
+
+func (f *faultSpillStore) Load(slot int) (*object.Page, error) {
+	if err := f.plan.ErrAt(fault.SpillRead, f.worker); err != nil {
+		return nil, err
+	}
+	return f.pool.Load(slot)
+}
+
+func (f *faultSpillStore) LoadBytes(slot int) ([]byte, error) {
+	if err := f.plan.ErrAt(fault.SpillRead, f.worker); err != nil {
+		return nil, err
+	}
+	return f.pool.LoadBytes(slot)
+}
+
+func (f *faultSpillStore) Free(slot int) { f.pool.Free(slot) }
 
 // stepGovernors builds the per-worker memory governors for one streaming
 // step, or (nil, no-op) when Config.MemoryBudget is unset. The returned
@@ -30,9 +74,15 @@ func (c *Cluster) stepGovernors() ([]*exchange.Governor, func()) {
 	pools := make([]*storage.SpillPool, len(c.Workers))
 	closeAll := func() {
 		for _, sp := range pools {
-			if sp != nil {
-				_ = sp.Close()
+			if sp == nil {
+				continue
 			}
+			// A step that cleaned up fully freed every slot; anything
+			// still live is a leak the chaos campaign asserts against.
+			if n := sp.LiveSlots(); n > 0 {
+				c.Transport.NoteLeakedSlots(int64(n))
+			}
+			_ = sp.Close()
 		}
 	}
 	for i, w := range c.Workers {
@@ -45,7 +95,11 @@ func (c *Cluster) stepGovernors() ([]*exchange.Governor, func()) {
 		}
 		sp := storage.NewSpillPool(dir, w.Reg())
 		pools[i] = sp
-		govs[i] = exchange.NewGovernor(c.Cfg.MemoryBudget, sp, func(p *object.Page) { c.pool.Put(p) })
+		var store exchange.SpillStore = sp
+		if c.Cfg.Fault != nil {
+			store = &faultSpillStore{pool: sp, plan: c.Cfg.Fault, worker: i}
+		}
+		govs[i] = exchange.NewGovernor(c.Cfg.MemoryBudget, store, func(p *object.Page) { c.pool.Put(p) })
 	}
 	return govs, closeAll
 }

@@ -1,13 +1,12 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/exchange"
+	"repro/internal/fault"
 	"repro/internal/object"
 )
 
@@ -25,9 +24,12 @@ import (
 //     (right) side's stream as pages arrive — delivered in deterministic
 //     tag order and dealt round-robin across Config.Threads builder
 //     threads, whose tables merge bucket-wise in thread order — while
-//     buffering the probe (left) side's stream in tag order.
-//  3. When its build stream closes, each worker probes with its buffered
-//     left pages (contiguous-chunk parallel probe, thread-ordered emit).
+//     draining the probe (left) side's stream into the exchange's
+//     replay retention (metered against Config.MemoryBudget like any
+//     retained page).
+//  3. When its build stream closes, each worker rewinds the probe stream
+//     and probes it in windows of Config.CheckpointInterval pages
+//     (contiguous-chunk parallel probe, thread-ordered emit).
 //
 // keyL/keyR extract the join key hash from an object (the compiled key
 // lambdas); emit is invoked on each matching pair, running on the owning
@@ -39,43 +41,83 @@ import (
 // the barrier join did: an emit touching state shared across workers must
 // synchronize it.
 //
-// A backend crash in a user key lambda is recovered on either side of the
-// shuffle. A producer crash (the key panics while repartitioning) is
-// re-forked and re-run; the deterministic retry re-sends the same tags
-// and the lanes drop its duplicates at the sender. A consumer crash (the
-// key panics while building the table from the stream) restores the
-// build's checkpoint: the build clones its per-thread tables every
-// Config.CheckpointInterval pages, and the re-forked backend restores the
-// clones, rewinds both streams, and replays only the build pages past the
-// cut (the probe buffer replays whole — its pages were never
-// acknowledged) — match output is bit-for-bit identical to a crash-free
-// run. A crash during probe/emit still fails the join: matches may
-// already have reached user code. Config.BarrierShuffle restores the
-// ship-everything-then-consume schedule with identical results.
+// # Probe/emit recovery
+//
+// A backend crash anywhere in the join is recovered (within
+// Config.MaxRetries). A producer crash (the key panics while
+// repartitioning) is re-forked and re-run; the deterministic retry
+// re-sends the same tags and the lanes drop its duplicates at the sender.
+// A build-phase consumer crash restores the build's checkpoint: the build
+// clones its per-thread tables every Config.CheckpointInterval pages —
+// plus once at stream end — and the re-forked backend restores the clones,
+// rewinds both streams, and replays only the pages past their cuts. A
+// probe/emit-phase crash recovers the same way: the probe runs in windows
+// of Config.CheckpointInterval pages, checkpointing a probe cursor and
+// emitted-match count after each window and acknowledging the window's
+// pages to the exchange; the re-forked backend rebuilds the table from the
+// completed build's clones, rewinds the probe stream to the cursor, and
+// replays the suffix, skipping matches user code already observed — match
+// order equals page order, so the skip prefix is exact and emit sees every
+// match exactly once. Match output is bit-for-bit identical to a
+// crash-free run in every case. With recovery disabled
+// (CheckpointInterval < 0) any consumer crash fails the join.
+// Config.BarrierShuffle restores the ship-everything-then-consume schedule
+// with identical results.
 func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 	keyL, keyR func(object.Ref) uint64,
 	eq func(l, r object.Ref) bool,
 	emit func(workerID int, l, r object.Ref) error) error {
+	_, err := c.HashPartitionJoinStats(dbL, setL, dbR, setR, keyL, keyR, eq, emit)
+	return err
+}
+
+// JoinStats reports one hash-partition join's crash accounting.
+type JoinStats struct {
+	Retries int // backend crash retries, all roles
+	// RoleRetries breaks Retries out per role ("producer", "consumer" for
+	// the build phase, "probe" for the probe/emit phase).
+	RoleRetries map[string]int
+	// BuildRecoveries and ProbeRecoveries split the consumer-side
+	// recoveries by the phase the crash landed in.
+	BuildRecoveries int
+	ProbeRecoveries int
+	// Checkpoints counts the consumer recovery cuts taken (build clones +
+	// probe cursor saves across all workers).
+	Checkpoints int
+}
+
+// HashPartitionJoinStats is HashPartitionJoin returning its crash
+// accounting (see JoinStats).
+func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
+	keyL, keyR func(object.Ref) uint64,
+	eq func(l, r object.Ref) bool,
+	emit func(workerID int, l, r object.Ref) error) (*JoinStats, error) {
 
 	nw := len(c.Workers)
 	interval := c.checkpointEvery(nil)
 	// One governor per consumer backend, shared by both exchanges: the
-	// memory budget is per backend, not per shuffle. Delivered pages are
-	// consumer-owned on both sides (the build tables and the probe buffer
-	// reference them in place), so the budget governs undelivered lane
-	// pages; neither side's delivered pages recycle on acknowledge.
+	// memory budget is per backend, not per shuffle. Build-side delivered
+	// pages are consumer-owned (the tables reference them in place, so they
+	// live for the join regardless); probe-side delivered pages are
+	// exchange-owned replay retention — metered, evictable, and released
+	// once the probe acknowledges past them. The release is a no-op rather
+	// than a pool recycle because user emit code may hold refs into probe
+	// pages; dropping the exchange's reference lets the garbage collector
+	// reclaim them exactly when user code is done.
 	govs, closeGovs := c.stepGovernors()
 	defer closeGovs()
-	exL := c.newShuffleExchange(interval > 0, nil, govs)
+	exL := c.newShuffleExchange(interval > 0, func(*object.Page) {}, govs)
 	exR := c.newShuffleExchange(interval > 0, nil, govs)
 	cancel := func(err error) {
 		exL.Cancel(err)
 		exR.Cancel(err)
 	}
 
+	stats := &JoinStats{RoleRetries: map[string]int{}}
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	errs := make([]error, 3*nw)
-	recs := make([]*joinBuildRecovery, nw)
+	recs := make([]*joinRecovery, nw)
 	for i, w := range c.Workers {
 		// Producer roles: repartition-stream each side.
 		for s, side := range []struct {
@@ -86,25 +128,14 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 			wg.Add(1)
 			go func(slot int, w *Worker, ex *exchange.Exchange, db, set string, key func(object.Ref) uint64) {
 				defer wg.Done()
-				run := func() error {
-					return w.Front.Backend().Run(func() error {
-						return c.streamRepartition(db, set, key, w, ex)
-					})
-				}
-				err := run()
-				if errors.Is(err, errBackendDead) {
-					// The sibling consumer role's (recoverable) crash
-					// landed before this role entered the shared backend;
-					// the re-forked backend starts the stream untouched.
-					err = run()
-				}
-				if errors.Is(err, errBackendCrashed) {
-					// The key lambda crashed this producer's repartition:
-					// re-fork and re-run once — the deterministic retry
-					// re-sends the same tags and the lanes drop its
-					// duplicates at the sender, like the agg producers.
-					err = run()
-				}
+				err := c.runRole(w, roleProducer, "join repartition "+set, nil, func() {
+					mu.Lock()
+					stats.Retries++
+					stats.RoleRetries[roleProducer]++
+					mu.Unlock()
+				}, func() error {
+					return c.streamRepartition(db, set, key, w, ex)
+				})
 				if err != nil {
 					errs[slot] = err
 					cancel(err)
@@ -113,51 +144,68 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 				ex.CloseProducer(w.ID)
 			}(s*nw+i, w, side.ex, side.db, side.set, side.key)
 		}
-		// Consumer role: build from the right stream, buffer the left
-		// stream, probe, emit.
+		// Consumer role: build from the right stream, retain the left
+		// stream, probe in checkpointed windows, emit.
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
-			rec := &joinBuildRecovery{}
+			rec := &joinRecovery{}
 			recs[i] = rec
-			var probing atomic.Bool
-			attempt := func() (*Backend, error) {
-				backend := w.Front.Backend()
-				err := backend.Run(func() error {
-					if interval > 0 {
+			err := c.runRole(w, roleConsumer, "join build/probe",
+				func() bool { return interval > 0 },
+				func() {
+					mu.Lock()
+					stats.Retries++
+					if rec.built {
+						stats.RoleRetries[roleProbe]++
+						stats.ProbeRecoveries++
+					} else {
+						stats.RoleRetries[roleConsumer]++
+						stats.BuildRecoveries++
+					}
+					mu.Unlock()
+				}, func() error {
+					if interval <= 0 {
+						// Recovery disabled: the classic buffered path —
+						// gather both streams, probe the buffer once.
+						table, leftPages, err := c.gatherJoinStreams(exR, exL, i, keyR, interval, rec, true)
+						if err != nil {
+							return err
+						}
+						return parallelProbe(leftPages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
+							return emit(i, l, r)
+						})
+					}
+					var table *engine.JoinTable
+					if rec.built {
+						// Probe-phase crash: the completed build's clones
+						// rebuild the table without touching the build
+						// stream (already fully delivered and acked).
+						table = restoreJoinTable(rec.tables)
+					} else {
 						if err := exR.Rewind(i, rec.cut); err != nil {
 							return err
 						}
-						if err := exL.Rewind(i, 0); err != nil {
+						if err := exL.Rewind(i, rec.probeCursor); err != nil {
 							return err
 						}
+						t, _, err := c.gatherJoinStreams(exR, exL, i, keyR, interval, rec, false)
+						if err != nil {
+							return err
+						}
+						table = t
+						// The epilogue cut cloned the complete tables (or
+						// the last interval cut already covered the stream);
+						// from here on a crash is a probe-phase crash.
+						rec.built = true
 					}
-					table, leftPages, err := c.gatherJoinStreams(exR, exL, i, keyR, interval, rec)
-					if err != nil {
+					if err := exL.Rewind(i, rec.probeCursor); err != nil {
 						return err
 					}
-					probing.Store(true)
-					return parallelProbe(leftPages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
+					return c.probeEmitStream(exL, i, table, keyL, eq, interval, rec, func(l, r object.Ref) error {
 						return emit(i, l, r)
 					})
 				})
-				return backend, err
-			}
-			_, err := attempt()
-			if errors.Is(err, errBackendDead) {
-				// A sibling producer role's crash landed before this role
-				// entered the shared backend (Run rejects work only at
-				// entry); the re-forked backend starts the gather
-				// untouched.
-				_, err = attempt()
-			}
-			if errors.Is(err, errBackendCrashed) && interval > 0 && !probing.Load() {
-				// Build-phase consumer crash: re-fork, restore the
-				// checkpointed tables, replay both streams past their
-				// cuts. (Once probing started, matches may have been
-				// emitted and the crash must fail the join.)
-				_, err = attempt()
-			}
 			if err != nil {
 				errs[2*nw+i] = err
 				cancel(err)
@@ -171,15 +219,23 @@ func (c *Cluster) HashPartitionJoin(dbL, setL, dbR, setR string,
 			ckpts += rec.saves
 		}
 	}
+	stats.Checkpoints = ckpts
 	c.Transport.NoteExchange(exL.MaxBytesInFlight(), exL.MaxReorderPages(), 0)
 	c.Transport.NoteExchange(exR.MaxBytesInFlight(), exR.MaxReorderPages(), ckpts)
-	c.spillTelemetry(govs)
 	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("cluster: hash-partition join %s.%s ⋈ %s.%s: %w", dbL, setL, dbR, setR, err)
+			// Failure cleanup: all roles have returned. Release both
+			// exchanges' undelivered and retained pages so the step's
+			// governors and spill pools close with zero live slots. (Join
+			// recovery state is in-memory clones — nothing else to drop.)
+			exL.Discard()
+			exR.Discard()
+			c.spillTelemetry(govs)
+			return stats, fmt.Errorf("cluster: hash-partition join %s.%s ⋈ %s.%s: %w", dbL, setL, dbR, setR, err)
 		}
 	}
-	return nil
+	c.spillTelemetry(govs)
+	return stats, nil
 }
 
 // streamRepartition runs one worker's repartition of one set across
@@ -203,6 +259,7 @@ func (c *Cluster) streamRepartition(db, set string, key func(object.Ref) uint64,
 		}
 		seqs := make([]int, nw)
 		sink.SetOnSeal(func(part int, p *object.Page) error {
+			c.Cfg.Fault.Hit(fault.PageSeal, w.ID)
 			tag := exchange.Tag{Producer: w.ID, Thread: t, Seq: seqs[part]}
 			seqs[part]++
 			return streamErr(ex.Send(tag, part, p, stop))
@@ -237,12 +294,14 @@ func (c *Cluster) streamRepartition(db, set string, key func(object.Ref) uint64,
 
 // gatherJoinStreams overlaps the join's two shuffles with the build: the
 // build-side stream feeds the hash table as pages arrive while the
-// probe-side stream is buffered in delivery order. Both streams drain
-// concurrently so neither side's producers stall on a full lane longer
-// than the backpressure bound. Panics in the user key lambda re-raise on
-// the caller (the backend goroutine).
+// probe-side stream drains concurrently, so neither side's producers stall
+// on a full lane longer than the backpressure bound. With bufferProbe the
+// drained probe pages are returned for the non-recoverable buffered probe;
+// otherwise they are dropped on delivery — the exchange's replay retention
+// holds them for the checkpointed probe to rewind over. Panics in the user
+// key lambda re-raise on the caller (the backend goroutine).
 func (c *Cluster) gatherJoinStreams(exBuild, exProbe *exchange.Exchange, worker int,
-	key func(object.Ref) uint64, interval int, rec *joinBuildRecovery) (*engine.JoinTable, []*object.Page, error) {
+	key func(object.Ref) uint64, interval int, rec *joinRecovery, bufferProbe bool) (*engine.JoinTable, []*object.Page, error) {
 	var (
 		table      *engine.JoinTable
 		leftPages  []*object.Page
@@ -272,7 +331,9 @@ func (c *Cluster) gatherJoinStreams(exBuild, exProbe *exchange.Exchange, worker 
 			if !ok {
 				return
 			}
-			leftPages = append(leftPages, p)
+			if bufferProbe {
+				leftPages = append(leftPages, p)
+			}
 		}
 	}()
 	wg.Wait()
@@ -297,12 +358,15 @@ func (c *Cluster) gatherJoinStreams(exBuild, exProbe *exchange.Exchange, worker 
 // join.
 //
 // With interval > 0 the build checkpoints for consumer crash recovery:
-// every interval pages the quiesced per-thread tables are cloned into rec
-// and the cut acknowledged to the exchange; a resumed build (rec already
-// holding clones) starts from those tables at rec.cut, fed by an exchange
-// rewound to the same cut, and reproduces the crash-free table exactly.
+// every interval pages — and once more at stream end — the quiesced
+// per-thread tables are cloned into rec and the cut acknowledged to the
+// exchange; a resumed build (rec already holding clones) starts from those
+// tables at rec.cut, fed by an exchange rewound to the same cut, and
+// reproduces the crash-free table exactly. The epilogue clone means rec
+// always holds the complete table set once the stream closes, which is
+// what probe-phase recovery restores from.
 func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
-	key func(object.Ref) uint64, threads, interval int, rec *joinBuildRecovery) (*engine.JoinTable, error) {
+	key func(object.Ref) uint64, threads, interval int, rec *joinRecovery) (*engine.JoinTable, error) {
 	if threads < 1 {
 		threads = 1
 	}
@@ -322,17 +386,12 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 			tables[t] = engine.NewJoinTable()
 		}
 	}
-	next := func() (*object.Page, bool, error) { return ex.Recv(worker) }
-	if hook := c.testJoinBuild; hook != nil {
-		base, idx := next, start
-		next = func() (*object.Page, bool, error) {
-			p, ok, err := base()
-			if ok {
-				hook(worker, idx)
-				idx++
-			}
-			return p, ok, err
+	next := func() (*object.Page, bool, error) {
+		p, ok, err := ex.Recv(worker)
+		if ok {
+			c.Cfg.Fault.Hit(fault.BuildPage, worker)
 		}
+		return p, ok, err
 	}
 	fold := func(t int, p *object.Page) error {
 		if p.Root() == 0 {
@@ -352,14 +411,7 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 	} else {
 		err = engine.StreamPagesCheckpointed(next, threads, false, start, interval, fold,
 			func(delivered int, final bool) error {
-				if final {
-					// The build's recovery window closes with the stream:
-					// no user code runs between build and probe, and probe
-					// crashes are not replayed — skip the epilogue clone
-					// (and its ack, keeping rec and the exchange cursor
-					// consistent at the last real cut).
-					return nil
-				}
+				c.Cfg.Fault.Hit(fault.Checkpoint, worker)
 				clones := make([]*engine.JoinTable, len(tables))
 				for t := range tables {
 					clones[t] = tables[t].Clone()
@@ -377,6 +429,119 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 		table.Merge(tbl)
 	}
 	return table, nil
+}
+
+// restoreJoinTable rebuilds the probe table from a completed build's
+// checkpointed per-thread clones, merging copies so the recovery record
+// stays pristine for the next crash.
+func restoreJoinTable(tables []*engine.JoinTable) *engine.JoinTable {
+	table := engine.NewJoinTable()
+	for _, tbl := range tables {
+		table.Merge(tbl.Clone())
+	}
+	return table
+}
+
+// probeEmitStream is the checkpointed probe/emit phase: it consumes the
+// rewound probe stream in windows of interval pages, probes each window in
+// parallel (collectProbeMatches — match order is page order, independent
+// of the thread split), and emits the matches in order, maintaining the
+// exactly-once cursor as it goes. After each window it checkpoints
+// (rec.probeCursor/rec.emittedAtCut) and acknowledges the window's pages,
+// bounding both the replay window and — under Config.MemoryBudget — the
+// probe side's retained memory. On a replayed window, matches below
+// rec.emitted were already observed by user code and are skipped: window
+// boundaries are a pure function of the cursor, so the replayed window's
+// match sequence is identical to the crashed attempt's and the skip prefix
+// is exact.
+func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engine.JoinTable,
+	key func(object.Ref) uint64, eq func(l, r object.Ref) bool,
+	interval int, rec *joinRecovery, emit func(l, r object.Ref) error) error {
+	counter := rec.emittedAtCut
+	cursor := rec.probeCursor
+	for {
+		var window []*object.Page
+		done := false
+		for len(window) < interval {
+			p, ok, err := ex.Recv(worker)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				done = true
+				break
+			}
+			c.Cfg.Fault.Hit(fault.ProbePage, worker)
+			window = append(window, p)
+		}
+		if len(window) > 0 {
+			matches, err := collectProbeMatches(window, table, key, eq, c.Cfg.Threads)
+			if err != nil {
+				return err
+			}
+			for _, m := range matches {
+				if counter < rec.emitted {
+					// Replay of a match user code already observed.
+					counter++
+					continue
+				}
+				c.Cfg.Fault.Hit(fault.Emit, worker)
+				if err := emit(m[0], m[1]); err != nil {
+					return err
+				}
+				counter++
+				// The emit landed; a crash past this point replays the
+				// window but skips this match.
+				rec.emitted = counter
+			}
+			cursor += len(window)
+			c.Cfg.Fault.Hit(fault.Checkpoint, worker)
+			rec.probeCursor = cursor
+			rec.emittedAtCut = counter
+			rec.saves++
+			if err := ex.Ack(worker, cursor); err != nil {
+				return err
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// collectProbeMatches probes pages through the read-only build table
+// across threads executor threads and returns the matches in page order:
+// each thread probes a contiguous chunk into a private buffer, and the
+// buffers concatenate in thread order — exactly the sequence a sequential
+// probe over the same pages would emit, regardless of the thread split.
+func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
+	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, threads int) ([][2]object.Ref, error) {
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
+	matches := make([][][2]object.Ref, len(chunks))
+	err := engine.ParallelFor(len(chunks), func(t int) error {
+		var out [][2]object.Ref
+		for _, rng := range chunks[t] {
+			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
+			for j := rng.Start; j < rng.End; j++ {
+				l := root.HandleAt(j)
+				for _, r := range table.M[key(l)] {
+					if eq(l, r) {
+						out = append(out, [2]object.Ref{l, r})
+					}
+				}
+			}
+		}
+		matches[t] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all [][2]object.Ref
+	for _, ms := range matches {
+		all = append(all, ms...)
+	}
+	return all, nil
 }
 
 // parallelBuildTable builds a probe hash table over locally materialized
@@ -412,14 +577,13 @@ func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threa
 	return table, nil
 }
 
-// parallelProbe streams the probe side through the read-only build table
-// across threads executor threads. Each thread buffers its chunk's
-// matching pairs; after the barrier the pairs are emitted in thread order —
-// exactly the order a sequential probe would produce — on the calling
-// goroutine, so one worker never invokes emit from two threads at once.
-// The buffering costs O(this worker's matches); a single chunk (Threads=1,
-// or fewer batches than threads) streams each match straight to emit with
-// no buffer, like the sequential path always did.
+// parallelProbe probes the buffered probe side through the read-only build
+// table across threads executor threads (the CheckpointInterval < 0 path
+// and CoPartitionedJoin's local probes). Matches are emitted in page order
+// via collectProbeMatches on the calling goroutine, so one worker never
+// invokes emit from two threads at once. A single chunk (Threads=1, or
+// fewer batches than threads) streams each match straight to emit with no
+// buffer, like the sequential path always did.
 func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 	key func(object.Ref) uint64, eq func(l, r object.Ref) bool,
 	threads int, emit func(l, r object.Ref) error) error {
@@ -442,31 +606,13 @@ func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 		}
 		return nil
 	}
-	matches := make([][][2]object.Ref, len(chunks))
-	err := engine.ParallelFor(len(chunks), func(t int) error {
-		var out [][2]object.Ref
-		for _, rng := range chunks[t] {
-			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
-			for j := rng.Start; j < rng.End; j++ {
-				l := root.HandleAt(j)
-				for _, r := range table.M[key(l)] {
-					if eq(l, r) {
-						out = append(out, [2]object.Ref{l, r})
-					}
-				}
-			}
-		}
-		matches[t] = out
-		return nil
-	})
+	matches, err := collectProbeMatches(pages, table, key, eq, threads)
 	if err != nil {
 		return err
 	}
-	for _, ms := range matches {
-		for _, m := range ms {
-			if err := emit(m[0], m[1]); err != nil {
-				return err
-			}
+	for _, m := range matches {
+		if err := emit(m[0], m[1]); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/object"
 )
 
@@ -107,6 +108,13 @@ func (c *Cluster) SendDataPartitioned(db, set string, pages []*object.Page,
 // and probes with its local left-side objects. Build and probe run across
 // Config.Threads executor threads with the same thread-ordered merge and
 // buffered emit as HashPartitionJoin, so match order is deterministic.
+//
+// A backend crash anywhere in the local build or probe is recovered
+// (within Config.MaxRetries): the inputs are the worker's own stored
+// pages, owned by the crash-proof front end, so the re-forked backend
+// rebuilds the table and re-probes deterministically; an emitted-match
+// cursor skips the matches user code already observed, keeping emit
+// exactly-once across crashes.
 func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 	keyL, keyR func(object.Ref) uint64,
 	eq func(l, r object.Ref) bool,
@@ -131,7 +139,13 @@ func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
-			errs[i] = w.Front.Backend().Run(func() error {
+			// emitted survives attempts (scheduler-owned, like a recovery
+			// record): matches below it were already observed by user code
+			// and a retried probe skips them — match order is page order,
+			// so the skip prefix is exact.
+			emitted := 0
+			errs[i] = c.runRole(w, roleProbe, "co-partitioned join", nil, nil, func() error {
+				counter := 0
 				var rightPages []*object.Page
 				if pages, err := w.Front.Store.Pages(dbR, setR); err == nil {
 					rightPages = pages
@@ -145,7 +159,17 @@ func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 					return nil
 				}
 				return parallelProbe(pages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
-					return emit(i, l, r)
+					if counter < emitted {
+						counter++
+						return nil
+					}
+					c.Cfg.Fault.Hit(fault.Emit, w.ID)
+					if err := emit(i, l, r); err != nil {
+						return err
+					}
+					counter++
+					emitted = counter
+					return nil
 				})
 			})
 		}(i, w)

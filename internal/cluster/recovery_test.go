@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lambda"
 	"repro/internal/object"
 )
@@ -136,15 +137,10 @@ func TestConsumerCrashRecoveryAggMerge(t *testing.T) {
 		}
 		rec := intRecType(c)
 		loadIntRows(t, c, rec, "db", "rows", n, groups)
-		var crashed int32
-		c.testAggConsume = func(worker, index int) {
-			// Crash worker 1's merge on the page after the first cut.
-			if worker == 1 && index == interval+1 && atomic.CompareAndSwapInt32(&crashed, 0, 1) {
-				panic("user combine bug mid-merge")
-			}
-		}
+		// Crash worker 1's merge on the delivery after the first cut.
+		c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Delivery, Worker: 1, K: interval + 1})
 		gotRows, stats := runIntAgg(t, c, rec, nil)
-		if atomic.LoadInt32(&crashed) != 1 {
+		if c.Cfg.Fault.Fired() != 1 {
 			t.Fatalf("w=%d t=%d: the consumer crash never fired", cell.workers, cell.threads)
 		}
 		if stats.ConsumerRecoveries != 1 {
@@ -228,14 +224,9 @@ func TestConsumerCrashRecoveryDataDir(t *testing.T) {
 	wantRows, _ := runIntAgg(t, ref, refRec, nil)
 
 	c, rec := mk(t.TempDir())
-	var crashed int32
-	c.testAggConsume = func(worker, index int) {
-		if worker == 0 && index == interval+1 && atomic.CompareAndSwapInt32(&crashed, 0, 1) {
-			panic("user combine bug mid-merge (disk-backed)")
-		}
-	}
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Delivery, Worker: 0, K: interval + 1})
 	gotRows, stats := runIntAgg(t, c, rec, nil)
-	if atomic.LoadInt32(&crashed) != 1 {
+	if c.Cfg.Fault.Fired() != 1 {
 		t.Fatal("the consumer crash never fired")
 	}
 	if stats.ConsumerRecoveries != 1 {
@@ -269,14 +260,9 @@ func TestConsumerCrashRecoveryBarrierMode(t *testing.T) {
 	}
 	rec := intRecType(c)
 	loadIntRows(t, c, rec, "db", "rows", 3000, 12)
-	var crashed int32
-	c.testAggConsume = func(worker, index int) {
-		if worker == 1 && index == interval+1 && atomic.CompareAndSwapInt32(&crashed, 0, 1) {
-			panic("user combine bug mid-merge (barrier mode)")
-		}
-	}
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Delivery, Worker: 1, K: interval + 1})
 	gotRows, stats := runIntAgg(t, c, rec, nil)
-	if atomic.LoadInt32(&crashed) != 1 {
+	if c.Cfg.Fault.Fired() != 1 {
 		t.Fatal("the consumer crash never fired")
 	}
 	if stats.ConsumerRecoveries != 1 {
@@ -348,15 +334,10 @@ func TestConsumerCrashRecoveryJoinBuild(t *testing.T) {
 		rec := intRecType(c)
 		loadIntRows(t, c, rec, "db", "left", left, groups)
 		loadIntRows(t, c, rec, "db", "right", right, groups)
-		var crashed int32
-		c.testJoinBuild = func(worker, index int) {
-			// Crash worker 0's build on the page after the first cut.
-			if worker == 0 && index == 1 && atomic.CompareAndSwapInt32(&crashed, 0, 1) {
-				panic("user key lambda bug mid-build")
-			}
-		}
+		// Crash worker 0's build on the page after the first cut.
+		c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.BuildPage, Worker: 0, K: 1})
 		gotRows := joinPairsByWorker(t, c, rec)
-		if atomic.LoadInt32(&crashed) != 1 {
+		if c.Cfg.Fault.Fired() != 1 {
 			t.Fatalf("w=%d t=%d: the build crash never fired", cell.workers, cell.threads)
 		}
 		if !equalRows(gotRows, wantRows) {

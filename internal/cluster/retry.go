@@ -1,0 +1,106 @@
+package cluster
+
+// Bounded, accounted crash retry. Every piece of user-code work a worker
+// backend runs — a stage pipeline, a shuffle producer, a streaming
+// consumer, a join probe — goes through runRole, which owns the whole
+// crash policy in one place:
+//
+//   - A panic kills the backend (Backend.Run converts it to
+//     errBackendCrashed); the front end re-forks and, when the role is
+//     recoverable, runRole retries it up to Config.MaxRetries times.
+//   - A retried attempt that crashes with a panic message identical to the
+//     previous attempt's is a deterministic user bug — re-running the same
+//     deterministic work produced the same crash — and fails the job
+//     immediately, naming the role and worker, instead of burning the
+//     remaining retry budget on a bug no re-fork will absorb.
+//   - errBackendDead at entry (a sibling role crashed the shared backend
+//     between our Backend() fetch and Run) is not this role's crash: the
+//     role re-fetches a fresh backend without consuming a retry, bounded
+//     so two roles cannot ping-pong a dying backend forever.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Role labels for retry accounting (ExecStats.RoleRetries keys) and
+// failure messages.
+const (
+	rolePipeline = "pipeline"
+	roleProducer = "producer"
+	roleConsumer = "consumer"
+	roleProbe    = "probe"
+)
+
+// maxRetries resolves Config.MaxRetries: zero means the historical one
+// retry, negative means none.
+func (c *Cluster) maxRetries() int {
+	if c.Cfg.MaxRetries < 0 {
+		return 0
+	}
+	if c.Cfg.MaxRetries == 0 {
+		return 1
+	}
+	return c.Cfg.MaxRetries
+}
+
+// crashMessage strips the worker-specific prefix Backend.Run wraps around
+// a recovered panic, leaving just the panic's own text for the
+// identical-crash comparison.
+func crashMessage(err error) string {
+	s := err.Error()
+	if i := strings.Index(s, "): "); i >= 0 {
+		return s[i+len("): "):]
+	}
+	return s
+}
+
+// runRole executes body on w's live backend, applying the crash policy
+// above. recoverable gates retries (e.g. consumer recovery needs a
+// checkpoint interval); onRetry runs before each recovery attempt, on the
+// scheduler goroutine, for stats accounting. what names the work in errors
+// ("stage 2 pre-aggregation", "join probe").
+func (c *Cluster) runRole(w *Worker, role, what string, recoverable func() bool, onRetry func(), body func() error) error {
+	max := c.maxRetries()
+	attempt := 0
+	lastCrash := ""
+	// A dead backend at entry means a sibling crashed it; re-fetching is
+	// free but bounded so a persistently crashing sibling cannot spin us.
+	deadBudget := 4 * (max + 2)
+	for {
+		entered := false
+		err := w.Front.Backend().Run(func() error {
+			entered = true
+			return body()
+		})
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errBackendDead) && !entered {
+			if deadBudget <= 0 {
+				return fmt.Errorf("cluster: %s role (%s) on worker %d could not start: %w", role, what, w.ID, err)
+			}
+			deadBudget--
+			continue
+		}
+		if !errors.Is(err, errBackendCrashed) {
+			return err
+		}
+		if recoverable != nil && !recoverable() {
+			return err
+		}
+		msg := crashMessage(err)
+		if lastCrash != "" && msg == lastCrash {
+			return fmt.Errorf("cluster: %s role (%s) on worker %d failed deterministically (identical crash on retry): %w", role, what, w.ID, err)
+		}
+		if attempt >= max {
+			return fmt.Errorf("cluster: %s role (%s) on worker %d exhausted %d crash retries: %w", role, what, w.ID, max, err)
+		}
+		lastCrash = msg
+		attempt++
+		if onRetry != nil {
+			onRetry()
+		}
+	}
+}

@@ -9,9 +9,9 @@ package cluster
 import (
 	"os"
 	"path/filepath"
-	"sync/atomic"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/object"
 )
 
@@ -105,14 +105,9 @@ func TestConsumerCrashRecoverySpillAggMerge(t *testing.T) {
 	}
 	rec := intRecType(c)
 	loadIntRows(t, c, rec, "db", "rows", n, groups)
-	var crashed int32
-	c.testAggConsume = func(worker, index int) {
-		if worker == 1 && index == interval+1 && atomic.CompareAndSwapInt32(&crashed, 0, 1) {
-			panic("user combine bug mid-merge (spilling)")
-		}
-	}
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Delivery, Worker: 1, K: interval + 1})
 	gotRows, stats := runIntAgg(t, c, rec, nil)
-	if atomic.LoadInt32(&crashed) != 1 {
+	if c.Cfg.Fault.Fired() != 1 {
 		t.Fatal("the consumer crash never fired")
 	}
 	if stats.ConsumerRecoveries != 1 {
@@ -146,14 +141,9 @@ func TestConsumerCrashRecoverySpillDataDir(t *testing.T) {
 
 	dir := t.TempDir()
 	c, rec := mk(dir, spillBudget)
-	var crashed int32
-	c.testAggConsume = func(worker, index int) {
-		if worker == 0 && index == interval+1 && atomic.CompareAndSwapInt32(&crashed, 0, 1) {
-			panic("user combine bug mid-merge (disk-backed, spilling)")
-		}
-	}
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Delivery, Worker: 0, K: interval + 1})
 	gotRows, stats := runIntAgg(t, c, rec, nil)
-	if atomic.LoadInt32(&crashed) != 1 {
+	if c.Cfg.Fault.Fired() != 1 {
 		t.Fatal("the consumer crash never fired")
 	}
 	if stats.ConsumerRecoveries != 1 {
@@ -193,14 +183,9 @@ func TestConsumerCrashRecoverySpillJoinBuild(t *testing.T) {
 	rec := intRecType(c)
 	loadIntRows(t, c, rec, "db", "left", left, groups)
 	loadIntRows(t, c, rec, "db", "right", right, groups)
-	var crashed int32
-	c.testJoinBuild = func(worker, index int) {
-		if worker == 0 && index == 1 && atomic.CompareAndSwapInt32(&crashed, 0, 1) {
-			panic("user key lambda bug mid-build (spilling)")
-		}
-	}
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.BuildPage, Worker: 0, K: 1})
 	gotRows := joinPairsByWorker(t, c, rec)
-	if atomic.LoadInt32(&crashed) != 1 {
+	if c.Cfg.Fault.Fired() != 1 {
 		t.Fatal("the build crash never fired")
 	}
 	if !equalRows(gotRows, wantRows) {
@@ -266,12 +251,7 @@ func TestSpillFileLeak(t *testing.T) {
 	}
 	rec2 := intRecType(c2)
 	loadIntRows(t, c2, rec2, "db", "rows", 3000, 499)
-	var crashed int32
-	c2.testAggConsume = func(worker, index int) {
-		if worker == 1 && index == 3 && atomic.CompareAndSwapInt32(&crashed, 0, 1) {
-			panic("user combine bug (leak check)")
-		}
-	}
+	c2.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Delivery, Worker: 1, K: 3})
 	if rows, _ := runIntAgg(t, c2, rec2, nil); len(rows) != 499 {
 		t.Fatalf("recovered aggregation produced %d groups, want 499", len(rows))
 	}

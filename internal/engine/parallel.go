@@ -150,9 +150,11 @@ func ParallelThreads(n int, body func(t int, stop <-chan struct{}) error) error 
 // resumed work lands on the same threads in the same order.
 //
 // interval <= 0 disables the periodic cuts; the end-of-stream cut still
-// runs, with final=true — callers whose recovery window closes when the
-// stream ends (the join build: no user code runs between build and probe)
-// can skip the epilogue snapshot. Panics in body re-raise on the caller
+// runs, with final=true — it is skipped only when the last periodic cut
+// already covered every delivered page, so after a clean return the
+// caller's latest snapshot always describes the complete stream (the join
+// build relies on this: its epilogue clone is what probe-phase recovery
+// restores the table from). Panics in body re-raise on the caller
 // after all threads drain
 // (preserving the backend-crash discipline) and skip any pending cut, so
 // the last successful checkpoint remains the recovery point. Unlike

@@ -194,8 +194,10 @@ type Exchange struct {
 	maxReorder  atomic.Int64 // max undelivered-page backlog of any consumer
 
 	// Barrier-mode ready[c] closes when consumer c's whole input is
-	// buffered behind its lanes.
-	ready []chan struct{}
+	// buffered behind its lanes; drainWG tracks the drainer goroutines so
+	// Discard can wait them out.
+	ready   []chan struct{}
+	drainWG sync.WaitGroup
 }
 
 // New builds an exchange. In Barrier mode it immediately starts the drainer
@@ -668,6 +670,9 @@ func (ex *Exchange) Recv(consumer int) (*object.Page, bool, error) {
 			// Recv settles it (or the consumer takes ownership below).
 			var err error
 			if p, err = g.loadSlot(m.slot); err != nil {
+				// The message left the lane, so the failure-path sweep can
+				// no longer see this slot: free it here.
+				g.Free(m.slot)
 				return nil, false, err
 			}
 		}
@@ -738,6 +743,78 @@ func (ex *Exchange) Ack(consumer, upto int) error {
 	return nil
 }
 
+// Discard releases every page the exchange still holds — undelivered lane
+// messages (and barrier drain buffers) plus the retention windows — ending
+// their governor claims: byte reservations return to the budget and spill
+// slots free, so a failed step's pools close with zero live slots. It is
+// the failure path's cleanup: call it only after every producer and
+// consumer role has returned and the step is being abandoned (a successful
+// step drains and acknowledges everything, leaving nothing to discard).
+// Page references are dropped for the garbage collector, never recycled —
+// a shipped page's capacity need not match the caller's pool, and user
+// code may still hold refs into delivered pages.
+func (ex *Exchange) Discard() {
+	// Abandoned senders are gone by contract, but barrier drainers exit
+	// only on lane close or cancel; cancel (idempotent — the first real
+	// cause wins) and wait so no drainer races the sweep below.
+	ex.Cancel(errors.New("exchange: discarded"))
+	ex.drainWG.Wait()
+	for p := range ex.lanes {
+		for t := range ex.lanes[p] {
+			for c, ln := range ex.lanes[p][t] {
+				if ln.buf != nil {
+					ln.buf.mu.Lock()
+					for _, m := range ln.buf.msgs[ln.buf.next:] {
+						ex.discardMessage(c, m)
+					}
+					ln.buf.msgs, ln.buf.next = nil, 0
+					ln.buf.mu.Unlock()
+				}
+				for drain := true; drain; {
+					select {
+					case m, ok := <-ln.ch:
+						if !ok {
+							drain = false
+							break
+						}
+						ex.discardMessage(c, m)
+					default:
+						drain = false
+					}
+				}
+			}
+		}
+	}
+	for c, r := range ex.recvs {
+		g := ex.governor(c)
+		for i := range r.retained {
+			e := &r.retained[i]
+			if g != nil {
+				if e.reserved {
+					g.ReleaseBytes(int64(e.size))
+					e.reserved = false
+				}
+				g.Free(e.slot)
+			}
+			e.page = nil
+		}
+		r.retained = nil
+		r.pending = -1
+	}
+}
+
+// discardMessage drops one undelivered message: in-flight accounting
+// reverses and the governor claim on its bytes ends. Thread-close markers
+// carry nothing.
+func (ex *Exchange) discardMessage(consumer int, m message) {
+	if m.size == 0 {
+		return
+	}
+	ex.inFlight.Add(-int64(m.size))
+	ex.recvs[consumer].backlog.Add(-1)
+	ex.unship(consumer, m)
+}
+
 // Rewind moves the consumer's delivery cursor back to global index cursor
 // (≥ the last acknowledged index): subsequent Recv calls replay the
 // retained pages from there in the original order, then continue live. The
@@ -772,7 +849,9 @@ func (ex *Exchange) startBarrierDrains() {
 		for t := range ex.lanes[p] {
 			for c, ln := range ex.lanes[p][t] {
 				ln.buf = &drainBuf{}
+				ex.drainWG.Add(1)
 				go func(ln *lane, wg *sync.WaitGroup) {
+					defer ex.drainWG.Done()
 					defer wg.Done()
 					for {
 						select {

@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestHitFiresOnceAtK arms a panic at the 3rd hit and checks it fires
+// there, exactly once, and never again on later hits.
+func TestHitFiresOnceAtK(t *testing.T) {
+	p := NewPlan(Injection{Site: Delivery, Worker: 1, K: 2})
+	fire := func(site Site, worker int) (crashed *Crash) {
+		defer func() {
+			if r := recover(); r != nil {
+				crashed = r.(*Crash)
+			}
+		}()
+		p.Hit(site, worker)
+		return nil
+	}
+	if c := fire(Delivery, 1); c != nil {
+		t.Fatalf("hit 0 fired: %v", c)
+	}
+	if c := fire(Delivery, 0); c != nil {
+		t.Fatalf("other worker fired: %v", c)
+	}
+	if c := fire(PageSeal, 1); c != nil {
+		t.Fatalf("other site fired: %v", c)
+	}
+	if c := fire(Delivery, 1); c != nil {
+		t.Fatalf("hit 1 fired: %v", c)
+	}
+	c := fire(Delivery, 1)
+	if c == nil {
+		t.Fatal("hit 2 did not fire")
+	}
+	if c.Site != Delivery || c.Worker != 1 || c.K != 2 {
+		t.Fatalf("crash = %+v", c)
+	}
+	if p.Fired() != 1 || p.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d, want 1/0", p.Fired(), p.Pending())
+	}
+	// Fire-once: the counter keeps advancing but the injection is spent.
+	for i := 0; i < 10; i++ {
+		if c := fire(Delivery, 1); c != nil {
+			t.Fatalf("injection fired twice on hit %d", i)
+		}
+	}
+}
+
+// TestErrAtInjectsErrorSitesOnly checks error sites return *InjectedError
+// through ErrAt and never panic through Hit, and vice versa.
+func TestErrAtInjectsErrorSitesOnly(t *testing.T) {
+	p := NewPlan(
+		Injection{Site: SpillWrite, Worker: 0, K: 1},
+		Injection{Site: Emit, Worker: 0, K: 0},
+	)
+	if err := p.ErrAt(SpillWrite, 0); err != nil {
+		t.Fatalf("hit 0 errored: %v", err)
+	}
+	err := p.ErrAt(SpillWrite, 0)
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("hit 1 = %v, want *InjectedError", err)
+	}
+	// A panic-site injection is invisible to ErrAt...
+	if err := p.ErrAt(Emit, 0); err != nil {
+		t.Fatalf("ErrAt on a panic site returned %v", err)
+	}
+	// ...and Hit on a (different) error site is a no-op even when armed.
+	p2 := NewPlan(Injection{Site: SpillRead, Worker: 0, K: 0})
+	p2.Hit(SpillRead, 0) // must not panic
+	if p2.Fired() != 0 {
+		t.Fatal("Hit fired an error-site injection")
+	}
+}
+
+// TestNilPlanIsSafe checks all methods no-op on a nil *Plan — the
+// production default.
+func TestNilPlanIsSafe(t *testing.T) {
+	var p *Plan
+	p.Hit(Delivery, 0)
+	if err := p.ErrAt(SpillWrite, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Fired() != 0 || p.Pending() != 0 || p.Injections() != nil {
+		t.Fatal("nil plan reported armed state")
+	}
+	if p.String() != "no faults" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+// TestSeededIsReproducibleAndCoversSites checks the same seed yields the
+// same schedule, and consecutive seeds cycle through every site.
+func TestSeededIsReproducibleAndCoversSites(t *testing.T) {
+	sites := []Site{PageSeal, Delivery, BuildPage, ProbePage, Emit}
+	a := Seeded(42, 4, sites).Injections()
+	b := Seeded(42, 4, sites).Injections()
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("seed 42 not reproducible: %v vs %v", a, b)
+	}
+	seen := map[Site]bool{}
+	for seed := int64(0); seed < int64(len(sites)); seed++ {
+		in := Seeded(seed, 4, sites).Injections()[0]
+		seen[in.Site] = true
+		if in.Worker < 0 || in.Worker >= 4 {
+			t.Fatalf("seed %d picked worker %d", seed, in.Worker)
+		}
+	}
+	for _, s := range sites {
+		if !seen[s] {
+			t.Errorf("site %s never chosen across one seed cycle", s)
+		}
+	}
+}
+
+// TestConcurrentHits hammers one site from many goroutines and checks
+// exactly one fires the armed injection.
+func TestConcurrentHits(t *testing.T) {
+	p := NewPlan(Injection{Site: PageSeal, Worker: 2, K: 50})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	crashes := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							crashes++
+							mu.Unlock()
+						}
+					}()
+					p.Hit(PageSeal, 2)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if crashes != 1 {
+		t.Fatalf("crashes = %d, want exactly 1", crashes)
+	}
+}
