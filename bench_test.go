@@ -150,6 +150,20 @@ func BenchmarkShuffleOverlap(b *testing.B) {
 	})
 }
 
+// BenchmarkMorselSkewLadder is the morsel-scheduling ablation: a
+// compute-skewed stage under static splits vs the morsel dispatcher, with
+// bit-for-bit identity against the static baseline enforced as an error so
+// the CI bench smoke gates merges on it.
+func BenchmarkMorselSkewLadder(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunMorselSkewLadder(bench.MorselLadderConfig{
+			HeavyPages: 2, LightPages: 6, RowsPerPage: 256,
+			HeavyCost: 4000, LightCost: 50,
+			Threads: 4, MorselPages: []int{1, 2},
+		})
+	})
+}
+
 // BenchmarkSpillLadder is the memory-governor ablation: the same workloads
 // under a shrinking Config.MemoryBudget, down to a single page, with the
 // bit-for-bit identity and resident-bytes-within-budget checks enforced as

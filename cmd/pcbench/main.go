@@ -20,7 +20,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "run only this table (2-8); 0 = all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
-	scaling := flag.Bool("scaling", false, "run only the thread-scaling, shuffle-overlap, and memory-budget ablations (pipeline, aggregation, join, exchange, spill)")
+	scaling := flag.Bool("scaling", false, "run only the thread-scaling, shuffle-overlap, memory-budget, and morsel-scheduling ablations (pipeline, aggregation, join, exchange, spill, skew); persists BENCH_7.json")
 	chaos := flag.Bool("chaos", false, "run the seeded fault-injection campaign (crash/IO-error schedules across workers x threads x budgets); persists BENCH_6.json")
 	flag.Parse()
 
@@ -41,19 +41,27 @@ func main() {
 	}
 
 	if *scaling {
+		var tables []*bench.Table
 		for _, run := range []func() (*bench.Table, error){
 			func() (*bench.Table, error) { return bench.RunIntraWorkerScaling(bench.DefaultScaling()) },
 			func() (*bench.Table, error) { return bench.RunAggScaling(bench.DefaultAggScaling()) },
 			func() (*bench.Table, error) { return bench.RunJoinScaling(bench.DefaultJoinScaling()) },
 			func() (*bench.Table, error) { return bench.RunShuffleOverlap(bench.DefaultShuffleOverlap()) },
 			func() (*bench.Table, error) { return bench.RunSpillLadder(bench.DefaultSpillLadder()) },
+			func() (*bench.Table, error) { return bench.RunMorselSkewLadder(bench.DefaultMorselLadder()) },
 		} {
 			t, err := run()
 			if err != nil {
 				log.Fatal(err)
 			}
+			tables = append(tables, t)
 			fmt.Println(t.Format())
 		}
+		out := filepath.Join(repoRoot(), "BENCH_7.json")
+		if err := bench.WriteJSON(out, tables); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
 		return
 	}
 

@@ -26,6 +26,7 @@ type ChaosConfig struct {
 	Workers      []int
 	Threads      []int
 	Budgets      []int64 // 0 = unbounded; nonzero exercises the spill sites
+	MorselPages  []int   // 0 = static splits; >0 sweeps the morsel dispatcher
 	SeedsPerCell int     // seeds per (cell, workload); consecutive seeds cycle sites
 	BaseSeed     int64
 
@@ -42,12 +43,14 @@ type ChaosConfig struct {
 }
 
 // DefaultChaos is the full campaign: 3 worker counts × 3 thread counts ×
-// 2 budgets × 2 workloads × 6 seeds = 216 fault schedules.
+// 2 budgets × 2 schedulers (static, morsel) × 2 workloads × 6 seeds =
+// 432 fault schedules.
 func DefaultChaos() ChaosConfig {
 	return ChaosConfig{
 		Workers:      []int{1, 2, 4},
 		Threads:      []int{1, 2, 8},
 		Budgets:      []int64{0, 1 << 12},
+		MorselPages:  []int{0, 2},
 		SeedsPerCell: 6,
 		BaseSeed:     1,
 		AggN:         4000, AggGroups: 499,
@@ -57,7 +60,8 @@ func DefaultChaos() ChaosConfig {
 }
 
 // CIChaos is the short fixed-seed profile the CI chaos step runs under the
-// race detector: 1 cell × 2 budgets × 2 workloads × 6 seeds = 24 schedules.
+// race detector: 1 cell × 2 budgets × 2 schedulers × 2 workloads × 6 seeds
+// = 48 schedules.
 func CIChaos() ChaosConfig {
 	cfg := DefaultChaos()
 	cfg.Workers = []int{2}
@@ -88,6 +92,7 @@ func joinSites(budget int64) []fault.Site {
 type chaosCell struct {
 	workers, threads int
 	budget           int64
+	morselPages      int
 }
 
 // chaosOutcome tallies one (cell, workload) slice of the campaign.
@@ -103,11 +108,17 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 	if cfg.SeedsPerCell <= 0 {
 		cfg.SeedsPerCell = 6
 	}
+	morselPages := cfg.MorselPages
+	if len(morselPages) == 0 {
+		morselPages = []int{0}
+	}
 	var cells []chaosCell
 	for _, w := range cfg.Workers {
 		for _, th := range cfg.Threads {
 			for _, b := range cfg.Budgets {
-				cells = append(cells, chaosCell{workers: w, threads: th, budget: b})
+				for _, mp := range morselPages {
+					cells = append(cells, chaosCell{workers: w, threads: th, budget: b, morselPages: mp})
+				}
 			}
 		}
 	}
@@ -116,7 +127,7 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 		return cluster.New(cluster.Config{
 			Workers: cell.workers, Threads: cell.threads, PageSize: 1 << 12,
 			ShuffleCapacity: 2, CheckpointInterval: interval,
-			MemoryBudget: cell.budget, Fault: plan,
+			MemoryBudget: cell.budget, MorselPages: cell.morselPages, Fault: plan,
 		})
 	}
 	// The two workloads, as (reference rows, faulted rows) runners. The agg
@@ -167,8 +178,8 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 			}
 			refRows, err := wl.run(refCluster)
 			if err != nil {
-				return nil, fmt.Errorf("chaos: fault-free %s reference (w=%d t=%d budget=%d): %w",
-					wl.name, cell.workers, cell.threads, cell.budget, err)
+				return nil, fmt.Errorf("chaos: fault-free %s reference (w=%d t=%d budget=%d mp=%d): %w",
+					wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages, err)
 			}
 			if wl.sorted {
 				sort.Strings(refRows)
@@ -185,8 +196,8 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 			for i := 0; i < cfg.SeedsPerCell; i++ {
 				plan := fault.Seeded(seed, cell.workers, sites)
 				seed++
-				label := fmt.Sprintf("%s w=%d t=%d budget=%d seed=%d [%s]",
-					wl.name, cell.workers, cell.threads, cell.budget, seed-1, plan)
+				label := fmt.Sprintf("%s w=%d t=%d budget=%d mp=%d seed=%d [%s]",
+					wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages, seed-1, plan)
 				c, err := mkCluster(cell, wl.interval, plan)
 				if err != nil {
 					return nil, err
@@ -231,7 +242,7 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 				}
 			}
 			t.Rows = append(t.Rows, Row{
-				Name: fmt.Sprintf("%s w=%d t=%d budget=%d", wl.name, cell.workers, cell.threads, cell.budget),
+				Name: fmt.Sprintf("%s w=%d t=%d budget=%d mp=%d", wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages),
 				Cells: []string{
 					fmt.Sprintf("%d", out.schedules), fmt.Sprintf("%d", out.fired),
 					fmt.Sprintf("%d", out.pending), fmt.Sprintf("%d", out.cleanFails),

@@ -171,6 +171,22 @@ type Config struct {
 	// identical repeated crash is a deterministic user bug no number of
 	// re-forks will absorb — without consuming the remaining budget.
 	MaxRetries int
+	// MorselPages switches pipeline stages from static chunk assignment to
+	// morsel-driven scheduling: instead of pre-splitting a stage's batches
+	// into Threads contiguous chunks, executor threads pull morsels of up
+	// to MorselPages scan batches (BatchSize-row page ranges) from a
+	// shared per-stage dispatcher, so a skewed batch rebalances across
+	// idle sibling threads. Results stay deterministic — an ordered
+	// releaser consumes each morsel's output strictly in source order — and
+	// per-thread morsel counts surface on the engine's Morsels stat. Zero
+	// (the default) keeps the static SplitRanges path; small values (2–8)
+	// rebalance best, large values approach static behaviour.
+	MorselPages int
+	// NoFusion disables the optimizer's kernel-fusion rule (adjacent
+	// APPLY/FILTER/HASH chains executing as one pass per batch) — the
+	// ablation knob for comparing against statement-at-a-time execution.
+	// Results are bit-for-bit identical either way.
+	NoFusion bool
 	// Fault, when non-nil, is a deterministic fault-injection schedule
 	// (internal/fault) the runtime consults at every instrumented crash
 	// site — page seals, deliveries, checkpoint writes, spills, finalize,

@@ -82,7 +82,7 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt, ostats, err := optimizer.Optimize(res.Prog)
+	opt, ostats, err := optimizer.OptimizeWith(res.Prog, optimizer.Options{NoFuse: c.Cfg.NoFusion})
 	if err != nil {
 		return nil, err
 	}
@@ -304,14 +304,6 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 		}
 	}
 
-	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), c.Cfg.Threads)
-	if len(chunks) == 0 {
-		// No input on this worker: a single empty chunk still builds
-		// the sink, so the stage's artifact contract (possibly empty
-		// pages, an empty join table) is honored.
-		chunks = [][]engine.PageRange{nil}
-	}
-
 	sinkStmt := stage.SinkStmt
 	if stage.Sink == physical.SinkMaterialize {
 		last := stage.Stmts[len(stage.Stmts)-1]
@@ -327,17 +319,77 @@ func (c *Cluster) runPipelineOnWorker(res *core.CompileResult, stage *physical.J
 		}
 	}
 
+	mkSink := func(stats *engine.Stats) (engine.Sink, *engine.Ctx, error) {
+		sink, err := c.newStageSink(res, stage, w, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctx, err := engine.NewSinkCtx(sink, w.Reg(), w.artTables, c.Cfg.PageSize, c.pool, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sink, ctx, nil
+	}
+	ranges := engine.BatchRanges(pages, engine.BatchSize)
+
+	if c.Cfg.MorselPages > 0 {
+		// Morsel mode: threads pull morsels from the shared dispatcher and
+		// the ordered releaser folds each morsel's sink in source order —
+		// pages concatenate (or the join table merges) exactly as the
+		// static path's thread-ordered merge would.
+		morsels := engine.MorselRanges(ranges, c.Cfg.MorselPages)
+		var out []*object.Page
+		var table *engine.JoinTable
+		mstats, err := engine.RunPipelineMorsels(morsels, stage.SourceCol, stage.Stmts, res.Stages, sinkStmt, c.Cfg.Threads,
+			func(m int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
+				return mkSink(stats)
+			},
+			func(m int, sink engine.Sink, ctx *engine.Ctx, _ <-chan struct{}) error {
+				if js, ok := sink.(*engine.JoinBuildSink); ok {
+					if table == nil {
+						table = js.Table
+					} else {
+						table.Merge(js.Table)
+					}
+					scratch := append(append([]*object.Page(nil), ctx.Out.Sealed...), ctx.Out.Live)
+					for _, p := range scratch {
+						if p != nil && !js.References(p) {
+							c.pool.Put(p)
+						}
+					}
+					return nil
+				}
+				out = append(out, sink.Pages()...)
+				return nil
+			})
+		for t := range mstats {
+			w.mergeStats(&mstats[t])
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch stage.Sink {
+		case physical.SinkOutput:
+			return &workerArtifacts{pages: out, outputDb: stage.SinkStmt.Db, outputSet: stage.SinkStmt.Set}, nil
+		case physical.SinkMaterialize:
+			return &workerArtifacts{pages: out, pagesKey: stage.Produces}, nil
+		case physical.SinkJoinBuild:
+			return &workerArtifacts{table: table, tableKey: stage.SinkStmt.Applied2.Name}, nil
+		}
+		return nil, nil
+	}
+
+	chunks := engine.SplitRanges(ranges, c.Cfg.Threads)
+	if len(chunks) == 0 {
+		// No input on this worker: a single empty chunk still builds
+		// the sink, so the stage's artifact contract (possibly empty
+		// pages, an empty join table) is honored.
+		chunks = [][]engine.PageRange{nil}
+	}
+
 	pt, err := engine.RunPipelineThreads(chunks, stage.SourceCol, stage.Stmts, res.Stages, sinkStmt,
 		func(t int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
-			sink, err := c.newStageSink(res, stage, w, stats)
-			if err != nil {
-				return nil, nil, err
-			}
-			ctx, err := engine.NewSinkCtx(sink, w.Reg(), w.artTables, c.Cfg.PageSize, c.pool, stats)
-			if err != nil {
-				return nil, nil, err
-			}
-			return sink, ctx, nil
+			return mkSink(stats)
 		}, nil)
 	// Fold per-thread counters into the backend even on error, matching
 	// the sequential path's incremental accounting.
@@ -535,7 +587,63 @@ func (c *Cluster) runPreAggStreamOnWorker(res *core.CompileResult, stage *physic
 	if err != nil {
 		return err
 	}
-	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), c.Cfg.Threads)
+	mkAggSink := func(stats *engine.Stats) (*engine.AggSink, *engine.Ctx, error) {
+		sink, err := engine.NewAggSink(w.Reg(), c.Cfg.PageSize, len(c.Workers),
+			spec.KeyKind, spec.ValKind, spec.Combine,
+			stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], c.pool, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctx, err := engine.NewSinkCtx(sink, w.Reg(), w.artTables, c.Cfg.PageSize, c.pool, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sink, ctx, nil
+	}
+	ranges := engine.BatchRanges(pages, engine.BatchSize)
+
+	if c.Cfg.MorselPages > 0 {
+		// Morsel mode streams the whole worker's pre-aggregated pages down
+		// the thread-0 lane under one global sequence: per-morsel AggSinks
+		// buffer their sealed pages locally (no OnSeal hook), the ordered
+		// releaser broadcasts each morsel's pages in morsel index order, and
+		// the remaining lanes get their close markers after the run. The
+		// consumer's producer-major, thread-major, sequence-ordered drain
+		// then sees exactly the send order — and because the emission is a
+		// pure function of the input partition, a crash-retried producer
+		// re-sends identical tags for the sender-side dedup to drop.
+		morsels := engine.MorselRanges(ranges, c.Cfg.MorselPages)
+		seq := 0
+		mstats, err := engine.RunPipelineMorsels(morsels, stage.SourceCol, stage.Stmts, res.Stages, stage.SinkStmt, c.Cfg.Threads,
+			func(m int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
+				return mkAggSink(stats)
+			},
+			func(m int, sink engine.Sink, ctx *engine.Ctx, stop <-chan struct{}) error {
+				for _, p := range sink.Pages() {
+					c.Cfg.Fault.Hit(fault.PageSeal, w.ID)
+					tag := exchange.Tag{Producer: w.ID, Thread: 0, Seq: seq}
+					if err := streamErr(ex.Broadcast(tag, p, stop)); err != nil {
+						return err
+					}
+					seq++
+				}
+				return nil
+			})
+		for t := range mstats {
+			w.mergeStats(&mstats[t])
+		}
+		if err != nil {
+			return err
+		}
+		for t := 0; t < c.Cfg.Threads; t++ {
+			if err := streamErr(ex.CloseThread(w.ID, t, nil)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	chunks := engine.SplitRanges(ranges, c.Cfg.Threads)
 	if len(chunks) == 0 {
 		// A worker with no input still streams one page of empty
 		// partition maps, honoring the shuffle's artifact contract.
@@ -543,9 +651,7 @@ func (c *Cluster) runPreAggStreamOnWorker(res *core.CompileResult, stage *physic
 	}
 	pt, err := engine.RunPipelineThreads(chunks, stage.SourceCol, stage.Stmts, res.Stages, stage.SinkStmt,
 		func(t int, stats *engine.Stats, stop <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
-			sink, err := engine.NewAggSink(w.Reg(), c.Cfg.PageSize, len(c.Workers),
-				spec.KeyKind, spec.ValKind, spec.Combine,
-				stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], c.pool, stats)
+			sink, ctx, err := mkAggSink(stats)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -555,10 +661,6 @@ func (c *Cluster) runPreAggStreamOnWorker(res *core.CompileResult, stage *physic
 				tag := exchange.Tag{Producer: w.ID, Thread: t, Seq: seq}
 				seq++
 				return streamErr(ex.Broadcast(tag, p, stop))
-			}
-			ctx, err := engine.NewSinkCtx(sink, w.Reg(), w.artTables, c.Cfg.PageSize, c.pool, stats)
-			if err != nil {
-				return nil, nil, err
 			}
 			return sink, ctx, nil
 		},

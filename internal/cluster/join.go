@@ -172,7 +172,7 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 						if err != nil {
 							return err
 						}
-						return parallelProbe(leftPages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
+						return parallelProbe(leftPages, table, keyL, eq, c.Cfg.Threads, c.Cfg.MorselPages, func(l, r object.Ref) error {
 							return emit(i, l, r)
 						})
 					}
@@ -242,7 +242,9 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 // Config.Threads executor threads: each thread hashes its contiguous chunk
 // into a private RepartitionSink whose per-partition pages stream to the
 // owning worker the moment they seal. The thread flushes its partitions'
-// final pages and sends its close marker on the way out.
+// final pages and sends its close marker on the way out. With
+// Config.MorselPages set the static chunk split is replaced by the morsel
+// dispatcher (morselRepartition).
 func (c *Cluster) streamRepartition(db, set string, key func(object.Ref) uint64,
 	w *Worker, ex *exchange.Exchange) error {
 	pages, err := w.Front.Store.Pages(db, set)
@@ -250,6 +252,9 @@ func (c *Cluster) streamRepartition(db, set string, key func(object.Ref) uint64,
 		pages = nil // worker may hold no pages of this set
 	}
 	nw := len(c.Workers)
+	if c.Cfg.MorselPages > 0 {
+		return c.morselRepartition(engine.BatchRanges(pages, engine.BatchSize), key, w, ex, nw)
+	}
 	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), c.Cfg.Threads)
 	tstats := make([]engine.Stats, len(chunks))
 	err = engine.ParallelThreads(len(chunks), func(t int, stop <-chan struct{}) error {
@@ -290,6 +295,86 @@ func (c *Cluster) streamRepartition(db, set string, key func(object.Ref) uint64,
 		w.mergeStats(&tstats[t])
 	}
 	return err
+}
+
+// morselRepartition is streamRepartition's morsel-mode body: executor
+// threads pull fixed-size morsels from the shared dispatcher and hash each
+// into a private per-morsel RepartitionSink with no OnSeal hook, so
+// partition pages buffer in the sink; the ordered releaser then sends each
+// morsel's partition pages through the exchange strictly in morsel index
+// order. Every page travels on the producer's thread-0 lanes with one
+// per-partition sequence — the exchange drains a producer's lanes
+// sequentially, so spreading ordered releases across per-thread lanes
+// would deadlock against a consumer still waiting on lane 0. The remaining
+// per-thread lanes close with markers after the run (CloseProducer would
+// cover them too; the explicit markers keep the close protocol symmetric
+// with the static path). Crash retries are safe for the same reason the
+// static path's are: page content and tags are a pure function of the
+// stored pages and MorselPages, so a retry re-offers identical (tag, page)
+// pairs and the exchange's sender dedup drops the ones that already landed.
+func (c *Cluster) morselRepartition(ranges []engine.PageRange, key func(object.Ref) uint64,
+	w *Worker, ex *exchange.Exchange, nw int) error {
+	morsels := engine.MorselRanges(ranges, c.Cfg.MorselPages)
+	tstats := make([]engine.Stats, c.Cfg.Threads)
+	seqs := make([]int, nw) // released under the dispatcher's order lock
+	work := func(t, m int, stop <-chan struct{}) (any, error) {
+		tstats[t].Morsels++
+		sink, err := engine.NewRepartitionSink(w.Reg(), c.Cfg.PageSize, nw, "h", "obj", c.pool, &tstats[t])
+		if err != nil {
+			return nil, err
+		}
+		err = engine.ScanRanges(morsels[m], "obj", func(vl *engine.VectorList) error {
+			select {
+			case <-stop:
+				return engine.ErrAborted
+			default:
+			}
+			rc := vl.Col("obj").(engine.RefCol)
+			hashes := make(engine.U64Col, len(rc))
+			for j, r := range rc {
+				hashes[j] = key(r)
+			}
+			vl.Append("h", hashes)
+			return sink.Consume(nil, vl, nil)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sink, nil
+	}
+	release := func(m int, res any, stop <-chan struct{}) error {
+		sink := res.(*engine.RepartitionSink)
+		for part := 0; part < nw; part++ {
+			for _, p := range sink.PartitionPages(part) {
+				if p.Root() == 0 || object.AsVector(object.Ref{Page: p, Off: p.Root()}).Len() == 0 {
+					// A morsel that routed no rows to this partition leaves
+					// an empty live page; recycle it instead of shipping it.
+					c.pool.Put(p)
+					continue
+				}
+				c.Cfg.Fault.Hit(fault.PageSeal, w.ID)
+				tag := exchange.Tag{Producer: w.ID, Thread: 0, Seq: seqs[part]}
+				seqs[part]++
+				if err := streamErr(ex.Send(tag, part, p, stop)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := engine.RunMorsels(len(morsels), c.Cfg.Threads, work, release)
+	for t := range tstats {
+		w.mergeStats(&tstats[t])
+	}
+	if err != nil {
+		return err
+	}
+	for t := 0; t < c.Cfg.Threads; t++ {
+		if err := streamErr(ex.CloseThread(w.ID, t, nil)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // gatherJoinStreams overlaps the join's two shuffles with the build: the
@@ -475,7 +560,7 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 			window = append(window, p)
 		}
 		if len(window) > 0 {
-			matches, err := collectProbeMatches(window, table, key, eq, c.Cfg.Threads)
+			matches, err := collectProbeMatches(window, table, key, eq, c.Cfg.Threads, c.Cfg.MorselPages)
 			if err != nil {
 				return err
 			}
@@ -510,17 +595,18 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 }
 
 // collectProbeMatches probes pages through the read-only build table
-// across threads executor threads and returns the matches in page order:
-// each thread probes a contiguous chunk into a private buffer, and the
-// buffers concatenate in thread order — exactly the sequence a sequential
-// probe over the same pages would emit, regardless of the thread split.
+// across threads executor threads and returns the matches in page order.
+// With morselPages == 0 each thread probes a contiguous chunk into a
+// private buffer and the buffers concatenate in thread order; with
+// morselPages > 0 threads pull morsels from the shared dispatcher and the
+// per-morsel buffers concatenate in morsel index order. Either way the
+// result is exactly the sequence a sequential probe over the same pages
+// would emit, regardless of how the work was split.
 func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
-	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, threads int) ([][2]object.Ref, error) {
-	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
-	matches := make([][][2]object.Ref, len(chunks))
-	err := engine.ParallelFor(len(chunks), func(t int) error {
+	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, threads, morselPages int) ([][2]object.Ref, error) {
+	probeRanges := func(ranges []engine.PageRange) [][2]object.Ref {
 		var out [][2]object.Ref
-		for _, rng := range chunks[t] {
+		for _, rng := range ranges {
 			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
 			for j := rng.Start; j < rng.End; j++ {
 				l := root.HandleAt(j)
@@ -531,7 +617,28 @@ func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
 				}
 			}
 		}
-		matches[t] = out
+		return out
+	}
+	if morselPages > 0 {
+		morsels := engine.MorselRanges(engine.BatchRanges(pages, engine.BatchSize), morselPages)
+		var all [][2]object.Ref
+		err := engine.RunMorsels(len(morsels), threads,
+			func(t, m int, stop <-chan struct{}) (any, error) {
+				return probeRanges(morsels[m]), nil
+			},
+			func(m int, res any, stop <-chan struct{}) error {
+				all = append(all, res.([][2]object.Ref)...)
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return all, nil
+	}
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
+	matches := make([][][2]object.Ref, len(chunks))
+	err := engine.ParallelFor(len(chunks), func(t int) error {
+		matches[t] = probeRanges(chunks[t])
 		return nil
 	})
 	if err != nil {
@@ -547,22 +654,43 @@ func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
 // parallelBuildTable builds a probe hash table over locally materialized
 // pages across threads executor threads: each thread inserts a contiguous
 // chunk of rows into a private table, and tables merge bucket-wise in
-// thread order after the barrier, so per-bucket row order matches a
-// sequential build over the whole input. (CoPartitionedJoin's zero-shuffle
-// local builds; the shuffled build streams through buildTableStream.)
-func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threads int) (*engine.JoinTable, error) {
-	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
-	tables := make([]*engine.JoinTable, len(chunks))
-	err := engine.ParallelFor(len(chunks), func(t int) error {
+// thread order after the barrier (or, with morselPages > 0, per-morsel
+// tables merge in morsel index order as the dispatcher releases them), so
+// per-bucket row order matches a sequential build over the whole input.
+// (CoPartitionedJoin's zero-shuffle local builds; the shuffled build
+// streams through buildTableStream.)
+func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threads, morselPages int) (*engine.JoinTable, error) {
+	buildRanges := func(ranges []engine.PageRange) *engine.JoinTable {
 		tbl := engine.NewJoinTable()
-		for _, rng := range chunks[t] {
+		for _, rng := range ranges {
 			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
 			for j := rng.Start; j < rng.End; j++ {
 				r := root.HandleAt(j)
 				tbl.Add(key(r), r)
 			}
 		}
-		tables[t] = tbl
+		return tbl
+	}
+	if morselPages > 0 {
+		morsels := engine.MorselRanges(engine.BatchRanges(pages, engine.BatchSize), morselPages)
+		table := engine.NewJoinTable()
+		err := engine.RunMorsels(len(morsels), threads,
+			func(t, m int, stop <-chan struct{}) (any, error) {
+				return buildRanges(morsels[m]), nil
+			},
+			func(m int, res any, stop <-chan struct{}) error {
+				table.Merge(res.(*engine.JoinTable))
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return table, nil
+	}
+	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
+	tables := make([]*engine.JoinTable, len(chunks))
+	err := engine.ParallelFor(len(chunks), func(t int) error {
+		tables[t] = buildRanges(chunks[t])
 		return nil
 	})
 	if err != nil {
@@ -583,10 +711,23 @@ func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threa
 // via collectProbeMatches on the calling goroutine, so one worker never
 // invokes emit from two threads at once. A single chunk (Threads=1, or
 // fewer batches than threads) streams each match straight to emit with no
-// buffer, like the sequential path always did.
+// buffer, like the sequential path always did. morselPages > 0 swaps the
+// static chunk split for the morsel dispatcher inside collectProbeMatches.
 func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 	key func(object.Ref) uint64, eq func(l, r object.Ref) bool,
-	threads int, emit func(l, r object.Ref) error) error {
+	threads, morselPages int, emit func(l, r object.Ref) error) error {
+	if morselPages > 0 {
+		matches, err := collectProbeMatches(pages, table, key, eq, threads, morselPages)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if err := emit(m[0], m[1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
 	if len(chunks) <= 1 {
 		for _, chunk := range chunks {
@@ -606,7 +747,7 @@ func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 		}
 		return nil
 	}
-	matches, err := collectProbeMatches(pages, table, key, eq, threads)
+	matches, err := collectProbeMatches(pages, table, key, eq, threads, 0)
 	if err != nil {
 		return err
 	}

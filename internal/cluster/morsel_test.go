@@ -1,0 +1,140 @@
+package cluster
+
+// Cluster-level pinning of the morsel dispatcher (Config.MorselPages) and
+// kernel fusion (Config.NoFusion): both knobs must be invisible to results
+// across the distributed workloads at every thread count, and morsel-mode
+// crash recovery must work under the same deterministic fault schedules
+// the static scheduler is pinned by — the retried morsel run re-emits the
+// identical tag stream, so the exchange's dedup and replay machinery never
+// notices the scheduler. The full seeded-schedule sweep runs in the chaos
+// campaign (internal/bench, MorselPages ∈ {0, 2}); these tests pin the
+// contract directly with named injections.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestMorselFusionDeterministicAggregation runs the grp→sum(val)
+// aggregation across the full knob grid — threads × morsel granularity ×
+// fusion. At each thread count, every (MorselPages, NoFusion) combination
+// must match the static unfused run bit-for-bit, order included: the knobs
+// are pure schedule changes. (Across thread counts aggregation output is a
+// set — threads_test.go pins that separately — so the baseline is
+// per-thread-count here.)
+func TestMorselFusionDeterministicAggregation(t *testing.T) {
+	const n, groups = 1500, 16
+	for _, th := range threadCounts {
+		var want []string
+		for _, mp := range []int{0, 2, 5} {
+			for _, nf := range []bool{false, true} {
+				cfg := Config{Workers: 2, Threads: th, PageSize: 1 << 12,
+					MorselPages: mp, NoFusion: nf}
+				c, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := intRecType(c)
+				loadIntRows(t, c, rec, "db", "rows", n, groups)
+				rows, _ := runIntAgg(t, c, rec, nil)
+				if len(rows) != groups {
+					t.Fatalf("threads=%d mp=%d nofusion=%v: %d groups, want %d", th, mp, nf, len(rows), groups)
+				}
+				if want == nil {
+					want = rows
+					continue
+				}
+				if !equalRows(rows, want) {
+					t.Errorf("threads=%d mp=%d nofusion=%v: aggregation rows differ from the static unfused run", th, mp, nf)
+				}
+			}
+		}
+	}
+}
+
+// TestMorselDeterministicJoin runs the hash-partition join — morsel-mode
+// repartition scans, builds, and probes — across threads × morsel
+// granularity and requires the per-worker emit sequences bit-for-bit
+// identical to the static baseline.
+func TestMorselDeterministicJoin(t *testing.T) {
+	const left, right, groups = 900, 120, 18
+	var want []string
+	for _, th := range threadCounts {
+		for _, mp := range []int{0, 2, 5} {
+			cfg := Config{Workers: 2, Threads: th, PageSize: 1 << 12,
+				ShuffleCapacity: 2, MorselPages: mp}
+			c, rec := joinFixture(t, cfg, left, right, groups)
+			rows := joinPairsByWorker(t, c, rec)
+			if len(rows) == 0 {
+				t.Fatalf("threads=%d mp=%d: join emitted nothing", th, mp)
+			}
+			if want == nil {
+				want = rows
+				continue
+			}
+			if !equalRows(rows, want) {
+				t.Errorf("threads=%d mp=%d: join pairs differ from the static sequential baseline", th, mp)
+			}
+		}
+	}
+}
+
+// TestMorselCrashRecoveryFaultSchedules reuses the deterministic fault
+// schedules under morsel scheduling: a producer crash at page seal and a
+// consumer crash at delivery (aggregation), and a probe-phase crash before
+// an emit (join), must all recover to results bit-for-bit identical to a
+// fault-free morsel run, leaking nothing.
+func TestMorselCrashRecoveryFaultSchedules(t *testing.T) {
+	const mp = 2
+	aggCfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 2, MorselPages: mp}
+	ref, err := New(aggCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRec := intRecType(ref)
+	loadIntRows(t, ref, refRec, "db", "rows", 3000, 16)
+	want, _ := runIntAgg(t, ref, refRec, nil)
+
+	for _, inj := range []fault.Injection{
+		{Site: fault.PageSeal, Worker: 0, K: 1},
+		{Site: fault.Delivery, Worker: 1, K: 3},
+	} {
+		c, err := New(aggCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := intRecType(c)
+		loadIntRows(t, c, rec, "db", "rows", 3000, 16)
+		c.Cfg.Fault = fault.NewPlan(inj)
+		rows, _ := runIntAgg(t, c, rec, nil)
+		label := fmt.Sprintf("agg %s w=%d k=%d mp=%d", inj.Site, inj.Worker, inj.K, mp)
+		if c.Cfg.Fault.Fired() != 1 {
+			t.Fatalf("%s: the crash never fired", label)
+		}
+		if !equalRows(rows, want) {
+			t.Errorf("%s: recovered rows differ from the fault-free morsel run", label)
+		}
+		assertNoJoinLeaks(t, c, label)
+	}
+
+	joinCfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 1, MorselPages: mp}
+	jref, jrec := joinFixture(t, joinCfg, 600, 90, 18)
+	jwant := joinPairsByWorker(t, jref, jrec)
+	if len(jwant) == 0 {
+		t.Fatal("fault-free morsel join emitted nothing")
+	}
+	c, rec := joinFixture(t, joinCfg, 600, 90, 18)
+	c.Cfg.Fault = fault.NewPlan(fault.Injection{Site: fault.Emit, Worker: 0, K: 5})
+	rows := joinPairsByWorker(t, c, rec)
+	if c.Cfg.Fault.Fired() != 1 {
+		t.Fatal("join emit crash never fired")
+	}
+	if !equalRows(rows, jwant) {
+		t.Errorf("join: recovered pairs differ from the fault-free morsel run (%d vs %d)", len(rows), len(jwant))
+	}
+	assertNoJoinLeaks(t, c, "join emit mp=2")
+}

@@ -150,7 +150,7 @@ func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 				if pages, err := w.Front.Store.Pages(dbR, setR); err == nil {
 					rightPages = pages
 				}
-				table, err := parallelBuildTable(rightPages, keyR, c.Cfg.Threads)
+				table, err := parallelBuildTable(rightPages, keyR, c.Cfg.Threads, c.Cfg.MorselPages)
 				if err != nil {
 					return err
 				}
@@ -158,7 +158,7 @@ func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 				if err != nil {
 					return nil
 				}
-				return parallelProbe(pages, table, keyL, eq, c.Cfg.Threads, func(l, r object.Ref) error {
+				return parallelProbe(pages, table, keyL, eq, c.Cfg.Threads, c.Cfg.MorselPages, func(l, r object.Ref) error {
 					if counter < emitted {
 						counter++
 						return nil

@@ -33,7 +33,14 @@ type Executor struct {
 	// Threads is the executor-thread budget per stage (the single-process
 	// analogue of cluster Config.Threads). Zero or one runs sequentially.
 	Threads int
-	Stats   engine.Stats
+	// MorselPages, when positive, replaces the static SplitRanges chunk
+	// assignment with the shared morsel dispatcher (the single-process
+	// analogue of cluster Config.MorselPages): threads pull morsels of up
+	// to MorselPages batch ranges and results merge in morsel index order,
+	// so output is bit-for-bit identical to the static path. Zero keeps
+	// static splitting.
+	MorselPages int
+	Stats       engine.Stats
 }
 
 // NewExecutor creates an executor with the given storage and type registry,
@@ -136,6 +143,10 @@ func (e *Executor) runPipelineStage(res *CompileResult, stage *physical.JobStage
 		}
 	}
 
+	if e.MorselPages > 0 {
+		return e.runPipelineStageMorsels(res, stage, arts, sinkStmt, pages)
+	}
+
 	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), e.threads())
 	if len(chunks) == 0 {
 		// No input: a single empty chunk still builds the sink, so the
@@ -178,6 +189,77 @@ func (e *Executor) runPipelineStage(res *CompileResult, stage *physical.JobStage
 		arts.pages[stage.Produces] = merged
 	case physical.SinkJoinBuild:
 		arts.tables[stage.SinkStmt.Applied2.Name] = pt.MergeJoinTables(nil)
+	}
+	return nil
+}
+
+// runPipelineStageMorsels is runPipelineStage's morsel-mode body: executor
+// threads pull fixed-size morsels from the shared dispatcher, each morsel
+// runs through a private sink, and the ordered releaser folds each
+// morsel's result into the stage artifact strictly in morsel index order —
+// output pages concatenate in source order, pre-aggregated maps absorb
+// into the first morsel's sink (associative combine over an ordered
+// concatenation), and join tables merge bucket-wise so per-bucket row
+// order matches a sequential build.
+func (e *Executor) runPipelineStageMorsels(res *CompileResult, stage *physical.JobStage,
+	arts *artifacts, sinkStmt *tcap.Stmt, pages []*object.Page) error {
+	morsels := engine.MorselRanges(engine.BatchRanges(pages, engine.BatchSize), e.MorselPages)
+	var (
+		outPages []*object.Page
+		primary  *engine.AggSink
+		table    *engine.JoinTable
+	)
+	mk := func(m int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
+		sink, err := e.newStageSink(res, stage, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctx, err := engine.NewSinkCtx(sink, e.Reg, arts.tables, e.PageSize, nil, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sink, ctx, nil
+	}
+	emit := func(m int, sink engine.Sink, ctx *engine.Ctx, _ <-chan struct{}) error {
+		switch s := sink.(type) {
+		case *engine.AggSink:
+			if primary == nil {
+				primary = s
+				return nil
+			}
+			return primary.AbsorbPages(s.Pages())
+		case *engine.JoinBuildSink:
+			if table == nil {
+				table = s.Table
+			} else {
+				table.Merge(s.Table)
+			}
+			return nil
+		default:
+			outPages = append(outPages, sink.Pages()...)
+			return nil
+		}
+	}
+	mstats, err := engine.RunPipelineMorsels(morsels, stage.SourceCol, stage.Stmts, res.Stages,
+		sinkStmt, e.threads(), mk, emit)
+	for t := range mstats {
+		e.Stats.Merge(&mstats[t])
+	}
+	if err != nil {
+		return err
+	}
+	switch stage.Sink {
+	case physical.SinkOutput:
+		for _, p := range outPages {
+			p.SetManaged(false)
+		}
+		return e.Store.Append(stage.SinkStmt.Db, stage.SinkStmt.Set, outPages)
+	case physical.SinkMaterialize:
+		arts.pages[stage.Produces] = outPages
+	case physical.SinkPreAgg:
+		arts.pages[stage.Produces] = primary.Pages()
+	case physical.SinkJoinBuild:
+		arts.tables[stage.SinkStmt.Applied2.Name] = table
 	}
 	return nil
 }

@@ -1,0 +1,220 @@
+package engine
+
+// Fused kernel execution (optimizer rule 4, after Neumann's "Efficiently
+// Compiling Efficient Query Plans"): a run of adjacent APPLY/FILTER/HASH
+// statements annotated with one Stmt.FuseGroup executes as a single pass
+// over each batch. Filters refine a selection vector instead of gathering
+// every copied column per statement; the deferred gather (compaction) runs
+// only when a kernel needs physical rows, and it gathers only the columns
+// the rest of the run still reads. The fused pass is bit-for-bit equivalent
+// to running the statements one at a time: kernels see exactly the
+// post-filter rows the unfused path would hand them, and the run's final
+// output is shaped exactly like the last statement's unfused output
+// (internal/engine/fuse_test.go pins the equivalence on randomized chains).
+
+import (
+	"fmt"
+
+	"repro/internal/tcap"
+)
+
+// fuseSeg is one segment of a pipeline's fused plan: either a single
+// statement executed the classic way, or a validated run of ≥2 statements
+// executed as one pass.
+type fuseSeg struct {
+	stmts []*tcap.Stmt
+	// needed[k] is the set of columns statements k..end still read (their
+	// Applied inputs plus the run's final Copied output), the compaction
+	// filter when a kernel at position k forces a gather.
+	needed []map[string]bool
+}
+
+// fusableOp reports whether the op may join a fused run. It must mirror the
+// optimizer's rule-4 eligibility; the engine re-checks because physical
+// planning may split an annotated program across stages.
+func fusableOp(op tcap.OpKind) bool {
+	switch op {
+	case tcap.OpApply, tcap.OpFilter, tcap.OpHash:
+		return true
+	}
+	return false
+}
+
+// buildFusePlan cuts a pipeline's statement slice into segments,
+// re-validating every annotated run against the statements this pipeline
+// actually executes: only consecutive statements with the same nonzero
+// FuseGroup whose lists chain (each reads exactly its predecessor's output)
+// fuse; everything else — including unannotated programs — runs statement
+// by statement, exactly as before.
+func buildFusePlan(stmts []*tcap.Stmt) []fuseSeg {
+	var plan []fuseSeg
+	for i := 0; i < len(stmts); {
+		s := stmts[i]
+		j := i
+		if s.FuseGroup != 0 && fusableOp(s.Op) {
+			for j+1 < len(stmts) {
+				next := stmts[j+1]
+				if next.FuseGroup != s.FuseGroup || !fusableOp(next.Op) ||
+					next.Applied.Name != stmts[j].Out.Name ||
+					next.Copied.Name != stmts[j].Out.Name {
+					break
+				}
+				j++
+			}
+		}
+		seg := fuseSeg{stmts: stmts[i : j+1]}
+		if len(seg.stmts) > 1 {
+			seg.needed = neededSuffixes(seg.stmts)
+		}
+		plan = append(plan, seg)
+		i = j + 1
+	}
+	return plan
+}
+
+// neededSuffixes precomputes, for each position k in a run, the columns
+// statements k..end read: every Applied input plus the last statement's
+// Copied output columns.
+func neededSuffixes(run []*tcap.Stmt) []map[string]bool {
+	out := make([]map[string]bool, len(run))
+	need := map[string]bool{}
+	for _, c := range run[len(run)-1].Copied.Cols {
+		need[c] = true
+	}
+	for k := len(run) - 1; k >= 0; k-- {
+		for _, c := range run[k].Applied.Cols {
+			need[c] = true
+		}
+		snap := make(map[string]bool, len(need))
+		for c := range need {
+			snap[c] = true
+		}
+		out[k] = snap
+	}
+	return out
+}
+
+// execFused runs one ≥2-statement segment as a single pass over the batch.
+func execFused(ctx *Ctx, reg *StageRegistry, seg *fuseSeg, in *VectorList) (*VectorList, error) {
+	vl := in
+	var sel []int
+	selActive := false // sel == nil means "all rows" only while inactive
+	for k, s := range seg.stmts {
+		switch s.Op {
+		case tcap.OpFilter:
+			if len(s.Applied.Cols) != 1 {
+				return nil, fmt.Errorf("engine: FILTER takes one input column")
+			}
+			bc, ok := vl.Col(s.Applied.Cols[0]).(BoolCol)
+			if !ok {
+				return nil, fmt.Errorf("engine: FILTER input %q is not boolean", s.Applied.Cols[0])
+			}
+			if !selActive {
+				keep := 0
+				for _, b := range bc {
+					if b {
+						keep++
+					}
+				}
+				sel = make([]int, 0, keep)
+				for i, b := range bc {
+					if b {
+						sel = append(sel, i)
+					}
+				}
+				selActive = true
+			} else {
+				out := sel[:0]
+				for _, i := range sel {
+					if bc[i] {
+						out = append(out, i)
+					}
+				}
+				sel = out
+			}
+		case tcap.OpApply, tcap.OpHash:
+			if selActive {
+				vl = compactSelected(vl, seg.needed[k], sel)
+				sel, selActive = nil, false
+			}
+			var newCol Column
+			switch s.Op {
+			case tcap.OpApply:
+				kernel, err := reg.Lookup(s.Comp, s.Stage)
+				if err != nil {
+					return nil, err
+				}
+				inputs := make([]Column, len(s.Applied.Cols))
+				for i, name := range s.Applied.Cols {
+					c := vl.Col(name)
+					if c == nil {
+						return nil, fmt.Errorf("engine: APPLY %s.%s: missing column %q", s.Comp, s.Stage, name)
+					}
+					inputs[i] = c
+				}
+				newCol, err = kernel(ctx, inputs)
+				if err != nil {
+					return nil, err
+				}
+			case tcap.OpHash:
+				if len(s.Applied.Cols) != 1 {
+					return nil, fmt.Errorf("engine: HASH takes one input column")
+				}
+				c := vl.Col(s.Applied.Cols[0])
+				if c == nil {
+					return nil, fmt.Errorf("engine: HASH: missing column %q", s.Applied.Cols[0])
+				}
+				hashes, err := hashColumn(ctx, c)
+				if err != nil {
+					return nil, err
+				}
+				newCol = hashes
+			}
+			newNames := s.NewColumns()
+			if len(newNames) != 1 {
+				return nil, fmt.Errorf("engine: %v %s.%s must create exactly one column, got %v",
+					s.Op, s.Comp, s.Stage, newNames)
+			}
+			// Append on a fresh header: vl may still be the caller's batch
+			// (or a shared compaction result) and must not be mutated.
+			nv := &VectorList{
+				Names: append(make([]string, 0, len(vl.Names)+1), vl.Names...),
+				Cols:  append(make([]Column, 0, len(vl.Cols)+1), vl.Cols...),
+			}
+			nv.Append(newNames[0], newCol)
+			vl = nv
+		default:
+			return nil, fmt.Errorf("engine: op %v cannot run fused", s.Op)
+		}
+	}
+	// Shape the final output exactly as the last statement's unfused
+	// output: its Copied projection, gathered by the pending selection if
+	// the run ends in filters, plus its new column otherwise.
+	last := seg.stmts[len(seg.stmts)-1]
+	proj, err := vl.Project(last.Copied.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if last.Op == tcap.OpFilter {
+		return proj.GatherAll(sel), nil
+	}
+	newName := last.NewColumns()[0]
+	proj.Append(newName, vl.Col(newName))
+	return proj, nil
+}
+
+// compactSelected gathers the needed columns at the selected rows — the
+// fused pass's one materialization point between filters and kernels.
+func compactSelected(vl *VectorList, needed map[string]bool, sel []int) *VectorList {
+	out := &VectorList{
+		Names: make([]string, 0, len(needed)),
+		Cols:  make([]Column, 0, len(needed)),
+	}
+	for i, name := range vl.Names {
+		if needed[name] {
+			out.Names = append(out.Names, name)
+			out.Cols = append(out.Cols, vl.Cols[i].Gather(sel))
+		}
+	}
+	return out
+}

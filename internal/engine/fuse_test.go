@@ -1,0 +1,488 @@
+package engine
+
+// The fusion-equivalence harness: randomized (seeded) chains of
+// filter/map/hash statements execute fused and unfused, across the static
+// chunk driver and the morsel dispatcher, at Threads 1, 2, and 8 — and
+// every configuration must produce bit-for-bit identical output rows in
+// identical order. A table-driven corpus pins the interesting shapes
+// (adjacent filters, compaction before kernels, runs ending in filters,
+// hash columns feeding later kernels, empty results, empty input) and a
+// fuzz target explores chains the corpus missed.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+// fuseFixture is the shared scaffolding of the equivalence runs: source
+// pages of int64-payload objects plus a registry of deterministic kernels
+// the chains draw from.
+type fuseFixture struct {
+	reg   *object.Registry
+	sreg  *StageRegistry
+	ti    *object.TypeInfo
+	pages []*object.Page
+}
+
+// toI64 normalizes the numeric chain columns (I64 from kernels, U64 from
+// HASH statements) so every kernel composes with every predecessor.
+func toI64(c Column) (I64Col, error) {
+	switch v := c.(type) {
+	case I64Col:
+		return v, nil
+	case U64Col:
+		out := make(I64Col, len(v))
+		for i, x := range v {
+			out[i] = int64(x)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("fuse_test: unexpected column type %T", c)
+	}
+}
+
+func newFuseFixture(t testing.TB, n int) *fuseFixture {
+	t.Helper()
+	fx := &fuseFixture{reg: object.NewRegistry(), sreg: NewStageRegistry()}
+	fx.ti = object.NewStruct("FuseRec").AddField("x", object.KInt64).MustBuild(fx.reg)
+
+	const perPage = 64
+	for start := 0; start < n; start += perPage {
+		p := object.NewPage(1<<16, fx.reg)
+		a := object.NewAllocator(p, object.PolicyLightweightReuse)
+		root, err := object.MakeVector(a, object.KHandle, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Retain()
+		p.SetRoot(root.Off)
+		end := start + perPage
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			r, err := a.MakeObject(fx.ti)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A mixed-sign, non-monotonic payload so filters split
+			// batches unevenly.
+			object.SetI64(r, fx.ti.Field("x"), int64((i*2654435761)%1009)-500)
+			if err := root.PushBackHandle(a, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fx.pages = append(fx.pages, p)
+	}
+
+	field := fx.ti.Field("x")
+	fx.sreg.Register("F", "load", func(ctx *Ctx, in []Column) (Column, error) {
+		rc := in[0].(RefCol)
+		out := make(I64Col, len(rc))
+		for i, r := range rc {
+			out[i] = object.GetI64(r, field)
+		}
+		return out, nil
+	})
+	maps := map[string]func(int64) int64{
+		"affine": func(x int64) int64 { return x*3 + 7 },
+		"xor":    func(x int64) int64 { return x ^ (x >> 3) },
+		"mod":    func(x int64) int64 { return x % 101 },
+	}
+	for name, fn := range maps {
+		fn := fn
+		fx.sreg.Register("F", name, func(ctx *Ctx, in []Column) (Column, error) {
+			xs, err := toI64(in[0])
+			if err != nil {
+				return nil, err
+			}
+			out := make(I64Col, len(xs))
+			for i, x := range xs {
+				out[i] = fn(x)
+			}
+			return out, nil
+		})
+	}
+	preds := map[string]func(int64) bool{
+		"even": func(x int64) bool { return x&1 == 0 },
+		"pos":  func(x int64) bool { return x > 0 },
+		"mod3": func(x int64) bool { return x%3 != 0 },
+		"none": func(x int64) bool { return false },
+	}
+	for name, fn := range preds {
+		fn := fn
+		fx.sreg.Register("F", name, func(ctx *Ctx, in []Column) (Column, error) {
+			xs, err := toI64(in[0])
+			if err != nil {
+				return nil, err
+			}
+			out := make(BoolCol, len(xs))
+			for i, x := range xs {
+				out[i] = fn(x)
+			}
+			return out, nil
+		})
+	}
+	return fx
+}
+
+// chainBuilder grows a linear statement chain: every step reads the chain's
+// current value column and the list names thread s1 → s2 → ... so the
+// statements satisfy the fusion adjacency contract.
+type chainBuilder struct {
+	stmts []*tcap.Stmt
+	list  string   // current list name
+	cols  []string // current list columns
+	cur   string   // current value column (kernel/hash input)
+	step  int
+}
+
+func newChainBuilder() *chainBuilder {
+	b := &chainBuilder{list: "s0", cols: []string{"obj"}, cur: "obj"}
+	b.apply("load", "v0", nil)
+	b.cur = "v0"
+	return b
+}
+
+func (b *chainBuilder) next() string {
+	b.step++
+	return fmt.Sprintf("s%d", b.step)
+}
+
+// apply appends an APPLY of the named kernel producing out, copying the
+// current columns minus drop.
+func (b *chainBuilder) apply(kernel, out string, drop map[string]bool) {
+	// The object column is always dropped (the chains' outputs are value
+	// columns); later applies copy whatever survives the random drops.
+	copied := make([]string, 0, len(b.cols))
+	for _, c := range b.cols {
+		if c != "obj" && !drop[c] {
+			copied = append(copied, c)
+		}
+	}
+	nextList := b.next()
+	b.stmts = append(b.stmts, &tcap.Stmt{
+		Op:      tcap.OpApply,
+		Comp:    "F",
+		Stage:   kernel,
+		Applied: tcap.ColumnsRef{Name: b.list, Cols: []string{b.cur}},
+		Copied:  tcap.ColumnsRef{Name: b.list, Cols: copied},
+		Out:     tcap.ColumnsRef{Name: nextList, Cols: append(append([]string{}, copied...), out)},
+	})
+	b.list = nextList
+	b.cols = append(copied, out)
+}
+
+// mapStep applies a map kernel and makes its output the current column.
+func (b *chainBuilder) mapStep(kernel string, drop map[string]bool) {
+	out := fmt.Sprintf("v%d", b.step+1)
+	b.apply(kernel, out, drop)
+	b.cur = out
+}
+
+// filterStep applies a predicate kernel then filters on it, dropping the
+// boolean column from the filtered output.
+func (b *chainBuilder) filterStep(pred string) {
+	bcol := fmt.Sprintf("b%d", b.step+1)
+	b.apply(pred, bcol, nil)
+	b.filterOn(bcol)
+}
+
+// filterOn appends a FILTER consuming an existing boolean column.
+func (b *chainBuilder) filterOn(bcol string) {
+	copied := make([]string, 0, len(b.cols))
+	for _, c := range b.cols {
+		if c != bcol {
+			copied = append(copied, c)
+		}
+	}
+	nextList := b.next()
+	b.stmts = append(b.stmts, &tcap.Stmt{
+		Op:      tcap.OpFilter,
+		Applied: tcap.ColumnsRef{Name: b.list, Cols: []string{bcol}},
+		Copied:  tcap.ColumnsRef{Name: b.list, Cols: copied},
+		Out:     tcap.ColumnsRef{Name: nextList, Cols: copied},
+	})
+	b.list = nextList
+	b.cols = copied
+}
+
+// hashStep appends a HASH of the current column and makes the hash column
+// current.
+func (b *chainBuilder) hashStep() {
+	hcol := fmt.Sprintf("h%d", b.step+1)
+	nextList := b.next()
+	b.stmts = append(b.stmts, &tcap.Stmt{
+		Op:      tcap.OpHash,
+		Applied: tcap.ColumnsRef{Name: b.list, Cols: []string{b.cur}},
+		Copied:  tcap.ColumnsRef{Name: b.list, Cols: append([]string{}, b.cols...)},
+		Out:     tcap.ColumnsRef{Name: nextList, Cols: append(append([]string{}, b.cols...), hcol)},
+	})
+	b.list = nextList
+	b.cols = append(b.cols, hcol)
+	b.cur = hcol
+}
+
+// cloneChain deep-copies statements so each run can annotate FuseGroup
+// independently.
+func cloneChain(stmts []*tcap.Stmt) []*tcap.Stmt {
+	out := make([]*tcap.Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// annotateAll marks every statement as one fused run.
+func annotateAll(stmts []*tcap.Stmt) []*tcap.Stmt {
+	c := cloneChain(stmts)
+	for _, s := range c {
+		s.FuseGroup = 1
+	}
+	return c
+}
+
+// annotateRandom cuts the chain into random fused runs (some length 1).
+func annotateRandom(stmts []*tcap.Stmt, rng *rand.Rand) []*tcap.Stmt {
+	c := cloneChain(stmts)
+	group := 1
+	for _, s := range c {
+		if rng.Intn(3) == 0 {
+			group++
+		}
+		s.FuseGroup = group
+	}
+	return c
+}
+
+// collectSink formats every consumed row — all columns, with their static
+// types — into strings, in consume order. Comparing the concatenated rows
+// across configurations is the bit-for-bit equivalence check.
+type collectSink struct {
+	rows []string
+}
+
+// Consume implements Sink.
+func (s *collectSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error {
+	for i := 0; i < vl.Rows(); i++ {
+		var b strings.Builder
+		for j, name := range vl.Names {
+			fmt.Fprintf(&b, "%s=%T:%v;", name, vl.Cols[j], vl.Cols[j].Value(i))
+		}
+		s.rows = append(s.rows, b.String())
+	}
+	return nil
+}
+
+// Pages implements Sink.
+func (s *collectSink) Pages() []*object.Page { return nil }
+
+// runChain executes a statement chain over the fixture's pages and returns
+// the ordered output rows. morselPages == 0 uses the static SplitRanges
+// driver; > 0 uses the morsel dispatcher.
+func runChain(t testing.TB, fx *fuseFixture, stmts []*tcap.Stmt, threads, morselPages int) []string {
+	t.Helper()
+	sinkStmt := &tcap.Stmt{Op: tcap.OpOutput}
+	ranges := BatchRanges(fx.pages, BatchSize)
+	mk := func(_ int, stats *Stats, _ <-chan struct{}) (Sink, *Ctx, error) {
+		sink := &collectSink{}
+		ctx, err := NewSinkCtx(sink, fx.reg, nil, 1<<16, nil, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sink, ctx, nil
+	}
+	if morselPages > 0 {
+		morsels := MorselRanges(ranges, morselPages)
+		var rows []string
+		_, err := RunPipelineMorsels(morsels, "obj", stmts, fx.sreg, sinkStmt, threads, mk,
+			func(m int, sink Sink, ctx *Ctx, _ <-chan struct{}) error {
+				rows = append(rows, sink.(*collectSink).rows...)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	chunks := SplitRanges(ranges, threads)
+	if len(chunks) == 0 {
+		chunks = [][]PageRange{nil}
+	}
+	pt, err := RunPipelineThreads(chunks, "obj", stmts, fx.sreg, sinkStmt, mk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for _, s := range pt.Sinks {
+		rows = append(rows, s.(*collectSink).rows...)
+	}
+	return rows
+}
+
+// checkEquivalence runs the chain unfused sequentially as the reference,
+// then fused and unfused across thread counts and both schedulers, and
+// requires identical rows everywhere.
+func checkEquivalence(t testing.TB, fx *fuseFixture, chain []*tcap.Stmt, fusedVariants [][]*tcap.Stmt) {
+	t.Helper()
+	ref := runChain(t, fx, cloneChain(chain), 1, 0)
+	for _, threads := range []int{1, 2, 8} {
+		for _, morselPages := range []int{0, 1, 3} {
+			variants := append([][]*tcap.Stmt{cloneChain(chain)}, fusedVariants...)
+			for vi, stmts := range variants {
+				got := runChain(t, fx, stmts, threads, morselPages)
+				if len(got) != len(ref) {
+					t.Fatalf("variant %d threads=%d morselPages=%d: %d rows, want %d",
+						vi, threads, morselPages, len(got), len(ref))
+				}
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("variant %d threads=%d morselPages=%d: row %d = %q, want %q",
+							vi, threads, morselPages, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedCorpusEquivalence pins the corpus of interesting chain shapes.
+func TestFusedCorpusEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *chainBuilder)
+		n     int
+	}{
+		{"apply-run", func(b *chainBuilder) {
+			b.mapStep("affine", nil)
+			b.mapStep("xor", nil)
+			b.mapStep("mod", nil)
+		}, 700},
+		{"filter-then-map", func(b *chainBuilder) {
+			b.filterStep("even")
+			b.mapStep("affine", nil)
+		}, 700},
+		{"adjacent-filters", func(b *chainBuilder) {
+			// Compute both predicates first so the two FILTER statements
+			// are adjacent and exercise in-place selection refinement.
+			b.apply("even", "bA", nil)
+			b.apply("pos", "bB", nil)
+			b.filterOn("bA")
+			b.filterOn("bB")
+			b.mapStep("mod", nil)
+		}, 700},
+		{"ends-in-filter", func(b *chainBuilder) {
+			b.mapStep("xor", nil)
+			b.filterStep("mod3")
+		}, 700},
+		{"hash-feeds-map", func(b *chainBuilder) {
+			b.hashStep()
+			b.mapStep("mod", nil)
+			b.filterStep("even")
+			b.hashStep()
+		}, 500},
+		{"filter-everything", func(b *chainBuilder) {
+			b.mapStep("affine", nil)
+			b.filterStep("none")
+			b.mapStep("xor", nil)
+		}, 300},
+		{"empty-input", func(b *chainBuilder) {
+			b.filterStep("even")
+			b.mapStep("affine", nil)
+		}, 0},
+		{"drops-old-columns", func(b *chainBuilder) {
+			b.mapStep("affine", nil)
+			b.mapStep("xor", map[string]bool{"v0": true})
+			b.filterStep("pos")
+		}, 700},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fx := newFuseFixture(t, tc.n)
+			b := newChainBuilder()
+			tc.build(b)
+			rng := rand.New(rand.NewSource(7))
+			checkEquivalence(t, fx, b.stmts,
+				[][]*tcap.Stmt{annotateAll(b.stmts), annotateRandom(b.stmts, rng)})
+		})
+	}
+}
+
+// buildRandomChain derives a chain from the seed: 2–7 random steps drawn
+// from maps, filters, and hashes, with random column drops.
+func buildRandomChain(rng *rand.Rand) []*tcap.Stmt {
+	b := newChainBuilder()
+	mapNames := []string{"affine", "xor", "mod"}
+	predNames := []string{"even", "pos", "mod3", "none"}
+	steps := 2 + rng.Intn(6)
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			drop := map[string]bool{}
+			for _, c := range b.cols {
+				if c != b.cur && rng.Intn(4) == 0 {
+					drop[c] = true
+				}
+			}
+			b.mapStep(mapNames[rng.Intn(len(mapNames))], drop)
+		case 2:
+			// "none" is rare so most random chains keep rows flowing.
+			name := predNames[rng.Intn(3)]
+			if rng.Intn(10) == 0 {
+				name = "none"
+			}
+			b.filterStep(name)
+		case 3:
+			b.hashStep()
+		}
+	}
+	return b.stmts
+}
+
+// TestFusionEquivalenceRandomized sweeps seeded random chains through the
+// full configuration grid.
+func TestFusionEquivalenceRandomized(t *testing.T) {
+	fx := newFuseFixture(t, 600)
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		chain := buildRandomChain(rng)
+		checkEquivalence(t, fx, chain,
+			[][]*tcap.Stmt{annotateAll(chain), annotateRandom(chain, rng)})
+	}
+}
+
+// FuzzFusionEquivalence drives the randomized harness from fuzzed seeds:
+// any seed where the fused rows diverge from the unfused reference is a
+// fusion bug.
+func FuzzFusionEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	fx := newFuseFixture(f, 300)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		chain := buildRandomChain(rng)
+		ref := runChain(t, fx, cloneChain(chain), 1, 0)
+		for _, cfg := range []struct{ threads, morselPages int }{
+			{1, 0}, {2, 0}, {2, 2}, {8, 1},
+		} {
+			got := runChain(t, fx, annotateAll(chain), cfg.threads, cfg.morselPages)
+			if len(got) != len(ref) {
+				t.Fatalf("threads=%d morselPages=%d: %d rows, want %d",
+					cfg.threads, cfg.morselPages, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("threads=%d morselPages=%d: row %d = %q, want %q",
+						cfg.threads, cfg.morselPages, i, got[i], ref[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package engine
+
+// Morsel-driven stage scheduling (after Leis et al., "Morsel-Driven
+// Parallelism"): instead of statically splitting a stage's batch ranges
+// into Config.Threads contiguous chunks up front (SplitRanges), executor
+// threads pull fixed-size morsels from a shared dispatcher, so a skewed
+// batch rebalances across its idle siblings instead of stalling one thread.
+//
+// Determinism is preserved by separating processing from release: every
+// morsel carries its source index, threads process morsels in whatever
+// order the dispatcher hands them out, and a single ordered releaser emits
+// each morsel's result — append its pages, absorb its aggregation maps,
+// send its sealed pages down the exchange — strictly in morsel index order.
+// Morsels partition the source contiguously, so index order is source
+// order and the released stream is exactly what a sequential run produces.
+// An admission window of 2×threads outstanding morsels bounds how many
+// completed-but-unreleased results can buffer behind a slow morsel.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tcap"
+)
+
+// MorselRanges groups a stage's batch ranges into morsels of up to
+// morselPages consecutive ranges each (a range is one BatchSize-row span of
+// one source page). Zero ranges yield a single empty morsel, mirroring the
+// static path's empty-chunk contract so per-morsel sinks still run their
+// close protocol.
+func MorselRanges(ranges []PageRange, morselPages int) [][]PageRange {
+	if morselPages < 1 {
+		morselPages = 1
+	}
+	if len(ranges) == 0 {
+		return [][]PageRange{nil}
+	}
+	out := make([][]PageRange, 0, (len(ranges)+morselPages-1)/morselPages)
+	for i := 0; i < len(ranges); i += morselPages {
+		j := i + morselPages
+		if j > len(ranges) {
+			j = len(ranges)
+		}
+		out = append(out, ranges[i:j])
+	}
+	return out
+}
+
+// morselReleaser serializes result release in morsel index order: threads
+// offer finished results, and whichever thread completes the next expected
+// index drains the ready backlog (outside the lock) before returning.
+type morselReleaser struct {
+	mu        sync.Mutex
+	next      int
+	ready     map[int]any
+	releasing bool
+	err       error // poison: first release failure aborts all offers
+	release   func(m int, res any, stop <-chan struct{}) error
+	tokens    chan struct{}
+}
+
+// offer registers morsel m's result and, if m unblocked the release
+// cursor, drains the ready backlog in order. stop is the offering thread's
+// stop channel — every thread of a run shares the same one, so releases
+// performed on behalf of other threads observe the same aborts.
+func (r *morselReleaser) offer(m int, res any, stop <-chan struct{}) error {
+	r.mu.Lock()
+	if r.err != nil {
+		err := r.err
+		r.mu.Unlock()
+		return err
+	}
+	r.ready[m] = res
+	if r.releasing {
+		r.mu.Unlock()
+		return nil
+	}
+	r.releasing = true
+	for {
+		res, ok := r.ready[r.next]
+		if !ok {
+			r.releasing = false
+			r.mu.Unlock()
+			return nil
+		}
+		delete(r.ready, r.next)
+		idx := r.next
+		r.mu.Unlock()
+		err := r.release(idx, res, stop)
+		r.mu.Lock()
+		if err != nil {
+			r.err = err
+			r.releasing = false
+			r.mu.Unlock()
+			return err
+		}
+		r.next++
+		// Return the released morsel's admission token. Puts never exceed
+		// takes, so this send cannot block.
+		r.tokens <- struct{}{}
+	}
+}
+
+// RunMorsels drives count morsels across threads executor threads: work
+// processes one morsel on its claiming thread (concurrently, any order),
+// release consumes each morsel's result exactly once, serialized in morsel
+// index order. The admission window — max(4, 2×threads) morsels claimed
+// but not yet released — bounds the memory buffered behind a slow morsel.
+// Both callbacks receive the run's stop channel (closed on sibling
+// failure; nil when threads == 1) and should abandon blocking work when it
+// closes. Panics in user code re-raise on the caller, as ParallelThreads.
+func RunMorsels(count, threads int,
+	work func(t, m int, stop <-chan struct{}) (any, error),
+	release func(m int, res any, stop <-chan struct{}) error) error {
+	if threads < 1 {
+		threads = 1
+	}
+	window := 2 * threads
+	if window < 4 {
+		window = 4
+	}
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	var nextClaim int64
+	rel := &morselReleaser{ready: make(map[int]any), tokens: tokens, release: release}
+	body := func(t int, stop <-chan struct{}) error {
+		for {
+			select {
+			case <-tokens:
+			case <-stop:
+				return ErrAborted
+			}
+			m := int(atomic.AddInt64(&nextClaim, 1)) - 1
+			if m >= count {
+				tokens <- struct{}{}
+				return nil
+			}
+			res, err := work(t, m, stop)
+			if err != nil {
+				return err
+			}
+			if err := rel.offer(m, res, stop); err != nil {
+				return err
+			}
+		}
+	}
+	return ParallelThreads(threads, body)
+}
+
+// morselResult carries one processed morsel's sink and ctx from its
+// processing thread to the ordered releaser.
+type morselResult struct {
+	sink Sink
+	ctx  *Ctx
+}
+
+// RunPipelineMorsels is the morsel-mode counterpart of RunPipelineThreads:
+// it drives a pipeline stage morsel-by-morsel instead of chunk-by-thread.
+// mk builds a private sink and ctx per *morsel* (charging counters to the
+// claiming thread's Stats); each morsel scans its ranges through its own
+// Pipeline and closes its sink's stream locally (no OnSeal hooks — sealed
+// pages stay buffered in the sink); then emit consumes each morsel's sink
+// exactly once, serialized in morsel index order, while later morsels are
+// still processing. The returned per-thread Stats expose Morsels — how
+// many each thread pulled — even when a morsel failed.
+func RunPipelineMorsels(morsels [][]PageRange, sourceCol string, stmts []*tcap.Stmt,
+	reg *StageRegistry, sinkStmt *tcap.Stmt, threads int,
+	mk func(m int, stats *Stats, stop <-chan struct{}) (Sink, *Ctx, error),
+	emit func(m int, sink Sink, ctx *Ctx, stop <-chan struct{}) error) ([]Stats, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	stats := make([]Stats, threads)
+	work := func(t, m int, stop <-chan struct{}) (any, error) {
+		stats[t].Morsels++
+		sink, ctx, err := mk(m, &stats[t], stop)
+		if err != nil {
+			return nil, err
+		}
+		pipe := &Pipeline{Stmts: stmts, Reg: reg, Sink: sink, SinkStmt: sinkStmt}
+		err = ScanRanges(morsels[m], sourceCol, func(vl *VectorList) error {
+			select {
+			case <-stop:
+				return ErrAborted
+			default:
+			}
+			return pipe.RunBatch(ctx, vl)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ss, ok := sink.(StreamSink); ok {
+			if err := ss.CloseStream(); err != nil {
+				return nil, err
+			}
+		}
+		return &morselResult{sink: sink, ctx: ctx}, nil
+	}
+	release := func(m int, res any, stop <-chan struct{}) error {
+		mr := res.(*morselResult)
+		return emit(m, mr.sink, mr.ctx, stop)
+	}
+	err := RunMorsels(len(morsels), threads, work, release)
+	return stats, err
+}

@@ -1,0 +1,357 @@
+package engine
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+func TestMorselRangesGrouping(t *testing.T) {
+	mk := func(n int) []PageRange {
+		out := make([]PageRange, n)
+		for i := range out {
+			out[i] = PageRange{Start: i, End: i + 1}
+		}
+		return out
+	}
+	cases := []struct {
+		ranges, per int
+		want        []int // morsel sizes
+	}{
+		{0, 4, []int{0}}, // empty input still yields one (empty) morsel
+		{1, 4, []int{1}},
+		{4, 4, []int{4}},
+		{5, 4, []int{4, 1}},
+		{10, 3, []int{3, 3, 3, 1}},
+		{3, 0, []int{1, 1, 1}}, // morselPages < 1 clamps to 1
+	}
+	for _, c := range cases {
+		got := MorselRanges(mk(c.ranges), c.per)
+		if len(got) != len(c.want) {
+			t.Fatalf("MorselRanges(%d, %d) = %d morsels, want %d", c.ranges, c.per, len(got), len(c.want))
+		}
+		seen := 0
+		for i, m := range got {
+			if len(m) != c.want[i] {
+				t.Fatalf("MorselRanges(%d, %d)[%d] has %d ranges, want %d", c.ranges, c.per, i, len(m), c.want[i])
+			}
+			for _, r := range m {
+				if r.Start != seen {
+					t.Fatalf("morsel ranges out of source order at %d", seen)
+				}
+				seen++
+			}
+		}
+	}
+}
+
+// TestRunMorselsReleaseOrder drives morsels that finish in scrambled order
+// and checks the releaser still consumes each result exactly once, in
+// morsel index order, with the work result passed through.
+func TestRunMorselsReleaseOrder(t *testing.T) {
+	const count = 40
+	next := 0
+	err := RunMorsels(count, 8,
+		func(tid, m int, stop <-chan struct{}) (any, error) {
+			time.Sleep(time.Duration((m*37)%5) * time.Millisecond)
+			return m * m, nil
+		},
+		func(m int, res any, stop <-chan struct{}) error {
+			// Releases are serialized by the dispatcher (mutex handoff), so
+			// plain state is safe here.
+			if m != next {
+				t.Errorf("release order: got morsel %d, want %d", m, next)
+			}
+			if res.(int) != m*m {
+				t.Errorf("morsel %d result = %v, want %d", m, res, m*m)
+			}
+			next++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != count {
+		t.Fatalf("released %d morsels, want %d", next, count)
+	}
+}
+
+// TestRunMorselsErrorPoison checks both failure paths: a failing release
+// poisons the run (no later morsel is released), and a failing work
+// callback aborts the run.
+func TestRunMorselsErrorPoison(t *testing.T) {
+	boom := errors.New("boom")
+	var released int32
+	err := RunMorsels(30, 4,
+		func(tid, m int, stop <-chan struct{}) (any, error) { return m, nil },
+		func(m int, res any, stop <-chan struct{}) error {
+			if m == 5 {
+				return boom
+			}
+			atomic.AddInt32(&released, 1)
+			if m > 5 {
+				t.Errorf("morsel %d released after the poison", m)
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("release failure: err = %v, want %v", err, boom)
+	}
+
+	err = RunMorsels(30, 4,
+		func(tid, m int, stop <-chan struct{}) (any, error) {
+			if m == 3 {
+				return nil, boom
+			}
+			return m, nil
+		},
+		func(m int, res any, stop <-chan struct{}) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("work failure: err = %v, want %v", err, boom)
+	}
+}
+
+// skewFixture builds one pathologically heavy page (its batch blocks until
+// the light batches are nearly done, standing in for a long-running range)
+// among several light pages, and registers a doubling kernel over both.
+type skewFixture struct {
+	reg    *object.Registry
+	pages  []*object.Page
+	ti     *object.TypeInfo
+	lights int
+}
+
+const skewHeavyMark = int64(1) << 40
+
+func newSkewFixture(t *testing.T, lights, heavyRows, lightRows int) *skewFixture {
+	t.Helper()
+	fx := &skewFixture{reg: object.NewRegistry(), lights: lights}
+	fx.ti = object.NewStruct("SkewRec").AddField("x", object.KInt64).MustBuild(fx.reg)
+	mkPage := func(rows int, base int64) *object.Page {
+		p := object.NewPage(1<<18, fx.reg)
+		a := object.NewAllocator(p, object.PolicyLightweightReuse)
+		root, err := object.MakeVector(a, object.KHandle, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Retain()
+		p.SetRoot(root.Off)
+		for i := 0; i < rows; i++ {
+			r, err := a.MakeObject(fx.ti)
+			if err != nil {
+				t.Fatal(err)
+			}
+			object.SetI64(r, fx.ti.Field("x"), base+int64(i))
+			if err := root.PushBackHandle(a, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	fx.pages = append(fx.pages, mkPage(heavyRows, skewHeavyMark))
+	for l := 0; l < lights; l++ {
+		fx.pages = append(fx.pages, mkPage(lightRows, int64(l*1000)))
+	}
+	return fx
+}
+
+// registry builds the doubling kernel; with gate non-nil the heavy batch
+// blocks on it and the (lights-1)-th light batch closes it, so the heavy
+// morsel provably overlaps the light ones.
+func (fx *skewFixture) registry(gate chan struct{}) *StageRegistry {
+	field := fx.ti.Field("x")
+	lightDone := new(int32)
+	sr := NewStageRegistry()
+	sr.Register("F", "skew", func(ctx *Ctx, in []Column) (Column, error) {
+		rc := in[0].(RefCol)
+		out := make(I64Col, len(rc))
+		heavy := false
+		for i, r := range rc {
+			x := object.GetI64(r, field)
+			if x >= skewHeavyMark {
+				heavy = true
+			}
+			out[i] = x * 2
+		}
+		if gate != nil {
+			if heavy {
+				<-gate
+			} else if atomic.AddInt32(lightDone, 1) == int32(fx.lights-1) {
+				close(gate)
+			}
+		}
+		return out, nil
+	})
+	return sr
+}
+
+func skewChain() []*tcap.Stmt {
+	return []*tcap.Stmt{{
+		Op:      tcap.OpApply,
+		Comp:    "F",
+		Stage:   "skew",
+		Applied: tcap.ColumnsRef{Name: "s0", Cols: []string{"obj"}},
+		Copied:  tcap.ColumnsRef{Name: "s0", Cols: []string{}},
+		Out:     tcap.ColumnsRef{Name: "s1", Cols: []string{"y"}},
+	}}
+}
+
+// TestMorselSkewRebalance is the skew regression test: one heavy range
+// among light ones must not serialize the stage behind a single thread.
+// The heavy morsel blocks until the light morsels are nearly all processed
+// — which can only happen if sibling threads keep pulling morsels while
+// the heavy one is stuck — then the output must still match the static
+// split baseline bit-for-bit, and the per-thread Morsels gauges must show
+// the work was shared.
+func TestMorselSkewRebalance(t *testing.T) {
+	const threads = 4
+	const lights = 6
+	fx := newSkewFixture(t, lights, 200, 50)
+	chain := skewChain()
+	sinkStmt := &tcap.Stmt{Op: tcap.OpOutput}
+
+	run := func(sreg *StageRegistry, morselPages int) ([]string, []Stats) {
+		ranges := BatchRanges(fx.pages, BatchSize)
+		mk := func(_ int, stats *Stats, _ <-chan struct{}) (Sink, *Ctx, error) {
+			sink := &collectSink{}
+			ctx, err := NewSinkCtx(sink, fx.reg, nil, 1<<16, nil, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sink, ctx, nil
+		}
+		if morselPages > 0 {
+			morsels := MorselRanges(ranges, morselPages)
+			var rows []string
+			stats, err := RunPipelineMorsels(morsels, "obj", chain, sreg, sinkStmt, threads, mk,
+				func(m int, sink Sink, ctx *Ctx, _ <-chan struct{}) error {
+					rows = append(rows, sink.(*collectSink).rows...)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rows, stats
+		}
+		chunks := SplitRanges(ranges, threads)
+		pt, err := RunPipelineThreads(chunks, "obj", chain, sreg, sinkStmt, mk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []string
+		for _, s := range pt.Sinks {
+			rows = append(rows, s.(*collectSink).rows...)
+		}
+		return rows, pt.Stats
+	}
+
+	// Static baseline with the ungated kernel.
+	want, staticStats := run(fx.registry(nil), 0)
+	for _, s := range staticStats {
+		if s.Morsels != 0 {
+			t.Fatalf("static path counted %d morsels, want 0", s.Morsels)
+		}
+	}
+
+	// Morsel run with the gate armed: the heavy morsel (index 0, claimed
+	// first) cannot finish until lights-1 light morsels have been processed
+	// by the other threads.
+	got, stats := run(fx.registry(make(chan struct{})), 1)
+
+	if len(got) != len(want) {
+		t.Fatalf("morsel output %d rows, static %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: morsel %q != static %q", i, got[i], want[i])
+		}
+	}
+
+	totalMorsels, active, max := 0, 0, 0
+	for _, s := range stats {
+		totalMorsels += s.Morsels
+		if s.Morsels > 0 {
+			active++
+		}
+		if s.Morsels > max {
+			max = s.Morsels
+		}
+	}
+	if totalMorsels != 1+lights {
+		t.Fatalf("morsels pulled = %d, want %d", totalMorsels, 1+lights)
+	}
+	if active < 2 {
+		t.Fatalf("only %d thread(s) pulled morsels; skew was not rebalanced", active)
+	}
+	if max == totalMorsels {
+		t.Fatalf("one thread pulled all %d morsels", totalMorsels)
+	}
+}
+
+// TestMorselHeavyPageEquivalence drives a genuinely skewed source (one page
+// with far more rows than its siblings) through static and morsel
+// scheduling at several thread counts and morsel sizes: output must be
+// bit-for-bit identical everywhere.
+func TestMorselHeavyPageEquivalence(t *testing.T) {
+	fx := newSkewFixture(t, 6, 2000, 16)
+	chain := skewChain()
+	sinkStmt := &tcap.Stmt{Op: tcap.OpOutput}
+	sreg := fx.registry(nil)
+
+	run := func(threads, morselPages int) []string {
+		ranges := BatchRanges(fx.pages, BatchSize)
+		mk := func(_ int, stats *Stats, _ <-chan struct{}) (Sink, *Ctx, error) {
+			sink := &collectSink{}
+			ctx, err := NewSinkCtx(sink, fx.reg, nil, 1<<16, nil, stats)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sink, ctx, nil
+		}
+		if morselPages > 0 {
+			morsels := MorselRanges(ranges, morselPages)
+			var rows []string
+			_, err := RunPipelineMorsels(morsels, "obj", chain, sreg, sinkStmt, threads, mk,
+				func(m int, sink Sink, ctx *Ctx, _ <-chan struct{}) error {
+					rows = append(rows, sink.(*collectSink).rows...)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rows
+		}
+		chunks := SplitRanges(ranges, threads)
+		if len(chunks) == 0 {
+			chunks = [][]PageRange{nil}
+		}
+		pt, err := RunPipelineThreads(chunks, "obj", chain, sreg, sinkStmt, mk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []string
+		for _, s := range pt.Sinks {
+			rows = append(rows, s.(*collectSink).rows...)
+		}
+		return rows
+	}
+
+	want := run(1, 0)
+	for _, threads := range []int{1, 2, 8} {
+		for _, morselPages := range []int{0, 1, 2, 5} {
+			got := run(threads, morselPages)
+			if len(got) != len(want) {
+				t.Fatalf("threads=%d morselPages=%d: %d rows, want %d", threads, morselPages, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("threads=%d morselPages=%d row %d: %q != %q", threads, morselPages, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -30,6 +30,12 @@ type Pipeline struct {
 	// are still live.
 	splitScratch  []int
 	splitScratchB bool // scratch currently lent to a split in progress
+
+	// fusePlan caches the statement slice cut into fused segments
+	// (optimizer rule 4), built lazily on the first batch; Stmts never
+	// changes after construction.
+	fusePlan      []fuseSeg
+	fusePlanBuilt bool
 }
 
 // RunBatch pushes one source vector list through every stage and into the
@@ -109,9 +115,20 @@ func (p *Pipeline) splitIndices(n int) (idx []int, reused bool) {
 }
 
 func (p *Pipeline) applyStmts(ctx *Ctx, vl *VectorList) (*VectorList, error) {
+	if !p.fusePlanBuilt {
+		p.fusePlan = buildFusePlan(p.Stmts)
+		p.fusePlanBuilt = true
+	}
 	cur := vl
-	for _, s := range p.Stmts {
-		next, err := executeStmt(ctx, p.Reg, s, cur)
+	for i := range p.fusePlan {
+		seg := &p.fusePlan[i]
+		var next *VectorList
+		var err error
+		if len(seg.stmts) > 1 {
+			next, err = execFused(ctx, p.Reg, seg, cur)
+		} else {
+			next, err = executeStmt(ctx, p.Reg, seg.stmts[0], cur)
+		}
 		if err != nil {
 			return nil, err
 		}

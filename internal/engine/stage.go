@@ -70,6 +70,25 @@ func execHash(ctx *Ctx, s *tcap.Stmt, in *VectorList) (*VectorList, error) {
 	if c == nil {
 		return nil, fmt.Errorf("engine: HASH: missing column %q", s.Applied.Cols[0])
 	}
+	hashes, err := hashColumn(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	out, err := in.Project(s.Copied.Cols)
+	if err != nil {
+		return nil, err
+	}
+	newNames := s.NewColumns()
+	if len(newNames) != 1 {
+		return nil, fmt.Errorf("engine: HASH must create exactly one column")
+	}
+	out.Append(newNames[0], hashes)
+	return out, nil
+}
+
+// hashColumn hashes one column into a fresh U64 column with the typed loop
+// shared by execHash and the fused pass.
+func hashColumn(ctx *Ctx, c Column) (U64Col, error) {
 	n := c.Len()
 	hashes := make(U64Col, n)
 	switch col := c.(type) {
@@ -94,16 +113,7 @@ func execHash(ctx *Ctx, s *tcap.Stmt, in *VectorList) (*VectorList, error) {
 			hashes[i] = object.HashValue(c.Value(i))
 		}
 	}
-	out, err := in.Project(s.Copied.Cols)
-	if err != nil {
-		return nil, err
-	}
-	newNames := s.NewColumns()
-	if len(newNames) != 1 {
-		return nil, fmt.Errorf("engine: HASH must create exactly one column")
-	}
-	out.Append(newNames[0], hashes)
-	return out, nil
+	return hashes, nil
 }
 
 // hashRefCol hashes a handle column with a typed loop: objects whose
