@@ -164,6 +164,23 @@ func BenchmarkMorselSkewLadder(b *testing.B) {
 	})
 }
 
+// BenchmarkHashTableLadder is the hash-backend ablation: agg-heavy,
+// join-heavy, and duplicate-skewed rungs under the swiss-table backend vs
+// the map baseline, plus a RefTable-vs-map micro rung, with bit-for-bit
+// cross-backend identity enforced as an error so the CI bench smoke gates
+// merges on it.
+func BenchmarkHashTableLadder(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunHashTableLadder(bench.HashLadderConfig{
+			Workers: 2, Threads: 4,
+			AggN: 20000, AggGroups: 128,
+			JoinLeft: 6000, JoinRight: 400, JoinKeys: 199,
+			SkewLeft: 4000, SkewRight: 200, SkewKeys: 50,
+			MicroN: 50000, Reps: 1,
+		})
+	})
+}
+
 // BenchmarkSpillLadder is the memory-governor ablation: the same workloads
 // under a shrinking Config.MemoryBudget, down to a single page, with the
 // bit-for-bit identity and resident-bytes-within-budget checks enforced as

@@ -20,7 +20,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "run only this table (2-8); 0 = all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
-	scaling := flag.Bool("scaling", false, "run only the thread-scaling, shuffle-overlap, memory-budget, and morsel-scheduling ablations (pipeline, aggregation, join, exchange, spill, skew); persists BENCH_7.json")
+	scaling := flag.Bool("scaling", false, "run only the thread-scaling, shuffle-overlap, memory-budget, morsel-scheduling, and hash-table ablations (pipeline, aggregation, join, exchange, spill, skew, swiss); persists BENCH_7.json and BENCH_8.json")
 	chaos := flag.Bool("chaos", false, "run the seeded fault-injection campaign (crash/IO-error schedules across workers x threads x budgets); persists BENCH_6.json")
 	flag.Parse()
 
@@ -59,6 +59,19 @@ func main() {
 		}
 		out := filepath.Join(repoRoot(), "BENCH_7.json")
 		if err := bench.WriteJSON(out, tables); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+
+		// The hash-ablation ladder persists separately: BENCH_8.json is the
+		// swiss-table acceptance artifact (identity enforced inside the run).
+		ht, err := bench.RunHashTableLadder(bench.DefaultHashLadder())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ht.Format())
+		out = filepath.Join(repoRoot(), "BENCH_8.json")
+		if err := bench.WriteJSON(out, []*bench.Table{ht}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", out)

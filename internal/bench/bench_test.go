@@ -102,16 +102,17 @@ func TestRunCoPartitionedJoinSmoke(t *testing.T) {
 	}
 }
 
-// TestChaosCampaignCI is the CI chaos step: a fixed-seed short sweep (48
+// TestChaosCampaignCI is the CI chaos step: a fixed-seed short sweep (96
 // fault schedules at one cluster shape, both budgets, both schedulers, both
-// workloads) that must uphold the campaign contract — bit-for-bit identity
-// after absorbed crashes, clean failures on injected I/O errors, zero leaks.
+// hash-table backends, both workloads) that must uphold the campaign
+// contract — bit-for-bit identity after absorbed crashes, clean failures on
+// injected I/O errors, zero leaks.
 func TestChaosCampaignCI(t *testing.T) {
 	tab, err := RunChaosCampaign(CIChaos())
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkTable(t, tab, nil, 8) // 1 cell × 2 budgets × 2 schedulers × 2 workloads
+	checkTable(t, tab, nil, 16) // 1 cell × 2 budgets × 2 schedulers × 2 backends × 2 workloads
 	fired := 0
 	for _, r := range tab.Rows {
 		var n int

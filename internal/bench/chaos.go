@@ -27,6 +27,7 @@ type ChaosConfig struct {
 	Threads      []int
 	Budgets      []int64 // 0 = unbounded; nonzero exercises the spill sites
 	MorselPages  []int   // 0 = static splits; >0 sweeps the morsel dispatcher
+	NoSwissTable []bool  // hash-table backend: false = swiss, true = map/linear
 	SeedsPerCell int     // seeds per (cell, workload); consecutive seeds cycle sites
 	BaseSeed     int64
 
@@ -43,14 +44,15 @@ type ChaosConfig struct {
 }
 
 // DefaultChaos is the full campaign: 3 worker counts × 3 thread counts ×
-// 2 budgets × 2 schedulers (static, morsel) × 2 workloads × 6 seeds =
-// 432 fault schedules.
+// 2 budgets × 2 schedulers (static, morsel) × 2 hash-table backends ×
+// 2 workloads × 6 seeds = 864 fault schedules.
 func DefaultChaos() ChaosConfig {
 	return ChaosConfig{
 		Workers:      []int{1, 2, 4},
 		Threads:      []int{1, 2, 8},
 		Budgets:      []int64{0, 1 << 12},
 		MorselPages:  []int{0, 2},
+		NoSwissTable: []bool{false, true},
 		SeedsPerCell: 6,
 		BaseSeed:     1,
 		AggN:         4000, AggGroups: 499,
@@ -60,8 +62,8 @@ func DefaultChaos() ChaosConfig {
 }
 
 // CIChaos is the short fixed-seed profile the CI chaos step runs under the
-// race detector: 1 cell × 2 budgets × 2 schedulers × 2 workloads × 6 seeds
-// = 48 schedules.
+// race detector: 1 cell × 2 budgets × 2 schedulers × 2 backends ×
+// 2 workloads × 6 seeds = 96 schedules.
 func CIChaos() ChaosConfig {
 	cfg := DefaultChaos()
 	cfg.Workers = []int{2}
@@ -93,6 +95,7 @@ type chaosCell struct {
 	workers, threads int
 	budget           int64
 	morselPages      int
+	noSwiss          bool
 }
 
 // chaosOutcome tallies one (cell, workload) slice of the campaign.
@@ -112,12 +115,18 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 	if len(morselPages) == 0 {
 		morselPages = []int{0}
 	}
+	backends := cfg.NoSwissTable
+	if len(backends) == 0 {
+		backends = []bool{false}
+	}
 	var cells []chaosCell
 	for _, w := range cfg.Workers {
 		for _, th := range cfg.Threads {
 			for _, b := range cfg.Budgets {
 				for _, mp := range morselPages {
-					cells = append(cells, chaosCell{workers: w, threads: th, budget: b, morselPages: mp})
+					for _, ns := range backends {
+						cells = append(cells, chaosCell{workers: w, threads: th, budget: b, morselPages: mp, noSwiss: ns})
+					}
 				}
 			}
 		}
@@ -127,7 +136,8 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 		return cluster.New(cluster.Config{
 			Workers: cell.workers, Threads: cell.threads, PageSize: 1 << 12,
 			ShuffleCapacity: 2, CheckpointInterval: interval,
-			MemoryBudget: cell.budget, MorselPages: cell.morselPages, Fault: plan,
+			MemoryBudget: cell.budget, MorselPages: cell.morselPages,
+			NoSwissTable: cell.noSwiss, Fault: plan,
 		})
 	}
 	// The two workloads, as (reference rows, faulted rows) runners. The agg
@@ -178,8 +188,8 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 			}
 			refRows, err := wl.run(refCluster)
 			if err != nil {
-				return nil, fmt.Errorf("chaos: fault-free %s reference (w=%d t=%d budget=%d mp=%d): %w",
-					wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages, err)
+				return nil, fmt.Errorf("chaos: fault-free %s reference (w=%d t=%d budget=%d mp=%d ns=%v): %w",
+					wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages, cell.noSwiss, err)
 			}
 			if wl.sorted {
 				sort.Strings(refRows)
@@ -196,8 +206,8 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 			for i := 0; i < cfg.SeedsPerCell; i++ {
 				plan := fault.Seeded(seed, cell.workers, sites)
 				seed++
-				label := fmt.Sprintf("%s w=%d t=%d budget=%d mp=%d seed=%d [%s]",
-					wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages, seed-1, plan)
+				label := fmt.Sprintf("%s w=%d t=%d budget=%d mp=%d ns=%v seed=%d [%s]",
+					wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages, cell.noSwiss, seed-1, plan)
 				c, err := mkCluster(cell, wl.interval, plan)
 				if err != nil {
 					return nil, err
@@ -242,7 +252,7 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 				}
 			}
 			t.Rows = append(t.Rows, Row{
-				Name: fmt.Sprintf("%s w=%d t=%d budget=%d mp=%d", wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages),
+				Name: fmt.Sprintf("%s w=%d t=%d budget=%d mp=%d ns=%v", wl.name, cell.workers, cell.threads, cell.budget, cell.morselPages, cell.noSwiss),
 				Cells: []string{
 					fmt.Sprintf("%d", out.schedules), fmt.Sprintf("%d", out.fired),
 					fmt.Sprintf("%d", out.pending), fmt.Sprintf("%d", out.cleanFails),

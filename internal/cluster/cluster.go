@@ -187,6 +187,13 @@ type Config struct {
 	// ablation knob for comparing against statement-at-a-time execution.
 	// Results are bit-for-bit identical either way.
 	NoFusion bool
+	// NoSwissTable disables the swiss open-addressing hash structures on
+	// the agg and join hot paths (internal/swiss), reverting join tables
+	// to plain Go maps and aggregation probes to OMap's own linear-probe
+	// chain — the hash-table ablation baseline. Results, output page
+	// bytes, checkpoint snapshots, and spill streams are bit-for-bit
+	// identical either way; only probe speed and allocation churn differ.
+	NoSwissTable bool
 	// Fault, when non-nil, is a deterministic fault-injection schedule
 	// (internal/fault) the runtime consults at every instrumented crash
 	// site — page seals, deliveries, checkpoint writes, spills, finalize,

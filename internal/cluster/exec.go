@@ -255,7 +255,11 @@ func (c *Cluster) newStageSink(res *core.CompileResult, stage *physical.JobStage
 	case physical.SinkOutput, physical.SinkMaterialize:
 		return engine.NewOutputSink(w.Reg(), c.Cfg.PageSize, c.pool, stats)
 	case physical.SinkJoinBuild:
-		return engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0]), nil
+		sink := engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0])
+		if c.Cfg.NoSwissTable {
+			sink.Table = engine.NewMapJoinTable()
+		}
+		return sink, nil
 	default:
 		return nil, fmt.Errorf("unknown sink %v", stage.Sink)
 	}
@@ -594,6 +598,7 @@ func (c *Cluster) runPreAggStreamOnWorker(res *core.CompileResult, stage *physic
 		if err != nil {
 			return nil, nil, err
 		}
+		sink.NoSwiss = c.Cfg.NoSwissTable
 		ctx, err := engine.NewSinkCtx(sink, w.Reg(), w.artTables, c.Cfg.PageSize, c.pool, stats)
 		if err != nil {
 			return nil, nil, err
@@ -723,8 +728,12 @@ func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobS
 		}
 		return p, ok, err
 	}
+	var mergeOpts []engine.MergeOpt
+	if c.Cfg.NoSwissTable {
+		mergeOpts = append(mergeOpts, engine.NoSwissMerge())
+	}
 	finals, mergePages, err := engine.MergeAggMapsStream(w.Reg(), next, w.ID, len(c.Workers),
-		spec, c.Cfg.PageSize, c.pool, c.Cfg.Threads, release, ckptr)
+		spec, c.Cfg.PageSize, c.pool, c.Cfg.Threads, release, ckptr, mergeOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,15 @@ import (
 	"repro/internal/object"
 )
 
+// newJoinTable creates an empty join table on the backend Config selects
+// (swiss by default, Go map under the NoSwissTable ablation).
+func (c *Cluster) newJoinTable() *engine.JoinTable {
+	if c.Cfg.NoSwissTable {
+		return engine.NewMapJoinTable()
+	}
+	return engine.NewJoinTable()
+}
+
 // HashPartitionJoin implements the paper's 2n-job-stage distributed
 // equi-join (Appendix D.3) for two sets, used by the scheduler's
 // large-build-side strategy and benchmarked against broadcast joins. The
@@ -468,8 +477,12 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 		}
 	} else {
 		for t := range tables {
-			tables[t] = engine.NewJoinTable()
+			tables[t] = c.newJoinTable()
 		}
+	}
+	resizesBefore := 0
+	for _, tbl := range tables {
+		resizesBefore += int(tbl.Resizes())
 	}
 	next := func() (*object.Page, bool, error) {
 		p, ok, err := ex.Recv(worker)
@@ -478,6 +491,7 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 		}
 		return p, ok, err
 	}
+	tstats := make([]engine.Stats, threads)
 	fold := func(t int, p *object.Page) error {
 		if p.Root() == 0 {
 			return nil
@@ -488,6 +502,7 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 			r := root.HandleAt(j)
 			tbl.Add(key(r), r)
 		}
+		tstats[t].HashProbes += root.Len()
 		return nil
 	}
 	var err error
@@ -513,16 +528,36 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 	for _, tbl := range tables[1:] {
 		table.Merge(tbl)
 	}
+	resizes := -resizesBefore
+	for _, tbl := range tables {
+		resizes += int(tbl.Resizes())
+	}
+	tstats[0].HashResizes += resizes
+	c.Workers[worker].mergeStats(statsPtrs(tstats)...)
 	return table, nil
 }
 
+// statsPtrs adapts a per-thread stats slice for Worker.mergeStats.
+func statsPtrs(ss []engine.Stats) []*engine.Stats {
+	ptrs := make([]*engine.Stats, len(ss))
+	for i := range ss {
+		ptrs[i] = &ss[i]
+	}
+	return ptrs
+}
+
 // restoreJoinTable rebuilds the probe table from a completed build's
-// checkpointed per-thread clones, merging copies so the recovery record
-// stays pristine for the next crash.
+// checkpointed per-thread clones, merging in thread order so the recovery
+// record stays pristine for the next crash. Seeding from a clone of the
+// first table (Merge never mutates its argument) keeps the restored
+// table on the same backend the build used.
 func restoreJoinTable(tables []*engine.JoinTable) *engine.JoinTable {
-	table := engine.NewJoinTable()
-	for _, tbl := range tables {
-		table.Merge(tbl.Clone())
+	if len(tables) == 0 {
+		return engine.NewJoinTable()
+	}
+	table := tables[0].Clone()
+	for _, tbl := range tables[1:] {
+		table.Merge(tbl)
 	}
 	return table
 }
@@ -544,6 +579,10 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 	interval int, rec *joinRecovery, emit func(l, r object.Ref) error) error {
 	counter := rec.emittedAtCut
 	cursor := rec.probeCursor
+	// scratch backs each window's flattened match list and is recycled
+	// across windows, so a long probe stream allocates the flatten buffer
+	// O(1) times instead of once per window.
+	var scratch [][2]object.Ref
 	for {
 		var window []*object.Page
 		done := false
@@ -560,10 +599,18 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 			window = append(window, p)
 		}
 		if len(window) > 0 {
-			matches, err := collectProbeMatches(window, table, key, eq, c.Cfg.Threads, c.Cfg.MorselPages)
+			var pstats engine.Stats
+			for _, p := range window {
+				if p.Root() != 0 {
+					pstats.HashProbes += object.AsVector(object.Ref{Page: p, Off: p.Root()}).Len()
+				}
+			}
+			c.Workers[worker].mergeStats(&pstats)
+			matches, err := collectProbeMatches(window, table, key, eq, c.Cfg.Threads, c.Cfg.MorselPages, scratch[:0])
 			if err != nil {
 				return err
 			}
+			scratch = matches
 			for _, m := range matches {
 				if counter < rec.emitted {
 					// Replay of a match user code already observed.
@@ -594,24 +641,36 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 	}
 }
 
+// probeBufPool recycles the per-thread / per-morsel match buffers of
+// collectProbeMatches across calls. Pooling (rather than per-thread
+// locals) is what lets the morsel path — whose buffers are released in
+// morsel order, decoupled from thread reuse — share the same storage.
+var probeBufPool = sync.Pool{New: func() any {
+	b := make([][2]object.Ref, 0, 1024)
+	return &b
+}}
+
 // collectProbeMatches probes pages through the read-only build table
-// across threads executor threads and returns the matches in page order.
-// With morselPages == 0 each thread probes a contiguous chunk into a
-// private buffer and the buffers concatenate in thread order; with
-// morselPages > 0 threads pull morsels from the shared dispatcher and the
-// per-morsel buffers concatenate in morsel index order. Either way the
-// result is exactly the sequence a sequential probe over the same pages
-// would emit, regardless of how the work was split.
+// across threads executor threads and returns the matches in page order,
+// appended to reuse (pass a zero-length slice with retained capacity to
+// recycle the flatten buffer across calls). With morselPages == 0 each
+// thread probes a contiguous chunk into a pooled private buffer and the
+// buffers concatenate in thread order; with morselPages > 0 threads pull
+// morsels from the shared dispatcher and the per-morsel buffers
+// concatenate in morsel index order. Either way the result is exactly the
+// sequence a sequential probe over the same pages would emit, regardless
+// of how the work was split.
 func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
-	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, threads, morselPages int) ([][2]object.Ref, error) {
-	probeRanges := func(ranges []engine.PageRange) [][2]object.Ref {
-		var out [][2]object.Ref
+	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, threads, morselPages int,
+	reuse [][2]object.Ref) ([][2]object.Ref, error) {
+	probeRanges := func(ranges []engine.PageRange, out [][2]object.Ref) [][2]object.Ref {
 		for _, rng := range ranges {
 			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
 			for j := rng.Start; j < rng.End; j++ {
 				l := root.HandleAt(j)
-				for _, r := range table.M[key(l)] {
-					if eq(l, r) {
+				b := table.Bucket(key(l))
+				for i, n := 0, b.Len(); i < n; i++ {
+					if r := b.At(i); eq(l, r) {
 						out = append(out, [2]object.Ref{l, r})
 					}
 				}
@@ -619,15 +678,19 @@ func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
 		}
 		return out
 	}
+	all := reuse
 	if morselPages > 0 {
 		morsels := engine.MorselRanges(engine.BatchRanges(pages, engine.BatchSize), morselPages)
-		var all [][2]object.Ref
 		err := engine.RunMorsels(len(morsels), threads,
 			func(t, m int, stop <-chan struct{}) (any, error) {
-				return probeRanges(morsels[m]), nil
+				buf := probeBufPool.Get().(*[][2]object.Ref)
+				*buf = probeRanges(morsels[m], (*buf)[:0])
+				return buf, nil
 			},
 			func(m int, res any, stop <-chan struct{}) error {
-				all = append(all, res.([][2]object.Ref)...)
+				buf := res.(*[][2]object.Ref)
+				all = append(all, *buf...)
+				probeBufPool.Put(buf)
 				return nil
 			})
 		if err != nil {
@@ -636,17 +699,24 @@ func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
 		return all, nil
 	}
 	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
-	matches := make([][][2]object.Ref, len(chunks))
+	matches := make([]*[][2]object.Ref, len(chunks))
 	err := engine.ParallelFor(len(chunks), func(t int) error {
-		matches[t] = probeRanges(chunks[t])
+		buf := probeBufPool.Get().(*[][2]object.Ref)
+		*buf = probeRanges(chunks[t], (*buf)[:0])
+		matches[t] = buf
 		return nil
 	})
 	if err != nil {
+		for _, buf := range matches {
+			if buf != nil {
+				probeBufPool.Put(buf)
+			}
+		}
 		return nil, err
 	}
-	var all [][2]object.Ref
-	for _, ms := range matches {
-		all = append(all, ms...)
+	for _, buf := range matches {
+		all = append(all, *buf...)
+		probeBufPool.Put(buf)
 	}
 	return all, nil
 }
@@ -659,9 +729,15 @@ func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
 // per-bucket row order matches a sequential build over the whole input.
 // (CoPartitionedJoin's zero-shuffle local builds; the shuffled build
 // streams through buildTableStream.)
-func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threads, morselPages int) (*engine.JoinTable, error) {
+func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threads, morselPages int, noSwiss bool) (*engine.JoinTable, error) {
+	newTable := func() *engine.JoinTable {
+		if noSwiss {
+			return engine.NewMapJoinTable()
+		}
+		return engine.NewJoinTable()
+	}
 	buildRanges := func(ranges []engine.PageRange) *engine.JoinTable {
-		tbl := engine.NewJoinTable()
+		tbl := newTable()
 		for _, rng := range ranges {
 			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
 			for j := rng.Start; j < rng.End; j++ {
@@ -673,7 +749,7 @@ func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threa
 	}
 	if morselPages > 0 {
 		morsels := engine.MorselRanges(engine.BatchRanges(pages, engine.BatchSize), morselPages)
-		table := engine.NewJoinTable()
+		table := newTable()
 		err := engine.RunMorsels(len(morsels), threads,
 			func(t, m int, stop <-chan struct{}) (any, error) {
 				return buildRanges(morsels[m]), nil
@@ -696,7 +772,7 @@ func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threa
 	if err != nil {
 		return nil, err
 	}
-	table := engine.NewJoinTable()
+	table := newTable()
 	for _, tbl := range tables {
 		if tbl != nil {
 			table.Merge(tbl)
@@ -717,7 +793,7 @@ func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 	key func(object.Ref) uint64, eq func(l, r object.Ref) bool,
 	threads, morselPages int, emit func(l, r object.Ref) error) error {
 	if morselPages > 0 {
-		matches, err := collectProbeMatches(pages, table, key, eq, threads, morselPages)
+		matches, err := collectProbeMatches(pages, table, key, eq, threads, morselPages, nil)
 		if err != nil {
 			return err
 		}
@@ -735,8 +811,9 @@ func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 				root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
 				for j := rng.Start; j < rng.End; j++ {
 					l := root.HandleAt(j)
-					for _, r := range table.M[key(l)] {
-						if eq(l, r) {
+					b := table.Bucket(key(l))
+					for i, n := 0, b.Len(); i < n; i++ {
+						if r := b.At(i); eq(l, r) {
 							if err := emit(l, r); err != nil {
 								return err
 							}
@@ -747,7 +824,7 @@ func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 		}
 		return nil
 	}
-	matches, err := collectProbeMatches(pages, table, key, eq, threads, 0)
+	matches, err := collectProbeMatches(pages, table, key, eq, threads, 0, nil)
 	if err != nil {
 		return err
 	}

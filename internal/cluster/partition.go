@@ -150,7 +150,7 @@ func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 				if pages, err := w.Front.Store.Pages(dbR, setR); err == nil {
 					rightPages = pages
 				}
-				table, err := parallelBuildTable(rightPages, keyR, c.Cfg.Threads, c.Cfg.MorselPages)
+				table, err := parallelBuildTable(rightPages, keyR, c.Cfg.Threads, c.Cfg.MorselPages, c.Cfg.NoSwissTable)
 				if err != nil {
 					return err
 				}

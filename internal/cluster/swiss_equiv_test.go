@@ -1,0 +1,250 @@
+package cluster
+
+// Cluster-level pinning of the swiss-table backend (Config.NoSwissTable):
+// the hash-table implementation behind the agg and join paths is a pure
+// accelerator, so flipping it must be invisible in results — bit for bit,
+// order included — across the thread × morsel grid, and crash recovery
+// must land on the same bytes under either backend, including the
+// schedules that exercise JoinTable.Clone (build-side restore) and the
+// agg merge's checkpoint restore. The seeded-schedule sweep runs in the
+// chaos campaign (internal/bench, NoSwissTable ∈ {off, on}); these tests
+// pin the contract directly with named injections.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/object"
+)
+
+// runCoPartitionedPairs loads left/right pre-partitioned on grp, runs the
+// zero-shuffle join, and returns each worker's emitted pairs concatenated
+// in worker order.
+func runCoPartitionedPairs(t *testing.T, cfg Config, left, right, groups int) []string {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := intRecType(c)
+	grpField, valField := rec.Field("grp"), rec.Field("val")
+	key := func(r object.Ref) uint64 {
+		return object.HashValue(object.Int64Value(object.GetI64(r, grpField)))
+	}
+	if err := c.CreateDatabase("db"); err != nil {
+		t.Fatal(err)
+	}
+	load := func(set string, n int) {
+		if err := c.CreateSet("db", set, rec.Name); err != nil {
+			t.Fatal(err)
+		}
+		pages, err := object.BuildPages(c.Catalog.Registry(), 1<<12, n,
+			func(a *object.Allocator, i int) (object.Ref, error) {
+				r, err := a.MakeObject(rec)
+				if err != nil {
+					return object.NilRef, err
+				}
+				object.SetI64(r, grpField, int64(i%groups))
+				object.SetI64(r, valField, int64(i))
+				return r, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SendDataPartitioned("db", set, pages, "grp", key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load("left", left)
+	load("right", right)
+	eq := func(l, r object.Ref) bool {
+		return object.GetI64(l, grpField) == object.GetI64(r, grpField)
+	}
+	perWorker := make([][]string, len(c.Workers))
+	var mu sync.Mutex
+	err = c.CoPartitionedJoin("db", "left", "db", "right", key, key, eq,
+		func(workerID int, l, r object.Ref) error {
+			mu.Lock()
+			perWorker[workerID] = append(perWorker[workerID],
+				fmt.Sprintf("%d|%d", object.GetI64(l, valField), object.GetI64(r, valField)))
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for _, ws := range perWorker {
+		rows = append(rows, ws...)
+	}
+	return rows
+}
+
+// TestSwissTableDeterministicAggregation runs the grp→sum(val)
+// aggregation across Threads × MorselPages × NoSwissTable. At each thread
+// count every cell must match the swiss static run bit-for-bit: the
+// backend is invisible durable-state-wise, and the schedule knobs were
+// already pinned invisible by the morsel tests.
+func TestSwissTableDeterministicAggregation(t *testing.T) {
+	const n, groups = 1500, 16
+	for _, th := range threadCounts {
+		var want []string
+		for _, mp := range []int{0, 2} {
+			for _, noSwiss := range []bool{false, true} {
+				cfg := Config{Workers: 2, Threads: th, PageSize: 1 << 12,
+					MorselPages: mp, NoSwissTable: noSwiss}
+				c, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := intRecType(c)
+				loadIntRows(t, c, rec, "db", "rows", n, groups)
+				rows, _ := runIntAgg(t, c, rec, nil)
+				if len(rows) != groups {
+					t.Fatalf("threads=%d mp=%d noswiss=%v: %d groups, want %d", th, mp, noSwiss, len(rows), groups)
+				}
+				if want == nil {
+					want = rows
+					continue
+				}
+				if !equalRows(rows, want) {
+					t.Errorf("threads=%d mp=%d noswiss=%v: aggregation rows differ from the swiss static run", th, mp, noSwiss)
+				}
+			}
+		}
+	}
+}
+
+// TestSwissTableDeterministicJoin runs the hash-partition join across the
+// same grid and requires the per-worker emit sequences bit-for-bit
+// identical between backends: bucket iteration order — insertion order —
+// is part of the swiss RefTable contract precisely so probe match order
+// survives the backend swap.
+func TestSwissTableDeterministicJoin(t *testing.T) {
+	const left, right, groups = 900, 120, 18
+	var want []string
+	for _, th := range threadCounts {
+		for _, mp := range []int{0, 2} {
+			for _, noSwiss := range []bool{false, true} {
+				cfg := Config{Workers: 2, Threads: th, PageSize: 1 << 12,
+					ShuffleCapacity: 2, MorselPages: mp, NoSwissTable: noSwiss}
+				c, rec := joinFixture(t, cfg, left, right, groups)
+				rows := joinPairsByWorker(t, c, rec)
+				if len(rows) == 0 {
+					t.Fatalf("threads=%d mp=%d noswiss=%v: join emitted nothing", th, mp, noSwiss)
+				}
+				if want == nil {
+					want = rows
+					continue
+				}
+				if !equalRows(rows, want) {
+					t.Errorf("threads=%d mp=%d noswiss=%v: join pairs differ across backends", th, mp, noSwiss)
+				}
+			}
+		}
+	}
+}
+
+// TestSwissTableCoPartitionedJoinIdentity pins the zero-shuffle join —
+// whose build tables come from parallelBuildTable rather than the
+// exchange — across backends and thread counts.
+func TestSwissTableCoPartitionedJoinIdentity(t *testing.T) {
+	const left, right, groups = 600, 90, 18
+	var want []string
+	for _, th := range []int{1, 2, 8} {
+		for _, noSwiss := range []bool{false, true} {
+			cfg := Config{Workers: 2, Threads: th, PageSize: 1 << 12, NoSwissTable: noSwiss}
+			rows := runCoPartitionedPairs(t, cfg, left, right, groups)
+			if len(rows) == 0 {
+				t.Fatalf("threads=%d noswiss=%v: co-partitioned join emitted nothing", th, noSwiss)
+			}
+			if want == nil {
+				want = rows
+				continue
+			}
+			if !equalRows(rows, want) {
+				t.Errorf("threads=%d noswiss=%v: co-partitioned pairs differ across backends", th, noSwiss)
+			}
+		}
+	}
+}
+
+// TestSwissTableCrashRecoveryIdentity drives the named crash schedules
+// under both backends and compares every recovered run against a single
+// fault-free swiss baseline. The join schedules cover both halves of the
+// recovery machinery the swiss backend had to preserve: BuildPage crashes
+// restore the build table via JoinTable.Clone + Merge (insertion-order
+// buckets must survive the clone), and ProbePage/Emit crashes re-probe a
+// re-built table through the emitted-match cursor. The agg schedules
+// cover checkpoint restore, where the merge index is rebuilt from the
+// restored snapshot page.
+func TestSwissTableCrashRecoveryIdentity(t *testing.T) {
+	aggCfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 2, MorselPages: 2}
+	ref, err := New(aggCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRec := intRecType(ref)
+	loadIntRows(t, ref, refRec, "db", "rows", 3000, 16)
+	want, _ := runIntAgg(t, ref, refRec, nil)
+
+	for _, noSwiss := range []bool{false, true} {
+		for _, inj := range []fault.Injection{
+			{Site: fault.PageSeal, Worker: 0, K: 1},
+			{Site: fault.Delivery, Worker: 1, K: 3},
+			{Site: fault.Checkpoint, Worker: 1, K: 1},
+		} {
+			cfg := aggCfg
+			cfg.NoSwissTable = noSwiss
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := intRecType(c)
+			loadIntRows(t, c, rec, "db", "rows", 3000, 16)
+			c.Cfg.Fault = fault.NewPlan(inj)
+			rows, _ := runIntAgg(t, c, rec, nil)
+			label := fmt.Sprintf("agg %s w=%d k=%d noswiss=%v", inj.Site, inj.Worker, inj.K, noSwiss)
+			if c.Cfg.Fault.Fired() != 1 {
+				t.Fatalf("%s: the crash never fired", label)
+			}
+			if !equalRows(rows, want) {
+				t.Errorf("%s: recovered rows differ from the fault-free swiss run", label)
+			}
+			assertNoJoinLeaks(t, c, label)
+		}
+	}
+
+	joinCfg := Config{Workers: 2, Threads: 2, PageSize: 1 << 12,
+		ShuffleCapacity: 2, CheckpointInterval: 1}
+	jref, jrec := joinFixture(t, joinCfg, 600, 90, 18)
+	jwant := joinPairsByWorker(t, jref, jrec)
+	if len(jwant) == 0 {
+		t.Fatal("fault-free swiss join emitted nothing")
+	}
+	for _, noSwiss := range []bool{false, true} {
+		for _, inj := range []fault.Injection{
+			{Site: fault.BuildPage, Worker: 0, K: 1}, // restoreJoinTable → Clone + Merge
+			{Site: fault.ProbePage, Worker: 1, K: 1},
+			{Site: fault.Emit, Worker: 0, K: 5},
+		} {
+			cfg := joinCfg
+			cfg.NoSwissTable = noSwiss
+			c, rec := joinFixture(t, cfg, 600, 90, 18)
+			c.Cfg.Fault = fault.NewPlan(inj)
+			rows := joinPairsByWorker(t, c, rec)
+			label := fmt.Sprintf("join %s w=%d k=%d noswiss=%v", inj.Site, inj.Worker, inj.K, noSwiss)
+			if c.Cfg.Fault.Fired() != 1 {
+				t.Fatalf("%s: the crash never fired", label)
+			}
+			if !equalRows(rows, jwant) {
+				t.Errorf("%s: recovered pairs differ from the fault-free swiss run (%d vs %d)",
+					label, len(rows), len(jwant))
+			}
+			assertNoJoinLeaks(t, c, label)
+		}
+	}
+}

@@ -40,7 +40,12 @@ type Executor struct {
 	// so output is bit-for-bit identical to the static path. Zero keeps
 	// static splitting.
 	MorselPages int
-	Stats       engine.Stats
+	// NoSwissTable disables the swiss hash structures on the agg and join
+	// paths (the single-process analogue of cluster Config.NoSwissTable):
+	// join tables revert to Go maps, aggregation probes to OMap's own
+	// chain. Results and page bytes are bit-for-bit identical either way.
+	NoSwissTable bool
+	Stats        engine.Stats
 }
 
 // NewExecutor creates an executor with the given storage and type registry,
@@ -113,10 +118,19 @@ func (e *Executor) newStageSink(res *CompileResult, stage *physical.JobStage, st
 		if spec == nil {
 			return nil, fmt.Errorf("no aggregation spec for %q", stage.SinkStmt.Out.Name)
 		}
-		return engine.NewAggSink(e.Reg, e.PageSize, e.Partitions, spec.KeyKind, spec.ValKind,
+		sink, err := engine.NewAggSink(e.Reg, e.PageSize, e.Partitions, spec.KeyKind, spec.ValKind,
 			spec.Combine, stage.SinkStmt.Applied.Cols[0], stage.SinkStmt.Applied.Cols[1], nil, stats)
+		if err != nil {
+			return nil, err
+		}
+		sink.NoSwiss = e.NoSwissTable
+		return sink, nil
 	case physical.SinkJoinBuild:
-		return engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0]), nil
+		sink := engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0])
+		if e.NoSwissTable {
+			sink.Table = engine.NewMapJoinTable()
+		}
+		return sink, nil
 	default:
 		return nil, fmt.Errorf("unknown sink kind %v", stage.Sink)
 	}
@@ -300,9 +314,13 @@ func (e *Executor) runAggregationStage(res *CompileResult, stage *physical.JobSt
 	}
 	perPart := make([][]*object.Page, e.Partitions)
 	pstats := make([]engine.Stats, e.Partitions)
+	var mergeOpts []engine.MergeOpt
+	if e.NoSwissTable {
+		mergeOpts = append(mergeOpts, engine.NoSwissMerge())
+	}
 	runPart := func(part int) error {
 		finals, _, err := engine.MergeAggMapsParallel(e.Reg, mapPages, part, e.Partitions,
-			spec, e.PageSize, nil, e.threads())
+			spec, e.PageSize, nil, e.threads(), mergeOpts...)
 		if err != nil {
 			return err
 		}

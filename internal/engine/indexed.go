@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"repro/internal/object"
+	"repro/internal/swiss"
+)
+
+// indexedOMap overlays a swiss index (key hash → slot number) on a
+// page-backed object.OMap. The map stays the durable state — its page
+// bytes are the checkpoint/spill/shuffle format — while the index replaces
+// the map's own linear-probe chain on the lookup path. The overlay's
+// contract is byte-for-byte fidelity: every page mutation an update makes
+// happens in exactly the order OMap.Get + Combine + OMap.Put would make
+// it, so an indexed merge and a baseline merge produce identical pages at
+// every point in the stream, faults included.
+//
+// The index is pure acceleration and is rebuilt from the map whenever the
+// map's slot layout changes under it: after a rehash (MaybeGrow), after a
+// checkpoint restore, and after a subMerger page grow. It is never
+// persisted.
+type indexedOMap struct {
+	m   object.OMap
+	idx *swiss.Index
+}
+
+// newIndexedOMap builds the index for m's current contents.
+func newIndexedOMap(m object.OMap) *indexedOMap {
+	x := &indexedOMap{idx: swiss.NewIndex(m.Len())}
+	x.rebuildFrom(m)
+	return x
+}
+
+// rebuildFrom rescans m's slots into a fresh index. Faulted "zero entries"
+// (slot claimed, key written, value write crashed) are indexed too —
+// exactly the entries the map's own probe would find — so the KInvalid
+// convention downstream behaves identically.
+func (x *indexedOMap) rebuildFrom(m object.OMap) {
+	x.m = m
+	x.idx.Reset(m.Len())
+	for i, n := 0, m.Slots(); i < n; i++ {
+		if m.SlotFull(i) {
+			x.idx.Insert(m.HashKey(m.KeyAt(i)), uint32(i))
+		}
+	}
+}
+
+// update is the indexed mirror of the aggregation primitive
+//
+//	cur, ok := m.Get(key); nv := combine(cur, ok); m.Put(a, key, nv)
+//
+// with the map's growth rule (grow BEFORE the insert probe, even when the
+// key exists) preserved. The index answers the read-side probe; every
+// write goes through the map's own slot operations. stats may be nil.
+func (x *indexedOMap) update(a *object.Allocator, key object.Value,
+	combine func(cur object.Value, ok bool) (object.Value, error), stats *Stats) error {
+	m := x.m
+	h := m.HashKey(key)
+	if stats != nil {
+		stats.HashProbes++
+	}
+	slot, hit := x.idx.Lookup(h, func(s uint32) bool { return m.KeyEqualsAt(int(s), key) })
+	var cur object.Value
+	ok := false
+	if hit {
+		cur = m.ValAt(int(slot))
+		ok = cur.K != object.KInvalid // faulted zero entries read as absent
+	}
+	nv, err := combine(cur, ok)
+	if err != nil {
+		return err
+	}
+	grown, err := m.MaybeGrow(a)
+	if err != nil {
+		return err
+	}
+	if grown {
+		if stats != nil {
+			stats.HashResizes++
+		}
+		x.rebuildFrom(m)
+	}
+	if hit && !grown {
+		return m.WriteValAt(a, int(slot), nv)
+	}
+	// The rehash moved slots (or the index missed: the key is new, or an
+	// earlier faulted value write left a zero entry the index never
+	// recorded). Re-probe through the map itself — the same probe Put runs.
+	i, found := m.FindSlot(key)
+	if !found {
+		if err := m.ClaimSlot(a, i, key); err != nil {
+			return err
+		}
+	}
+	if err := m.WriteValAt(a, i, nv); err != nil {
+		// No index insert: a zero entry joins the index only on a later
+		// rebuild; until then the FindSlot fallback above re-finds it.
+		return err
+	}
+	// Index the slot unless the post-rehash rebuild already did (grown &&
+	// found). Reaching here with !grown && found means FindSlot located a
+	// zero entry the index never recorded — now that its value write
+	// succeeded it is a real entry, so record it.
+	if !(grown && found) {
+		x.idx.Insert(h, uint32(i))
+	}
+	return nil
+}

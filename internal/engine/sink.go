@@ -124,18 +124,29 @@ type AggSink struct {
 	// simply routes rows round-robin to per-partition vectors).
 	KeyCol, ValCol string
 
+	// NoSwiss disables the swiss lookup index over the partition maps —
+	// the Config.NoSwissTable ablation baseline. Set before the first
+	// Consume. The maps' page bytes are identical either way; the index
+	// only replaces the probe chain.
+	NoSwiss bool
+
 	// partCache holds resolved per-partition map handles so the hot
 	// per-row path skips root-vector resolution; rebuilt after each page
-	// rotation (the maps move to a fresh page).
+	// rotation (the maps move to a fresh page). indexes holds each map's
+	// swiss lookup index, rebuilt at the same points (rotation hands the
+	// sink fresh empty maps, so the rebuild is O(partitions)).
 	partCache []object.OMap
+	indexes   []*indexedOMap
 	cachePage *object.Page
+
+	stats *Stats
 }
 
 // NewAggSink creates a pre-aggregation sink.
 func NewAggSink(reg *object.Registry, pageSize, partitions int, keyKind, valKind object.Kind,
 	combine CombineFn, keyCol, valCol string, pool *object.PagePool, stats *Stats) (*AggSink, error) {
 	s := &AggSink{Partitions: partitions, KeyKind: keyKind, ValKind: valKind,
-		Combine: combine, KeyCol: keyCol, ValCol: valCol}
+		Combine: combine, KeyCol: keyCol, ValCol: valCol, stats: stats}
 	ops, err := NewOutputPageSet(reg, pageSize, object.PolicyLightweightReuse,
 		func(a *object.Allocator, p *object.Page) error { return s.initMaps(a, p) }, pool, stats)
 	if err != nil {
@@ -170,6 +181,15 @@ func (s *AggSink) partitionMap(i int) object.OMap {
 		s.partCache = s.partCache[:0]
 		for p := 0; p < s.Partitions; p++ {
 			s.partCache = append(s.partCache, object.AsMap(root.HandleAt(p)))
+		}
+		if !s.NoSwiss {
+			for p := range s.partCache {
+				if p < len(s.indexes) {
+					s.indexes[p].rebuildFrom(s.partCache[p])
+				} else {
+					s.indexes = append(s.indexes, newIndexedOMap(s.partCache[p]))
+				}
+			}
 		}
 		s.cachePage = s.Out.Live
 	}
@@ -224,6 +244,15 @@ func (s *AggSink) updateWithRotate(key, val object.Value) error {
 
 	try := func() error {
 		m := s.partitionMap(part)
+		if !s.NoSwiss {
+			return s.indexes[part].update(s.Out.Alloc, key,
+				func(cur object.Value, ok bool) (object.Value, error) {
+					return s.Combine(s.Out.Alloc, cur, ok, val)
+				}, s.stats)
+		}
+		if s.stats != nil {
+			s.stats.HashProbes++ // count the baseline too: the gauge compares modes
+		}
 		cur, ok := m.Get(key)
 		if ok && cur.K == object.KInvalid {
 			ok = false // a faulted earlier write left a zero entry
@@ -323,6 +352,7 @@ func (s *JoinBuildSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error
 	if !ok {
 		return fmt.Errorf("engine: join build object column %q missing or mistyped", s.ObjCol)
 	}
+	resizesBefore := s.Table.Resizes()
 	for i, h := range hc {
 		r := oc[i]
 		// Page-run cache: batches reference long runs of the same page,
@@ -332,6 +362,10 @@ func (s *JoinBuildSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error
 			s.refPages[r.Page] = struct{}{}
 		}
 		s.Table.Add(h, r)
+	}
+	if ctx != nil && ctx.Stats != nil {
+		ctx.Stats.HashProbes += len(hc)
+		ctx.Stats.HashResizes += int(s.Table.Resizes() - resizesBefore)
 	}
 	return nil
 }

@@ -256,22 +256,32 @@ func execJoinProbe(ctx *Ctx, s *tcap.Stmt, in *VectorList) (*VectorList, error) 
 	}
 	if ctx.Stats != nil {
 		ctx.Stats.JoinProbeRows += len(hc)
+		ctx.Stats.HashProbes += 2 * len(hc) // counting pass + fill pass
 	}
-	// Counting pass presizes the match columns exactly: map lookups are
+	// Counting pass presizes the match columns exactly: table lookups are
 	// paid twice, but append-growth copies (and their garbage) disappear
 	// from the probe hot path.
 	total := 0
 	for _, h := range hc {
-		total += len(table.M[h])
+		total += table.Bucket(h).Len()
 	}
-	idx := make([]int, 0, total)
+	// The gather-index scratch lives on the Ctx and is reused across
+	// batches; GatherAll's output columns copy from it and never retain
+	// it. The match column cannot be pooled the same way — it is appended
+	// to the output list — so it stays per-batch.
+	if cap(ctx.probeIdx) < total {
+		ctx.probeIdx = make([]int, 0, total)
+	}
+	idx := ctx.probeIdx[:0]
 	matches := make(RefCol, 0, total)
 	for i, h := range hc {
-		for _, r := range table.M[h] {
+		b := table.Bucket(h)
+		for j, n := 0, b.Len(); j < n; j++ {
 			idx = append(idx, i)
-			matches = append(matches, r)
+			matches = append(matches, b.At(j))
 		}
 	}
+	ctx.probeIdx = idx
 	proj, err := in.Project(s.Copied.Cols)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/tcap"
+)
+
+// The swiss index is a pure accelerator: durable state — output page
+// bytes, merge pages, checkpoint snapshots — must be byte-for-byte
+// identical with the index on and off. These tests pin that invariant at
+// the engine layer, where the pages are directly in hand; the cluster
+// grid (internal/cluster) pins it end-to-end.
+
+// buildAggPagesMode is buildAggPages with the NoSwiss knob exposed; it
+// also returns the run's stats so probe gauges can be compared.
+func buildAggPagesMode(t *testing.T, reg *object.Registry, parts, n, keys, pageSize int,
+	noSwiss bool) ([]*object.Page, *Stats) {
+	t.Helper()
+	stats := &Stats{}
+	sink, err := NewAggSink(reg, pageSize, parts, object.KString, object.KFloat64,
+		sumCombine, "key", "val", nil, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.NoSwiss = noSwiss
+	ctx := &Ctx{Reg: reg, Out: sink.Out, Stats: stats}
+	stmt := &tcap.Stmt{Op: tcap.OpAggregate,
+		Applied: tcap.ColumnsRef{Name: "in", Cols: []string{"key", "val"}}}
+	kc := make(StrCol, n)
+	vc := make(F64Col, n)
+	for i := range kc {
+		kc[i] = fmt.Sprintf("key-%03d", i%keys)
+		vc[i] = float64(i)
+	}
+	vl := &VectorList{Names: []string{"key", "val"}, Cols: []Column{kc, vc}}
+	if err := sink.Consume(ctx, vl, stmt); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Pages(), stats
+}
+
+// equalPageBytes compares two page slices byte for byte.
+func equalPageBytes(t *testing.T, got, want []*object.Page, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pages, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Bytes(), want[i].Bytes()) {
+			t.Errorf("%s: page %d bytes differ", label, i)
+		}
+	}
+}
+
+// TestSwissAggSinkPageIdentity consumes the same rows through the agg
+// sink with the swiss index on and off — small pages force many map
+// rotations, so the sequence of partition-map rebuilds is exercised —
+// and requires the emitted map pages byte-for-byte identical. The probe
+// gauge must count identically in both modes (it meters the workload,
+// not the backend).
+func TestSwissAggSinkPageIdentity(t *testing.T) {
+	const parts, n, keys, pageSize = 3, 5000, 160, 1 << 12
+	regSw, regNo := object.NewRegistry(), object.NewRegistry()
+	swPages, swStats := buildAggPagesMode(t, regSw, parts, n, keys, pageSize, false)
+	noPages, noStats := buildAggPagesMode(t, regNo, parts, n, keys, pageSize, true)
+	equalPageBytes(t, swPages, noPages, "agg sink")
+	if swStats.HashProbes == 0 {
+		t.Error("swiss run counted no hash probes")
+	}
+	if swStats.HashProbes != noStats.HashProbes {
+		t.Errorf("probe gauge differs across backends: swiss %d, baseline %d",
+			swStats.HashProbes, noStats.HashProbes)
+	}
+}
+
+// TestSwissMergeIdentity runs the batch and parallel merges over the same
+// shuffled pages with and without NoSwissMerge at several thread counts:
+// final sub-map pages and merged contents must match byte for byte.
+func TestSwissMergeIdentity(t *testing.T) {
+	reg := object.NewRegistry()
+	const parts = 2
+	spec := &AggSpec{KeyKind: object.KString, ValKind: object.KFloat64, Combine: sumCombine}
+	pages := buildAggPages(t, reg, parts, 4000, 120, 1<<12)
+	for part := 0; part < parts; part++ {
+		for _, threads := range []int{1, 2, 8} {
+			swFinals, swPages, err := MergeAggMapsParallel(reg, pages, part, parts, spec, 1<<14, nil, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			noFinals, noPages, err := MergeAggMapsParallel(reg, pages, part, parts, spec, 1<<14, nil, threads, NoSwissMerge())
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("part %d threads %d", part, threads)
+			equalPageBytes(t, swPages, noPages, label)
+			if !reflect.DeepEqual(mergedRows(t, swFinals), mergedRows(t, noFinals)) {
+				t.Errorf("%s: merged contents differ across backends", label)
+			}
+		}
+	}
+}
+
+// streamWithCheckpoints runs the streaming merge capturing every
+// checkpoint cut.
+func streamWithCheckpoints(t *testing.T, reg *object.Registry, pages []*object.Page,
+	spec *AggSpec, threads, interval int, opts ...MergeOpt) ([]object.OMap, []*object.Page, []*MergeCheckpoint) {
+	t.Helper()
+	var cks []*MergeCheckpoint
+	finals, mergePages, err := MergeAggMapsStream(reg, pagesSource(pages), 0, 1,
+		spec, 1<<10, nil, threads, nil,
+		&MergeCheckpointer{Interval: interval, Save: func(ck *MergeCheckpoint) error {
+			cks = append(cks, ck)
+			return nil
+		}}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return finals, mergePages, cks
+}
+
+// TestSwissStreamCheckpointIdentity streams the same page sequence
+// through the checkpointed merge with the swiss index on and off. Every
+// checkpoint snapshot — the durable recovery state — must be
+// byte-identical across backends, as must the final sub-map pages; the
+// index lives outside the snapshot and is rebuilt on restore. The test
+// then cross-restores: a checkpoint taken by one backend resumes under
+// the other, and both resumed runs land on the reference bytes.
+func TestSwissStreamCheckpointIdentity(t *testing.T) {
+	reg := object.NewRegistry()
+	spec := &AggSpec{KeyKind: object.KString, ValKind: object.KFloat64, Combine: sumCombine}
+	pages := buildAggPages(t, reg, 1, 6000, 300, 1<<12)
+	if len(pages) < 6 {
+		t.Fatalf("want a long stream, got %d pages", len(pages))
+	}
+	const threads, interval = 2, 2
+	swFinals, swPages, swCks := streamWithCheckpoints(t, reg, pages, spec, threads, interval)
+	noFinals, noPages, noCks := streamWithCheckpoints(t, reg, pages, spec, threads, interval, NoSwissMerge())
+
+	equalPageBytes(t, swPages, noPages, "stream finals")
+	if !reflect.DeepEqual(mergedRows(t, swFinals), mergedRows(t, noFinals)) {
+		t.Error("streamed contents differ across backends")
+	}
+	if len(swCks) == 0 || len(swCks) != len(noCks) {
+		t.Fatalf("checkpoint counts differ: swiss %d, baseline %d", len(swCks), len(noCks))
+	}
+	for i := range swCks {
+		if swCks[i].Cut != noCks[i].Cut {
+			t.Fatalf("checkpoint %d cut differs: %d vs %d", i, swCks[i].Cut, noCks[i].Cut)
+		}
+		if len(swCks[i].Subs) != len(noCks[i].Subs) {
+			t.Fatalf("checkpoint %d sub count differs", i)
+		}
+		for s := range swCks[i].Subs {
+			if !bytes.Equal(swCks[i].Subs[s].Data, noCks[i].Subs[s].Data) {
+				t.Errorf("checkpoint %d sub %d snapshot bytes differ across backends", i, s)
+			}
+		}
+	}
+
+	// Cross-restore: resume a baseline checkpoint under swiss and a swiss
+	// checkpoint under the baseline — snapshots are backend-free.
+	mid := swCks[0]
+	if len(swCks) > 2 {
+		mid = swCks[len(swCks)/2]
+	}
+	for _, tc := range []struct {
+		label  string
+		resume *MergeCheckpoint
+		opts   []MergeOpt
+	}{
+		{"baseline ckpt → swiss resume", noCks[indexOfCut(noCks, mid.Cut)], nil},
+		{"swiss ckpt → baseline resume", mid, []MergeOpt{NoSwissMerge()}},
+	} {
+		_, gotPages, err := MergeAggMapsStream(reg, pagesSource(pages[tc.resume.Cut:]), 0, 1,
+			spec, 1<<10, nil, threads, nil,
+			&MergeCheckpointer{Interval: interval, Resume: tc.resume,
+				Save: func(*MergeCheckpoint) error { return nil }}, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		equalPageBytes(t, gotPages, swPages, tc.label)
+	}
+}
+
+func indexOfCut(cks []*MergeCheckpoint, cut int) int {
+	for i, ck := range cks {
+		if ck.Cut == cut {
+			return i
+		}
+	}
+	return 0
+}

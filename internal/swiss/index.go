@@ -1,0 +1,68 @@
+package swiss
+
+// indexEntry pairs a raw key hash with an opaque 32-bit payload (for the
+// engine: an OMap slot number).
+type indexEntry struct {
+	hash uint64
+	slot uint32
+}
+
+// Index is a hash → uint32 multimap used to accelerate lookups into an
+// external structure that remains the source of truth (the engine points
+// it at page-backed object.OMap slots). Distinct keys may collide on the
+// full 64-bit hash, so Lookup takes an equality callback and Insert never
+// deduplicates. The index carries no durable state: it is rebuilt from the
+// backing structure after restore, clone, or growth.
+type Index struct {
+	ctrl
+	entries []indexEntry
+}
+
+// NewIndex returns an index pre-sized for about n entries.
+func NewIndex(n int) *Index {
+	return &Index{ctrl: newCtrl(groupsFor(n))}
+}
+
+// Reset empties the index and re-sizes it for about n entries, reusing the
+// existing arrays when they are large enough.
+func (x *Index) Reset(n int) {
+	x.entries = x.entries[:0]
+	g := groupsFor(n)
+	if g < int(x.groupMask+1) {
+		g = int(x.groupMask + 1) // never shrink: reuse beats compaction here
+	}
+	x.reset(g)
+}
+
+// Len returns the number of entries stored.
+func (x *Index) Len() int { return len(x.entries) }
+
+// Resizes returns how many times the control array has grown.
+func (x *Index) Resizes() uint64 { return x.resizes }
+
+func (x *Index) hashAt(e uint32) uint64 { return x.entries[e].hash }
+
+// Insert records hash → slot. Duplicate hashes accumulate; the caller's
+// Lookup equality callback disambiguates them.
+func (x *Index) Insert(hash uint64, slot uint32) {
+	if x.needsGrow(len(x.entries)) {
+		x.grow(len(x.entries), x.hashAt)
+	}
+	s := x.findInsertSlot(hash)
+	x.entries = append(x.entries, indexEntry{hash: hash, slot: slot})
+	x.claim(s, hash, uint32(len(x.entries)-1))
+}
+
+// Lookup finds the slot whose stored hash equals hash and whose payload
+// satisfies eq (called with the candidate slot). It probes every same-hash
+// entry until eq accepts one, so full-hash collisions between distinct
+// keys resolve correctly.
+func (x *Index) Lookup(hash uint64, eq func(slot uint32) bool) (slot uint32, found bool) {
+	e, _, ok := x.find(hash, func(e uint32) bool {
+		return x.entries[e].hash == hash && eq(x.entries[e].slot)
+	})
+	if !ok {
+		return 0, false
+	}
+	return x.entries[e].slot, true
+}
