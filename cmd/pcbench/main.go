@@ -75,6 +75,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", out)
+
+		// The transport ladder persists separately: BENCH_9.json is the
+		// wire-native process-boundary acceptance artifact (mem vs sockets
+		// vs real worker processes, identity enforced inside the run).
+		tt, err := bench.RunTransportLadder(bench.DefaultTransportLadder())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tt.Format())
+		out = filepath.Join(repoRoot(), "BENCH_9.json")
+		if err := bench.WriteJSON(out, []*bench.Table{tt}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
 		return
 	}
 

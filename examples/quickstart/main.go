@@ -67,7 +67,7 @@ func main() {
 	}
 	n, _ := client.CountSet("Mydb", "Myset")
 	fmt.Printf("loaded %d data points across %d workers (%d pages shipped, %d bytes, zero serialization)\n",
-		n, len(client.Cluster.Workers), client.Cluster.Transport.PagesShipped, client.Cluster.Transport.BytesShipped)
+		n, len(client.Cluster.Workers), client.Cluster.Transport.Stats().PagesShipped, client.Cluster.Transport.Stats().BytesShipped)
 
 	// Declarative selection: keep points whose squared norm exceeds 25.
 	sel := &pc.Selection{

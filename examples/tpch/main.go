@@ -28,7 +28,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d denormalized customers into PC (%d bytes shipped, zero serialization)\n",
-		len(data), client.Cluster.Transport.BytesShipped)
+		len(data), client.Cluster.Transport.Stats().BytesShipped)
 
 	// Query 1: customers per supplier.
 	if err := tpch.CustomersPerSupplierPC(client, schema, "TPCH_db", "tpch_bench_set1", "q1"); err != nil {

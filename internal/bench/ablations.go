@@ -142,7 +142,7 @@ func RunBroadcastVsPartition(nLeft, nRight int) (*Table, error) {
 	if err := c.CreateSet("db", "out", "JoinRec"); err != nil {
 		return nil, err
 	}
-	before := c.Transport.BytesShipped
+	before := c.Transport.Stats().BytesShipped
 	bcast, err := Timed(func() error {
 		_, err := c.Execute(core.NewWrite("db", "out", join))
 		return err
@@ -151,7 +151,7 @@ func RunBroadcastVsPartition(nLeft, nRight int) (*Table, error) {
 		return nil, err
 	}
 	t.Rows = append(t.Rows, Row{Name: "broadcast", Cells: []string{
-		ms(bcast), fmt.Sprintf("%d", c.Transport.BytesShipped-before)}})
+		ms(bcast), fmt.Sprintf("%d", c.Transport.Stats().BytesShipped-before)}})
 
 	// Hash-partition path: the 2n-stage driver.
 	c2, ti2, err := build()
@@ -166,7 +166,7 @@ func RunBroadcastVsPartition(nLeft, nRight int) (*Table, error) {
 	eq := func(l, r object.Ref) bool {
 		return object.GetI64(l, keyField) == object.GetI64(r, keyField)
 	}
-	before = c2.Transport.BytesShipped
+	before = c2.Transport.Stats().BytesShipped
 	part, err := Timed(func() error {
 		return c2.HashPartitionJoin("db", "left", "db", "right", keyFn, keyFn, eq,
 			func(workerID int, l, r object.Ref) error { return nil })
@@ -175,7 +175,7 @@ func RunBroadcastVsPartition(nLeft, nRight int) (*Table, error) {
 		return nil, err
 	}
 	t.Rows = append(t.Rows, Row{Name: "hash-partition", Cells: []string{
-		ms(part), fmt.Sprintf("%d", c2.Transport.BytesShipped-before)}})
+		ms(part), fmt.Sprintf("%d", c2.Transport.Stats().BytesShipped-before)}})
 	return t, nil
 }
 
@@ -314,7 +314,7 @@ func RunCoPartitionedJoin(nLeft, nRight int) (*Table, error) {
 		}
 	}
 
-	before := c.Transport.BytesShipped
+	before := c.Transport.Stats().BytesShipped
 	coTime, err := Timed(func() error {
 		return c.CoPartitionedJoin("db", "left", "db", "right", keyFn, keyFn, eq,
 			func(int, object.Ref, object.Ref) error { return nil })
@@ -322,9 +322,9 @@ func RunCoPartitionedJoin(nLeft, nRight int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	coBytes := c.Transport.BytesShipped - before
+	coBytes := c.Transport.Stats().BytesShipped - before
 
-	before = c.Transport.BytesShipped
+	before = c.Transport.Stats().BytesShipped
 	shufTime, err := Timed(func() error {
 		return c.HashPartitionJoin("db", "left", "db", "right", keyFn, keyFn, eq,
 			func(int, object.Ref, object.Ref) error { return nil })
@@ -332,7 +332,7 @@ func RunCoPartitionedJoin(nLeft, nRight int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	shufBytes := c.Transport.BytesShipped - before
+	shufBytes := c.Transport.Stats().BytesShipped - before
 
 	t.Rows = append(t.Rows,
 		Row{Name: "co-partitioned", Cells: []string{ms(coTime), fmt.Sprintf("%d", coBytes)}},

@@ -107,6 +107,12 @@ func TestRunCoPartitionedJoinSmoke(t *testing.T) {
 // hash-table backends, both workloads) that must uphold the campaign
 // contract — bit-for-bit identity after absorbed crashes, clean failures on
 // injected I/O errors, zero leaks.
+func TestRunTransportLadderSmoke(t *testing.T) {
+	tab, err := RunTransportLadder(TransportLadderConfig{
+		N: 2000, Groups: 16, Workers: 2, Threads: 2, PageSize: 1 << 12})
+	checkTable(t, tab, err, 4)
+}
+
 func TestChaosCampaignCI(t *testing.T) {
 	tab, err := RunChaosCampaign(CIChaos())
 	if err != nil {

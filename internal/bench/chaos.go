@@ -238,7 +238,7 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 				default:
 					violate("%s: unexpected failure: %v", label, err)
 				}
-				if n := c.Transport.LeakedSpillSlots; n != 0 {
+				if n := c.Transport.Stats().LeakedSpillSlots; n != 0 {
 					violate("%s: %d spill slots leaked", label, n)
 				}
 				if n := c.CheckpointSets(); n != 0 {

@@ -102,16 +102,16 @@ func RunShuffleOverlap(cfg ShuffleOverlapConfig) (*Table, error) {
 							wl.name, th, len(rows), len(refRows))
 					}
 				}
-				bytes, pages := c.Transport.Counters()
+				bytes, pages := c.Transport.Stats().Counters()
 				t.Rows = append(t.Rows, Row{
 					Name: fmt.Sprintf("%s threads=%d %s", wl.name, th, mode),
 					Cells: []string{
 						ms(d),
 						fmt.Sprintf("%.2f", float64(bytes)/(1<<20)),
 						fmt.Sprintf("%d", pages),
-						fmt.Sprintf("%d", c.Transport.MaxBytesInFlight/(1<<10)),
-						fmt.Sprintf("%d", c.Transport.MaxReorderPages),
-						fmt.Sprintf("%d", c.Transport.Checkpoints),
+						fmt.Sprintf("%d", c.Transport.Stats().MaxBytesInFlight/(1<<10)),
+						fmt.Sprintf("%d", c.Transport.Stats().MaxReorderPages),
+						fmt.Sprintf("%d", c.Transport.Stats().Checkpoints),
 						identical,
 					},
 				})

@@ -115,11 +115,11 @@ func RunSpillLadder(cfg SpillLadderConfig) (*Table, error) {
 				return nil, fmt.Errorf("bench: %s budget=%dp: governed run produced %d rows differing from unbounded (%d rows)",
 					wl.name, pages, len(rows), len(refRows))
 			}
-			if budget > 0 && c.Transport.MaxBufferedBytes > budget {
+			if budget > 0 && c.Transport.Stats().MaxBufferedBytes > budget {
 				return nil, fmt.Errorf("bench: %s budget=%dp: buffered %d bytes exceeds budget %d",
-					wl.name, pages, c.Transport.MaxBufferedBytes, budget)
+					wl.name, pages, c.Transport.Stats().MaxBufferedBytes, budget)
 			}
-			if budget > 0 && pages <= 1 && c.Transport.SpilledPages == 0 {
+			if budget > 0 && pages <= 1 && c.Transport.Stats().SpilledPages == 0 {
 				return nil, fmt.Errorf("bench: %s budget=%dp: one-page budget spilled nothing", wl.name, pages)
 			}
 			name := fmt.Sprintf("%s budget=unlimited", wl.name)
@@ -130,9 +130,9 @@ func RunSpillLadder(cfg SpillLadderConfig) (*Table, error) {
 				Name: name,
 				Cells: []string{
 					ms(d),
-					fmt.Sprintf("%d", c.Transport.SpilledPages),
-					fmt.Sprintf("%.2f", float64(c.Transport.SpilledBytes)/(1<<20)),
-					fmt.Sprintf("%d", c.Transport.MaxBufferedBytes/(1<<10)),
+					fmt.Sprintf("%d", c.Transport.Stats().SpilledPages),
+					fmt.Sprintf("%.2f", float64(c.Transport.Stats().SpilledBytes)/(1<<20)),
+					fmt.Sprintf("%d", c.Transport.Stats().MaxBufferedBytes/(1<<10)),
 					identical,
 				},
 			})

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/agglib"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/object"
+)
+
+// Transport ladder: the same group-by integer-sum job run over every
+// process-boundary configuration the cluster supports — in-process memory
+// channels, in-process unix/tcp sockets carrying real wire frames, and
+// real pcworker OS processes dialed over unix sockets. The claim under
+// test is the zero-serialization story across a REAL boundary: sealed
+// pages are the wire format, so moving from function calls to sockets to
+// separate processes changes only where bytes travel, never what the job
+// computes — result rows must match the in-memory baseline bit-for-bit,
+// order included, at every rung.
+
+// TransportLadderConfig sizes the transport ladder.
+type TransportLadderConfig struct {
+	// N rows grouped into Groups integer-summed groups.
+	N, Groups int
+	Workers   int
+	Threads   int
+	PageSize  int
+	// ProcBin is a prebuilt cmd/pcworker binary for the process rung;
+	// empty builds one into a temp dir with the go toolchain.
+	ProcBin string
+}
+
+// DefaultTransportLadder is the laptop-scale default.
+func DefaultTransportLadder() TransportLadderConfig {
+	return TransportLadderConfig{N: 120000, Groups: 512, Workers: 2, Threads: 4, PageSize: 1 << 16}
+}
+
+// RunTransportLadder measures the shuffle-heavy aggregation across the
+// transport rungs and enforces bit-for-bit result identity against the
+// in-memory baseline.
+func RunTransportLadder(cfg TransportLadderConfig) (*Table, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 1 << 16
+	}
+	procBin := cfg.ProcBin
+	if procBin == "" {
+		dir, err := os.MkdirTemp("", "pcbench-pcworker")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		procBin = filepath.Join(dir, "pcworker")
+		if out, err := exec.Command("go", "build", "-o", procBin, "repro/cmd/pcworker").CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("bench: building cmd/pcworker: %v\n%s", err, out)
+		}
+	}
+
+	t := &Table{
+		Title:   "Ablation: transport ladder (in-memory vs sockets vs worker processes)",
+		Columns: []string{"time", "vs mem", "shipped", "identical"},
+		Notes: []string{
+			fmt.Sprintf("workers=%d threads=%d, n=%d groups=%d, page=%dKiB; machine has %d CPUs",
+				cfg.Workers, cfg.Threads, cfg.N, cfg.Groups, cfg.PageSize>>10, runtime.NumCPU()),
+			"same sealed pages at every rung: result rows must match the mem baseline bit-for-bit, order included",
+			"proc rung runs real pcworker OS processes; the job ships as TCAP text + type schemas",
+		},
+	}
+	rungs := []struct {
+		name string
+		mut  func(c *cluster.Config)
+	}{
+		{"mem (in-process)", func(c *cluster.Config) {}},
+		{"unix sockets (in-process)", func(c *cluster.Config) { c.Transport = "unix" }},
+		{"tcp sockets (in-process)", func(c *cluster.Config) { c.Transport = "tcp" }},
+		{"unix sockets (worker processes)", func(c *cluster.Config) { c.ProcBin = procBin }},
+	}
+	var base time.Duration
+	var refRows []string
+	for i, rung := range rungs {
+		dir, err := os.MkdirTemp("", "pcbench-transport")
+		if err != nil {
+			return nil, err
+		}
+		ccfg := cluster.Config{Workers: cfg.Workers, Threads: cfg.Threads,
+			PageSize: cfg.PageSize, DataDir: dir}
+		rung.mut(&ccfg)
+		c, err := cluster.New(ccfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("bench: %s: %w", rung.name, err)
+		}
+		rows, d, shipped, err := runWireAggWorkload(c, cfg.N, cfg.Groups)
+		c.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", rung.name, err)
+		}
+		identical := "baseline"
+		if i == 0 {
+			base = d
+			refRows = rows
+		} else if reflect.DeepEqual(rows, refRows) {
+			identical = "yes"
+		} else {
+			return nil, fmt.Errorf("bench: %s produced %d rows differing from the mem baseline (%d rows)",
+				rung.name, len(rows), len(refRows))
+		}
+		t.Rows = append(t.Rows, Row{
+			Name:  rung.name,
+			Cells: []string{ms(d), ratio(base, d), fmt.Sprintf("%dKiB", shipped>>10), identical},
+		})
+	}
+	return t, nil
+}
+
+// runWireAggWorkload loads N (grp, val) rows and runs the group-by integer
+// sum as a shippable named-family aggregation (agglib.SumI64) — the same
+// compiled job at every rung, whether the backends are goroutines or OS
+// processes. Returns result rows (storage scan order), the Execute
+// latency, and the transport's shipped-byte count.
+func runWireAggWorkload(c *cluster.Cluster, n, groups int) ([]string, time.Duration, int64, error) {
+	reg := c.Catalog.Registry()
+	rec := object.NewStruct("WireRec").
+		AddField("grp", object.KInt64).
+		AddField("val", object.KInt64).
+		MustBuild(reg)
+	if err := c.CreateDatabase("db"); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := c.CreateSet("db", "rows", "WireRec"); err != nil {
+		return nil, 0, 0, err
+	}
+	pages, err := object.BuildPages(reg, c.Cfg.PageSize, n, func(a *object.Allocator, i int) (object.Ref, error) {
+		r, err := a.MakeObject(rec)
+		if err != nil {
+			return object.NilRef, err
+		}
+		object.SetI64(r, rec.Field("grp"), int64(i%groups))
+		object.SetI64(r, rec.Field("val"), int64(i))
+		return r, nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if err := c.SendData("db", "rows", pages); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := c.CreateSet("db", "sums", "WireRec"); err != nil {
+		return nil, 0, 0, err
+	}
+	agg, err := agglib.SumI64(reg, "db", "rows", "WireRec", "grp", "val")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	start := time.Now()
+	if _, err := c.Execute(core.NewWrite("db", "sums", agg)); err != nil {
+		return nil, 0, 0, err
+	}
+	d := time.Since(start)
+	var rows []string
+	err = c.ScanSet("db", "sums", func(r object.Ref) bool {
+		rows = append(rows, fmt.Sprintf("%d=%d",
+			object.GetI64(r, rec.Field("grp")), object.GetI64(r, rec.Field("val"))))
+		return true
+	})
+	return rows, d, c.Transport.Stats().BytesShipped, err
+}

@@ -58,6 +58,18 @@ type aggRecovery struct {
 	diskSet  string // snapshot set on the worker's storage server (DataDir mode)
 	slots    []int  // spill slots holding the snapshots (over-budget memory mode)
 	resident int64  // bytes the in-memory snapshot reserved with the governor
+
+	// produces names the consuming stage's artifact — the key the durable
+	// resume metadata (resume.go) files under.
+	produces string
+	// restored marks a record pre-populated from durable cut metadata a
+	// previous cluster persisted: the consumer must fast-forward the fresh
+	// exchange past the cut instead of rewinding to it. Cleared once the
+	// fast-forward completes.
+	restored bool
+	// resumed records that the cross-restart resume actually engaged
+	// (ExecStats.ConsumerResumes).
+	resumed bool
 }
 
 // releaseSnapshots returns the previous checkpoint's snapshot bytes to the
@@ -116,6 +128,14 @@ func (c *Cluster) persistAggCheckpoint(w *Worker, rec *aggRecovery, produces str
 		}
 		rec.ckpt = ck
 		rec.saves++
+		if c.Cfg.ResumeOnRestart {
+			// Make the cut restart-durable: persist its metadata next to
+			// the snapshot set, so a new cluster on this DataDir can
+			// resume the merge from here.
+			if err := c.saveAggResume(w, rec, produces, ck); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	if gov != nil {
@@ -194,6 +214,7 @@ func (c *Cluster) dropAggCheckpoint(w *Worker, rec *aggRecovery, gov *exchange.G
 		_ = w.Front.Store.Drop(checkpointDb, rec.diskSet)
 		rec.diskSet = ""
 	}
+	c.dropAggResume(w, rec.produces)
 	rec.releaseSnapshots(gov)
 }
 
@@ -217,6 +238,17 @@ type joinRecovery struct {
 	probeCursor  int // probe-side pages fully probed and emitted
 	emitted      int // matches handed to user emit (exactly-once skip cursor)
 	emittedAtCut int // matches emitted within pages before probeCursor
+
+	// resumePath/resumeFP arm durable probe-cut persistence (resume.go):
+	// set when Config.ResumeOnRestart is on, every probe checkpoint also
+	// writes its cut metadata there.
+	resumePath string
+	resumeFP   string
+	// restored marks a record pre-populated from a previous cluster's
+	// durable probe cut: the build re-runs from scratch, and the probe
+	// phase acknowledges the already-emitted prefix instead of replaying
+	// it. Cleared once the probe fast-forward completes.
+	restored bool
 }
 
 // CheckpointSets counts live consumer-recovery snapshot sets (the _ckpt

@@ -120,6 +120,19 @@ type Config struct {
 	// element types, then read or query as usual). Empty keeps all pages
 	// in memory.
 	DataDir string
+	// ResumeOnRestart, with DataDir set, makes mid-stream consumer
+	// recovery state durable across cluster restarts: every recovery cut
+	// persists its metadata (the acked cut and snapshot layout) in a
+	// resume file next to the _ckpt snapshot sets under DataDir, and a
+	// crash-type job failure (backend crash, retries exhausted, worker
+	// process death) leaves both on disk instead of cleaning them up. A
+	// new cluster opened on the same DataDir that re-executes the same
+	// job (same program, workers, threads — matched by fingerprint)
+	// restores each consumer from its persisted cut, fast-forwards the
+	// fresh exchange past the already-merged prefix, and finishes the job
+	// bit-for-bit identical to a crash-free run. Off by default: failures
+	// then clean up all recovery state, the historical contract.
+	ResumeOnRestart bool
 	// BroadcastThreshold is the build-side byte size under which the
 	// scheduler chooses a broadcast join (paper: 2 GB).
 	BroadcastThreshold int64
@@ -194,6 +207,28 @@ type Config struct {
 	// bytes, checkpoint snapshots, and spill streams are bit-for-bit
 	// identical either way; only probe speed and allocation churn differ.
 	NoSwissTable bool
+	// Transport selects the process-boundary implementation: "" or "mem"
+	// (the default) is the in-process copier; "unix" and "tcp" ship every
+	// page through a real socket as wire frames (internal/wire) — the
+	// exchange protocol, results, and recovery behavior are identical, only
+	// the wire is real. Socket transports are torn down by Close.
+	Transport string
+	// ProcBin, when non-empty, is the path to a built cmd/pcworker binary
+	// and switches the cluster to proc mode: every worker backend runs as
+	// a real OS process the master spawns lazily at the first Execute and
+	// talks to over per-session control sockets (Transport picks the
+	// network — "" or "unix" for unix domain sockets under each worker's
+	// DataDir subtree, "tcp" for TCP loopback). Jobs ship as optimized
+	// TCAP text plus type schemas, so they must be shippable: scan →
+	// aggregate → write plans whose aggregation is a registered named
+	// family (internal/agglib) — anything else fails with a clear error.
+	// Requires DataDir (worker processes read their input partitions and
+	// persist their recovery cuts there); with a checkpoint interval set,
+	// consumer cuts are always durable — a killed worker process keeps no
+	// memory, so its local disk state is the whole recovery story, serving
+	// mid-job respawns and whole-cluster restarts alike. Close kills every
+	// spawned process.
+	ProcBin string
 	// Fault, when non-nil, is a deterministic fault-injection schedule
 	// (internal/fault) the runtime consults at every instrumented crash
 	// site — page seals, deliveries, checkpoint writes, spills, finalize,
@@ -219,111 +254,6 @@ func (c *Config) fill() {
 	if c.BroadcastThreshold <= 0 {
 		c.BroadcastThreshold = 64 << 20
 	}
-}
-
-// Transport simulates the cluster network: shipping a page is one byte copy
-// of its occupied prefix (the zero-cost movement principle — no encode or
-// decode step exists to charge for).
-type Transport struct {
-	mu           sync.Mutex
-	BytesShipped int64
-	PagesShipped int
-	// MaxBytesInFlight is the largest bytes-in-flight high-water mark any
-	// shuffle exchange reached (bytes shipped but not yet merged) — the
-	// streaming ablation's memory-bound evidence.
-	MaxBytesInFlight int64
-	// MaxReorderPages is the largest undelivered-page backlog any single
-	// consumer's exchange lanes reached. Streaming mode hard-bounds it at
-	// ShuffleCapacity × Threads × Workers; barrier mode buffers the whole
-	// shuffle.
-	MaxReorderPages int64
-	// Checkpoints totals the consumer-side recovery checkpoints taken
-	// across all streaming shuffles.
-	Checkpoints int64
-	// SpilledPages and SpilledBytes total the page images the memory
-	// governor (Config.MemoryBudget) moved to spill files across all
-	// shuffles — lane pages, retained replay pages, and checkpoint
-	// snapshots alike.
-	SpilledPages int64
-	// SpilledBytes is SpilledPages' byte volume.
-	SpilledBytes int64
-	// MaxBufferedBytes is the largest resident governed-byte footprint
-	// any single consumer backend reached (lane pages + replay retention
-	// + in-memory snapshots). With a budget set it never exceeds
-	// Config.MemoryBudget — the single page in the act of being delivered
-	// is excluded; zero when governance is off.
-	MaxBufferedBytes int64
-	// LeakedSpillSlots counts spill slots still live when a step's spill
-	// pools closed — always zero unless cleanup has a bug; the chaos
-	// campaign and failure-path tests assert on it.
-	LeakedSpillSlots int64
-}
-
-// Ship moves a page to a destination registry's memory space.
-func (t *Transport) Ship(p *object.Page, dst *object.Registry) (*object.Page, error) {
-	b := make([]byte, len(p.Bytes()))
-	copy(b, p.Bytes())
-	t.mu.Lock()
-	t.BytesShipped += int64(len(b))
-	t.PagesShipped++
-	t.mu.Unlock()
-	return object.FromBytes(b, dst)
-}
-
-// ShipAll ships a batch of pages (broadcast joins and data loading; shuffle
-// pages travel one at a time through the exchange instead).
-func (t *Transport) ShipAll(pages []*object.Page, dst *object.Registry) ([]*object.Page, error) {
-	out := make([]*object.Page, 0, len(pages))
-	for _, p := range pages {
-		q, err := t.Ship(p, dst)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, q)
-	}
-	return out, nil
-}
-
-// NoteExchange records one finished shuffle's telemetry: the
-// bytes-in-flight and reorder-backlog high-water marks, and the number of
-// consumer-side recovery checkpoints taken.
-func (t *Transport) NoteExchange(hwm, reorderPages int64, checkpoints int) {
-	t.mu.Lock()
-	if hwm > t.MaxBytesInFlight {
-		t.MaxBytesInFlight = hwm
-	}
-	if reorderPages > t.MaxReorderPages {
-		t.MaxReorderPages = reorderPages
-	}
-	t.Checkpoints += int64(checkpoints)
-	t.mu.Unlock()
-}
-
-// NoteSpill records one governed step's memory telemetry: spill traffic
-// totals accumulate and the resident high-water mark keeps its maximum.
-func (t *Transport) NoteSpill(pages, bytes, maxBuffered int64) {
-	t.mu.Lock()
-	t.SpilledPages += pages
-	t.SpilledBytes += bytes
-	if maxBuffered > t.MaxBufferedBytes {
-		t.MaxBufferedBytes = maxBuffered
-	}
-	t.mu.Unlock()
-}
-
-// NoteLeakedSlots records spill slots found live at pool close — a cleanup
-// bug the leak checks turn into a test failure.
-func (t *Transport) NoteLeakedSlots(n int64) {
-	t.mu.Lock()
-	t.LeakedSpillSlots += n
-	t.mu.Unlock()
-}
-
-// Counters returns a consistent snapshot of the shipped-traffic counters.
-func (t *Transport) Counters() (bytes int64, pages int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.BytesShipped, t.PagesShipped
 }
 
 // Backend is the worker's backend process: the only place user code runs.
@@ -417,14 +347,23 @@ type Cluster struct {
 	Cfg       Config
 	Catalog   *catalog.Master
 	Workers   []*Worker
-	Transport *Transport
+	Transport Transport
 
 	// pool recycles transient pages (output, pre-aggregation, merge)
 	// across job stages and jobs.
 	pool *object.PagePool
 
+	// procs manages spawned pcworker OS processes when Config.Proc is set
+	// (proc.go); nil in the in-process modes.
+	procs *procSet
+
 	// manifestMu serializes catalog-manifest writes (restore.go).
 	manifestMu sync.Mutex
+
+	// jobFP fingerprints the job Execute is currently running (optimized
+	// TCAP text + cluster shape); resume files carry it so a restarted
+	// cluster only resumes from recovery state the same job wrote.
+	jobFP string
 }
 
 // New builds a cluster: one master and cfg.Workers workers. With
@@ -433,7 +372,41 @@ type Cluster struct {
 // re-register their element types before reading them.
 func New(cfg Config) (*Cluster, error) {
 	cfg.fill()
-	c := &Cluster{Cfg: cfg, Catalog: catalog.NewMaster(), Transport: &Transport{}, pool: object.NewPagePool(cfg.PageSize)}
+	c := &Cluster{Cfg: cfg, Catalog: catalog.NewMaster(), pool: object.NewPagePool(cfg.PageSize)}
+	if cfg.ProcBin != "" {
+		// Proc mode: worker backends are real OS processes reached over
+		// control sockets (procrun.go); the master's internal transport —
+		// data loading, exchange lane ships between master-side views —
+		// stays the in-process copier, and the control-socket relay adds
+		// its own traffic to the same ShipStats.
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("cluster: proc mode (ProcBin) requires DataDir")
+		}
+		var network string
+		switch cfg.Transport {
+		case "", "unix":
+			network = "unix"
+		case "tcp":
+			network = "tcp"
+		default:
+			return nil, fmt.Errorf("cluster: proc mode needs a socket network (unix or tcp), not %q", cfg.Transport)
+		}
+		c.Transport = NewMemTransport()
+		ps := &procSet{}
+		for i := 0; i < cfg.Workers; i++ {
+			ps.workers = append(ps.workers, &procWorker{
+				id: i, bin: cfg.ProcBin, network: network,
+				dataDir: fmt.Sprintf("%s/worker-%d", cfg.DataDir, i),
+			})
+		}
+		c.procs = ps
+	} else {
+		tr, err := newTransport(cfg, func() *fault.Plan { return c.Cfg.Fault })
+		if err != nil {
+			return nil, err
+		}
+		c.Transport = tr
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		local := catalog.NewLocal(c.Catalog)
 		dir := ""
@@ -544,6 +517,26 @@ func (c *Cluster) CountSet(db, set string) (int, error) {
 	n := 0
 	err := c.ScanSet(db, set, func(object.Ref) bool { n++; return true })
 	return n, err
+}
+
+// Close tears the cluster down: socket transports release their listener,
+// dialed connections, and socket files, and proc mode (Config.Proc) kills
+// every spawned pcworker process and waits for it to exit. Stored data under
+// Config.DataDir is untouched — a cluster reopened on the same directory
+// restores its sets and resumes any mid-stream job from persisted cut
+// metadata. Idempotent; safe on a cluster whose transport is the default
+// in-process copier (no-op there).
+func (c *Cluster) Close() error {
+	var first error
+	if c.procs != nil {
+		if err := c.procs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := c.Transport.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // DropSet removes a set cluster-wide.

@@ -105,7 +105,7 @@ func TestSendDataDistributesAcrossWorkers(t *testing.T) {
 	if withData < 2 {
 		t.Errorf("only %d workers hold data; round-robin expected", withData)
 	}
-	if c.Transport.PagesShipped == 0 {
+	if c.Transport.Stats().PagesShipped == 0 {
 		t.Error("SendData should count shipped pages")
 	}
 }
@@ -188,11 +188,11 @@ func TestFigure5DistributedAggregation(t *testing.T) {
 	// Write the aggregate result through an identity selection so the
 	// finalized objects land in a stored set.
 	_ = c.CreateSet("db", "bydept", "Emp")
-	shippedBefore := c.Transport.BytesShipped
+	shippedBefore := c.Transport.Stats().BytesShipped
 	if _, err := c.Execute(core.NewWrite("db", "bydept", agg)); err != nil {
 		t.Fatal(err)
 	}
-	if c.Transport.BytesShipped <= shippedBefore {
+	if c.Transport.Stats().BytesShipped <= shippedBefore {
 		t.Error("distributed aggregation must shuffle map pages between workers")
 	}
 	var total float64

@@ -63,6 +63,11 @@ type ExecStats struct {
 	// that were recovered by checkpoint restore + stream replay (a subset
 	// of Retries).
 	ConsumerRecoveries int
+	// ConsumerResumes counts consumers that resumed from recovery state a
+	// previous cluster persisted under DataDir (Config.ResumeOnRestart):
+	// the merge restored the on-disk checkpoint and fast-forwarded the
+	// exchange past the already-merged prefix instead of starting over.
+	ConsumerResumes int
 	// Threads is the per-worker executor-thread budget pipeline stages
 	// ran with (Config.Threads after defaulting).
 	Threads int
@@ -91,6 +96,12 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.jobFP = jobFingerprint(opt.Print(), c.Cfg.Workers, c.Cfg.Threads, c.Cfg.PageSize)
+	if c.Cfg.ProcBin != "" {
+		if err := c.prepareProcs(plan.Stages); err != nil {
+			return nil, err
+		}
+	}
 	stats := &ExecStats{Optimizer: *ostats, Stages: len(plan.Stages), Threads: c.Cfg.Threads, RoleRetries: map[string]int{}}
 
 	// Reset per-job worker artifacts, recycling the previous job's
@@ -109,15 +120,19 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 		if done[stage] {
 			continue
 		}
-		beforeBytes, beforePages := c.Transport.Counters()
+		beforeBytes, beforePages := c.Transport.Stats().Counters()
 		var tel exchangeTelemetry
 		if stage.ExchangeTo != nil {
-			tel, err = c.runExchangeGroup(res, stage, stage.ExchangeTo, stats)
+			if c.Cfg.ProcBin != "" {
+				tel, err = c.procExchangeGroup(res, stage, stage.ExchangeTo, stats)
+			} else {
+				tel, err = c.runExchangeGroup(res, stage, stage.ExchangeTo, stats)
+			}
 			done[stage.ExchangeTo] = true
 		} else {
 			err = c.runStage(res, stage, stats)
 		}
-		afterBytes, afterPages := c.Transport.Counters()
+		afterBytes, afterPages := c.Transport.Stats().Counters()
 		stats.Ships = append(stats.Ships, StageShip{
 			Stage: stage.ID,
 			Bytes: afterBytes - beforeBytes,
@@ -519,7 +534,7 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 		wg.Add(1)
 		go func(i int, w *Worker) { // consumer role
 			defer wg.Done()
-			rec := &aggRecovery{}
+			rec := &aggRecovery{produces: cons.Produces}
 			recs[i] = rec
 			err := c.runRole(w, roleConsumer, cons.Produces,
 				func() bool { return interval > 0 },
@@ -546,9 +561,12 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 	for _, rec := range recs {
 		if rec != nil {
 			tel.checkpoints += rec.saves
+			if rec.resumed {
+				stats.ConsumerResumes++
+			}
 		}
 	}
-	c.Transport.NoteExchange(tel.hwm, tel.reorderPages, tel.checkpoints)
+	c.Transport.Stats().NoteExchange(tel.hwm, tel.reorderPages, tel.checkpoints)
 	for _, err := range errs {
 		if err != nil {
 			// Failure cleanup: both roles have returned, so nothing
@@ -558,6 +576,13 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 			// snapshots, so the step's governors and spill pools close
 			// with zero live slots and no _ckpt sets survive.
 			ex.Discard()
+			// A crash-type failure on a ResumeOnRestart cluster keeps the
+			// durable recovery state (_ckpt snapshot sets and resume
+			// metadata) on disk: that state is exactly what lets a restarted
+			// cluster resume this job mid-stream. Every other failure — and
+			// every cluster without the opt-in — cleans up as always.
+			keep := c.Cfg.ResumeOnRestart && c.Cfg.DataDir != "" &&
+				(errors.Is(err, errBackendCrashed) || errors.Is(err, errBackendDead))
 			for j, w := range c.Workers {
 				if recs[j] == nil {
 					continue
@@ -565,6 +590,12 @@ func (c *Cluster) runExchangeGroup(res *core.CompileResult, prod, cons *physical
 				var gov *exchange.Governor
 				if govs != nil {
 					gov = govs[j]
+				}
+				if keep {
+					// Governor bookkeeping still closes (DataDir snapshots
+					// hold no slots or reservations); the disk state stays.
+					recs[j].releaseSnapshots(gov)
+					continue
 				}
 				c.dropAggCheckpoint(w, recs[j], gov)
 			}
@@ -699,6 +730,11 @@ func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobS
 	var ckptr *engine.MergeCheckpointer
 	cut := 0
 	if interval > 0 {
+		if rec.ckpt == nil && c.Cfg.DataDir != "" {
+			// Fresh record on a disk-backed cluster: a previous cluster may
+			// have left durable cut metadata for this very job (resume.go).
+			c.loadAggResume(w, rec, stage.Produces)
+		}
 		resume, err := c.loadAggCheckpoint(w, rec, gov)
 		if err != nil {
 			return nil, err
@@ -706,7 +742,30 @@ func (c *Cluster) consumeAggStream(res *core.CompileResult, stage *physical.JobS
 		if resume != nil {
 			cut = resume.Cut
 		}
-		if err := ex.Rewind(w.ID, cut); err != nil {
+		if rec.restored {
+			// Cross-restart resume: this exchange never delivered the cut —
+			// the producers are re-streaming the job from page zero. The
+			// first cut pages are already merged into the restored
+			// snapshots, so receive and discard them (retention owns the
+			// refs), then acknowledge the cut to empty the replay window.
+			// Rewinding to zero first makes a crash mid-fast-forward
+			// harmless: the retry replays and drains the same prefix.
+			if err := ex.Rewind(w.ID, 0); err != nil {
+				return nil, err
+			}
+			for i := 0; i < cut; i++ {
+				if _, ok, err := ex.Recv(w.ID); err != nil {
+					return nil, err
+				} else if !ok {
+					return nil, fmt.Errorf("cluster: resume cut %d is past the stream's end (page %d)", cut, i)
+				}
+			}
+			if err := ex.Ack(w.ID, cut); err != nil {
+				return nil, err
+			}
+			rec.restored = false
+			rec.resumed = true
+		} else if err := ex.Rewind(w.ID, cut); err != nil {
 			return nil, err
 		}
 		release = nil

@@ -49,7 +49,7 @@ func writeIntAgg(t *testing.T, c *Cluster, rec *object.TypeInfo) error {
 // nothing behind: no live spill slots at pool close, no _ckpt sets.
 func assertNoJoinLeaks(t *testing.T, c *Cluster, label string) {
 	t.Helper()
-	if n := c.Transport.LeakedSpillSlots; n != 0 {
+	if n := c.Transport.Stats().LeakedSpillSlots; n != 0 {
 		t.Errorf("%s: %d spill slots leaked", label, n)
 	}
 	if n := c.CheckpointSets(); n != 0 {
@@ -117,11 +117,11 @@ func TestProbeEmitCrashRecoverySpill(t *testing.T) {
 			t.Errorf("%s: governed recovered join differs from unbounded crash-free join (%d vs %d pairs)",
 				site, len(gotRows), len(wantRows))
 		}
-		if c.Transport.SpilledPages == 0 {
+		if c.Transport.Stats().SpilledPages == 0 {
 			t.Errorf("%s: a one-page budget spilled nothing on the join shuffles", site)
 		}
-		if c.Transport.MaxBufferedBytes == 0 || c.Transport.MaxBufferedBytes > spillBudget {
-			t.Errorf("%s: MaxBufferedBytes = %d, want in (0, %d]", site, c.Transport.MaxBufferedBytes, spillBudget)
+		if c.Transport.Stats().MaxBufferedBytes == 0 || c.Transport.Stats().MaxBufferedBytes > spillBudget {
+			t.Errorf("%s: MaxBufferedBytes = %d, want in (0, %d]", site, c.Transport.Stats().MaxBufferedBytes, spillBudget)
 		}
 		assertNoJoinLeaks(t, c, site.String())
 	}

@@ -80,7 +80,7 @@ func (c *Cluster) stepGovernors() ([]*exchange.Governor, func()) {
 			// A step that cleaned up fully freed every slot; anything
 			// still live is a leak the chaos campaign asserts against.
 			if n := sp.LiveSlots(); n > 0 {
-				c.Transport.NoteLeakedSlots(int64(n))
+				c.Transport.Stats().NoteLeakedSlots(int64(n))
 			}
 			_ = sp.Close()
 		}
@@ -119,6 +119,6 @@ func (c *Cluster) spillTelemetry(govs []*exchange.Governor) (spilledPages, spill
 			maxBuffered = mb
 		}
 	}
-	c.Transport.NoteSpill(spilledPages, spilledBytes, maxBuffered)
+	c.Transport.Stats().NoteSpill(spilledPages, spilledBytes, maxBuffered)
 	return spilledPages, spilledBytes, maxBuffered
 }

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/engine"
@@ -159,6 +161,15 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 		go func(i int, w *Worker) {
 			defer wg.Done()
 			rec := &joinRecovery{}
+			if interval > 0 && c.Cfg.ResumeOnRestart && c.Cfg.DataDir != "" {
+				// Arm durable probe-cut persistence and pick up where a
+				// previous cluster's identical join left off, if anywhere.
+				rec.resumePath = c.joinResumePath(dbL, setL, dbR, setR, i)
+				rec.resumeFP = jobFingerprint(
+					fmt.Sprintf("join|%s.%s|%s.%s|i%d", dbL, setL, dbR, setR, interval),
+					nw, c.Cfg.Threads, c.Cfg.PageSize)
+				c.loadJoinResume(rec)
+			}
 			recs[i] = rec
 			err := c.runRole(w, roleConsumer, "join build/probe",
 				func() bool { return interval > 0 },
@@ -195,8 +206,14 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 						if err := exR.Rewind(i, rec.cut); err != nil {
 							return err
 						}
-						if err := exL.Rewind(i, rec.probeCursor); err != nil {
-							return err
+						// A restart-restored cursor points past this fresh
+						// exchange's (empty) delivery window; the gather
+						// below delivers the whole probe stream into
+						// retention, and the post-build rewind positions it.
+						if !rec.restored {
+							if err := exL.Rewind(i, rec.probeCursor); err != nil {
+								return err
+							}
 						}
 						t, _, err := c.gatherJoinStreams(exR, exL, i, keyR, interval, rec, false)
 						if err != nil {
@@ -229,22 +246,41 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 		}
 	}
 	stats.Checkpoints = ckpts
-	c.Transport.NoteExchange(exL.MaxBytesInFlight(), exL.MaxReorderPages(), 0)
-	c.Transport.NoteExchange(exR.MaxBytesInFlight(), exR.MaxReorderPages(), ckpts)
+	c.Transport.Stats().NoteExchange(exL.MaxBytesInFlight(), exL.MaxReorderPages(), 0)
+	c.Transport.Stats().NoteExchange(exR.MaxBytesInFlight(), exR.MaxReorderPages(), ckpts)
 	for _, err := range errs {
 		if err != nil {
 			// Failure cleanup: all roles have returned. Release both
 			// exchanges' undelivered and retained pages so the step's
 			// governors and spill pools close with zero live slots. (Join
 			// recovery state is in-memory clones — nothing else to drop.)
+			// A crash-type failure on a ResumeOnRestart cluster keeps the
+			// durable probe-cut files: a restarted cluster resumes the
+			// probe from them.
 			exL.Discard()
 			exR.Discard()
 			c.spillTelemetry(govs)
+			keep := c.Cfg.ResumeOnRestart && c.Cfg.DataDir != "" &&
+				(errors.Is(err, errBackendCrashed) || errors.Is(err, errBackendDead))
+			if !keep {
+				dropJoinResumes(recs)
+			}
 			return stats, fmt.Errorf("cluster: hash-partition join %s.%s ⋈ %s.%s: %w", dbL, setL, dbR, setR, err)
 		}
 	}
 	c.spillTelemetry(govs)
+	dropJoinResumes(recs)
 	return stats, nil
+}
+
+// dropJoinResumes removes every worker's durable probe-cut file (no-op for
+// records that never armed persistence).
+func dropJoinResumes(recs []*joinRecovery) {
+	for _, rec := range recs {
+		if rec != nil && rec.resumePath != "" {
+			os.Remove(rec.resumePath)
+		}
+	}
 }
 
 // streamRepartition runs one worker's repartition of one set across
@@ -579,6 +615,18 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 	interval int, rec *joinRecovery, emit func(l, r object.Ref) error) error {
 	counter := rec.emittedAtCut
 	cursor := rec.probeCursor
+	if rec.restored {
+		// Cross-restart resume: the pages below the restored cursor were
+		// probed and their matches emitted by a previous cluster, so this
+		// probe never replays them — acknowledge them straight out of the
+		// gather's retention.
+		if cursor > 0 {
+			if err := ex.Ack(worker, cursor); err != nil {
+				return err
+			}
+		}
+		rec.restored = false
+	}
 	// scratch backs each window's flattened match list and is recycled
 	// across windows, so a long probe stream allocates the flatten buffer
 	// O(1) times instead of once per window.
@@ -631,6 +679,11 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 			rec.probeCursor = cursor
 			rec.emittedAtCut = counter
 			rec.saves++
+			if rec.resumePath != "" {
+				if err := c.saveJoinResume(rec); err != nil {
+					return err
+				}
+			}
 			if err := ex.Ack(worker, cursor); err != nil {
 				return err
 			}

@@ -99,7 +99,7 @@ func TestCoPartitionedJoinMatchesShuffledJoin(t *testing.T) {
 		return object.GetStrField(l, deptField) == object.GetStrField(r, deptField)
 	}
 	var coMatches int64
-	shippedBefore := c.Transport.BytesShipped
+	shippedBefore := c.Transport.Stats().BytesShipped
 	err := c.CoPartitionedJoin("db", "left", "db", "right", key, key, eq,
 		func(workerID int, l, r object.Ref) error {
 			atomic.AddInt64(&coMatches, 1)
@@ -108,7 +108,7 @@ func TestCoPartitionedJoinMatchesShuffledJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := c.Transport.BytesShipped - shippedBefore; got != 0 {
+	if got := c.Transport.Stats().BytesShipped - shippedBefore; got != 0 {
 		t.Errorf("co-partitioned join shipped %d bytes, want 0 (the §8.3.3 payoff)", got)
 	}
 

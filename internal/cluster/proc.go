@@ -1,0 +1,24 @@
+package cluster
+
+// procSet tracks the pcworker OS processes a proc-mode cluster spawned, so
+// Close can tear them down and leak checks can see them. Process lifecycle
+// and the proc-mode scheduler paths live in procexec.go; this file owns the
+// teardown contract Close depends on.
+type procSet struct {
+	workers []*procWorker
+}
+
+// Close kills every spawned worker process, waits for it to exit, and
+// removes its control socket.
+func (ps *procSet) Close() error {
+	if ps == nil {
+		return nil
+	}
+	var first error
+	for _, pw := range ps.workers {
+		if err := pw.stop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -344,7 +344,7 @@ func TestConsumerCrashRecoveryJoinBuild(t *testing.T) {
 			t.Errorf("w=%d t=%d: recovered join differs from crash-free join (%d vs %d pairs)",
 				cell.workers, cell.threads, len(gotRows), len(wantRows))
 		}
-		if c.Transport.Checkpoints == 0 {
+		if c.Transport.Stats().Checkpoints == 0 {
 			t.Errorf("w=%d t=%d: no build checkpoints recorded", cell.workers, cell.threads)
 		}
 	}
@@ -452,7 +452,7 @@ func TestSkewedShuffleReorderBound(t *testing.T) {
 	if !seen {
 		t.Fatal("no exchange step in ExecStats.Ships")
 	}
-	if c.Transport.MaxReorderPages <= 0 || c.Transport.MaxReorderPages > bound {
-		t.Errorf("transport reorder mark = %d, want in (0, %d]", c.Transport.MaxReorderPages, bound)
+	if c.Transport.Stats().MaxReorderPages <= 0 || c.Transport.Stats().MaxReorderPages > bound {
+		t.Errorf("transport reorder mark = %d, want in (0, %d]", c.Transport.Stats().MaxReorderPages, bound)
 	}
 }

@@ -180,7 +180,7 @@ func TestRestartRestoresPartitionKey(t *testing.T) {
 	eq := func(l, r object.Ref) bool {
 		return object.GetStrField(l, deptField) == object.GetStrField(r, deptField)
 	}
-	shippedBefore := c.Transport.BytesShipped
+	shippedBefore := c.Transport.Stats().BytesShipped
 	var matches int64
 	err = c.CoPartitionedJoin("db", "left", "db", "right", key, key, eq,
 		func(workerID int, l, r object.Ref) error { atomic.AddInt64(&matches, 1); return nil })
@@ -190,7 +190,7 @@ func TestRestartRestoresPartitionKey(t *testing.T) {
 	if matches != 210 {
 		t.Errorf("matches = %d, want 210", matches)
 	}
-	if c.Transport.BytesShipped != shippedBefore {
+	if c.Transport.Stats().BytesShipped != shippedBefore {
 		t.Error("co-partitioned join after restart shipped bytes; partition key not restored")
 	}
 }

@@ -75,7 +75,7 @@ func TestSpillAggIdentityOnePageBudget(t *testing.T) {
 				barrier, len(gotRows), len(wantRows))
 		}
 		assertSpillShips(t, stats, "barrier="+map[bool]string{false: "no", true: "yes"}[barrier])
-		if c.Transport.SpilledPages == 0 || c.Transport.SpilledBytes == 0 {
+		if c.Transport.Stats().SpilledPages == 0 || c.Transport.Stats().SpilledBytes == 0 {
 			t.Errorf("barrier=%v: transport spill counters not recorded", barrier)
 		}
 	}
@@ -192,11 +192,11 @@ func TestConsumerCrashRecoverySpillJoinBuild(t *testing.T) {
 		t.Errorf("recovered governed join differs from unbounded crash-free join (%d vs %d pairs)",
 			len(gotRows), len(wantRows))
 	}
-	if c.Transport.SpilledPages == 0 {
+	if c.Transport.Stats().SpilledPages == 0 {
 		t.Error("a one-page budget spilled nothing on the join shuffles")
 	}
-	if c.Transport.MaxBufferedBytes == 0 || c.Transport.MaxBufferedBytes > spillBudget {
-		t.Errorf("join MaxBufferedBytes = %d, want in (0, %d]", c.Transport.MaxBufferedBytes, spillBudget)
+	if c.Transport.Stats().MaxBufferedBytes == 0 || c.Transport.Stats().MaxBufferedBytes > spillBudget {
+		t.Errorf("join MaxBufferedBytes = %d, want in (0, %d]", c.Transport.Stats().MaxBufferedBytes, spillBudget)
 	}
 }
 

@@ -351,7 +351,7 @@ func TestBackendCrashReForkMidShuffle(t *testing.T) {
 	}
 	// At least one page must have been in flight before the crash for the
 	// retry-dedup path to have been exercised.
-	if c.Transport.PagesShipped == 0 {
+	if c.Transport.Stats().PagesShipped == 0 {
 		t.Error("no pages shipped; shuffle never streamed")
 	}
 }
@@ -414,7 +414,7 @@ func TestShuffleObservability(t *testing.T) {
 	if !found {
 		t.Error("no stage reported a bytes-in-flight high-water mark; the aggregation should have streamed")
 	}
-	if c.Transport.MaxBytesInFlight <= 0 {
+	if c.Transport.Stats().MaxBytesInFlight <= 0 {
 		t.Error("transport did not record the shuffle high-water mark")
 	}
 }

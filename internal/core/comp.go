@@ -104,6 +104,15 @@ type Aggregate struct {
 	In      Computation
 	ArgType string
 
+	// Name, when non-empty, identifies this aggregation in a registered
+	// aggregation family ("family|arg|arg|..."), making the computation
+	// shippable: the compiler records it in the AGGREGATE statement's Info
+	// and Rebuild resolves it back to an identical spec on the receiving
+	// side (Combine/Finalize are native Go closures and cannot cross a
+	// process boundary by value). Anonymous aggregations (empty Name) work
+	// exactly as before but only execute in the process that built them.
+	Name string
+
 	Key func(arg *lambda.Arg) lambda.Term
 	Val func(arg *lambda.Arg) lambda.Term
 

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/engine"
 	"repro/internal/lambda"
+	"repro/internal/object"
 	"repro/internal/tcap"
 )
 
@@ -175,8 +177,7 @@ func (c *compiler) compileTerm(cur listState, t lambda.Term, binding map[int]str
 			return cur, "", fmt.Errorf("core: constant term with no sizing column")
 		}
 		st, out := c.emitApply(cur, []string{cur.cols[0]}, comp, "const",
-			map[string]string{"type": "const", "value": n.Val.String()},
-			constKernel(n.Val))
+			constInfo(n.Val), constKernel(n.Val))
 		return st, out, nil
 	case *lambda.Native:
 		st := cur
@@ -232,6 +233,26 @@ func (c *compiler) compileTerm(cur listState, t lambda.Term, binding map[int]str
 	default:
 		return cur, "", fmt.Errorf("core: unknown lambda term %T", t)
 	}
+}
+
+// constInfo records a constant's exact value in the statement's Info so a
+// rebuilt program reconstructs the identical kernel: "value" keeps the
+// human-readable rendering, "kind"/"cval" carry the lossless machine form
+// (floats via strconv's shortest round-trip formatting, which %g is not).
+func constInfo(v object.Value) map[string]string {
+	info := map[string]string{"type": "const", "value": v.String(),
+		"kind": strconv.Itoa(int(v.K))}
+	switch v.K {
+	case object.KBool:
+		info["cval"] = strconv.FormatBool(v.B)
+	case object.KInt32, object.KInt64:
+		info["cval"] = strconv.FormatInt(v.I, 10)
+	case object.KFloat64:
+		info["cval"] = strconv.FormatFloat(v.F, 'g', -1, 64)
+	case object.KString:
+		info["cval"] = v.S
+	}
+	return info
 }
 
 // emitFilter appends a FILTER keeping only the given columns.
@@ -361,6 +382,12 @@ func (c *compiler) compileAggregate(s *Aggregate) (listState, error) {
 	}
 	outCol := c.freshCol()
 	out := listState{name: c.freshList(), cols: []string{outCol}, objCol: outCol}
+	info := map[string]string{"type": "aggregate"}
+	if s.Name != "" {
+		// A named aggregation is shippable: Rebuild resolves the family
+		// spec from this Info entry on the receiving side.
+		info["agg"] = s.Name
+	}
 	c.res.Prog.Stmts = append(c.res.Prog.Stmts, &tcap.Stmt{
 		Out:     tcap.ColumnsRef{Name: out.name, Cols: out.cols},
 		Op:      tcap.OpAggregate,
@@ -368,7 +395,7 @@ func (c *compiler) compileAggregate(s *Aggregate) (listState, error) {
 		Copied:  tcap.ColumnsRef{Name: st.name, Cols: nil},
 		Comp:    comp,
 		Stage:   c.freshStage("agg"),
-		Info:    map[string]string{"type": "aggregate"},
+		Info:    info,
 	})
 	c.res.AggSpecs[out.name] = &engine.AggSpec{
 		KeyKind:  s.KeyKind,

@@ -76,6 +76,24 @@ const (
 	// CheckpointIO injects an I/O error from checkpoint persistence.
 	// Error site.
 	CheckpointIO
+	// ConnDrop injects a dropped transport connection: the socket
+	// transport severs its active connection immediately before a frame
+	// write, forcing the redial path. Error site at the injection point,
+	// but the transport absorbs it by reconnecting and re-sending the
+	// frame — jobs still succeed, and ShipStats.Reconnects counts the
+	// redials. Transport-level hits count against worker 0 (the wire has
+	// no worker identity of its own).
+	ConnDrop
+	// ProcKill kills a proc-mode worker process (cmd/pcworker) mid-job.
+	// Unlike the in-process sites, the fault executes across the process
+	// boundary: the master extracts the injection (Plan.Take) and ships
+	// it in the consume request, and the worker exits hard right after
+	// its (K+1)-th durable checkpoint save — deterministically past a
+	// durable cut, before the ack leaves its process. The master observes
+	// both role sessions sever, respawns the process, and the role retry
+	// resumes from the worker's durable cut exactly as for an in-process
+	// crash.
+	ProcKill
 
 	numSites
 )
@@ -94,6 +112,8 @@ func (s Site) String() string {
 		SpillWrite:   "SpillWrite",
 		SpillRead:    "SpillRead",
 		CheckpointIO: "CheckpointIO",
+		ConnDrop:     "ConnDrop",
+		ProcKill:     "ProcKill",
 	}
 	if s >= 0 && int(s) < len(names) {
 		return names[s]
@@ -104,7 +124,7 @@ func (s Site) String() string {
 // IsError reports whether the site injects an error (ErrAt) rather than a
 // panic (Hit).
 func (s Site) IsError() bool {
-	return s == SpillWrite || s == SpillRead || s == CheckpointIO
+	return s == SpillWrite || s == SpillRead || s == CheckpointIO || s == ConnDrop
 }
 
 // Injection is one scheduled fault: at the K-th hit (0-based) of Site on
@@ -218,6 +238,28 @@ func (p *Plan) ErrAt(site Site, worker int) error {
 	return nil
 }
 
+// Take extracts the first unfired injection armed at (site, worker),
+// marking it fired, and returns its K. Proc-mode masters use it to ship a
+// fault across the process boundary instead of firing it in-process —
+// the worker executes it (ProcKill: exit hard right after the (K+1)-th
+// durable checkpoint save), so "fired" here means "shipped into the
+// worker". ok is false when nothing is armed there. Safe on a nil plan.
+func (p *Plan) Take(site Site, worker int) (k int, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.inj {
+		in := &p.inj[i]
+		if !in.fired && in.Site == site && in.Worker == worker {
+			in.fired = true
+			return in.K, true
+		}
+	}
+	return 0, false
+}
+
 // Fired reports how many of the plan's injections have fired.
 func (p *Plan) Fired() int {
 	if p == nil {
@@ -307,6 +349,8 @@ var defaultMaxK = map[Site]int{
 	SpillWrite:   2,
 	SpillRead:    2,
 	CheckpointIO: 1,
+	ConnDrop:     3,
+	ProcKill:     3,
 }
 
 // Seeded derives a reproducible single-injection plan from seed. The site

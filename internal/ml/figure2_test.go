@@ -68,7 +68,7 @@ func TestFigure2LDADataflow(t *testing.T) {
 	}
 	// The join shuffled data (theta build side broadcast + aggregation
 	// map pages).
-	if client.Cluster.Transport.BytesShipped == 0 {
+	if client.Cluster.Transport.Stats().BytesShipped == 0 {
 		t.Error("LDA iteration should move pages across workers")
 	}
 }

@@ -154,6 +154,12 @@ func (c *Client) CountSet(db, set string) (int, error) { return c.Cluster.CountS
 // DropSet removes a stored set.
 func (c *Client) DropSet(db, set string) error { return c.Cluster.DropSet(db, set) }
 
+// Close tears the cluster down: socket transports close their
+// connections and listeners, and proc-mode worker processes are killed
+// and reaped. Durable state under Config.DataDir survives Close; a
+// client reconnected on the same directory restores it.
+func (c *Client) Close() error { return c.Cluster.Close() }
+
 // Object model re-exports: the "in the small" API surface.
 
 // Ref is a reference to a PC object on a page.
