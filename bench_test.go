@@ -181,6 +181,19 @@ func BenchmarkHashTableLadder(b *testing.B) {
 	})
 }
 
+// BenchmarkSortLadder is the relational-surface ablation: the distributed
+// ORDER BY merge network across thread counts, with bit-for-bit identity
+// against the 1-thread baseline enforced as an error so the CI bench smoke
+// gates merges on it.
+func BenchmarkSortLadder(b *testing.B) {
+	runTable(b, func() (*bench.Table, error) {
+		return bench.RunSortLadder(bench.SortScalingConfig{
+			N: 12000, Groups: 97, SpillRows: 1024,
+			Workers: 2, Threads: []int{1, 2, 4},
+		})
+	})
+}
+
 // BenchmarkSpillLadder is the memory-governor ablation: the same workloads
 // under a shrinking Config.MemoryBudget, down to a single page, with the
 // bit-for-bit identity and resident-bytes-within-budget checks enforced as

@@ -20,7 +20,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "run only this table (2-8); 0 = all")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
-	scaling := flag.Bool("scaling", false, "run only the thread-scaling, shuffle-overlap, memory-budget, morsel-scheduling, and hash-table ablations (pipeline, aggregation, join, exchange, spill, skew, swiss); persists BENCH_7.json and BENCH_8.json")
+	scaling := flag.Bool("scaling", false, "run only the thread-scaling, shuffle-overlap, memory-budget, morsel-scheduling, hash-table, transport, and sort ablations (pipeline, aggregation, join, exchange, spill, skew, swiss, wire, order-by); persists BENCH_7.json through BENCH_10.json")
 	chaos := flag.Bool("chaos", false, "run the seeded fault-injection campaign (crash/IO-error schedules across workers x threads x budgets); persists BENCH_6.json")
 	flag.Parse()
 
@@ -86,6 +86,20 @@ func main() {
 		fmt.Println(tt.Format())
 		out = filepath.Join(repoRoot(), "BENCH_9.json")
 		if err := bench.WriteJSON(out, []*bench.Table{tt}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+
+		// The sort ladder persists separately: BENCH_10.json is the
+		// relational-surface acceptance artifact (distributed ORDER BY merge
+		// network, identity across thread counts enforced inside the run).
+		st, err := bench.RunSortLadder(bench.DefaultSortScaling())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(st.Format())
+		out = filepath.Join(repoRoot(), "BENCH_10.json")
+		if err := bench.WriteJSON(out, []*bench.Table{st}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", out)

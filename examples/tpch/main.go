@@ -58,6 +58,37 @@ func main() {
 		fmt.Printf("  customer %4d  similarity %.4f\n", e.CustKey, e.Similarity)
 	}
 
+	// Relational-surface queries (queries 3–6): flatten the customer graphs
+	// into purchase rows, then ORDER BY/top-k, DISTINCT, and semi/anti join.
+	purchase := tpch.RegisterPurchase(client.Registry())
+	if err := tpch.FlattenPurchasesPC(client, schema, purchase, "TPCH_db", "tpch_bench_set1", "purchases"); err != nil {
+		log.Fatal(err)
+	}
+	topVol, err := tpch.TopCustomersByVolumePC(client, schema, "TPCH_db", "tpch_bench_set1", "q3", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query 3: top-5 customers by purchase volume (distributed ORDER BY): %v\n", topVol)
+	parts, err := tpch.DistinctPartsSoldPC(client, purchase, "TPCH_db", "purchases", "q4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query 4: %d distinct parts appear in at least one purchase\n", len(parts))
+	promo := []int64{2, 3, 5, 7, 11, 13, 17, 19}
+	if err := tpch.LoadPromoParts(client, schema, "TPCH_db", "promo", promo); err != nil {
+		log.Fatal(err)
+	}
+	semi, err := tpch.PromoPurchasesPC(client, purchase, pc.JoinSemi, "TPCH_db", "purchases", "promo", "q5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	anti, err := tpch.PromoPurchasesPC(client, purchase, pc.JoinAnti, "TPCH_db", "purchases", "promo", "q6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query 5/6: %d purchases hit the %d promoted parts (semi join), %d missed (anti join)\n",
+		len(semi), len(promo), len(anti))
+
 	// The same queries on the baseline, showing the serialization bill PC
 	// never pays.
 	bd, err := tpch.LoadBaseline(4, tpch.ModeHotStorage, data)

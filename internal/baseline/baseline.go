@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -444,6 +445,108 @@ func (d *Dataset) Join(other *Dataset, keyL, keyR func(Record) interface{},
 		for _, l := range part {
 			for _, r := range table[keyL(l)] {
 				res = append(res, combine(l, r))
+			}
+		}
+		out.parts[i] = res
+	})
+	return out, nil
+}
+
+// SortBy globally sorts the dataset with less, optionally keeping only the
+// first limit records (top-k). Spark-shaped: every executor stably sorts
+// its own partition (truncating to limit locally when set), then the driver
+// merges the sorted runs, breaking ties toward the lowest partition index —
+// the record-boxed analogue of PC's sort merge network, with the same
+// stability contract.
+func (d *Dataset) SortBy(less func(a, b Record) bool, limit int) *Dataset {
+	runs := make([][]Record, len(d.parts))
+	d.eachPartition(func(i int, part []Record) {
+		run := append([]Record(nil), part...)
+		sort.SliceStable(run, func(a, b int) bool { return less(run[a], run[b]) })
+		if limit > 0 && len(run) > limit {
+			run = run[:limit]
+		}
+		runs[i] = run
+	})
+	cursor := make([]int, len(runs))
+	var out []Record
+	for limit <= 0 || len(out) < limit {
+		best := -1
+		for i, run := range runs {
+			if cursor[i] >= len(run) {
+				continue
+			}
+			if best < 0 || less(run[cursor[i]], runs[best][cursor[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, runs[best][cursor[best]])
+		cursor[best]++
+	}
+	return &Dataset{ctx: d.ctx, parts: [][]Record{out}}
+}
+
+// DistinctBy deduplicates by key, keeping the first record observed per key
+// in partition order. It is ReduceByKey with a keep-first merge — riding
+// the aggregation shuffle exactly like PC's DISTINCT rides the swiss-table
+// aggregation path as a keys-only sink.
+func (d *Dataset) DistinctBy(key func(Record) interface{}) (*Dataset, error) {
+	return d.ReduceByKey(key, func(a, b Record) Record { return a })
+}
+
+// Running sorts the dataset with less and then folds every record
+// left-to-right, emitting fold's result per record — the running-aggregate
+// (window) analogue. The fold is inherently sequential, so it runs on the
+// driver over the merged sort order, just as PC folds on the consumer side
+// of the sort's merge network.
+func (d *Dataset) Running(less func(a, b Record) bool, fold func(acc Record, next Record, first bool) Record) *Dataset {
+	sorted := d.SortBy(less, 0).Collect()
+	out := make([]Record, len(sorted))
+	var acc Record
+	for i, r := range sorted {
+		acc = fold(acc, r, i == 0)
+		out[i] = acc
+	}
+	return &Dataset{ctx: d.ctx, parts: [][]Record{out}}
+}
+
+// SemiJoin keeps the left records whose key has at least one match in
+// other, each emitted once regardless of match multiplicity.
+func (d *Dataset) SemiJoin(other *Dataset, keyL, keyR func(Record) interface{}) (*Dataset, error) {
+	return d.joinFilter(other, keyL, keyR, true)
+}
+
+// AntiJoin is SemiJoin's complement: the left records with no match in
+// other.
+func (d *Dataset) AntiJoin(other *Dataset, keyL, keyR func(Record) interface{}) (*Dataset, error) {
+	return d.joinFilter(other, keyL, keyR, false)
+}
+
+// joinFilter shuffles both sides by key (gob round-tripping every record
+// that moves) and filters each left partition by key membership in the
+// co-shuffled right partition.
+func (d *Dataset) joinFilter(other *Dataset, keyL, keyR func(Record) interface{}, keep bool) (*Dataset, error) {
+	ls, err := d.shuffle(keyL)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := other.shuffle(keyR)
+	if err != nil {
+		return nil, err
+	}
+	out := &Dataset{ctx: d.ctx, parts: make([][]Record, len(ls.parts))}
+	ls.eachPartition(func(i int, part []Record) {
+		present := map[interface{}]bool{}
+		for _, r := range rs.parts[i] {
+			present[keyR(r)] = true
+		}
+		var res []Record
+		for _, l := range part {
+			if present[keyL(l)] == keep {
+				res = append(res, l)
 			}
 		}
 		out.parts[i] = res

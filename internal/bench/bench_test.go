@@ -102,15 +102,28 @@ func TestRunCoPartitionedJoinSmoke(t *testing.T) {
 	}
 }
 
-// TestChaosCampaignCI is the CI chaos step: a fixed-seed short sweep (96
+// TestChaosCampaignCI is the CI chaos step: a fixed-seed short sweep (192
 // fault schedules at one cluster shape, both budgets, both schedulers, both
-// hash-table backends, both workloads) that must uphold the campaign
-// contract — bit-for-bit identity after absorbed crashes, clean failures on
-// injected I/O errors, zero leaks.
+// hash-table backends, all four workloads — agg, join, sort, outer join)
+// that must uphold the campaign contract — bit-for-bit identity after
+// absorbed crashes, clean failures on injected I/O errors, zero leaks.
 func TestRunTransportLadderSmoke(t *testing.T) {
 	tab, err := RunTransportLadder(TransportLadderConfig{
 		N: 2000, Groups: 16, Workers: 2, Threads: 2, PageSize: 1 << 12})
 	checkTable(t, tab, err, 4)
+}
+
+func TestRunSortLadderSmoke(t *testing.T) {
+	tab, err := RunSortLadder(SortScalingConfig{
+		N: 3000, Groups: 37, SpillRows: 256, Workers: 2, Threads: []int{1, 2}})
+	checkTable(t, tab, err, 2)
+	// The ladder enforces bit-for-bit identity across thread counts
+	// internally; every non-baseline row must report it.
+	for _, r := range tab.Rows[1:] {
+		if r.Cells[2] != "yes" {
+			t.Errorf("row %q not identical to 1-thread baseline", r.Name)
+		}
+	}
 }
 
 func TestChaosCampaignCI(t *testing.T) {
@@ -118,7 +131,7 @@ func TestChaosCampaignCI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkTable(t, tab, nil, 16) // 1 cell × 2 budgets × 2 schedulers × 2 backends × 2 workloads
+	checkTable(t, tab, nil, 32) // 1 cell × 2 budgets × 2 schedulers × 2 backends × 4 workloads
 	fired := 0
 	for _, r := range tab.Rows {
 		var n int

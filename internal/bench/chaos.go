@@ -37,6 +37,11 @@ type ChaosConfig struct {
 	AggN, AggGroups           int
 	JoinLeft, JoinRight, Keys int
 
+	// Sort workload (rows, groups) and the per-thread run bound arming the
+	// SortSpill site. The outer-join workload reuses the join sizes with
+	// partially-overlapping key ranges, reaching the ProbeBitmap site.
+	SortN, SortGroups, SortSpillRows int
+
 	// RequireAllSites fails the campaign unless every applicable fault
 	// site fired at least once across it. The full campaign asserts it;
 	// the short CI profile cannot (too few seeds to cycle every site).
@@ -45,7 +50,7 @@ type ChaosConfig struct {
 
 // DefaultChaos is the full campaign: 3 worker counts × 3 thread counts ×
 // 2 budgets × 2 schedulers (static, morsel) × 2 hash-table backends ×
-// 2 workloads × 6 seeds = 864 fault schedules.
+// 4 workloads × 6 seeds = 1728 fault schedules.
 func DefaultChaos() ChaosConfig {
 	return ChaosConfig{
 		Workers:      []int{1, 2, 4},
@@ -57,13 +62,14 @@ func DefaultChaos() ChaosConfig {
 		BaseSeed:     1,
 		AggN:         4000, AggGroups: 499,
 		JoinLeft: 600, JoinRight: 90, Keys: 18,
+		SortN: 1400, SortGroups: 23, SortSpillRows: 48,
 		RequireAllSites: true,
 	}
 }
 
 // CIChaos is the short fixed-seed profile the CI chaos step runs under the
 // race detector: 1 cell × 2 budgets × 2 schedulers × 2 backends ×
-// 2 workloads × 6 seeds = 96 schedules.
+// 4 workloads × 6 seeds = 192 schedules.
 func CIChaos() ChaosConfig {
 	cfg := DefaultChaos()
 	cfg.Workers = []int{2}
@@ -88,6 +94,21 @@ func joinSites(budget int64) []fault.Site {
 		s = append(s, fault.SpillEnqueue, fault.SpillWrite, fault.SpillRead)
 	}
 	return s
+}
+
+// outerJoinSites adds the match-bitmap site: the full join marks build
+// rows matched during probe and null-extends the unmatched tail, so a
+// crash between a mark and its checkpoint must replay idempotently.
+func outerJoinSites(budget int64) []fault.Site {
+	return append(joinSites(budget), fault.ProbeBitmap)
+}
+
+// sortSites covers the sort merge network: producer run seals, the run
+// exchange, consumer merge checkpoints, the final seal, and — when
+// SortSpillRows arms it — the producer-side sort-spill pool.
+func sortSites(int64) []fault.Site {
+	return []fault.Site{fault.PageSeal, fault.Delivery, fault.Checkpoint,
+		fault.Finalize, fault.CheckpointIO, fault.SortSpill}
 }
 
 // chaosCell is one point of the sweep grid.
@@ -137,7 +158,8 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 			Workers: cell.workers, Threads: cell.threads, PageSize: 1 << 12,
 			ShuffleCapacity: 2, CheckpointInterval: interval,
 			MemoryBudget: cell.budget, MorselPages: cell.morselPages,
-			NoSwissTable: cell.noSwiss, Fault: plan,
+			NoSwissTable: cell.noSwiss, SortSpillRows: cfg.SortSpillRows,
+			Fault: plan,
 		})
 	}
 	// The two workloads, as (reference rows, faulted rows) runners. The agg
@@ -162,6 +184,18 @@ func RunChaosCampaign(cfg ChaosConfig) (*Table, error) {
 			name: "join", interval: 1, sites: joinSites, sorted: true,
 			run: func(c *cluster.Cluster) ([]string, error) {
 				return runJoinWorkload(c, cfg.JoinLeft, cfg.JoinRight, cfg.Keys)
+			},
+		},
+		{
+			name: "sort", interval: 1, sites: sortSites, sorted: false,
+			run: func(c *cluster.Cluster) ([]string, error) {
+				return runSortWorkload(c, cfg.SortN, cfg.SortGroups, 0)
+			},
+		},
+		{
+			name: "outerjoin", interval: 1, sites: outerJoinSites, sorted: true,
+			run: func(c *cluster.Cluster) ([]string, error) {
+				return runOuterJoinWorkload(c, cfg.JoinLeft, cfg.JoinRight, cfg.Keys)
 			},
 		},
 	}

@@ -380,3 +380,167 @@ func runJoinWorkload(c *cluster.Cluster, left, right, keys int) ([]string, error
 		})
 	return rows, err
 }
+
+// SortScalingConfig sizes the sort-heavy scaling experiment.
+type SortScalingConfig struct {
+	// N rows over Groups distinct keys, totally ordered on (grp, val);
+	// Limit > 0 switches the consumer to the bounded-heap top-k path.
+	// SpillRows > 0 bounds producer runs, exercising the sort-spill pools.
+	N, Groups, Limit int
+	SpillRows        int
+	Workers          int
+	Threads          []int
+}
+
+// DefaultSortScaling is the laptop-scale default: big enough that the
+// per-thread run sort and the consumer merge both matter, with spill armed.
+func DefaultSortScaling() SortScalingConfig {
+	return SortScalingConfig{N: 60000, Groups: 499, Limit: 0, SpillRows: 4096,
+		Workers: 2, Threads: []int{1, 2, 4, 8}}
+}
+
+// RunSortLadder measures the distributed ORDER BY across the thread
+// ladder: per-thread sorted runs, the streaming run exchange, and the
+// single-consumer merge network. The sorted output must be identical at
+// every thread count.
+func RunSortLadder(cfg SortScalingConfig) (*Table, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{1, 2, 4, 8}
+	}
+	t := &Table{
+		Title:   "Ablation: distributed ORDER BY merge network",
+		Columns: []string{"time", "speedup vs 1 thread", "identical"},
+		Notes: []string{
+			fmt.Sprintf("workers=%d, rows=%d groups=%d limit=%d spillRows=%d; machine has %d CPUs",
+				cfg.Workers, cfg.N, cfg.Groups, cfg.Limit, cfg.SpillRows, runtime.NumCPU()),
+			"sorted rows must be identical across thread counts",
+		},
+	}
+	return scalingLadder(t, cfg.Threads, func(th int) ([]string, error) {
+		c, err := cluster.New(cluster.Config{Workers: cfg.Workers, Threads: th,
+			PageSize: 1 << 16, SortSpillRows: cfg.SpillRows})
+		if err != nil {
+			return nil, err
+		}
+		return runSortWorkload(c, cfg.N, cfg.Groups, cfg.Limit)
+	})
+}
+
+// runSortWorkload loads N (grp, val) rows and runs the distributed ORDER BY
+// on (grp asc, val asc) — a total order — returning the output rows in
+// storage scan order (the sorted sequence).
+func runSortWorkload(c *cluster.Cluster, n, groups, limit int) ([]string, error) {
+	reg := c.Catalog.Registry()
+	rec := object.NewStruct("SortScaleRec").
+		AddField("grp", object.KInt64).
+		AddField("val", object.KInt64).
+		MustBuild(reg)
+	if err := c.CreateDatabase("db"); err != nil {
+		return nil, err
+	}
+	if err := c.CreateSet("db", "rows", "SortScaleRec"); err != nil {
+		return nil, err
+	}
+	pages, err := object.BuildPages(reg, 1<<16, n, func(a *object.Allocator, i int) (object.Ref, error) {
+		r, err := a.MakeObject(rec)
+		if err != nil {
+			return object.NilRef, err
+		}
+		object.SetI64(r, rec.Field("grp"), int64(i%groups))
+		object.SetI64(r, rec.Field("val"), int64(i))
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SendData("db", "rows", pages); err != nil {
+		return nil, err
+	}
+	ob := &core.OrderBy{
+		In: core.NewScan("db", "rows", "SortScaleRec"), ArgType: "SortScaleRec",
+		Keys: []core.SortKey{
+			{Term: func(e *lambda.Arg) lambda.Term { return lambda.FromMember(e, "grp") }, Kind: object.KInt64},
+			{Term: func(e *lambda.Arg) lambda.Term { return lambda.FromMember(e, "val") }, Kind: object.KInt64},
+		},
+		Limit: limit,
+	}
+	if err := c.CreateSet("db", "sorted", "SortScaleRec"); err != nil {
+		return nil, err
+	}
+	if _, err := c.Execute(core.NewWrite("db", "sorted", ob)); err != nil {
+		return nil, err
+	}
+	var rows []string
+	err = c.ScanSet("db", "sorted", func(r object.Ref) bool {
+		rows = append(rows, fmt.Sprintf("%d|%d",
+			object.GetI64(r, rec.Field("grp")), object.GetI64(r, rec.Field("val"))))
+		return true
+	})
+	return rows, err
+}
+
+// runOuterJoinWorkload loads left and right key sets with only partial key
+// overlap (left-only, shared, and right-only ranges) and runs the full
+// outer hash-partition join, returning emitted pairs with "-" marking a
+// null-extended side (cross-worker arrival order; callers sort).
+func runOuterJoinWorkload(c *cluster.Cluster, left, right, keys int) ([]string, error) {
+	reg := c.Catalog.Registry()
+	rec := object.NewStruct("OuterScaleRec").
+		AddField("key", object.KInt64).
+		AddField("payload", object.KInt64).
+		MustBuild(reg)
+	if err := c.CreateDatabase("db"); err != nil {
+		return nil, err
+	}
+	keyField := rec.Field("key")
+	payloadField := rec.Field("payload")
+	load := func(set string, n, off int) error {
+		if err := c.CreateSet("db", set, "OuterScaleRec"); err != nil {
+			return err
+		}
+		pages, err := object.BuildPages(reg, 1<<14, n, func(a *object.Allocator, i int) (object.Ref, error) {
+			r, err := a.MakeObject(rec)
+			if err != nil {
+				return object.NilRef, err
+			}
+			object.SetI64(r, keyField, int64(off+i%keys))
+			object.SetI64(r, payloadField, int64(i))
+			return r, nil
+		})
+		if err != nil {
+			return err
+		}
+		return c.SendData("db", set, pages)
+	}
+	if err := load("left", left, 0); err != nil {
+		return nil, err
+	}
+	if err := load("right", right, keys/2); err != nil {
+		return nil, err
+	}
+	keyFn := func(r object.Ref) uint64 {
+		return object.HashValue(object.Int64Value(object.GetI64(r, keyField)))
+	}
+	eq := func(l, r object.Ref) bool {
+		return object.GetI64(l, keyField) == object.GetI64(r, keyField)
+	}
+	side := func(r object.Ref) string {
+		if r == object.NilRef {
+			return "-"
+		}
+		return fmt.Sprintf("%d", object.GetI64(r, payloadField))
+	}
+	var mu sync.Mutex
+	var rows []string
+	_, err := c.HashPartitionJoinKind(core.JoinFull, "db", "left", "db", "right", keyFn, keyFn, eq,
+		func(workerID int, l, r object.Ref) error {
+			mu.Lock()
+			rows = append(rows, side(l)+"|"+side(r))
+			mu.Unlock()
+			return nil
+		})
+	return rows, err
+}

@@ -239,6 +239,23 @@ type joinRecovery struct {
 	emitted      int // matches handed to user emit (exactly-once skip cursor)
 	emittedAtCut int // matches emitted within pages before probeCursor
 
+	// Outer-kind state (HashPartitionJoinKind with a right/full kind).
+	// buildRows lists every build-side row in exchange delivery order —
+	// the global index space of the match bitmap — appended as pages
+	// deliver and committed at build cuts (buildRowsCut), so a build-phase
+	// replay truncates the uncommitted suffix before re-appending it.
+	// bitmapAtCut is the match bitmap's committed snapshot, taken at every
+	// probe cut alongside the probe cursor: a probe-phase replay restarts
+	// from the snapshot and re-marks the replayed window's matches
+	// (marking is idempotent), keeping emit exactly-once while the bitmap
+	// still converges to the crash-free run's. tailCursor is the
+	// unmatched-build-row sweep's committed position.
+	wantBuildRows bool
+	buildRows     []object.Ref
+	buildRowsCut  int
+	bitmapAtCut   []uint64
+	tailCursor    int
+
 	// resumePath/resumeFP arm durable probe-cut persistence (resume.go):
 	// set when Config.ResumeOnRestart is on, every probe checkpoint also
 	// writes its cut metadata there.

@@ -195,6 +195,16 @@ type Config struct {
 	// (the default) keeps the static SplitRanges path; small values (2–8)
 	// rebalance best, large values approach static behaviour.
 	MorselPages int
+	// SortSpillRows, when positive, bounds each sort producer thread's
+	// in-memory row buffer for unbounded (no-limit) ORDER BY / WINDOW
+	// sorts: past the threshold the thread seals its buffered rows as a
+	// sorted sub-run into a per-worker spill pool (under
+	// DataDir/worker-N/_sortspill when DataDir is set, a temporary
+	// directory otherwise) and merges the sub-runs back when its stream
+	// closes. Results are bit-for-bit identical at any threshold; only
+	// memory residence changes. Top-k sorts ignore it (their buffer is
+	// already O(k)). Zero (the default) never spills.
+	SortSpillRows int
 	// NoFusion disables the optimizer's kernel-fusion rule (adjacent
 	// APPLY/FILTER/HASH chains executing as one pass per batch) — the
 	// ablation knob for comparing against statement-at-a-time execution.

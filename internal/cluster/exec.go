@@ -123,9 +123,14 @@ func (c *Cluster) Execute(writes ...*core.Write) (*ExecStats, error) {
 		beforeBytes, beforePages := c.Transport.Stats().Counters()
 		var tel exchangeTelemetry
 		if stage.ExchangeTo != nil {
-			if c.Cfg.ProcBin != "" {
+			switch {
+			case stage.ExchangeTo.Kind == physical.StageSortMerge:
+				// Sort plans never reach proc mode (prepareProcs rejects
+				// them), so the in-process merge network is the only path.
+				tel, err = c.runSortGroup(res, stage, stage.ExchangeTo, stats)
+			case c.Cfg.ProcBin != "":
 				tel, err = c.procExchangeGroup(res, stage, stage.ExchangeTo, stats)
-			} else {
+			default:
 				tel, err = c.runExchangeGroup(res, stage, stage.ExchangeTo, stats)
 			}
 			done[stage.ExchangeTo] = true
@@ -270,6 +275,11 @@ func (c *Cluster) newStageSink(res *core.CompileResult, stage *physical.JobStage
 	case physical.SinkOutput, physical.SinkMaterialize:
 		return engine.NewOutputSink(w.Reg(), c.Cfg.PageSize, c.pool, stats)
 	case physical.SinkJoinBuild:
+		if jt := stage.SinkStmt.Info["joinType"]; jt == "semi" || jt == "anti" {
+			// Semi/anti joins build an exact key-value set from the raw
+			// key column — no hash table, so NoSwissTable is moot.
+			return engine.NewKeySetBuildSink(stage.SinkStmt.Applied2.Cols[0]), nil
+		}
 		sink := engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0])
 		if c.Cfg.NoSwissTable {
 			sink.Table = engine.NewMapJoinTable()

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exchange"
 	"repro/internal/fault"
@@ -103,7 +104,38 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 	keyL, keyR func(object.Ref) uint64,
 	eq func(l, r object.Ref) bool,
 	emit func(workerID int, l, r object.Ref) error) (*JoinStats, error) {
+	return c.HashPartitionJoinKind(core.JoinInner, dbL, setL, dbR, setR, keyL, keyR, eq, emit)
+}
 
+// HashPartitionJoinKind is HashPartitionJoin with selectable output
+// semantics. The left set is the probe side, the right set the build side:
+//
+//   - JoinInner emits every matching pair, exactly as HashPartitionJoin.
+//   - JoinLeft emits every matching pair plus (l, NilRef) for each probe
+//     row with no match.
+//   - JoinSemi emits (l, r) once per probe row with at least one match (r
+//     is the first matching build row in bucket order).
+//   - JoinAnti emits (l, NilRef) for each probe row with no match.
+//   - JoinRight emits every matching pair, then — after the probe stream
+//     drains — (NilRef, r) for each build row no probe row matched.
+//   - JoinFull combines JoinLeft's probe behavior with JoinRight's tail.
+//
+// The right/full kinds track build-side matches in a bitmap indexed by
+// exchange delivery order. The bitmap is checkpointed alongside the probe
+// cursor: bits are re-marked idempotently when a crash replays a probe
+// window (marking precedes the exactly-once skip check, under the
+// fault.ProbeBitmap site), and the unmatched-row tail sweep checkpoints
+// its own cursor, so emit stays exactly-once across crashes at every site
+// and output is bit-for-bit identical to a crash-free run. Cross-restart
+// durable resume (Config.ResumeOnRestart) stays armed only for JoinInner —
+// the bitmap lives in memory, and a restarted process cannot reconstruct
+// which matches a previous process already observed for the other kinds.
+func (c *Cluster) HashPartitionJoinKind(kind core.JoinKind, dbL, setL, dbR, setR string,
+	keyL, keyR func(object.Ref) uint64,
+	eq func(l, r object.Ref) bool,
+	emit func(workerID int, l, r object.Ref) error) (*JoinStats, error) {
+
+	needTail := kind == core.JoinRight || kind == core.JoinFull
 	nw := len(c.Workers)
 	interval := c.checkpointEvery(nil)
 	// One governor per consumer backend, shared by both exchanges: the
@@ -160,8 +192,8 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 		wg.Add(1)
 		go func(i int, w *Worker) {
 			defer wg.Done()
-			rec := &joinRecovery{}
-			if interval > 0 && c.Cfg.ResumeOnRestart && c.Cfg.DataDir != "" {
+			rec := &joinRecovery{wantBuildRows: needTail}
+			if interval > 0 && c.Cfg.ResumeOnRestart && c.Cfg.DataDir != "" && kind == core.JoinInner {
 				// Arm durable probe-cut persistence and pick up where a
 				// previous cluster's identical join left off, if anywhere.
 				rec.resumePath = c.joinResumePath(dbL, setL, dbR, setR, i)
@@ -192,7 +224,22 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 						if err != nil {
 							return err
 						}
-						return parallelProbe(leftPages, table, keyL, eq, c.Cfg.Threads, c.Cfg.MorselPages, func(l, r object.Ref) error {
+						var bitmap []uint64
+						var rowIdx map[object.Ref]int
+						if needTail {
+							bitmap = make([]uint64, (len(rec.buildRows)+63)/64)
+							rowIdx = buildRowIndex(rec.buildRows)
+						}
+						err = parallelProbe(leftPages, table, keyL, eq, kind, c.Cfg.Threads, c.Cfg.MorselPages, func(l, r object.Ref) error {
+							if needTail && r != object.NilRef {
+								markBit(bitmap, rowIdx[r])
+							}
+							return emit(i, l, r)
+						})
+						if err != nil {
+							return err
+						}
+						return c.sweepUnmatchedBuildRows(i, kind, bitmap, 0, rec, func(l, r object.Ref) error {
 							return emit(i, l, r)
 						})
 					}
@@ -228,7 +275,13 @@ func (c *Cluster) HashPartitionJoinStats(dbL, setL, dbR, setR string,
 					if err := exL.Rewind(i, rec.probeCursor); err != nil {
 						return err
 					}
-					return c.probeEmitStream(exL, i, table, keyL, eq, interval, rec, func(l, r object.Ref) error {
+					bitmap, err := c.probeEmitStream(exL, i, table, keyL, eq, kind, interval, rec, func(l, r object.Ref) error {
+						return emit(i, l, r)
+					})
+					if err != nil {
+						return err
+					}
+					return c.sweepUnmatchedBuildRows(i, kind, bitmap, interval, rec, func(l, r object.Ref) error {
 						return emit(i, l, r)
 					})
 				})
@@ -500,6 +553,11 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 	if threads < 1 {
 		threads = 1
 	}
+	if rec != nil && rec.wantBuildRows {
+		// Drop build rows appended past the last committed cut: the rewound
+		// exchange redelivers those pages and next re-appends their rows.
+		rec.buildRows = rec.buildRows[:rec.buildRowsCut]
+	}
 	tables := make([]*engine.JoinTable, threads)
 	start := 0
 	if rec != nil && rec.tables != nil {
@@ -524,6 +582,12 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 		p, ok, err := ex.Recv(worker)
 		if ok {
 			c.Cfg.Fault.Hit(fault.BuildPage, worker)
+			if rec != nil && rec.wantBuildRows {
+				// Delivery order defines the match bitmap's index space;
+				// next runs on the dispatch goroutine, so the append stays
+				// aligned with the delivered-page count the cuts commit.
+				appendPageRows(&rec.buildRows, p)
+			}
 		}
 		return p, ok, err
 	}
@@ -553,6 +617,9 @@ func (c *Cluster) buildTableStream(ex *exchange.Exchange, worker int,
 					clones[t] = tables[t].Clone()
 				}
 				rec.cut, rec.tables = delivered, clones
+				if rec.wantBuildRows {
+					rec.buildRowsCut = len(rec.buildRows)
+				}
 				rec.saves++
 				return ex.Ack(worker, delivered)
 			})
@@ -610,11 +677,26 @@ func restoreJoinTable(tables []*engine.JoinTable) *engine.JoinTable {
 // boundaries are a pure function of the cursor, so the replayed window's
 // match sequence is identical to the crashed attempt's and the skip prefix
 // is exact.
+//
+// For the right/full kinds the returned bitmap records which build rows
+// (delivery-order index) matched some probe row. Marking happens before the
+// skip check — a replayed window restarts from the checkpointed bitmap
+// snapshot, so its marks must be re-applied even for matches user code
+// already observed; setting a set bit is idempotent, and each checkpoint
+// snapshots the bitmap alongside the cursor it describes.
 func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engine.JoinTable,
-	key func(object.Ref) uint64, eq func(l, r object.Ref) bool,
-	interval int, rec *joinRecovery, emit func(l, r object.Ref) error) error {
+	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, kind core.JoinKind,
+	interval int, rec *joinRecovery, emit func(l, r object.Ref) error) ([]uint64, error) {
 	counter := rec.emittedAtCut
 	cursor := rec.probeCursor
+	needTail := kind == core.JoinRight || kind == core.JoinFull
+	var bitmap []uint64
+	var rowIdx map[object.Ref]int
+	if needTail {
+		bitmap = make([]uint64, (len(rec.buildRows)+63)/64)
+		copy(bitmap, rec.bitmapAtCut)
+		rowIdx = buildRowIndex(rec.buildRows)
+	}
 	if rec.restored {
 		// Cross-restart resume: the pages below the restored cursor were
 		// probed and their matches emitted by a previous cluster, so this
@@ -622,7 +704,7 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 		// gather's retention.
 		if cursor > 0 {
 			if err := ex.Ack(worker, cursor); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		rec.restored = false
@@ -637,7 +719,7 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 		for len(window) < interval {
 			p, ok, err := ex.Recv(worker)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if !ok {
 				done = true
@@ -654,12 +736,16 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 				}
 			}
 			c.Workers[worker].mergeStats(&pstats)
-			matches, err := collectProbeMatches(window, table, key, eq, c.Cfg.Threads, c.Cfg.MorselPages, scratch[:0])
+			matches, err := collectProbeMatches(window, table, key, eq, kind, c.Cfg.Threads, c.Cfg.MorselPages, scratch[:0])
 			if err != nil {
-				return err
+				return nil, err
 			}
 			scratch = matches
 			for _, m := range matches {
+				if needTail && m[1] != object.NilRef {
+					c.Cfg.Fault.Hit(fault.ProbeBitmap, worker)
+					markBit(bitmap, rowIdx[m[1]])
+				}
 				if counter < rec.emitted {
 					// Replay of a match user code already observed.
 					counter++
@@ -667,7 +753,7 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 				}
 				c.Cfg.Fault.Hit(fault.Emit, worker)
 				if err := emit(m[0], m[1]); err != nil {
-					return err
+					return nil, err
 				}
 				counter++
 				// The emit landed; a crash past this point replays the
@@ -678,21 +764,88 @@ func (c *Cluster) probeEmitStream(ex *exchange.Exchange, worker int, table *engi
 			c.Cfg.Fault.Hit(fault.Checkpoint, worker)
 			rec.probeCursor = cursor
 			rec.emittedAtCut = counter
+			if needTail {
+				rec.bitmapAtCut = append(rec.bitmapAtCut[:0], bitmap...)
+			}
 			rec.saves++
 			if rec.resumePath != "" {
 				if err := c.saveJoinResume(rec); err != nil {
-					return err
+					return nil, err
 				}
 			}
 			if err := ex.Ack(worker, cursor); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		if done {
-			return nil
+			return bitmap, nil
 		}
 	}
 }
+
+// sweepUnmatchedBuildRows is the right/full outer tail: after the probe
+// stream drains — so the bitmap is final — it walks the build rows in
+// delivery order and emits (NilRef, r) for each row no probe row matched.
+// The sweep continues the probe phase's global emit counter and, with
+// interval > 0, checkpoints its cursor every interval rows scanned:
+// boundaries are a pure function of the committed cursor and the emit
+// sequence a pure function of (bitmap, cursor), so a replayed sweep skips
+// exactly the rows user code already observed.
+func (c *Cluster) sweepUnmatchedBuildRows(worker int, kind core.JoinKind, bitmap []uint64,
+	interval int, rec *joinRecovery, emit func(l, r object.Ref) error) error {
+	if kind != core.JoinRight && kind != core.JoinFull {
+		return nil
+	}
+	counter := rec.emittedAtCut
+	scanned := 0
+	for i := rec.tailCursor; i < len(rec.buildRows); i++ {
+		if !bitAt(bitmap, i) {
+			if counter < rec.emitted {
+				counter++
+			} else {
+				c.Cfg.Fault.Hit(fault.Emit, worker)
+				if err := emit(object.NilRef, rec.buildRows[i]); err != nil {
+					return err
+				}
+				counter++
+				rec.emitted = counter
+			}
+		}
+		scanned++
+		if interval > 0 && scanned%interval == 0 {
+			c.Cfg.Fault.Hit(fault.Checkpoint, worker)
+			rec.tailCursor = i + 1
+			rec.emittedAtCut = counter
+			rec.saves++
+		}
+	}
+	return nil
+}
+
+// appendPageRows appends a delivered page's root-vector rows (the build
+// rows it carries) in page order.
+func appendPageRows(rows *[]object.Ref, p *object.Page) {
+	if p.Root() == 0 {
+		return
+	}
+	root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+	for j, n := 0, root.Len(); j < n; j++ {
+		*rows = append(*rows, root.HandleAt(j))
+	}
+}
+
+// buildRowIndex inverts a delivery-ordered build-row list into the map the
+// sequential emit loop marks the match bitmap through.
+func buildRowIndex(rows []object.Ref) map[object.Ref]int {
+	idx := make(map[object.Ref]int, len(rows))
+	for i, r := range rows {
+		idx[r] = i
+	}
+	return idx
+}
+
+func markBit(bits []uint64, i int)    { bits[i>>6] |= 1 << (uint(i) & 63) }
+func bitAt(bits []uint64, i int) bool { return bits[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // probeBufPool recycles the per-thread / per-morsel match buffers of
 // collectProbeMatches across calls. Pooling (rather than per-thread
@@ -704,28 +857,45 @@ var probeBufPool = sync.Pool{New: func() any {
 }}
 
 // collectProbeMatches probes pages through the read-only build table
-// across threads executor threads and returns the matches in page order,
-// appended to reuse (pass a zero-length slice with retained capacity to
-// recycle the flatten buffer across calls). With morselPages == 0 each
-// thread probes a contiguous chunk into a pooled private buffer and the
-// buffers concatenate in thread order; with morselPages > 0 threads pull
-// morsels from the shared dispatcher and the per-morsel buffers
-// concatenate in morsel index order. Either way the result is exactly the
-// sequence a sequential probe over the same pages would emit, regardless
-// of how the work was split.
+// across threads executor threads and returns the kind's emit sequence in
+// page order, appended to reuse (pass a zero-length slice with retained
+// capacity to recycle the flatten buffer across calls). Inner/right kinds
+// list every matching pair; left/full add (l, NilRef) for matchless probe
+// rows; semi keeps only the first match per probe row; anti keeps only the
+// (l, NilRef) entries. With morselPages == 0 each thread probes a
+// contiguous chunk into a pooled private buffer and the buffers
+// concatenate in thread order; with morselPages > 0 threads pull morsels
+// from the shared dispatcher and the per-morsel buffers concatenate in
+// morsel index order. Either way the result is exactly the sequence a
+// sequential probe over the same pages would emit, regardless of how the
+// work was split — per-row logic is local to the row, so the kind cannot
+// perturb determinism.
 func collectProbeMatches(pages []*object.Page, table *engine.JoinTable,
-	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, threads, morselPages int,
-	reuse [][2]object.Ref) ([][2]object.Ref, error) {
+	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, kind core.JoinKind,
+	threads, morselPages int, reuse [][2]object.Ref) ([][2]object.Ref, error) {
 	probeRanges := func(ranges []engine.PageRange, out [][2]object.Ref) [][2]object.Ref {
 		for _, rng := range ranges {
 			root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
 			for j := rng.Start; j < rng.End; j++ {
 				l := root.HandleAt(j)
 				b := table.Bucket(key(l))
+				matched := false
 				for i, n := 0, b.Len(); i < n; i++ {
-					if r := b.At(i); eq(l, r) {
-						out = append(out, [2]object.Ref{l, r})
+					r := b.At(i)
+					if !eq(l, r) {
+						continue
 					}
+					matched = true
+					if kind == core.JoinSemi || kind == core.JoinAnti {
+						if kind == core.JoinSemi {
+							out = append(out, [2]object.Ref{l, r})
+						}
+						break // membership decided; later matches are moot
+					}
+					out = append(out, [2]object.Ref{l, r})
+				}
+				if !matched && (kind == core.JoinAnti || kind == core.JoinLeft || kind == core.JoinFull) {
+					out = append(out, [2]object.Ref{l, object.NilRef})
 				}
 			}
 		}
@@ -838,15 +1008,16 @@ func parallelBuildTable(pages []*object.Page, key func(object.Ref) uint64, threa
 // table across threads executor threads (the CheckpointInterval < 0 path
 // and CoPartitionedJoin's local probes). Matches are emitted in page order
 // via collectProbeMatches on the calling goroutine, so one worker never
-// invokes emit from two threads at once. A single chunk (Threads=1, or
-// fewer batches than threads) streams each match straight to emit with no
-// buffer, like the sequential path always did. morselPages > 0 swaps the
-// static chunk split for the morsel dispatcher inside collectProbeMatches.
+// invokes emit from two threads at once. An inner join over a single chunk
+// (Threads=1, or fewer batches than threads) streams each match straight
+// to emit with no buffer, like the sequential path always did.
+// morselPages > 0 swaps the static chunk split for the morsel dispatcher
+// inside collectProbeMatches.
 func parallelProbe(pages []*object.Page, table *engine.JoinTable,
-	key func(object.Ref) uint64, eq func(l, r object.Ref) bool,
+	key func(object.Ref) uint64, eq func(l, r object.Ref) bool, kind core.JoinKind,
 	threads, morselPages int, emit func(l, r object.Ref) error) error {
 	if morselPages > 0 {
-		matches, err := collectProbeMatches(pages, table, key, eq, threads, morselPages, nil)
+		matches, err := collectProbeMatches(pages, table, key, eq, kind, threads, morselPages, nil)
 		if err != nil {
 			return err
 		}
@@ -858,7 +1029,7 @@ func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 		return nil
 	}
 	chunks := engine.SplitRanges(engine.BatchRanges(pages, engine.BatchSize), threads)
-	if len(chunks) <= 1 {
+	if kind == core.JoinInner && len(chunks) <= 1 {
 		for _, chunk := range chunks {
 			for _, rng := range chunk {
 				root := object.AsVector(object.Ref{Page: rng.Page, Off: rng.Page.Root()})
@@ -877,7 +1048,7 @@ func parallelProbe(pages []*object.Page, table *engine.JoinTable,
 		}
 		return nil
 	}
-	matches, err := collectProbeMatches(pages, table, key, eq, threads, 0, nil)
+	matches, err := collectProbeMatches(pages, table, key, eq, kind, threads, 0, nil)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/object"
 )
@@ -158,7 +159,7 @@ func (c *Cluster) CoPartitionedJoin(dbL, setL, dbR, setR string,
 				if err != nil {
 					return nil
 				}
-				return parallelProbe(pages, table, keyL, eq, c.Cfg.Threads, c.Cfg.MorselPages, func(l, r object.Ref) error {
+				return parallelProbe(pages, table, keyL, eq, core.JoinInner, c.Cfg.Threads, c.Cfg.MorselPages, func(l, r object.Ref) error {
 					if counter < emitted {
 						counter++
 						return nil

@@ -49,6 +49,10 @@ import (
 // pure artifact commit (the OUTPUT stage), which runs master-side.
 func (c *Cluster) prepareProcs(stages []*physical.JobStage) error {
 	for _, stage := range stages {
+		if stage.Kind == physical.StageSortMerge {
+			return fmt.Errorf("cluster: proc mode does not ship sort/window jobs yet (stage %d produces %q)",
+				stage.ID, stage.Produces)
+		}
 		if stage.ExchangeTo != nil || stage.ExchangeFrom != nil {
 			continue
 		}

@@ -1,0 +1,472 @@
+package cluster
+
+// Distributed ORDER BY / top-k / window as a merge network over the
+// exchange (the sort half of "finish the relational surface"): every
+// worker sorts its partition into per-thread runs, merges them into one
+// worker run, and streams that run's pages to a single merge consumer on
+// worker 0, which merges the lanes into the global stable order (and folds
+// a window computation's running aggregate over the merged stream). The
+// consumer checkpoints both its delivery cut and its merge cursor, so a
+// crash anywhere resumes bit-for-bit from at most one interval back.
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exchange"
+	"repro/internal/fault"
+	"repro/internal/object"
+	"repro/internal/physical"
+	"repro/internal/storage"
+)
+
+// sortRecovery is the scheduler-side recovery record for one sort-merge
+// consumer. It survives backend crashes (the front end re-forks the
+// backend, the record stays): delivered run pages committed at delivery
+// cuts, then — once gathering is done — the merge cursor, emit count, and
+// window accumulator at the last sealed-output-page boundary. The merge
+// checkpoints only at seal boundaries because the row that rides a page
+// seal lands entirely on the fresh live page: the committed sealed prefix
+// then holds exactly the rows before the snapshot cursor, so a retry with
+// a fresh sink and a restored cursor reproduces byte-identical pages.
+type sortRecovery struct {
+	pages      []*object.Page // delivered run pages, committed at cuts, in Recv order
+	cut        int            // committed (acknowledged) delivery cursor
+	gatherDone bool
+
+	merging      bool // merge cursor fields below are valid
+	mergePos     []engine.RunPos
+	mergeEmitted int
+	running      object.Value // window accumulator at the cursor
+	exists       bool
+	outPages     []*object.Page // committed sealed output pages
+
+	saves int
+}
+
+// runSortGroup executes a sort-producer / sort-merge-consumer stage pair:
+// every worker runs the producer pipeline into per-thread SortSinks, merges
+// its thread runs into one worker run, and streams the run's pages to the
+// single consumer (worker 0) over a dedicated exchange; the consumer merges
+// every delivered page as its own lane — each page is a sorted contiguous
+// chunk of one worker's run, and delivery order is producer-major, so the
+// merger's lowest-lane tie-break reproduces the global stable order. Crash
+// retries follow the shuffle's pattern: producers re-send identical tags
+// (sender-side dedup drops duplicates), the consumer rewinds to its last
+// committed cut and restores its merge cursor.
+func (c *Cluster) runSortGroup(res *core.CompileResult, prod, cons *physical.JobStage, stats *ExecStats) (exchangeTelemetry, error) {
+	nw := len(c.Workers)
+	interval := c.checkpointEvery(cons)
+
+	// Register the SortRow carrier with the master first and pin its code
+	// on every worker: worker registries assign codes locally, so a lazy
+	// SortRowType(w.Reg()) would mint a code already taken by a
+	// master-registered user type and shipped pages would resolve to the
+	// wrong TypeInfo.
+	carrier := engine.SortRowType(c.Catalog.Registry())
+	for _, w := range c.Workers {
+		w.Reg().PinCode(engine.SortRowTypeName, carrier.Code)
+	}
+
+	// Per-worker sort-spill pools (Config.SortSpillRows). Like the
+	// governors' pools they live exactly as long as the step, and any slot
+	// still live at close is a leak the chaos campaign asserts against.
+	var spills []*storage.SpillPool
+	closeSpills := func() {}
+	if c.Cfg.SortSpillRows > 0 {
+		spills = make([]*storage.SpillPool, nw)
+		for i, w := range c.Workers {
+			dir := ""
+			if c.Cfg.DataDir != "" {
+				dir = filepath.Join(c.Cfg.DataDir, fmt.Sprintf("worker-%d", i), "_sortspill")
+			}
+			spills[i] = storage.NewSpillPool(dir, w.Reg())
+		}
+		closeSpills = func() {
+			for _, sp := range spills {
+				if n := sp.LiveSlots(); n > 0 {
+					c.Transport.Stats().NoteLeakedSlots(int64(n))
+				}
+				_ = sp.Close()
+			}
+		}
+	}
+	defer closeSpills()
+
+	ex := exchange.New(exchange.Config{
+		Producers:  nw,
+		Consumers:  1,
+		Threads:    1,
+		Capacity:   c.Cfg.ShuffleCapacity,
+		Barrier:    c.Cfg.BarrierShuffle,
+		Replayable: interval > 0,
+		Ship: func(p *object.Page, producer, consumer int) (*object.Page, error) {
+			if producer == 0 {
+				return p, nil
+			}
+			return c.Transport.Ship(p, c.Workers[0].Reg())
+		},
+		Release: func(p *object.Page) { c.pool.Put(p) },
+		// ReleaseDelivered stays nil: the consumer owns delivered run
+		// pages — the merge reads rows off them in place.
+	})
+
+	errs := make([]error, nw+1)
+	rec := &sortRecovery{}
+	var arts0 *workerArtifacts
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, w := range c.Workers {
+		wg.Add(1)
+		go func(i int, w *Worker) { // producer role
+			defer wg.Done()
+			var spill *storage.SpillPool
+			if spills != nil {
+				spill = spills[i]
+			}
+			err := c.runRole(w, roleProducer, prod.Produces, nil,
+				noteRetry(&mu, stats, roleProducer, false), func() error {
+					return c.runSortStreamOnWorker(res, prod, w, ex, spill)
+				})
+			if err != nil {
+				errs[i] = err
+				ex.Cancel(err)
+				return
+			}
+			ex.CloseProducer(i)
+		}(i, w)
+	}
+	wg.Add(1)
+	go func() { // merge consumer role, on worker 0's backend
+		defer wg.Done()
+		w := c.Workers[0]
+		err := c.runRole(w, roleConsumer, cons.Produces,
+			func() bool { return interval > 0 },
+			noteRetry(&mu, stats, roleConsumer, true), func() error {
+				a, err := c.consumeSortStream(res, cons, w, ex, interval, rec)
+				if err != nil {
+					return err
+				}
+				arts0 = a
+				return nil
+			})
+		if err != nil {
+			errs[nw] = err
+			ex.Cancel(err)
+		}
+	}()
+	wg.Wait()
+
+	tel := exchangeTelemetry{hwm: ex.MaxBytesInFlight(), reorderPages: ex.MaxReorderPages(), checkpoints: rec.saves}
+	c.Transport.Stats().NoteExchange(tel.hwm, tel.reorderPages, tel.checkpoints)
+	for _, err := range errs {
+		if err != nil {
+			// Both roles have returned; release undelivered and retained
+			// exchange pages. The recovery record is in-memory only (run
+			// pages, merge cursor) — nothing durable to drop.
+			ex.Discard()
+			return tel, err
+		}
+	}
+	// All sorted output concentrates on worker 0; the other workers still
+	// get the artifact key so downstream scans find (empty) partitions.
+	arts := make([]*workerArtifacts, nw)
+	arts[0] = arts0
+	for i := 1; i < nw; i++ {
+		arts[i] = &workerArtifacts{pagesKey: cons.Produces}
+	}
+	return tel, c.commitArtifacts(arts)
+}
+
+// runSortStreamOnWorker is the producer half of the merge network on one
+// worker: the stage pipeline runs across Config.Threads executor threads
+// into per-thread SortSinks (bounded-heap top-k when the spec has a limit,
+// optionally spilling sorted sub-runs past Config.SortSpillRows), the
+// thread runs merge into one worker run — thread order is source order, the
+// merge's stability tie-break — and the run's pages stream to consumer 0
+// the moment they seal. A crash-retried producer re-runs deterministically
+// and re-sends identical tags for the sender-side dedup to drop.
+func (c *Cluster) runSortStreamOnWorker(res *core.CompileResult, stage *physical.JobStage, w *Worker,
+	ex *exchange.Exchange, spill *storage.SpillPool) error {
+	spec := res.SortSpecs[stage.SinkStmt.Out.Name]
+	if spec == nil {
+		return fmt.Errorf("no sort spec for %q", stage.SinkStmt.Out.Name)
+	}
+	keyCols := stage.SinkStmt.Applied.Cols[:spec.NumKeys]
+	valCol := ""
+	if spec.Window {
+		valCol = stage.SinkStmt.Applied.Cols[spec.NumKeys]
+	}
+	objCol := stage.SinkStmt.Copied.Cols[0]
+	pages, err := c.sourcePagesFor(stage, w)
+	if err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	var sinks []*engine.SortSink
+	mkSortSink := func(stats *engine.Stats) (engine.Sink, *engine.Ctx, error) {
+		sink, err := engine.NewSortSink(w.Reg(), c.Cfg.PageSize, keyCols, objCol, valCol,
+			spec.Desc, spec.Limit, c.pool, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		if spill != nil && spec.Limit == 0 {
+			sink.SpillThreshold = c.Cfg.SortSpillRows
+			sink.Spill = spill
+			sink.Fault = c.Cfg.Fault
+			sink.Worker = w.ID
+		}
+		ctx, err := engine.NewSinkCtx(sink, w.Reg(), w.artTables, c.Cfg.PageSize, c.pool, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		mu.Lock()
+		sinks = append(sinks, sink)
+		mu.Unlock()
+		return sink, ctx, nil
+	}
+	// Zero-leak sweep: on any failure — an error return or a crash panic
+	// unwinding to the backend — free every sub-run slot the sinks still
+	// hold (a clean Finish frees them as it merges).
+	failed := true
+	defer func() {
+		if failed {
+			mu.Lock()
+			for _, s := range sinks {
+				s.ReleaseSpilled()
+			}
+			mu.Unlock()
+		}
+	}()
+
+	ranges := engine.BatchRanges(pages, engine.BatchSize)
+	var runs [][]*object.Page
+	if c.Cfg.MorselPages > 0 {
+		// Morsel mode: one sorted run per morsel, collected by the ordered
+		// releaser in morsel index order — source order, the same tie-break
+		// the static path gets from contiguous chunks.
+		morsels := engine.MorselRanges(ranges, c.Cfg.MorselPages)
+		mstats, err := engine.RunPipelineMorsels(morsels, stage.SourceCol, stage.Stmts, res.Stages,
+			stage.SinkStmt, c.Cfg.Threads,
+			func(m int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
+				return mkSortSink(stats)
+			},
+			func(m int, sink engine.Sink, ctx *engine.Ctx, _ <-chan struct{}) error {
+				runs = append(runs, sink.(*engine.SortSink).Pages())
+				return nil
+			})
+		for t := range mstats {
+			w.mergeStats(&mstats[t])
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		chunks := engine.SplitRanges(ranges, c.Cfg.Threads)
+		if len(chunks) == 0 {
+			// A worker with no input still streams its (empty) close
+			// marker, honoring the exchange's lane contract.
+			chunks = [][]engine.PageRange{nil}
+		}
+		pt, err := engine.RunPipelineThreads(chunks, stage.SourceCol, stage.Stmts, res.Stages,
+			stage.SinkStmt,
+			func(t int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
+				return mkSortSink(stats)
+			}, nil)
+		for t := range pt.Stats {
+			w.mergeStats(&pt.Stats[t])
+		}
+		if err != nil {
+			return err
+		}
+		for _, s := range pt.Sinks {
+			runs = append(runs, s.Pages())
+		}
+	}
+
+	// Worker-level merge into one run, streamed page by page down the
+	// thread-0 lane. AppendSortRow deep-copies each row onto the outgoing
+	// page, so streamed pages are self-contained for any transport.
+	var mergeStats engine.Stats
+	out, err := engine.NewRunPageSet(w.Reg(), c.Cfg.PageSize, c.pool, &mergeStats)
+	if err != nil {
+		return err
+	}
+	seq := 0
+	out.OnSeal = func(p *object.Page) error {
+		c.Cfg.Fault.Hit(fault.PageSeal, w.ID)
+		tag := exchange.Tag{Producer: w.ID, Thread: 0, Seq: seq}
+		seq++
+		return streamErr(ex.Send(tag, 0, p, nil))
+	}
+	m := engine.NewSortMerger(w.Reg(), runs, spec.Limit)
+	ti := engine.SortRowType(w.Reg())
+	for {
+		key, obj, val, ok := m.Next()
+		if !ok {
+			break
+		}
+		if err := engine.AppendSortRow(out, ti, key, obj, val); err != nil {
+			return err
+		}
+	}
+	if err := out.CloseStream(); err != nil {
+		return err
+	}
+	w.mergeStats(&mergeStats)
+	failed = false
+	return streamErr(ex.CloseThread(w.ID, 0, nil))
+}
+
+// consumeSortStream is the consumer half: gather every producer's run pages
+// off the exchange (acknowledging delivery cuts every interval pages so the
+// replay window stays bounded), then merge them into the global order —
+// each delivered page is its own merge lane — materializing output objects
+// onto fresh pages, with the window fold riding the merged stream. With
+// interval > 0 both phases checkpoint into rec, and a crash-retried attempt
+// rewinds the exchange to the committed cut and restores the merge cursor.
+func (c *Cluster) consumeSortStream(res *core.CompileResult, stage *physical.JobStage, w *Worker,
+	ex *exchange.Exchange, interval int, rec *sortRecovery) (*workerArtifacts, error) {
+	spec := res.SortSpecs[stage.AggList]
+	if spec == nil {
+		return nil, fmt.Errorf("no sort spec for %q", stage.AggList)
+	}
+	ws := res.WindowSpecs[stage.AggList]
+	if spec.Window && ws == nil {
+		return nil, fmt.Errorf("no window spec for %q", stage.AggList)
+	}
+
+	if !rec.gatherDone {
+		if interval > 0 {
+			if err := ex.Rewind(0, rec.cut); err != nil {
+				return nil, err
+			}
+		}
+		var pending []*object.Page
+		commit := func() error {
+			if len(pending) == 0 {
+				return nil
+			}
+			c.Cfg.Fault.Hit(fault.Checkpoint, w.ID)
+			if err := c.Cfg.Fault.ErrAt(fault.CheckpointIO, w.ID); err != nil {
+				return err
+			}
+			rec.pages = append(rec.pages, pending...)
+			rec.cut += len(pending)
+			pending = nil
+			rec.saves++
+			if interval > 0 {
+				return ex.Ack(0, rec.cut)
+			}
+			return nil
+		}
+		for {
+			p, ok, err := ex.Recv(0)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			c.Cfg.Fault.Hit(fault.Delivery, w.ID)
+			pending = append(pending, p)
+			if interval > 0 && len(pending) >= interval {
+				if err := commit(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := commit(); err != nil {
+			return nil, err
+		}
+		rec.gatherDone = true
+	}
+
+	// Merge phase. Every delivered page is one lane: each is a sorted
+	// contiguous chunk of a worker's merged run, delivery order is
+	// producer-major, and the merger breaks key ties by lowest lane index
+	// — together that reproduces the stable global order.
+	runs := make([][]*object.Page, len(rec.pages))
+	for i, p := range rec.pages {
+		runs[i] = []*object.Page{p}
+	}
+	m := engine.NewSortMerger(w.Reg(), runs, spec.Limit)
+	if rec.merging {
+		if err := m.Restore(rec.mergePos, rec.mergeEmitted); err != nil {
+			return nil, err
+		}
+	}
+	var stats engine.Stats
+	sink, err := engine.NewOutputSink(w.Reg(), c.Cfg.PageSize, c.pool, &stats)
+	if err != nil {
+		return nil, err
+	}
+	out := sink.Out
+	running, exists := rec.running, rec.exists
+	committed := 0 // sealed pages already committed into rec by THIS attempt
+	sealsSinceCut := 0
+	for {
+		posBefore, emittedBefore := m.Cursor()
+		runningBefore, existsBefore := running, exists
+		_, obj, val, ok := m.Next()
+		if !ok {
+			break
+		}
+		sealedBefore := len(out.Sealed)
+		if ws == nil {
+			if err := engine.AppendToRoot(out, obj); err != nil {
+				return nil, err
+			}
+		} else {
+			running, err = ws.Combine(out.Alloc, running, exists, val)
+			if err != nil {
+				return nil, err
+			}
+			exists = true
+			emitted, err := ws.Emit(out.Alloc, obj, running)
+			if errors.Is(err, object.ErrPageFull) {
+				if err = out.Rotate(); err == nil {
+					emitted, err = ws.Emit(out.Alloc, obj, running)
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := engine.AppendToRoot(out, emitted); err != nil {
+				return nil, err
+			}
+		}
+		if interval <= 0 {
+			continue
+		}
+		sealsSinceCut += len(out.Sealed) - sealedBefore
+		if sealsSinceCut < interval {
+			continue
+		}
+		// Seal-boundary checkpoint: the row that rode the seal landed
+		// entirely on the fresh live page, so the sealed prefix holds
+		// exactly the rows before the pre-row cursor snapshot — a retry
+		// restores the cursor and re-emits this row first onto a fresh
+		// (empty) live page, reproducing identical page boundaries.
+		c.Cfg.Fault.Hit(fault.Checkpoint, w.ID)
+		if err := c.Cfg.Fault.ErrAt(fault.CheckpointIO, w.ID); err != nil {
+			return nil, err
+		}
+		rec.outPages = append(rec.outPages, out.Sealed[committed:]...)
+		committed = len(out.Sealed)
+		rec.mergePos, rec.mergeEmitted = posBefore, emittedBefore
+		rec.running, rec.exists = runningBefore, existsBefore
+		rec.merging = true
+		rec.saves++
+		sealsSinceCut = 0
+	}
+	c.Cfg.Fault.Hit(fault.Finalize, w.ID)
+	final := append(append([]*object.Page{}, rec.outPages...), out.Pages()[committed:]...)
+	w.mergeStats(&stats)
+	return &workerArtifacts{pages: final, pagesKey: stage.Produces}, nil
+}

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lambda"
+	"repro/internal/object"
+)
+
+// collectF64 reads a float64 field off every object of db.set in worker
+// order, page order, root order — the cluster's deterministic scan order.
+func collectF64(t *testing.T, c *Cluster, db, set string, ti *object.TypeInfo, field string) []float64 {
+	t.Helper()
+	f := ti.Field(field)
+	var out []float64
+	for _, w := range c.Workers {
+		pages, err := w.Front.Store.Pages(db, set)
+		if err != nil {
+			continue
+		}
+		for _, p := range pages {
+			if p.Root() == 0 {
+				continue
+			}
+			root := object.AsVector(object.Ref{Page: p, Off: p.Root()})
+			for i := 0; i < root.Len(); i++ {
+				out = append(out, object.GetF64(root.HandleAt(i), f))
+			}
+		}
+	}
+	return out
+}
+
+func salaryKey() core.SortKey {
+	return core.SortKey{
+		Term: func(e *lambda.Arg) lambda.Term { return lambda.FromMethod(e, "getSalary") },
+		Kind: object.KFloat64,
+	}
+}
+
+func TestDistributedOrderBy(t *testing.T) {
+	c, emp := testCluster(t, 500)
+	k := salaryKey()
+	k.Desc = true
+	ob := &core.OrderBy{In: core.NewScan("db", "emps", "Emp"), ArgType: "Emp", Keys: []core.SortKey{k}}
+	if err := c.CreateSet("db", "sorted", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(core.NewWrite("db", "sorted", ob)); err != nil {
+		t.Fatal(err)
+	}
+	got := collectF64(t, c, "db", "sorted", emp, "salary")
+	if len(got) != 500 {
+		t.Fatalf("sorted rows = %d, want 500", len(got))
+	}
+	for i, s := range got {
+		if want := float64(499-i) * 100; s != want {
+			t.Fatalf("row %d salary = %v, want %v", i, s, want)
+		}
+	}
+}
+
+func TestDistributedTopK(t *testing.T) {
+	c, emp := testCluster(t, 500)
+	k := salaryKey()
+	k.Desc = true
+	ob := &core.OrderBy{In: core.NewScan("db", "emps", "Emp"), ArgType: "Emp",
+		Keys: []core.SortKey{k}, Limit: 10}
+	if err := c.CreateSet("db", "top", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(core.NewWrite("db", "top", ob)); err != nil {
+		t.Fatal(err)
+	}
+	got := collectF64(t, c, "db", "top", emp, "salary")
+	if len(got) != 10 {
+		t.Fatalf("top-k rows = %d, want 10", len(got))
+	}
+	for i, s := range got {
+		if want := float64(499-i) * 100; s != want {
+			t.Fatalf("row %d salary = %v, want %v", i, s, want)
+		}
+	}
+}
+
+func TestDistributedWindowRunningSum(t *testing.T) {
+	c, emp := testCluster(t, 300)
+	win := &core.Window{
+		In:      core.NewScan("db", "emps", "Emp"),
+		ArgType: "Emp",
+		Keys:    []core.SortKey{salaryKey()},
+		Val:     func(e *lambda.Arg) lambda.Term { return lambda.FromMethod(e, "getSalary") },
+		ValKind: object.KFloat64,
+		Combine: func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
+			if !exists {
+				return next, nil
+			}
+			return object.Float64Value(cur.AsFloat64() + next.AsFloat64()), nil
+		},
+		Emit: func(a *object.Allocator, obj object.Ref, running object.Value) (object.Ref, error) {
+			e, err := a.MakeObject(emp)
+			if err != nil {
+				return object.NilRef, err
+			}
+			if err := object.SetStrField(a, e, emp.Field("name"), "sum"); err != nil {
+				return object.NilRef, err
+			}
+			object.SetF64(e, emp.Field("salary"), running.AsFloat64())
+			return e, object.SetStrField(a, e, emp.Field("dept"), "w")
+		},
+	}
+	if err := c.CreateSet("db", "running", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(core.NewWrite("db", "running", win)); err != nil {
+		t.Fatal(err)
+	}
+	got := collectF64(t, c, "db", "running", emp, "salary")
+	if len(got) != 300 {
+		t.Fatalf("window rows = %d, want 300", len(got))
+	}
+	sum := 0.0
+	for i, s := range got {
+		sum += float64(i) * 100
+		if s != sum {
+			t.Fatalf("row %d running sum = %v, want %v", i, s, sum)
+		}
+	}
+}
+
+func TestDistributedSemiAntiJoin(t *testing.T) {
+	c, emp := testCluster(t, 500) // depts cycle d0..d4, 100 each
+	if err := c.CreateSet("db", "vips", "Emp"); err != nil {
+		t.Fatal(err)
+	}
+	loadEmps(t, c, emp, "db", "vips", 2) // depts d0, d1
+	for _, tc := range []struct {
+		kind core.JoinKind
+		set  string
+		want int
+	}{
+		{core.JoinSemi, "insel", 200},
+		{core.JoinAnti, "outsel", 300},
+	} {
+		j := &core.Join{
+			In:       []core.Computation{core.NewScan("db", "emps", "Emp"), core.NewScan("db", "vips", "Emp")},
+			ArgTypes: []string{"Emp", "Emp"},
+			Kind:     tc.kind,
+			Predicate: func(args []*lambda.Arg) lambda.Term {
+				return lambda.Eq(lambda.FromMethod(args[0], "getDept"), lambda.FromMethod(args[1], "getDept"))
+			},
+		}
+		if err := c.CreateSet("db", tc.set, "Emp"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Execute(core.NewWrite("db", tc.set, j)); err != nil {
+			t.Fatal(err)
+		}
+		count, err := c.CountSet("db", tc.set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != tc.want {
+			t.Fatalf("%s join result = %d, want %d", tc.set, count, tc.want)
+		}
+	}
+}
+
+// TestSortDeterministicAcrossConfigs pins bit-for-bit identity of the
+// distributed sort across Workers × Threads × MorselPages and both
+// no-limit and top-k paths, against the 1×1 reference schedule.
+func TestSortDeterministicAcrossConfigs(t *testing.T) {
+	run := func(workers, threads, morsel, limit int) []float64 {
+		c, err := New(Config{Workers: workers, Threads: threads, PageSize: 1 << 12, MorselPages: morsel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := c.Catalog.Registry()
+		emp := object.NewStruct("Emp").
+			AddField("name", object.KString).
+			AddField("salary", object.KFloat64).
+			AddField("dept", object.KString).
+			MustBuild(reg)
+		emp.Methods["getSalary"] = object.Method{Name: "getSalary", Ret: object.KFloat64,
+			Fn: func(r object.Ref) object.Value {
+				return object.Float64Value(object.GetF64(r, emp.Field("salary")))
+			}}
+		if err := c.CreateDatabase("db"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CreateSet("db", "emps", "Emp"); err != nil {
+			t.Fatal(err)
+		}
+		// Heavily duplicated keys exercise the stable tie-break.
+		fill := func(a *object.Allocator, i int) (object.Ref, error) {
+			e, err := a.MakeObject(emp)
+			if err != nil {
+				return object.NilRef, err
+			}
+			if err := object.SetStrField(a, e, emp.Field("name"), fmt.Sprintf("e%d", i)); err != nil {
+				return object.NilRef, err
+			}
+			object.SetF64(e, emp.Field("salary"), float64(i%7))
+			return e, object.SetStrField(a, e, emp.Field("dept"), "d")
+		}
+		pages, err := object.BuildPages(reg, 1<<12, 400, fill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SendData("db", "emps", pages); err != nil {
+			t.Fatal(err)
+		}
+		ob := &core.OrderBy{In: core.NewScan("db", "emps", "Emp"), ArgType: "Emp",
+			Keys: []core.SortKey{salaryKey()}, Limit: limit}
+		if err := c.CreateSet("db", "sorted", "Emp"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Execute(core.NewWrite("db", "sorted", ob)); err != nil {
+			t.Fatal(err)
+		}
+		return collectF64(t, c, "db", "sorted", emp, "salary")
+	}
+	for _, limit := range []int{0, 25} {
+		// Workers > 1 change SendData placement, so the cross-worker pin
+		// uses a total-order key corpus via the differential matrix; here
+		// we pin schedule-only knobs (threads, morsels) per worker count.
+		for _, workers := range []int{1, 4} {
+			ref := run(workers, 1, 0, limit)
+			if limit == 0 && len(ref) != 400 {
+				t.Fatalf("sorted rows = %d, want 400", len(ref))
+			}
+			if limit > 0 && len(ref) != limit {
+				t.Fatalf("top-k rows = %d, want %d", len(ref), limit)
+			}
+			for _, threads := range []int{2, 8} {
+				for _, morsel := range []int{0, 2} {
+					got := run(workers, threads, morsel, limit)
+					if len(got) != len(ref) {
+						t.Fatalf("w=%d t=%d m=%d limit=%d: rows %d != %d", workers, threads, morsel, limit, len(got), len(ref))
+					}
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Fatalf("w=%d t=%d m=%d limit=%d: row %d = %v, ref %v", workers, threads, morsel, limit, i, got[i], ref[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+var _ = engine.SortRowTypeName // keep the import if helpers shrink

@@ -81,14 +81,42 @@ type MultiSelection struct {
 func (m *MultiSelection) Inputs() []Computation { return []Computation{m.In} }
 func (m *MultiSelection) label() string         { return "MSel" }
 
+// JoinKind selects a join's output semantics. Inner joins emit one row per
+// matching pair; semi joins emit each left row with at least one match; anti
+// joins emit each left row with no match. The outer kinds additionally emit
+// the unmatched rows of one (left/right) or both (full) sides, null-extended.
+type JoinKind int
+
+// Join kinds. Semi and anti joins are binary (exactly two inputs) and keep
+// only left-side objects, so they need no Projection. The outer kinds
+// (left/right/full) are accepted by the cluster's callback join API
+// (Cluster.HashPartitionJoinKind), which surfaces the absent side of a
+// null-extended row as object.NilRef; the lambda/TCAP compiler does not
+// lower them (a lambda projection cannot observe an absent input).
+const (
+	JoinInner JoinKind = iota
+	JoinSemi
+	JoinAnti
+	JoinLeft
+	JoinRight
+	JoinFull
+)
+
 // Join is JoinComp: a join of arbitrary arity and arbitrary predicate. The
 // compiler analyzes the predicate's lambda term, extracts equi-join
 // conjuncts to drive hash joins, re-verifies them after probing, and pushes
 // the rest into post-join filters (which the optimizer may then push below
 // the join). The user never specifies join order or algorithm.
+//
+// Kind selects the join semantics. JoinSemi/JoinAnti require exactly two
+// inputs and a predicate that is a single equi-join conjunct; the left input
+// streams through as the probe side, the right input builds an exact key-value
+// set (no hash-collision re-verification is needed), and the output is the
+// left-side object — Projection must be nil.
 type Join struct {
 	In         []Computation
 	ArgTypes   []string
+	Kind       JoinKind
 	Predicate  func(args []*lambda.Arg) lambda.Term
 	Projection func(args []*lambda.Arg) lambda.Term
 }
@@ -126,6 +154,72 @@ type Aggregate struct {
 // Inputs returns the single input.
 func (a *Aggregate) Inputs() []Computation { return []Computation{a.In} }
 func (a *Aggregate) label() string         { return "Agg" }
+
+// SortKey is one ordering key of an OrderBy or Window: a lambda term
+// extracting the key from the input object, the key's scalar kind, and the
+// sort direction. NULL-valued keys (terms evaluating to an invalid Value)
+// sort before every present value in ascending order and after in
+// descending order.
+type SortKey struct {
+	Term func(arg *lambda.Arg) lambda.Term
+	Kind object.Kind
+	Desc bool
+}
+
+// OrderBy is the ORDER BY / top-k computation: it totally orders its input
+// on Keys (in precedence order, stable in the input's arrival order) and,
+// when Limit is positive, keeps only the first Limit objects. Distributed
+// execution is a merge network: per-thread sorted runs merge into one run
+// per worker, the runs stream over the exchange, and the consumer merges
+// them — with a bounded-heap fast path when Limit is set.
+type OrderBy struct {
+	In      Computation
+	ArgType string
+	Keys    []SortKey
+	Limit   int
+}
+
+// Inputs returns the single input.
+func (o *OrderBy) Inputs() []Computation { return []Computation{o.In} }
+func (o *OrderBy) label() string         { return "Sort" }
+
+// Distinct deduplicates its input on a key, emitting one output object per
+// distinct key value via Make. It rides the aggregation path as a keys-only
+// sink (the running "value" is the key itself, combined keep-first), so it
+// inherits the agg path's shuffle, swiss-table probing, and recovery for
+// free. Key kinds follow the same rules as Aggregate keys.
+type Distinct struct {
+	In      Computation
+	ArgType string
+	Key     func(arg *lambda.Arg) lambda.Term
+	KeyKind object.Kind
+	Make    func(a *object.Allocator, key object.Value) (object.Ref, error)
+}
+
+// Inputs returns the single input.
+func (d *Distinct) Inputs() []Computation { return []Computation{d.In} }
+func (d *Distinct) label() string         { return "Dist" }
+
+// Window is a window-style running aggregate over the sorted stream: the
+// input is totally ordered on Keys exactly like OrderBy, then each object's
+// Val is folded into a running accumulator with Combine (in sorted order),
+// and Emit produces one output object per input object from the object and
+// the accumulator's value at that point — e.g. a running total ordered by
+// date. The fold happens on the consumer side of the sort's merge network,
+// so the running value is globally consistent across workers.
+type Window struct {
+	In      Computation
+	ArgType string
+	Keys    []SortKey
+	Val     func(arg *lambda.Arg) lambda.Term
+	ValKind object.Kind
+	Combine engine.CombineFn
+	Emit    func(a *object.Allocator, obj object.Ref, running object.Value) (object.Ref, error)
+}
+
+// Inputs returns the single input.
+func (w *Window) Inputs() []Computation { return []Computation{w.In} }
+func (w *Window) label() string         { return "Win" }
 
 // topoOrder returns every computation reachable from the sinks in
 // dependency order (inputs before consumers).

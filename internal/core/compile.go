@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/lambda"
@@ -15,13 +16,27 @@ type ScanBinding struct {
 	Db, Set, TypeName string
 }
 
+// SortSpec is the compiled form of an OrderBy or Window: how many leading
+// Applied columns are sort keys (a Window statement's Applied carries the
+// value column after the keys), the per-key descending flags, and the top-k
+// limit (0 = unbounded). The same information rides the statement's Info
+// ("desc", "limit") so a printed program round-trips it.
+type SortSpec struct {
+	NumKeys int
+	Desc    []bool
+	Limit   int
+	Window  bool
+}
+
 // CompileResult is a compiled query graph: the TCAP program, the kernel
 // registry backing its stages, per-aggregation specs, and scan bindings.
 type CompileResult struct {
-	Prog     *tcap.Program
-	Stages   *engine.StageRegistry
-	AggSpecs map[string]*engine.AggSpec // by AGGREGATE output list name
-	Scans    map[string]ScanBinding     // by SCAN output list name
+	Prog        *tcap.Program
+	Stages      *engine.StageRegistry
+	AggSpecs    map[string]*engine.AggSpec    // by AGGREGATE/DISTINCT output list name
+	Scans       map[string]ScanBinding        // by SCAN output list name
+	SortSpecs   map[string]*SortSpec          // by SORT/WINDOW output list name
+	WindowSpecs map[string]*engine.WindowSpec // by WINDOW output list name
 }
 
 // Compile lowers a query graph (identified by its Write sinks) into TCAP.
@@ -41,10 +56,12 @@ func Compile(writes ...*Write) (*CompileResult, error) {
 	}
 	c := &compiler{
 		res: &CompileResult{
-			Prog:     &tcap.Program{},
-			Stages:   engine.NewStageRegistry(),
-			AggSpecs: map[string]*engine.AggSpec{},
-			Scans:    map[string]ScanBinding{},
+			Prog:        &tcap.Program{},
+			Stages:      engine.NewStageRegistry(),
+			AggSpecs:    map[string]*engine.AggSpec{},
+			Scans:       map[string]ScanBinding{},
+			SortSpecs:   map[string]*SortSpec{},
+			WindowSpecs: map[string]*engine.WindowSpec{},
 		},
 		outs: map[Computation]listState{},
 	}
@@ -62,6 +79,12 @@ func Compile(writes ...*Write) (*CompileResult, error) {
 			st, err = c.compileJoin(t)
 		case *Aggregate:
 			st, err = c.compileAggregate(t)
+		case *OrderBy:
+			st, err = c.compileOrderBy(t)
+		case *Distinct:
+			st, err = c.compileDistinct(t)
+		case *Window:
+			st, err = c.compileWindow(t)
 		case *Write:
 			err = c.compileWrite(t)
 		default:
@@ -403,6 +426,156 @@ func (c *compiler) compileAggregate(s *Aggregate) (listState, error) {
 		Combine:  s.Combine,
 		Finalize: s.Finalize,
 	}
+	return out, nil
+}
+
+// descInfo renders per-key sort directions for a statement's Info ("a" for
+// ascending, "d" for descending, comma-separated in key precedence order).
+func descInfo(desc []bool) string {
+	parts := make([]string, len(desc))
+	for i, d := range desc {
+		if d {
+			parts[i] = "d"
+		} else {
+			parts[i] = "a"
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// compileSortKeys lowers an OrderBy/Window key list over the current vector
+// list, returning the updated list, the key columns in precedence order, and
+// the descending flags.
+func (c *compiler) compileSortKeys(cur listState, keys []SortKey, argType string,
+	binding map[int]string, comp string) (listState, []string, []bool, error) {
+	if len(keys) == 0 {
+		return listState{}, nil, nil, fmt.Errorf("core: sort requires at least one key")
+	}
+	st := cur
+	keyCols := make([]string, 0, len(keys))
+	desc := make([]bool, len(keys))
+	for i, k := range keys {
+		if k.Term == nil {
+			return listState{}, nil, nil, fmt.Errorf("core: sort key %d has no term", i)
+		}
+		var col string
+		var err error
+		st, col, err = c.compileTerm(st, k.Term(lambda.NewArg(0, argType)), binding, comp)
+		if err != nil {
+			return listState{}, nil, nil, err
+		}
+		keyCols = append(keyCols, col)
+		desc[i] = k.Desc
+	}
+	return st, keyCols, desc, nil
+}
+
+func (c *compiler) compileOrderBy(s *OrderBy) (listState, error) {
+	in := c.outs[s.In]
+	comp := c.compName("Sort")
+	cur := listState{name: in.name, cols: []string{in.objCol}, objCol: in.objCol}
+	binding := map[int]string{0: in.objCol}
+
+	st, keyCols, desc, err := c.compileSortKeys(cur, s.Keys, s.ArgType, binding, comp)
+	if err != nil {
+		return listState{}, err
+	}
+	outCol := c.freshCol()
+	out := listState{name: c.freshList(), cols: []string{outCol}, objCol: outCol}
+	info := map[string]string{"type": "sort", "desc": descInfo(desc)}
+	if s.Limit > 0 {
+		info["limit"] = strconv.Itoa(s.Limit)
+	}
+	c.res.Prog.Stmts = append(c.res.Prog.Stmts, &tcap.Stmt{
+		Out:     tcap.ColumnsRef{Name: out.name, Cols: out.cols},
+		Op:      tcap.OpSort,
+		Applied: tcap.ColumnsRef{Name: st.name, Cols: keyCols},
+		Copied:  tcap.ColumnsRef{Name: st.name, Cols: []string{st.objCol}},
+		Comp:    comp,
+		Stage:   c.freshStage("sort"),
+		Info:    info,
+	})
+	c.res.SortSpecs[out.name] = &SortSpec{NumKeys: len(keyCols), Desc: desc, Limit: s.Limit}
+	return out, nil
+}
+
+func (c *compiler) compileDistinct(s *Distinct) (listState, error) {
+	in := c.outs[s.In]
+	comp := c.compName("Dist")
+	cur := listState{name: in.name, cols: []string{in.objCol}, objCol: in.objCol}
+	binding := map[int]string{0: in.objCol}
+
+	if s.Key == nil || s.Make == nil {
+		return listState{}, fmt.Errorf("core: Distinct requires Key and Make")
+	}
+	st, keyCol, err := c.compileTerm(cur, s.Key(lambda.NewArg(0, s.ArgType)), binding, comp)
+	if err != nil {
+		return listState{}, err
+	}
+	outCol := c.freshCol()
+	out := listState{name: c.freshList(), cols: []string{outCol}, objCol: outCol}
+	// DISTINCT rides the aggregation machinery as a keys-only sink: the
+	// "value" is the key itself, combined keep-first, so the pre-agg maps,
+	// shuffle, and merge dedup exactly. Applied names the key column twice
+	// (key, val), matching the AGGREGATE sink-side contract.
+	c.res.Prog.Stmts = append(c.res.Prog.Stmts, &tcap.Stmt{
+		Out:     tcap.ColumnsRef{Name: out.name, Cols: out.cols},
+		Op:      tcap.OpDistinct,
+		Applied: tcap.ColumnsRef{Name: st.name, Cols: []string{keyCol, keyCol}},
+		Copied:  tcap.ColumnsRef{Name: st.name, Cols: nil},
+		Comp:    comp,
+		Stage:   c.freshStage("distinct"),
+		Info:    map[string]string{"type": "distinct"},
+	})
+	mk := s.Make
+	c.res.AggSpecs[out.name] = &engine.AggSpec{
+		KeyKind: s.KeyKind,
+		ValKind: s.KeyKind,
+		Combine: func(a *object.Allocator, cur object.Value, exists bool, next object.Value) (object.Value, error) {
+			if exists {
+				return cur, nil
+			}
+			return next, nil
+		},
+		Finalize: func(a *object.Allocator, key, val object.Value) (object.Ref, error) {
+			return mk(a, key)
+		},
+	}
+	return out, nil
+}
+
+func (c *compiler) compileWindow(s *Window) (listState, error) {
+	in := c.outs[s.In]
+	comp := c.compName("Win")
+	cur := listState{name: in.name, cols: []string{in.objCol}, objCol: in.objCol}
+	binding := map[int]string{0: in.objCol}
+
+	if s.Val == nil || s.Combine == nil || s.Emit == nil {
+		return listState{}, fmt.Errorf("core: Window requires Val, Combine, and Emit")
+	}
+	st, keyCols, desc, err := c.compileSortKeys(cur, s.Keys, s.ArgType, binding, comp)
+	if err != nil {
+		return listState{}, err
+	}
+	st, valCol, err := c.compileTerm(st, s.Val(lambda.NewArg(0, s.ArgType)), binding, comp)
+	if err != nil {
+		return listState{}, err
+	}
+	outCol := c.freshCol()
+	out := listState{name: c.freshList(), cols: []string{outCol}, objCol: outCol}
+	c.res.Prog.Stmts = append(c.res.Prog.Stmts, &tcap.Stmt{
+		Out: tcap.ColumnsRef{Name: out.name, Cols: out.cols},
+		Op:  tcap.OpWindow,
+		// Applied carries the sort keys followed by the value column; the
+		// SortSpec's NumKeys records where the keys end.
+		Applied: tcap.ColumnsRef{Name: st.name, Cols: append(append([]string{}, keyCols...), valCol)},
+		Copied:  tcap.ColumnsRef{Name: st.name, Cols: []string{st.objCol}},
+		Comp:    comp,
+		Stage:   c.freshStage("window"),
+		Info:    map[string]string{"type": "window", "desc": descInfo(desc)},
+	})
+	c.res.SortSpecs[out.name] = &SortSpec{NumKeys: len(keyCols), Desc: desc, Window: true}
+	c.res.WindowSpecs[out.name] = &engine.WindowSpec{ValKind: s.ValKind, Combine: s.Combine, Emit: s.Emit}
 	return out, nil
 }
 

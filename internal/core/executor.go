@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/engine"
@@ -73,7 +74,8 @@ func (e *Executor) threads() int {
 // Artifacts (materialized intermediates, join tables, pre-aggregated maps)
 // flow between stages through an in-memory artifact table.
 func (e *Executor) Run(res *CompileResult, plan *physical.Plan) error {
-	arts := &artifacts{pages: map[string][]*object.Page{}, tables: map[string]*engine.JoinTable{}}
+	arts := &artifacts{pages: map[string][]*object.Page{}, tables: map[string]*engine.JoinTable{},
+		runs: map[string][][]*object.Page{}}
 	for _, stage := range plan.Stages {
 		var err error
 		switch stage.Kind {
@@ -81,6 +83,8 @@ func (e *Executor) Run(res *CompileResult, plan *physical.Plan) error {
 			err = e.runPipelineStage(res, stage, arts)
 		case physical.StageAggregation:
 			err = e.runAggregationStage(res, stage, arts)
+		case physical.StageSortMerge:
+			err = e.runSortMergeStage(res, stage, arts)
 		default:
 			err = fmt.Errorf("core: unknown stage kind %d", stage.Kind)
 		}
@@ -94,6 +98,7 @@ func (e *Executor) Run(res *CompileResult, plan *physical.Plan) error {
 type artifacts struct {
 	pages  map[string][]*object.Page // "mat:X" and "aggmaps:X"
 	tables map[string]*engine.JoinTable
+	runs   map[string][][]*object.Page // "sortruns:X": sorted runs in source order
 }
 
 func (e *Executor) sourcePages(stage *physical.JobStage, arts *artifacts) ([]*object.Page, error) {
@@ -126,11 +131,28 @@ func (e *Executor) newStageSink(res *CompileResult, stage *physical.JobStage, st
 		sink.NoSwiss = e.NoSwissTable
 		return sink, nil
 	case physical.SinkJoinBuild:
+		if jt := stage.SinkStmt.Info["joinType"]; jt == "semi" || jt == "anti" {
+			// Semi/anti joins build an exact key-value set from the raw key
+			// column — no hash table, so NoSwissTable is moot.
+			return engine.NewKeySetBuildSink(stage.SinkStmt.Applied2.Cols[0]), nil
+		}
 		sink := engine.NewJoinBuildSink(stage.SinkStmt.Applied2.Cols[0], stage.SinkStmt.Copied2.Cols[0])
 		if e.NoSwissTable {
 			sink.Table = engine.NewMapJoinTable()
 		}
 		return sink, nil
+	case physical.SinkSort:
+		spec := res.SortSpecs[stage.SinkStmt.Out.Name]
+		if spec == nil {
+			return nil, fmt.Errorf("no sort spec for %q", stage.SinkStmt.Out.Name)
+		}
+		keyCols := stage.SinkStmt.Applied.Cols[:spec.NumKeys]
+		valCol := ""
+		if spec.Window {
+			valCol = stage.SinkStmt.Applied.Cols[spec.NumKeys]
+		}
+		return engine.NewSortSink(e.Reg, e.PageSize, keyCols, stage.SinkStmt.Copied.Cols[0],
+			valCol, spec.Desc, spec.Limit, nil, stats)
 	default:
 		return nil, fmt.Errorf("unknown sink kind %v", stage.Sink)
 	}
@@ -203,6 +225,14 @@ func (e *Executor) runPipelineStage(res *CompileResult, stage *physical.JobStage
 		arts.pages[stage.Produces] = merged
 	case physical.SinkJoinBuild:
 		arts.tables[stage.SinkStmt.Applied2.Name] = pt.MergeJoinTables(nil)
+	case physical.SinkSort:
+		// Each thread's sink sealed one sorted run; chunks are contiguous,
+		// so thread order is source order — the merge's stability tie-break.
+		runs := make([][]*object.Page, 0, len(pt.Sinks))
+		for _, s := range pt.Sinks {
+			runs = append(runs, s.Pages())
+		}
+		arts.runs[stage.Produces] = runs
 	}
 	return nil
 }
@@ -222,6 +252,7 @@ func (e *Executor) runPipelineStageMorsels(res *CompileResult, stage *physical.J
 		outPages []*object.Page
 		primary  *engine.AggSink
 		table    *engine.JoinTable
+		runs     [][]*object.Page
 	)
 	mk := func(m int, stats *engine.Stats, _ <-chan struct{}) (engine.Sink, *engine.Ctx, error) {
 		sink, err := e.newStageSink(res, stage, stats)
@@ -249,6 +280,12 @@ func (e *Executor) runPipelineStageMorsels(res *CompileResult, stage *physical.J
 				table.Merge(s.Table)
 			}
 			return nil
+		case *engine.SortSink:
+			// One sorted run per morsel, released in morsel index order —
+			// source order, the same tie-break the static path gets from
+			// contiguous chunks.
+			runs = append(runs, s.Pages())
+			return nil
 		default:
 			outPages = append(outPages, sink.Pages()...)
 			return nil
@@ -274,6 +311,8 @@ func (e *Executor) runPipelineStageMorsels(res *CompileResult, stage *physical.J
 		arts.pages[stage.Produces] = primary.Pages()
 	case physical.SinkJoinBuild:
 		arts.tables[stage.SinkStmt.Applied2.Name] = table
+	case physical.SinkSort:
+		arts.runs[stage.Produces] = runs
 	}
 	return nil
 }
@@ -294,6 +333,66 @@ func materializeColumn(res *CompileResult, stage *physical.JobStage, last *tcap.
 		return newCols[0], nil
 	}
 	return "", fmt.Errorf("cannot determine materialization column of %s", last.Out)
+}
+
+// runSortMergeStage is the consuming stage of a distributed sort: it merges
+// the producer stage's sorted runs (in run order — source order) into the
+// global stable order, applies the top-k limit, and materializes the output
+// objects onto fresh pages (AppendToRoot's cross-page push deep-copies each
+// object off its run page). A window computation folds its running aggregate
+// over the merged stream here, emitting one output object per input row.
+func (e *Executor) runSortMergeStage(res *CompileResult, stage *physical.JobStage, arts *artifacts) error {
+	spec := res.SortSpecs[stage.AggList]
+	if spec == nil {
+		return fmt.Errorf("no sort spec for %q", stage.AggList)
+	}
+	runs, ok := arts.runs["sortruns:"+stage.AggList]
+	if !ok {
+		return fmt.Errorf("missing sorted runs for %q", stage.AggList)
+	}
+	sink, err := engine.NewOutputSink(e.Reg, e.PageSize, nil, &e.Stats)
+	if err != nil {
+		return err
+	}
+	out := sink.Out
+	m := engine.NewSortMerger(e.Reg, runs, spec.Limit)
+	ws := res.WindowSpecs[stage.AggList]
+	if spec.Window && ws == nil {
+		return fmt.Errorf("no window spec for %q", stage.AggList)
+	}
+	var running object.Value
+	exists := false
+	for {
+		_, obj, val, ok := m.Next()
+		if !ok {
+			break
+		}
+		if ws == nil {
+			if err := engine.AppendToRoot(out, obj); err != nil {
+				return err
+			}
+			continue
+		}
+		running, err = ws.Combine(out.Alloc, running, exists, val)
+		if err != nil {
+			return err
+		}
+		exists = true
+		emitted, err := ws.Emit(out.Alloc, obj, running)
+		if errors.Is(err, object.ErrPageFull) {
+			if err = out.Rotate(); err == nil {
+				emitted, err = ws.Emit(out.Alloc, obj, running)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if err := engine.AppendToRoot(out, emitted); err != nil {
+			return err
+		}
+	}
+	arts.pages[stage.Produces] = out.Pages()
+	return nil
 }
 
 // runAggregationStage is the consuming stage of a local aggregation: every

@@ -16,6 +16,12 @@ import (
 // projection. Inputs with no connecting key fall back to a constant-key
 // (cross) join, still filtered by the full predicate.
 func (c *compiler) compileJoin(j *Join) (listState, error) {
+	if j.Kind == JoinSemi || j.Kind == JoinAnti {
+		return c.compileSemiAnti(j)
+	}
+	if j.Kind != JoinInner {
+		return listState{}, fmt.Errorf("core: outer join kinds are served by the cluster callback API (HashPartitionJoinKind), not the lambda compiler")
+	}
 	n := len(j.In)
 	if n < 2 {
 		return listState{}, fmt.Errorf("core: join needs at least two inputs, got %d", n)
@@ -131,4 +137,86 @@ func (c *compiler) compileJoin(j *Join) (listState, error) {
 	}
 	st.objCol = projCol
 	return st, nil
+}
+
+// compileSemiAnti lowers a semi or anti join. Unlike the inner path, the
+// JOIN statement's Applied/Applied2 name raw key VALUE columns, not hash
+// columns: the build side collects an exact key-value set (JoinTable in
+// key-set mode) and the probe emits each left object whose key is (semi) or
+// is not (anti) in the set. Exact membership means no hash-collision hazard,
+// so there is no post-join re-verification filter — which an anti join could
+// not express anyway (a collision-dropped row is silently wrong, not
+// filterable). The output is the probe-side object column unchanged.
+func (c *compiler) compileSemiAnti(j *Join) (listState, error) {
+	kind := "semi"
+	if j.Kind == JoinAnti {
+		kind = "anti"
+	}
+	if len(j.In) != 2 {
+		return listState{}, fmt.Errorf("core: %s join needs exactly two inputs, got %d", kind, len(j.In))
+	}
+	if len(j.ArgTypes) != 2 {
+		return listState{}, fmt.Errorf("core: %s join has 2 inputs but %d arg types", kind, len(j.ArgTypes))
+	}
+	if j.Predicate == nil {
+		return listState{}, fmt.Errorf("core: %s join requires a Predicate", kind)
+	}
+	if j.Projection != nil {
+		return listState{}, fmt.Errorf("core: %s join outputs the left-side object; Projection must be nil", kind)
+	}
+	comp := c.compName("Join")
+
+	probe := c.outs[j.In[0]]
+	build := c.outs[j.In[1]]
+	if probe.objCol == build.objCol {
+		return listState{}, fmt.Errorf("core: %s join inputs reuse the same computation instance; wrap one side in its own Scan/Selection", kind)
+	}
+	args := []*lambda.Arg{lambda.NewArg(0, j.ArgTypes[0]), lambda.NewArg(1, j.ArgTypes[1])}
+
+	// The predicate must be a single equi-join conjunct: exact key-set
+	// membership cannot re-verify residual conjuncts after the fact (the
+	// build objects are gone by emit time).
+	pred := j.Predicate(args)
+	conjuncts := lambda.SplitConjuncts(pred)
+	if len(conjuncts) != 1 {
+		return listState{}, fmt.Errorf("core: %s join predicate must be a single equi-join conjunct, got %d conjuncts", kind, len(conjuncts))
+	}
+	l, r, li, _, ok := lambda.IsEquiJoinConjunct(conjuncts[0])
+	if !ok {
+		return listState{}, fmt.Errorf("core: %s join predicate must be an equi-join conjunct (probe key == build key)", kind)
+	}
+	keyProbe, keyBuild := l, r
+	if li == 1 {
+		keyProbe, keyBuild = r, l
+	}
+
+	// Build side: key extraction only — the sink reads raw key values into
+	// the key-value set, no HASH column.
+	bsState, bsKeyCol, err := c.compileTerm(
+		listState{name: build.name, cols: []string{build.objCol}, objCol: build.objCol},
+		keyBuild, map[int]string{1: build.objCol}, comp)
+	if err != nil {
+		return listState{}, err
+	}
+
+	// Probe side: key extraction only.
+	pState, pKeyCol, err := c.compileTerm(
+		listState{name: probe.name, cols: []string{probe.objCol}, objCol: probe.objCol},
+		keyProbe, map[int]string{0: probe.objCol}, comp)
+	if err != nil {
+		return listState{}, err
+	}
+
+	out := listState{name: c.freshList(), cols: []string{probe.objCol}, objCol: probe.objCol}
+	c.res.Prog.Stmts = append(c.res.Prog.Stmts, &tcap.Stmt{
+		Out:      tcap.ColumnsRef{Name: out.name, Cols: out.cols},
+		Op:       tcap.OpJoin,
+		Applied:  tcap.ColumnsRef{Name: pState.name, Cols: []string{pKeyCol}},
+		Copied:   tcap.ColumnsRef{Name: pState.name, Cols: []string{probe.objCol}},
+		Applied2: tcap.ColumnsRef{Name: bsState.name, Cols: []string{bsKeyCol}},
+		Copied2:  tcap.ColumnsRef{Name: bsState.name, Cols: []string{build.objCol}},
+		Comp:     comp,
+		Info:     map[string]string{"type": "join", "joinType": kind},
+	})
+	return out, nil
 }

@@ -331,6 +331,11 @@ type JoinBuildSink struct {
 	HashCol string
 	ObjCol  string
 
+	// KeyCol, when set, puts the sink in key-set mode (semi/anti join
+	// build): Consume reads that column's key VALUES into the table's
+	// key set and HashCol/ObjCol are unused.
+	KeyCol string
+
 	refPages map[*object.Page]struct{}
 	lastPage *object.Page
 }
@@ -342,8 +347,30 @@ func NewJoinBuildSink(hashCol, objCol string) *JoinBuildSink {
 		refPages: map[*object.Page]struct{}{}}
 }
 
-// Consume inserts every (hash, object) row into the table.
+// NewKeySetBuildSink creates a semi/anti join build sink collecting the
+// given column's key values into a key-set table.
+func NewKeySetBuildSink(keyCol string) *JoinBuildSink {
+	return &JoinBuildSink{Table: NewKeySetTable(), KeyCol: keyCol,
+		refPages: map[*object.Page]struct{}{}}
+}
+
+// Consume inserts every (hash, object) row into the table (key-set mode:
+// every key value).
 func (s *JoinBuildSink) Consume(ctx *Ctx, vl *VectorList, stmt *tcap.Stmt) error {
+	if s.KeyCol != "" {
+		kc := vl.Col(s.KeyCol)
+		if kc == nil {
+			return fmt.Errorf("engine: join build key column %q missing", s.KeyCol)
+		}
+		n := kc.Len()
+		for i := 0; i < n; i++ {
+			s.Table.AddKey(kc.Value(i))
+		}
+		if ctx != nil && ctx.Stats != nil {
+			ctx.Stats.HashProbes += n
+		}
+		return nil
+	}
 	hc, ok := vl.Col(s.HashCol).(U64Col)
 	if !ok {
 		return fmt.Errorf("engine: join build hash column %q missing or mistyped", s.HashCol)

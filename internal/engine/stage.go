@@ -23,6 +23,9 @@ func executeStmt(ctx *Ctx, reg *StageRegistry, s *tcap.Stmt, in *VectorList) (*V
 	case tcap.OpFlatten:
 		return execFlatten(s, in)
 	case tcap.OpJoin:
+		if jt := s.Info["joinType"]; jt == "semi" || jt == "anti" {
+			return execJoinSemiAnti(ctx, s, in)
+		}
 		return execJoinProbe(ctx, s, in)
 	default:
 		return nil, fmt.Errorf("engine: op %v cannot run mid-pipeline", s.Op)
@@ -289,6 +292,55 @@ func execJoinProbe(ctx *Ctx, s *tcap.Stmt, in *VectorList) (*VectorList, error) 
 	out := proj.GatherAll(idx)
 	out.Append(s.Copied2.Cols[0], matches)
 	return out, nil
+}
+
+// execJoinSemiAnti filters probe rows by exact key membership in the
+// build side's key-set table: a semi join keeps rows whose key is present,
+// an anti join keeps rows whose key is absent. The applied column is the
+// probe KEY VALUE column (not a hash column — membership is exact, so no
+// re-verification filter follows), and the output is the copied probe
+// columns unchanged: no build column is appended.
+func execJoinSemiAnti(ctx *Ctx, s *tcap.Stmt, in *VectorList) (*VectorList, error) {
+	table := ctx.Tables[s.Applied2.Name]
+	if table == nil {
+		return nil, fmt.Errorf("engine: no join table for %q", s.Applied2.Name)
+	}
+	if !table.IsKeySet() {
+		return nil, fmt.Errorf("engine: %s join on %q needs a key-set table", s.Info["joinType"], s.Applied2.Name)
+	}
+	if len(s.Applied.Cols) != 1 {
+		return nil, fmt.Errorf("engine: %s join probes one key column", s.Info["joinType"])
+	}
+	kc := in.Col(s.Applied.Cols[0])
+	if kc == nil {
+		return nil, fmt.Errorf("engine: %s join key column %q missing", s.Info["joinType"], s.Applied.Cols[0])
+	}
+	anti := s.Info["joinType"] == "anti"
+	n := kc.Len()
+	if ctx.Stats != nil {
+		ctx.Stats.JoinProbeRows += n
+		ctx.Stats.HashProbes += n
+	}
+	keep := 0
+	for i := 0; i < n; i++ {
+		if table.HasKey(kc.Value(i)) != anti {
+			keep++
+		}
+	}
+	var idx []int
+	if keep > 0 {
+		idx = make([]int, 0, keep)
+		for i := 0; i < n; i++ {
+			if table.HasKey(kc.Value(i)) != anti {
+				idx = append(idx, i)
+			}
+		}
+	}
+	proj, err := in.Project(s.Copied.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return proj.GatherAll(idx), nil
 }
 
 // ExecuteStmtForTest exposes single-statement execution to tests in other

@@ -299,6 +299,10 @@ func eliminateDeadColumns(p *tcap.Program, st *Stats) {
 		for _, c := range s.NewColumns() {
 			newCols[c] = true
 		}
+		// SORT/WINDOW sinks consume their Copied object column directly
+		// (like OUTPUT consumes its Applied) — it never appears in Out, so
+		// downstream liveness says nothing about it. Keep it untrimmed.
+		sinkReads := s.Op == tcap.OpSort || s.Op == tcap.OpWindow
 		if !keepAll {
 			trim := func(ref *tcap.ColumnsRef) {
 				out := ref.Cols[:0]
@@ -312,7 +316,9 @@ func eliminateDeadColumns(p *tcap.Program, st *Stats) {
 				ref.Cols = out
 			}
 			trim(&s.Out)
-			trim(&s.Copied)
+			if !sinkReads {
+				trim(&s.Copied)
+			}
 			trim(&s.Copied2)
 		}
 		// Propagate requirements to inputs.

@@ -20,6 +20,11 @@ type StageKind int
 const (
 	StagePipeline StageKind = iota
 	StageAggregation
+	// StageSortMerge is the root of a sort's merge network: it merges the
+	// workers' sorted runs (shuffled through the exchange as SortRow
+	// pages) into the final global order, applying the top-k limit and
+	// any window running-aggregate.
+	StageSortMerge
 )
 
 // SinkKind is a pipeline's terminal.
@@ -31,6 +36,7 @@ const (
 	SinkPreAgg                      // pre-aggregate into partitioned maps
 	SinkJoinBuild                   // build a join hash table
 	SinkMaterialize                 // materialize an intermediate object set
+	SinkSort                        // emit one sorted run per executor thread
 )
 
 // DefaultCheckpointInterval is the consumer-side recovery checkpoint
@@ -54,6 +60,8 @@ func (k SinkKind) String() string {
 		return "join-build"
 	case SinkMaterialize:
 		return "materialize"
+	case SinkSort:
+		return "sort-runs"
 	default:
 		return "?"
 	}
@@ -110,7 +118,8 @@ func Build(prog *tcap.Program) (*Plan, error) {
 	// A list is a materialization boundary when several statements
 	// consume it, or when it is an aggregation's (finalized) output.
 	for _, s := range prog.Stmts {
-		if s.Op == tcap.OpAggregate {
+		if s.Op == tcap.OpAggregate || s.Op == tcap.OpDistinct ||
+			s.Op == tcap.OpSort || s.Op == tcap.OpWindow {
 			b.boundaries[s.Out.Name] = true
 		}
 		if s.Op != tcap.OpOutput && s.Op != tcap.OpScan {
@@ -206,7 +215,29 @@ func (b *builder) buildPipeline(scan *tcap.Stmt, srcList, srcCol string, first *
 			b.stages = append(b.stages, st)
 			return nil
 
-		case cur.Op == tcap.OpAggregate:
+		case cur.Op == tcap.OpSort || cur.Op == tcap.OpWindow:
+			// This pipeline produces per-thread sorted runs; the
+			// exchange-linked SortMerge stage merges them globally.
+			st.Sink = SinkSort
+			st.SinkStmt = cur
+			st.Produces = "sortruns:" + cur.Out.Name
+			b.stages = append(b.stages, st)
+			merge := &JobStage{
+				ID:              b.nextID,
+				Kind:            StageSortMerge,
+				AggList:         cur.Out.Name,
+				SinkStmt:        cur,
+				Produces:        "mat:" + cur.Out.Name,
+				DependsOn:       []string{"sortruns:" + cur.Out.Name},
+				CheckpointEvery: DefaultCheckpointInterval,
+			}
+			st.ExchangeTo = merge
+			merge.ExchangeFrom = st
+			b.nextID++
+			b.stages = append(b.stages, merge)
+			return nil
+
+		case cur.Op == tcap.OpAggregate || cur.Op == tcap.OpDistinct:
 			st.Sink = SinkPreAgg
 			st.SinkStmt = cur
 			st.Produces = "aggmaps:" + cur.Out.Name
@@ -328,6 +359,12 @@ func (p *Plan) String() string {
 				link = fmt.Sprintf(" <~ stage %d (exchange)", s.ExchangeFrom.ID)
 			}
 			out += fmt.Sprintf("stage %d: AGGREGATION %s -> %s%s\n", s.ID, s.AggList, s.Produces, link)
+		case StageSortMerge:
+			link := ""
+			if s.ExchangeFrom != nil {
+				link = fmt.Sprintf(" <~ stage %d (exchange)", s.ExchangeFrom.ID)
+			}
+			out += fmt.Sprintf("stage %d: SORTMERGE %s -> %s%s\n", s.ID, s.AggList, s.Produces, link)
 		default:
 			src := s.SourceList
 			if s.Scan != nil {

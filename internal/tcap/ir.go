@@ -29,6 +29,20 @@ const (
 	OpAggregate
 	OpFlatten
 	OpOutput
+	// OpSort orders a vector list on one or more key columns (Applied
+	// names the key columns in precedence order; Info carries per-key
+	// directions and an optional top-k limit). Distributed execution is a
+	// merge network over the exchange: per-thread sorted runs merge into
+	// one run per worker, and the consumer merges the workers' runs.
+	OpSort
+	// OpDistinct deduplicates on a key column, riding the aggregation
+	// path as a keys-only sink (Applied names the key column).
+	OpDistinct
+	// OpWindow computes a running aggregate over the globally sorted
+	// stream produced by a sort merge (Applied names the sort-key columns
+	// followed by the value column; Info carries directions and the
+	// window spec name).
+	OpWindow
 )
 
 func (k OpKind) String() string {
@@ -49,6 +63,12 @@ func (k OpKind) String() string {
 		return "FLATTEN"
 	case OpOutput:
 		return "OUTPUT"
+	case OpSort:
+		return "SORT"
+	case OpDistinct:
+		return "DISTINCT"
+	case OpWindow:
+		return "WINDOW"
 	default:
 		return fmt.Sprintf("OP(%d)", int(k))
 	}

@@ -14,6 +14,7 @@ import (
 //	Out(c...)  <= FILTER(In(bl), In(b,c), 'Comp', [..]);
 //	Out(c...)  <= JOIN(L(h), L(a), R(h2), R(b), 'Comp', [..]);
 //	Out(k,v)   <= AGGREGATE(In(k,v), In(), 'Comp', [..]);
+//	Out(c...)  <= SORT(In(k1,k2), In(b,c), 'Comp', [..]);        (also DISTINCT, WINDOW)
 //	Out()      <= OUTPUT(In(a), 'db', 'set', 'Comp', [..]);
 func Parse(src string) (*Program, error) {
 	toks, err := lex(src)
@@ -228,6 +229,12 @@ func (p *parser) stmt() (*Stmt, error) {
 		s.Op = OpFlatten
 	case "OUTPUT":
 		s.Op = OpOutput
+	case "SORT":
+		s.Op = OpSort
+	case "DISTINCT":
+		s.Op = OpDistinct
+	case "WINDOW":
+		s.Op = OpWindow
 	default:
 		return nil, fmt.Errorf("tcap: unknown op %q at %d", opTok.val, opTok.pos)
 	}

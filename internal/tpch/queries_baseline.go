@@ -40,11 +40,19 @@ type TopKRec struct {
 	Entries []TopJaccardEntry
 }
 
+// PromoPartRec is the baseline's promoted-part row (semi/anti join right
+// side).
+type PromoPartRec struct {
+	PartID int64
+}
+
 func init() {
 	baseline.Register(GCustomer{})
 	baseline.Register(SupInfoRec{})
 	baseline.Register(SupAggRec{})
 	baseline.Register(TopKRec{})
+	baseline.Register(PurchaseRec{})
+	baseline.Register(PromoPartRec{})
 }
 
 // BaselineData owns the baseline context and the loaded dataset.
@@ -136,6 +144,100 @@ func (b *BaselineData) CustomersPerSupplierBaseline() (map[string]int, error) {
 		out[agg.Sup] = len(agg.CustParts)
 	}
 	return out, nil
+}
+
+// purchases flattens the customer graph into the flat purchase dataset
+// (the baseline's FlattenPurchasesPC).
+func (b *BaselineData) purchases() (*baseline.Dataset, error) {
+	ds, err := b.dataset()
+	if err != nil {
+		return nil, err
+	}
+	return ds.FlatMap(func(r baseline.Record) []baseline.Record {
+		c := r.(GCustomer)
+		var out []baseline.Record
+		for i := range c.Orders {
+			for j := range c.Orders[i].LineItems {
+				li := &c.Orders[i].LineItems[j]
+				out = append(out, PurchaseRec{
+					CustKey: c.CustKey, PartID: li.Part.PartID, SupKey: li.Supplier.SupKey})
+			}
+		}
+		return out
+	}), nil
+}
+
+// TopCustomersByVolumeBaseline mirrors TopCustomersByVolumePC: the k
+// customers with the most lineitems, (volume desc, custkey asc).
+func (b *BaselineData) TopCustomersByVolumeBaseline(k int) ([]int64, error) {
+	ds, err := b.dataset()
+	if err != nil {
+		return nil, err
+	}
+	volume := func(r baseline.Record) int {
+		c := r.(GCustomer)
+		_, all := gCustomerParts(&c)
+		return len(all)
+	}
+	sorted := ds.SortBy(func(a, bb baseline.Record) bool {
+		va, vb := volume(a), volume(bb)
+		if va != vb {
+			return va > vb
+		}
+		return a.(GCustomer).CustKey < bb.(GCustomer).CustKey
+	}, k)
+	var keys []int64
+	for _, r := range sorted.Collect() {
+		keys = append(keys, r.(GCustomer).CustKey)
+	}
+	return keys, nil
+}
+
+// DistinctPartsSoldBaseline mirrors DistinctPartsSoldPC.
+func (b *BaselineData) DistinctPartsSoldBaseline() ([]int64, error) {
+	ds, err := b.purchases()
+	if err != nil {
+		return nil, err
+	}
+	distinct, err := ds.DistinctBy(func(r baseline.Record) interface{} { return r.(PurchaseRec).PartID })
+	if err != nil {
+		return nil, err
+	}
+	var ids []int64
+	for _, r := range distinct.Collect() {
+		ids = append(ids, r.(PurchaseRec).PartID)
+	}
+	return ids, nil
+}
+
+// PromoPurchasesBaseline mirrors PromoPurchasesPC: keep=true is the semi
+// join (purchases of promoted parts), keep=false the anti join.
+func (b *BaselineData) PromoPurchasesBaseline(promo []int64, keep bool) ([]PurchaseRec, error) {
+	ds, err := b.purchases()
+	if err != nil {
+		return nil, err
+	}
+	promoRecs := make([]baseline.Record, len(promo))
+	for i, id := range promo {
+		promoRecs[i] = PromoPartRec{PartID: id}
+	}
+	right := b.Ctx.Parallelize(promoRecs)
+	keyL := func(r baseline.Record) interface{} { return r.(PurchaseRec).PartID }
+	keyR := func(r baseline.Record) interface{} { return r.(PromoPartRec).PartID }
+	var joined *baseline.Dataset
+	if keep {
+		joined, err = ds.SemiJoin(right, keyL, keyR)
+	} else {
+		joined, err = ds.AntiJoin(right, keyL, keyR)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rows []PurchaseRec
+	for _, r := range joined.Collect() {
+		rows = append(rows, r.(PurchaseRec))
+	}
+	return rows, nil
 }
 
 // TopKJaccardBaseline runs query 2.

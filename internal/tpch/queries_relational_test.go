@@ -1,0 +1,266 @@
+package tpch
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/pc"
+)
+
+// The relational-surface differential tests: each new query (ORDER BY +
+// limit, DISTINCT, semi/anti join) runs on PC and on the baseline engine
+// over the identical generated instance, and both must agree with a direct
+// struct-level reference.
+
+func loadRelational(t testing.TB, n int) (*pc.Client, *Schema, *pc.TypeInfo, []GCustomer) {
+	t.Helper()
+	client, s, data := loadBoth(t, n)
+	purchase := RegisterPurchase(client.Registry())
+	if err := FlattenPurchasesPC(client, s, purchase, "TPCH_db", "tpch_bench_set1", "purchases"); err != nil {
+		t.Fatal(err)
+	}
+	return client, s, purchase, data
+}
+
+// referencePurchases flattens the struct form directly.
+func referencePurchases(data []GCustomer) []PurchaseRec {
+	var out []PurchaseRec
+	for i := range data {
+		c := &data[i]
+		for j := range c.Orders {
+			for k := range c.Orders[j].LineItems {
+				li := &c.Orders[j].LineItems[k]
+				out = append(out, PurchaseRec{CustKey: c.CustKey, PartID: li.Part.PartID, SupKey: li.Supplier.SupKey})
+			}
+		}
+	}
+	return out
+}
+
+func sortPurchases(rows []PurchaseRec) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CustKey != rows[j].CustKey {
+			return rows[i].CustKey < rows[j].CustKey
+		}
+		if rows[i].PartID != rows[j].PartID {
+			return rows[i].PartID < rows[j].PartID
+		}
+		return rows[i].SupKey < rows[j].SupKey
+	})
+}
+
+func sortedI64(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestFlattenPurchasesMatchesReference(t *testing.T) {
+	client, _, purchase, data := loadRelational(t, 40)
+	var got []PurchaseRec
+	if err := client.ScanSet("TPCH_db", "purchases", func(r pc.Ref) bool {
+		got = append(got, readPurchase(purchase, r))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := referencePurchases(data)
+	sortPurchases(got)
+	sortPurchases(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("flattened purchases = %d rows, reference %d rows", len(got), len(want))
+	}
+}
+
+func TestTopCustomersByVolumePCMatchesBaseline(t *testing.T) {
+	client, s, _, data := loadRelational(t, 70)
+	const k = 9
+	got, err := TopCustomersByVolumePC(client, s, "TPCH_db", "tpch_bench_set1", "q_topvol", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := LoadBaseline(3, ModeInRAM, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bd.TopCustomersByVolumeBaseline(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (volume desc, custkey asc) is a total order: the sequences must be
+	// identical, not just the sets.
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PC top-%d = %v\nbaseline = %v", k, got, want)
+	}
+	if len(got) != k {
+		t.Errorf("top-k returned %d rows, want %d", len(got), k)
+	}
+}
+
+func TestDistinctPartsSoldPCMatchesBaseline(t *testing.T) {
+	client, _, purchase, data := loadRelational(t, 60)
+	got, err := DistinctPartsSoldPC(client, purchase, "TPCH_db", "purchases", "q_distinct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := LoadBaseline(3, ModeInRAM, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bd.DistinctPartsSoldBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedI64(got), sortedI64(want)) {
+		t.Errorf("PC distinct parts = %v\nbaseline = %v", sortedI64(got), sortedI64(want))
+	}
+	seen := map[int64]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Errorf("part %d emitted twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPromoPurchasesSemiAntiMatchBaseline(t *testing.T) {
+	client, s, purchase, data := loadRelational(t, 60)
+	promo := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+	if err := LoadPromoParts(client, s, "TPCH_db", "promo", promo); err != nil {
+		t.Fatal(err)
+	}
+	bd, err := LoadBaseline(3, ModeInRAM, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := referencePurchases(data)
+	for _, tc := range []struct {
+		name string
+		kind pc.JoinKind
+		keep bool
+	}{
+		{"semi", pc.JoinSemi, true},
+		{"anti", pc.JoinAnti, false},
+	} {
+		got, err := PromoPurchasesPC(client, purchase, tc.kind, "TPCH_db", "purchases", "promo", "q_"+tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := bd.PromoPurchasesBaseline(promo, tc.keep)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", tc.name, err)
+		}
+		sortPurchases(got)
+		sortPurchases(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s join: PC %d rows, baseline %d rows", tc.name, len(got), len(want))
+		}
+	}
+	// The semi and anti outputs partition the purchase set.
+	semi, _ := PromoPurchasesPC(client, purchase, pc.JoinSemi, "TPCH_db", "purchases", "promo", "q_part1")
+	anti, _ := PromoPurchasesPC(client, purchase, pc.JoinAnti, "TPCH_db", "purchases", "promo", "q_part2")
+	if len(semi)+len(anti) != len(all) {
+		t.Errorf("semi (%d) + anti (%d) != all purchases (%d)", len(semi), len(anti), len(all))
+	}
+}
+
+// TestContinuousIngestion runs SendData concurrently with queries: a
+// loader goroutine appends customer batches to a live set while a query
+// goroutine repeatedly runs the distributed top-k over it. Every
+// mid-ingestion query must succeed and return well-formed results; after
+// the loader drains, the final result must equal the full-data reference.
+// The race-detector CI profile runs this test under -race.
+func TestContinuousIngestion(t *testing.T) {
+	const (
+		batches   = 8
+		perBatch  = 25
+		k         = 6
+		midProbes = 12
+	)
+	data := Generate(testParams(batches * perBatch))
+	client, err := pc.Connect(pc.Config{Workers: 3, PageSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RegisterSchema(client.Registry())
+	if err := client.CreateDatabase("TPCH_db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CreateSet("TPCH_db", "live", "Customer"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	loadErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			batch := data[b*perBatch : (b+1)*perBatch]
+			pages, err := client.BuildPages(len(batch), func(a *pc.Allocator, i int) (pc.Ref, error) {
+				return s.buildCustomer(a, &batch[i])
+			})
+			if err != nil {
+				loadErr <- fmt.Errorf("batch %d build: %w", b, err)
+				return
+			}
+			if err := client.SendData("TPCH_db", "live", pages); err != nil {
+				loadErr <- fmt.Errorf("batch %d send: %w", b, err)
+				return
+			}
+		}
+		loadErr <- nil
+	}()
+
+	// Queries race the loader: each observes some prefix of the ingested
+	// pages and must still produce a well-formed, duplicate-free top-k.
+	for probe := 0; probe < midProbes; probe++ {
+		out := fmt.Sprintf("probe_%d", probe)
+		keys, err := TopCustomersByVolumePC(client, s, "TPCH_db", "live", out, k)
+		if err != nil {
+			t.Fatalf("probe %d: %v", probe, err)
+		}
+		if len(keys) > k {
+			t.Fatalf("probe %d returned %d rows, limit %d", probe, len(keys), k)
+		}
+		seen := map[int64]bool{}
+		for _, key := range keys {
+			if seen[key] {
+				t.Fatalf("probe %d emitted custkey %d twice", probe, key)
+			}
+			seen[key] = true
+		}
+	}
+	wg.Wait()
+	if err := <-loadErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiescent: the final query sees all batches and must match the
+	// baseline over the full instance exactly.
+	got, err := TopCustomersByVolumePC(client, s, "TPCH_db", "live", "probe_final", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := LoadBaseline(3, ModeInRAM, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bd.TopCustomersByVolumeBaseline(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-ingestion top-%d = %v\nwant %v", k, got, want)
+	}
+	count, err := client.CountSet("TPCH_db", "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != batches*perBatch {
+		t.Errorf("ingested %d customers, want %d", count, batches*perBatch)
+	}
+}

@@ -238,6 +238,41 @@ type Join = core.Join
 // Aggregate is AggregateComp.
 type Aggregate = core.Aggregate
 
+// OrderBy sorts a computation's output by one or more lambda-extracted
+// keys, optionally keeping only the first Limit rows (top-k).
+type OrderBy = core.OrderBy
+
+// SortKey is one ORDER BY key: a lambda term, its scalar kind, and the
+// sort direction.
+type SortKey = core.SortKey
+
+// Distinct deduplicates a computation's output by a lambda-extracted key.
+type Distinct = core.Distinct
+
+// Window is a running aggregate over the sorted stream: rows are ordered
+// by Keys, then Combine folds Val left-to-right and Emit rewrites each row
+// with the running value.
+type Window = core.Window
+
+// JoinKind selects a join's output semantics (see the core constants).
+type JoinKind = core.JoinKind
+
+// Join kinds. Inner/semi/anti lower through the computation graph; the
+// outer kinds are served by Client.HashPartitionJoinKind, which surfaces
+// the absent side of a null-extended row as NilRef.
+const (
+	JoinInner = core.JoinInner
+	JoinSemi  = core.JoinSemi
+	JoinAnti  = core.JoinAnti
+	JoinLeft  = core.JoinLeft
+	JoinRight = core.JoinRight
+	JoinFull  = core.JoinFull
+)
+
+// NilRef is the null object reference (the absent side of an outer join's
+// null-extended row).
+var NilRef = object.NilRef
+
 // NewScan creates a set reader.
 func NewScan(db, set, typeName string) *Scan { return core.NewScan(db, set, typeName) }
 
@@ -258,4 +293,15 @@ func (c *Client) CoPartitionedJoin(dbL, setL, dbR, setR string,
 	keyL, keyR func(Ref) uint64, eq func(l, r Ref) bool,
 	emit func(workerID int, l, r Ref) error) error {
 	return c.Cluster.CoPartitionedJoin(dbL, setL, dbR, setR, keyL, keyR, eq, emit)
+}
+
+// HashPartitionJoinKind runs the streaming hash-partition join with
+// selectable semantics (inner/left/semi/anti/right/full); null-extended
+// rows carry NilRef on the absent side. See
+// cluster.Cluster.HashPartitionJoinKind for the recovery contract.
+func (c *Client) HashPartitionJoinKind(kind JoinKind, dbL, setL, dbR, setR string,
+	keyL, keyR func(Ref) uint64, eq func(l, r Ref) bool,
+	emit func(workerID int, l, r Ref) error) error {
+	_, err := c.Cluster.HashPartitionJoinKind(kind, dbL, setL, dbR, setR, keyL, keyR, eq, emit)
+	return err
 }
